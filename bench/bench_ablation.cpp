@@ -1,0 +1,165 @@
+// Ablation studies on TitanCFI's design parameters (DESIGN.md Sec. 4):
+//   1. CFI Queue depth sweep — trace model and full co-simulation;
+//   2. check-latency sweep — where does the polling-vs-IRQ gap matter;
+//   3. dual-CF-commit stall rate — is the single queue write port really
+//      "a rare event" (paper Sec. IV-B2)?
+//   4. shadow-stack geometry — spill traffic vs on-chip capacity.
+#include <iomanip>
+#include <iostream>
+
+#include "firmware/builder.hpp"
+#include "firmware/shadow_stack.hpp"
+#include "firmware/zipper_stack.hpp"
+#include "titancfi/overhead_model.hpp"
+#include "titancfi/soc_top.hpp"
+#include "workloads/embench.hpp"
+#include "workloads/programs.hpp"
+
+namespace {
+
+void queue_depth_sweep() {
+  std::cout << "A1. Queue-depth sweep (trace model, slowdown %):\n";
+  std::cout << "    benchmark        depth:      1       2       4       8"
+               "      16      64\n";
+  for (const char* name : {"ud", "cubic", "wikisort", "dhrystone", "mm"}) {
+    const auto* stats = titan::workloads::find_benchmark(name);
+    const auto params = titan::workloads::calibrate(*stats);
+    const auto cf = titan::workloads::synthesize_cf_cycles(*stats, params);
+    std::cout << "    " << std::left << std::setw(24) << name << std::right;
+    for (const std::size_t depth : {1u, 2u, 4u, 8u, 16u, 64u}) {
+      titan::cfi::OverheadConfig config;
+      config.queue_depth = depth;
+      config.check_latency = titan::workloads::kIrqLatency;
+      config.transport_cycles = 0;
+      const double slowdown =
+          titan::cfi::simulate_cf_cycles(
+              cf, static_cast<titan::sim::Cycle>(stats->cycles), config)
+              .slowdown_percent();
+      std::cout << std::setw(8) << std::fixed << std::setprecision(0)
+                << slowdown;
+    }
+    std::cout << "\n";
+  }
+}
+
+void latency_sweep() {
+  std::cout << "\nA2. Check-latency sweep (queue depth 8, slowdown %):\n";
+  std::cout << "    latency:";
+  for (const std::uint32_t latency : {20u, 73u, 112u, 180u, 267u, 400u}) {
+    std::cout << std::setw(8) << latency;
+  }
+  std::cout << "\n";
+  for (const char* name : {"picojpeg", "sglib-combined", "nbody"}) {
+    const auto* stats = titan::workloads::find_benchmark(name);
+    const auto params = titan::workloads::calibrate(*stats);
+    const auto cf = titan::workloads::synthesize_cf_cycles(*stats, params);
+    std::cout << "    " << std::left << std::setw(8) << name << std::right;
+    for (const std::uint32_t latency : {20u, 73u, 112u, 180u, 267u, 400u}) {
+      titan::cfi::OverheadConfig config;
+      config.queue_depth = 8;
+      config.check_latency = latency;
+      config.transport_cycles = 0;
+      std::cout << std::setw(8) << std::fixed << std::setprecision(0)
+                << titan::cfi::simulate_cf_cycles(
+                       cf, static_cast<titan::sim::Cycle>(stats->cycles), config)
+                       .slowdown_percent();
+    }
+    std::cout << "\n";
+  }
+}
+
+void cosim_cross_check() {
+  std::cout << "\nA3. Co-simulation cross-check (fib(9), polling firmware):\n";
+  std::cout << "    depth   cycles   full-stalls   dual-CF-stalls   mean-occ\n";
+  titan::fw::FirmwareConfig fw_config;
+  fw_config.variant = titan::fw::FwVariant::kPolling;
+  const auto firmware = titan::fw::build_firmware(fw_config);
+  for (const std::size_t depth : {1u, 2u, 4u, 8u, 16u}) {
+    titan::cfi::SocConfig config;
+    config.queue_depth = depth;
+    titan::cfi::SocTop soc(config, titan::workloads::fib_recursive(9), firmware);
+    const auto result = soc.run();
+    std::cout << "    " << std::setw(5) << depth << std::setw(9)
+              << result.cycles << std::setw(12) << result.queue_full_stalls
+              << std::setw(15) << result.dual_cf_stalls << std::setw(12)
+              << std::fixed << std::setprecision(2)
+              << result.mean_queue_occupancy << "\n";
+  }
+  std::cout << "    (dual-CF stalls are orders of magnitude rarer than "
+               "queue-full stalls — the paper's single-write-port choice is "
+               "justified)\n";
+}
+
+void shadow_stack_geometry() {
+  std::cout << "\nA4. Shadow-stack geometry (call_chain(120), IRQ firmware):\n";
+  std::cout << "    capacity  spill-block   hmac-ops   cycles\n";
+  for (const auto& [capacity, block] :
+       {std::pair{8u, 4u}, {16u, 8u}, {32u, 16u}, {64u, 32u}, {128u, 64u}}) {
+    titan::fw::FirmwareConfig fw_config;
+    fw_config.ss_capacity = capacity;
+    fw_config.spill_block = block;
+    titan::cfi::SocConfig config;
+    titan::cfi::SocTop soc(config, titan::workloads::call_chain(120),
+                           titan::fw::build_firmware(fw_config));
+    const auto result = soc.run();
+    std::cout << "    " << std::setw(8) << capacity << std::setw(13) << block
+              << std::setw(11) << soc.rot().hmac().starts() << std::setw(9)
+              << result.cycles << (result.violations ? "  VIOLATION?!" : "")
+              << "\n";
+  }
+  std::cout << "    (larger on-chip capacity trades RoT SRAM for fewer "
+               "authenticated spills — paper Sec. VI)\n";
+}
+
+void metadata_authentication_schemes() {
+  std::cout << "\nA5. Metadata-authentication schemes (golden models, "
+               "fib-like call pattern, depth 120):\n";
+  std::cout << "    scheme                      MAC-ops   MAC-cycles   "
+               "RoT-resident bytes\n";
+  // Block-spill shadow stack (the paper's scheme) across geometries.
+  for (const auto& [capacity, block] :
+       {std::pair{16u, 8u}, {32u, 16u}, {64u, 32u}}) {
+    titan::sim::Memory memory;
+    titan::fw::ShadowStackConfig config;
+    config.capacity = capacity;
+    config.spill_block = block;
+    titan::fw::ShadowStack stack(config, memory, {'k'});
+    for (std::uint64_t i = 0; i < 120; ++i) stack.push(0x8000'0000 + i * 4);
+    for (std::uint64_t i = 120; i-- > 0;) {
+      (void)stack.pop_and_check(0x8000'0000 + i * 4);
+    }
+    std::cout << "    block-spill cap=" << std::setw(3) << capacity
+              << " blk=" << std::setw(2) << block << std::setw(11)
+              << stack.accel().invocations() << std::setw(13)
+              << stack.accel().total_cycles() << std::setw(14)
+              << capacity * 8 << "\n";
+  }
+  // Zipper stack: O(1) RoT state, one MAC per call AND per return.
+  {
+    titan::sim::Memory memory;
+    titan::fw::ZipperStack zipper(memory, {'k'});
+    for (std::uint64_t i = 0; i < 120; ++i) zipper.push(0x8000'0000 + i * 4);
+    for (std::uint64_t i = 120; i-- > 0;) {
+      (void)zipper.pop_and_check(0x8000'0000 + i * 4);
+    }
+    std::cout << "    zipper-stack [15]          " << std::setw(8)
+              << zipper.mac_operations() << std::setw(13)
+              << zipper.mac_cycles() << std::setw(14) << 32 << "\n";
+  }
+  std::cout << "    (TitanCFI's block spill amortises MACs over whole "
+               "segments and needs none in steady state; Zipper Stack pays "
+               "one per CF op but keeps only a 32-byte tag in the RoT — "
+               "paper Sec. VI)\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "TitanCFI ablation studies\n\n";
+  queue_depth_sweep();
+  latency_sweep();
+  cosim_cross_check();
+  shadow_stack_geometry();
+  metadata_authentication_schemes();
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Micro-benchmarks (google-benchmark) for the infrastructure libraries:
+// decoder, RVC expansion, assembler, FIFO, SHA-256/HMAC, Ibex/CVA6 ISS
+// throughput, and the trace-driven overhead model.
+#include <benchmark/benchmark.h>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "cva6/core.hpp"
+#include "firmware/builder.hpp"
+#include "rv/assembler.hpp"
+#include "rv/decode.hpp"
+#include "sim/fifo.hpp"
+#include "sim/rng.hpp"
+#include "titancfi/overhead_model.hpp"
+#include "workloads/embench.hpp"
+#include "workloads/programs.hpp"
+
+namespace {
+
+void BM_Decode32(benchmark::State& state) {
+  titan::sim::Rng rng(1);
+  std::vector<std::uint32_t> words(4096);
+  for (auto& word : words) {
+    word = static_cast<std::uint32_t>(rng.next()) | 3;  // uncompressed
+  }
+  std::size_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        titan::rv::decode(words[index++ & 4095], titan::rv::Xlen::k64));
+  }
+}
+BENCHMARK(BM_Decode32);
+
+void BM_ExpandRvc(benchmark::State& state) {
+  std::uint16_t half = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(titan::rv::expand_rvc(half, titan::rv::Xlen::k64));
+    half = static_cast<std::uint16_t>(half + 2);  // skip quadrant 3
+    if ((half & 3) == 3) half += 2;
+  }
+}
+BENCHMARK(BM_ExpandRvc);
+
+void BM_AssembleFirmware(benchmark::State& state) {
+  titan::fw::FirmwareConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(titan::fw::build_firmware(config));
+  }
+}
+BENCHMARK(BM_AssembleFirmware);
+
+void BM_FifoPushPop(benchmark::State& state) {
+  titan::sim::Fifo<std::uint64_t> fifo(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t value = 0;
+  for (auto _ : state) {
+    if (!fifo.push(value++)) {
+      benchmark::DoNotOptimize(fifo.pop());
+    }
+  }
+}
+BENCHMARK(BM_FifoPushPop)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_Sha256(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(titan::crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const std::vector<std::uint8_t> key(32, 0x11);
+  std::vector<std::uint8_t> data(256, 0xCD);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(titan::crypto::hmac_sha256(key, data));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_Cva6IssFib(benchmark::State& state) {
+  const auto image = titan::workloads::fib_recursive(12);
+  for (auto _ : state) {
+    titan::sim::Memory memory;
+    memory.load(image.base, image.bytes);
+    titan::cva6::Cva6Config config;
+    config.reset_pc = image.base;
+    titan::cva6::Cva6Core core(config, memory);
+    core.set_trace_enabled(false);
+    benchmark::DoNotOptimize(core.run_baseline());
+    state.counters["insts/s"] = benchmark::Counter(
+        static_cast<double>(core.instret()), benchmark::Counter::kIsRate);
+  }
+}
+BENCHMARK(BM_Cva6IssFib);
+
+void BM_OverheadModel(benchmark::State& state) {
+  const auto* stats = titan::workloads::find_benchmark("mm");
+  const auto cf = titan::workloads::synthesize_cf_cycles(
+      *stats, titan::workloads::TraceParams{});
+  titan::cfi::OverheadConfig config;
+  config.queue_depth = 8;
+  config.check_latency = 267;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(titan::cfi::simulate_cf_cycles(
+        cf, static_cast<titan::sim::Cycle>(stats->cycles), config));
+  }
+  state.counters["cf/s"] = benchmark::Counter(
+      static_cast<double>(cf.size()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OverheadModel);
+
+void BM_TraceCalibration(benchmark::State& state) {
+  const auto* stats = titan::workloads::find_benchmark("wikisort");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(titan::workloads::calibrate(*stats));
+  }
+}
+BENCHMARK(BM_TraceCalibration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

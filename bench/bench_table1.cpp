@@ -1,0 +1,83 @@
+// Regenerates paper Table I: cycles required to implement the return-address
+// protection policy in OpenTitan, for the IRQ / Polling / Optimized firmware
+// organisations, split IRQ-vs-CFI and Logic / Mem.RoT / Mem.SoC.
+//
+// Methodology: the generated RV32 firmware runs on the Ibex model; a host
+// emulation writes one commit log into the CFI Mailbox, rings the doorbell,
+// and every retired Ibex instruction is attributed by PC section and
+// effective address (see firmware/table1.hpp).
+#include <iostream>
+
+#include "firmware/table1.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* variant;
+  const char* op;
+  // instructions {irq, cfi}, cycles {irq, cfi}
+  int inst_irq, inst_cfi;
+  int cyc_irq, cyc_cfi;
+};
+
+// Transcribed from the paper's Table I (TOT rows).
+constexpr PaperRow kPaper[] = {
+    {"IRQ", "CALL", 24, 24, 155, 103},
+    {"IRQ", "RET.", 24, 34, 155, 121},
+    {"Polling", "CALL", 0, 24, 0, 103},
+    {"Polling", "RET.", 0, 34, 0, 121},
+    {"Optimized", "CALL", 0, 24, 0, 64},
+    {"Optimized", "RET.", 0, 34, 0, 82},
+};
+
+}  // namespace
+
+int main() {
+  using titan::fw::OpCase;
+  using titan::fw::RotVariant;
+
+  titan::fw::print_table1(std::cout);
+
+  std::cout << "\n  Paper-vs-measured (total instructions | total cycles):\n";
+  std::cout << "    variant    op     paper          measured\n";
+  const auto measure = [](RotVariant variant, OpCase op) {
+    return titan::fw::measure_policy_cost(variant, op);
+  };
+  const RotVariant variants[] = {RotVariant::kIrq, RotVariant::kPolling,
+                                 RotVariant::kOptimized};
+  const OpCase ops[] = {OpCase::kCall, OpCase::kReturn};
+  int row = 0;
+  for (const RotVariant variant : variants) {
+    for (const OpCase op : ops) {
+      const auto breakdown = measure(variant, op);
+      const PaperRow& paper = kPaper[row++];
+      std::cout << "    " << paper.variant << "\t" << paper.op << "  "
+                << (paper.inst_irq + paper.inst_cfi) << " | "
+                << (paper.cyc_irq + paper.cyc_cfi) << "\t-> "
+                << breakdown.total().instructions << " | "
+                << breakdown.total().cycles << "\n";
+    }
+  }
+  std::cout << "\n  Shape checks: Polling saves ~58% vs IRQ; Optimized ~70%"
+               " (paper Sec. V-B).\n";
+  const auto irq_avg =
+      (measure(RotVariant::kIrq, OpCase::kCall).total().cycles +
+       measure(RotVariant::kIrq, OpCase::kReturn).total().cycles) /
+      2.0;
+  const auto poll_avg =
+      (measure(RotVariant::kPolling, OpCase::kCall).total().cycles +
+       measure(RotVariant::kPolling, OpCase::kReturn).total().cycles) /
+      2.0;
+  const auto opt_avg =
+      (measure(RotVariant::kOptimized, OpCase::kCall).total().cycles +
+       measure(RotVariant::kOptimized, OpCase::kReturn).total().cycles) /
+      2.0;
+  std::cout << "    measured per-op averages: IRQ=" << irq_avg
+            << " Polling=" << poll_avg << " (-"
+            << static_cast<int>(100 - 100 * poll_avg / irq_avg)
+            << "%) Optimized=" << opt_avg << " (-"
+            << static_cast<int>(100 - 100 * opt_avg / irq_avg) << "%)\n";
+  std::cout << "    paper per-op averages:    IRQ=267 Polling=112 (-58%)"
+               " Optimized=73 (-73%)\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Regenerates paper Table III: statistics and slowdowns of the full
+// EmBench-IoT suite and RISC-V-Tests at CFI queue depth 8.
+//
+// Methodology note (see DESIGN.md): per benchmark, the trace generator is
+// calibrated so the IRQ column (at depth 8) matches the paper; the Polling
+// and Optimized columns are then *predictions* of the model.  The summary at
+// the bottom quantifies that cross-validation.
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+
+#include "titancfi/overhead_model.hpp"
+#include "workloads/embench.hpp"
+
+namespace {
+
+using titan::workloads::BenchmarkStats;
+
+std::string fmt(double slowdown) {
+  if (slowdown < 0.5) {
+    return "-";
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.0f", slowdown);
+  return buffer;
+}
+
+std::string paper_fmt(double value) { return value < 0 ? "-" : fmt(value); }
+
+double measure(const BenchmarkStats& stats,
+               const titan::workloads::TraceParams& params,
+               std::uint32_t latency) {
+  const auto cf = titan::workloads::synthesize_cf_cycles(stats, params);
+  titan::cfi::OverheadConfig config;
+  config.queue_depth = 8;
+  config.check_latency = latency;
+  config.transport_cycles = 0;
+  return titan::cfi::simulate_cf_cycles(
+             cf, static_cast<titan::sim::Cycle>(stats.cycles), config)
+      .slowdown_percent();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "TABLE III — Statistics and slowdowns of EmBench-IoT and "
+               "RISC-V-Tests  (queue depth 8, slowdown %)\n";
+  std::cout << "  measured -> paper   ('-' = negligible; IRQ column is the "
+               "calibration target, Opt/Poll are predictions)\n\n";
+  std::cout << std::left << std::setw(16) << "benchmark" << std::right
+            << std::setw(10) << "cycles" << std::setw(10) << "CF"
+            << std::setw(14) << "Opt." << std::setw(14) << "Poll."
+            << std::setw(16) << "IRQ" << "\n";
+
+  double poll_abs_err = 0;
+  double opt_abs_err = 0;
+  int scored = 0;
+  std::string_view current_suite;
+
+  for (const BenchmarkStats& stats : titan::workloads::benchmark_table()) {
+    if (stats.suite != current_suite) {
+      current_suite = stats.suite;
+      std::cout << "  [" << current_suite << "]\n";
+    }
+    const auto params = titan::workloads::calibrate(stats);
+    const double opt = measure(stats, params, titan::workloads::kOptimizedLatency);
+    const double poll = measure(stats, params, titan::workloads::kPollingLatency);
+    const double irq = measure(stats, params, titan::workloads::kIrqLatency);
+
+    std::cout << std::left << std::setw(16) << stats.name << std::right
+              << std::setw(10) << static_cast<long long>(stats.cycles)
+              << std::setw(10) << static_cast<long long>(stats.cf_count)
+              << std::setw(8) << fmt(opt) << "->" << std::setw(4)
+              << paper_fmt(stats.paper_opt) << std::setw(8) << fmt(poll)
+              << "->" << std::setw(4) << paper_fmt(stats.paper_poll)
+              << std::setw(8) << fmt(irq) << "->" << std::setw(5)
+              << paper_fmt(stats.paper_irq) << "\n";
+
+    if (stats.paper_poll > 0) {
+      poll_abs_err += std::abs(poll - stats.paper_poll) / stats.paper_poll;
+      opt_abs_err +=
+          stats.paper_opt > 0 ? std::abs(opt - stats.paper_opt) / stats.paper_opt
+                              : 0.0;
+      ++scored;
+    }
+  }
+
+  std::cout << "\n  Cross-validation (columns NOT used for calibration):\n"
+            << "    mean relative error, Polling: " << std::fixed
+            << std::setprecision(1) << 100.0 * poll_abs_err / scored << "%\n"
+            << "    mean relative error, Optimized: "
+            << 100.0 * opt_abs_err / scored << "%  (over " << scored
+            << " benchmarks with published Polling numbers)\n";
+  std::cout << "  Headline shape (paper Sec. V-C): most benchmarks show no or "
+               "<10% overhead; CF-dense kernels (mm, dhrystone, nbody, cubic, "
+               "slre, wikisort) dominate the tail.\n";
+  return 0;
+}

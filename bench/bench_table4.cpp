@@ -1,0 +1,87 @@
+// Regenerates paper Table IV: hardware resource utilisation of TitanCFI
+// versus DExIE [8].
+//
+// FPGA synthesis is unavailable here; the numbers come from the structural
+// area model (src/area), calibrated once against the paper's measured deltas
+// and reported next to the published reference values.  The component
+// breakdown and queue-depth scaling are the model's own output.
+#include <iomanip>
+#include <iostream>
+
+#include "area/area_model.hpp"
+
+int main() {
+  using titan::area::host_delta;
+  using titan::area::paper_reference;
+  using titan::area::soc_delta;
+
+  const unsigned depth = 1;  // synthesized configuration (Table II setup)
+
+  std::cout << "TABLE IV — Hardware resource utilisation w.r.t. DExIE [8]\n\n";
+  std::cout << "  Published reference (paper Table IV):\n";
+  std::cout << std::left << std::setw(12) << "  scope" << std::right
+            << std::setw(12) << "LUT w/o" << std::setw(12) << "LUT w/"
+            << std::setw(12) << "Regs w/o" << std::setw(12) << "Regs w/"
+            << std::setw(8) << "BRAM" << "\n";
+  for (const auto& row : paper_reference()) {
+    std::cout << std::left << std::setw(12) << (std::string("  ") + row.scope)
+              << std::right << std::setw(12)
+              << static_cast<long>(row.without_cfi_luts) << std::setw(12)
+              << static_cast<long>(row.with_cfi_luts) << std::setw(12)
+              << static_cast<long>(row.without_cfi_regs) << std::setw(12)
+              << static_cast<long>(row.with_cfi_regs) << std::setw(8)
+              << static_cast<long>(row.with_cfi_brams - row.without_cfi_brams)
+              << "\n";
+  }
+
+  const auto host = host_delta(depth);
+  const auto soc = soc_delta(depth);
+  const auto& reference = paper_reference();
+
+  std::cout << "\n  Structural model (queue depth " << depth << "):\n";
+  std::cout << "   Host-core delta components (LUT / Regs / BRAM):\n";
+  host.print(std::cout);
+  std::cout << "   SoC delta components:\n";
+  soc.print(std::cout);
+
+  const auto pct = [](double delta, double base) {
+    return 100.0 * delta / base;
+  };
+  std::cout << "\n  Deltas, model vs paper:\n" << std::fixed << std::setprecision(1);
+  std::cout << "    Host: LUT +" << static_cast<long>(host.total().luts)
+            << " (paper +1160), Regs +" << static_cast<long>(host.total().regs)
+            << " (paper +1770), BRAM +0 (paper +0)\n";
+  std::cout << "    SoC:  LUT +" << static_cast<long>(soc.total().luts)
+            << " (paper +1330), Regs +" << static_cast<long>(soc.total().regs)
+            << " (paper +2190), BRAM +0 (paper +0)\n";
+  std::cout << "    Host overhead: LUT +"
+            << pct(host.total().luts, reference[0].without_cfi_luts)
+            << "% (paper +2.3%), Regs +"
+            << pct(host.total().regs, reference[0].without_cfi_regs)
+            << "% (paper +5.8%)\n";
+  std::cout << "    SoC overhead:  LUT +"
+            << pct(soc.total().luts, reference[1].without_cfi_luts)
+            << "% (paper +0.3%), Regs +"
+            << pct(soc.total().regs, reference[1].without_cfi_regs)
+            << "% (paper +0.9%)\n";
+
+  const double dexie_luts =
+      reference[2].with_cfi_luts - reference[2].without_cfi_luts;
+  const double dexie_regs =
+      reference[2].with_cfi_regs - reference[2].without_cfi_regs;
+  std::cout << "    vs DExIE: " << std::setprecision(0)
+            << 100.0 * (1.0 - soc.total().luts / dexie_luts)
+            << "% fewer LUTs (paper: 60% fewer), "
+            << 100.0 * (1.0 - soc.total().regs / dexie_regs)
+            << "% fewer regs (paper: 2% fewer), 0 BRAM vs +6 BRAM\n";
+
+  std::cout << "\n  Queue-depth scaling (host delta):\n";
+  std::cout << "    depth     LUT      Regs\n";
+  for (const unsigned d : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const auto estimate = host_delta(d).total();
+    std::cout << "    " << std::setw(5) << d << std::setw(9)
+              << static_cast<long>(estimate.luts) << std::setw(9)
+              << static_cast<long>(estimate.regs) << "\n";
+  }
+  return 0;
+}

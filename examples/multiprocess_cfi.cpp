@@ -1,0 +1,121 @@
+// Multi-process CFI: the paper's future-work scenario (Sec. V-C) —
+// "TitanCFI should be enhanced to [enforce] CFI per thread, to selectively
+//  protect only the processes exposed at the boundary of the system".
+//
+// Three "processes" share the host core:
+//   ASID 1 — a network-facing parser   (protected, attacked)
+//   ASID 2 — a crypto worker           (protected, clean)
+//   ASID 3 — a trusted maintenance task (unprotected by choice)
+// Only ONE CFI context stays resident in the demo's RoT scratchpad slice,
+// so every parser<->worker switch exercises the authenticated
+// suspend/resume path through DRAM.
+#include <iostream>
+
+#include "firmware/context_manager.hpp"
+#include "rv/encode.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+titan::cfi::CommitLog call_log(std::uint64_t pc) {
+  titan::cfi::CommitLog log;
+  log.pc = pc;
+  log.encoding = titan::rv::enc_j(0x6F, 1, 0x40);
+  log.next = pc + 4;
+  log.target = pc + 0x40;
+  return log;
+}
+
+titan::cfi::CommitLog return_log(std::uint64_t target) {
+  titan::cfi::CommitLog log;
+  log.pc = 0x9000'0000;
+  log.encoding = 0x00008067;
+  log.next = log.pc + 4;
+  log.target = target;
+  return log;
+}
+
+}  // namespace
+
+int main() {
+  titan::sim::Memory dram;
+  titan::fw::ContextManagerConfig config;
+  config.resident_contexts = 1;
+  titan::fw::ContextManager manager(config, dram, {'d', 'e', 'm', 'o'});
+
+  manager.protect(1);
+  manager.protect(2);
+  // ASID 3 deliberately unprotected: selective protection.
+
+  titan::sim::Rng rng(7);
+  std::vector<std::uint64_t> parser_stack;
+  std::vector<std::uint64_t> worker_stack;
+  int switches = 0;
+
+  std::cout << "Scheduling 600 quanta across 3 processes (1 RoT-resident "
+               "context)...\n";
+  for (int quantum = 0; quantum < 600; ++quantum) {
+    const auto asid =
+        static_cast<titan::fw::Asid>(rng.uniform(1, 3));
+    if (!manager.switch_to(asid)) {
+      std::cout << "context resume FAILED (tampered?)\n";
+      return 1;
+    }
+    ++switches;
+    auto* stack = asid == 1   ? &parser_stack
+                  : asid == 2 ? &worker_stack
+                              : nullptr;
+    if (stack == nullptr) {
+      // Unprotected maintenance task: its (unchecked) control flow is free.
+      (void)manager.check(return_log(0xFFFF'FFFF));
+      continue;
+    }
+    if (stack->empty() || rng.chance(0.6)) {
+      const auto log = call_log(0x8000'0000 + rng.uniform(0, 4096) * 4);
+      if (!manager.check(log).ok) {
+        std::cout << "unexpected violation!\n";
+        return 1;
+      }
+      stack->push_back(log.next);
+    } else {
+      const std::uint64_t site = stack->back();
+      stack->pop_back();
+      if (!manager.check(return_log(site)).ok) {
+        std::cout << "unexpected violation!\n";
+        return 1;
+      }
+    }
+  }
+  std::cout << "  clean run: " << switches << " switches, "
+            << manager.suspends() << " authenticated suspends, "
+            << manager.resumes() << " verified resumes\n"
+            << "  parser depth " << manager.depth_of(1) << ", worker depth "
+            << manager.depth_of(2) << "\n\n";
+
+  // --- Attack 1: ROP inside the parser. --------------------------------------
+  (void)manager.switch_to(1);
+  (void)manager.check(call_log(0x8100'0000));
+  const auto verdict = manager.check(return_log(0x6666'6660));
+  std::cout << "ROP in parser (ASID 1): "
+            << (verdict.ok ? "MISSED!" : "caught — " + verdict.reason) << "\n";
+
+  // --- Attack 2: tamper with a suspended context image in DRAM. ---------------
+  // Force ASID 2 out of residency, then flip a bit of its DRAM image.
+  (void)manager.switch_to(1);
+  (void)manager.switch_to(3);  // no-op (unprotected) — keep ASID 1 hot
+  titan::fw::ContextManager fresh(config, dram, {'d', 'e', 'm', 'o'});
+  fresh.protect(1);
+  fresh.protect(2);
+  fresh.protect(4);
+  (void)fresh.switch_to(2);
+  (void)fresh.check(call_log(0x8200'0000));
+  (void)fresh.switch_to(1);
+  (void)fresh.switch_to(4);  // evicts ASID 2 to DRAM
+  const titan::sim::Addr slot = fresh.suspend_slot(2);
+  dram.write8(slot + 9, dram.read8(slot + 9) ^ 0x20);
+  const bool resumed = fresh.switch_to(2);
+  std::cout << "tampered suspended context (ASID 2): "
+            << (resumed ? "MISSED!" : "caught — HMAC verification failed")
+            << "\n";
+  return verdict.ok || resumed ? 1 : 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: assemble a tiny RV64 program, run it on the TitanCFI SoC
+// (CVA6 host + CFI stage + OpenTitan RoT running the shadow-stack firmware),
+// and inspect what the CFI machinery saw.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the three public-API layers most users need:
+//   1. rv::Assembler   — build guest code programmatically;
+//   2. fw::build_firmware — generate the RoT CFI firmware;
+//   3. cfi::SocTop     — co-simulate and collect CFI statistics.
+#include <iostream>
+
+#include "firmware/builder.hpp"
+#include "rv/assembler.hpp"
+#include "titancfi/soc_top.hpp"
+
+int main() {
+  using titan::rv::Reg;
+
+  // -- 1. A guest program: main() calls helper() three times. ----------------
+  titan::rv::Assembler a(titan::rv::Xlen::k64, 0x8000'0000);
+  auto helper = a.new_label();
+
+  a.li(Reg::kSp, 0x8080'0000);
+  a.li(Reg::kS0, 3);       // loop counter
+  a.li(Reg::kS1, 0);       // accumulator
+  auto loop = a.here();
+  a.call(helper);          // jal ra, helper  -> checked by the RoT
+  a.add(Reg::kS1, Reg::kS1, Reg::kA0);
+  a.addi(Reg::kS0, Reg::kS0, -1);
+  a.bnez(Reg::kS0, loop);
+  a.mv(Reg::kA0, Reg::kS1);
+  a.ecall();               // exit, code in a0
+
+  a.bind(helper);
+  a.li(Reg::kA0, 14);
+  a.ret();                 // jalr x0, 0(ra) -> checked against shadow stack
+
+  const titan::rv::Image program = a.finish();
+  std::cout << "Assembled " << program.bytes.size() << " bytes at 0x"
+            << std::hex << program.base << std::dec << "\n";
+
+  // -- 2. The RoT firmware (IRQ-driven shadow stack). --------------------------
+  titan::fw::FirmwareConfig fw_config;
+  fw_config.variant = titan::fw::FwVariant::kIrq;
+  fw_config.ss_capacity = 32;
+  const titan::rv::Image firmware = titan::fw::build_firmware(fw_config);
+  std::cout << "Generated " << firmware.bytes.size()
+            << " bytes of RV32 CFI firmware\n";
+
+  // -- 3. Co-simulate. -----------------------------------------------------------
+  titan::cfi::SocConfig config;
+  config.queue_depth = 8;
+  titan::cfi::SocTop soc(config, program, firmware);
+  const titan::cfi::SocRunResult result = soc.run();
+
+  std::cout << "\nRun finished:\n"
+            << "  exit code          " << result.exit_code << " (expected 42)\n"
+            << "  host cycles        " << result.cycles << "\n"
+            << "  host instructions  " << result.instructions << "\n"
+            << "  CF logs checked    " << result.cf_logs
+            << " (3 calls + 3 returns)\n"
+            << "  doorbells rung     " << result.doorbells << "\n"
+            << "  CFI violations     " << result.violations << "\n"
+            << "  queue-full stalls  " << result.queue_full_stalls << "\n";
+
+  return result.exit_code == 42 && result.violations == 0 ? 0 : 1;
+}

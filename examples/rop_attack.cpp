@@ -1,0 +1,60 @@
+// ROP-attack demonstration: the scenario that motivates the paper.
+//
+// A victim function "suffers a stack-buffer overflow" that overwrites its
+// saved return address with an attacker gadget.  Architecturally the program
+// is perfectly legal — run without CFI, the attacker's code executes and the
+// process exits with the attacker's exit code.  With TitanCFI, the RoT's
+// shadow stack detects the mismatch at the exact hijacked return and raises
+// the CFI fault before the attack can do further damage.
+#include <iostream>
+
+#include "cva6/core.hpp"
+#include "firmware/builder.hpp"
+#include "rv/disasm.hpp"
+#include "rv/decode.hpp"
+#include "titancfi/soc_top.hpp"
+#include "workloads/programs.hpp"
+
+int main() {
+  const titan::rv::Image victim = titan::workloads::rop_victim();
+
+  // --- Run 1: no CFI — the hijack succeeds silently. -------------------------
+  titan::sim::Memory memory;
+  memory.load(victim.base, victim.bytes);
+  titan::cva6::Cva6Config host_config;
+  host_config.reset_pc = victim.base;
+  titan::cva6::Cva6Core bare(host_config, memory);
+  bare.run_baseline();
+  std::cout << "Without TitanCFI:\n"
+            << "  program exits with code " << bare.exit_code()
+            << " — the ATTACKER's exit code (66). Control flow was hijacked"
+               " and nothing noticed.\n\n";
+
+  // --- Run 2: TitanCFI enabled. ------------------------------------------------
+  titan::cfi::SocConfig config;
+  config.queue_depth = 8;
+  titan::fw::FirmwareConfig fw_config;
+  titan::cfi::SocTop soc(config, victim, titan::fw::build_firmware(fw_config));
+  const auto result = soc.run();
+
+  std::cout << "With TitanCFI:\n"
+            << "  CFI fault raised:   " << (result.cfi_fault ? "YES" : "no")
+            << "\n"
+            << "  violations:         " << result.violations << "\n";
+  if (result.cfi_fault) {
+    const auto inst =
+        titan::rv::decode(result.fault_log.encoding, titan::rv::Xlen::k64);
+    std::cout << "  faulting instruction: '" << titan::rv::disasm(inst)
+              << "' at pc 0x" << std::hex << result.fault_log.pc << "\n"
+              << "  hijacked target:      0x" << result.fault_log.target
+              << std::dec
+              << " (the attacker gadget — the shadow stack expected the"
+                 " caller's return site instead)\n";
+  }
+  std::cout << "\nThe RoT firmware compared the popped shadow-stack entry "
+               "with the actual return target extracted from the commit log "
+               "and reported the mismatch through the CFI mailbox (paper "
+               "Sec. IV-C, V-B).\n";
+
+  return result.cfi_fault ? 0 : 1;
+}

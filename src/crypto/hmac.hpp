@@ -1,0 +1,24 @@
+// HMAC-SHA256 (RFC 2104), the MAC TitanCFI uses to authenticate CFI metadata
+// before spilling it outside the RoT (paper Sec. V-B / VI, "inspired by
+// Zipper Stack").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace titan::crypto {
+
+using Key = std::vector<std::uint8_t>;
+
+/// One-shot HMAC-SHA256.
+[[nodiscard]] Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                 std::span<const std::uint8_t> message);
+
+/// Constant-time digest comparison (the RoT firmware must not leak a timing
+/// oracle when verifying a restored shadow-stack segment).
+[[nodiscard]] bool digest_equal(const Digest& a, const Digest& b);
+
+}  // namespace titan::crypto

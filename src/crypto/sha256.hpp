@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Models the hash primitive inside OpenTitan's HMAC hardware block, which
+// TitanCFI uses to authenticate shadow-stack segments spilled from the RoT
+// private scratchpad to (untrusted) SoC main memory (paper Sec. VI).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace titan::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  /// Finalise and return the digest.  The object must be reset() before reuse.
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+  bool finished_ = false;
+};
+
+/// Hex rendering for test vectors and reports.
+[[nodiscard]] std::string to_hex(const Digest& digest);
+
+}  // namespace titan::crypto

@@ -1,0 +1,307 @@
+#include "cva6/core.hpp"
+
+#include <stdexcept>
+
+#include "rv/decode.hpp"
+
+namespace titan::cva6 {
+
+namespace {
+
+std::int64_t s64(std::uint64_t value) { return static_cast<std::int64_t>(value); }
+
+std::uint64_t sext32(std::uint32_t value) {
+  return static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(static_cast<std::int32_t>(value)));
+}
+
+}  // namespace
+
+Cva6Core::Cva6Core(const Cva6Config& config, sim::Memory& memory)
+    : config_(config), memory_(memory), pc_(config.reset_pc) {
+  regs_[2] = config.reset_sp;
+}
+
+std::uint32_t Cva6Core::fetch(std::uint64_t addr, unsigned* len) const {
+  const std::uint32_t low = memory_.read16(addr);
+  if ((low & 3) != 3) {
+    *len = 2;
+    return low;
+  }
+  *len = 4;
+  return low | (static_cast<std::uint32_t>(memory_.read16(addr + 2)) << 16);
+}
+
+std::uint32_t Cva6Core::latency_of(const rv::Inst& inst) const {
+  using rv::Op;
+  switch (inst.op) {
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu:
+    case Op::kLhu: case Op::kLwu: case Op::kLd:
+      return config_.load_cycles;
+    case Op::kSb: case Op::kSh: case Op::kSw: case Op::kSd:
+      return config_.store_cycles;
+    case Op::kMul: case Op::kMulh: case Op::kMulhsu: case Op::kMulhu:
+    case Op::kMulw:
+      return config_.mul_cycles;
+    case Op::kDiv: case Op::kDivu: case Op::kRem: case Op::kRemu:
+    case Op::kDivw: case Op::kDivuw: case Op::kRemw: case Op::kRemuw:
+      return config_.div_cycles;
+    default:
+      return 1;
+  }
+}
+
+void Cva6Core::issue_one() {
+  if (halted_) {
+    return;
+  }
+  if (instret_ >= config_.max_instructions) {
+    throw std::runtime_error("Cva6Core: instruction budget exhausted");
+  }
+
+  unsigned len = 4;
+  const std::uint32_t raw = fetch(pc_, &len);
+  rv::Inst inst = rv::decode(raw, rv::Xlen::k64);
+  inst.len = static_cast<std::uint8_t>(len);
+
+  ScoreboardEntry entry;
+  entry.pc = pc_;
+  entry.inst = inst;
+  entry.next_pc = pc_ + len;
+  entry.kind = rv::classify(inst);
+
+  execute(inst, entry);
+  ++instret_;
+
+  std::uint32_t latency = latency_of(inst);
+  if (entry.kind != rv::CfKind::kNone && entry.target != entry.next_pc) {
+    latency += config_.taken_cf_penalty;
+  }
+
+  RobEntry rob_entry;
+  rob_entry.entry = entry;
+  // In-order single-issue without result pipelining: an instruction holds
+  // the execute stage for its full latency (CVA6's in-order back-end stalls
+  // on use, and its divider is iterative), so issue serialises by latency.
+  issue_ready_ = std::max(issue_ready_, cycle_);
+  rob_entry.ready = issue_ready_ + latency - 1;
+  issue_ready_ += latency;
+  rob_.push_back(rob_entry);
+}
+
+void Cva6Core::execute(const rv::Inst& inst, ScoreboardEntry& entry) {
+  using rv::Op;
+  const std::uint64_t rs1 = regs_[inst.rs1];
+  const std::uint64_t rs2 = regs_[inst.rs2];
+  const std::uint64_t imm = static_cast<std::uint64_t>(inst.imm);
+  std::uint64_t next_pc = entry.next_pc;
+  std::uint64_t rd_value = 0;
+  bool writes_rd = true;
+
+  const std::uint64_t ea = rs1 + imm;
+
+  // PMP check for data accesses (access fault on denial, paper Sec. VI).
+  const bool is_load = inst.op >= Op::kLb && inst.op <= Op::kLd;
+  const bool is_store = inst.op >= Op::kSb && inst.op <= Op::kSd;
+  if (pmp_ != nullptr && (is_load || is_store)) {
+    const auto kind = is_load ? soc::PmpAccess::kRead : soc::PmpAccess::kWrite;
+    if (!pmp_->check(ea, kind)) {
+      access_fault_ = true;
+      halted_ = true;
+      exit_code_ = 0xACC;
+      entry.target = entry.next_pc;
+      return;
+    }
+  }
+
+  switch (inst.op) {
+    case Op::kLui: rd_value = imm; break;
+    case Op::kAuipc: rd_value = entry.pc + imm; break;
+    case Op::kJal:
+      rd_value = entry.next_pc;
+      next_pc = entry.pc + imm;
+      break;
+    case Op::kJalr:
+      rd_value = entry.next_pc;
+      next_pc = ea & ~std::uint64_t{1};
+      break;
+    case Op::kBeq: writes_rd = false; if (rs1 == rs2) next_pc = entry.pc + imm; break;
+    case Op::kBne: writes_rd = false; if (rs1 != rs2) next_pc = entry.pc + imm; break;
+    case Op::kBlt: writes_rd = false; if (s64(rs1) < s64(rs2)) next_pc = entry.pc + imm; break;
+    case Op::kBge: writes_rd = false; if (s64(rs1) >= s64(rs2)) next_pc = entry.pc + imm; break;
+    case Op::kBltu: writes_rd = false; if (rs1 < rs2) next_pc = entry.pc + imm; break;
+    case Op::kBgeu: writes_rd = false; if (rs1 >= rs2) next_pc = entry.pc + imm; break;
+    case Op::kLb: rd_value = static_cast<std::uint64_t>(static_cast<std::int64_t>(static_cast<std::int8_t>(memory_.read8(ea)))); break;
+    case Op::kLh: rd_value = static_cast<std::uint64_t>(static_cast<std::int64_t>(static_cast<std::int16_t>(memory_.read16(ea)))); break;
+    case Op::kLw: rd_value = sext32(memory_.read32(ea)); break;
+    case Op::kLbu: rd_value = memory_.read8(ea); break;
+    case Op::kLhu: rd_value = memory_.read16(ea); break;
+    case Op::kLwu: rd_value = memory_.read32(ea); break;
+    case Op::kLd: rd_value = memory_.read64(ea); break;
+    case Op::kSb: writes_rd = false; memory_.write8(ea, static_cast<std::uint8_t>(rs2)); break;
+    case Op::kSh: writes_rd = false; memory_.write16(ea, static_cast<std::uint16_t>(rs2)); break;
+    case Op::kSw: writes_rd = false; memory_.write32(ea, static_cast<std::uint32_t>(rs2)); break;
+    case Op::kSd: writes_rd = false; memory_.write64(ea, rs2); break;
+    case Op::kAddi: rd_value = rs1 + imm; break;
+    case Op::kSlti: rd_value = s64(rs1) < inst.imm ? 1 : 0; break;
+    case Op::kSltiu: rd_value = rs1 < imm ? 1 : 0; break;
+    case Op::kXori: rd_value = rs1 ^ imm; break;
+    case Op::kOri: rd_value = rs1 | imm; break;
+    case Op::kAndi: rd_value = rs1 & imm; break;
+    case Op::kSlli: rd_value = rs1 << (imm & 63); break;
+    case Op::kSrli: rd_value = rs1 >> (imm & 63); break;
+    case Op::kSrai: rd_value = static_cast<std::uint64_t>(s64(rs1) >> (imm & 63)); break;
+    case Op::kAdd: rd_value = rs1 + rs2; break;
+    case Op::kSub: rd_value = rs1 - rs2; break;
+    case Op::kSll: rd_value = rs1 << (rs2 & 63); break;
+    case Op::kSlt: rd_value = s64(rs1) < s64(rs2) ? 1 : 0; break;
+    case Op::kSltu: rd_value = rs1 < rs2 ? 1 : 0; break;
+    case Op::kXor: rd_value = rs1 ^ rs2; break;
+    case Op::kSrl: rd_value = rs1 >> (rs2 & 63); break;
+    case Op::kSra: rd_value = static_cast<std::uint64_t>(s64(rs1) >> (rs2 & 63)); break;
+    case Op::kOr: rd_value = rs1 | rs2; break;
+    case Op::kAnd: rd_value = rs1 & rs2; break;
+    case Op::kAddiw: rd_value = sext32(static_cast<std::uint32_t>(rs1 + imm)); break;
+    case Op::kSlliw: rd_value = sext32(static_cast<std::uint32_t>(rs1) << (imm & 31)); break;
+    case Op::kSrliw: rd_value = sext32(static_cast<std::uint32_t>(rs1) >> (imm & 31)); break;
+    case Op::kSraiw: rd_value = sext32(static_cast<std::uint32_t>(static_cast<std::int32_t>(static_cast<std::uint32_t>(rs1)) >> (imm & 31))); break;
+    case Op::kAddw: rd_value = sext32(static_cast<std::uint32_t>(rs1 + rs2)); break;
+    case Op::kSubw: rd_value = sext32(static_cast<std::uint32_t>(rs1 - rs2)); break;
+    case Op::kSllw: rd_value = sext32(static_cast<std::uint32_t>(rs1) << (rs2 & 31)); break;
+    case Op::kSrlw: rd_value = sext32(static_cast<std::uint32_t>(rs1) >> (rs2 & 31)); break;
+    case Op::kSraw: rd_value = sext32(static_cast<std::uint32_t>(static_cast<std::int32_t>(static_cast<std::uint32_t>(rs1)) >> (rs2 & 31))); break;
+    case Op::kFence: writes_rd = false; break;
+    case Op::kEcall:
+      writes_rd = false;
+      halted_ = true;
+      exit_code_ = regs_[10];
+      break;
+    case Op::kEbreak:
+      writes_rd = false;
+      halted_ = true;
+      exit_code_ = 0xDEAD;
+      break;
+    case Op::kMul: rd_value = rs1 * rs2; break;
+    case Op::kMulh: rd_value = static_cast<std::uint64_t>((static_cast<__int128>(s64(rs1)) * s64(rs2)) >> 64); break;
+    case Op::kMulhsu: rd_value = static_cast<std::uint64_t>((static_cast<__int128>(s64(rs1)) * static_cast<unsigned __int128>(rs2)) >> 64); break;
+    case Op::kMulhu: rd_value = static_cast<std::uint64_t>((static_cast<unsigned __int128>(rs1) * rs2) >> 64); break;
+    case Op::kDiv:
+      rd_value = rs2 == 0 ? ~std::uint64_t{0}
+                 : (s64(rs1) == INT64_MIN && s64(rs2) == -1)
+                     ? rs1
+                     : static_cast<std::uint64_t>(s64(rs1) / s64(rs2));
+      break;
+    case Op::kDivu: rd_value = rs2 == 0 ? ~std::uint64_t{0} : rs1 / rs2; break;
+    case Op::kRem:
+      rd_value = rs2 == 0 ? rs1
+                 : (s64(rs1) == INT64_MIN && s64(rs2) == -1)
+                     ? 0
+                     : static_cast<std::uint64_t>(s64(rs1) % s64(rs2));
+      break;
+    case Op::kRemu: rd_value = rs2 == 0 ? rs1 : rs1 % rs2; break;
+    case Op::kMulw: rd_value = sext32(static_cast<std::uint32_t>(rs1) * static_cast<std::uint32_t>(rs2)); break;
+    case Op::kDivw: {
+      const auto a = static_cast<std::int32_t>(rs1);
+      const auto b = static_cast<std::int32_t>(rs2);
+      rd_value = b == 0 ? ~std::uint64_t{0}
+                 : (a == INT32_MIN && b == -1) ? sext32(static_cast<std::uint32_t>(a))
+                                               : sext32(static_cast<std::uint32_t>(a / b));
+      break;
+    }
+    case Op::kDivuw: {
+      const auto a = static_cast<std::uint32_t>(rs1);
+      const auto b = static_cast<std::uint32_t>(rs2);
+      rd_value = b == 0 ? ~std::uint64_t{0} : sext32(a / b);
+      break;
+    }
+    case Op::kRemw: {
+      const auto a = static_cast<std::int32_t>(rs1);
+      const auto b = static_cast<std::int32_t>(rs2);
+      rd_value = b == 0 ? sext32(static_cast<std::uint32_t>(a))
+                 : (a == INT32_MIN && b == -1) ? 0
+                                               : sext32(static_cast<std::uint32_t>(a % b));
+      break;
+    }
+    case Op::kRemuw: {
+      const auto a = static_cast<std::uint32_t>(rs1);
+      const auto b = static_cast<std::uint32_t>(rs2);
+      rd_value = b == 0 ? sext32(a) : sext32(a % b);
+      break;
+    }
+    case Op::kCsrrw: case Op::kCsrrs: case Op::kCsrrc:
+    case Op::kCsrrwi: case Op::kCsrrsi: case Op::kCsrrci:
+      // The host workloads only read hart id / cycle counters; return 0.
+      rd_value = 0;
+      break;
+    case Op::kMret: case Op::kWfi:
+      writes_rd = false;
+      break;
+    case Op::kIllegal:
+      writes_rd = false;
+      halted_ = true;
+      exit_code_ = 0xBAD;
+      break;
+  }
+
+  if (writes_rd && inst.rd != 0) {
+    regs_[inst.rd] = rd_value;
+  }
+  entry.target = next_pc;
+  pc_ = next_pc;
+}
+
+std::span<const ScoreboardEntry> Cva6Core::commit_candidates() {
+  candidates_.clear();
+  for (const RobEntry& rob_entry : rob_) {
+    if (rob_entry.ready > cycle_ || candidates_.size() >= config_.commit_width) {
+      break;
+    }
+    candidates_.push_back(rob_entry.entry);
+  }
+  return candidates_;
+}
+
+void Cva6Core::retire(unsigned count) {
+  if (count < candidates_.size()) {
+    ++stall_cycles_;
+  }
+  for (unsigned i = 0; i < count; ++i) {
+    const ScoreboardEntry& entry = rob_.front().entry;
+    if (trace_enabled_) {
+      CommitRecord record;
+      record.cycle = cycle_;
+      record.pc = entry.pc;
+      record.encoding = entry.inst.expanded;
+      record.kind = entry.kind;
+      record.next_pc = entry.next_pc;
+      record.target = entry.target;
+      trace_.push_back(record);
+    }
+    rob_.pop_front();
+  }
+}
+
+void Cva6Core::tick() {
+  // Refill the ROB (front-end runs ahead of commit).
+  while (rob_.size() < config_.rob_depth && !halted_) {
+    issue_one();
+  }
+  ++cycle_;
+}
+
+sim::Cycle Cva6Core::run_baseline() {
+  while (!program_done()) {
+    const auto ready = commit_candidates();
+    retire(static_cast<unsigned>(ready.size()));
+    tick();
+  }
+  return cycle_;
+}
+
+void Cva6Core::raise_cfi_fault() {
+  cfi_fault_ = true;
+  halted_ = true;
+  exit_code_ = 0xCF1;
+}
+
+}  // namespace titan::cva6

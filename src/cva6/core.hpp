@@ -1,0 +1,126 @@
+// CVA6 host-core model: functional RV64IMC execution with an in-order,
+// single-issue, dual-commit timing model (paper Sec. III-A).
+//
+// The model separates three concerns:
+//   * functional execution — a full RV64IMC interpreter over sim::Memory;
+//   * timing — each instruction carries a deterministic execute latency
+//     (ALU 1, load/store 2, taken control flow +2, mul 2, div 20) and flows
+//     through a reorder buffer; the commit stage retires up to two entries
+//     per cycle, exactly like CVA6's two commit ports;
+//   * commit gating — an external agent (the TitanCFI Queue Controller) is
+//     consulted every cycle and may retire fewer entries than are ready,
+//     which back-pressures issue once the ROB fills.  This reproduces the
+//     paper's "inhibit the commit stage" stall mechanism (Sec. IV-B2).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "cva6/scoreboard.hpp"
+#include "sim/memory.hpp"
+#include "sim/types.hpp"
+#include "soc/pmp.hpp"
+
+namespace titan::cva6 {
+
+struct Cva6Config {
+  std::uint64_t reset_pc = 0x8000'0000;
+  std::uint64_t reset_sp = 0x8800'0000;
+  unsigned commit_width = 2;   ///< CVA6 has two commit ports.
+  unsigned rob_depth = 8;      ///< Scoreboard/ROB entries.
+  std::uint32_t load_cycles = 2;
+  std::uint32_t store_cycles = 1;
+  std::uint32_t mul_cycles = 2;
+  std::uint32_t div_cycles = 20;
+  std::uint32_t taken_cf_penalty = 2;  ///< Front-end refill on taken CF.
+  std::uint64_t max_instructions = 500'000'000;  ///< Runaway guard.
+};
+
+class Cva6Core {
+ public:
+  Cva6Core(const Cva6Config& config, sim::Memory& memory);
+
+  // ---- Per-cycle co-simulation interface -----------------------------------
+
+  /// Entries ready to retire this cycle (up to commit_width, in order).
+  [[nodiscard]] std::span<const ScoreboardEntry> commit_candidates();
+
+  /// Retire the first `count` candidates (the CFI stage may allow fewer than
+  /// are ready; 0 == full commit stall this cycle).
+  void retire(unsigned count);
+
+  /// Advance one clock edge: issue/execute bookkeeping, cycle++.
+  void tick();
+
+  // ---- Whole-run helpers ------------------------------------------------------
+
+  /// Run with no commit gating until ECALL/halt; returns total cycles.
+  Cycle run_baseline();
+
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] bool program_done() const {
+    return halted_ && rob_.empty();
+  }
+  [[nodiscard]] std::uint64_t exit_code() const { return exit_code_; }
+  [[nodiscard]] bool faulted() const { return cfi_fault_; }
+  /// Raise the CFI violation exception (from the CFI Log Writer).
+  void raise_cfi_fault();
+
+  /// Install a PMP checker consulted on every data access (paper Sec. VI:
+  /// the CFI Mailbox region is inhibited for host software).  Null disables
+  /// checking.  A denied access halts the core with an access fault.
+  void set_pmp(const soc::Pmp* pmp) { pmp_ = pmp; }
+  [[nodiscard]] bool access_fault() const { return access_fault_; }
+
+  [[nodiscard]] Cycle cycle() const { return cycle_; }
+  [[nodiscard]] std::uint64_t instret() const { return instret_; }
+  [[nodiscard]] std::uint64_t reg(unsigned index) const { return regs_[index]; }
+  void set_reg(unsigned index, std::uint64_t value) {
+    if (index != 0) regs_[index] = value;
+  }
+  [[nodiscard]] std::uint64_t pc() const { return pc_; }
+
+  /// Cycle-stamped trace of every retired instruction.
+  [[nodiscard]] const std::vector<CommitRecord>& trace() const { return trace_; }
+  /// Discard the trace (long co-sim runs that only need statistics).
+  void set_trace_enabled(bool enabled) { trace_enabled_ = enabled; }
+
+  /// Commit-stall cycles observed (cycles where ready work retired short).
+  [[nodiscard]] std::uint64_t stall_cycles() const { return stall_cycles_; }
+
+ private:
+  struct RobEntry {
+    ScoreboardEntry entry;
+    Cycle ready = 0;
+  };
+
+  /// Functionally execute the next instruction and append it to the ROB.
+  void issue_one();
+  [[nodiscard]] std::uint32_t fetch(std::uint64_t addr, unsigned* len) const;
+  void execute(const rv::Inst& inst, ScoreboardEntry& entry);
+  [[nodiscard]] std::uint32_t latency_of(const rv::Inst& inst) const;
+
+  Cva6Config config_;
+  sim::Memory& memory_;
+
+  std::uint64_t regs_[32]{};
+  std::uint64_t pc_;
+  bool halted_ = false;
+  bool cfi_fault_ = false;
+  bool access_fault_ = false;
+  const soc::Pmp* pmp_ = nullptr;
+  std::uint64_t exit_code_ = 0;
+
+  Cycle cycle_ = 0;
+  Cycle issue_ready_ = 0;  ///< Next cycle the issue stage may accept work.
+  std::uint64_t instret_ = 0;
+  std::deque<RobEntry> rob_;
+  std::vector<ScoreboardEntry> candidates_;
+  std::vector<CommitRecord> trace_;
+  bool trace_enabled_ = true;
+  std::uint64_t stall_cycles_ = 0;
+};
+
+}  // namespace titan::cva6

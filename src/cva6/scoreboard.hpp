@@ -1,0 +1,44 @@
+// Scoreboard entry and commit-trace record types for the CVA6 host model.
+//
+// A scoreboard entry is what a CVA6 commit port emits for one retiring
+// instruction (paper Sec. IV-B1: "A valid scoreboard entry represents an
+// issued instruction which has been executed, and it is ready to be
+// retired"); the CFI Filter consumes these.
+#pragma once
+
+#include <cstdint>
+
+#include "rv/isa.hpp"
+#include "sim/types.hpp"
+
+namespace titan::cva6 {
+
+using sim::Cycle;
+
+struct ScoreboardEntry {
+  std::uint64_t pc = 0;
+  rv::Inst inst;            ///< Decoded instruction (carries the encoding).
+  std::uint64_t next_pc = 0;  ///< Sequential successor (pc + len) — the
+                              ///< return site for calls.
+  std::uint64_t target = 0;   ///< Actual control-flow destination (== next_pc
+                              ///< for non-taken / non-CF instructions).
+  rv::CfKind kind = rv::CfKind::kNone;
+
+  [[nodiscard]] bool cfi_relevant() const { return rv::cfi_relevant(kind); }
+};
+
+/// One retired instruction in the cycle-accurate commit trace — the exact
+/// artefact the paper extracts from RTL simulation and feeds to its
+/// trace-driven CFI latency model (Sec. V-C).
+struct CommitRecord {
+  Cycle cycle = 0;          ///< Commit cycle in the baseline (no-CFI) run.
+  std::uint64_t pc = 0;
+  std::uint32_t encoding = 0;  ///< Uncompressed encoding (as the commit log).
+  rv::CfKind kind = rv::CfKind::kNone;
+  std::uint64_t next_pc = 0;
+  std::uint64_t target = 0;
+
+  [[nodiscard]] bool cfi_relevant() const { return rv::cfi_relevant(kind); }
+};
+
+}  // namespace titan::cva6

@@ -1,0 +1,100 @@
+#include "cva6/trace_io.hpp"
+
+#include <array>
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace titan::cva6 {
+
+namespace {
+
+constexpr std::string_view kHeader = "cycle,pc,encoding,kind,next_pc,target";
+
+std::uint64_t parse_u64(std::string_view field, const char* what) {
+  std::uint64_t value = 0;
+  const bool hex = field.starts_with("0x");
+  const std::string_view digits = hex ? field.substr(2) : field;
+  const auto [ptr, ec] = std::from_chars(
+      digits.data(), digits.data() + digits.size(), value, hex ? 16 : 10);
+  if (ec != std::errc{} || ptr != digits.data() + digits.size()) {
+    throw std::runtime_error(std::string("trace csv: bad ") + what +
+                             " field '" + std::string(field) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string_view kind_token(rv::CfKind kind) {
+  switch (kind) {
+    case rv::CfKind::kNone: return "none";
+    case rv::CfKind::kCall: return "call";
+    case rv::CfKind::kReturn: return "return";
+    case rv::CfKind::kIndirectJump: return "ijump";
+    case rv::CfKind::kDirectJump: return "djump";
+    case rv::CfKind::kBranch: return "branch";
+  }
+  return "none";
+}
+
+rv::CfKind kind_from_token(std::string_view token) {
+  if (token == "none") return rv::CfKind::kNone;
+  if (token == "call") return rv::CfKind::kCall;
+  if (token == "return") return rv::CfKind::kReturn;
+  if (token == "ijump") return rv::CfKind::kIndirectJump;
+  if (token == "djump") return rv::CfKind::kDirectJump;
+  if (token == "branch") return rv::CfKind::kBranch;
+  throw std::runtime_error("trace csv: unknown kind token '" +
+                           std::string(token) + "'");
+}
+
+void write_trace_csv(std::ostream& os,
+                     const std::vector<CommitRecord>& trace) {
+  os << kHeader << "\n";
+  for (const CommitRecord& record : trace) {
+    os << record.cycle << ",0x" << std::hex << record.pc << ",0x"
+       << record.encoding << std::dec << "," << kind_token(record.kind)
+       << ",0x" << std::hex << record.next_pc << ",0x" << record.target
+       << std::dec << "\n";
+  }
+}
+
+std::vector<CommitRecord> read_trace_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    throw std::runtime_error("trace csv: missing or wrong header");
+  }
+  std::vector<CommitRecord> trace;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::array<std::string_view, 6> fields;
+    std::size_t start = 0;
+    for (std::size_t field_index = 0; field_index < 6; ++field_index) {
+      const std::size_t comma = line.find(',', start);
+      const bool last = field_index == 5;
+      if (last != (comma == std::string::npos)) {
+        throw std::runtime_error("trace csv: wrong field count in '" + line +
+                                 "'");
+      }
+      fields[field_index] =
+          std::string_view(line).substr(start, comma - start);
+      start = comma + 1;
+    }
+    CommitRecord record;
+    record.cycle = parse_u64(fields[0], "cycle");
+    record.pc = parse_u64(fields[1], "pc");
+    record.encoding = static_cast<std::uint32_t>(parse_u64(fields[2], "encoding"));
+    record.kind = kind_from_token(fields[3]);
+    record.next_pc = parse_u64(fields[4], "next_pc");
+    record.target = parse_u64(fields[5], "target");
+    trace.push_back(record);
+  }
+  return trace;
+}
+
+}  // namespace titan::cva6

@@ -1,0 +1,32 @@
+// Commit-trace serialisation (CSV).
+//
+// The paper's evaluation flow is trace-driven: extract a cycle-accurate
+// commit trace once, then replay it against CFI latency models (Sec. V-C).
+// These helpers let traces cross tool boundaries — dump a co-sim run,
+// archive it, reload it for model sweeps — and double as the archival
+// format for EXPERIMENTS.md artefacts.
+//
+// Format: header line, then one row per retired instruction:
+//   cycle,pc,encoding,kind,next_pc,target
+// with hex fields 0x-prefixed and `kind` as a stable lowercase token.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cva6/scoreboard.hpp"
+
+namespace titan::cva6 {
+
+void write_trace_csv(std::ostream& os, const std::vector<CommitRecord>& trace);
+
+/// Parses a trace written by write_trace_csv.  Throws std::runtime_error on
+/// malformed input (wrong header, bad field count, unknown kind token).
+[[nodiscard]] std::vector<CommitRecord> read_trace_csv(std::istream& is);
+
+/// Token mapping used by the CSV format.
+[[nodiscard]] std::string_view kind_token(rv::CfKind kind);
+[[nodiscard]] rv::CfKind kind_from_token(std::string_view token);
+
+}  // namespace titan::cva6

@@ -1,0 +1,411 @@
+#include "firmware/builder.hpp"
+
+#include "rv/isa.hpp"
+#include "soc/hmac_mmio.hpp"
+#include "soc/memmap.hpp"
+#include "soc/plic.hpp"
+#include "titancfi/rot_subsystem.hpp"
+
+namespace titan::fw {
+
+namespace {
+
+using rv::Assembler;
+using rv::Reg;
+
+// Mailbox register byte offsets (see cfi::CommitLog::pack()).
+constexpr std::int32_t kMbResult = 0x00;     // verdict goes to data[0] low
+constexpr std::int32_t kMbEncoding = 0x08;   // beat1 low  = encoding
+constexpr std::int32_t kMbNextLo = 0x0C;     // beat1 high = next[31:0]
+constexpr std::int32_t kMbTargetLo = 0x14;   // beat2 high = target[31:0]
+constexpr std::int32_t kMbDoorbell = 0x40;
+constexpr std::int32_t kMbCompletion = 0x48;
+
+// Accelerator register byte offsets.
+constexpr std::int32_t kAccCmd = 0x00;
+constexpr std::int32_t kAccStatus = 0x04;
+constexpr std::int32_t kAccSrc = 0x08;
+constexpr std::int32_t kAccLen = 0x0C;
+constexpr std::int32_t kAccKeySel = 0x10;
+constexpr std::int32_t kAccDigest = 0x20;
+
+/// Emit the shadow-stack policy subroutine.  Calling convention: clobbers
+/// t0-t5, a0, a1 (the ISR spills this set); returns via ra.
+///
+/// Register roles in the fast path:
+///   t0 = CFI mailbox base      t1 = instruction encoding
+///   t2 = variable block base   t3 = bound / scratch
+///   a0 = shadow-stack pointer  a1 = return address / target
+void emit_policy(Assembler& a, const FirmwareConfig& config) {
+  const std::int32_t ss_end =
+      static_cast<std::int32_t>(FwLayout::kSsBase + config.ss_capacity * 4);
+  const std::int32_t block_bytes =
+      static_cast<std::int32_t>(config.spill_block * 4);
+  const std::int32_t segment_bytes = 32 + block_bytes;
+
+  auto policy = a.here();
+  (void)policy;
+  auto jal_path = a.new_label();
+  auto do_call = a.new_label();
+  auto call_push = a.new_label();
+  auto do_ret = a.new_label();
+  auto ret_pop = a.new_label();
+  auto do_ijump = a.new_label();
+  auto jt_check = a.new_label();
+  auto do_spill = a.new_label();
+  auto do_fill = a.new_label();
+  auto fill_tamper = a.new_label();
+  auto verdict_ok = a.new_label();
+  auto verdict_bad = a.new_label();
+
+  // ---- Decode the uncompressed encoding (paper Sec. IV-C) -----------------
+  a.li(Reg::kT0, soc::kCfiMailbox.base);
+  a.lw(Reg::kT1, Reg::kT0, kMbEncoding);       // SoC access
+  a.andi(Reg::kT2, Reg::kT1, 0x7F);            // opcode
+  a.li(Reg::kA1, 0x6F);
+  a.beq(Reg::kT2, Reg::kA1, jal_path);         // JAL
+  a.li(Reg::kA1, 0x67);
+  a.bne(Reg::kT2, Reg::kA1, verdict_ok);       // not a checked CF op
+  // JALR: rd = enc[11:7], rs1 = enc[19:15].
+  a.srli(Reg::kA0, Reg::kT1, 7);
+  a.andi(Reg::kA0, Reg::kA0, 31);
+  a.li(Reg::kA1, 1);
+  a.beq(Reg::kA0, Reg::kA1, do_call);          // jalr ra, ...
+  a.li(Reg::kA1, 5);
+  a.beq(Reg::kA0, Reg::kA1, do_call);          // jalr t0, ...
+  a.bnez(Reg::kA0, do_ijump);                  // links elsewhere
+  a.srli(Reg::kA0, Reg::kT1, 15);
+  a.andi(Reg::kA0, Reg::kA0, 31);
+  a.li(Reg::kA1, 1);
+  a.beq(Reg::kA0, Reg::kA1, do_ret);           // jalr x0, 0(ra)
+  a.li(Reg::kA1, 5);
+  a.beq(Reg::kA0, Reg::kA1, do_ret);           // jalr x0, 0(t0)
+  a.j(do_ijump);
+
+  a.bind(jal_path);
+  a.srli(Reg::kA0, Reg::kT1, 7);
+  a.andi(Reg::kA0, Reg::kA0, 31);
+  a.li(Reg::kA1, 1);
+  a.beq(Reg::kA0, Reg::kA1, do_call);
+  a.li(Reg::kA1, 5);
+  a.beq(Reg::kA0, Reg::kA1, do_call);
+  a.j(verdict_ok);                             // direct jump: not checked
+
+  // ---- CALL: push the return site ------------------------------------------
+  a.bind(do_call);
+  a.lw(Reg::kA1, Reg::kT0, kMbNextLo);         // SoC: return address
+  a.li(Reg::kT2, FwLayout::kVars);
+  a.lw(Reg::kA0, Reg::kT2, 0);                 // RoT: ss_ptr
+  a.li(Reg::kT3, ss_end);
+  a.bgeu(Reg::kA0, Reg::kT3, do_spill);        // overflow -> spill
+  a.bind(call_push);
+  a.sw(Reg::kA1, Reg::kA0, 0);                 // RoT: push
+  a.addi(Reg::kA0, Reg::kA0, 4);
+  a.sw(Reg::kA0, Reg::kT2, 0);                 // RoT: ss_ptr
+  a.lw(Reg::kT4, Reg::kT2, 4);                 // RoT: depth
+  a.addi(Reg::kT4, Reg::kT4, 1);
+  a.sw(Reg::kT4, Reg::kT2, 4);                 // RoT: depth
+  if (config.enable_jump_table) {
+    // Register-indirect calls also get the forward-edge check (the encoding
+    // is still live in t1).
+    a.andi(Reg::kT3, Reg::kT1, 0x7F);
+    a.li(Reg::kT4, 0x67);
+    a.beq(Reg::kT3, Reg::kT4, jt_check);
+  }
+  a.j(verdict_ok);
+
+  // ---- RETURN: pop and compare ----------------------------------------------
+  a.bind(do_ret);
+  a.lw(Reg::kA1, Reg::kT0, kMbTargetLo);       // SoC: actual target
+  a.li(Reg::kT2, FwLayout::kVars);
+  a.lw(Reg::kA0, Reg::kT2, 0);                 // RoT: ss_ptr
+  a.li(Reg::kT3, FwLayout::kSsBase);
+  a.beq(Reg::kA0, Reg::kT3, do_fill);          // empty -> restore from DRAM
+  a.bind(ret_pop);
+  a.addi(Reg::kA0, Reg::kA0, -4);
+  a.lw(Reg::kT4, Reg::kA0, 0);                 // RoT: pop expected
+  a.sw(Reg::kA0, Reg::kT2, 0);                 // RoT: ss_ptr
+  a.lw(Reg::kT5, Reg::kT2, 4);                 // RoT: depth
+  a.addi(Reg::kT5, Reg::kT5, -1);
+  a.sw(Reg::kT5, Reg::kT2, 4);                 // RoT: depth
+  a.bne(Reg::kT4, Reg::kA1, verdict_bad);      // ROP detected
+  a.j(verdict_ok);
+
+  // ---- Indirect jumps -------------------------------------------------------
+  // Unconstrained under pure return-address protection; validated against
+  // the provisioned jump table when forward-edge enforcement is on.
+  a.bind(do_ijump);
+  if (!config.enable_jump_table) {
+    a.j(verdict_ok);
+  } else {
+    a.bind(jt_check);
+    a.lw(Reg::kA1, Reg::kT0, kMbTargetLo);     // SoC: actual target
+    a.li(Reg::kT2, FwLayout::kJumpTable);
+    a.lw(Reg::kT3, Reg::kT2, 0);               // RoT: entry count
+    a.beqz(Reg::kT3, verdict_ok);              // empty table: inert
+    {
+      auto scan = a.new_label();
+      a.bind(scan);
+      a.lw(Reg::kT4, Reg::kT2, 4);             // RoT: next entry
+      a.addi(Reg::kT2, Reg::kT2, 4);
+      a.beq(Reg::kT4, Reg::kA1, verdict_ok);   // registered target
+      a.addi(Reg::kT3, Reg::kT3, -1);
+      a.bnez(Reg::kT3, scan);
+    }
+    a.j(verdict_bad);                          // unregistered forward edge
+  }
+
+  // ---- Verdict write-back ------------------------------------------------------
+  a.bind(verdict_ok);
+  a.sw(Reg::kZero, Reg::kT0, kMbResult);       // SoC: verdict = safe
+  a.li(Reg::kA1, 1);
+  a.sw(Reg::kA1, Reg::kT0, kMbCompletion);     // SoC: completion
+  a.ret();
+  a.bind(verdict_bad);
+  a.li(Reg::kA1, 1);
+  a.sw(Reg::kA1, Reg::kT0, kMbResult);         // SoC: verdict = violation
+  a.sw(Reg::kA1, Reg::kT0, kMbCompletion);     // SoC: completion
+  a.ret();
+
+  // ---- Overflow spill (slow path) -------------------------------------------
+  // Authenticates the oldest `spill_block` entries with the HMAC engine,
+  // copies [MAC | entries] into the DRAM arena, slides the remainder down,
+  // then resumes the push.  Extra scratch registers are preserved here so the
+  // fast path keeps the paper's 6-register ISR frame.
+  a.mark("spill");
+  a.bind(do_spill);
+  a.addi(Reg::kSp, Reg::kSp, -24);
+  a.sw(Reg::kA2, Reg::kSp, 0);
+  a.sw(Reg::kA3, Reg::kSp, 4);
+  a.sw(Reg::kA4, Reg::kSp, 8);
+  a.sw(Reg::kA5, Reg::kSp, 12);
+  a.sw(Reg::kT6, Reg::kSp, 16);
+  a.li(Reg::kA2, soc::kRotHmacAccel.base);
+  a.li(Reg::kA3, FwLayout::kSsBase);
+  a.sw(Reg::kA3, Reg::kA2, kAccSrc);
+  a.li(Reg::kA4, block_bytes);
+  a.sw(Reg::kA4, Reg::kA2, kAccLen);
+  a.sw(Reg::kZero, Reg::kA2, kAccKeySel);
+  a.li(Reg::kA4, 1);
+  a.sw(Reg::kA4, Reg::kA2, kAccCmd);
+  {
+    auto wait = a.here();
+    a.lw(Reg::kA4, Reg::kA2, kAccStatus);
+    a.beqz(Reg::kA4, wait);
+  }
+  a.lw(Reg::kA5, Reg::kT2, 8);  // spill_ptr
+  // Copy the 8 digest words accel -> arena.
+  a.addi(Reg::kA3, Reg::kA2, kAccDigest);
+  a.mv(Reg::kA4, Reg::kA5);
+  a.li(Reg::kT6, 8);
+  {
+    auto loop = a.here();
+    a.lw(Reg::kT4, Reg::kA3, 0);
+    a.sw(Reg::kT4, Reg::kA4, 0);
+    a.addi(Reg::kA3, Reg::kA3, 4);
+    a.addi(Reg::kA4, Reg::kA4, 4);
+    a.addi(Reg::kT6, Reg::kT6, -1);
+    a.bnez(Reg::kT6, loop);
+  }
+  // Copy the spilled entries RoT SRAM -> arena.
+  a.li(Reg::kA3, FwLayout::kSsBase);
+  a.li(Reg::kT6, static_cast<std::int32_t>(config.spill_block));
+  {
+    auto loop = a.here();
+    a.lw(Reg::kT4, Reg::kA3, 0);
+    a.sw(Reg::kT4, Reg::kA4, 0);
+    a.addi(Reg::kA3, Reg::kA3, 4);
+    a.addi(Reg::kA4, Reg::kA4, 4);
+    a.addi(Reg::kT6, Reg::kT6, -1);
+    a.bnez(Reg::kT6, loop);
+  }
+  // Slide the remaining entries to the bottom.
+  a.li(Reg::kA3, FwLayout::kSsBase);
+  a.li(Reg::kA4, static_cast<std::int64_t>(FwLayout::kSsBase) + block_bytes);
+  a.li(Reg::kT6,
+       static_cast<std::int32_t>(config.ss_capacity - config.spill_block));
+  {
+    auto loop = a.here();
+    a.lw(Reg::kT4, Reg::kA4, 0);
+    a.sw(Reg::kT4, Reg::kA3, 0);
+    a.addi(Reg::kA3, Reg::kA3, 4);
+    a.addi(Reg::kA4, Reg::kA4, 4);
+    a.addi(Reg::kT6, Reg::kT6, -1);
+    a.bnez(Reg::kT6, loop);
+  }
+  // Bump spill_ptr / spill_count, drop ss_ptr by one block.
+  a.lw(Reg::kA5, Reg::kT2, 8);
+  a.addi(Reg::kA5, Reg::kA5, segment_bytes);
+  a.sw(Reg::kA5, Reg::kT2, 8);
+  a.lw(Reg::kA5, Reg::kT2, 12);
+  a.addi(Reg::kA5, Reg::kA5, 1);
+  a.sw(Reg::kA5, Reg::kT2, 12);
+  a.lw(Reg::kA0, Reg::kT2, 0);
+  a.addi(Reg::kA0, Reg::kA0, -block_bytes);
+  a.lw(Reg::kA2, Reg::kSp, 0);
+  a.lw(Reg::kA3, Reg::kSp, 4);
+  a.lw(Reg::kA4, Reg::kSp, 8);
+  a.lw(Reg::kA5, Reg::kSp, 12);
+  a.lw(Reg::kT6, Reg::kSp, 16);
+  a.addi(Reg::kSp, Reg::kSp, 24);
+  a.j(call_push);
+
+  // ---- Underflow fill (slow path) --------------------------------------------
+  a.mark("fill");
+  a.bind(do_fill);
+  a.lw(Reg::kT4, Reg::kT2, 12);                // spill_count
+  a.beqz(Reg::kT4, verdict_bad);               // true underflow
+  a.addi(Reg::kSp, Reg::kSp, -24);
+  a.sw(Reg::kA2, Reg::kSp, 0);
+  a.sw(Reg::kA3, Reg::kSp, 4);
+  a.sw(Reg::kA4, Reg::kSp, 8);
+  a.sw(Reg::kA5, Reg::kSp, 12);
+  a.sw(Reg::kT6, Reg::kSp, 16);
+  a.lw(Reg::kA5, Reg::kT2, 8);
+  a.addi(Reg::kA5, Reg::kA5, -segment_bytes);  // segment base
+  // Restore entries arena -> RoT SRAM.
+  a.addi(Reg::kA4, Reg::kA5, 32);
+  a.li(Reg::kA3, FwLayout::kSsBase);
+  a.li(Reg::kT6, static_cast<std::int32_t>(config.spill_block));
+  {
+    auto loop = a.here();
+    a.lw(Reg::kT4, Reg::kA4, 0);
+    a.sw(Reg::kT4, Reg::kA3, 0);
+    a.addi(Reg::kA4, Reg::kA4, 4);
+    a.addi(Reg::kA3, Reg::kA3, 4);
+    a.addi(Reg::kT6, Reg::kT6, -1);
+    a.bnez(Reg::kT6, loop);
+  }
+  // Recompute the MAC over the restored block.
+  a.li(Reg::kA2, soc::kRotHmacAccel.base);
+  a.li(Reg::kA3, FwLayout::kSsBase);
+  a.sw(Reg::kA3, Reg::kA2, kAccSrc);
+  a.li(Reg::kA4, block_bytes);
+  a.sw(Reg::kA4, Reg::kA2, kAccLen);
+  a.sw(Reg::kZero, Reg::kA2, kAccKeySel);
+  a.li(Reg::kA4, 1);
+  a.sw(Reg::kA4, Reg::kA2, kAccCmd);
+  {
+    auto wait = a.here();
+    a.lw(Reg::kA4, Reg::kA2, kAccStatus);
+    a.beqz(Reg::kA4, wait);
+  }
+  // Constant-time compare of the 8 digest words against the stored MAC.
+  a.addi(Reg::kA3, Reg::kA2, kAccDigest);
+  a.mv(Reg::kA4, Reg::kA5);
+  a.li(Reg::kT6, 8);
+  a.li(Reg::kT3, 0);                            // accumulated difference
+  {
+    auto loop = a.here();
+    a.lw(Reg::kT4, Reg::kA3, 0);
+    a.lw(Reg::kT5, Reg::kA4, 0);
+    a.xor_(Reg::kT4, Reg::kT4, Reg::kT5);
+    a.or_(Reg::kT3, Reg::kT3, Reg::kT4);
+    a.addi(Reg::kA3, Reg::kA3, 4);
+    a.addi(Reg::kA4, Reg::kA4, 4);
+    a.addi(Reg::kT6, Reg::kT6, -1);
+    a.bnez(Reg::kT6, loop);
+  }
+  // Commit the fill: spill_ptr back, count down, ss_ptr to a full block.
+  a.sw(Reg::kA5, Reg::kT2, 8);
+  a.lw(Reg::kT4, Reg::kT2, 12);
+  a.addi(Reg::kT4, Reg::kT4, -1);
+  a.sw(Reg::kT4, Reg::kT2, 12);
+  a.li(Reg::kA0, static_cast<std::int64_t>(FwLayout::kSsBase) + block_bytes);
+  a.sw(Reg::kA0, Reg::kT2, 0);
+  a.lw(Reg::kA2, Reg::kSp, 0);
+  a.lw(Reg::kA3, Reg::kSp, 4);
+  a.lw(Reg::kA4, Reg::kSp, 8);
+  a.lw(Reg::kA5, Reg::kSp, 12);
+  a.lw(Reg::kT6, Reg::kSp, 16);
+  a.addi(Reg::kSp, Reg::kSp, 24);
+  a.bnez(Reg::kT3, fill_tamper);
+  a.j(ret_pop);
+  a.bind(fill_tamper);
+  a.j(verdict_bad);
+
+}
+
+}  // namespace
+
+rv::Image build_firmware(const FirmwareConfig& config) {
+  Assembler a(rv::Xlen::k32, soc::kRotFlash.base);
+
+  auto isr = a.new_label();
+  auto policy_entry = a.new_label();
+  auto main_loop = a.new_label();
+
+  // ---- Reset / init -------------------------------------------------------------
+  a.mark("init");
+  a.li(Reg::kSp, static_cast<std::int64_t>(soc::kRotSram.end() - 16));
+  a.li(Reg::kT0, FwLayout::kVars);
+  a.li(Reg::kT1, FwLayout::kSsBase);
+  a.sw(Reg::kT1, Reg::kT0, 0);   // ss_ptr = base
+  a.sw(Reg::kZero, Reg::kT0, 4); // depth = 0
+  a.li(Reg::kT1, static_cast<std::int64_t>(soc::kSpillArena.base));
+  a.sw(Reg::kT1, Reg::kT0, 8);   // spill_ptr = arena base
+  a.sw(Reg::kZero, Reg::kT0, 12);
+  if (config.variant == FwVariant::kIrq) {
+    a.la(Reg::kT0, isr);
+    a.csrrw(Reg::kZero, rv::csr::kMtvec, Reg::kT0);
+    a.li(Reg::kT0, 1 << 11);  // MEIE
+    a.csrrw(Reg::kZero, rv::csr::kMie, Reg::kT0);
+    a.csrrsi(Reg::kZero, rv::csr::kMstatus, 8);  // MIE
+  }
+  a.j(main_loop);
+
+  // ---- Idle loop ------------------------------------------------------------------
+  a.mark("main");
+  a.bind(main_loop);
+  if (config.variant == FwVariant::kIrq) {
+    a.wfi();
+    a.j(main_loop);
+  } else {
+    auto poll = a.here();
+    a.li(Reg::kT0, soc::kCfiMailbox.base);
+    a.lw(Reg::kT1, Reg::kT0, kMbDoorbell);
+    a.beqz(Reg::kT1, poll);
+    a.sw(Reg::kZero, Reg::kT0, kMbDoorbell);  // ack
+    a.jal(Reg::kRa, policy_entry);
+    a.j(poll);
+  }
+
+  // ---- ISR (IRQ variant only, but always emitted for layout stability) ------------
+  a.mark("irq");
+  a.bind(isr);
+  a.addi(Reg::kSp, Reg::kSp, -24);
+  a.sw(Reg::kRa, Reg::kSp, 0);
+  a.sw(Reg::kT0, Reg::kSp, 4);
+  a.sw(Reg::kT1, Reg::kSp, 8);
+  a.sw(Reg::kT2, Reg::kSp, 12);
+  a.sw(Reg::kA0, Reg::kSp, 16);
+  a.sw(Reg::kA1, Reg::kSp, 20);
+  a.li(Reg::kT0, cfi::kRotPlic.base);
+  a.lw(Reg::kA0, Reg::kT0, soc::Plic::kClaimOffset);  // RoT: claim
+  a.li(Reg::kT1, soc::kCfiMailbox.base);
+  a.lw(Reg::kT2, Reg::kT1, kMbDoorbell);              // SoC: spurious-IRQ check
+  a.sw(Reg::kZero, Reg::kT1, kMbDoorbell);            // SoC: ack doorbell
+  a.jal(Reg::kRa, policy_entry);
+  a.mark("irq_exit");
+  a.li(Reg::kT0, cfi::kRotPlic.base);
+  a.li(Reg::kT1, cfi::kCfiDoorbellIrq);
+  a.sw(Reg::kT1, Reg::kT0, soc::Plic::kClaimOffset);  // RoT: complete
+  a.lw(Reg::kRa, Reg::kSp, 0);
+  a.lw(Reg::kT0, Reg::kSp, 4);
+  a.lw(Reg::kT1, Reg::kSp, 8);
+  a.lw(Reg::kT2, Reg::kSp, 12);
+  a.lw(Reg::kA0, Reg::kSp, 16);
+  a.lw(Reg::kA1, Reg::kSp, 20);
+  a.addi(Reg::kSp, Reg::kSp, 24);
+  a.mret();
+
+  // ---- Policy ---------------------------------------------------------------------
+  a.mark("cfi");
+  a.bind(policy_entry);
+  emit_policy(a, config);
+  a.mark("end");
+
+  return a.finish();
+}
+
+}  // namespace titan::fw

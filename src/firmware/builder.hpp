@@ -1,0 +1,60 @@
+// RV32 CFI-firmware generator for the OpenTitan Ibex core.
+//
+// Emits, via the built-in assembler, the three firmware organisations the
+// paper measures (Table I):
+//   * kIrq      — interrupt-driven: WFI idle loop; the CFI mailbox doorbell
+//                 wakes Ibex, the ISR spills 6 registers, claims the PLIC,
+//                 runs the policy, completes, restores, MRET (Sec. IV-C);
+//   * kPolling  — busy-waits on the doorbell register, paying no IRQ
+//                 entry/exit cost (Sec. V-B "Polling");
+//   * the "Optimized" configuration reuses the kPolling image on the
+//     low-latency RoT fabric (RotFabric::kOptimized) — it is an interconnect
+//     change, not a firmware change.
+//
+// The generated policy is the shadow-stack return-address protection with
+// HMAC-authenticated spill/fill, mirroring firmware/shadow_stack.hpp
+// instruction-for-instruction (differential tests enforce agreement).
+//
+// Section marks (consumed by Table I attribution and the RotSubsystem):
+//   "init"  — reset/bring-up code;
+//   "main"  — idle loop (WFI or doorbell poll; excluded from per-op cost);
+//   "irq"   — ISR prologue (register spill, PLIC claim, doorbell ack);
+//   "cfi"   — the policy body (decode, shadow-stack update, verdict);
+//   "spill" / "fill" — overflow/underflow slow paths;
+//   "irq_exit" — ISR epilogue (PLIC complete, restore, MRET).
+#pragma once
+
+#include "rv/assembler.hpp"
+
+namespace titan::fw {
+
+enum class FwVariant { kIrq, kPolling };
+
+struct FirmwareConfig {
+  FwVariant variant = FwVariant::kIrq;
+  unsigned ss_capacity = 32;  ///< On-chip shadow-stack entries (words).
+  unsigned spill_block = 16;  ///< Entries per spilled segment.
+  /// Also enforce forward edges: indirect jumps and register-indirect calls
+  /// must target an entry of the jump table at FwLayout::kJumpTable (count
+  /// word followed by 32-bit targets, written into RoT SRAM by the host at
+  /// protection-domain setup).  An empty table permits everything, so the
+  /// feature is inert until provisioned.  Off by default to keep Table I's
+  /// fast path identical to the paper's.
+  bool enable_jump_table = false;
+};
+
+/// Firmware data layout in the RoT private SRAM.
+struct FwLayout {
+  static constexpr std::uint32_t kVars = 0x2000'0000;       // variable block
+  static constexpr std::uint32_t kSsPtr = kVars + 0;        // current top
+  static constexpr std::uint32_t kDepth = kVars + 4;        // live entries
+  static constexpr std::uint32_t kSpillPtr = kVars + 8;     // next arena slot
+  static constexpr std::uint32_t kSpillCount = kVars + 12;  // spilled segments
+  static constexpr std::uint32_t kSsBase = 0x2000'0100;     // stack storage
+  /// Forward-edge jump table: [count][target0][target1]... (32-bit words).
+  static constexpr std::uint32_t kJumpTable = 0x2000'0800;
+};
+
+[[nodiscard]] rv::Image build_firmware(const FirmwareConfig& config);
+
+}  // namespace titan::fw

@@ -1,0 +1,196 @@
+#include "firmware/context_manager.hpp"
+
+#include <algorithm>
+
+namespace titan::fw {
+
+namespace {
+
+/// DRAM bytes reserved per suspended context: depth-prefixed entry list.
+constexpr std::size_t kSlotBytes = 0x1000;
+/// Spill-arena bytes reserved per context's own shadow stack.
+constexpr std::size_t kArenaSlotBytes = 0x2000;
+
+}  // namespace
+
+ContextManager::ContextManager(const ContextManagerConfig& config,
+                               sim::Memory& soc_memory,
+                               std::vector<std::uint8_t> key)
+    : config_(config),
+      soc_memory_(soc_memory),
+      key_(std::move(key)),
+      next_slot_(config.suspend_base) {
+  if (config_.resident_contexts == 0) {
+    throw std::invalid_argument("ContextManager: need >= 1 resident context");
+  }
+}
+
+void ContextManager::protect(Asid asid) { protected_.insert(asid); }
+
+bool ContextManager::is_protected(Asid asid) const {
+  return protected_.contains(asid);
+}
+
+sim::Addr ContextManager::suspend_slot(Asid asid) const {
+  const auto it = slots_.find(asid);
+  return it == slots_.end() ? 0 : it->second;
+}
+
+std::size_t ContextManager::depth_of(Asid asid) const {
+  const auto it = residents_.find(asid);
+  if (it != residents_.end()) {
+    return it->second.stack->depth();
+  }
+  const auto suspended = suspended_.find(asid);
+  return suspended == suspended_.end() ? 0 : suspended->second.depth;
+}
+
+void ContextManager::touch_lru(Asid asid) {
+  lru_.remove(asid);
+  lru_.push_front(asid);
+}
+
+std::vector<std::uint8_t> ContextManager::serialize(
+    const Context& context) const {
+  const auto state = context.stack->persist();
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(8 + state.on_chip.size() * 8);
+  const auto push64 = [&bytes](std::uint64_t value) {
+    for (unsigned b = 0; b < 8; ++b) {
+      bytes.push_back(static_cast<std::uint8_t>(value >> (8 * b)));
+    }
+  };
+  push64(state.on_chip.size());
+  for (const std::uint64_t entry : state.on_chip) {
+    push64(entry);
+  }
+  return bytes;
+}
+
+void ContextManager::suspend(Asid asid) {
+  auto it = residents_.find(asid);
+  if (it == residents_.end()) {
+    return;
+  }
+  const auto state = it->second.stack->persist();
+  const auto bytes = serialize(it->second);
+  if (bytes.size() > kSlotBytes) {
+    throw std::runtime_error("ContextManager: context exceeds suspend slot");
+  }
+
+  sim::Addr slot = suspend_slot(asid);
+  if (slot == 0) {
+    slot = next_slot_;
+    next_slot_ += kSlotBytes;
+    slots_[asid] = slot;
+  }
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    soc_memory_.write8(slot + i, bytes[i]);
+  }
+
+  Suspended record;
+  record.mac = accel_.mac_accounted(key_, bytes).digest;
+  record.depth = it->second.stack->depth();
+  // Trusted metadata (segment count / arena pointer) rides along in RoT
+  // SRAM; only the entry payload crosses into DRAM.
+  suspended_[asid] = record;
+  suspended_meta_[asid] = {state.spilled_segments, state.spill_ptr};
+
+  residents_.erase(it);
+  lru_.remove(asid);
+  ++suspends_;
+}
+
+bool ContextManager::resume(Asid asid) {
+  const auto suspended = suspended_.find(asid);
+  ShadowStackConfig stack_config = config_.stack;
+  stack_config.spill_base =
+      config_.stack.spill_base + static_cast<sim::Addr>(asid) * kArenaSlotBytes;
+
+  Context context;
+  context.stack =
+      std::make_unique<ShadowStack>(stack_config, soc_memory_, key_);
+
+  if (suspended != suspended_.end()) {
+    const sim::Addr slot = suspend_slot(asid);
+    // Re-read and authenticate the serialized entries.
+    std::uint64_t count = soc_memory_.read64(slot);
+    const std::size_t byte_count = 8 + static_cast<std::size_t>(count) * 8;
+    if (byte_count > kSlotBytes) {
+      return false;  // corrupted length field
+    }
+    std::vector<std::uint8_t> bytes(byte_count);
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      bytes[i] = soc_memory_.read8(slot + i);
+    }
+    const auto recomputed = accel_.mac_accounted(key_, bytes).digest;
+    if (!crypto::digest_equal(recomputed, suspended->second.mac)) {
+      return false;
+    }
+    ShadowStack::PersistedState state;
+    state.on_chip.resize(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      state.on_chip[i] = soc_memory_.read64(slot + 8 + i * 8);
+    }
+    const auto meta = suspended_meta_.at(asid);
+    state.spilled_segments = meta.first;
+    state.spill_ptr = meta.second;
+    context.stack->restore(state);
+    suspended_.erase(suspended);
+    suspended_meta_.erase(asid);
+    ++resumes_;
+  }
+
+  residents_[asid] = std::move(context);
+  return true;
+}
+
+bool ContextManager::switch_to(Asid asid) {
+  active_ = asid;
+  if (!is_protected(asid)) {
+    return true;  // unprotected: no context needed
+  }
+  if (residents_.contains(asid)) {
+    touch_lru(asid);
+    return true;
+  }
+  if (residents_.size() >= config_.resident_contexts && !lru_.empty()) {
+    suspend(lru_.back());
+  }
+  if (!resume(asid)) {
+    return false;
+  }
+  touch_lru(asid);
+  return true;
+}
+
+Verdict ContextManager::check(const cfi::CommitLog& log) {
+  if (!is_protected(active_)) {
+    return {};  // selective protection: pass-through
+  }
+  auto it = residents_.find(active_);
+  if (it == residents_.end()) {
+    return {false, "no resident context for protected ASID"};
+  }
+  switch (log.classify()) {
+    case rv::CfKind::kCall:
+      it->second.stack->push(log.next);
+      return {};
+    case rv::CfKind::kReturn:
+      switch (it->second.stack->pop_and_check(log.target)) {
+        case PopVerdict::kMatch:
+          return {};
+        case PopVerdict::kMismatch:
+          return {false, "return-address mismatch"};
+        case PopVerdict::kUnderflow:
+          return {false, "shadow-stack underflow"};
+        case PopVerdict::kTampered:
+          return {false, "spilled segment failed authentication"};
+      }
+      return {false, "unreachable"};
+    default:
+      return {};
+  }
+}
+
+}  // namespace titan::fw

@@ -1,0 +1,107 @@
+// Per-process CFI contexts (paper Sec. V-C / VII future work):
+//
+// "TitanCFI should be enhanced to enforc[e] CFI per thread, to selectively
+//  protect only the processes exposed at the boundary of the system, dealing
+//  with potentially tainted data and inputs."
+//
+// The ContextManager keeps one shadow stack per protected address-space id
+// (ASID).  Only a bounded number of contexts stay resident in the RoT
+// scratchpad; switching to a non-resident context suspends the
+// least-recently-used one to DRAM behind an HMAC (same trust argument as the
+// spill path: integrity reduces to the RoT-held MAC).  Unprotected ASIDs are
+// passed through — the selective-protection policy of the paper.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "crypto/accel.hpp"
+#include "firmware/policy.hpp"
+#include "firmware/shadow_stack.hpp"
+#include "sim/memory.hpp"
+
+namespace titan::fw {
+
+using Asid = std::uint16_t;
+
+struct ContextManagerConfig {
+  /// Contexts resident in RoT SRAM at once.
+  std::size_t resident_contexts = 2;
+  /// Per-context shadow-stack geometry.
+  ShadowStackConfig stack;
+  /// Base of the DRAM region used for suspended contexts (disjoint from the
+  /// per-stack spill arena slots carved below it).
+  sim::Addr suspend_base = soc::kSpillArena.base + 0x4'0000;
+};
+
+class ContextManager {
+ public:
+  ContextManager(const ContextManagerConfig& config, sim::Memory& soc_memory,
+                 std::vector<std::uint8_t> key);
+
+  /// Mark an ASID as protected (boundary process).  Unprotected ASIDs are
+  /// never checked — their CF events return "safe" immediately.
+  void protect(Asid asid);
+  [[nodiscard]] bool is_protected(Asid asid) const;
+
+  /// Switch the active hart context.  May suspend the LRU resident context
+  /// to DRAM and resume `asid` from DRAM (verifying its MAC).
+  /// Returns false when a resumed context fails authentication.
+  [[nodiscard]] bool switch_to(Asid asid);
+  [[nodiscard]] Asid active() const { return active_; }
+
+  /// Check one commit log against the active context's policy.
+  [[nodiscard]] Verdict check(const cfi::CommitLog& log);
+
+  // Introspection for tests/benches.
+  [[nodiscard]] std::size_t resident_count() const { return residents_.size(); }
+  [[nodiscard]] std::uint64_t suspends() const { return suspends_; }
+  [[nodiscard]] std::uint64_t resumes() const { return resumes_; }
+  [[nodiscard]] std::size_t depth_of(Asid asid) const;
+
+  /// Corrupt helper hook is intentionally absent: tests tamper with the DRAM
+  /// image directly through the memory they own.
+  [[nodiscard]] sim::Addr suspend_slot(Asid asid) const;
+
+ private:
+  struct Context {
+    std::unique_ptr<ShadowStack> stack;
+    sim::Addr spill_slot = 0;
+  };
+
+  void touch_lru(Asid asid);
+  void suspend(Asid asid);
+  [[nodiscard]] bool resume(Asid asid);
+  [[nodiscard]] std::vector<std::uint8_t> serialize(const Context& context) const;
+
+  ContextManagerConfig config_;
+  sim::Memory& soc_memory_;
+  std::vector<std::uint8_t> key_;
+  crypto::HmacAccel accel_;
+
+  std::set<Asid> protected_;
+  std::map<Asid, Context> residents_;
+  std::list<Asid> lru_;  ///< front = most recent
+  /// Suspended contexts: serialized entries live in DRAM, the MAC (the only
+  /// trusted bytes) stays here — i.e., in RoT SRAM.
+  struct Suspended {
+    crypto::Digest mac{};
+    std::size_t depth = 0;
+  };
+  std::map<Asid, Suspended> suspended_;
+  /// Trusted (RoT-side) spill metadata of suspended contexts:
+  /// {spilled_segments, spill_ptr}.
+  std::map<Asid, std::pair<std::size_t, sim::Addr>> suspended_meta_;
+  std::map<Asid, sim::Addr> slots_;
+  sim::Addr next_slot_;
+  Asid active_ = 0;
+  std::uint64_t suspends_ = 0;
+  std::uint64_t resumes_ = 0;
+};
+
+}  // namespace titan::fw

@@ -1,0 +1,129 @@
+// Software-defined CFI policies (paper Sec. IV-C).
+//
+// TitanCFI's selling point is that the enforcement policy is firmware, so a
+// policy is just code examining a commit log.  This header defines the
+// golden-model policy interface used by the trace-driven evaluation, the
+// differential tests against the RV32 firmware, and the policy-playground
+// example.  Shipping policies:
+//   * ShadowStackPolicy — the paper's return-address protection;
+//   * JumpTablePolicy   — forward-edge protection (indirect calls/jumps must
+//     land on registered entry points), the kind of alternative policy the
+//     paper's conclusion calls future work;
+//   * CompositePolicy   — conjunction of policies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "firmware/shadow_stack.hpp"
+#include "rv/isa.hpp"
+#include "titancfi/commit_log.hpp"
+
+namespace titan::fw {
+
+/// Verdict written back to the first mailbox entry: 0 = safe, 1 = violation.
+struct Verdict {
+  bool ok = true;
+  std::string reason;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  [[nodiscard]] virtual Verdict check(const cfi::CommitLog& log) = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// Return-address protection via shadow stack (paper's implemented policy).
+class ShadowStackPolicy final : public Policy {
+ public:
+  ShadowStackPolicy(const ShadowStackConfig& config, sim::Memory& soc_memory,
+                    std::vector<std::uint8_t> key)
+      : stack_(config, soc_memory, std::move(key)) {}
+
+  [[nodiscard]] Verdict check(const cfi::CommitLog& log) override {
+    switch (log.classify()) {
+      case rv::CfKind::kCall:
+        stack_.push(log.next);
+        return {};
+      case rv::CfKind::kReturn:
+        switch (stack_.pop_and_check(log.target)) {
+          case PopVerdict::kMatch:
+            return {};
+          case PopVerdict::kMismatch:
+            return {false, "return-address mismatch"};
+          case PopVerdict::kUnderflow:
+            return {false, "shadow-stack underflow"};
+          case PopVerdict::kTampered:
+            return {false, "spilled segment failed authentication"};
+        }
+        return {false, "unreachable"};
+      default:
+        return {};  // Indirect jumps are not constrained by this policy.
+    }
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "shadow-stack"; }
+  [[nodiscard]] ShadowStack& stack() { return stack_; }
+
+ private:
+  ShadowStack stack_;
+};
+
+/// Forward-edge protection: indirect calls and jumps must target a registered
+/// entry point (coarse-grained CFI label set).
+class JumpTablePolicy final : public Policy {
+ public:
+  void allow_target(std::uint64_t address) { allowed_.insert(address); }
+
+  [[nodiscard]] Verdict check(const cfi::CommitLog& log) override {
+    const rv::CfKind kind = log.classify();
+    const bool is_indirect =
+        kind == rv::CfKind::kIndirectJump ||
+        (kind == rv::CfKind::kCall && is_register_call(log.encoding));
+    if (!is_indirect) {
+      return {};
+    }
+    if (allowed_.contains(log.target)) {
+      return {};
+    }
+    return {false, "indirect transfer to unregistered target"};
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "jump-table"; }
+
+ private:
+  static bool is_register_call(std::uint32_t encoding) {
+    return (encoding & 0x7F) == 0x67;  // JALR-based call.
+  }
+
+  std::unordered_set<std::uint64_t> allowed_;
+};
+
+/// Conjunction: every sub-policy must accept.
+class CompositePolicy final : public Policy {
+ public:
+  void add(std::unique_ptr<Policy> policy) {
+    policies_.push_back(std::move(policy));
+  }
+
+  [[nodiscard]] Verdict check(const cfi::CommitLog& log) override {
+    for (const auto& policy : policies_) {
+      Verdict verdict = policy->check(log);
+      if (!verdict.ok) {
+        return verdict;
+      }
+    }
+    return {};
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "composite"; }
+
+ private:
+  std::vector<std::unique_ptr<Policy>> policies_;
+};
+
+}  // namespace titan::fw

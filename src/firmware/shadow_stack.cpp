@@ -1,0 +1,104 @@
+#include "firmware/shadow_stack.hpp"
+
+#include <algorithm>
+
+namespace titan::fw {
+
+namespace {
+
+/// Bytes per spilled segment: 32-byte HMAC tag + the entries.
+std::size_t segment_bytes(const ShadowStackConfig& config) {
+  return 32 + config.spill_block * 8;
+}
+
+}  // namespace
+
+ShadowStack::ShadowStack(const ShadowStackConfig& config,
+                         sim::Memory& soc_memory,
+                         std::vector<std::uint8_t> key)
+    : config_(config),
+      soc_memory_(soc_memory),
+      key_(std::move(key)),
+      spill_ptr_(config.spill_base) {
+  on_chip_.reserve(config_.capacity);
+}
+
+void ShadowStack::push(std::uint64_t return_address) {
+  if (on_chip_.size() >= config_.capacity) {
+    spill_block();
+  }
+  on_chip_.push_back(return_address);
+  max_depth_ = std::max<std::uint64_t>(max_depth_, depth());
+}
+
+PopVerdict ShadowStack::pop_and_check(std::uint64_t actual_target) {
+  if (on_chip_.empty()) {
+    if (spilled_segments_ == 0) {
+      return PopVerdict::kUnderflow;
+    }
+    if (!fill_block()) {
+      return PopVerdict::kTampered;
+    }
+  }
+  const std::uint64_t expected = on_chip_.back();
+  on_chip_.pop_back();
+  return expected == actual_target ? PopVerdict::kMatch : PopVerdict::kMismatch;
+}
+
+void ShadowStack::spill_block() {
+  // Serialise the oldest `spill_block` entries (bottom of the stack).
+  std::vector<std::uint8_t> payload(config_.spill_block * 8);
+  for (std::size_t i = 0; i < config_.spill_block; ++i) {
+    const std::uint64_t value = on_chip_[i];
+    for (unsigned b = 0; b < 8; ++b) {
+      payload[8 * i + b] = static_cast<std::uint8_t>(value >> (8 * b));
+    }
+  }
+  const auto mac = accel_.mac_accounted(key_, payload);
+
+  // Segment layout in the (untrusted) arena: [MAC | entries].
+  for (std::size_t i = 0; i < mac.digest.size(); ++i) {
+    soc_memory_.write8(spill_ptr_ + i, mac.digest[i]);
+  }
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    soc_memory_.write8(spill_ptr_ + 32 + i, payload[i]);
+  }
+  spill_ptr_ += segment_bytes(config_);
+  ++spilled_segments_;
+  ++spill_count_;
+
+  on_chip_.erase(on_chip_.begin(),
+                 on_chip_.begin() + static_cast<std::ptrdiff_t>(config_.spill_block));
+}
+
+bool ShadowStack::fill_block() {
+  spill_ptr_ -= segment_bytes(config_);
+  --spilled_segments_;
+  ++fill_count_;
+
+  std::vector<std::uint8_t> payload(config_.spill_block * 8);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = soc_memory_.read8(spill_ptr_ + 32 + i);
+  }
+  crypto::Digest stored;
+  for (std::size_t i = 0; i < stored.size(); ++i) {
+    stored[i] = soc_memory_.read8(spill_ptr_ + i);
+  }
+  const auto recomputed = accel_.mac_accounted(key_, payload);
+  if (!crypto::digest_equal(recomputed.digest, stored)) {
+    return false;
+  }
+
+  std::vector<std::uint64_t> restored(config_.spill_block);
+  for (std::size_t i = 0; i < config_.spill_block; ++i) {
+    std::uint64_t value = 0;
+    for (unsigned b = 0; b < 8; ++b) {
+      value |= static_cast<std::uint64_t>(payload[8 * i + b]) << (8 * b);
+    }
+    restored[i] = value;
+  }
+  on_chip_.insert(on_chip_.begin(), restored.begin(), restored.end());
+  return true;
+}
+
+}  // namespace titan::fw

@@ -1,0 +1,95 @@
+// Golden (C++) model of the TitanCFI shadow-stack policy (paper Sec. V-B).
+//
+// "Our shadow-stack implementation parses the instruction binary to
+//  distinguish call from return instructions. In case of a call, the expected
+//  return address is extracted from the commit log and pushed into the shadow
+//  stack. If a return is detected, the return address is extracted from the
+//  commit log and compared with the value popped from the shadow stack. Any
+//  mismatch is reported as a security violation. In both scenarios, the
+//  shadow stack is checked for overflow or underflow and eventually saved
+//  (or restored) from main memory after having been authenticated using the
+//  cryptographic accelerators available in OpenTitan."
+//
+// The on-chip portion lives in the RoT private scratchpad; overflowing
+// segments are HMAC-tagged and spilled to a statically reserved DRAM arena
+// (Sec. VI, inspired by Zipper Stack).  The RV32 firmware implements the
+// same algorithm instruction-by-instruction; differential tests pin the two
+// against each other.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/accel.hpp"
+#include "sim/memory.hpp"
+#include "soc/memmap.hpp"
+
+namespace titan::fw {
+
+struct ShadowStackConfig {
+  std::size_t capacity = 32;     ///< On-chip entries (RoT scratchpad).
+  std::size_t spill_block = 16;  ///< Entries per spilled segment.
+  sim::Addr spill_base = soc::kSpillArena.base;
+};
+
+enum class PopVerdict {
+  kMatch,       ///< Return address matches — control flow intact.
+  kMismatch,    ///< ROP detected: popped value != actual return target.
+  kUnderflow,   ///< Return with an empty shadow stack (and nothing spilled).
+  kTampered,    ///< Spilled segment failed HMAC authentication.
+};
+
+class ShadowStack {
+ public:
+  /// `soc_memory`: the DRAM that hosts the spill arena (untrusted).
+  ShadowStack(const ShadowStackConfig& config, sim::Memory& soc_memory,
+              std::vector<std::uint8_t> key);
+
+  void push(std::uint64_t return_address);
+  [[nodiscard]] PopVerdict pop_and_check(std::uint64_t actual_target);
+
+  [[nodiscard]] std::size_t depth() const {
+    return on_chip_.size() + spilled_segments_ * config_.spill_block;
+  }
+  [[nodiscard]] std::size_t on_chip_depth() const { return on_chip_.size(); }
+  [[nodiscard]] std::uint64_t spills() const { return spill_count_; }
+  [[nodiscard]] std::uint64_t fills() const { return fill_count_; }
+  [[nodiscard]] std::uint64_t max_depth() const { return max_depth_; }
+  [[nodiscard]] const crypto::HmacAccel& accel() const { return accel_; }
+
+  /// Architectural state needed to suspend/resume a protection context
+  /// (paper future work: per-thread CFI).  The on-chip entries are returned
+  /// by value so the caller can serialise + authenticate them; already
+  /// spilled segments stay in the arena, protected by their own MACs.
+  struct PersistedState {
+    std::vector<std::uint64_t> on_chip;
+    std::size_t spilled_segments = 0;
+    sim::Addr spill_ptr = 0;
+  };
+  [[nodiscard]] PersistedState persist() const {
+    return {on_chip_, spilled_segments_, spill_ptr_};
+  }
+  void restore(const PersistedState& state) {
+    on_chip_ = state.on_chip;
+    spilled_segments_ = state.spilled_segments;
+    spill_ptr_ = state.spill_ptr;
+  }
+
+ private:
+  void spill_block();
+  [[nodiscard]] bool fill_block();  ///< false when authentication fails.
+
+  ShadowStackConfig config_;
+  sim::Memory& soc_memory_;
+  std::vector<std::uint8_t> key_;
+  crypto::HmacAccel accel_;
+
+  std::vector<std::uint64_t> on_chip_;
+  std::size_t spilled_segments_ = 0;
+  sim::Addr spill_ptr_;
+  std::uint64_t spill_count_ = 0;
+  std::uint64_t fill_count_ = 0;
+  std::uint64_t max_depth_ = 0;
+};
+
+}  // namespace titan::fw

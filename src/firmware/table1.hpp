@@ -1,0 +1,57 @@
+// Table I harness: cost of the return-address-protection firmware in the RoT.
+//
+// Reproduces the paper's measurement: the host side is emulated by writing a
+// commit log into the CFI Mailbox and ringing the doorbell; the Ibex model
+// executes the real generated firmware; every retired instruction is
+// attributed to
+//   IRQ vs CFI       — by PC against the firmware section marks, and
+//   Logic / Mem.RoT / Mem.SoC — by the effective address of the access
+// exactly as described in Sec. V-B.  The 45-cycle doorbell→ISR wake-up is
+// charged to IRQ/Logic (instruction count 0, cycle count 45).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "firmware/builder.hpp"
+#include "titancfi/rot_subsystem.hpp"
+
+namespace titan::fw {
+
+enum class OpCase { kCall, kReturn };
+
+struct CostBucket {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+
+  CostBucket& operator+=(const CostBucket& other) {
+    instructions += other.instructions;
+    cycles += other.cycles;
+    return *this;
+  }
+};
+
+/// One Table-I row group: a 2x3 matrix of buckets plus totals.
+struct CostBreakdown {
+  CostBucket irq_logic, irq_mem_rot, irq_mem_soc;
+  CostBucket cfi_logic, cfi_mem_rot, cfi_mem_soc;
+
+  [[nodiscard]] CostBucket irq_total() const;
+  [[nodiscard]] CostBucket cfi_total() const;
+  [[nodiscard]] CostBucket total() const;
+};
+
+/// Firmware organisations measured by Table I.
+enum class RotVariant { kIrq, kPolling, kOptimized };
+
+/// Measure the steady-state cost of checking one CALL or one RETURN.
+/// `ops` > 1 averages over several operations (they are deterministic, so
+/// the default of 1 after warm-up is exact).
+[[nodiscard]] CostBreakdown measure_policy_cost(RotVariant variant,
+                                                OpCase op_case,
+                                                unsigned ss_capacity = 32);
+
+/// Render the full Table I (all three variants, CALL and RET).
+void print_table1(std::ostream& os);
+
+}  // namespace titan::fw

@@ -1,0 +1,58 @@
+#include "firmware/zipper_stack.hpp"
+
+namespace titan::fw {
+
+ZipperStack::ZipperStack(sim::Memory& untrusted_memory,
+                         std::vector<std::uint8_t> key, sim::Addr frame_base)
+    : memory_(untrusted_memory), key_(std::move(key)), frame_base_(frame_base) {
+  // Genesis tag: MAC over the empty chain, so an attacker cannot forge a
+  // "bottom of stack" frame either.
+  top_tag_ = accel_.mac_accounted(key_, {}).digest;
+}
+
+crypto::Digest ZipperStack::chain(std::uint64_t return_address,
+                                  const crypto::Digest& previous) {
+  std::vector<std::uint8_t> message(8 + previous.size());
+  for (unsigned b = 0; b < 8; ++b) {
+    message[b] = static_cast<std::uint8_t>(return_address >> (8 * b));
+  }
+  std::copy(previous.begin(), previous.end(), message.begin() + 8);
+  return accel_.mac_accounted(key_, message).digest;
+}
+
+void ZipperStack::push(std::uint64_t return_address) {
+  // Frame i holds (address_i, tag_{i-1}); the new chain head goes to the
+  // RoT register.
+  const sim::Addr frame = frame_addr(depth_);
+  memory_.write64(frame, return_address);
+  for (std::size_t b = 0; b < top_tag_.size(); ++b) {
+    memory_.write8(frame + 8 + b, top_tag_[b]);
+  }
+  top_tag_ = chain(return_address, top_tag_);
+  ++depth_;
+}
+
+PopVerdict ZipperStack::pop_and_check(std::uint64_t actual_target) {
+  if (depth_ == 0) {
+    return PopVerdict::kUnderflow;
+  }
+  const sim::Addr frame = frame_addr(depth_ - 1);
+  const std::uint64_t stored_address = memory_.read64(frame);
+  crypto::Digest stored_previous;
+  for (std::size_t b = 0; b < stored_previous.size(); ++b) {
+    stored_previous[b] = memory_.read8(frame + 8 + b);
+  }
+
+  // Authenticity first: the frame must reproduce the RoT-held chain head.
+  const crypto::Digest recomputed = chain(stored_address, stored_previous);
+  if (!crypto::digest_equal(recomputed, top_tag_)) {
+    return PopVerdict::kTampered;
+  }
+  // Then the CFI check proper.
+  --depth_;
+  top_tag_ = stored_previous;
+  return stored_address == actual_target ? PopVerdict::kMatch
+                                         : PopVerdict::kMismatch;
+}
+
+}  // namespace titan::fw

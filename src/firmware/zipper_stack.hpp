@@ -1,0 +1,102 @@
+// Zipper-Stack return-address protection (Li et al., ESORICS 2020 — the
+// paper's reference [15] and the inspiration for TitanCFI's authenticated
+// spills, Sec. VI).
+//
+// Instead of keeping the whole shadow stack in tamper-proof memory, Zipper
+// Stack chains MACs: every pushed frame stores
+//
+//     tag_i = HMAC(key, return_address_i || tag_{i-1})
+//
+// in ordinary (untrusted) memory, while only the *top* tag lives in the
+// RoT.  A return verifies the popped (address, previous-tag) pair by
+// recomputing the chain head.  Any modification of any spilled frame breaks
+// every tag above it, so integrity of the unbounded in-DRAM stack reduces
+// to integrity of one register-sized secret — at the cost of one MAC per
+// call and per return (TitanCFI's block-spill scheme amortises MACs over
+// spill_block frames instead; the ablation bench quantifies the trade).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/accel.hpp"
+#include "firmware/policy.hpp"
+#include "sim/memory.hpp"
+#include "soc/memmap.hpp"
+
+namespace titan::fw {
+
+class ZipperStack {
+ public:
+  /// `untrusted_memory`: where the (address, tag) frames live — in TitanCFI
+  /// terms, SoC DRAM.  Only `top_tag_` models RoT-private state.
+  ZipperStack(sim::Memory& untrusted_memory, std::vector<std::uint8_t> key,
+              sim::Addr frame_base = soc::kSpillArena.base);
+
+  void push(std::uint64_t return_address);
+  [[nodiscard]] PopVerdict pop_and_check(std::uint64_t actual_target);
+
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+  [[nodiscard]] std::uint64_t mac_operations() const {
+    return accel_.invocations();
+  }
+  [[nodiscard]] std::uint64_t mac_cycles() const {
+    return accel_.total_cycles();
+  }
+
+ private:
+  static constexpr std::size_t kFrameBytes = 8 + 32;  // address + tag
+
+  [[nodiscard]] crypto::Digest chain(std::uint64_t return_address,
+                                     const crypto::Digest& previous);
+  [[nodiscard]] sim::Addr frame_addr(std::size_t index) const {
+    return frame_base_ + index * kFrameBytes;
+  }
+
+  sim::Memory& memory_;
+  std::vector<std::uint8_t> key_;
+  sim::Addr frame_base_;
+  crypto::HmacAccel accel_;
+
+  crypto::Digest top_tag_{};  ///< RoT-private chain head.
+  std::size_t depth_ = 0;
+};
+
+/// Policy wrapper so the zipper stack slots into the same enforcement
+/// machinery as the paper's shadow stack.
+class ZipperStackPolicy final : public Policy {
+ public:
+  ZipperStackPolicy(sim::Memory& untrusted_memory,
+                    std::vector<std::uint8_t> key)
+      : stack_(untrusted_memory, std::move(key)) {}
+
+  [[nodiscard]] Verdict check(const cfi::CommitLog& log) override {
+    switch (log.classify()) {
+      case rv::CfKind::kCall:
+        stack_.push(log.next);
+        return {};
+      case rv::CfKind::kReturn:
+        switch (stack_.pop_and_check(log.target)) {
+          case PopVerdict::kMatch:
+            return {};
+          case PopVerdict::kMismatch:
+            return {false, "return-address mismatch"};
+          case PopVerdict::kUnderflow:
+            return {false, "zipper-stack underflow"};
+          case PopVerdict::kTampered:
+            return {false, "zipper chain broken (frame tampered)"};
+        }
+        return {false, "unreachable"};
+      default:
+        return {};
+    }
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "zipper-stack"; }
+  [[nodiscard]] ZipperStack& stack() { return stack_; }
+
+ private:
+  ZipperStack stack_;
+};
+
+}  // namespace titan::fw

@@ -1,0 +1,315 @@
+#include "ibex/core.hpp"
+
+#include "rv/decode.hpp"
+#include "rv/isa.hpp"
+
+namespace titan::ibex {
+
+namespace {
+
+std::int32_t s32(std::uint32_t value) { return static_cast<std::int32_t>(value); }
+
+}  // namespace
+
+IbexCore::IbexCore(const IbexConfig& config, soc::Crossbar& bus)
+    : config_(config), bus_(bus), pc_(config.reset_pc) {
+  regs_[2] = config.reset_sp;
+}
+
+std::uint32_t IbexCore::csr(std::uint32_t number) const {
+  switch (number) {
+    case rv::csr::kMstatus: return mstatus_;
+    case rv::csr::kMie: return mie_;
+    case rv::csr::kMtvec: return mtvec_;
+    case rv::csr::kMscratch: return mscratch_;
+    case rv::csr::kMepc: return mepc_;
+    case rv::csr::kMcause: return mcause_;
+    case rv::csr::kMcycle: return static_cast<std::uint32_t>(cycle_);
+    case rv::csr::kMinstret: return static_cast<std::uint32_t>(instret_);
+    case rv::csr::kMhartid: return 0;
+    default: return 0;
+  }
+}
+
+void IbexCore::set_csr(std::uint32_t number, std::uint32_t value) {
+  switch (number) {
+    case rv::csr::kMstatus: mstatus_ = value; break;
+    case rv::csr::kMie: mie_ = value; break;
+    case rv::csr::kMtvec: mtvec_ = value; break;
+    case rv::csr::kMscratch: mscratch_ = value; break;
+    case rv::csr::kMepc: mepc_ = value; break;
+    case rv::csr::kMcause: mcause_ = value; break;
+    default: break;
+  }
+}
+
+IbexStep IbexCore::take_trap() {
+  IbexStep info;
+  info.pc = pc_;
+  info.irq_entry = true;
+  info.retired = false;
+  info.cycles = sleeping_ ? config_.wakeup_latency : config_.trap_entry_latency;
+
+  mepc_ = pc_;
+  mcause_ = kMcauseExtIrq;
+  // MPIE <- MIE, MIE <- 0.
+  if ((mstatus_ & kMstatusMie) != 0) {
+    mstatus_ |= kMstatusMpie;
+  } else {
+    mstatus_ &= ~kMstatusMpie;
+  }
+  mstatus_ &= ~kMstatusMie;
+  pc_ = mtvec_ & ~0x3u;
+  sleeping_ = false;
+  cycle_ += info.cycles;
+  return info;
+}
+
+std::uint32_t IbexCore::fetch(std::uint32_t addr, unsigned* len) {
+  // The prefetch buffer hides instruction-fetch latency in steady state; we
+  // charge fetch time only through the taken-branch penalty.
+  const std::uint32_t low = static_cast<std::uint32_t>(bus_.read(addr, 2).value);
+  if ((low & 3) != 3) {
+    *len = 2;
+    return low;
+  }
+  const std::uint32_t high = static_cast<std::uint32_t>(bus_.read(addr + 2, 2).value);
+  *len = 4;
+  return low | (high << 16);
+}
+
+IbexStep IbexCore::step() {
+  if (halted_) {
+    IbexStep info;
+    info.retired = false;
+    return info;
+  }
+
+  const bool irq_enabled =
+      (mstatus_ & kMstatusMie) != 0 && (mie_ & kMieMeie) != 0;
+  if (irq_line_ && irq_enabled) {
+    return take_trap();
+  }
+  if (sleeping_) {
+    IbexStep info;
+    info.retired = false;
+    info.cycles = 1;
+    cycle_ += 1;
+    return info;
+  }
+
+  unsigned len = 4;
+  const std::uint32_t raw = fetch(pc_, &len);
+  const rv::Inst inst = rv::decode(raw, rv::Xlen::k32);
+
+  IbexStep info;
+  info.pc = pc_;
+  info.inst = inst;
+  info.cycles = 1;
+
+  execute(inst, info);
+  ++instret_;
+  cycle_ += info.cycles;
+  return info;
+}
+
+void IbexCore::execute(const rv::Inst& inst, IbexStep& info) {
+  using rv::Op;
+  const std::uint32_t rs1 = regs_[inst.rs1];
+  const std::uint32_t rs2 = regs_[inst.rs2];
+  std::uint32_t next_pc = pc_ + inst.len;
+  std::uint32_t rd_value = 0;
+  bool writes_rd = true;
+
+  auto mem_read = [&](Addr addr, unsigned size) {
+    const soc::BusResponse response = bus_.read(addr, size);
+    info.mem_addr = addr;
+    info.mem_cycles = response.latency;
+    info.cycles += response.latency;
+    return response.value;
+  };
+  auto mem_write = [&](Addr addr, unsigned size, std::uint64_t value) {
+    const soc::BusResponse response = bus_.write(addr, size, value);
+    info.mem_addr = addr;
+    info.mem_cycles = response.latency;
+    info.cycles += response.latency;
+  };
+  auto ea = [&] { return rs1 + static_cast<std::uint32_t>(inst.imm); };
+  auto take_cf = [&](std::uint32_t target) {
+    next_pc = target;
+    info.cycles += config_.taken_cf_penalty;
+  };
+
+  switch (inst.op) {
+    case Op::kLui: rd_value = static_cast<std::uint32_t>(inst.imm); break;
+    case Op::kAuipc: rd_value = pc_ + static_cast<std::uint32_t>(inst.imm); break;
+    case Op::kJal:
+      rd_value = pc_ + inst.len;
+      take_cf(pc_ + static_cast<std::uint32_t>(inst.imm));
+      break;
+    case Op::kJalr:
+      rd_value = pc_ + inst.len;
+      take_cf((rs1 + static_cast<std::uint32_t>(inst.imm)) & ~1u);
+      break;
+    case Op::kBeq: writes_rd = false; if (rs1 == rs2) take_cf(pc_ + static_cast<std::uint32_t>(inst.imm)); break;
+    case Op::kBne: writes_rd = false; if (rs1 != rs2) take_cf(pc_ + static_cast<std::uint32_t>(inst.imm)); break;
+    case Op::kBlt: writes_rd = false; if (s32(rs1) < s32(rs2)) take_cf(pc_ + static_cast<std::uint32_t>(inst.imm)); break;
+    case Op::kBge: writes_rd = false; if (s32(rs1) >= s32(rs2)) take_cf(pc_ + static_cast<std::uint32_t>(inst.imm)); break;
+    case Op::kBltu: writes_rd = false; if (rs1 < rs2) take_cf(pc_ + static_cast<std::uint32_t>(inst.imm)); break;
+    case Op::kBgeu: writes_rd = false; if (rs1 >= rs2) take_cf(pc_ + static_cast<std::uint32_t>(inst.imm)); break;
+    case Op::kLb:
+      rd_value = static_cast<std::uint32_t>(static_cast<std::int32_t>(
+          static_cast<std::int8_t>(mem_read(ea(), 1))));
+      break;
+    case Op::kLh:
+      rd_value = static_cast<std::uint32_t>(static_cast<std::int32_t>(
+          static_cast<std::int16_t>(mem_read(ea(), 2))));
+      break;
+    case Op::kLw:
+      rd_value = static_cast<std::uint32_t>(mem_read(ea(), 4));
+      break;
+    case Op::kLbu: rd_value = static_cast<std::uint32_t>(mem_read(ea(), 1)); break;
+    case Op::kLhu: rd_value = static_cast<std::uint32_t>(mem_read(ea(), 2)); break;
+    case Op::kSb: writes_rd = false; mem_write(ea(), 1, rs2); break;
+    case Op::kSh: writes_rd = false; mem_write(ea(), 2, rs2); break;
+    case Op::kSw: writes_rd = false; mem_write(ea(), 4, rs2); break;
+    case Op::kAddi: rd_value = rs1 + static_cast<std::uint32_t>(inst.imm); break;
+    case Op::kSlti: rd_value = s32(rs1) < inst.imm ? 1 : 0; break;
+    case Op::kSltiu: rd_value = rs1 < static_cast<std::uint32_t>(inst.imm) ? 1 : 0; break;
+    case Op::kXori: rd_value = rs1 ^ static_cast<std::uint32_t>(inst.imm); break;
+    case Op::kOri: rd_value = rs1 | static_cast<std::uint32_t>(inst.imm); break;
+    case Op::kAndi: rd_value = rs1 & static_cast<std::uint32_t>(inst.imm); break;
+    case Op::kSlli: rd_value = rs1 << (inst.imm & 31); break;
+    case Op::kSrli: rd_value = rs1 >> (inst.imm & 31); break;
+    case Op::kSrai: rd_value = static_cast<std::uint32_t>(s32(rs1) >> (inst.imm & 31)); break;
+    case Op::kAdd: rd_value = rs1 + rs2; break;
+    case Op::kSub: rd_value = rs1 - rs2; break;
+    case Op::kSll: rd_value = rs1 << (rs2 & 31); break;
+    case Op::kSlt: rd_value = s32(rs1) < s32(rs2) ? 1 : 0; break;
+    case Op::kSltu: rd_value = rs1 < rs2 ? 1 : 0; break;
+    case Op::kXor: rd_value = rs1 ^ rs2; break;
+    case Op::kSrl: rd_value = rs1 >> (rs2 & 31); break;
+    case Op::kSra: rd_value = static_cast<std::uint32_t>(s32(rs1) >> (rs2 & 31)); break;
+    case Op::kOr: rd_value = rs1 | rs2; break;
+    case Op::kAnd: rd_value = rs1 & rs2; break;
+    case Op::kFence: writes_rd = false; break;
+    case Op::kEcall:
+    case Op::kEbreak:
+      writes_rd = false;
+      halted_ = true;
+      break;
+    case Op::kMret:
+      writes_rd = false;
+      next_pc = mepc_;
+      if ((mstatus_ & kMstatusMpie) != 0) {
+        mstatus_ |= kMstatusMie;
+      } else {
+        mstatus_ &= ~kMstatusMie;
+      }
+      mstatus_ |= kMstatusMpie;
+      info.cycles += config_.taken_cf_penalty;
+      break;
+    case Op::kWfi:
+      writes_rd = false;
+      sleeping_ = true;
+      break;
+    case Op::kCsrrw: {
+      const std::uint32_t old = csr(static_cast<std::uint32_t>(inst.imm));
+      set_csr(static_cast<std::uint32_t>(inst.imm), rs1);
+      rd_value = old;
+      break;
+    }
+    case Op::kCsrrs: {
+      const std::uint32_t old = csr(static_cast<std::uint32_t>(inst.imm));
+      if (inst.rs1 != 0) {
+        set_csr(static_cast<std::uint32_t>(inst.imm), old | rs1);
+      }
+      rd_value = old;
+      break;
+    }
+    case Op::kCsrrc: {
+      const std::uint32_t old = csr(static_cast<std::uint32_t>(inst.imm));
+      if (inst.rs1 != 0) {
+        set_csr(static_cast<std::uint32_t>(inst.imm), old & ~rs1);
+      }
+      rd_value = old;
+      break;
+    }
+    case Op::kCsrrwi: {
+      const std::uint32_t old = csr(static_cast<std::uint32_t>(inst.imm));
+      set_csr(static_cast<std::uint32_t>(inst.imm), inst.rs1);
+      rd_value = old;
+      break;
+    }
+    case Op::kCsrrsi: {
+      const std::uint32_t old = csr(static_cast<std::uint32_t>(inst.imm));
+      if (inst.rs1 != 0) {
+        set_csr(static_cast<std::uint32_t>(inst.imm), old | inst.rs1);
+      }
+      rd_value = old;
+      break;
+    }
+    case Op::kCsrrci: {
+      const std::uint32_t old = csr(static_cast<std::uint32_t>(inst.imm));
+      if (inst.rs1 != 0) {
+        set_csr(static_cast<std::uint32_t>(inst.imm), old & ~static_cast<std::uint32_t>(inst.rs1));
+      }
+      rd_value = old;
+      break;
+    }
+    case Op::kMul:
+      rd_value = rs1 * rs2;
+      info.cycles += config_.mul_cycles - 1;
+      break;
+    case Op::kMulh:
+      rd_value = static_cast<std::uint32_t>(
+          (static_cast<std::int64_t>(s32(rs1)) * s32(rs2)) >> 32);
+      info.cycles += config_.mul_cycles - 1;
+      break;
+    case Op::kMulhsu:
+      rd_value = static_cast<std::uint32_t>(
+          (static_cast<std::int64_t>(s32(rs1)) * static_cast<std::uint64_t>(rs2)) >> 32);
+      info.cycles += config_.mul_cycles - 1;
+      break;
+    case Op::kMulhu:
+      rd_value = static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(rs1) * rs2) >> 32);
+      info.cycles += config_.mul_cycles - 1;
+      break;
+    case Op::kDiv:
+      rd_value = rs2 == 0 ? 0xFFFFFFFFu
+                 : (rs1 == 0x80000000u && rs2 == 0xFFFFFFFFu)
+                     ? 0x80000000u
+                     : static_cast<std::uint32_t>(s32(rs1) / s32(rs2));
+      info.cycles += config_.div_cycles - 1;
+      break;
+    case Op::kDivu:
+      rd_value = rs2 == 0 ? 0xFFFFFFFFu : rs1 / rs2;
+      info.cycles += config_.div_cycles - 1;
+      break;
+    case Op::kRem:
+      rd_value = rs2 == 0 ? rs1
+                 : (rs1 == 0x80000000u && rs2 == 0xFFFFFFFFu)
+                     ? 0
+                     : static_cast<std::uint32_t>(s32(rs1) % s32(rs2));
+      info.cycles += config_.div_cycles - 1;
+      break;
+    case Op::kRemu:
+      rd_value = rs2 == 0 ? rs1 : rs1 % rs2;
+      info.cycles += config_.div_cycles - 1;
+      break;
+    default:
+      // Illegal instruction or RV64-only op: halt with no architectural
+      // effects (the firmware images never contain these).
+      writes_rd = false;
+      halted_ = true;
+      break;
+  }
+
+  if (writes_rd && inst.rd != 0) {
+    regs_[inst.rd] = rd_value;
+  }
+  pc_ = next_pc;
+}
+
+}  // namespace titan::ibex

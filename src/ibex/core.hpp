@@ -1,0 +1,116 @@
+// Ibex model: RV32IMC instruction-set simulator with the cycle model of the
+// OpenTitan secure microcontroller (paper Sec. III-B).
+//
+// Timing parameters follow the paper's own measurements:
+//   * 45 cycles from doorbell assertion to the first ISR instruction when
+//     waking from sleep (Sec. V-B: "it takes 45 cycles from when the host
+//     core set the doorbell interrupt bit ... to when the Ibex core wakes
+//     up from sleep");
+//   * ~5 cycles per RoT-private scratchpad access, ~12 cycles per SoC-memory
+//     access through the TL2AXI bridge (both come from the bus model);
+//   * 2-stage pipeline: taken branches/jumps refetch (+2 cycles);
+//   * single-cycle multiplier, 37-cycle iterative divider (Ibex default).
+//
+// All memory traffic goes through a soc::Crossbar, so the Mem.RoT / Mem.SoC
+// attribution of Table I falls out of the address map.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "rv/isa.hpp"
+#include "sim/types.hpp"
+#include "soc/bus.hpp"
+
+namespace titan::ibex {
+
+using sim::Addr;
+using sim::Cycle;
+
+struct IbexConfig {
+  std::uint32_t reset_pc = 0;
+  std::uint32_t reset_sp = 0;
+  /// Doorbell-to-ISR latency when the core sleeps in WFI.
+  std::uint32_t wakeup_latency = 45;
+  /// Trap entry cost when the core is awake (pipeline flush + vector fetch).
+  std::uint32_t trap_entry_latency = 4;
+  std::uint32_t taken_cf_penalty = 2;  ///< Extra cycles for taken branch/jump.
+  std::uint32_t mul_cycles = 1;
+  std::uint32_t div_cycles = 37;
+};
+
+/// One retired instruction with its timing, for firmware cost attribution.
+struct IbexStep {
+  std::uint32_t pc = 0;
+  rv::Inst inst;
+  Cycle cycles = 0;           ///< Total cycles charged to this step.
+  Cycle mem_cycles = 0;       ///< Portion spent on the data-memory access.
+  std::optional<Addr> mem_addr;  ///< Effective address of a load/store.
+  bool irq_entry = false;     ///< This step was a trap entry, not an insn.
+  bool retired = true;
+};
+
+class IbexCore {
+ public:
+  IbexCore(const IbexConfig& config, soc::Crossbar& bus);
+
+  /// Execute one step (instruction or trap entry) and advance the clock.
+  IbexStep step();
+
+  /// Level-triggered external interrupt line (from the RoT PLIC).
+  void set_irq_line(bool asserted) { irq_line_ = asserted; }
+  [[nodiscard]] bool irq_line() const { return irq_line_; }
+
+  [[nodiscard]] bool sleeping() const { return sleeping_; }
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] Cycle cycle() const { return cycle_; }
+  [[nodiscard]] std::uint64_t instret() const { return instret_; }
+  [[nodiscard]] std::uint32_t pc() const { return pc_; }
+  void set_pc(std::uint32_t pc) { pc_ = pc; }
+
+  [[nodiscard]] std::uint32_t reg(unsigned index) const { return regs_[index]; }
+  void set_reg(unsigned index, std::uint32_t value) {
+    if (index != 0) regs_[index] = value;
+  }
+
+  [[nodiscard]] std::uint32_t csr(std::uint32_t number) const;
+  void set_csr(std::uint32_t number, std::uint32_t value);
+
+  /// Fast-forward the clock while asleep (the SoC top level uses this to
+  /// skip idle RoT time between doorbells).
+  void advance_clock(Cycle cycles) { cycle_ += cycles; }
+
+ private:
+  IbexStep take_trap();
+  [[nodiscard]] std::uint32_t fetch(std::uint32_t addr, unsigned* len);
+  void execute(const rv::Inst& inst, IbexStep& info);
+
+  IbexConfig config_;
+  soc::Crossbar& bus_;
+
+  std::uint32_t regs_[32]{};
+  std::uint32_t pc_;
+  Cycle cycle_ = 0;
+  std::uint64_t instret_ = 0;
+
+  // Machine-mode CSRs (modelled subset).
+  std::uint32_t mstatus_ = 0;
+  std::uint32_t mie_ = 0;
+  std::uint32_t mtvec_ = 0;
+  std::uint32_t mscratch_ = 0;
+  std::uint32_t mepc_ = 0;
+  std::uint32_t mcause_ = 0;
+
+  bool irq_line_ = false;
+  bool sleeping_ = false;
+  bool halted_ = false;
+};
+
+/// mstatus/mie bit positions used by the model.
+inline constexpr std::uint32_t kMstatusMie = 1u << 3;
+inline constexpr std::uint32_t kMstatusMpie = 1u << 7;
+inline constexpr std::uint32_t kMieMeie = 1u << 11;
+inline constexpr std::uint32_t kMcauseExtIrq = 0x8000000Bu;
+
+}  // namespace titan::ibex

@@ -1,0 +1,330 @@
+#include "rv/assembler.hpp"
+
+#include <limits>
+#include <string>
+
+#include "rv/encode.hpp"
+
+namespace titan::rv {
+
+namespace {
+
+constexpr std::uint32_t kOpLoad = 0x03;
+constexpr std::uint32_t kOpStore = 0x23;
+constexpr std::uint32_t kOpImm = 0x13;
+constexpr std::uint32_t kOpImm32 = 0x1B;
+constexpr std::uint32_t kOpReg = 0x33;
+constexpr std::uint32_t kOpReg32 = 0x3B;
+constexpr std::uint32_t kOpBranch = 0x63;
+constexpr std::uint32_t kOpJalr = 0x67;
+constexpr std::uint32_t kOpSystem = 0x73;
+
+std::uint8_t n(Reg r) { return reg_num(r); }
+
+bool fits_simm(std::int64_t value, int bits) {
+  const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+  return value >= lo && value <= hi;
+}
+
+// Immediates must fit their field: silent truncation produces programs that
+// assemble but compute garbage, so reject loudly instead.
+std::int32_t simm12(std::int32_t value, const char* mnemonic_name) {
+  if (!fits_simm(value, 12)) {
+    throw std::out_of_range(std::string("Assembler: immediate out of range for ") +
+                            mnemonic_name);
+  }
+  return value;
+}
+
+}  // namespace
+
+// ---- Labels & layout --------------------------------------------------------
+
+Assembler::Label Assembler::new_label() {
+  label_addrs_.push_back(-1);
+  return Label{static_cast<std::uint32_t>(label_addrs_.size() - 1)};
+}
+
+void Assembler::bind(Label label) {
+  auto& slot = label_addrs_.at(label.id);
+  if (slot >= 0) {
+    throw std::logic_error("Assembler: label bound twice");
+  }
+  slot = static_cast<std::int64_t>(pc());
+}
+
+Assembler::Label Assembler::here() {
+  Label label = new_label();
+  bind(label);
+  return label;
+}
+
+void Assembler::mark(const std::string& name) { marks_[name] = pc(); }
+
+std::uint64_t Assembler::addr_of(Label label) const {
+  const std::int64_t addr = label_addrs_.at(label.id);
+  if (addr < 0) {
+    throw std::logic_error("Assembler: label not bound");
+  }
+  return static_cast<std::uint64_t>(addr);
+}
+
+void Assembler::align(std::uint64_t alignment) {
+  if (alignment == 0 || alignment % 4 != 0) {
+    throw std::invalid_argument("Assembler: alignment must be a multiple of 4");
+  }
+  while (pc() % alignment != 0) {
+    nop();
+  }
+}
+
+// ---- Raw emission -----------------------------------------------------------
+
+void Assembler::emit(std::uint32_t word) {
+  bytes_.push_back(static_cast<std::uint8_t>(word));
+  bytes_.push_back(static_cast<std::uint8_t>(word >> 8));
+  bytes_.push_back(static_cast<std::uint8_t>(word >> 16));
+  bytes_.push_back(static_cast<std::uint8_t>(word >> 24));
+}
+
+void Assembler::word(std::uint32_t value) { emit(value); }
+
+void Assembler::half(std::uint16_t value) {
+  bytes_.push_back(static_cast<std::uint8_t>(value));
+  bytes_.push_back(static_cast<std::uint8_t>(value >> 8));
+}
+
+void Assembler::data64(std::uint64_t value) {
+  emit(static_cast<std::uint32_t>(value));
+  emit(static_cast<std::uint32_t>(value >> 32));
+}
+
+void Assembler::zero_bytes(std::size_t count) {
+  bytes_.insert(bytes_.end(), count, 0);
+}
+
+std::uint32_t Assembler::read_word(std::size_t offset) const {
+  return static_cast<std::uint32_t>(bytes_[offset]) |
+         (static_cast<std::uint32_t>(bytes_[offset + 1]) << 8) |
+         (static_cast<std::uint32_t>(bytes_[offset + 2]) << 16) |
+         (static_cast<std::uint32_t>(bytes_[offset + 3]) << 24);
+}
+
+void Assembler::patch_word(std::size_t offset, std::uint32_t word) {
+  bytes_[offset] = static_cast<std::uint8_t>(word);
+  bytes_[offset + 1] = static_cast<std::uint8_t>(word >> 8);
+  bytes_[offset + 2] = static_cast<std::uint8_t>(word >> 16);
+  bytes_[offset + 3] = static_cast<std::uint8_t>(word >> 24);
+}
+
+// ---- Base instructions -------------------------------------------------------
+
+void Assembler::lui(Reg rd, std::int64_t imm) { emit(enc_u(0x37, n(rd), imm)); }
+void Assembler::auipc(Reg rd, std::int64_t imm) { emit(enc_u(0x17, n(rd), imm)); }
+
+void Assembler::jal(Reg rd, Label target) {
+  fixups_.push_back({bytes_.size(), target.id, FixupKind::kJal});
+  emit(enc_j(0x6F, n(rd), 0));
+}
+
+void Assembler::jalr(Reg rd, Reg rs1, std::int32_t offset) {
+  emit(enc_i(kOpJalr, 0, n(rd), n(rs1), simm12(offset, "jalr")));
+}
+
+void Assembler::branch(std::uint32_t funct3, Reg rs1, Reg rs2, Label target) {
+  fixups_.push_back({bytes_.size(), target.id, FixupKind::kBranch});
+  emit(enc_b(kOpBranch, funct3, n(rs1), n(rs2), 0));
+}
+
+void Assembler::beq(Reg rs1, Reg rs2, Label t) { branch(0, rs1, rs2, t); }
+void Assembler::bne(Reg rs1, Reg rs2, Label t) { branch(1, rs1, rs2, t); }
+void Assembler::blt(Reg rs1, Reg rs2, Label t) { branch(4, rs1, rs2, t); }
+void Assembler::bge(Reg rs1, Reg rs2, Label t) { branch(5, rs1, rs2, t); }
+void Assembler::bltu(Reg rs1, Reg rs2, Label t) { branch(6, rs1, rs2, t); }
+void Assembler::bgeu(Reg rs1, Reg rs2, Label t) { branch(7, rs1, rs2, t); }
+
+void Assembler::lb(Reg rd, Reg rs1, std::int32_t o) { emit(enc_i(kOpLoad, 0, n(rd), n(rs1), simm12(o, "load"))); }
+void Assembler::lh(Reg rd, Reg rs1, std::int32_t o) { emit(enc_i(kOpLoad, 1, n(rd), n(rs1), simm12(o, "load"))); }
+void Assembler::lw(Reg rd, Reg rs1, std::int32_t o) { emit(enc_i(kOpLoad, 2, n(rd), n(rs1), simm12(o, "load"))); }
+void Assembler::lbu(Reg rd, Reg rs1, std::int32_t o) { emit(enc_i(kOpLoad, 4, n(rd), n(rs1), simm12(o, "load"))); }
+void Assembler::lhu(Reg rd, Reg rs1, std::int32_t o) { emit(enc_i(kOpLoad, 5, n(rd), n(rs1), simm12(o, "load"))); }
+void Assembler::lwu(Reg rd, Reg rs1, std::int32_t o) { emit(enc_i(kOpLoad, 6, n(rd), n(rs1), simm12(o, "load"))); }
+void Assembler::ld(Reg rd, Reg rs1, std::int32_t o) { emit(enc_i(kOpLoad, 3, n(rd), n(rs1), simm12(o, "load"))); }
+void Assembler::sb(Reg rs2, Reg rs1, std::int32_t o) { emit(enc_s(kOpStore, 0, n(rs1), n(rs2), simm12(o, "store"))); }
+void Assembler::sh(Reg rs2, Reg rs1, std::int32_t o) { emit(enc_s(kOpStore, 1, n(rs1), n(rs2), simm12(o, "store"))); }
+void Assembler::sw(Reg rs2, Reg rs1, std::int32_t o) { emit(enc_s(kOpStore, 2, n(rs1), n(rs2), simm12(o, "store"))); }
+void Assembler::sd(Reg rs2, Reg rs1, std::int32_t o) { emit(enc_s(kOpStore, 3, n(rs1), n(rs2), simm12(o, "store"))); }
+
+void Assembler::addi(Reg rd, Reg rs1, std::int32_t imm) { emit(enc_i(kOpImm, 0, n(rd), n(rs1), simm12(imm, "op-imm"))); }
+void Assembler::slti(Reg rd, Reg rs1, std::int32_t imm) { emit(enc_i(kOpImm, 2, n(rd), n(rs1), simm12(imm, "op-imm"))); }
+void Assembler::sltiu(Reg rd, Reg rs1, std::int32_t imm) { emit(enc_i(kOpImm, 3, n(rd), n(rs1), simm12(imm, "op-imm"))); }
+void Assembler::xori(Reg rd, Reg rs1, std::int32_t imm) { emit(enc_i(kOpImm, 4, n(rd), n(rs1), simm12(imm, "op-imm"))); }
+void Assembler::ori(Reg rd, Reg rs1, std::int32_t imm) { emit(enc_i(kOpImm, 6, n(rd), n(rs1), simm12(imm, "op-imm"))); }
+void Assembler::andi(Reg rd, Reg rs1, std::int32_t imm) { emit(enc_i(kOpImm, 7, n(rd), n(rs1), simm12(imm, "op-imm"))); }
+void Assembler::slli(Reg rd, Reg rs1, std::uint32_t s) { emit(enc_i(kOpImm, 1, n(rd), n(rs1), static_cast<std::int32_t>(s))); }
+void Assembler::srli(Reg rd, Reg rs1, std::uint32_t s) { emit(enc_i(kOpImm, 5, n(rd), n(rs1), static_cast<std::int32_t>(s))); }
+void Assembler::srai(Reg rd, Reg rs1, std::uint32_t s) { emit(enc_i(kOpImm, 5, n(rd), n(rs1), static_cast<std::int32_t>(s | 0x400))); }
+
+void Assembler::add(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg, 0, 0x00, n(rd), n(rs1), n(rs2))); }
+void Assembler::sub(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg, 0, 0x20, n(rd), n(rs1), n(rs2))); }
+void Assembler::sll(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg, 1, 0x00, n(rd), n(rs1), n(rs2))); }
+void Assembler::slt(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg, 2, 0x00, n(rd), n(rs1), n(rs2))); }
+void Assembler::sltu(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg, 3, 0x00, n(rd), n(rs1), n(rs2))); }
+void Assembler::xor_(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg, 4, 0x00, n(rd), n(rs1), n(rs2))); }
+void Assembler::srl(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg, 5, 0x00, n(rd), n(rs1), n(rs2))); }
+void Assembler::sra(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg, 5, 0x20, n(rd), n(rs1), n(rs2))); }
+void Assembler::or_(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg, 6, 0x00, n(rd), n(rs1), n(rs2))); }
+void Assembler::and_(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg, 7, 0x00, n(rd), n(rs1), n(rs2))); }
+
+void Assembler::addiw(Reg rd, Reg rs1, std::int32_t imm) { emit(enc_i(kOpImm32, 0, n(rd), n(rs1), simm12(imm, "addiw"))); }
+void Assembler::slliw(Reg rd, Reg rs1, std::uint32_t s) { emit(enc_i(kOpImm32, 1, n(rd), n(rs1), static_cast<std::int32_t>(s))); }
+void Assembler::srliw(Reg rd, Reg rs1, std::uint32_t s) { emit(enc_i(kOpImm32, 5, n(rd), n(rs1), static_cast<std::int32_t>(s))); }
+void Assembler::sraiw(Reg rd, Reg rs1, std::uint32_t s) { emit(enc_i(kOpImm32, 5, n(rd), n(rs1), static_cast<std::int32_t>(s | 0x400))); }
+void Assembler::addw(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg32, 0, 0x00, n(rd), n(rs1), n(rs2))); }
+void Assembler::subw(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg32, 0, 0x20, n(rd), n(rs1), n(rs2))); }
+void Assembler::sllw(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg32, 1, 0x00, n(rd), n(rs1), n(rs2))); }
+void Assembler::srlw(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg32, 5, 0x00, n(rd), n(rs1), n(rs2))); }
+void Assembler::sraw(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg32, 5, 0x20, n(rd), n(rs1), n(rs2))); }
+
+void Assembler::fence() { emit(enc_i(0x0F, 0, 0, 0, 0x0FF)); }
+void Assembler::ecall() { emit(0x00000073); }
+void Assembler::ebreak() { emit(0x00100073); }
+void Assembler::mret() { emit(0x30200073); }
+void Assembler::wfi() { emit(0x10500073); }
+
+void Assembler::csrrw(Reg rd, std::uint32_t csr_num, Reg rs1) { emit(enc_i(kOpSystem, 1, n(rd), n(rs1), static_cast<std::int32_t>(csr_num))); }
+void Assembler::csrrs(Reg rd, std::uint32_t csr_num, Reg rs1) { emit(enc_i(kOpSystem, 2, n(rd), n(rs1), static_cast<std::int32_t>(csr_num))); }
+void Assembler::csrrc(Reg rd, std::uint32_t csr_num, Reg rs1) { emit(enc_i(kOpSystem, 3, n(rd), n(rs1), static_cast<std::int32_t>(csr_num))); }
+void Assembler::csrrwi(Reg rd, std::uint32_t csr_num, std::uint8_t zimm) { emit(enc_i(kOpSystem, 5, n(rd), zimm, static_cast<std::int32_t>(csr_num))); }
+void Assembler::csrrsi(Reg rd, std::uint32_t csr_num, std::uint8_t zimm) { emit(enc_i(kOpSystem, 6, n(rd), zimm, static_cast<std::int32_t>(csr_num))); }
+void Assembler::csrrci(Reg rd, std::uint32_t csr_num, std::uint8_t zimm) { emit(enc_i(kOpSystem, 7, n(rd), zimm, static_cast<std::int32_t>(csr_num))); }
+
+void Assembler::mul(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg, 0, 0x01, n(rd), n(rs1), n(rs2))); }
+void Assembler::mulh(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg, 1, 0x01, n(rd), n(rs1), n(rs2))); }
+void Assembler::mulhsu(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg, 2, 0x01, n(rd), n(rs1), n(rs2))); }
+void Assembler::mulhu(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg, 3, 0x01, n(rd), n(rs1), n(rs2))); }
+void Assembler::div(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg, 4, 0x01, n(rd), n(rs1), n(rs2))); }
+void Assembler::divu(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg, 5, 0x01, n(rd), n(rs1), n(rs2))); }
+void Assembler::rem(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg, 6, 0x01, n(rd), n(rs1), n(rs2))); }
+void Assembler::remu(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg, 7, 0x01, n(rd), n(rs1), n(rs2))); }
+void Assembler::mulw(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg32, 0, 0x01, n(rd), n(rs1), n(rs2))); }
+void Assembler::divw(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg32, 4, 0x01, n(rd), n(rs1), n(rs2))); }
+void Assembler::remw(Reg rd, Reg rs1, Reg rs2) { emit(enc_r(kOpReg32, 6, 0x01, n(rd), n(rs1), n(rs2))); }
+
+// ---- Pseudo-instructions ------------------------------------------------------
+
+void Assembler::nop() { addi(Reg::kZero, Reg::kZero, 0); }
+void Assembler::mv(Reg rd, Reg rs) { addi(rd, rs, 0); }
+void Assembler::not_(Reg rd, Reg rs) { xori(rd, rs, -1); }
+void Assembler::neg(Reg rd, Reg rs) { sub(rd, Reg::kZero, rs); }
+void Assembler::seqz(Reg rd, Reg rs) { sltiu(rd, rs, 1); }
+void Assembler::snez(Reg rd, Reg rs) { sltu(rd, Reg::kZero, rs); }
+
+void Assembler::li(Reg rd, std::int64_t value) {
+  if (fits_simm(value, 12)) {
+    addi(rd, Reg::kZero, static_cast<std::int32_t>(value));
+    return;
+  }
+  const bool fits32 =
+      value >= std::numeric_limits<std::int32_t>::min() &&
+      value <= std::numeric_limits<std::int32_t>::max();
+  if (fits32 || xlen_ == Xlen::k32) {
+    const auto u = static_cast<std::uint32_t>(value);
+    const auto lo = static_cast<std::int32_t>(
+        (static_cast<std::int32_t>(u << 20)) >> 20);  // sext12(u & 0xFFF)
+    const std::uint32_t hi = u - static_cast<std::uint32_t>(lo);
+    lui(rd, static_cast<std::int64_t>(static_cast<std::int32_t>(hi)));
+    if (lo != 0) {
+      if (xlen_ == Xlen::k64) {
+        addiw(rd, rd, lo);
+      } else {
+        addi(rd, rd, lo);
+      }
+    }
+    return;
+  }
+  // 64-bit constant: build upper part recursively, then shift in 12-bit
+  // chunks.  value == upper * 2^12 + lo12 with lo12 sign-extended.
+  const auto lo12 = static_cast<std::int32_t>((value << 52) >> 52);
+  const std::int64_t upper = (value - lo12) >> 12;
+  li(rd, upper);
+  slli(rd, rd, 12);
+  if (lo12 != 0) {
+    addi(rd, rd, lo12);
+  }
+}
+
+void Assembler::la(Reg rd, Label target) {
+  fixups_.push_back({bytes_.size(), target.id, FixupKind::kAuipcPair});
+  auipc(rd, 0);
+  addi(rd, rd, 0);
+}
+
+void Assembler::j(Label target) { jal(Reg::kZero, target); }
+void Assembler::call(Label target) { jal(Reg::kRa, target); }
+void Assembler::callr(Reg rs) { jalr(Reg::kRa, rs, 0); }
+void Assembler::ret() { jalr(Reg::kZero, Reg::kRa, 0); }
+void Assembler::jr(Reg rs) { jalr(Reg::kZero, rs, 0); }
+void Assembler::beqz(Reg rs, Label t) { beq(rs, Reg::kZero, t); }
+void Assembler::bnez(Reg rs, Label t) { bne(rs, Reg::kZero, t); }
+void Assembler::bgez(Reg rs, Label t) { bge(rs, Reg::kZero, t); }
+void Assembler::bltz(Reg rs, Label t) { blt(rs, Reg::kZero, t); }
+
+// ---- Finalisation ---------------------------------------------------------------
+
+Image Assembler::finish() {
+  for (const Fixup& fixup : fixups_) {
+    const std::int64_t bound = label_addrs_.at(fixup.label_id);
+    if (bound < 0) {
+      throw std::logic_error("Assembler: unresolved label at finish()");
+    }
+    const std::int64_t target = bound;
+    const std::int64_t source = static_cast<std::int64_t>(base_ + fixup.offset);
+    const std::int64_t delta = target - source;
+    const std::uint32_t old_word = read_word(fixup.offset);
+    switch (fixup.kind) {
+      case FixupKind::kBranch: {
+        if (!fits_simm(delta, 13) || (delta & 1) != 0) {
+          throw std::out_of_range("Assembler: branch target out of range");
+        }
+        // B-type immediate bits live at [31], [30:25], [11:8], [7].
+        const std::uint32_t imm_bits =
+            enc_b(0, 0, 0, 0, static_cast<std::int32_t>(delta)) & 0xFE000F80u;
+        patch_word(fixup.offset, (old_word & ~0xFE000F80u) | imm_bits);
+        break;
+      }
+      case FixupKind::kJal: {
+        if (!fits_simm(delta, 21) || (delta & 1) != 0) {
+          throw std::out_of_range("Assembler: jal target out of range");
+        }
+        const std::uint32_t imm_bits =
+            enc_j(0, 0, static_cast<std::int32_t>(delta)) & 0xFFFFF000u;
+        patch_word(fixup.offset, (old_word & 0x00000FFFu) | imm_bits);
+        break;
+      }
+      case FixupKind::kAuipcPair: {
+        const auto lo = static_cast<std::int32_t>((delta << 52) >> 52);
+        const std::int64_t hi = delta - lo;
+        if (!fits_simm(hi, 32)) {
+          throw std::out_of_range("Assembler: la target out of range");
+        }
+        const std::uint32_t auipc_word = read_word(fixup.offset);
+        patch_word(fixup.offset, (auipc_word & 0x00000FFFu) |
+                                     (static_cast<std::uint32_t>(hi) & 0xFFFFF000u));
+        const std::uint32_t addi_word = read_word(fixup.offset + 4);
+        patch_word(fixup.offset + 4,
+                   (addi_word & 0x000FFFFFu) |
+                       ((static_cast<std::uint32_t>(lo) & 0xFFFu) << 20));
+        break;
+      }
+    }
+  }
+  Image image;
+  image.base = base_;
+  image.bytes = bytes_;
+  image.marks = marks_;
+  return image;
+}
+
+}  // namespace titan::rv

@@ -1,0 +1,214 @@
+// Programmatic RISC-V assembler.
+//
+// Workload programs (RV64, run on the CVA6 model) and the CFI firmware
+// (RV32, run on the Ibex model) are written in C++ against this builder —
+// the repository needs no external cross-toolchain.  Labels support forward
+// references; fixups are resolved at finish().
+//
+// Example:
+//   Assembler a(Xlen::k64, 0x8000'0000);
+//   auto loop = a.new_label();
+//   a.li(Reg::kA0, 10);
+//   a.bind(loop);
+//   a.addi(Reg::kA0, Reg::kA0, -1);
+//   a.bnez(Reg::kA0, loop);
+//   a.ecall();
+//   Image img = a.finish();
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rv/isa.hpp"
+
+namespace titan::rv {
+
+/// Assembled machine code plus symbol information.
+struct Image {
+  std::uint64_t base = 0;
+  std::vector<std::uint8_t> bytes;
+  /// Named section marks (used e.g. to attribute Ibex PCs to IRQ vs CFI
+  /// firmware regions).
+  std::map<std::string, std::uint64_t> marks;
+
+  [[nodiscard]] std::uint64_t end() const { return base + bytes.size(); }
+};
+
+class Assembler {
+ public:
+  struct Label {
+    std::uint32_t id = 0;
+  };
+
+  Assembler(Xlen xlen, std::uint64_t base) : xlen_(xlen), base_(base) {}
+
+  // ---- Labels & layout -----------------------------------------------------
+
+  Label new_label();
+  void bind(Label label);
+  /// Create a label already bound at the current position.
+  Label here();
+  /// Record a named mark at the current position (section boundaries).
+  void mark(const std::string& name);
+  /// Address a bound label resolves to.  Throws if unbound.
+  [[nodiscard]] std::uint64_t addr_of(Label label) const;
+  [[nodiscard]] std::uint64_t pc() const { return base_ + bytes_.size(); }
+  [[nodiscard]] std::uint64_t base() const { return base_; }
+
+  /// Pad with canonical NOPs until `pc() % alignment == 0` (alignment must be
+  /// a multiple of 4).
+  void align(std::uint64_t alignment);
+
+  // ---- Raw emission ---------------------------------------------------------
+
+  void word(std::uint32_t value);      ///< Emit a raw 32-bit word.
+  void half(std::uint16_t value);      ///< Emit a raw 16-bit word (RVC).
+  void data64(std::uint64_t value);    ///< Emit 8 bytes of data.
+  void zero_bytes(std::size_t count);  ///< Emit zero-filled data.
+
+  // ---- RV32I / RV64I --------------------------------------------------------
+
+  void lui(Reg rd, std::int64_t imm);    ///< imm: value with low 12 bits zero.
+  void auipc(Reg rd, std::int64_t imm);
+  void jal(Reg rd, Label target);
+  void jalr(Reg rd, Reg rs1, std::int32_t offset);
+
+  void beq(Reg rs1, Reg rs2, Label target);
+  void bne(Reg rs1, Reg rs2, Label target);
+  void blt(Reg rs1, Reg rs2, Label target);
+  void bge(Reg rs1, Reg rs2, Label target);
+  void bltu(Reg rs1, Reg rs2, Label target);
+  void bgeu(Reg rs1, Reg rs2, Label target);
+
+  void lb(Reg rd, Reg rs1, std::int32_t offset);
+  void lh(Reg rd, Reg rs1, std::int32_t offset);
+  void lw(Reg rd, Reg rs1, std::int32_t offset);
+  void lbu(Reg rd, Reg rs1, std::int32_t offset);
+  void lhu(Reg rd, Reg rs1, std::int32_t offset);
+  void lwu(Reg rd, Reg rs1, std::int32_t offset);
+  void ld(Reg rd, Reg rs1, std::int32_t offset);
+  void sb(Reg rs2, Reg rs1, std::int32_t offset);
+  void sh(Reg rs2, Reg rs1, std::int32_t offset);
+  void sw(Reg rs2, Reg rs1, std::int32_t offset);
+  void sd(Reg rs2, Reg rs1, std::int32_t offset);
+
+  void addi(Reg rd, Reg rs1, std::int32_t imm);
+  void slti(Reg rd, Reg rs1, std::int32_t imm);
+  void sltiu(Reg rd, Reg rs1, std::int32_t imm);
+  void xori(Reg rd, Reg rs1, std::int32_t imm);
+  void ori(Reg rd, Reg rs1, std::int32_t imm);
+  void andi(Reg rd, Reg rs1, std::int32_t imm);
+  void slli(Reg rd, Reg rs1, std::uint32_t shamt);
+  void srli(Reg rd, Reg rs1, std::uint32_t shamt);
+  void srai(Reg rd, Reg rs1, std::uint32_t shamt);
+
+  void add(Reg rd, Reg rs1, Reg rs2);
+  void sub(Reg rd, Reg rs1, Reg rs2);
+  void sll(Reg rd, Reg rs1, Reg rs2);
+  void slt(Reg rd, Reg rs1, Reg rs2);
+  void sltu(Reg rd, Reg rs1, Reg rs2);
+  void xor_(Reg rd, Reg rs1, Reg rs2);
+  void srl(Reg rd, Reg rs1, Reg rs2);
+  void sra(Reg rd, Reg rs1, Reg rs2);
+  void or_(Reg rd, Reg rs1, Reg rs2);
+  void and_(Reg rd, Reg rs1, Reg rs2);
+
+  // RV64-only word forms.
+  void addiw(Reg rd, Reg rs1, std::int32_t imm);
+  void slliw(Reg rd, Reg rs1, std::uint32_t shamt);
+  void srliw(Reg rd, Reg rs1, std::uint32_t shamt);
+  void sraiw(Reg rd, Reg rs1, std::uint32_t shamt);
+  void addw(Reg rd, Reg rs1, Reg rs2);
+  void subw(Reg rd, Reg rs1, Reg rs2);
+  void sllw(Reg rd, Reg rs1, Reg rs2);
+  void srlw(Reg rd, Reg rs1, Reg rs2);
+  void sraw(Reg rd, Reg rs1, Reg rs2);
+
+  void fence();
+  void ecall();
+  void ebreak();
+  void mret();
+  void wfi();
+
+  // Zicsr.
+  void csrrw(Reg rd, std::uint32_t csr_num, Reg rs1);
+  void csrrs(Reg rd, std::uint32_t csr_num, Reg rs1);
+  void csrrc(Reg rd, std::uint32_t csr_num, Reg rs1);
+  void csrrwi(Reg rd, std::uint32_t csr_num, std::uint8_t zimm);
+  void csrrsi(Reg rd, std::uint32_t csr_num, std::uint8_t zimm);
+  void csrrci(Reg rd, std::uint32_t csr_num, std::uint8_t zimm);
+
+  // M extension.
+  void mul(Reg rd, Reg rs1, Reg rs2);
+  void mulh(Reg rd, Reg rs1, Reg rs2);
+  void mulhsu(Reg rd, Reg rs1, Reg rs2);
+  void mulhu(Reg rd, Reg rs1, Reg rs2);
+  void div(Reg rd, Reg rs1, Reg rs2);
+  void divu(Reg rd, Reg rs1, Reg rs2);
+  void rem(Reg rd, Reg rs1, Reg rs2);
+  void remu(Reg rd, Reg rs1, Reg rs2);
+  void mulw(Reg rd, Reg rs1, Reg rs2);
+  void divw(Reg rd, Reg rs1, Reg rs2);
+  void remw(Reg rd, Reg rs1, Reg rs2);
+
+  // ---- Pseudo-instructions --------------------------------------------------
+
+  void nop();
+  void mv(Reg rd, Reg rs);
+  void not_(Reg rd, Reg rs);
+  void neg(Reg rd, Reg rs);
+  void seqz(Reg rd, Reg rs);
+  void snez(Reg rd, Reg rs);
+  /// Load an arbitrary constant (expands to the shortest lui/addi[w]/slli
+  /// sequence for the configured XLEN).
+  void li(Reg rd, std::int64_t value);
+  /// Load the address of a label (auipc + addi pair, PC-relative).
+  void la(Reg rd, Label target);
+  void j(Label target);
+  /// Near call: jal ra, target.
+  void call(Label target);
+  /// Indirect call through a register: jalr ra, 0(rs).
+  void callr(Reg rs);
+  void ret();
+  /// Indirect jump (no link): jalr x0, 0(rs).
+  void jr(Reg rs);
+  void beqz(Reg rs, Label target);
+  void bnez(Reg rs, Label target);
+  void bgez(Reg rs, Label target);
+  void bltz(Reg rs, Label target);
+
+  // ---- Finalisation ----------------------------------------------------------
+
+  /// Resolve all fixups and return the image.  Throws std::logic_error on
+  /// unbound labels and std::out_of_range on branch targets out of reach.
+  Image finish();
+
+  /// Number of instruction/data bytes emitted so far.
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+
+ private:
+  enum class FixupKind { kBranch, kJal, kAuipcPair };
+
+  struct Fixup {
+    std::size_t offset = 0;
+    std::uint32_t label_id = 0;
+    FixupKind kind = FixupKind::kBranch;
+  };
+
+  void emit(std::uint32_t word);
+  void branch(std::uint32_t funct3, Reg rs1, Reg rs2, Label target);
+  [[nodiscard]] std::uint32_t read_word(std::size_t offset) const;
+  void patch_word(std::size_t offset, std::uint32_t word);
+
+  Xlen xlen_;
+  std::uint64_t base_;
+  std::vector<std::uint8_t> bytes_;
+  std::vector<std::int64_t> label_addrs_;  ///< -1 when unbound.
+  std::vector<Fixup> fixups_;
+  std::map<std::string, std::uint64_t> marks_;
+};
+
+}  // namespace titan::rv

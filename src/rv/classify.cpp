@@ -1,0 +1,39 @@
+#include "rv/isa.hpp"
+
+namespace titan::rv {
+
+namespace {
+
+// RISC-V ABI link registers: ra (x1) and the alternate link register t0 (x5).
+// The calling-convention hint in the ISA manual (Table 2.1, "JALR/JAL rd/rs1
+// hints") is exactly what a binary-only CFI filter like TitanCFI's must rely
+// on, since it sees retired instructions, not compiler metadata.
+bool is_link_reg(std::uint8_t reg) { return reg == 1 || reg == 5; }
+
+}  // namespace
+
+CfKind classify(const Inst& inst) {
+  switch (inst.op) {
+    case Op::kJal:
+      return is_link_reg(inst.rd) ? CfKind::kCall : CfKind::kDirectJump;
+    case Op::kJalr:
+      if (is_link_reg(inst.rd)) {
+        return CfKind::kCall;
+      }
+      if (inst.rd == 0 && is_link_reg(inst.rs1)) {
+        return CfKind::kReturn;
+      }
+      return CfKind::kIndirectJump;
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu:
+      return CfKind::kBranch;
+    default:
+      return CfKind::kNone;
+  }
+}
+
+}  // namespace titan::rv

@@ -1,0 +1,453 @@
+#include "rv/decode.hpp"
+
+#include "rv/encode.hpp"
+
+namespace titan::rv {
+
+namespace {
+
+std::uint32_t bit(std::uint32_t x, int i) { return (x >> i) & 1u; }
+
+std::uint32_t field(std::uint32_t x, int hi, int lo) {
+  return (x >> lo) & ((1u << (hi - lo + 1)) - 1);
+}
+
+std::int64_t sext(std::uint64_t value, int bits) {
+  const std::uint64_t mask = std::uint64_t{1} << (bits - 1);
+  return static_cast<std::int64_t>((value ^ mask) - mask);
+}
+
+// ---- Immediate extraction for the six base formats ------------------------
+
+std::int64_t imm_i(std::uint32_t raw) {
+  return sext(field(raw, 31, 20), 12);
+}
+
+std::int64_t imm_s(std::uint32_t raw) {
+  return sext((field(raw, 31, 25) << 5) | field(raw, 11, 7), 12);
+}
+
+std::int64_t imm_b(std::uint32_t raw) {
+  const std::uint32_t v = (bit(raw, 31) << 12) | (bit(raw, 7) << 11) |
+                          (field(raw, 30, 25) << 5) | (field(raw, 11, 8) << 1);
+  return sext(v, 13);
+}
+
+std::int64_t imm_u(std::uint32_t raw) {
+  return sext(raw & 0xFFFFF000u, 32);
+}
+
+std::int64_t imm_j(std::uint32_t raw) {
+  const std::uint32_t v = (bit(raw, 31) << 20) | (field(raw, 19, 12) << 12) |
+                          (bit(raw, 20) << 11) | (field(raw, 30, 21) << 1);
+  return sext(v, 21);
+}
+
+Inst make(Op op, std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2,
+          std::int64_t imm, std::uint32_t raw) {
+  Inst inst;
+  inst.op = op;
+  inst.rd = rd;
+  inst.rs1 = rs1;
+  inst.rs2 = rs2;
+  inst.imm = imm;
+  inst.raw = raw;
+  inst.expanded = raw;
+  inst.len = 4;
+  return inst;
+}
+
+Inst illegal(std::uint32_t raw) {
+  Inst inst;
+  inst.raw = raw;
+  inst.expanded = raw;
+  return inst;
+}
+
+Inst decode32(std::uint32_t raw, Xlen xlen) {
+  const std::uint32_t opcode = raw & 0x7F;
+  const auto rd = static_cast<std::uint8_t>(field(raw, 11, 7));
+  const auto rs1 = static_cast<std::uint8_t>(field(raw, 19, 15));
+  const auto rs2 = static_cast<std::uint8_t>(field(raw, 24, 20));
+  const std::uint32_t f3 = field(raw, 14, 12);
+  const std::uint32_t f7 = field(raw, 31, 25);
+  const bool rv64 = xlen == Xlen::k64;
+
+  switch (opcode) {
+    case 0x37:
+      return make(Op::kLui, rd, 0, 0, imm_u(raw), raw);
+    case 0x17:
+      return make(Op::kAuipc, rd, 0, 0, imm_u(raw), raw);
+    case 0x6F:
+      return make(Op::kJal, rd, 0, 0, imm_j(raw), raw);
+    case 0x67:
+      if (f3 != 0) return illegal(raw);
+      return make(Op::kJalr, rd, rs1, 0, imm_i(raw), raw);
+    case 0x63: {
+      Op op;
+      switch (f3) {
+        case 0: op = Op::kBeq; break;
+        case 1: op = Op::kBne; break;
+        case 4: op = Op::kBlt; break;
+        case 5: op = Op::kBge; break;
+        case 6: op = Op::kBltu; break;
+        case 7: op = Op::kBgeu; break;
+        default: return illegal(raw);
+      }
+      return make(op, 0, rs1, rs2, imm_b(raw), raw);
+    }
+    case 0x03: {
+      Op op;
+      switch (f3) {
+        case 0: op = Op::kLb; break;
+        case 1: op = Op::kLh; break;
+        case 2: op = Op::kLw; break;
+        case 3: if (!rv64) return illegal(raw); op = Op::kLd; break;
+        case 4: op = Op::kLbu; break;
+        case 5: op = Op::kLhu; break;
+        case 6: if (!rv64) return illegal(raw); op = Op::kLwu; break;
+        default: return illegal(raw);
+      }
+      return make(op, rd, rs1, 0, imm_i(raw), raw);
+    }
+    case 0x23: {
+      Op op;
+      switch (f3) {
+        case 0: op = Op::kSb; break;
+        case 1: op = Op::kSh; break;
+        case 2: op = Op::kSw; break;
+        case 3: if (!rv64) return illegal(raw); op = Op::kSd; break;
+        default: return illegal(raw);
+      }
+      return make(op, 0, rs1, rs2, imm_s(raw), raw);
+    }
+    case 0x13: {
+      switch (f3) {
+        case 0: return make(Op::kAddi, rd, rs1, 0, imm_i(raw), raw);
+        case 2: return make(Op::kSlti, rd, rs1, 0, imm_i(raw), raw);
+        case 3: return make(Op::kSltiu, rd, rs1, 0, imm_i(raw), raw);
+        case 4: return make(Op::kXori, rd, rs1, 0, imm_i(raw), raw);
+        case 6: return make(Op::kOri, rd, rs1, 0, imm_i(raw), raw);
+        case 7: return make(Op::kAndi, rd, rs1, 0, imm_i(raw), raw);
+        case 1: {
+          const std::uint32_t shamt_bits = rv64 ? 6 : 5;
+          if (field(raw, 31, 20 + shamt_bits) != 0) return illegal(raw);
+          return make(Op::kSlli, rd, rs1, 0, field(raw, 25, 20), raw);
+        }
+        case 5: {
+          const std::uint32_t top = rv64 ? field(raw, 31, 26) : field(raw, 31, 25);
+          const std::int64_t shamt = rv64 ? field(raw, 25, 20) : field(raw, 24, 20);
+          if (top == 0) return make(Op::kSrli, rd, rs1, 0, shamt, raw);
+          if (top == (rv64 ? 0x10u : 0x20u)) {
+            return make(Op::kSrai, rd, rs1, 0, shamt, raw);
+          }
+          return illegal(raw);
+        }
+        default: return illegal(raw);
+      }
+    }
+    case 0x1B: {
+      if (!rv64) return illegal(raw);
+      switch (f3) {
+        case 0: return make(Op::kAddiw, rd, rs1, 0, imm_i(raw), raw);
+        case 1:
+          if (f7 != 0) return illegal(raw);
+          return make(Op::kSlliw, rd, rs1, 0, field(raw, 24, 20), raw);
+        case 5:
+          if (f7 == 0x00) return make(Op::kSrliw, rd, rs1, 0, field(raw, 24, 20), raw);
+          if (f7 == 0x20) return make(Op::kSraiw, rd, rs1, 0, field(raw, 24, 20), raw);
+          return illegal(raw);
+        default: return illegal(raw);
+      }
+    }
+    case 0x33: {
+      if (f7 == 0x01) {
+        static constexpr Op kMulOps[8] = {Op::kMul, Op::kMulh, Op::kMulhsu,
+                                          Op::kMulhu, Op::kDiv, Op::kDivu,
+                                          Op::kRem, Op::kRemu};
+        return make(kMulOps[f3], rd, rs1, rs2, 0, raw);
+      }
+      if (f7 == 0x00) {
+        static constexpr Op kOps[8] = {Op::kAdd, Op::kSll, Op::kSlt, Op::kSltu,
+                                       Op::kXor, Op::kSrl, Op::kOr, Op::kAnd};
+        return make(kOps[f3], rd, rs1, rs2, 0, raw);
+      }
+      if (f7 == 0x20) {
+        if (f3 == 0) return make(Op::kSub, rd, rs1, rs2, 0, raw);
+        if (f3 == 5) return make(Op::kSra, rd, rs1, rs2, 0, raw);
+      }
+      return illegal(raw);
+    }
+    case 0x3B: {
+      if (!rv64) return illegal(raw);
+      if (f7 == 0x01) {
+        switch (f3) {
+          case 0: return make(Op::kMulw, rd, rs1, rs2, 0, raw);
+          case 4: return make(Op::kDivw, rd, rs1, rs2, 0, raw);
+          case 5: return make(Op::kDivuw, rd, rs1, rs2, 0, raw);
+          case 6: return make(Op::kRemw, rd, rs1, rs2, 0, raw);
+          case 7: return make(Op::kRemuw, rd, rs1, rs2, 0, raw);
+          default: return illegal(raw);
+        }
+      }
+      if (f7 == 0x00) {
+        switch (f3) {
+          case 0: return make(Op::kAddw, rd, rs1, rs2, 0, raw);
+          case 1: return make(Op::kSllw, rd, rs1, rs2, 0, raw);
+          case 5: return make(Op::kSrlw, rd, rs1, rs2, 0, raw);
+          default: return illegal(raw);
+        }
+      }
+      if (f7 == 0x20) {
+        if (f3 == 0) return make(Op::kSubw, rd, rs1, rs2, 0, raw);
+        if (f3 == 5) return make(Op::kSraw, rd, rs1, rs2, 0, raw);
+      }
+      return illegal(raw);
+    }
+    case 0x0F:
+      return make(Op::kFence, 0, 0, 0, 0, raw);
+    case 0x73: {
+      if (f3 == 0) {
+        switch (field(raw, 31, 20)) {
+          case 0x000: return make(Op::kEcall, 0, 0, 0, 0, raw);
+          case 0x001: return make(Op::kEbreak, 0, 0, 0, 0, raw);
+          case 0x302: return make(Op::kMret, 0, 0, 0, 0, raw);
+          case 0x105: return make(Op::kWfi, 0, 0, 0, 0, raw);
+          default: return illegal(raw);
+        }
+      }
+      // CSR number lives in imm; zimm (for immediate forms) in rs1.
+      const std::int64_t csr_num = field(raw, 31, 20);
+      switch (f3) {
+        case 1: return make(Op::kCsrrw, rd, rs1, 0, csr_num, raw);
+        case 2: return make(Op::kCsrrs, rd, rs1, 0, csr_num, raw);
+        case 3: return make(Op::kCsrrc, rd, rs1, 0, csr_num, raw);
+        case 5: return make(Op::kCsrrwi, rd, rs1, 0, csr_num, raw);
+        case 6: return make(Op::kCsrrsi, rd, rs1, 0, csr_num, raw);
+        case 7: return make(Op::kCsrrci, rd, rs1, 0, csr_num, raw);
+        default: return illegal(raw);
+      }
+    }
+    default:
+      return illegal(raw);
+  }
+}
+
+}  // namespace
+
+std::optional<std::uint32_t> expand_rvc(std::uint16_t half, Xlen xlen) {
+  const std::uint32_t c = half;
+  const std::uint32_t quadrant = c & 3;
+  const std::uint32_t f3 = field(c, 15, 13);
+  const bool rv64 = xlen == Xlen::k64;
+
+  // x8..x15 register decoding for the prime fields.
+  const auto rdp = static_cast<std::uint8_t>(8 + field(c, 4, 2));
+  const auto rs1p = static_cast<std::uint8_t>(8 + field(c, 9, 7));
+  const auto rs2p = rdp;
+  const auto rd_full = static_cast<std::uint8_t>(field(c, 11, 7));
+  const auto rs2_full = static_cast<std::uint8_t>(field(c, 6, 2));
+
+  if (c == 0) return std::nullopt;  // Defined illegal.
+
+  switch (quadrant) {
+    case 0:
+      switch (f3) {
+        case 0: {  // c.addi4spn
+          const std::uint32_t imm = (field(c, 12, 11) << 4) |
+                                    (field(c, 10, 7) << 6) | (bit(c, 6) << 2) |
+                                    (bit(c, 5) << 3);
+          if (imm == 0) return std::nullopt;
+          return enc_i(0x13, 0, rdp, 2, static_cast<std::int32_t>(imm));
+        }
+        case 2: {  // c.lw
+          const std::uint32_t imm =
+              (field(c, 12, 10) << 3) | (bit(c, 6) << 2) | (bit(c, 5) << 6);
+          return enc_i(0x03, 2, rdp, rs1p, static_cast<std::int32_t>(imm));
+        }
+        case 3: {  // c.ld (RV64)
+          if (!rv64) return std::nullopt;
+          const std::uint32_t imm = (field(c, 12, 10) << 3) | (field(c, 6, 5) << 6);
+          return enc_i(0x03, 3, rdp, rs1p, static_cast<std::int32_t>(imm));
+        }
+        case 6: {  // c.sw
+          const std::uint32_t imm =
+              (field(c, 12, 10) << 3) | (bit(c, 6) << 2) | (bit(c, 5) << 6);
+          return enc_s(0x23, 2, rs1p, rs2p, static_cast<std::int32_t>(imm));
+        }
+        case 7: {  // c.sd (RV64)
+          if (!rv64) return std::nullopt;
+          const std::uint32_t imm = (field(c, 12, 10) << 3) | (field(c, 6, 5) << 6);
+          return enc_s(0x23, 3, rs1p, rs2p, static_cast<std::int32_t>(imm));
+        }
+        default:
+          return std::nullopt;
+      }
+    case 1:
+      switch (f3) {
+        case 0: {  // c.addi / c.nop
+          const auto imm = static_cast<std::int32_t>(
+              sext((bit(c, 12) << 5) | field(c, 6, 2), 6));
+          return enc_i(0x13, 0, rd_full, rd_full, imm);
+        }
+        case 1: {
+          if (rv64) {  // c.addiw
+            if (rd_full == 0) return std::nullopt;
+            const auto imm = static_cast<std::int32_t>(
+                sext((bit(c, 12) << 5) | field(c, 6, 2), 6));
+            return enc_i(0x1B, 0, rd_full, rd_full, imm);
+          }
+          // RV32 c.jal
+          const auto off = static_cast<std::int32_t>(sext(
+              (bit(c, 12) << 11) | (bit(c, 11) << 4) | (field(c, 10, 9) << 8) |
+                  (bit(c, 8) << 10) | (bit(c, 7) << 6) | (bit(c, 6) << 7) |
+                  (field(c, 5, 3) << 1) | (bit(c, 2) << 5),
+              12));
+          return enc_j(0x6F, 1, off);
+        }
+        case 2: {  // c.li
+          const auto imm = static_cast<std::int32_t>(
+              sext((bit(c, 12) << 5) | field(c, 6, 2), 6));
+          return enc_i(0x13, 0, rd_full, 0, imm);
+        }
+        case 3: {
+          if (rd_full == 2) {  // c.addi16sp
+            const auto imm = static_cast<std::int32_t>(
+                sext((bit(c, 12) << 9) | (bit(c, 6) << 4) | (bit(c, 5) << 6) |
+                         (field(c, 4, 3) << 7) | (bit(c, 2) << 5),
+                     10));
+            if (imm == 0) return std::nullopt;
+            return enc_i(0x13, 0, 2, 2, imm);
+          }
+          // c.lui
+          const std::int64_t imm =
+              sext((static_cast<std::uint64_t>(bit(c, 12)) << 17) |
+                       (static_cast<std::uint64_t>(field(c, 6, 2)) << 12),
+                   18);
+          if (imm == 0) return std::nullopt;
+          return enc_u(0x37, rd_full, imm);
+        }
+        case 4: {
+          const std::uint32_t f2 = field(c, 11, 10);
+          if (f2 == 0 || f2 == 1) {  // c.srli / c.srai
+            const std::uint32_t shamt = (bit(c, 12) << 5) | field(c, 6, 2);
+            if (!rv64 && bit(c, 12)) return std::nullopt;
+            const std::int32_t imm = static_cast<std::int32_t>(shamt) |
+                                     (f2 == 1 ? 0x400 : 0);
+            return enc_i(0x13, 5, rs1p, rs1p, imm);
+          }
+          if (f2 == 2) {  // c.andi
+            const auto imm = static_cast<std::int32_t>(
+                sext((bit(c, 12) << 5) | field(c, 6, 2), 6));
+            return enc_i(0x13, 7, rs1p, rs1p, imm);
+          }
+          // f2 == 3: register-register ops
+          const std::uint32_t f2b = field(c, 6, 5);
+          if (bit(c, 12) == 0) {
+            switch (f2b) {
+              case 0: return enc_r(0x33, 0, 0x20, rs1p, rs1p, rdp);  // c.sub
+              case 1: return enc_r(0x33, 4, 0x00, rs1p, rs1p, rdp);  // c.xor
+              case 2: return enc_r(0x33, 6, 0x00, rs1p, rs1p, rdp);  // c.or
+              default: return enc_r(0x33, 7, 0x00, rs1p, rs1p, rdp); // c.and
+            }
+          }
+          if (!rv64) return std::nullopt;
+          switch (f2b) {
+            case 0: return enc_r(0x3B, 0, 0x20, rs1p, rs1p, rdp);  // c.subw
+            case 1: return enc_r(0x3B, 0, 0x00, rs1p, rs1p, rdp);  // c.addw
+            default: return std::nullopt;
+          }
+        }
+        case 5: {  // c.j
+          const auto off = static_cast<std::int32_t>(sext(
+              (bit(c, 12) << 11) | (bit(c, 11) << 4) | (field(c, 10, 9) << 8) |
+                  (bit(c, 8) << 10) | (bit(c, 7) << 6) | (bit(c, 6) << 7) |
+                  (field(c, 5, 3) << 1) | (bit(c, 2) << 5),
+              12));
+          return enc_j(0x6F, 0, off);
+        }
+        case 6:    // c.beqz
+        case 7: {  // c.bnez
+          const auto off = static_cast<std::int32_t>(
+              sext((bit(c, 12) << 8) | (field(c, 11, 10) << 3) |
+                       (field(c, 6, 5) << 6) | (field(c, 4, 3) << 1) |
+                       (bit(c, 2) << 5),
+                   9));
+          return enc_b(0x63, f3 == 6 ? 0 : 1, rs1p, 0, off);
+        }
+        default:
+          return std::nullopt;
+      }
+    case 2:
+      switch (f3) {
+        case 0: {  // c.slli
+          const std::uint32_t shamt = (bit(c, 12) << 5) | field(c, 6, 2);
+          if (!rv64 && bit(c, 12)) return std::nullopt;
+          return enc_i(0x13, 1, rd_full, rd_full,
+                       static_cast<std::int32_t>(shamt));
+        }
+        case 2: {  // c.lwsp
+          if (rd_full == 0) return std::nullopt;
+          const std::uint32_t imm =
+              (bit(c, 12) << 5) | (field(c, 6, 4) << 2) | (field(c, 3, 2) << 6);
+          return enc_i(0x03, 2, rd_full, 2, static_cast<std::int32_t>(imm));
+        }
+        case 3: {  // c.ldsp (RV64)
+          if (!rv64 || rd_full == 0) return std::nullopt;
+          const std::uint32_t imm =
+              (bit(c, 12) << 5) | (field(c, 6, 5) << 3) | (field(c, 4, 2) << 6);
+          return enc_i(0x03, 3, rd_full, 2, static_cast<std::int32_t>(imm));
+        }
+        case 4: {
+          if (bit(c, 12) == 0) {
+            if (rs2_full == 0) {  // c.jr
+              if (rd_full == 0) return std::nullopt;
+              return enc_i(0x67, 0, 0, rd_full, 0);
+            }
+            // c.mv
+            return enc_r(0x33, 0, 0x00, rd_full, 0, rs2_full);
+          }
+          if (rs2_full == 0) {
+            if (rd_full == 0) return 0x00100073;  // c.ebreak
+            return enc_i(0x67, 0, 1, rd_full, 0);  // c.jalr
+          }
+          return enc_r(0x33, 0, 0x00, rd_full, rd_full, rs2_full);  // c.add
+        }
+        case 6: {  // c.swsp
+          const std::uint32_t imm = (field(c, 12, 9) << 2) | (field(c, 8, 7) << 6);
+          return enc_s(0x23, 2, 2, rs2_full, static_cast<std::int32_t>(imm));
+        }
+        case 7: {  // c.sdsp (RV64)
+          if (!rv64) return std::nullopt;
+          const std::uint32_t imm = (field(c, 12, 10) << 3) | (field(c, 9, 7) << 6);
+          return enc_s(0x23, 3, 2, rs2_full, static_cast<std::int32_t>(imm));
+        }
+        default:
+          return std::nullopt;
+      }
+    default:
+      return std::nullopt;
+  }
+}
+
+Inst decode(std::uint32_t raw, Xlen xlen) {
+  if ((raw & 3) != 3) {
+    const auto half = static_cast<std::uint16_t>(raw);
+    const auto expansion = expand_rvc(half, xlen);
+    if (!expansion.has_value()) {
+      Inst inst;
+      inst.raw = half;
+      inst.expanded = half;
+      inst.len = 2;
+      return inst;
+    }
+    Inst inst = decode32(*expansion, xlen);
+    inst.raw = half;
+    inst.expanded = *expansion;
+    inst.len = 2;
+    return inst;
+  }
+  return decode32(raw, xlen);
+}
+
+}  // namespace titan::rv

@@ -1,0 +1,23 @@
+// RISC-V decoder: 32-bit base encodings plus RVC (compressed) expansion.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "rv/isa.hpp"
+
+namespace titan::rv {
+
+/// Decode one instruction starting at the given raw fetch word.  If the low
+/// two bits select a compressed encoding, only the low 16 bits are consumed
+/// (len == 2) and the instruction is decoded through its 32-bit expansion,
+/// which is stored in Inst::expanded — exactly the "uncompressed binary
+/// encoding" the TitanCFI commit log carries (paper Sec. IV-B1).
+[[nodiscard]] Inst decode(std::uint32_t raw, Xlen xlen);
+
+/// Expand a 16-bit compressed instruction into its 32-bit equivalent.
+/// Returns std::nullopt for reserved/illegal encodings.
+[[nodiscard]] std::optional<std::uint32_t> expand_rvc(std::uint16_t half,
+                                                      Xlen xlen);
+
+}  // namespace titan::rv

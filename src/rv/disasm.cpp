@@ -1,0 +1,209 @@
+#include "rv/disasm.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace titan::rv {
+
+std::string_view mnemonic(Op op) {
+  switch (op) {
+    case Op::kIllegal: return "illegal";
+    case Op::kLui: return "lui";
+    case Op::kAuipc: return "auipc";
+    case Op::kJal: return "jal";
+    case Op::kJalr: return "jalr";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kBlt: return "blt";
+    case Op::kBge: return "bge";
+    case Op::kBltu: return "bltu";
+    case Op::kBgeu: return "bgeu";
+    case Op::kLb: return "lb";
+    case Op::kLh: return "lh";
+    case Op::kLw: return "lw";
+    case Op::kLbu: return "lbu";
+    case Op::kLhu: return "lhu";
+    case Op::kLwu: return "lwu";
+    case Op::kLd: return "ld";
+    case Op::kSb: return "sb";
+    case Op::kSh: return "sh";
+    case Op::kSw: return "sw";
+    case Op::kSd: return "sd";
+    case Op::kAddi: return "addi";
+    case Op::kSlti: return "slti";
+    case Op::kSltiu: return "sltiu";
+    case Op::kXori: return "xori";
+    case Op::kOri: return "ori";
+    case Op::kAndi: return "andi";
+    case Op::kSlli: return "slli";
+    case Op::kSrli: return "srli";
+    case Op::kSrai: return "srai";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kSll: return "sll";
+    case Op::kSlt: return "slt";
+    case Op::kSltu: return "sltu";
+    case Op::kXor: return "xor";
+    case Op::kSrl: return "srl";
+    case Op::kSra: return "sra";
+    case Op::kOr: return "or";
+    case Op::kAnd: return "and";
+    case Op::kAddiw: return "addiw";
+    case Op::kSlliw: return "slliw";
+    case Op::kSrliw: return "srliw";
+    case Op::kSraiw: return "sraiw";
+    case Op::kAddw: return "addw";
+    case Op::kSubw: return "subw";
+    case Op::kSllw: return "sllw";
+    case Op::kSrlw: return "srlw";
+    case Op::kSraw: return "sraw";
+    case Op::kFence: return "fence";
+    case Op::kEcall: return "ecall";
+    case Op::kEbreak: return "ebreak";
+    case Op::kMret: return "mret";
+    case Op::kWfi: return "wfi";
+    case Op::kCsrrw: return "csrrw";
+    case Op::kCsrrs: return "csrrs";
+    case Op::kCsrrc: return "csrrc";
+    case Op::kCsrrwi: return "csrrwi";
+    case Op::kCsrrsi: return "csrrsi";
+    case Op::kCsrrci: return "csrrci";
+    case Op::kMul: return "mul";
+    case Op::kMulh: return "mulh";
+    case Op::kMulhsu: return "mulhsu";
+    case Op::kMulhu: return "mulhu";
+    case Op::kDiv: return "div";
+    case Op::kDivu: return "divu";
+    case Op::kRem: return "rem";
+    case Op::kRemu: return "remu";
+    case Op::kMulw: return "mulw";
+    case Op::kDivw: return "divw";
+    case Op::kDivuw: return "divuw";
+    case Op::kRemw: return "remw";
+    case Op::kRemuw: return "remuw";
+  }
+  return "?";
+}
+
+std::string_view reg_name(std::uint8_t reg) {
+  static constexpr std::array<std::string_view, 32> kNames = {
+      "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+      "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+      "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+  return reg < kNames.size() ? kNames[reg] : "x?";
+}
+
+namespace {
+
+enum class Fmt { kNone, kRType, kIType, kLoad, kStore, kBranch, kUType, kJType, kShift, kCsr, kCsrImm };
+
+Fmt format_of(Op op) {
+  switch (op) {
+    case Op::kLui:
+    case Op::kAuipc:
+      return Fmt::kUType;
+    case Op::kJal:
+      return Fmt::kJType;
+    case Op::kJalr:
+    case Op::kLb:
+    case Op::kLh:
+    case Op::kLw:
+    case Op::kLbu:
+    case Op::kLhu:
+    case Op::kLwu:
+    case Op::kLd:
+      return Fmt::kLoad;
+    case Op::kSb:
+    case Op::kSh:
+    case Op::kSw:
+    case Op::kSd:
+      return Fmt::kStore;
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu:
+      return Fmt::kBranch;
+    case Op::kAddi:
+    case Op::kSlti:
+    case Op::kSltiu:
+    case Op::kXori:
+    case Op::kOri:
+    case Op::kAndi:
+    case Op::kAddiw:
+      return Fmt::kIType;
+    case Op::kSlli:
+    case Op::kSrli:
+    case Op::kSrai:
+    case Op::kSlliw:
+    case Op::kSrliw:
+    case Op::kSraiw:
+      return Fmt::kShift;
+    case Op::kCsrrw:
+    case Op::kCsrrs:
+    case Op::kCsrrc:
+      return Fmt::kCsr;
+    case Op::kCsrrwi:
+    case Op::kCsrrsi:
+    case Op::kCsrrci:
+      return Fmt::kCsrImm;
+    case Op::kFence:
+    case Op::kEcall:
+    case Op::kEbreak:
+    case Op::kMret:
+    case Op::kWfi:
+    case Op::kIllegal:
+      return Fmt::kNone;
+    default:
+      return Fmt::kRType;
+  }
+}
+
+}  // namespace
+
+std::string disasm(const Inst& i) {
+  std::ostringstream os;
+  os << mnemonic(i.op);
+  switch (format_of(i.op)) {
+    case Fmt::kNone:
+      break;
+    case Fmt::kRType:
+      os << " " << reg_name(i.rd) << ", " << reg_name(i.rs1) << ", "
+         << reg_name(i.rs2);
+      break;
+    case Fmt::kIType:
+    case Fmt::kShift:
+      os << " " << reg_name(i.rd) << ", " << reg_name(i.rs1) << ", " << i.imm;
+      break;
+    case Fmt::kLoad:
+      os << " " << reg_name(i.rd) << ", " << i.imm << "(" << reg_name(i.rs1)
+         << ")";
+      break;
+    case Fmt::kStore:
+      os << " " << reg_name(i.rs2) << ", " << i.imm << "(" << reg_name(i.rs1)
+         << ")";
+      break;
+    case Fmt::kBranch:
+      os << " " << reg_name(i.rs1) << ", " << reg_name(i.rs2) << ", " << i.imm;
+      break;
+    case Fmt::kUType:
+      os << " " << reg_name(i.rd) << ", 0x" << std::hex
+         << ((static_cast<std::uint64_t>(i.imm) >> 12) & 0xFFFFF);
+      break;
+    case Fmt::kJType:
+      os << " " << reg_name(i.rd) << ", " << i.imm;
+      break;
+    case Fmt::kCsr:
+      os << " " << reg_name(i.rd) << ", 0x" << std::hex << i.imm << std::dec
+         << ", " << reg_name(i.rs1);
+      break;
+    case Fmt::kCsrImm:
+      os << " " << reg_name(i.rd) << ", 0x" << std::hex << i.imm << std::dec
+         << ", " << static_cast<int>(i.rs1);
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace titan::rv

@@ -1,0 +1,13 @@
+// Human-readable disassembly, used by trace dumps, examples, and debugging.
+#pragma once
+
+#include <string>
+
+#include "rv/isa.hpp"
+
+namespace titan::rv {
+
+/// Render an instruction in objdump-like syntax, e.g. "addi sp, sp, -16".
+[[nodiscard]] std::string disasm(const Inst& inst);
+
+}  // namespace titan::rv

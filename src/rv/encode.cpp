@@ -1,0 +1,230 @@
+#include "rv/encode.hpp"
+
+#include <stdexcept>
+
+namespace titan::rv {
+
+namespace {
+
+std::uint32_t bits(std::int64_t value, int hi, int lo) {
+  return static_cast<std::uint32_t>((static_cast<std::uint64_t>(value) >> lo) &
+                                    ((std::uint64_t{1} << (hi - lo + 1)) - 1));
+}
+
+}  // namespace
+
+std::uint32_t enc_r(std::uint32_t opcode, std::uint32_t funct3,
+                    std::uint32_t funct7, std::uint8_t rd, std::uint8_t rs1,
+                    std::uint8_t rs2) {
+  return opcode | (std::uint32_t{rd} << 7) | (funct3 << 12) |
+         (std::uint32_t{rs1} << 15) | (std::uint32_t{rs2} << 20) |
+         (funct7 << 25);
+}
+
+std::uint32_t enc_i(std::uint32_t opcode, std::uint32_t funct3, std::uint8_t rd,
+                    std::uint8_t rs1, std::int32_t imm12) {
+  return opcode | (std::uint32_t{rd} << 7) | (funct3 << 12) |
+         (std::uint32_t{rs1} << 15) | (bits(imm12, 11, 0) << 20);
+}
+
+std::uint32_t enc_s(std::uint32_t opcode, std::uint32_t funct3,
+                    std::uint8_t rs1, std::uint8_t rs2, std::int32_t imm12) {
+  return opcode | (bits(imm12, 4, 0) << 7) | (funct3 << 12) |
+         (std::uint32_t{rs1} << 15) | (std::uint32_t{rs2} << 20) |
+         (bits(imm12, 11, 5) << 25);
+}
+
+std::uint32_t enc_b(std::uint32_t opcode, std::uint32_t funct3,
+                    std::uint8_t rs1, std::uint8_t rs2, std::int32_t offset13) {
+  return opcode | (bits(offset13, 11, 11) << 7) | (bits(offset13, 4, 1) << 8) |
+         (funct3 << 12) | (std::uint32_t{rs1} << 15) |
+         (std::uint32_t{rs2} << 20) | (bits(offset13, 10, 5) << 25) |
+         (bits(offset13, 12, 12) << 31);
+}
+
+std::uint32_t enc_u(std::uint32_t opcode, std::uint8_t rd, std::int64_t imm32) {
+  return opcode | (std::uint32_t{rd} << 7) |
+         (static_cast<std::uint32_t>(imm32) & 0xFFFFF000u);
+}
+
+std::uint32_t enc_j(std::uint32_t opcode, std::uint8_t rd, std::int32_t offset21) {
+  return opcode | (std::uint32_t{rd} << 7) | (bits(offset21, 19, 12) << 12) |
+         (bits(offset21, 11, 11) << 20) | (bits(offset21, 10, 1) << 21) |
+         (bits(offset21, 20, 20) << 31);
+}
+
+namespace {
+
+// Opcode majors.
+constexpr std::uint32_t kOpLui = 0x37;
+constexpr std::uint32_t kOpAuipc = 0x17;
+constexpr std::uint32_t kOpJal = 0x6F;
+constexpr std::uint32_t kOpJalr = 0x67;
+constexpr std::uint32_t kOpBranch = 0x63;
+constexpr std::uint32_t kOpLoad = 0x03;
+constexpr std::uint32_t kOpStore = 0x23;
+constexpr std::uint32_t kOpImm = 0x13;
+constexpr std::uint32_t kOpImm32 = 0x1B;
+constexpr std::uint32_t kOpReg = 0x33;
+constexpr std::uint32_t kOpReg32 = 0x3B;
+constexpr std::uint32_t kOpMisc = 0x0F;
+constexpr std::uint32_t kOpSystem = 0x73;
+
+}  // namespace
+
+std::uint32_t encode(const Inst& i) {
+  const auto imm32 = static_cast<std::int32_t>(i.imm);
+  switch (i.op) {
+    case Op::kLui:
+      return enc_u(kOpLui, i.rd, i.imm);
+    case Op::kAuipc:
+      return enc_u(kOpAuipc, i.rd, i.imm);
+    case Op::kJal:
+      return enc_j(kOpJal, i.rd, imm32);
+    case Op::kJalr:
+      return enc_i(kOpJalr, 0, i.rd, i.rs1, imm32);
+    case Op::kBeq:
+      return enc_b(kOpBranch, 0, i.rs1, i.rs2, imm32);
+    case Op::kBne:
+      return enc_b(kOpBranch, 1, i.rs1, i.rs2, imm32);
+    case Op::kBlt:
+      return enc_b(kOpBranch, 4, i.rs1, i.rs2, imm32);
+    case Op::kBge:
+      return enc_b(kOpBranch, 5, i.rs1, i.rs2, imm32);
+    case Op::kBltu:
+      return enc_b(kOpBranch, 6, i.rs1, i.rs2, imm32);
+    case Op::kBgeu:
+      return enc_b(kOpBranch, 7, i.rs1, i.rs2, imm32);
+    case Op::kLb:
+      return enc_i(kOpLoad, 0, i.rd, i.rs1, imm32);
+    case Op::kLh:
+      return enc_i(kOpLoad, 1, i.rd, i.rs1, imm32);
+    case Op::kLw:
+      return enc_i(kOpLoad, 2, i.rd, i.rs1, imm32);
+    case Op::kLd:
+      return enc_i(kOpLoad, 3, i.rd, i.rs1, imm32);
+    case Op::kLbu:
+      return enc_i(kOpLoad, 4, i.rd, i.rs1, imm32);
+    case Op::kLhu:
+      return enc_i(kOpLoad, 5, i.rd, i.rs1, imm32);
+    case Op::kLwu:
+      return enc_i(kOpLoad, 6, i.rd, i.rs1, imm32);
+    case Op::kSb:
+      return enc_s(kOpStore, 0, i.rs1, i.rs2, imm32);
+    case Op::kSh:
+      return enc_s(kOpStore, 1, i.rs1, i.rs2, imm32);
+    case Op::kSw:
+      return enc_s(kOpStore, 2, i.rs1, i.rs2, imm32);
+    case Op::kSd:
+      return enc_s(kOpStore, 3, i.rs1, i.rs2, imm32);
+    case Op::kAddi:
+      return enc_i(kOpImm, 0, i.rd, i.rs1, imm32);
+    case Op::kSlti:
+      return enc_i(kOpImm, 2, i.rd, i.rs1, imm32);
+    case Op::kSltiu:
+      return enc_i(kOpImm, 3, i.rd, i.rs1, imm32);
+    case Op::kXori:
+      return enc_i(kOpImm, 4, i.rd, i.rs1, imm32);
+    case Op::kOri:
+      return enc_i(kOpImm, 6, i.rd, i.rs1, imm32);
+    case Op::kAndi:
+      return enc_i(kOpImm, 7, i.rd, i.rs1, imm32);
+    case Op::kSlli:
+      return enc_i(kOpImm, 1, i.rd, i.rs1, imm32 & 0x3F);
+    case Op::kSrli:
+      return enc_i(kOpImm, 5, i.rd, i.rs1, imm32 & 0x3F);
+    case Op::kSrai:
+      return enc_i(kOpImm, 5, i.rd, i.rs1, (imm32 & 0x3F) | 0x400);
+    case Op::kAdd:
+      return enc_r(kOpReg, 0, 0x00, i.rd, i.rs1, i.rs2);
+    case Op::kSub:
+      return enc_r(kOpReg, 0, 0x20, i.rd, i.rs1, i.rs2);
+    case Op::kSll:
+      return enc_r(kOpReg, 1, 0x00, i.rd, i.rs1, i.rs2);
+    case Op::kSlt:
+      return enc_r(kOpReg, 2, 0x00, i.rd, i.rs1, i.rs2);
+    case Op::kSltu:
+      return enc_r(kOpReg, 3, 0x00, i.rd, i.rs1, i.rs2);
+    case Op::kXor:
+      return enc_r(kOpReg, 4, 0x00, i.rd, i.rs1, i.rs2);
+    case Op::kSrl:
+      return enc_r(kOpReg, 5, 0x00, i.rd, i.rs1, i.rs2);
+    case Op::kSra:
+      return enc_r(kOpReg, 5, 0x20, i.rd, i.rs1, i.rs2);
+    case Op::kOr:
+      return enc_r(kOpReg, 6, 0x00, i.rd, i.rs1, i.rs2);
+    case Op::kAnd:
+      return enc_r(kOpReg, 7, 0x00, i.rd, i.rs1, i.rs2);
+    case Op::kAddiw:
+      return enc_i(kOpImm32, 0, i.rd, i.rs1, imm32);
+    case Op::kSlliw:
+      return enc_i(kOpImm32, 1, i.rd, i.rs1, imm32 & 0x1F);
+    case Op::kSrliw:
+      return enc_i(kOpImm32, 5, i.rd, i.rs1, imm32 & 0x1F);
+    case Op::kSraiw:
+      return enc_i(kOpImm32, 5, i.rd, i.rs1, (imm32 & 0x1F) | 0x400);
+    case Op::kAddw:
+      return enc_r(kOpReg32, 0, 0x00, i.rd, i.rs1, i.rs2);
+    case Op::kSubw:
+      return enc_r(kOpReg32, 0, 0x20, i.rd, i.rs1, i.rs2);
+    case Op::kSllw:
+      return enc_r(kOpReg32, 1, 0x00, i.rd, i.rs1, i.rs2);
+    case Op::kSrlw:
+      return enc_r(kOpReg32, 5, 0x00, i.rd, i.rs1, i.rs2);
+    case Op::kSraw:
+      return enc_r(kOpReg32, 5, 0x20, i.rd, i.rs1, i.rs2);
+    case Op::kFence:
+      return enc_i(kOpMisc, 0, 0, 0, 0x0FF);
+    case Op::kEcall:
+      return 0x00000073;
+    case Op::kEbreak:
+      return 0x00100073;
+    case Op::kMret:
+      return 0x30200073;
+    case Op::kWfi:
+      return 0x10500073;
+    case Op::kCsrrw:
+      return enc_i(kOpSystem, 1, i.rd, i.rs1, imm32);
+    case Op::kCsrrs:
+      return enc_i(kOpSystem, 2, i.rd, i.rs1, imm32);
+    case Op::kCsrrc:
+      return enc_i(kOpSystem, 3, i.rd, i.rs1, imm32);
+    case Op::kCsrrwi:
+      return enc_i(kOpSystem, 5, i.rd, i.rs1, imm32);
+    case Op::kCsrrsi:
+      return enc_i(kOpSystem, 6, i.rd, i.rs1, imm32);
+    case Op::kCsrrci:
+      return enc_i(kOpSystem, 7, i.rd, i.rs1, imm32);
+    case Op::kMul:
+      return enc_r(kOpReg, 0, 0x01, i.rd, i.rs1, i.rs2);
+    case Op::kMulh:
+      return enc_r(kOpReg, 1, 0x01, i.rd, i.rs1, i.rs2);
+    case Op::kMulhsu:
+      return enc_r(kOpReg, 2, 0x01, i.rd, i.rs1, i.rs2);
+    case Op::kMulhu:
+      return enc_r(kOpReg, 3, 0x01, i.rd, i.rs1, i.rs2);
+    case Op::kDiv:
+      return enc_r(kOpReg, 4, 0x01, i.rd, i.rs1, i.rs2);
+    case Op::kDivu:
+      return enc_r(kOpReg, 5, 0x01, i.rd, i.rs1, i.rs2);
+    case Op::kRem:
+      return enc_r(kOpReg, 6, 0x01, i.rd, i.rs1, i.rs2);
+    case Op::kRemu:
+      return enc_r(kOpReg, 7, 0x01, i.rd, i.rs1, i.rs2);
+    case Op::kMulw:
+      return enc_r(kOpReg32, 0, 0x01, i.rd, i.rs1, i.rs2);
+    case Op::kDivw:
+      return enc_r(kOpReg32, 4, 0x01, i.rd, i.rs1, i.rs2);
+    case Op::kDivuw:
+      return enc_r(kOpReg32, 5, 0x01, i.rd, i.rs1, i.rs2);
+    case Op::kRemw:
+      return enc_r(kOpReg32, 6, 0x01, i.rd, i.rs1, i.rs2);
+    case Op::kRemuw:
+      return enc_r(kOpReg32, 7, 0x01, i.rd, i.rs1, i.rs2);
+    case Op::kIllegal:
+      break;
+  }
+  throw std::invalid_argument("encode: illegal instruction");
+}
+
+}  // namespace titan::rv

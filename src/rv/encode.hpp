@@ -1,0 +1,33 @@
+// RISC-V instruction encoders: the six base formats plus per-mnemonic
+// convenience wrappers used by the assembler and by encode/decode round-trip
+// property tests.
+#pragma once
+
+#include <cstdint>
+
+#include "rv/isa.hpp"
+
+namespace titan::rv {
+
+// ---- Base format encoders -------------------------------------------------
+// Immediates are passed already shifted as the ISA spec writes them
+// (B/J immediates are byte offsets with bit 0 implicitly zero).
+
+std::uint32_t enc_r(std::uint32_t opcode, std::uint32_t funct3,
+                    std::uint32_t funct7, std::uint8_t rd, std::uint8_t rs1,
+                    std::uint8_t rs2);
+std::uint32_t enc_i(std::uint32_t opcode, std::uint32_t funct3, std::uint8_t rd,
+                    std::uint8_t rs1, std::int32_t imm12);
+std::uint32_t enc_s(std::uint32_t opcode, std::uint32_t funct3,
+                    std::uint8_t rs1, std::uint8_t rs2, std::int32_t imm12);
+std::uint32_t enc_b(std::uint32_t opcode, std::uint32_t funct3,
+                    std::uint8_t rs1, std::uint8_t rs2, std::int32_t offset13);
+std::uint32_t enc_u(std::uint32_t opcode, std::uint8_t rd, std::int64_t imm32);
+std::uint32_t enc_j(std::uint32_t opcode, std::uint8_t rd, std::int32_t offset21);
+
+/// Encode a decoded instruction back into its canonical 32-bit form.
+/// Inverse of decode() for every op the decoder produces (always emits the
+/// uncompressed encoding).
+std::uint32_t encode(const Inst& inst);
+
+}  // namespace titan::rv

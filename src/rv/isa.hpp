@@ -1,0 +1,109 @@
+// RISC-V ISA model: operations, registers, decoded-instruction record, and
+// ABI-aware control-flow classification.
+//
+// Covers RV32IMC / RV64IMC + Zicsr + machine-mode system instructions, which
+// is the instruction surface of both cores in the TitanCFI SoC (CVA6 host is
+// RV64GC but no workload in this repository needs F/D/A; Ibex is RV32IMC).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace titan::rv {
+
+enum class Xlen { k32, k64 };
+
+/// Architectural integer registers (ABI names).
+enum class Reg : std::uint8_t {
+  kZero = 0, kRa = 1, kSp = 2, kGp = 3, kTp = 4,
+  kT0 = 5, kT1 = 6, kT2 = 7,
+  kS0 = 8, kS1 = 9,
+  kA0 = 10, kA1 = 11, kA2 = 12, kA3 = 13, kA4 = 14, kA5 = 15, kA6 = 16, kA7 = 17,
+  kS2 = 18, kS3 = 19, kS4 = 20, kS5 = 21, kS6 = 22, kS7 = 23, kS8 = 24,
+  kS9 = 25, kS10 = 26, kS11 = 27,
+  kT3 = 28, kT4 = 29, kT5 = 30, kT6 = 31,
+};
+
+inline constexpr std::uint8_t reg_num(Reg r) { return static_cast<std::uint8_t>(r); }
+
+/// All operations the decoder can produce.
+enum class Op : std::uint8_t {
+  kIllegal,
+  // RV32I / RV64I
+  kLui, kAuipc, kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLbu, kLhu, kLwu, kLd,
+  kSb, kSh, kSw, kSd,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kAddiw, kSlliw, kSrliw, kSraiw,
+  kAddw, kSubw, kSllw, kSrlw, kSraw,
+  kFence, kEcall, kEbreak, kMret, kWfi,
+  // Zicsr
+  kCsrrw, kCsrrs, kCsrrc, kCsrrwi, kCsrrsi, kCsrrci,
+  // M extension
+  kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+  kMulw, kDivw, kDivuw, kRemw, kRemuw,
+};
+
+/// A fully decoded instruction.
+///
+/// For CSR instructions `imm` holds the CSR number and, for the immediate
+/// variants, `rs1` holds the 5-bit zimm.
+struct Inst {
+  Op op = Op::kIllegal;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int64_t imm = 0;
+  std::uint32_t raw = 0;       ///< Original encoding (16-bit RVC in low half).
+  std::uint32_t expanded = 0;  ///< Uncompressed 32-bit equivalent encoding.
+  std::uint8_t len = 4;        ///< Instruction length in bytes (2 or 4).
+
+  [[nodiscard]] bool valid() const { return op != Op::kIllegal; }
+};
+
+/// Control-flow taxonomy used by the CFI Filter (paper Sec. IV-B1):
+/// calls, returns and indirect jumps must be checked; direct jumps and
+/// conditional branches have statically-known targets and are not streamed.
+enum class CfKind : std::uint8_t {
+  kNone,          ///< Not a control-flow instruction.
+  kCall,          ///< JAL/JALR with rd in {ra, t0} (RISC-V ABI link regs).
+  kReturn,        ///< JALR rd=x0, rs1 in {ra, t0}.
+  kIndirectJump,  ///< Other JALR (computed target, no link).
+  kDirectJump,    ///< JAL rd=x0 (static target).
+  kBranch,        ///< Conditional branch (static targets).
+};
+
+/// Classify a decoded instruction per the RISC-V ABI hint convention.
+[[nodiscard]] CfKind classify(const Inst& inst);
+
+/// True for the kinds the CFI Filter forwards to the RoT.
+[[nodiscard]] inline bool cfi_relevant(CfKind kind) {
+  return kind == CfKind::kCall || kind == CfKind::kReturn ||
+         kind == CfKind::kIndirectJump;
+}
+
+/// Mnemonic for an operation ("addi", "c.jr" is not distinguished — RVC
+/// instructions disassemble as their expanded form).
+[[nodiscard]] std::string_view mnemonic(Op op);
+
+/// ABI name for a register number ("ra", "sp", "a0", ...).
+[[nodiscard]] std::string_view reg_name(std::uint8_t reg);
+
+/// Commonly used CSR numbers (machine mode subset modelled by the cores).
+namespace csr {
+inline constexpr std::uint32_t kMstatus = 0x300;
+inline constexpr std::uint32_t kMie = 0x304;
+inline constexpr std::uint32_t kMtvec = 0x305;
+inline constexpr std::uint32_t kMscratch = 0x340;
+inline constexpr std::uint32_t kMepc = 0x341;
+inline constexpr std::uint32_t kMcause = 0x342;
+inline constexpr std::uint32_t kMtval = 0x343;
+inline constexpr std::uint32_t kMip = 0x344;
+inline constexpr std::uint32_t kMcycle = 0xB00;
+inline constexpr std::uint32_t kMinstret = 0xB02;
+inline constexpr std::uint32_t kMhartid = 0xF14;
+}  // namespace csr
+
+}  // namespace titan::rv

@@ -1,0 +1,97 @@
+// Bounded FIFO with occupancy statistics, modelling a hardware queue.
+//
+// The CFI Queue in TitanCFI is a single-push-port FIFO sitting between the
+// CVA6 commit stage and the CFI Log Writer (paper Sec. IV-B2).  This template
+// is also reused for mailbox staging and trace buffering.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+
+#include "sim/types.hpp"
+
+namespace titan::sim {
+
+/// Occupancy statistics accumulated over the lifetime of a Fifo.
+struct FifoStats {
+  std::uint64_t pushes = 0;          ///< Successful push operations.
+  std::uint64_t pops = 0;            ///< Successful pop operations.
+  std::uint64_t rejected_pushes = 0; ///< Pushes attempted while full.
+  std::size_t max_occupancy = 0;     ///< High-water mark.
+  std::uint64_t occupancy_samples = 0;
+  std::uint64_t occupancy_sum = 0;
+
+  /// Mean occupancy over all sample() calls (0 if never sampled).
+  [[nodiscard]] double mean_occupancy() const {
+    return occupancy_samples == 0
+               ? 0.0
+               : static_cast<double>(occupancy_sum) /
+                     static_cast<double>(occupancy_samples);
+  }
+};
+
+/// Bounded FIFO.  Push fails (returns false) when full; pop returns
+/// std::nullopt when empty.  Depth 0 is rejected at construction.
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(std::size_t depth) : depth_(depth) {
+    if (depth == 0) {
+      throw std::invalid_argument("Fifo depth must be >= 1");
+    }
+  }
+
+  /// Attempt to enqueue. Returns false (and counts a rejection) when full.
+  bool push(T value) {
+    if (full()) {
+      ++stats_.rejected_pushes;
+      return false;
+    }
+    items_.push_back(std::move(value));
+    ++stats_.pushes;
+    stats_.max_occupancy = std::max(stats_.max_occupancy, items_.size());
+    return true;
+  }
+
+  /// Dequeue the oldest element, or nullopt when empty.
+  std::optional<T> pop() {
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T front = std::move(items_.front());
+    items_.pop_front();
+    ++stats_.pops;
+    return front;
+  }
+
+  /// Peek at the oldest element without removing it.
+  [[nodiscard]] const T* front() const {
+    return items_.empty() ? nullptr : &items_.front();
+  }
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] bool full() const { return items_.size() >= depth_; }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+  [[nodiscard]] std::size_t free_slots() const { return depth_ - items_.size(); }
+
+  /// Record the current occupancy into the running statistics.  Called once
+  /// per simulated cycle by the owning component.
+  void sample() {
+    ++stats_.occupancy_samples;
+    stats_.occupancy_sum += items_.size();
+  }
+
+  [[nodiscard]] const FifoStats& stats() const { return stats_; }
+
+  void clear() { items_.clear(); }
+
+ private:
+  std::size_t depth_;
+  std::deque<T> items_;
+  FifoStats stats_;
+};
+
+}  // namespace titan::sim

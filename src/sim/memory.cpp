@@ -1,0 +1,80 @@
+#include "sim/memory.hpp"
+
+#include <cstring>
+
+namespace titan::sim {
+
+const Memory::Page* Memory::find_page(Addr addr) const {
+  auto it = pages_.find(addr >> kPageBits);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+Memory::Page& Memory::touch_page(Addr addr) {
+  auto& slot = pages_[addr >> kPageBits];
+  if (!slot) {
+    slot = std::make_unique<Page>();
+    slot->fill(0);
+  }
+  return *slot;
+}
+
+std::uint8_t Memory::read8(Addr addr) const {
+  const Page* page = find_page(addr);
+  return page == nullptr ? 0 : (*page)[addr & (kPageSize - 1)];
+}
+
+std::uint16_t Memory::read16(Addr addr) const {
+  return static_cast<std::uint16_t>(read8(addr)) |
+         static_cast<std::uint16_t>(static_cast<std::uint16_t>(read8(addr + 1)) << 8);
+}
+
+std::uint32_t Memory::read32(Addr addr) const {
+  return static_cast<std::uint32_t>(read16(addr)) |
+         (static_cast<std::uint32_t>(read16(addr + 2)) << 16);
+}
+
+std::uint64_t Memory::read64(Addr addr) const {
+  return static_cast<std::uint64_t>(read32(addr)) |
+         (static_cast<std::uint64_t>(read32(addr + 4)) << 32);
+}
+
+void Memory::write8(Addr addr, std::uint8_t value) {
+  touch_page(addr)[addr & (kPageSize - 1)] = value;
+}
+
+void Memory::write16(Addr addr, std::uint16_t value) {
+  write8(addr, static_cast<std::uint8_t>(value));
+  write8(addr + 1, static_cast<std::uint8_t>(value >> 8));
+}
+
+void Memory::write32(Addr addr, std::uint32_t value) {
+  write16(addr, static_cast<std::uint16_t>(value));
+  write16(addr + 2, static_cast<std::uint16_t>(value >> 16));
+}
+
+void Memory::write64(Addr addr, std::uint64_t value) {
+  write32(addr, static_cast<std::uint32_t>(value));
+  write32(addr + 4, static_cast<std::uint32_t>(value >> 32));
+}
+
+void Memory::load(Addr base, std::span<const std::uint8_t> bytes) {
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    write8(base + i, bytes[i]);
+  }
+}
+
+void Memory::load_words(Addr base, std::span<const std::uint32_t> words) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    write32(base + 4 * i, words[i]);
+  }
+}
+
+std::vector<std::uint8_t> Memory::dump(Addr base, std::size_t len) const {
+  std::vector<std::uint8_t> out(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out[i] = read8(base + i);
+  }
+  return out;
+}
+
+}  // namespace titan::sim

@@ -1,0 +1,64 @@
+// Sparse byte-addressable memory used for every RAM/ROM in the modelled SoC.
+//
+// Backed by 4 KiB pages allocated on first touch, so a 64-bit address space
+// costs only what the workload actually touches.  All accesses are
+// little-endian, matching RISC-V.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace titan::sim {
+
+class Memory {
+ public:
+  static constexpr std::size_t kPageBits = 12;
+  static constexpr std::size_t kPageSize = std::size_t{1} << kPageBits;
+
+  Memory() = default;
+
+  // Non-copyable (pages can be large); movable.
+  Memory(const Memory&) = delete;
+  Memory& operator=(const Memory&) = delete;
+  Memory(Memory&&) = default;
+  Memory& operator=(Memory&&) = default;
+
+  [[nodiscard]] std::uint8_t read8(Addr addr) const;
+  [[nodiscard]] std::uint16_t read16(Addr addr) const;
+  [[nodiscard]] std::uint32_t read32(Addr addr) const;
+  [[nodiscard]] std::uint64_t read64(Addr addr) const;
+
+  void write8(Addr addr, std::uint8_t value);
+  void write16(Addr addr, std::uint16_t value);
+  void write32(Addr addr, std::uint32_t value);
+  void write64(Addr addr, std::uint64_t value);
+
+  /// Bulk-load a binary blob (e.g. an assembled program image).
+  void load(Addr base, std::span<const std::uint8_t> bytes);
+  void load_words(Addr base, std::span<const std::uint32_t> words);
+
+  /// Copy out a range of bytes (allocating untouched pages as zero).
+  [[nodiscard]] std::vector<std::uint8_t> dump(Addr base, std::size_t len) const;
+
+  /// Number of pages materialised so far.
+  [[nodiscard]] std::size_t page_count() const { return pages_.size(); }
+
+  /// Drop all contents.
+  void clear() { pages_.clear(); }
+
+ private:
+  using Page = std::array<std::uint8_t, kPageSize>;
+
+  [[nodiscard]] const Page* find_page(Addr addr) const;
+  Page& touch_page(Addr addr);
+
+  std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace titan::sim

@@ -1,0 +1,67 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace titan::sim {
+
+void StatSet::print(std::ostream& os) const {
+  for (const auto& [k, v] : values_) {
+    os << "  " << std::left << std::setw(40) << k << " " << v << "\n";
+  }
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), buckets_(buckets, 0) {}
+
+void Histogram::record(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  if (value < lo_) {
+    ++underflow_;
+  } else if (value >= hi_) {
+    ++overflow_;
+  } else {
+    const double frac = (value - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::size_t>(frac * static_cast<double>(buckets_.size()));
+    idx = std::min(idx, buckets_.size() - 1);
+    ++buckets_[idx];
+  }
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  std::uint64_t seen = underflow_;
+  if (seen > target) {
+    return lo_;
+  }
+  const double bucket_width = (hi_ - lo_) / static_cast<double>(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      return lo_ + bucket_width * (static_cast<double>(i) + 0.5);
+    }
+  }
+  return hi_;
+}
+
+void Histogram::print(std::ostream& os, const std::string& title) const {
+  os << title << ": n=" << count_ << " mean=" << mean() << " min=" << min_
+     << " max=" << max_ << " p50=" << quantile(0.5) << " p95=" << quantile(0.95)
+     << "\n";
+}
+
+}  // namespace titan::sim

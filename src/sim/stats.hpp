@@ -1,0 +1,73 @@
+// Named counters and histograms attached to simulation components.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace titan::sim {
+
+/// A flat set of named double-valued counters.  Components expose one of
+/// these; the benches aggregate and print them.
+class StatSet {
+ public:
+  void add(const std::string& name, double delta = 1.0) { values_[name] += delta; }
+  void set(const std::string& name, double value) { values_[name] = value; }
+
+  [[nodiscard]] double get(const std::string& name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? 0.0 : it->second;
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return values_.count(name) != 0;
+  }
+
+  [[nodiscard]] const std::map<std::string, double>& values() const {
+    return values_;
+  }
+
+  /// Merge another StatSet into this one, prefixing its keys.
+  void merge(const std::string& prefix, const StatSet& other) {
+    for (const auto& [k, v] : other.values_) {
+      values_[prefix + "." + k] += v;
+    }
+  }
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+/// Fixed-bucket histogram for cycle-count distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void record(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  /// Approximate quantile from bucket boundaries (q in [0,1]).
+  [[nodiscard]] double quantile(double q) const;
+
+  void print(std::ostream& os, const std::string& title) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace titan::sim

@@ -1,0 +1,18 @@
+// Core scalar types shared by every simulation component.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace titan::sim {
+
+/// Simulation time, measured in core clock cycles.
+using Cycle = std::uint64_t;
+
+/// Physical address in the SoC address space.
+using Addr = std::uint64_t;
+
+/// Sentinel for "no cycle scheduled".
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+}  // namespace titan::sim

@@ -1,0 +1,65 @@
+#include "soc/bus.hpp"
+
+#include <stdexcept>
+
+namespace titan::soc {
+
+void Crossbar::map(Region region, BusTarget& target,
+                   std::uint32_t device_latency, std::string label) {
+  for (const Mapping& existing : mappings_) {
+    const bool overlaps = region.base < existing.region.end() &&
+                          existing.region.base < region.end();
+    if (overlaps) {
+      throw std::invalid_argument("Crossbar '" + name_ +
+                                  "': overlapping region for " + label);
+    }
+  }
+  mappings_.push_back({region, &target, device_latency, std::move(label)});
+}
+
+Crossbar::Mapping* Crossbar::lookup(Addr addr) {
+  for (Mapping& mapping : mappings_) {
+    if (mapping.region.contains(addr)) {
+      return &mapping;
+    }
+  }
+  return nullptr;
+}
+
+BusResponse Crossbar::read(Addr addr, unsigned size) {
+  ++transactions_;
+  Mapping* mapping = lookup(addr);
+  if (mapping == nullptr) {
+    return {.value = 0, .latency = hop_latency_, .decode_error = true};
+  }
+  BusResponse response;
+  response.value = mapping->target->read(addr, size);
+  response.latency = hop_latency_ + mapping->device_latency;
+  return response;
+}
+
+BusResponse Crossbar::write(Addr addr, unsigned size, std::uint64_t value) {
+  ++transactions_;
+  Mapping* mapping = lookup(addr);
+  if (mapping == nullptr) {
+    return {.value = 0, .latency = hop_latency_, .decode_error = true};
+  }
+  mapping->target->write(addr, size, value);
+  return {.value = 0,
+          .latency = hop_latency_ + mapping->device_latency,
+          .decode_error = false};
+}
+
+void Crossbar::set_device_latency(const std::string& label,
+                                  std::uint32_t cycles) {
+  for (Mapping& mapping : mappings_) {
+    if (mapping.label == label) {
+      mapping.device_latency = cycles;
+      return;
+    }
+  }
+  throw std::invalid_argument("Crossbar '" + name_ + "': no region labelled " +
+                              label);
+}
+
+}  // namespace titan::soc

@@ -1,0 +1,123 @@
+#include "soc/ecc.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace titan::soc {
+
+namespace {
+
+bool is_power_of_two(unsigned x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+Secded::Secded(unsigned data_bits) : data_bits_(data_bits), parity_bits_(0) {
+  if (data_bits == 0 || data_bits > 57) {
+    // 57 data bits + 6 parity + 1 overall = 64: the codeword must fit a u64.
+    throw std::invalid_argument("Secded: data width must be 1..57 bits");
+  }
+  while ((1u << parity_bits_) < data_bits_ + parity_bits_ + 1) {
+    ++parity_bits_;
+  }
+}
+
+// Codeword layout: bit index 0 holds the overall parity; Hamming positions
+// 1..(data+parity) follow, with parity bits at power-of-two positions and
+// data bits filling the rest in increasing order.
+
+std::uint64_t Secded::encode(std::uint64_t data) const {
+  const unsigned total = data_bits_ + parity_bits_;
+  std::uint64_t codeword = 0;
+
+  unsigned data_index = 0;
+  for (unsigned pos = 1; pos <= total; ++pos) {
+    if (is_power_of_two(pos)) {
+      continue;
+    }
+    if ((data >> data_index) & 1) {
+      codeword |= std::uint64_t{1} << pos;
+    }
+    ++data_index;
+  }
+
+  for (unsigned p = 0; p < parity_bits_; ++p) {
+    const unsigned mask = 1u << p;
+    unsigned parity = 0;
+    for (unsigned pos = 1; pos <= total; ++pos) {
+      if ((pos & mask) && ((codeword >> pos) & 1)) {
+        parity ^= 1;
+      }
+    }
+    if (parity) {
+      codeword |= std::uint64_t{1} << mask;
+    }
+  }
+
+  // Overall parity across everything (position 0).
+  if (std::popcount(codeword) % 2 != 0) {
+    codeword |= 1;
+  }
+  return codeword;
+}
+
+EccResult Secded::decode(std::uint64_t codeword) const {
+  const unsigned total = data_bits_ + parity_bits_;
+
+  unsigned syndrome = 0;
+  for (unsigned p = 0; p < parity_bits_; ++p) {
+    const unsigned mask = 1u << p;
+    unsigned parity = 0;
+    for (unsigned pos = 1; pos <= total; ++pos) {
+      if ((pos & mask) && ((codeword >> pos) & 1)) {
+        parity ^= 1;
+      }
+    }
+    if (parity) {
+      syndrome |= mask;
+    }
+  }
+  const bool overall_ok = std::popcount(codeword) % 2 == 0;
+
+  EccResult result;
+  std::uint64_t repaired = codeword;
+  if (syndrome == 0 && overall_ok) {
+    result.status = EccStatus::kOk;
+  } else if (!overall_ok) {
+    // Odd number of flipped bits: single-bit error, correctable.
+    result.status = EccStatus::kCorrected;
+    if (syndrome == 0) {
+      // The overall parity bit itself flipped.
+      repaired ^= 1;
+      result.corrected_position = codeword_bits();
+    } else if (syndrome <= total) {
+      repaired ^= std::uint64_t{1} << syndrome;
+      result.corrected_position = syndrome;
+    } else {
+      result.status = EccStatus::kUncorrectable;
+    }
+  } else {
+    // syndrome != 0 with even overall parity: double-bit error.
+    result.status = EccStatus::kUncorrectable;
+  }
+
+  if (result.status == EccStatus::kUncorrectable) {
+    result.data = 0;
+    return result;
+  }
+
+  std::uint64_t data = 0;
+  unsigned data_index = 0;
+  for (unsigned pos = 1; pos <= total; ++pos) {
+    if (is_power_of_two(pos)) {
+      continue;
+    }
+    if ((repaired >> pos) & 1) {
+      data |= std::uint64_t{1} << data_index;
+    }
+    ++data_index;
+  }
+  result.data = data;
+  return result;
+}
+
+}  // namespace titan::soc

@@ -1,0 +1,95 @@
+#include "soc/flash.hpp"
+
+#include <stdexcept>
+
+namespace titan::soc {
+
+namespace {
+
+std::uint64_t prf(std::uint64_t key, std::uint64_t tweak) {
+  sim::SplitMix64 sm(key ^ (tweak * 0x9E3779B97F4A7C15ULL));
+  return sm.next();
+}
+
+}  // namespace
+
+ScrambledFlash::ScrambledFlash(std::uint64_t key, std::uint32_t size_words)
+    : key_(key), size_words_(size_words), index_bits_(0) {
+  if (size_words == 0 || (size_words & (size_words - 1)) != 0) {
+    throw std::invalid_argument("ScrambledFlash: size must be a power of two");
+  }
+  while ((1u << index_bits_) < size_words_) {
+    ++index_bits_;
+  }
+}
+
+std::uint32_t ScrambledFlash::scramble_address(std::uint32_t word_index) const {
+  // Keyed bijection over the 2^n word indices built from three invertible
+  // primitives mod 2^n: XOR with a key-derived constant, multiplication by an
+  // odd key-derived constant, and a xorshift fold.  Each step is a bijection,
+  // so the composition is a permutation of the bank for every key.
+  const std::uint32_t mask = size_words_ - 1;
+  if (mask == 0) {
+    return 0;
+  }
+  const auto k1 = static_cast<std::uint32_t>(prf(key_, 1));
+  const auto k2 = static_cast<std::uint32_t>(prf(key_, 2)) | 1u;  // odd
+  const auto k3 = static_cast<std::uint32_t>(prf(key_, 3));
+  const unsigned shift = index_bits_ / 2 == 0 ? 1 : index_bits_ / 2;
+
+  std::uint32_t x = word_index & mask;
+  x ^= k1 & mask;
+  x = (x * k2) & mask;
+  x ^= x >> shift;
+  x ^= k3 & mask;
+  x = (x * k2) & mask;
+  return x & mask;
+}
+
+std::uint32_t ScrambledFlash::keystream(std::uint32_t word_index) const {
+  return static_cast<std::uint32_t>(prf(key_ ^ 0xDA7A, word_index));
+}
+
+void ScrambledFlash::program(std::uint32_t word_index, std::uint32_t value) {
+  if (word_index >= size_words_) {
+    throw std::out_of_range("ScrambledFlash: program out of range");
+  }
+  const std::uint32_t phys = scramble_address(word_index);
+  const std::uint32_t scrambled = value ^ keystream(word_index);
+  cells_[phys] = codec_.encode(scrambled);
+}
+
+EccResult ScrambledFlash::read(std::uint32_t word_index) const {
+  if (word_index >= size_words_) {
+    throw std::out_of_range("ScrambledFlash: read out of range");
+  }
+  const std::uint32_t phys = scramble_address(word_index);
+  const auto it = cells_.find(phys);
+  if (it == cells_.end()) {
+    // Erased flash reads as all-ones data with clean ECC in this model.
+    return {.data = 0xFFFFFFFFu, .status = EccStatus::kOk, .corrected_position = 0};
+  }
+  EccResult result = codec_.decode(it->second);
+  if (result.status == EccStatus::kCorrected) {
+    ++corrected_;
+  } else if (result.status == EccStatus::kUncorrectable) {
+    ++failed_;
+    return result;
+  }
+  result.data = (static_cast<std::uint32_t>(result.data)) ^ keystream(word_index);
+  return result;
+}
+
+void ScrambledFlash::inject_bitflip(std::uint32_t word_index, unsigned bit) {
+  if (bit >= codec_.codeword_bits()) {
+    throw std::out_of_range("ScrambledFlash: bit outside codeword");
+  }
+  const std::uint32_t phys = scramble_address(word_index);
+  auto it = cells_.find(phys);
+  if (it == cells_.end()) {
+    throw std::logic_error("ScrambledFlash: bitflip on unprogrammed word");
+  }
+  it->second ^= std::uint64_t{1} << bit;
+}
+
+}  // namespace titan::soc

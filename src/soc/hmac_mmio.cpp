@@ -1,0 +1,78 @@
+#include "soc/hmac_mmio.hpp"
+
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace titan::soc {
+
+HmacMmio::HmacMmio(Crossbar& data_bus, std::uint64_t device_secret,
+                   ClockFn clock)
+    : data_bus_(data_bus),
+      device_secret_(device_secret),
+      clock_(std::move(clock)) {}
+
+void HmacMmio::start() {
+  ++starts_;
+  // DMA the source buffer (hardware engine: does not cost core cycles).
+  std::vector<std::uint8_t> buffer(len_);
+  for (std::uint32_t i = 0; i < len_; ++i) {
+    buffer[i] = static_cast<std::uint8_t>(data_bus_.read(src_ + i, 1).value);
+  }
+  // Key slots are derived from the device secret, never visible on the bus.
+  std::vector<std::uint8_t> key(32);
+  sim::SplitMix64 kdf(device_secret_ ^ key_sel_);
+  for (std::size_t i = 0; i < key.size(); i += 8) {
+    const std::uint64_t chunk = kdf.next();
+    for (std::size_t j = 0; j < 8; ++j) {
+      key[i + j] = static_cast<std::uint8_t>(chunk >> (8 * j));
+    }
+  }
+  const auto result = engine_.mac_accounted(key, buffer);
+  digest_ = result.digest;
+  done_at_ = clock_() + result.cycles;
+}
+
+std::uint64_t HmacMmio::read(Addr addr, unsigned size) {
+  (void)size;
+  const Addr offset = addr & 0xFF;
+  if (offset == kStatus) {
+    return clock_() >= done_at_ ? 1 : 0;
+  }
+  if (offset == kSrc) return src_;
+  if (offset == kLen) return len_;
+  if (offset == kKeySel) return key_sel_;
+  if (offset >= kDigestBase && offset < kDigestBase + 32) {
+    const unsigned word = static_cast<unsigned>((offset - kDigestBase) / 4);
+    return (std::uint32_t{digest_[4 * word]} << 24) |
+           (std::uint32_t{digest_[4 * word + 1]} << 16) |
+           (std::uint32_t{digest_[4 * word + 2]} << 8) |
+           std::uint32_t{digest_[4 * word + 3]};
+  }
+  return 0;
+}
+
+void HmacMmio::write(Addr addr, unsigned size, std::uint64_t value) {
+  (void)size;
+  const Addr offset = addr & 0xFF;
+  switch (offset) {
+    case kCmd:
+      if ((value & 1) != 0) {
+        start();
+      }
+      break;
+    case kSrc:
+      src_ = static_cast<std::uint32_t>(value);
+      break;
+    case kLen:
+      len_ = static_cast<std::uint32_t>(value);
+      break;
+    case kKeySel:
+      key_sel_ = static_cast<std::uint32_t>(value);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace titan::soc

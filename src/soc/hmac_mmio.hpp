@@ -1,0 +1,62 @@
+// MMIO front-end for the HMAC accelerator, as seen by Ibex firmware.
+//
+// Register map (word offsets from kRotHmacAccel.base):
+//   0x00 CMD      (W) write 1 to start MAC over [SRC, SRC+LEN)
+//   0x04 STATUS   (R) 1 when the engine is idle/done at the current time
+//   0x08 SRC      (RW) source buffer address
+//   0x0C LEN      (RW) source length in bytes
+//   0x10 KEY_SEL  (RW) key slot (the real block has a sideloaded key; we
+//                      model two slots derived from the device secret)
+//   0x20..0x3C DIGEST0..7 (R) big-endian digest words
+//
+// Timing: the engine is asynchronous.  A start command computes the digest
+// functionally and arms `done_at = now() + cost`; STATUS reads compare
+// against the caller-provided clock, so a polling firmware pays real cycles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "crypto/accel.hpp"
+#include "soc/bus.hpp"
+
+namespace titan::soc {
+
+class HmacMmio final : public BusTarget {
+ public:
+  static constexpr Addr kCmd = 0x00;
+  static constexpr Addr kStatus = 0x04;
+  static constexpr Addr kSrc = 0x08;
+  static constexpr Addr kLen = 0x0C;
+  static constexpr Addr kKeySel = 0x10;
+  static constexpr Addr kDigestBase = 0x20;
+
+  using ClockFn = std::function<std::uint64_t()>;
+
+  /// `data_bus`: fabric the engine DMAs the source buffer from.
+  /// `clock`: returns the current RoT cycle (drives STATUS timing).
+  HmacMmio(Crossbar& data_bus, std::uint64_t device_secret, ClockFn clock);
+
+  std::uint64_t read(Addr addr, unsigned size) override;
+  void write(Addr addr, unsigned size, std::uint64_t value) override;
+
+  [[nodiscard]] const crypto::HmacAccel& engine() const { return engine_; }
+  [[nodiscard]] std::uint64_t starts() const { return starts_; }
+
+ private:
+  void start();
+
+  Crossbar& data_bus_;
+  std::uint64_t device_secret_;
+  ClockFn clock_;
+  crypto::HmacAccel engine_;
+
+  std::uint32_t src_ = 0;
+  std::uint32_t len_ = 0;
+  std::uint32_t key_sel_ = 0;
+  std::uint64_t done_at_ = 0;
+  crypto::Digest digest_{};
+  std::uint64_t starts_ = 0;
+};
+
+}  // namespace titan::soc

@@ -1,0 +1,76 @@
+#include "soc/mailbox.hpp"
+
+namespace titan::soc {
+
+namespace {
+
+// Mailboxes are mapped at region bases; only the low offset bits decode.
+Addr reg_offset(Addr addr) { return addr & 0xFFF; }
+
+}  // namespace
+
+std::uint64_t Mailbox::read(Addr addr, unsigned size) {
+  const Addr offset = reg_offset(addr);
+  std::uint64_t value = 0;
+  if (offset >= kDataOffset && offset < kDataOffset + 8 * kDataRegs) {
+    const unsigned index = static_cast<unsigned>((offset - kDataOffset) / 8);
+    const unsigned shift = static_cast<unsigned>((offset % 8) * 8);
+    value = data_[index] >> shift;
+  } else if (offset == kDoorbellOffset) {
+    value = doorbell_ ? 1 : 0;
+  } else if (offset == kCompletionOffset) {
+    value = completion_ ? 1 : 0;
+  }
+  if (size < 8) {
+    value &= (std::uint64_t{1} << (8 * size)) - 1;
+  }
+  return value;
+}
+
+void Mailbox::write(Addr addr, unsigned size, std::uint64_t value) {
+  const Addr offset = reg_offset(addr);
+  if (offset >= kDataOffset && offset < kDataOffset + 8 * kDataRegs) {
+    const unsigned index = static_cast<unsigned>((offset - kDataOffset) / 8);
+    if (size == 8) {
+      data_[index] = value;
+    } else {
+      const unsigned shift = static_cast<unsigned>((offset % 8) * 8);
+      const std::uint64_t mask = ((std::uint64_t{1} << (8 * size)) - 1) << shift;
+      data_[index] = (data_[index] & ~mask) | ((value << shift) & mask);
+    }
+    return;
+  }
+  if (offset == kDoorbellOffset) {
+    if ((value & 1) != 0) {
+      ring_doorbell();
+    } else {
+      clear_doorbell();
+    }
+    return;
+  }
+  if (offset == kCompletionOffset) {
+    if ((value & 1) != 0) {
+      signal_completion();
+    } else {
+      clear_completion();
+    }
+  }
+}
+
+void Mailbox::ring_doorbell() {
+  doorbell_ = true;
+  ++doorbell_count_;
+  if (on_doorbell_) {
+    on_doorbell_();
+  }
+}
+
+void Mailbox::signal_completion() {
+  completion_ = true;
+  ++completion_count_;
+  if (on_completion_) {
+    on_completion_();
+  }
+}
+
+}  // namespace titan::soc

@@ -1,0 +1,66 @@
+// SCMI-style doorbell/completion mailbox (paper Sec. III-B and IV-A).
+//
+// "The mailbox consists of a set of general-purpose memory mapped registers
+//  meant for data sharing. Additionally, it features two registers, named
+//  Doorbell and Completion, which are meant to send an interrupt to the Ibex
+//  security microcontroller and to the CVA6 host core."
+//
+// The CFI Mailbox is the same block with two differences (Sec. IV-A):
+//  * the data registers are sized to hold one 224-bit commit log, and
+//  * the completion register is wired directly to the CVA6 commit stage
+//    (the CFI Log Writer) rather than to the host interrupt controller.
+// Both behaviours are expressed through the on_doorbell/on_completion hooks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "soc/bus.hpp"
+
+namespace titan::soc {
+
+class Mailbox final : public BusTarget {
+ public:
+  /// Register file layout (64-bit registers, byte offsets).
+  static constexpr Addr kDataOffset = 0x00;
+  static constexpr unsigned kDataRegs = 8;
+  static constexpr Addr kDoorbellOffset = 0x40;
+  static constexpr Addr kCompletionOffset = 0x48;
+
+  using SignalHook = std::function<void()>;
+
+  /// Hook invoked when the sender rings the doorbell (RoT side interrupt).
+  void set_on_doorbell(SignalHook hook) { on_doorbell_ = std::move(hook); }
+  /// Hook invoked when the receiver signals completion (host side).
+  void set_on_completion(SignalHook hook) { on_completion_ = std::move(hook); }
+
+  // ---- BusTarget (MMIO view, used by Ibex firmware / CVA6) -----------------
+  std::uint64_t read(Addr addr, unsigned size) override;
+  void write(Addr addr, unsigned size, std::uint64_t value) override;
+
+  // ---- Direct port view (used by the hardware-side CFI Log Writer) ---------
+  [[nodiscard]] std::uint64_t data(unsigned index) const { return data_.at(index); }
+  void set_data(unsigned index, std::uint64_t value) { data_.at(index) = value; }
+
+  void ring_doorbell();
+  void signal_completion();
+  [[nodiscard]] bool doorbell_pending() const { return doorbell_; }
+  [[nodiscard]] bool completion_pending() const { return completion_; }
+  void clear_doorbell() { doorbell_ = false; }
+  void clear_completion() { completion_ = false; }
+
+  [[nodiscard]] std::uint64_t doorbell_count() const { return doorbell_count_; }
+  [[nodiscard]] std::uint64_t completion_count() const { return completion_count_; }
+
+ private:
+  std::array<std::uint64_t, kDataRegs> data_{};
+  bool doorbell_ = false;
+  bool completion_ = false;
+  std::uint64_t doorbell_count_ = 0;
+  std::uint64_t completion_count_ = 0;
+  SignalHook on_doorbell_;
+  SignalHook on_completion_;
+};
+
+}  // namespace titan::soc

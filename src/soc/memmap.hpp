@@ -1,0 +1,51 @@
+// SoC physical address map.
+//
+// Mirrors the reference platform of the paper ([1], Ciani et al. ISCAS'23):
+// a CVA6 host domain with scratchpad + DRAM behind an AXI4 crossbar, the
+// OpenTitan RoT with its private 128 KiB SRAM and embedded flash behind a
+// TileLink-UL fabric, an SCMI mailbox, and the new CFI mailbox added by
+// TitanCFI (paper Sec. IV-A).
+#pragma once
+
+#include "sim/types.hpp"
+
+namespace titan::soc {
+
+using sim::Addr;
+
+struct Region {
+  Addr base = 0;
+  Addr size = 0;
+
+  [[nodiscard]] bool contains(Addr addr) const {
+    return addr >= base && addr < base + size;
+  }
+  [[nodiscard]] Addr end() const { return base + size; }
+};
+
+// ---- Host domain -----------------------------------------------------------
+inline constexpr Region kPlic{0x0C00'0000, 0x0040'0000};
+inline constexpr Region kHostScratchpad{0x1000'0000, 0x0010'0000};  // 1 MiB
+inline constexpr Region kScmiMailbox{0x1040'0000, 0x0000'1000};
+inline constexpr Region kCfiMailbox{0x1041'0000, 0x0000'1000};
+inline constexpr Region kDram{0x8000'0000, 0x1000'0000};  // 256 MiB
+
+// ---- OpenTitan RoT domain ---------------------------------------------------
+inline constexpr Region kRotSram{0x2000'0000, 0x0002'0000};   // 128 KiB
+inline constexpr Region kRotFlash{0x2100'0000, 0x0008'0000};  // 512 KiB
+inline constexpr Region kRotHmacAccel{0x2200'0000, 0x0000'1000};
+inline constexpr Region kRotPlic{0x2300'0000, 0x0000'1000};
+
+/// Region of DRAM statically reserved (via PMP in the real SoC) for
+/// authenticated shadow-stack spills.
+inline constexpr Region kSpillArena{0x8F00'0000, 0x0010'0000};
+
+/// True when the address lies in RoT-private storage (used by the Ibex cycle
+/// model to pick the scratchpad vs. SoC access latency, Table I's
+/// Mem.RoT / Mem.SoC split).
+[[nodiscard]] inline bool is_rot_private(Addr addr) {
+  return kRotSram.contains(addr) || kRotFlash.contains(addr) ||
+         kRotHmacAccel.contains(addr) || kRotPlic.contains(addr);
+}
+
+}  // namespace titan::soc

@@ -1,0 +1,53 @@
+// Platform-Level Interrupt Controller model (claim/complete protocol).
+//
+// Both domains own a PLIC in the reference SoC (Fig. 1); the RoT's instance
+// forwards the CFI-mailbox doorbell to Ibex as ext-irq.  Only the features
+// the firmware exercises are modelled: level-pending sources, per-source
+// enables, claim/complete, and a "highest pending" arbitration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "soc/bus.hpp"
+
+namespace titan::soc {
+
+class Plic final : public BusTarget {
+ public:
+  /// MMIO register offsets (one word each).
+  static constexpr Addr kPendingOffset = 0x00;
+  static constexpr Addr kEnableOffset = 0x08;
+  static constexpr Addr kClaimOffset = 0x10;  ///< Read: claim; write: complete.
+
+  explicit Plic(unsigned num_sources) : pending_(num_sources + 1, false),
+                                        enabled_(num_sources + 1, false),
+                                        in_service_(num_sources + 1, false) {}
+
+  /// Assert a level interrupt from a source (1-based ids, as in the spec).
+  void raise(unsigned source);
+  void lower(unsigned source);
+
+  /// Highest-priority (lowest id) pending+enabled source, or 0.
+  [[nodiscard]] unsigned pending_source() const;
+  /// True when any enabled source is pending and not already in service.
+  [[nodiscard]] bool irq_asserted() const { return pending_source() != 0; }
+
+  unsigned claim();
+  void complete(unsigned source);
+  void enable(unsigned source, bool on = true);
+
+  // ---- BusTarget ------------------------------------------------------------
+  std::uint64_t read(Addr addr, unsigned size) override;
+  void write(Addr addr, unsigned size, std::uint64_t value) override;
+
+  [[nodiscard]] std::uint64_t claims() const { return claims_; }
+
+ private:
+  std::vector<bool> pending_;
+  std::vector<bool> enabled_;
+  std::vector<bool> in_service_;
+  std::uint64_t claims_ = 0;
+};
+
+}  // namespace titan::soc

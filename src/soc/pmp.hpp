@@ -1,0 +1,78 @@
+// RISC-V Physical Memory Protection (PMP) model.
+//
+// Paper Sec. VI: "We assume the CFI Mailbox cannot be tampered by other
+// entities in the SoC. This is reasonable since other security IPs, such as
+// RISC-V Physical Memory Protection (PMP), can be programmed to inhibit
+// accesses to one or more memory regions so that issuing loads or stores to
+// any address within the protected range results in an access fault
+// exception."
+//
+// This models the machine-mode view the claim needs: NAPOT/TOR-style entry
+// matching is simplified to explicit [base, size) regions with R/W/X
+// permission bits and priority by entry order (lowest matching entry wins,
+// as in the ISA spec).  An address matching no entry is allowed — PMP here
+// is used as a deny-list for the CFI mailbox and spill arena, mirroring the
+// paper's usage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "soc/memmap.hpp"
+
+namespace titan::soc {
+
+enum class PmpAccess { kRead, kWrite, kExecute };
+
+struct PmpEntry {
+  Region region;
+  bool allow_read = false;
+  bool allow_write = false;
+  bool allow_execute = false;
+  const char* label = "";
+};
+
+class Pmp {
+ public:
+  void add_entry(const PmpEntry& entry) { entries_.push_back(entry); }
+
+  /// Convenience: deny all data access to a region (the paper's mailbox
+  /// lock-out).
+  void deny_region(Region region, const char* label) {
+    entries_.push_back({region, false, false, false, label});
+  }
+
+  /// True when the access is permitted.  Lowest-numbered matching entry
+  /// decides; no match means allowed.
+  [[nodiscard]] bool check(Addr addr, PmpAccess access) const {
+    for (const PmpEntry& entry : entries_) {
+      if (!entry.region.contains(addr)) {
+        continue;
+      }
+      switch (access) {
+        case PmpAccess::kRead: return entry.allow_read;
+        case PmpAccess::kWrite: return entry.allow_write;
+        case PmpAccess::kExecute: return entry.allow_execute;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<PmpEntry>& entries() const { return entries_; }
+
+  /// The configuration the paper's threat model implies: the host's
+  /// untrusted software may never touch the CFI mailbox or the RoT's
+  /// authenticated spill arena directly.
+  [[nodiscard]] static Pmp titancfi_default() {
+    Pmp pmp;
+    pmp.deny_region(kCfiMailbox, "cfi-mailbox");
+    pmp.deny_region(kSpillArena, "spill-arena");
+    return pmp;
+  }
+
+ private:
+  std::vector<PmpEntry> entries_;
+};
+
+}  // namespace titan::soc

@@ -1,0 +1,47 @@
+#include "titancfi/commit_log.hpp"
+
+#include "rv/decode.hpp"
+
+namespace titan::cfi {
+
+std::array<std::uint64_t, CommitLog::kBeats> CommitLog::pack() const {
+  return {
+      pc,
+      static_cast<std::uint64_t>(encoding) | (next << 32),
+      (next >> 32) | ((target & 0xFFFFFFFFULL) << 32),
+      target >> 32,
+  };
+}
+
+CommitLog CommitLog::unpack(const std::array<std::uint64_t, kBeats>& beats) {
+  CommitLog log;
+  log.pc = beats[0];
+  log.encoding = static_cast<std::uint32_t>(beats[1]);
+  log.next = (beats[1] >> 32) | ((beats[2] & 0xFFFFFFFFULL) << 32);
+  log.target = (beats[2] >> 32) | (beats[3] << 32);
+  return log;
+}
+
+CommitLog CommitLog::from_entry(const cva6::ScoreboardEntry& entry) {
+  CommitLog log;
+  log.pc = entry.pc;
+  log.encoding = entry.inst.expanded;
+  log.next = entry.next_pc;
+  log.target = entry.target;
+  return log;
+}
+
+CommitLog CommitLog::from_record(const cva6::CommitRecord& record) {
+  CommitLog log;
+  log.pc = record.pc;
+  log.encoding = record.encoding;
+  log.next = record.next_pc;
+  log.target = record.target;
+  return log;
+}
+
+rv::CfKind CommitLog::classify() const {
+  return rv::classify(rv::decode(encoding, rv::Xlen::k64));
+}
+
+}  // namespace titan::cfi

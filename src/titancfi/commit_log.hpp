@@ -1,0 +1,50 @@
+// The 224-bit commit log packet (paper Sec. IV-B1).
+//
+// "A commit log is a 224 bits packet containing four information: (i)
+//  instruction program counter, (ii) the uncompressed binary encoding,
+//  (iii) the next address, and (iv) the target address."
+//
+// Wire layout (little-endian, 64-bit beats as the Log Writer transmits them
+// over the 64-bit AXI data bus, Sec. IV-B3):
+//   beat 0:  pc[63:0]
+//   beat 1:  encoding[31:0] | next[31:0]  << 32
+//   beat 2:  next[63:32]    | target[31:0] << 32
+//   beat 3:  target[63:32]                      (upper 32 bits unused)
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "cva6/scoreboard.hpp"
+#include "rv/isa.hpp"
+
+namespace titan::cfi {
+
+struct CommitLog {
+  std::uint64_t pc = 0;
+  std::uint32_t encoding = 0;  ///< Uncompressed (expanded) 32-bit encoding.
+  std::uint64_t next = 0;      ///< Fall-through address (return site for calls).
+  std::uint64_t target = 0;    ///< Actual control-flow destination.
+
+  static constexpr unsigned kBits = 224;
+  static constexpr unsigned kBeats = 4;  ///< 64-bit bus beats per packet.
+
+  [[nodiscard]] std::array<std::uint64_t, kBeats> pack() const;
+  [[nodiscard]] static CommitLog unpack(
+      const std::array<std::uint64_t, kBeats>& beats);
+
+  /// Build from a commit-port scoreboard entry.
+  [[nodiscard]] static CommitLog from_entry(const cva6::ScoreboardEntry& entry);
+  /// Build from a trace record (trace-driven evaluation path).
+  [[nodiscard]] static CommitLog from_record(const cva6::CommitRecord& record);
+
+  /// Control-flow class recovered from the encoding, exactly as the RoT
+  /// firmware does it: "it parses the binary encoding of the control flow
+  /// instruction to understand which control flow event it represents"
+  /// (Sec. IV-C).
+  [[nodiscard]] rv::CfKind classify() const;
+
+  bool operator==(const CommitLog&) const = default;
+};
+
+}  // namespace titan::cfi

@@ -1,0 +1,39 @@
+// CFI Filter (paper Sec. IV-B1): one per CVA6 commit port.
+//
+// "A CFI Filter takes a scoreboard entry as input, which is emitted by the
+//  commit port, and generates a commit log. ... the CFI Filter verifies if
+//  the retired instruction is relevant to CFI, and it extracts useful
+//  metadata, called the commit log."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cva6/scoreboard.hpp"
+#include "titancfi/commit_log.hpp"
+
+namespace titan::cfi {
+
+class CfiFilter {
+ public:
+  /// Returns the commit log when the entry is a call, return, or indirect
+  /// jump; nullopt otherwise.
+  [[nodiscard]] std::optional<CommitLog> filter(
+      const cva6::ScoreboardEntry& entry) {
+    ++scanned_;
+    if (!entry.cfi_relevant()) {
+      return std::nullopt;
+    }
+    ++selected_;
+    return CommitLog::from_entry(entry);
+  }
+
+  [[nodiscard]] std::uint64_t scanned() const { return scanned_; }
+  [[nodiscard]] std::uint64_t selected() const { return selected_; }
+
+ private:
+  std::uint64_t scanned_ = 0;
+  std::uint64_t selected_ = 0;
+};
+
+}  // namespace titan::cfi

@@ -1,0 +1,80 @@
+#include "titancfi/log_writer.hpp"
+
+namespace titan::cfi {
+
+LogWriter::LogWriter(CfiQueue& queue, soc::Crossbar& axi,
+                     soc::Mailbox& mailbox, FaultHook on_fault)
+    : queue_(queue), axi_(axi), mailbox_(mailbox), on_fault_(std::move(on_fault)) {}
+
+void LogWriter::tick(Cycle now) {
+  if (now < busy_until_ || state_ == State::kFault) {
+    if (state_ == State::kWaitCompletion) {
+      ++wait_cycles_;
+    }
+    return;
+  }
+
+  switch (state_) {
+    case State::kIdle: {
+      const auto log = queue_.pop();
+      if (!log.has_value()) {
+        return;
+      }
+      current_ = *log;
+      beats_ = current_.pack();
+      beat_index_ = 0;
+      state_ = State::kWriteBeats;
+      busy_until_ = now + 1;  // Pop latency.
+      break;
+    }
+    case State::kWriteBeats: {
+      const soc::Addr addr =
+          soc::kCfiMailbox.base + soc::Mailbox::kDataOffset + 8 * beat_index_;
+      const soc::BusResponse response = axi_.write(addr, 8, beats_[beat_index_]);
+      busy_until_ = now + response.latency;
+      if (++beat_index_ == CommitLog::kBeats) {
+        state_ = State::kRingDoorbell;
+      }
+      break;
+    }
+    case State::kRingDoorbell: {
+      const soc::BusResponse response =
+          axi_.write(soc::kCfiMailbox.base + soc::Mailbox::kDoorbellOffset, 8, 1);
+      busy_until_ = now + response.latency;
+      ++logs_sent_;
+      state_ = State::kWaitCompletion;
+      break;
+    }
+    case State::kWaitCompletion: {
+      // The completion register is wired straight to the commit stage
+      // (Sec. IV-A): no bus transaction needed to observe it.
+      if (!mailbox_.completion_pending()) {
+        ++wait_cycles_;
+        return;
+      }
+      state_ = State::kReadResult;
+      break;
+    }
+    case State::kReadResult: {
+      const soc::BusResponse response =
+          axi_.read(soc::kCfiMailbox.base + soc::Mailbox::kDataOffset, 8);
+      busy_until_ = now + response.latency;
+      mailbox_.clear_completion();
+      const bool violation = (response.value & 1) != 0;
+      if (violation) {
+        ++violations_;
+        state_ = State::kFault;
+        if (on_fault_) {
+          on_fault_(current_);
+        }
+      } else {
+        state_ = State::kIdle;
+      }
+      break;
+    }
+    case State::kFault:
+      break;
+  }
+}
+
+}  // namespace titan::cfi

@@ -1,0 +1,71 @@
+// CFI Log Writer FSM (paper Sec. IV-B3).
+//
+// "The CFI Log Writer module implements a Finite State Machine which pops
+//  commit logs from [the] CFI Queue, and writes them to the CFI Mailbox
+//  through the SoC interconnect. ... the Log Writer retrieves a commit log
+//  from the queue, divides it into data chunks of equal size, matching the
+//  interconnect data bus, which is 64 bits in our case, and initiates AXI
+//  transactions to transmit the commit log to the CFI Mailbox. The final AXI
+//  transaction sets the doorbell interrupt register and transitions the FSM
+//  into a waiting state ... Once the completion signal is received, the FSM
+//  reads the result of the CFI enforcement check from the CFI Mailbox and
+//  triggers an exception if any control flow violation is detected."
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/types.hpp"
+#include "soc/bus.hpp"
+#include "soc/mailbox.hpp"
+#include "soc/memmap.hpp"
+#include "titancfi/queue_controller.hpp"
+
+namespace titan::cfi {
+
+using sim::Cycle;
+
+class LogWriter {
+ public:
+  enum class State {
+    kIdle,
+    kWriteBeats,
+    kRingDoorbell,
+    kWaitCompletion,
+    kReadResult,
+    kFault,
+  };
+
+  using FaultHook = std::function<void(const CommitLog&)>;
+
+  /// `axi`: host-domain fabric the writer masters (paper: standard bus
+  /// interconnect, no custom side channel).  `mailbox`: the CFI Mailbox.
+  LogWriter(CfiQueue& queue, soc::Crossbar& axi, soc::Mailbox& mailbox,
+            FaultHook on_fault);
+
+  /// Advance the FSM to `now` (call once per core cycle).
+  void tick(Cycle now);
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] std::uint64_t logs_sent() const { return logs_sent_; }
+  [[nodiscard]] std::uint64_t violations() const { return violations_; }
+  /// Cycles spent in kWaitCompletion (RoT check latency as seen by HW).
+  [[nodiscard]] std::uint64_t wait_cycles() const { return wait_cycles_; }
+
+ private:
+  CfiQueue& queue_;
+  soc::Crossbar& axi_;
+  soc::Mailbox& mailbox_;
+  FaultHook on_fault_;
+
+  State state_ = State::kIdle;
+  CommitLog current_{};
+  std::array<std::uint64_t, CommitLog::kBeats> beats_{};
+  unsigned beat_index_ = 0;
+  Cycle busy_until_ = 0;
+  std::uint64_t logs_sent_ = 0;
+  std::uint64_t violations_ = 0;
+  std::uint64_t wait_cycles_ = 0;
+};
+
+}  // namespace titan::cfi

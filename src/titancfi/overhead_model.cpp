@@ -1,0 +1,81 @@
+#include "titancfi/overhead_model.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace titan::cfi {
+
+OverheadResult simulate_cf_cycles(std::span<const Cycle> cf_commit_cycles,
+                                  Cycle baseline_total,
+                                  const OverheadConfig& config) {
+  OverheadResult result;
+  result.baseline_cycles = baseline_total;
+  result.cf_count = cf_commit_cycles.size();
+
+  const std::uint64_t service =
+      config.transport_cycles + config.check_latency;
+
+  Cycle delay = 0;          // Accumulated commit-stage shift.
+  Cycle server_free = 0;    // When the log-writer/RoT chain goes idle.
+  Cycle prev_arrival = 0;
+  bool have_prev = false;
+  // Pop (service-start) times of the last `queue_depth` logs.
+  std::deque<Cycle> pop_times;
+
+  for (std::size_t i = 0; i < cf_commit_cycles.size(); ++i) {
+    const Cycle c = cf_commit_cycles[i];
+    Cycle arrival = c + delay;
+
+    // Single queue write port: a second CF op in the same (shifted) cycle
+    // slips at least one cycle.
+    if (have_prev && arrival <= prev_arrival) {
+      arrival = prev_arrival + 1;
+    }
+
+    // Queue-full back-pressure: the slot occupied by the log `queue_depth`
+    // positions back must have been popped before we can enqueue.
+    if (pop_times.size() == config.queue_depth) {
+      arrival = std::max(arrival, pop_times.front());
+      pop_times.pop_front();
+    }
+
+    if (arrival > c + delay) {
+      ++result.stall_events;
+    }
+    delay = arrival - c;
+
+    const Cycle pop_at = std::max(arrival, server_free);
+    server_free = pop_at + service;
+    pop_times.push_back(pop_at);
+
+    // Occupancy right after this push: logs not yet popped at `arrival`.
+    const auto waiting = static_cast<std::size_t>(
+        std::count_if(pop_times.begin(), pop_times.end(),
+                      [&](Cycle pop) { return pop > arrival; }));
+    result.max_queue_occupancy = std::max(result.max_queue_occupancy, waiting);
+
+    prev_arrival = arrival;
+    have_prev = true;
+  }
+
+  result.stall_cycles = delay;
+  result.cfi_cycles = baseline_total + delay;
+  if (config.drain_at_end) {
+    result.cfi_cycles = std::max(result.cfi_cycles, server_free);
+  }
+  return result;
+}
+
+OverheadResult simulate_trace(const std::vector<cva6::CommitRecord>& trace,
+                              Cycle baseline_total,
+                              const OverheadConfig& config) {
+  std::vector<Cycle> cf_cycles;
+  for (const cva6::CommitRecord& record : trace) {
+    if (record.cfi_relevant()) {
+      cf_cycles.push_back(record.cycle);
+    }
+  }
+  return simulate_cf_cycles(cf_cycles, baseline_total, config);
+}
+
+}  // namespace titan::cfi

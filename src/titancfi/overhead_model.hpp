@@ -1,0 +1,79 @@
+// Trace-driven CFI overhead model (paper Sec. V-C).
+//
+// "Slowdown is computed by simulating the RTL of the reference SoC and
+//  extracting the cycle-accurate execution trace ... Then, we feed the
+//  obtained traces to a trace-driven model which emulates the latency
+//  required for CFI enforcement."
+//
+// The model replays the commit cycles of CFI-relevant instructions through
+// the queue/log-writer/RoT service chain:
+//
+//   * each CF instruction, at its (stall-shifted) commit cycle, needs a free
+//     CFI Queue slot; when the queue holds `queue_depth` unpopped logs the
+//     commit stage stalls until the Log Writer pops the oldest one;
+//   * the queue has a single write port, so two CF commits can never land in
+//     the same cycle (second one slips by >= 1 cycle, Sec. IV-B2);
+//   * the service chain is sequential: pop -> transport (mailbox beats) ->
+//     RoT check; the next pop starts only after the verdict is read back
+//     (Sec. IV-B3), so per-log service time = transport + check latency.
+//
+// Every commit stall shifts the whole downstream trace, which is exactly
+// what inhibiting the commit stage does to an in-order core.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cva6/scoreboard.hpp"
+#include "sim/types.hpp"
+
+namespace titan::cfi {
+
+using sim::Cycle;
+
+struct OverheadConfig {
+  std::size_t queue_depth = 8;
+  /// RoT firmware check latency per control-flow operation (paper Sec. V-C:
+  /// 267 = IRQ firmware, 112 = Polling, 73 = Optimized RoT).
+  std::uint32_t check_latency = 73;
+  /// Fixed hardware transport cost per log: queue pop + 4 data beats +
+  /// doorbell + result read on the AXI fabric.
+  std::uint32_t transport_cycles = 7;
+  /// When true, the run ends only after the last pending check completes
+  /// (synchronous semantics); the paper's numbers are commit-side, so the
+  /// default matches that.
+  bool drain_at_end = false;
+};
+
+struct OverheadResult {
+  Cycle baseline_cycles = 0;
+  Cycle cfi_cycles = 0;
+  std::uint64_t cf_count = 0;
+  std::uint64_t stall_events = 0;    ///< CF commits that had to wait.
+  Cycle stall_cycles = 0;            ///< Total commit-shift introduced.
+  std::size_t max_queue_occupancy = 0;
+
+  /// Percent slowdown relative to the baseline run.
+  [[nodiscard]] double slowdown_percent() const {
+    if (baseline_cycles == 0) {
+      return 0.0;
+    }
+    return 100.0 *
+           static_cast<double>(cfi_cycles - baseline_cycles) /
+           static_cast<double>(baseline_cycles);
+  }
+};
+
+/// Replay a list of CF commit cycles (sorted, duplicates allowed — dual
+/// commit) against the CFI service chain.
+[[nodiscard]] OverheadResult simulate_cf_cycles(
+    std::span<const Cycle> cf_commit_cycles, Cycle baseline_total,
+    const OverheadConfig& config);
+
+/// Convenience: extract the CFI-relevant commits from a full trace.
+[[nodiscard]] OverheadResult simulate_trace(
+    const std::vector<cva6::CommitRecord>& trace, Cycle baseline_total,
+    const OverheadConfig& config);
+
+}  // namespace titan::cfi

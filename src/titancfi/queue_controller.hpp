@@ -1,0 +1,79 @@
+// CFI Queue + Queue Controller (paper Sec. IV-B2).
+//
+// "The CFI Queue is a FIFO which stores the commit logs extracted by the CFI
+//  Filters. The Queue Controller controls the CFI Queue push signal and,
+//  occasionally, it inhibits the CVA6 commit stage ... The Queue Control[ler]
+//  inhibits the commit stage if the CFI Queue is full, or if more than one
+//  commit port retires a control-flow instruction [in the same cycle]."
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cva6/scoreboard.hpp"
+#include "sim/fifo.hpp"
+#include "titancfi/commit_log.hpp"
+#include "titancfi/filter.hpp"
+
+namespace titan::cfi {
+
+using CfiQueue = sim::Fifo<CommitLog>;
+
+class QueueController {
+ public:
+  explicit QueueController(std::size_t queue_depth)
+      : queue_(queue_depth) {}
+
+  /// Evaluate one commit cycle.  `candidates` are the scoreboard entries the
+  /// core could retire this cycle, in program order (one per commit port).
+  /// Control-flow entries are filtered and pushed into the CFI Queue; the
+  /// returned count is how many leading entries may actually retire.
+  ///
+  /// Invariants enforced (and checked by tests):
+  ///  * at most one commit log is pushed per cycle (single queue write port);
+  ///  * no entry retires past a CF entry that could not be pushed;
+  ///  * logs enter the queue in program order.
+  unsigned evaluate(std::span<const cva6::ScoreboardEntry> candidates) {
+    unsigned allowed = 0;
+    bool pushed_this_cycle = false;
+    for (const cva6::ScoreboardEntry& entry : candidates) {
+      // Port index only matters for attribution; filters are per-port.
+      CfiFilter& filter = filters_[allowed % 2];
+      const auto log = filter.filter(entry);
+      if (!log.has_value()) {
+        ++allowed;
+        continue;
+      }
+      if (pushed_this_cycle) {
+        ++dual_cf_stalls_;  // Second CF in the same cycle: stall that port.
+        break;
+      }
+      if (queue_.full()) {
+        ++full_stalls_;
+        break;
+      }
+      queue_.push(*log);
+      pushed_this_cycle = true;
+      ++allowed;
+    }
+    queue_.sample();
+    return allowed;
+  }
+
+  [[nodiscard]] CfiQueue& queue() { return queue_; }
+  [[nodiscard]] const CfiQueue& queue() const { return queue_; }
+  [[nodiscard]] const CfiFilter& filter(unsigned port) const {
+    return filters_[port];
+  }
+
+  [[nodiscard]] std::uint64_t full_stalls() const { return full_stalls_; }
+  [[nodiscard]] std::uint64_t dual_cf_stalls() const { return dual_cf_stalls_; }
+
+ private:
+  CfiQueue queue_;
+  CfiFilter filters_[2];
+  std::uint64_t full_stalls_ = 0;
+  std::uint64_t dual_cf_stalls_ = 0;
+};
+
+}  // namespace titan::cfi

@@ -1,0 +1,82 @@
+#include "titancfi/rot_subsystem.hpp"
+
+namespace titan::cfi {
+
+namespace {
+
+std::uint32_t hop_latency(RotFabric fabric) {
+  return fabric == RotFabric::kBaseline ? 3 : 0;
+}
+
+std::uint32_t bridge_latency(RotFabric fabric) {
+  return fabric == RotFabric::kBaseline ? 8 : 7;
+}
+
+std::uint32_t sram_latency(RotFabric fabric) {
+  return fabric == RotFabric::kBaseline ? 1 : 0;
+}
+
+}  // namespace
+
+RotSubsystem::RotSubsystem(const rv::Image& firmware, RotFabric fabric,
+                           soc::Mailbox& mailbox, sim::Memory& soc_memory)
+    : firmware_(firmware),
+      soc_mem_target_(soc_memory),
+      tlul_("tlul", hop_latency(fabric)) {
+  rom_.load(firmware.base, firmware.bytes);
+
+  // RoT-private devices.
+  tlul_.map(soc::kRotFlash, rom_target_, 0, "rom");
+  tlul_.map(soc::kRotSram, sram_target_, sram_latency(fabric), "sram");
+  tlul_.map(kRotPlic, plic_, sram_latency(fabric), "plic");
+
+  // Host-domain windows through the TL2AXI bridge.
+  tlul_.map(soc::kCfiMailbox, mailbox, bridge_latency(fabric), "bridge-mailbox");
+  tlul_.map(soc::kDram, soc_mem_target_, bridge_latency(fabric), "bridge-dram");
+
+  ibex::IbexConfig config;
+  config.reset_pc = static_cast<std::uint32_t>(firmware.base);
+  config.reset_sp = static_cast<std::uint32_t>(soc::kRotSram.end() - 16);
+  core_ = std::make_unique<ibex::IbexCore>(config, tlul_);
+
+  // The HMAC accelerator needs the Ibex clock for its STATUS timing.
+  hmac_ = std::make_unique<soc::HmacMmio>(
+      tlul_, /*device_secret=*/0x0123'4567'89AB'CDEFULL,
+      [this] { return core_->cycle(); });
+  tlul_.map(soc::kRotHmacAccel, *hmac_, sram_latency(fabric), "hmac");
+
+  plic_.enable(kCfiDoorbellIrq);
+  mailbox.set_on_doorbell([this] { plic_.raise(kCfiDoorbellIrq); });
+}
+
+ibex::IbexStep RotSubsystem::step() {
+  core_->set_irq_line(plic_.irq_asserted());
+  return core_->step();
+}
+
+void RotSubsystem::run_until(sim::Cycle target) {
+  while (core_->cycle() < target && !core_->halted()) {
+    core_->set_irq_line(plic_.irq_asserted());
+    if (core_->sleeping() && !plic_.irq_asserted()) {
+      core_->advance_clock(target - core_->cycle());
+      return;
+    }
+    core_->step();
+  }
+}
+
+std::string RotSubsystem::section_of(std::uint32_t pc) const {
+  // Marks partition the image: the section owning `pc` is the mark with the
+  // greatest address <= pc.
+  std::string section = "init";
+  std::uint64_t best = 0;
+  for (const auto& [name, addr] : firmware_.marks) {
+    if (addr <= pc && addr >= best) {
+      best = addr;
+      section = name;
+    }
+  }
+  return section;
+}
+
+}  // namespace titan::cfi

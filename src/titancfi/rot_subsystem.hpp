@@ -1,0 +1,72 @@
+// OpenTitan RoT subsystem model: Ibex + TL-UL fabric + private SRAM/ROM +
+// PLIC + HMAC accelerator + TL2AXI bridge window onto the host domain.
+//
+// Latency calibration (paper Sec. V-B):
+//   * RoT private scratchpad: ~5 cycles per access  (TL hop 3 + SRAM 1 + core 1)
+//   * SoC memory through the TL2AXI bridge: ~12 cycles (TL hop 3 + bridge 8 + core 1)
+//   * "Optimized" RoT (redesigned low-latency interconnect): scratchpad in a
+//     single cycle, SoC memory in ~8 cycles.
+#pragma once
+
+#include <memory>
+
+#include "ibex/core.hpp"
+#include "rv/assembler.hpp"
+#include "sim/memory.hpp"
+#include "soc/bus.hpp"
+#include "soc/hmac_mmio.hpp"
+#include "soc/mailbox.hpp"
+#include "soc/memmap.hpp"
+#include "soc/plic.hpp"
+
+namespace titan::cfi {
+
+/// RoT interconnect generation (paper Table I sections).
+enum class RotFabric {
+  kBaseline,   ///< Stock OpenTitan TL-UL fabric (5 / 12 cycle accesses).
+  kOptimized,  ///< Low-latency interconnect (1 / 8 cycle accesses).
+};
+
+/// RoT-private PLIC (address defined with the rest of the map).
+inline constexpr soc::Region kRotPlic = soc::kRotPlic;
+/// Doorbell interrupt source id on the RoT PLIC.
+inline constexpr unsigned kCfiDoorbellIrq = 1;
+
+class RotSubsystem {
+ public:
+  /// `mailbox`: the CFI mailbox (lives in the host domain; reached through
+  /// the TL2AXI bridge).  `soc_memory`: host DRAM (spill arena lives there).
+  RotSubsystem(const rv::Image& firmware, RotFabric fabric,
+               soc::Mailbox& mailbox, sim::Memory& soc_memory);
+
+  /// Step the Ibex core once; returns the step record.
+  ibex::IbexStep step();
+
+  /// Run until the Ibex clock reaches `target` (fast-forwards sleep time).
+  void run_until(sim::Cycle target);
+
+  [[nodiscard]] ibex::IbexCore& core() { return *core_; }
+  [[nodiscard]] soc::Plic& plic() { return plic_; }
+  [[nodiscard]] soc::Crossbar& fabric() { return tlul_; }
+  [[nodiscard]] const soc::HmacMmio& hmac() const { return *hmac_; }
+  [[nodiscard]] sim::Memory& sram() { return sram_; }
+  [[nodiscard]] const rv::Image& firmware() const { return firmware_; }
+
+  /// Classify a PC against the firmware section marks ("irq" / "cfi" /
+  /// "init" / "poll") — used for Table I attribution.
+  [[nodiscard]] std::string section_of(std::uint32_t pc) const;
+
+ private:
+  rv::Image firmware_;
+  sim::Memory rom_;
+  sim::Memory sram_;
+  soc::MemoryTarget rom_target_{rom_};
+  soc::MemoryTarget sram_target_{sram_};
+  soc::MemoryTarget soc_mem_target_;
+  soc::Plic plic_{4};
+  soc::Crossbar tlul_;
+  std::unique_ptr<soc::HmacMmio> hmac_;
+  std::unique_ptr<ibex::IbexCore> core_;
+};
+
+}  // namespace titan::cfi

@@ -1,0 +1,88 @@
+#include "titancfi/soc_top.hpp"
+
+#include <stdexcept>
+
+namespace titan::cfi {
+
+SocTop::SocTop(const SocConfig& config, const rv::Image& host_program,
+               const rv::Image& firmware)
+    : config_(config), queue_controller_(config.queue_depth) {
+  host_memory_.load(host_program.base, host_program.bytes);
+
+  // Host-domain AXI fabric, mastered by the CFI Log Writer.
+  axi_.map(soc::kCfiMailbox, mailbox_, 0, "cfi-mailbox");
+  axi_.map(soc::kDram, host_memory_target_, 2, "dram");
+
+  cva6::Cva6Config host_config = config.host;
+  host_config.reset_pc = host_program.base;
+  host_core_ = std::make_unique<cva6::Cva6Core>(host_config, host_memory_);
+  host_core_->set_trace_enabled(config.trace_commits);
+  if (config.enable_pmp) {
+    pmp_ = soc::Pmp::titancfi_default();
+    host_core_->set_pmp(&pmp_);
+  }
+
+  rot_ = std::make_unique<RotSubsystem>(firmware, config.fabric, mailbox_,
+                                        host_memory_);
+
+  log_writer_ = std::make_unique<LogWriter>(
+      queue_controller_.queue(), axi_, mailbox_, [this](const CommitLog& log) {
+        fault_log_ = log;
+        fault_seen_ = true;
+        host_core_->raise_cfi_fault();
+      });
+}
+
+SocRunResult SocTop::run() {
+  sim::Cycle cycle = 0;
+  // Let the RoT firmware initialise (set up mtvec, shadow-stack pointers,
+  // reach its idle loop) before the host starts committing.  The RoT clock
+  // then leads the host clock by this constant offset; all interactions are
+  // relative, so the offset only models "RoT boots first" (secure boot).
+  constexpr sim::Cycle kRotInitBudget = 200;
+  rot_->run_until(kRotInitBudget);
+
+  while (!host_core_->program_done() && !fault_seen_) {
+    if (cycle >= config_.max_cycles) {
+      throw std::runtime_error("SocTop: cycle guard exceeded");
+    }
+    const auto candidates = host_core_->commit_candidates();
+    const unsigned allowed = queue_controller_.evaluate(candidates);
+    host_core_->retire(allowed);
+    log_writer_->tick(cycle);
+    rot_->run_until(cycle + kRotInitBudget);
+    host_core_->tick();
+    ++cycle;
+  }
+
+  // Drain pending checks (unless a fault already stopped the run): the host
+  // program is done, but the RoT may still be behind.
+  sim::Cycle drain_guard = cycle + 1'000'000;
+  while (!fault_seen_ &&
+         (!queue_controller_.queue().empty() ||
+          log_writer_->state() != LogWriter::State::kIdle)) {
+    if (cycle >= drain_guard) {
+      throw std::runtime_error("SocTop: drain did not converge");
+    }
+    log_writer_->tick(cycle);
+    rot_->run_until(cycle + kRotInitBudget);
+    ++cycle;
+  }
+
+  SocRunResult result;
+  result.cycles = host_core_->cycle();
+  result.instructions = host_core_->instret();
+  result.cf_logs = log_writer_->logs_sent();
+  result.violations = log_writer_->violations();
+  result.cfi_fault = fault_seen_;
+  result.fault_log = fault_log_;
+  result.exit_code = host_core_->exit_code();
+  result.queue_full_stalls = queue_controller_.full_stalls();
+  result.dual_cf_stalls = queue_controller_.dual_cf_stalls();
+  result.doorbells = mailbox_.doorbell_count();
+  result.mean_queue_occupancy =
+      queue_controller_.queue().stats().mean_occupancy();
+  return result;
+}
+
+}  // namespace titan::cfi

@@ -1,0 +1,90 @@
+// Full-system co-simulation: CVA6 host + CFI stage + CFI Mailbox + OpenTitan
+// RoT running the CFI firmware (paper Fig. 1).
+//
+// One host clock cycle proceeds as:
+//   1. the commit stage presents up to two ready scoreboard entries;
+//   2. the Queue Controller filters CF entries into the CFI Queue and decides
+//      how many entries actually retire (stalling on queue-full / dual-CF);
+//   3. the Log Writer FSM advances (pop -> AXI beats -> doorbell -> wait ->
+//      verdict), raising a CFI fault on violations;
+//   4. the RoT (Ibex + firmware) runs up to the same clock; the doorbell IRQ
+//      wakes it through the RoT PLIC, and its completion write is observed by
+//      the Log Writer next cycle.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cva6/core.hpp"
+#include "rv/assembler.hpp"
+#include "sim/memory.hpp"
+#include "soc/bus.hpp"
+#include "soc/mailbox.hpp"
+#include "soc/pmp.hpp"
+#include "titancfi/log_writer.hpp"
+#include "titancfi/queue_controller.hpp"
+#include "titancfi/rot_subsystem.hpp"
+
+namespace titan::cfi {
+
+struct SocConfig {
+  std::size_t queue_depth = 8;
+  RotFabric fabric = RotFabric::kBaseline;
+  cva6::Cva6Config host;
+  sim::Cycle max_cycles = 2'000'000'000;
+  bool trace_commits = false;  ///< Record the host commit trace.
+  /// Program the host PMP so untrusted software cannot touch the CFI
+  /// mailbox or the authenticated spill arena (paper Sec. VI).
+  bool enable_pmp = true;
+};
+
+struct SocRunResult {
+  sim::Cycle cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cf_logs = 0;
+  std::uint64_t violations = 0;
+  bool cfi_fault = false;
+  std::uint64_t exit_code = 0;
+  std::uint64_t queue_full_stalls = 0;
+  std::uint64_t dual_cf_stalls = 0;
+  std::uint64_t doorbells = 0;
+  double mean_queue_occupancy = 0.0;
+  /// The log that triggered the violation (valid when cfi_fault).
+  CommitLog fault_log{};
+};
+
+class SocTop {
+ public:
+  /// `host_program`: RV64 image loaded into host memory; execution starts at
+  /// its base.  `firmware`: RV32 image for the RoT (see firmware::Builder).
+  SocTop(const SocConfig& config, const rv::Image& host_program,
+         const rv::Image& firmware);
+
+  /// Run to completion (host ECALL), CFI fault, or the cycle guard.
+  SocRunResult run();
+
+  [[nodiscard]] cva6::Cva6Core& host() { return *host_core_; }
+  [[nodiscard]] RotSubsystem& rot() { return *rot_; }
+  [[nodiscard]] QueueController& queue_controller() { return queue_controller_; }
+  [[nodiscard]] soc::Mailbox& mailbox() { return mailbox_; }
+  [[nodiscard]] sim::Memory& host_memory() { return host_memory_; }
+  [[nodiscard]] soc::Crossbar& axi() { return axi_; }
+  [[nodiscard]] LogWriter& log_writer() { return *log_writer_; }
+  [[nodiscard]] const SocConfig& config() const { return config_; }
+
+ private:
+  SocConfig config_;
+  sim::Memory host_memory_;
+  soc::MemoryTarget host_memory_target_{host_memory_};
+  soc::Crossbar axi_{"axi", 2};
+  soc::Mailbox mailbox_;
+  QueueController queue_controller_;
+  std::unique_ptr<cva6::Cva6Core> host_core_;
+  std::unique_ptr<RotSubsystem> rot_;
+  std::unique_ptr<LogWriter> log_writer_;
+  CommitLog fault_log_{};
+  bool fault_seen_ = false;
+  soc::Pmp pmp_;
+};
+
+}  // namespace titan::cfi

@@ -1,0 +1,178 @@
+#include "workloads/embench.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "titancfi/overhead_model.hpp"
+
+namespace titan::workloads {
+
+namespace {
+
+constexpr double kNa = -1;   // "-" in Table III
+constexpr double kAbs = -2;  // not present in Table II
+
+}  // namespace
+
+const std::vector<BenchmarkStats>& benchmark_table() {
+  // name, suite, cycles, cf, TableIII{opt,poll,irq}, TableII{opt,poll,irq}
+  static const std::vector<BenchmarkStats> rows = {
+      {"aha-mont64", "embench", 2.51e6, 1.50e1, kNa, kNa, kNa, kNa, kNa, kNa},
+      {"crc32", "embench", 3.49e6, 1.50e1, kNa, kNa, kNa, kAbs, kAbs, kAbs},
+      {"cubic", "embench", 1.10e6, 2.01e4, 46, 107, 390, kAbs, kAbs, kAbs},
+      {"edn", "embench", 4.23e6, 3.67e2, kNa, kNa, kNa, 1, 1, 2},
+      {"huffbench", "embench", 3.49e6, 2.28e3, 1, 3, 11, kAbs, kAbs, kAbs},
+      {"matmult-int", "embench", 4.69e6, 2.05e2, kNa, kNa, kNa, kNa, kNa, 1},
+      {"minver", "embench", 4.75e5, 4.50e3, kNa, 7, 153, kAbs, kAbs, kAbs},
+      {"nbody", "embench", 1.21e5, 4.29e3, 163, 301, 849, kAbs, kAbs, kAbs},
+      {"nettle-aes", "embench", 5.20e6, 7.95e2, kNa, kNa, kNa, kAbs, kAbs, kAbs},
+      {"nettle-sha256", "embench", 4.73e6, 8.57e3, 1, 2, 11, kAbs, kAbs, kAbs},
+      {"nsichneu", "embench", 5.24e6, 1.70e1, kNa, kNa, kNa, kAbs, kAbs, kAbs},
+      {"picojpeg", "embench", 4.97e6, 2.14e4, 5, 15, 58, kAbs, kAbs, kAbs},
+      {"qrduino", "embench", 4.61e6, 4.35e3, kNa, kNa, kNa, kAbs, kAbs, kAbs},
+      {"sglib-combined", "embench", 3.67e6, 2.62e4, 9, 32, 142, kAbs, kAbs, kAbs},
+      {"slre", "embench", 3.57e6, 6.69e4, 38, 110, 401, kAbs, kAbs, kAbs},
+      {"st", "embench", 1.47e5, 2.31e2, kNa, kNa, 2, kAbs, kAbs, kAbs},
+      {"statemate", "embench", 3.22e6, 2.75e4, kNa, kNa, 129, kAbs, kAbs, kAbs},
+      {"ud", "embench", 1.87e6, 2.98e3, kNa, kNa, kNa, 12, 18, 43},
+      {"wikisort", "embench", 4.38e5, 7.69e3, 94, 158, 418, kAbs, kAbs, kAbs},
+      {"dhrystone", "riscv-tests", 4.57e5, 2.25e4, 260, 452, 1215, 360, 553, 1318},
+      {"median", "riscv-tests", 2.53e4, 1.10e1, kNa, kNa, kNa, 3, 5, 12},
+      {"memcpy", "riscv-tests", 1.20e5, 1.10e1, kNa, kNa, kNa, kAbs, kAbs, kAbs},
+      {"mm", "riscv-tests", 1.41e6, 2.33e5, 1108, 1752, 4311, kAbs, kAbs, kAbs},
+      {"mt-matmul", "riscv-tests", 5.76e4, 2.38e2, 11, 22, 65, kAbs, kAbs, kAbs},
+      {"mt-memcpy", "riscv-tests", 4.08e5, 1.80e1, kNa, kNa, kNa, kAbs, kAbs, kAbs},
+      {"mt-vvadd", "riscv-tests", 1.48e5, 3.30e1, kNa, kNa, kNa, kAbs, kAbs, kAbs},
+      {"multiply", "riscv-tests", 3.72e4, 9.00e0, kNa, kNa, kNa, 2, 3, 6},
+      {"pmp", "riscv-tests", 9.01e5, 5.90e1, kNa, kNa, kNa, kAbs, kAbs, kAbs},
+      {"qsort", "riscv-tests", 2.68e5, 1.10e1, kNa, kNa, kNa, kNa, kNa, 1},
+      {"rsort", "riscv-tests", 3.32e5, 1.10e1, kNa, kNa, kNa, kNa, kNa, 1},
+      {"spmv", "riscv-tests", 1.67e5, 1.10e1, kNa, kNa, kNa, kAbs, kAbs, kAbs},
+      {"towers", "riscv-tests", 2.01e4, 9.00e0, kNa, kNa, kNa, kAbs, kAbs, kAbs},
+  };
+  return rows;
+}
+
+const BenchmarkStats* find_benchmark(std::string_view name) {
+  for (const BenchmarkStats& stats : benchmark_table()) {
+    if (stats.name == name) {
+      return &stats;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<sim::Cycle> synthesize_cf_cycles(const BenchmarkStats& stats,
+                                             const TraceParams& params,
+                                             std::uint64_t seed) {
+  (void)seed;  // Placement is deterministic; seed reserved for jitter studies.
+  const auto total = static_cast<std::uint64_t>(stats.cycles);
+  const auto cf_count = static_cast<std::uint64_t>(stats.cf_count);
+  std::vector<sim::Cycle> cycles;
+  cycles.reserve(cf_count);
+  if (cf_count == 0 || total == 0) {
+    return cycles;
+  }
+
+  const unsigned cluster = std::max(1u, params.cluster);
+  const std::uint64_t clusters = (cf_count + cluster - 1) / cluster;
+  const double window =
+      std::max(1.0, params.window_fraction * stats.cycles);
+  const double spacing = window / static_cast<double>(clusters);
+  // Centre the active window in the run.
+  const double offset = (stats.cycles - window) / 2.0;
+
+  for (std::uint64_t c = 0; c < clusters && cycles.size() < cf_count; ++c) {
+    const double base = offset + spacing * static_cast<double>(c);
+    for (unsigned j = 0; j < cluster && cycles.size() < cf_count; ++j) {
+      const double at = base + static_cast<double>(j) * params.intra_gap;
+      cycles.push_back(static_cast<sim::Cycle>(std::min(
+          std::max(at, 0.0), stats.cycles - 1.0)));
+    }
+  }
+  std::sort(cycles.begin(), cycles.end());
+  return cycles;
+}
+
+namespace {
+
+double predict_slowdown(const BenchmarkStats& stats, const TraceParams& params,
+                        std::uint32_t latency, std::size_t queue_depth) {
+  const auto cf = synthesize_cf_cycles(stats, params);
+  cfi::OverheadConfig config;
+  config.queue_depth = queue_depth;
+  config.check_latency = latency;
+  config.transport_cycles = 0;
+  const auto result = cfi::simulate_cf_cycles(
+      cf, static_cast<sim::Cycle>(stats.cycles), config);
+  return result.slowdown_percent();
+}
+
+/// Bisect the window fraction so the depth-8 IRQ prediction matches the
+/// published Table III IRQ value (monotone non-increasing in phi).
+void fit_phi(const BenchmarkStats& stats, TraceParams& params) {
+  if (stats.paper_irq <= 0) {
+    params.window_fraction = 1.0;
+    return;
+  }
+  double lo = 1e-4;
+  double hi = 1.0;
+  for (int iter = 0; iter < 48; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    params.window_fraction = mid;
+    if (predict_slowdown(stats, params, kIrqLatency, 8) > stats.paper_irq) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  params.window_fraction = 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+TraceParams calibrate(const BenchmarkStats& stats) {
+  TraceParams params;
+  params.cluster = 2;
+  fit_phi(stats, params);
+
+  // --- Fit the burst size -----------------------------------------------------
+  // Preferred target: Table II's IRQ column (queue depth 1) — an entirely
+  // separate experiment.  For benchmarks absent from Table II, fall back to
+  // the Polling column of Table III, leaving Optimized as the untouched
+  // cross-validation column (see EXPERIMENTS.md).
+  const bool have_t2 = stats.in_table2() && stats.paper2_irq > 0;
+  const bool have_poll = stats.paper_poll > 0;
+  if (have_t2 || have_poll) {
+    double best_error = 1e18;
+    unsigned best_cluster = params.cluster;
+    // Bursts longer than the 8-entry CFI Queue are what make the Polling /
+    // Optimized firmware visible at depth 8, so the grid extends well past
+    // the queue depth (deep call ladders are common in real traces).
+    for (const unsigned k : {1u, 2u, 3u, 4u, 6u, 8u, 12u, 16u, 24u, 32u, 48u,
+                             64u, 96u, 128u}) {
+      // A Table III "-" entry means the 8-deep queue absorbs every burst, so
+      // bursts cannot be longer than the queue for those benchmarks.
+      if (stats.paper_irq <= 0 && k > 8) {
+        continue;
+      }
+      TraceParams trial = params;
+      trial.cluster = k;
+      fit_phi(stats, trial);  // keep the IRQ column matched for every k
+      const double predicted =
+          have_t2 ? predict_slowdown(stats, trial, kIrqLatency, 1)
+                  : predict_slowdown(stats, trial, kPollingLatency, 8);
+      const double target = have_t2 ? stats.paper2_irq : stats.paper_poll;
+      const double error = std::abs(predicted - target);
+      if (error < best_error) {
+        best_error = error;
+        best_cluster = k;
+      }
+    }
+    params.cluster = best_cluster;
+    fit_phi(stats, params);
+  }
+  return params;
+}
+
+}  // namespace titan::workloads

@@ -1,0 +1,507 @@
+#include "workloads/programs.hpp"
+
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace titan::workloads {
+
+namespace {
+
+using rv::Assembler;
+using rv::Reg;
+using rv::Xlen;
+
+Assembler make_asm() { return Assembler(Xlen::k64, kProgramBase); }
+
+void prologue(Assembler& a) {
+  a.li(Reg::kSp, static_cast<std::int64_t>(kStackTop));
+}
+
+void exit_with_a0(Assembler& a) { a.ecall(); }
+
+}  // namespace
+
+rv::Image fib_recursive(unsigned n) {
+  Assembler a = make_asm();
+  auto fib = a.new_label();
+  auto base_case = a.new_label();
+
+  prologue(a);
+  a.li(Reg::kA0, n);
+  a.call(fib);
+  a.andi(Reg::kA0, Reg::kA0, 0xFF);
+  exit_with_a0(a);
+
+  a.bind(fib);
+  a.li(Reg::kT0, 2);
+  a.bltu(Reg::kA0, Reg::kT0, base_case);
+  a.addi(Reg::kSp, Reg::kSp, -24);
+  a.sd(Reg::kRa, Reg::kSp, 0);
+  a.sd(Reg::kS0, Reg::kSp, 8);
+  a.sd(Reg::kS1, Reg::kSp, 16);
+  a.mv(Reg::kS0, Reg::kA0);
+  a.addi(Reg::kA0, Reg::kS0, -1);
+  a.call(fib);
+  a.mv(Reg::kS1, Reg::kA0);
+  a.addi(Reg::kA0, Reg::kS0, -2);
+  a.call(fib);
+  a.add(Reg::kA0, Reg::kA0, Reg::kS1);
+  a.ld(Reg::kRa, Reg::kSp, 0);
+  a.ld(Reg::kS0, Reg::kSp, 8);
+  a.ld(Reg::kS1, Reg::kSp, 16);
+  a.addi(Reg::kSp, Reg::kSp, 24);
+  a.ret();
+  a.bind(base_case);
+  a.ret();
+
+  return a.finish();
+}
+
+rv::Image matmul(unsigned n) {
+  Assembler a = make_asm();
+  const std::int64_t mat_a = 0x8010'0000;
+  const std::int64_t mat_b = 0x8011'0000;
+  const std::int64_t mat_c = 0x8012'0000;
+
+  prologue(a);
+  // Fill A[i] = i*3+1, B[i] = i*5+2 (64-bit words).
+  a.li(Reg::kT0, mat_a);
+  a.li(Reg::kT1, mat_b);
+  a.li(Reg::kT2, 0);                 // i
+  a.li(Reg::kT3, static_cast<std::int64_t>(n) * n);
+  {
+    auto fill = a.here();
+    a.li(Reg::kT4, 3);
+    a.mul(Reg::kT4, Reg::kT2, Reg::kT4);
+    a.addi(Reg::kT4, Reg::kT4, 1);
+    a.sd(Reg::kT4, Reg::kT0, 0);
+    a.li(Reg::kT4, 5);
+    a.mul(Reg::kT4, Reg::kT2, Reg::kT4);
+    a.addi(Reg::kT4, Reg::kT4, 2);
+    a.sd(Reg::kT4, Reg::kT1, 0);
+    a.addi(Reg::kT0, Reg::kT0, 8);
+    a.addi(Reg::kT1, Reg::kT1, 8);
+    a.addi(Reg::kT2, Reg::kT2, 1);
+    a.bltu(Reg::kT2, Reg::kT3, fill);
+  }
+
+  // Triple loop: C[i][j] = sum_k A[i][k] * B[k][j].
+  a.li(Reg::kS0, 0);  // i
+  auto loop_i = a.here();
+  a.li(Reg::kS1, 0);  // j
+  auto loop_j = a.here();
+  a.li(Reg::kS2, 0);  // k
+  a.li(Reg::kS3, 0);  // acc
+  auto loop_k = a.here();
+  // A[i*n + k]
+  a.li(Reg::kT0, n);
+  a.mul(Reg::kT1, Reg::kS0, Reg::kT0);
+  a.add(Reg::kT1, Reg::kT1, Reg::kS2);
+  a.slli(Reg::kT1, Reg::kT1, 3);
+  a.li(Reg::kT2, mat_a);
+  a.add(Reg::kT1, Reg::kT1, Reg::kT2);
+  a.ld(Reg::kT1, Reg::kT1, 0);
+  // B[k*n + j]
+  a.mul(Reg::kT3, Reg::kS2, Reg::kT0);
+  a.add(Reg::kT3, Reg::kT3, Reg::kS1);
+  a.slli(Reg::kT3, Reg::kT3, 3);
+  a.li(Reg::kT2, mat_b);
+  a.add(Reg::kT3, Reg::kT3, Reg::kT2);
+  a.ld(Reg::kT3, Reg::kT3, 0);
+  a.mul(Reg::kT1, Reg::kT1, Reg::kT3);
+  a.add(Reg::kS3, Reg::kS3, Reg::kT1);
+  a.addi(Reg::kS2, Reg::kS2, 1);
+  a.li(Reg::kT0, n);
+  a.bltu(Reg::kS2, Reg::kT0, loop_k);
+  // C[i*n + j] = acc
+  a.li(Reg::kT0, n);
+  a.mul(Reg::kT1, Reg::kS0, Reg::kT0);
+  a.add(Reg::kT1, Reg::kT1, Reg::kS1);
+  a.slli(Reg::kT1, Reg::kT1, 3);
+  a.li(Reg::kT2, mat_c);
+  a.add(Reg::kT1, Reg::kT1, Reg::kT2);
+  a.sd(Reg::kS3, Reg::kT1, 0);
+  a.addi(Reg::kS1, Reg::kS1, 1);
+  a.li(Reg::kT0, n);
+  a.bltu(Reg::kS1, Reg::kT0, loop_j);
+  a.addi(Reg::kS0, Reg::kS0, 1);
+  a.li(Reg::kT0, n);
+  a.bltu(Reg::kS0, Reg::kT0, loop_i);
+
+  // Checksum C.
+  a.li(Reg::kT0, mat_c);
+  a.li(Reg::kT1, 0);
+  a.li(Reg::kT2, static_cast<std::int64_t>(n) * n);
+  a.li(Reg::kA0, 0);
+  {
+    auto sum = a.here();
+    a.ld(Reg::kT3, Reg::kT0, 0);
+    a.add(Reg::kA0, Reg::kA0, Reg::kT3);
+    a.addi(Reg::kT0, Reg::kT0, 8);
+    a.addi(Reg::kT1, Reg::kT1, 1);
+    a.bltu(Reg::kT1, Reg::kT2, sum);
+  }
+  a.andi(Reg::kA0, Reg::kA0, 0xFF);
+  exit_with_a0(a);
+  return a.finish();
+}
+
+rv::Image crc32(unsigned len) {
+  Assembler a = make_asm();
+  const std::int64_t buffer = 0x8013'0000;
+
+  prologue(a);
+  // Fill buffer with an LCG byte stream.
+  a.li(Reg::kT0, buffer);
+  a.li(Reg::kT1, 0);
+  a.li(Reg::kT2, len);
+  a.li(Reg::kT3, 0x12345678);
+  a.li(Reg::kT5, 12345);  // LCG increment (exceeds the addi immediate range)
+  {
+    auto fill = a.here();
+    a.li(Reg::kT4, 1103515245);
+    a.mul(Reg::kT3, Reg::kT3, Reg::kT4);
+    a.add(Reg::kT3, Reg::kT3, Reg::kT5);
+    a.srli(Reg::kT4, Reg::kT3, 16);
+    a.sb(Reg::kT4, Reg::kT0, 0);
+    a.addi(Reg::kT0, Reg::kT0, 1);
+    a.addi(Reg::kT1, Reg::kT1, 1);
+    a.bltu(Reg::kT1, Reg::kT2, fill);
+  }
+
+  // Bitwise CRC-32 (poly 0xEDB88320).  The crc register is kept below 2^32
+  // so the 64-bit logical shifts behave as their 32-bit counterparts.
+  a.li(Reg::kA0, 0xFFFFFFFFLL);
+  a.li(Reg::kT0, buffer);
+  a.li(Reg::kT1, 0);
+  a.li(Reg::kT2, len);
+  auto byte_loop = a.here();
+  a.lbu(Reg::kT3, Reg::kT0, 0);
+  a.xor_(Reg::kA0, Reg::kA0, Reg::kT3);
+  a.li(Reg::kT4, 8);           // bit counter
+  auto bit_loop = a.here();
+  a.andi(Reg::kT5, Reg::kA0, 1);
+  a.srli(Reg::kA0, Reg::kA0, 1);
+  {
+    auto no_xor = a.new_label();
+    a.beqz(Reg::kT5, no_xor);
+    a.li(Reg::kT6, 0xEDB88320);
+    a.xor_(Reg::kA0, Reg::kA0, Reg::kT6);
+    a.bind(no_xor);
+  }
+  a.addi(Reg::kT4, Reg::kT4, -1);
+  a.bnez(Reg::kT4, bit_loop);
+  a.addi(Reg::kT0, Reg::kT0, 1);
+  a.addi(Reg::kT1, Reg::kT1, 1);
+  a.bltu(Reg::kT1, Reg::kT2, byte_loop);
+  a.andi(Reg::kA0, Reg::kA0, 0xFF);
+  exit_with_a0(a);
+  return a.finish();
+}
+
+rv::Image quicksort(unsigned n) {
+  Assembler a = make_asm();
+  const std::int64_t array = 0x8014'0000;
+
+  auto qsort_fn = a.new_label();
+  auto qsort_done = a.new_label();
+
+  prologue(a);
+  // Fill with LCG values.
+  a.li(Reg::kT0, array);
+  a.li(Reg::kT1, 0);
+  a.li(Reg::kT2, n);
+  a.li(Reg::kT3, 987654321);
+  a.li(Reg::kT5, 12345);  // LCG increment (exceeds the addi immediate range)
+  {
+    auto fill = a.here();
+    a.li(Reg::kT4, 1103515245);
+    a.mul(Reg::kT3, Reg::kT3, Reg::kT4);
+    a.add(Reg::kT3, Reg::kT3, Reg::kT5);
+    a.srli(Reg::kT4, Reg::kT3, 13);
+    a.andi(Reg::kT4, Reg::kT4, 0x7FF);
+    a.sd(Reg::kT4, Reg::kT0, 0);
+    a.addi(Reg::kT0, Reg::kT0, 8);
+    a.addi(Reg::kT1, Reg::kT1, 1);
+    a.bltu(Reg::kT1, Reg::kT2, fill);
+  }
+  // quicksort(lo=0, hi=n-1) — indices in a0/a1, array base in s11.
+  a.li(Reg::kS11, array);
+  a.li(Reg::kA0, 0);
+  a.li(Reg::kA1, static_cast<std::int64_t>(n) - 1);
+  a.call(qsort_fn);
+  // Verify sortedness: a0 = 1 when sorted.
+  a.li(Reg::kT0, array);
+  a.li(Reg::kT1, 1);
+  a.li(Reg::kT2, n);
+  a.li(Reg::kA0, 1);
+  {
+    auto check = a.new_label();
+    auto fail = a.new_label();
+    auto done = a.new_label();
+    a.bind(check);
+    a.bgeu(Reg::kT1, Reg::kT2, done);
+    a.ld(Reg::kT3, Reg::kT0, 0);
+    a.ld(Reg::kT4, Reg::kT0, 8);
+    a.bltu(Reg::kT4, Reg::kT3, fail);
+    a.addi(Reg::kT0, Reg::kT0, 8);
+    a.addi(Reg::kT1, Reg::kT1, 1);
+    a.j(check);
+    a.bind(fail);
+    a.li(Reg::kA0, 0);
+    a.bind(done);
+  }
+  exit_with_a0(a);
+
+  // void qsort(lo=a0, hi=a1): Lomuto partition, recursive.
+  a.bind(qsort_fn);
+  a.bge(Reg::kA0, Reg::kA1, qsort_done);
+  a.addi(Reg::kSp, Reg::kSp, -32);
+  a.sd(Reg::kRa, Reg::kSp, 0);
+  a.sd(Reg::kS0, Reg::kSp, 8);   // lo
+  a.sd(Reg::kS1, Reg::kSp, 16);  // hi
+  a.sd(Reg::kS2, Reg::kSp, 24);  // store index i
+  a.mv(Reg::kS0, Reg::kA0);
+  a.mv(Reg::kS1, Reg::kA1);
+  // pivot = arr[hi] (t0), i = lo (s2), j = lo (t1)
+  a.slli(Reg::kT0, Reg::kS1, 3);
+  a.add(Reg::kT0, Reg::kT0, Reg::kS11);
+  a.ld(Reg::kT0, Reg::kT0, 0);
+  a.mv(Reg::kS2, Reg::kS0);
+  a.mv(Reg::kT1, Reg::kS0);
+  {
+    auto part_loop = a.here();
+    auto no_swap = a.new_label();
+    auto part_end = a.new_label();
+    a.bge(Reg::kT1, Reg::kS1, part_end);
+    a.slli(Reg::kT2, Reg::kT1, 3);
+    a.add(Reg::kT2, Reg::kT2, Reg::kS11);
+    a.ld(Reg::kT3, Reg::kT2, 0);          // arr[j]
+    a.bgeu(Reg::kT3, Reg::kT0, no_swap);
+    // swap arr[i], arr[j]
+    a.slli(Reg::kT4, Reg::kS2, 3);
+    a.add(Reg::kT4, Reg::kT4, Reg::kS11);
+    a.ld(Reg::kT5, Reg::kT4, 0);
+    a.sd(Reg::kT3, Reg::kT4, 0);
+    a.sd(Reg::kT5, Reg::kT2, 0);
+    a.addi(Reg::kS2, Reg::kS2, 1);
+    a.bind(no_swap);
+    a.addi(Reg::kT1, Reg::kT1, 1);
+    a.j(part_loop);
+    a.bind(part_end);
+  }
+  // swap arr[i], arr[hi]
+  a.slli(Reg::kT4, Reg::kS2, 3);
+  a.add(Reg::kT4, Reg::kT4, Reg::kS11);
+  a.ld(Reg::kT5, Reg::kT4, 0);
+  a.slli(Reg::kT2, Reg::kS1, 3);
+  a.add(Reg::kT2, Reg::kT2, Reg::kS11);
+  a.ld(Reg::kT3, Reg::kT2, 0);
+  a.sd(Reg::kT3, Reg::kT4, 0);
+  a.sd(Reg::kT5, Reg::kT2, 0);
+  // recurse left: (lo, i-1)
+  a.mv(Reg::kA0, Reg::kS0);
+  a.addi(Reg::kA1, Reg::kS2, -1);
+  a.call(qsort_fn);
+  // recurse right: (i+1, hi)
+  a.addi(Reg::kA0, Reg::kS2, 1);
+  a.mv(Reg::kA1, Reg::kS1);
+  a.call(qsort_fn);
+  a.ld(Reg::kRa, Reg::kSp, 0);
+  a.ld(Reg::kS0, Reg::kSp, 8);
+  a.ld(Reg::kS1, Reg::kSp, 16);
+  a.ld(Reg::kS2, Reg::kSp, 24);
+  a.addi(Reg::kSp, Reg::kSp, 32);
+  a.bind(qsort_done);
+  a.ret();
+
+  return a.finish();
+}
+
+rv::Image call_chain(unsigned depth) {
+  Assembler a = make_asm();
+  auto chain = a.new_label();
+  auto leaf = a.new_label();
+
+  prologue(a);
+  a.li(Reg::kA0, depth);
+  a.call(chain);
+  a.li(Reg::kA0, depth & 0xFF);
+  exit_with_a0(a);
+
+  a.bind(chain);
+  a.beqz(Reg::kA0, leaf);
+  a.addi(Reg::kSp, Reg::kSp, -16);
+  a.sd(Reg::kRa, Reg::kSp, 0);
+  a.addi(Reg::kA0, Reg::kA0, -1);
+  a.call(chain);
+  a.ld(Reg::kRa, Reg::kSp, 0);
+  a.addi(Reg::kSp, Reg::kSp, 16);
+  a.bind(leaf);
+  a.ret();
+
+  return a.finish();
+}
+
+rv::Image indirect_dispatch(unsigned iterations) {
+  Assembler a = make_asm();
+  auto table = a.new_label();
+  auto h0 = a.new_label();
+  auto h1 = a.new_label();
+  auto h2 = a.new_label();
+  auto h3 = a.new_label();
+
+  prologue(a);
+  a.la(Reg::kS0, table);
+  a.li(Reg::kS1, iterations);
+  a.li(Reg::kS2, 0);  // accumulator
+  {
+    auto loop = a.here();
+    a.andi(Reg::kT0, Reg::kS1, 3);
+    a.slli(Reg::kT0, Reg::kT0, 3);
+    a.add(Reg::kT1, Reg::kS0, Reg::kT0);
+    a.ld(Reg::kT2, Reg::kT1, 0);
+    a.callr(Reg::kT2);  // jalr ra, 0(t2): indirect call
+    a.addi(Reg::kS1, Reg::kS1, -1);
+    a.bnez(Reg::kS1, loop);
+  }
+  a.andi(Reg::kA0, Reg::kS2, 0xFF);
+  exit_with_a0(a);
+
+  a.bind(h0);
+  a.addi(Reg::kS2, Reg::kS2, 1);
+  a.ret();
+  a.bind(h1);
+  a.addi(Reg::kS2, Reg::kS2, 3);
+  a.ret();
+  a.bind(h2);
+  a.addi(Reg::kS2, Reg::kS2, 5);
+  a.ret();
+  a.bind(h3);
+  a.addi(Reg::kS2, Reg::kS2, 7);
+  a.ret();
+
+  a.align(8);
+  a.bind(table);
+  // Function-pointer table: filled with absolute addresses post-layout is
+  // not possible in one pass, so store auipc-computed addresses at runtime?
+  // Simpler: the table is data — emit placeholders and patch via la/sd in a
+  // second init loop below.  Instead we emit the addresses directly: labels
+  // are bound above, so addr_of is valid at finish(); but data64 takes a
+  // value now.  We therefore emit the table as code-relative entries using
+  // a second pass: reserve space here.
+  a.data64(0);
+  a.data64(0);
+  a.data64(0);
+  a.data64(0);
+
+  rv::Image image = a.finish();
+  // Patch the table with the resolved handler addresses.
+  const std::uint64_t table_addr = a.addr_of(table);
+  const std::uint64_t handlers[4] = {a.addr_of(h0), a.addr_of(h1),
+                                     a.addr_of(h2), a.addr_of(h3)};
+  for (unsigned i = 0; i < 4; ++i) {
+    const std::size_t offset = table_addr - image.base + 8 * i;
+    for (unsigned b = 0; b < 8; ++b) {
+      image.bytes[offset + b] =
+          static_cast<std::uint8_t>(handlers[i] >> (8 * b));
+    }
+  }
+  return image;
+}
+
+rv::Image rop_victim() {
+  Assembler a = make_asm();
+  auto victim = a.new_label();
+  auto attacker = a.new_label();
+
+  prologue(a);
+  a.call(victim);
+  a.li(Reg::kA0, 0);  // benign exit (never reached after the hijack)
+  exit_with_a0(a);
+
+  a.bind(victim);
+  a.addi(Reg::kSp, Reg::kSp, -16);
+  a.sd(Reg::kRa, Reg::kSp, 8);
+  // --- simulated stack-buffer overflow: the "attacker" overwrites the
+  // saved return address with the gadget address -------------------------
+  a.la(Reg::kT0, attacker);
+  a.sd(Reg::kT0, Reg::kSp, 8);
+  // -----------------------------------------------------------------------
+  a.ld(Reg::kRa, Reg::kSp, 8);
+  a.addi(Reg::kSp, Reg::kSp, 16);
+  a.ret();  // control-flow hijack happens HERE
+
+  a.bind(attacker);
+  a.li(Reg::kA0, 66);  // "malicious" behaviour
+  exit_with_a0(a);
+
+  return a.finish();
+}
+
+rv::Image random_callgraph(std::uint64_t seed, unsigned functions,
+                           bool inject_rop) {
+  sim::Rng rng(seed);
+  Assembler a = make_asm();
+  std::vector<Assembler::Label> fn(functions);
+  for (auto& label : fn) {
+    label = a.new_label();
+  }
+  auto gadget = a.new_label();
+  const unsigned victim =
+      inject_rop ? static_cast<unsigned>(rng.uniform(0, functions - 1)) : ~0u;
+
+  // main: accumulate in s2, call the root, exit.
+  prologue(a);
+  a.li(Reg::kS2, 0);
+  a.call(fn[0]);
+  a.andi(Reg::kA0, Reg::kS2, 0xFF);
+  exit_with_a0(a);
+
+  for (unsigned i = 0; i < functions; ++i) {
+    a.bind(fn[i]);
+    a.addi(Reg::kSp, Reg::kSp, -16);
+    a.sd(Reg::kRa, Reg::kSp, 8);
+    // Random ALU body (1..4 ops on the accumulator).
+    const unsigned ops = static_cast<unsigned>(rng.uniform(1, 4));
+    for (unsigned op = 0; op < ops; ++op) {
+      const auto delta = static_cast<std::int32_t>(rng.uniform(1, 200));
+      if (rng.chance(0.5)) {
+        a.addi(Reg::kS2, Reg::kS2, delta);
+      } else {
+        a.xori(Reg::kS2, Reg::kS2, delta);
+      }
+    }
+    // Calls go to strictly later functions only (DAG => terminates).  The
+    // chain call to i+1 guarantees every function — in particular the ROP
+    // victim — is reachable; one optional extra call adds graph variety
+    // while keeping the invocation count subexponential.
+    if (i + 1 < functions) {
+      a.call(fn[i + 1]);
+      if (rng.chance(0.5)) {
+        const auto callee =
+            static_cast<unsigned>(rng.uniform(i + 1, functions - 1));
+        a.call(fn[callee]);
+      }
+    }
+    if (i == victim) {
+      // Stack-smash simulation: replace the saved return address with the
+      // gadget before the epilogue reloads it.
+      a.la(Reg::kT0, gadget);
+      a.sd(Reg::kT0, Reg::kSp, 8);
+    }
+    a.ld(Reg::kRa, Reg::kSp, 8);
+    a.addi(Reg::kSp, Reg::kSp, 16);
+    a.ret();
+  }
+
+  a.bind(gadget);
+  a.li(Reg::kA0, 66);
+  exit_with_a0(a);
+
+  return a.finish();
+}
+
+}  // namespace titan::workloads
+

@@ -1,0 +1,60 @@
+// Hand-assembled RV64 workload programs for the CVA6 model.
+//
+// These run end-to-end on the full co-simulation (CVA6 + CFI stage + RoT
+// firmware) and on the bare host model.  They serve three purposes:
+//  * integration tests — known exit codes, zero CFI violations;
+//  * attack demonstrations — rop_victim overwrites its saved return address
+//    and must be caught by the shadow stack at the exact return;
+//  * validation of the trace-driven overhead model against real co-sim runs.
+//
+// Convention: programs end with ECALL; the exit code is a0.
+#pragma once
+
+#include <cstdint>
+
+#include "rv/assembler.hpp"
+
+namespace titan::workloads {
+
+/// Program load address (host DRAM) and initial stack top.
+inline constexpr std::uint64_t kProgramBase = 0x8000'0000;
+inline constexpr std::uint64_t kStackTop = 0x8080'0000;
+
+/// Recursive Fibonacci: call/return dense.  Exit code: fib(n).
+[[nodiscard]] rv::Image fib_recursive(unsigned n);
+
+/// n x n integer matrix multiply; exit code: checksum mod 256.
+[[nodiscard]] rv::Image matmul(unsigned n);
+
+/// Bitwise CRC-32 over a generated buffer; exit code: crc & 0xFF.
+[[nodiscard]] rv::Image crc32(unsigned len);
+
+/// Recursive quicksort over an LCG-filled array; exit code: 1 when sorted.
+[[nodiscard]] rv::Image quicksort(unsigned n);
+
+/// Deep call chain (depth levels) — forces shadow-stack spill/fill when
+/// depth exceeds the RoT on-chip capacity.  Exit code: depth & 0xFF.
+[[nodiscard]] rv::Image call_chain(unsigned depth);
+
+/// Indirect dispatch through a function-pointer table (jalr calls).
+/// Exit code: accumulated handler sum & 0xFF.
+[[nodiscard]] rv::Image indirect_dispatch(unsigned iterations);
+
+/// ROP victim: overwrites its saved return address on the stack and returns
+/// into `attacker`, which exits with code 66.  Architecturally the program
+/// "works"; the shadow stack must flag the tampered return.
+[[nodiscard]] rv::Image rop_victim();
+
+
+/// Random call-graph program for fuzz-style CFI validation: `functions`
+/// functions arranged as a DAG (function i may call only j > i, so the
+/// program always terminates), bodies mixing ALU work with 0-2 calls.
+/// When `inject_rop` is true, one randomly chosen function overwrites its
+/// saved return address with the gadget's address before returning — a
+/// well-formed architectural execution that the shadow stack must flag.
+/// Exit code: accumulated work value & 0xFF (gadget exits with 66).
+[[nodiscard]] rv::Image random_callgraph(std::uint64_t seed,
+                                         unsigned functions = 8,
+                                         bool inject_rop = false);
+
+}  // namespace titan::workloads

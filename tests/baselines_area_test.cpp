@@ -1,0 +1,118 @@
+// Baseline-comparator models (DExIE, FIXER) and the structural area model.
+#include <gtest/gtest.h>
+
+#include "area/area_model.hpp"
+#include "baselines/baselines.hpp"
+
+namespace titan {
+namespace {
+
+// ---- Baselines ------------------------------------------------------------------
+
+TEST(Dexie, ClockDegradationDominates) {
+  baselines::DexieModel model;
+  // Few CF ops: overhead is still ~ (clock_factor - 1).
+  const double slowdown = model.slowdown_percent({2'510'000, 15});
+  EXPECT_NEAR(slowdown, 47.0, 1.5);
+}
+
+TEST(Dexie, ReportedNumbersLookup) {
+  EXPECT_EQ(baselines::dexie_reported("aha-mont64"), 48.0);
+  EXPECT_EQ(baselines::dexie_reported("edn"), 47.0);
+  EXPECT_EQ(baselines::dexie_reported("dhrystone"), std::nullopt);
+}
+
+TEST(Fixer, PerOpCostScalesWithDensity) {
+  baselines::FixerModel model;
+  const double sparse = model.slowdown_percent({332'000, 11});
+  const double dense = model.slowdown_percent({457'000, 22'500});
+  EXPECT_LT(sparse, 0.1);
+  EXPECT_GT(dense, 5.0);
+  EXPECT_GT(dense, sparse);
+}
+
+TEST(Fixer, ReportedNumbersLookup) {
+  EXPECT_EQ(baselines::fixer_reported("rsort"), 2.0);
+  EXPECT_EQ(baselines::fixer_reported("dhrystone"), 2.0);
+  EXPECT_EQ(baselines::fixer_reported("aha-mont64"), std::nullopt);
+}
+
+TEST(Baselines, ZeroCycleTracesAreSafe) {
+  EXPECT_DOUBLE_EQ(baselines::DexieModel{}.slowdown_percent({0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(baselines::FixerModel{}.slowdown_percent({0, 0}), 0.0);
+}
+
+// ---- Area model ---------------------------------------------------------------------
+
+TEST(Area, HostDeltaMatchesPaperWithin10Percent) {
+  // Paper Table IV: host delta = 1.16e3 LUT, 1.77e3 regs, 0 BRAM.
+  const auto report = area::host_delta(1);
+  const auto total = report.total();
+  EXPECT_NEAR(total.luts, 1.16e3, 1.16e3 * 0.10);
+  EXPECT_NEAR(total.regs, 1.77e3, 1.77e3 * 0.10);
+  EXPECT_DOUBLE_EQ(total.brams, 0.0);
+}
+
+TEST(Area, SocDeltaMatchesPaperWithin10Percent) {
+  // Paper Table IV: SoC delta = 1.33e3 LUT, 2.19e3 regs, 0 BRAM.
+  const auto total = area::soc_delta(1).total();
+  EXPECT_NEAR(total.luts, 1.33e3, 1.33e3 * 0.10);
+  EXPECT_NEAR(total.regs, 2.19e3, 2.19e3 * 0.10);
+  EXPECT_DOUBLE_EQ(total.brams, 0.0);
+}
+
+TEST(Area, RelativeOverheadsMatchPaperHeadline) {
+  // "< 1% on the entire SoC, and < 6% considering only the host core".
+  const auto& reference = area::paper_reference();
+  const double host_regs_pct =
+      100.0 * area::host_delta(1).total().regs / reference[0].without_cfi_regs;
+  const double soc_luts_pct =
+      100.0 * area::soc_delta(1).total().luts / reference[1].without_cfi_luts;
+  EXPECT_LT(soc_luts_pct, 1.0);
+  EXPECT_LT(host_regs_pct, 6.0);
+  EXPECT_GT(host_regs_pct, 4.0);  // and not trivially small either
+}
+
+TEST(Area, QueueDepthScalesStorage) {
+  const double regs1 = area::host_delta(1).total().regs;
+  const double regs8 = area::host_delta(8).total().regs;
+  const double regs64 = area::host_delta(64).total().regs;
+  EXPECT_GT(regs8, regs1 + 6 * 224);   // ~224 regs per extra entry
+  EXPECT_GT(regs64, regs8);
+  // Still no BRAM even at depth 64 in this register-file implementation.
+  EXPECT_DOUBLE_EQ(area::host_delta(64).total().brams, 0.0);
+}
+
+TEST(Area, DexieComparisonFromPaper) {
+  // DExIE adds ~72% LUT/regs and 6 BRAMs to its host (Table IV).
+  const auto& rows = area::paper_reference();
+  const auto& dexie = rows[2];
+  EXPECT_NEAR((dexie.with_cfi_luts - dexie.without_cfi_luts) /
+                  dexie.without_cfi_luts,
+              0.72, 0.01);
+  EXPECT_GT(dexie.with_cfi_brams - dexie.without_cfi_brams, 0.0);
+  // TitanCFI beats DExIE's absolute LUT cost by >= 60% (paper Sec. V-D).
+  const double ours = area::soc_delta(1).total().luts;
+  const double theirs = dexie.with_cfi_luts - dexie.without_cfi_luts;
+  EXPECT_LT(ours, theirs * 0.45);
+}
+
+TEST(Area, ReportPrintsComponents) {
+  std::ostringstream os;
+  area::host_delta(8).print(os);
+  EXPECT_NE(os.str().find("cfi_queue"), std::string::npos);
+  EXPECT_NE(os.str().find("TOTAL"), std::string::npos);
+}
+
+TEST(Area, EstimatesArePositiveAndAdditive) {
+  const auto a = area::fifo(224, 8);
+  const auto b = area::cfi_filter();
+  EXPECT_GT(a.luts, 0);
+  EXPECT_GT(a.regs, 0);
+  const auto sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.luts, a.luts + b.luts);
+  EXPECT_DOUBLE_EQ(sum.regs, a.regs + b.regs);
+}
+
+}  // namespace
+}  // namespace titan

@@ -1,0 +1,199 @@
+// Per-process CFI context tests (the paper's future-work item: per-thread
+// enforcement with selective protection).
+#include "firmware/context_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rv/encode.hpp"
+#include "sim/rng.hpp"
+
+namespace titan::fw {
+namespace {
+
+std::vector<std::uint8_t> key() { return {'c', 't', 'x'}; }
+
+cfi::CommitLog call_log(std::uint64_t pc) {
+  cfi::CommitLog log;
+  log.pc = pc;
+  log.encoding = rv::enc_j(0x6F, 1, 0x40);
+  log.next = pc + 4;
+  log.target = pc + 0x40;
+  return log;
+}
+
+cfi::CommitLog return_log(std::uint64_t target) {
+  cfi::CommitLog log;
+  log.pc = 0x9000'0000;
+  log.encoding = 0x00008067;
+  log.next = log.pc + 4;
+  log.target = target;
+  return log;
+}
+
+ContextManagerConfig small_config() {
+  ContextManagerConfig config;
+  config.resident_contexts = 2;
+  config.stack.capacity = 16;
+  config.stack.spill_block = 8;
+  return config;
+}
+
+TEST(ContextManager, UnprotectedAsidsPassThrough) {
+  sim::Memory memory;
+  ContextManager manager(small_config(), memory, key());
+  ASSERT_TRUE(manager.switch_to(7));  // never protected
+  // Even a bogus return is fine: ASID 7 is outside the protection boundary.
+  EXPECT_TRUE(manager.check(return_log(0xDEAD)).ok);
+  EXPECT_EQ(manager.resident_count(), 0u);
+}
+
+TEST(ContextManager, ProtectedAsidEnforced) {
+  sim::Memory memory;
+  ContextManager manager(small_config(), memory, key());
+  manager.protect(1);
+  ASSERT_TRUE(manager.switch_to(1));
+  EXPECT_TRUE(manager.check(call_log(0x8000'0000)).ok);
+  EXPECT_TRUE(manager.check(return_log(0x8000'0004)).ok);
+  EXPECT_FALSE(manager.check(return_log(0xBAD)).ok);  // underflowed now
+}
+
+TEST(ContextManager, ContextsAreIsolated) {
+  sim::Memory memory;
+  ContextManager manager(small_config(), memory, key());
+  manager.protect(1);
+  manager.protect(2);
+
+  ASSERT_TRUE(manager.switch_to(1));
+  EXPECT_TRUE(manager.check(call_log(0x8000'0000)).ok);
+
+  // ASID 2 must not see ASID 1's frame.
+  ASSERT_TRUE(manager.switch_to(2));
+  const auto verdict = manager.check(return_log(0x8000'0004));
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_EQ(verdict.reason, "shadow-stack underflow");
+
+  // Back to ASID 1: its frame is still there.
+  ASSERT_TRUE(manager.switch_to(1));
+  EXPECT_TRUE(manager.check(return_log(0x8000'0004)).ok);
+}
+
+TEST(ContextManager, LruSuspensionAndResume) {
+  sim::Memory memory;
+  ContextManager manager(small_config(), memory, key());  // 2 resident
+  for (const Asid asid : {1, 2, 3}) {
+    manager.protect(asid);
+  }
+  ASSERT_TRUE(manager.switch_to(1));
+  EXPECT_TRUE(manager.check(call_log(0x8100'0000)).ok);
+  ASSERT_TRUE(manager.switch_to(2));
+  EXPECT_TRUE(manager.check(call_log(0x8200'0000)).ok);
+  EXPECT_EQ(manager.suspends(), 0u);
+
+  // Third protected context evicts the LRU one (ASID 1).
+  ASSERT_TRUE(manager.switch_to(3));
+  EXPECT_EQ(manager.suspends(), 1u);
+  EXPECT_EQ(manager.resident_count(), 2u);
+  EXPECT_EQ(manager.depth_of(1), 1u);  // tracked while suspended
+
+  // Returning to ASID 1 resumes (authenticates) it with state intact.
+  ASSERT_TRUE(manager.switch_to(1));
+  EXPECT_EQ(manager.resumes(), 1u);
+  EXPECT_TRUE(manager.check(return_log(0x8100'0004)).ok);
+}
+
+TEST(ContextManager, TamperedSuspendedContextRejected) {
+  sim::Memory memory;
+  ContextManager manager(small_config(), memory, key());
+  for (const Asid asid : {1, 2, 3}) {
+    manager.protect(asid);
+  }
+  ASSERT_TRUE(manager.switch_to(1));
+  EXPECT_TRUE(manager.check(call_log(0x8100'0000)).ok);
+  ASSERT_TRUE(manager.switch_to(2));
+  ASSERT_TRUE(manager.switch_to(3));  // suspends ASID 1 to DRAM
+  ASSERT_EQ(manager.suspends(), 1u);
+
+  // Attacker edits ASID 1's suspended return address in DRAM.
+  const sim::Addr slot = manager.suspend_slot(1);
+  ASSERT_NE(slot, 0u);
+  memory.write8(slot + 8, memory.read8(slot + 8) ^ 0x01);
+
+  EXPECT_FALSE(manager.switch_to(1));  // MAC verification fails
+}
+
+TEST(ContextManager, TamperedLengthFieldRejected) {
+  sim::Memory memory;
+  ContextManager manager(small_config(), memory, key());
+  for (const Asid asid : {1, 2, 3}) {
+    manager.protect(asid);
+  }
+  ASSERT_TRUE(manager.switch_to(1));
+  EXPECT_TRUE(manager.check(call_log(0x8100'0000)).ok);
+  ASSERT_TRUE(manager.switch_to(2));
+  ASSERT_TRUE(manager.switch_to(3));
+  const sim::Addr slot = manager.suspend_slot(1);
+  memory.write64(slot, 1'000'000);  // absurd entry count
+  EXPECT_FALSE(manager.switch_to(1));
+}
+
+TEST(ContextManager, DeepContextSurvivesSuspendCycle) {
+  sim::Memory memory;
+  ContextManager manager(small_config(), memory, key());
+  for (const Asid asid : {1, 2, 3}) {
+    manager.protect(asid);
+  }
+  ASSERT_TRUE(manager.switch_to(1));
+  std::vector<std::uint64_t> sites;
+  for (int depth = 0; depth < 10; ++depth) {
+    const auto log = call_log(0x8100'0000 + 0x40u * depth);
+    EXPECT_TRUE(manager.check(log).ok);
+    sites.push_back(log.next);
+  }
+  ASSERT_TRUE(manager.switch_to(2));
+  ASSERT_TRUE(manager.switch_to(3));  // evict 1
+  ASSERT_TRUE(manager.switch_to(1));  // resume 1
+  for (int depth = 10; depth-- > 0;) {
+    ASSERT_TRUE(manager.check(return_log(sites[depth])).ok) << depth;
+  }
+}
+
+TEST(ContextManager, RandomMultiProcessWorkload) {
+  sim::Memory memory;
+  ContextManagerConfig config = small_config();
+  config.resident_contexts = 2;
+  ContextManager manager(config, memory, key());
+  constexpr int kProcesses = 5;
+  for (Asid asid = 1; asid <= kProcesses; ++asid) {
+    manager.protect(asid);
+  }
+  std::vector<std::vector<std::uint64_t>> oracles(kProcesses + 1);
+  sim::Rng rng(1234);
+
+  for (int step = 0; step < 2000; ++step) {
+    const Asid asid = static_cast<Asid>(rng.uniform(1, kProcesses));
+    ASSERT_TRUE(manager.switch_to(asid));
+    auto& oracle = oracles[asid];
+    if (oracle.empty() || rng.chance(0.55)) {
+      const auto log = call_log(0x8000'0000 + rng.uniform(0, 1 << 16) * 4);
+      ASSERT_TRUE(manager.check(log).ok);
+      oracle.push_back(log.next);
+    } else {
+      const std::uint64_t site = oracle.back();
+      oracle.pop_back();
+      ASSERT_TRUE(manager.check(return_log(site)).ok) << "asid=" << asid;
+    }
+    ASSERT_EQ(manager.depth_of(asid), oracle.size());
+  }
+  EXPECT_GT(manager.suspends(), 10u);
+  EXPECT_GT(manager.resumes(), 10u);
+}
+
+TEST(ContextManager, RejectsZeroResidency) {
+  sim::Memory memory;
+  ContextManagerConfig config;
+  config.resident_contexts = 0;
+  EXPECT_THROW(ContextManager(config, memory, key()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace titan::fw

@@ -1,0 +1,212 @@
+// CVA6 host-model tests: functional correctness of hand-assembled programs
+// against C++ references, plus timing-model invariants.
+#include "cva6/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "workloads/programs.hpp"
+
+namespace titan::cva6 {
+namespace {
+
+using workloads::kProgramBase;
+
+std::uint64_t run_program(const rv::Image& image, Cva6Core** out = nullptr,
+                          std::vector<CommitRecord>* trace = nullptr) {
+  static sim::Memory memory;  // reused across calls intentionally? no — fresh:
+  sim::Memory fresh;
+  fresh.load(image.base, image.bytes);
+  Cva6Config config;
+  config.reset_pc = image.base;
+  Cva6Core core(config, fresh);
+  core.set_trace_enabled(trace != nullptr);
+  core.run_baseline();
+  if (trace != nullptr) {
+    *trace = core.trace();
+  }
+  (void)out;
+  (void)memory;
+  return core.exit_code();
+}
+
+// ---- Functional correctness -------------------------------------------------
+
+unsigned fib_ref(unsigned n) { return n < 2 ? n : fib_ref(n - 1) + fib_ref(n - 2); }
+
+TEST(Cva6, FibRecursive) {
+  for (const unsigned n : {0u, 1u, 2u, 7u, 10u, 12u}) {
+    EXPECT_EQ(run_program(workloads::fib_recursive(n)), fib_ref(n) & 0xFF)
+        << "n=" << n;
+  }
+}
+
+TEST(Cva6, MatmulChecksum) {
+  const unsigned n = 6;
+  std::vector<std::int64_t> a(n * n);
+  std::vector<std::int64_t> b(n * n);
+  for (unsigned i = 0; i < n * n; ++i) {
+    a[i] = 3 * static_cast<std::int64_t>(i) + 1;
+    b[i] = 5 * static_cast<std::int64_t>(i) + 2;
+  }
+  std::uint64_t checksum = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    for (unsigned j = 0; j < n; ++j) {
+      std::int64_t acc = 0;
+      for (unsigned k = 0; k < n; ++k) {
+        acc += a[i * n + k] * b[k * n + j];
+      }
+      checksum += static_cast<std::uint64_t>(acc);
+    }
+  }
+  EXPECT_EQ(run_program(workloads::matmul(n)), checksum & 0xFF);
+}
+
+TEST(Cva6, Crc32MatchesReference) {
+  const unsigned len = 64;
+  // Reference byte stream: same LCG as the assembly (32-bit wrap-free in
+  // 64-bit regs; the emitted byte is bits 16..23).
+  std::vector<std::uint8_t> buffer(len);
+  std::uint64_t state = 0x12345678;
+  for (unsigned i = 0; i < len; ++i) {
+    state = state * 1103515245 + 12345;
+    buffer[i] = static_cast<std::uint8_t>(state >> 16);
+  }
+  std::uint32_t crc = 0xFFFFFFFF;
+  for (const std::uint8_t byte : buffer) {
+    crc ^= byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ 0xEDB88320 : crc >> 1;
+    }
+  }
+  EXPECT_EQ(run_program(workloads::crc32(len)), crc & 0xFF);
+}
+
+TEST(Cva6, QuicksortSortsCorrectly) {
+  EXPECT_EQ(run_program(workloads::quicksort(64)), 1u);
+  EXPECT_EQ(run_program(workloads::quicksort(3)), 1u);
+  EXPECT_EQ(run_program(workloads::quicksort(128)), 1u);
+}
+
+TEST(Cva6, CallChainReturnsDepth) {
+  EXPECT_EQ(run_program(workloads::call_chain(50)), 50u);
+}
+
+TEST(Cva6, IndirectDispatchAccumulates) {
+  // iterations 8: selectors 8..1 -> (8&3..1&3)=0,3,2,1,0,3,2,1 ->
+  // 1+7+5+3+1+7+5+3 = 32.
+  EXPECT_EQ(run_program(workloads::indirect_dispatch(8)), 32u);
+}
+
+TEST(Cva6, RopVictimArchitecturallySucceeds) {
+  // Without CFI the hijack "works": the program exits with the attacker's
+  // code.  (The co-sim tests prove TitanCFI catches it.)
+  EXPECT_EQ(run_program(workloads::rop_victim()), 66u);
+}
+
+// ---- Trace & timing invariants ------------------------------------------------
+
+TEST(Cva6, TraceIsCycleMonotoneAndComplete) {
+  std::vector<CommitRecord> trace;
+  run_program(workloads::fib_recursive(8), nullptr, &trace);
+  ASSERT_FALSE(trace.empty());
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    ASSERT_GE(trace[i].cycle, trace[i - 1].cycle);
+  }
+  // Dual commit: no cycle hosts more than 2 commits.
+  std::size_t run_length = 1;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    run_length = trace[i].cycle == trace[i - 1].cycle ? run_length + 1 : 1;
+    ASSERT_LE(run_length, 2u);
+  }
+}
+
+TEST(Cva6, TraceContainsBalancedCallsAndReturns) {
+  std::vector<CommitRecord> trace;
+  run_program(workloads::fib_recursive(10), nullptr, &trace);
+  std::uint64_t calls = 0;
+  std::uint64_t returns = 0;
+  for (const CommitRecord& record : trace) {
+    if (record.kind == rv::CfKind::kCall) ++calls;
+    if (record.kind == rv::CfKind::kReturn) ++returns;
+  }
+  EXPECT_EQ(calls, returns);
+  EXPECT_GT(calls, 100u);  // fib(10) makes 177 calls
+}
+
+TEST(Cva6, CallNextAndTargetSemantics) {
+  std::vector<CommitRecord> trace;
+  run_program(workloads::fib_recursive(5), nullptr, &trace);
+  for (const CommitRecord& record : trace) {
+    if (record.kind == rv::CfKind::kCall) {
+      EXPECT_EQ(record.next_pc, record.pc + 4);  // return site
+      EXPECT_NE(record.target, record.next_pc);  // actually jumps
+    }
+  }
+}
+
+TEST(Cva6, CommitStallFreezesRetirement) {
+  const rv::Image image = workloads::fib_recursive(5);
+  sim::Memory memory;
+  memory.load(image.base, image.bytes);
+  Cva6Config config;
+  config.reset_pc = image.base;
+  Cva6Core core(config, memory);
+
+  // Never allow commits: instret grows (issue runs ahead) but the trace
+  // stays empty and the ROB saturates.
+  for (int i = 0; i < 100; ++i) {
+    (void)core.commit_candidates();
+    core.retire(0);
+    core.tick();
+  }
+  EXPECT_TRUE(core.trace().empty());
+  EXPECT_GT(core.stall_cycles(), 0u);
+  EXPECT_FALSE(core.program_done());
+
+  // Release the stall: the program completes normally.
+  core.run_baseline();
+  EXPECT_EQ(core.exit_code(), 5u);
+}
+
+TEST(Cva6, StallDelaysCompletion) {
+  const rv::Image image = workloads::fib_recursive(7);
+  const auto run_with_stall = [&](unsigned stall_every) {
+    sim::Memory memory;
+    memory.load(image.base, image.bytes);
+    Cva6Config config;
+    config.reset_pc = image.base;
+    Cva6Core core(config, memory);
+    std::uint64_t counter = 0;
+    while (!core.program_done()) {
+      const auto ready = core.commit_candidates();
+      const bool stall = stall_every != 0 && (++counter % stall_every) == 0;
+      core.retire(stall ? 0 : static_cast<unsigned>(ready.size()));
+      core.tick();
+    }
+    return core.cycle();
+  };
+  const auto baseline = run_with_stall(0);
+  const auto stalled = run_with_stall(3);
+  EXPECT_GT(stalled, baseline);
+}
+
+TEST(Cva6, InstructionBudgetGuard) {
+  // An infinite loop must hit the runaway guard, not hang.
+  rv::Assembler a(rv::Xlen::k64, kProgramBase);
+  auto loop = a.here();
+  a.j(loop);
+  const rv::Image image = a.finish();
+  sim::Memory memory;
+  memory.load(image.base, image.bytes);
+  Cva6Config config;
+  config.reset_pc = image.base;
+  config.max_instructions = 10'000;
+  Cva6Core core(config, memory);
+  EXPECT_THROW(core.run_baseline(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace titan::cva6

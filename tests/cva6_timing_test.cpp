@@ -1,0 +1,136 @@
+// Timing-model invariants of the CVA6 host core.
+#include <gtest/gtest.h>
+
+#include "cva6/core.hpp"
+#include "workloads/programs.hpp"
+
+namespace titan::cva6 {
+namespace {
+
+Cva6Core make_core(const rv::Image& image, sim::Memory& memory,
+                   Cva6Config config = {}) {
+  memory.load(image.base, image.bytes);
+  config.reset_pc = image.base;
+  return Cva6Core(config, memory);
+}
+
+TEST(Cva6Timing, IpcNeverExceedsCommitWidth) {
+  sim::Memory memory;
+  Cva6Core core = make_core(workloads::matmul(4), memory);
+  core.run_baseline();
+  const double ipc = static_cast<double>(core.instret()) /
+                     static_cast<double>(core.cycle());
+  EXPECT_LE(ipc, 2.0);
+  EXPECT_GT(ipc, 0.1);
+}
+
+TEST(Cva6Timing, SingleIssueBoundsIpcToOneInSteadyState) {
+  // Issue is 1/cycle, so sustained IPC can only approach 1 even though the
+  // commit stage is 2-wide (commits catch up after multi-cycle ops).
+  sim::Memory memory;
+  Cva6Core core = make_core(workloads::crc32(64), memory);
+  core.run_baseline();
+  const double ipc = static_cast<double>(core.instret()) /
+                     static_cast<double>(core.cycle());
+  EXPECT_LE(ipc, 1.05);
+}
+
+TEST(Cva6Timing, LoadHeavyCodeIsSlowerThanAluCode) {
+  const auto build = [](bool loads) {
+    rv::Assembler a(rv::Xlen::k64, workloads::kProgramBase);
+    a.li(rv::Reg::kSp, 0x8080'0000);
+    a.li(rv::Reg::kT0, 0x8010'0000);
+    for (int i = 0; i < 200; ++i) {
+      if (loads) {
+        a.ld(rv::Reg::kT1, rv::Reg::kT0, 0);
+      } else {
+        a.addi(rv::Reg::kT1, rv::Reg::kT1, 1);
+      }
+    }
+    a.ecall();
+    return a.finish();
+  };
+  sim::Memory mem_a;
+  Cva6Core alu_core = make_core(build(false), mem_a);
+  alu_core.run_baseline();
+  sim::Memory mem_b;
+  Cva6Core load_core = make_core(build(true), mem_b);
+  load_core.run_baseline();
+  EXPECT_GT(load_core.cycle(), alu_core.cycle());
+}
+
+TEST(Cva6Timing, DivHeavyCodeIsSlowest) {
+  const auto build = [](bool divs) {
+    rv::Assembler a(rv::Xlen::k64, workloads::kProgramBase);
+    a.li(rv::Reg::kT0, 1000);
+    a.li(rv::Reg::kT1, 7);
+    for (int i = 0; i < 50; ++i) {
+      if (divs) {
+        a.div(rv::Reg::kT2, rv::Reg::kT0, rv::Reg::kT1);
+      } else {
+        a.mul(rv::Reg::kT2, rv::Reg::kT0, rv::Reg::kT1);
+      }
+    }
+    a.ecall();
+    return a.finish();
+  };
+  sim::Memory mem_a;
+  Cva6Core mul_core = make_core(build(false), mem_a);
+  mul_core.run_baseline();
+  sim::Memory mem_b;
+  Cva6Core div_core = make_core(build(true), mem_b);
+  div_core.run_baseline();
+  // Divider is ~10x the multiplier latency in the model.
+  EXPECT_GT(div_core.cycle(), mul_core.cycle() * 4);
+}
+
+TEST(Cva6Timing, StallCyclesConserveWork) {
+  // Same program with and without periodic full commit stalls: the stalled
+  // run retires identical instructions, just later.
+  const rv::Image image = workloads::fib_recursive(8);
+  sim::Memory mem_a;
+  Cva6Core free_core = make_core(image, mem_a);
+  free_core.run_baseline();
+
+  sim::Memory mem_b;
+  Cva6Core stalled_core = make_core(image, mem_b);
+  std::uint64_t tick_count = 0;
+  while (!stalled_core.program_done()) {
+    const auto ready = stalled_core.commit_candidates();
+    // Allow commits only every 4th cycle: effective commit bandwidth 0.5
+    // inst/cycle, below the program's natural IPC, so stalls must bind.
+    const bool stall = (++tick_count % 4) != 0;
+    stalled_core.retire(stall ? 0 : static_cast<unsigned>(ready.size()));
+    stalled_core.tick();
+  }
+  EXPECT_EQ(stalled_core.instret(), free_core.instret());
+  EXPECT_EQ(stalled_core.exit_code(), free_core.exit_code());
+  EXPECT_GT(stalled_core.cycle(), free_core.cycle());
+  EXPECT_EQ(stalled_core.trace().size(), free_core.trace().size());
+}
+
+TEST(Cva6Timing, TraceDisabledStillCountsInstructions) {
+  sim::Memory memory;
+  Cva6Core core = make_core(workloads::fib_recursive(8), memory);
+  core.set_trace_enabled(false);
+  core.run_baseline();
+  EXPECT_TRUE(core.trace().empty());
+  EXPECT_GT(core.instret(), 100u);
+}
+
+TEST(Cva6Timing, RobDepthLimitsCandidates) {
+  sim::Memory memory;
+  Cva6Config config;
+  config.rob_depth = 4;
+  Cva6Core core = make_core(workloads::fib_recursive(6), memory, config);
+  while (!core.program_done()) {
+    const auto ready = core.commit_candidates();
+    ASSERT_LE(ready.size(), 2u);  // commit width
+    core.retire(static_cast<unsigned>(ready.size()));
+    core.tick();
+  }
+  EXPECT_EQ(core.exit_code(), 8u);
+}
+
+}  // namespace
+}  // namespace titan::cva6

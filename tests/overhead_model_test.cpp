@@ -1,0 +1,187 @@
+// Trace-driven overhead model tests: closed-form checks in the saturated
+// regime (where the paper's own Table III numbers pin the answer), stall-free
+// regimes, and monotonicity properties in latency and queue depth.
+#include "titancfi/overhead_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workloads/embench.hpp"
+
+namespace titan::cfi {
+namespace {
+
+OverheadConfig config_for(std::uint32_t latency, std::size_t depth) {
+  OverheadConfig config;
+  config.check_latency = latency;
+  config.queue_depth = depth;
+  config.transport_cycles = 0;
+  return config;
+}
+
+std::vector<Cycle> uniform_cfs(std::uint64_t count, Cycle gap, Cycle start = 0) {
+  std::vector<Cycle> cycles(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    cycles[i] = start + i * gap;
+  }
+  return cycles;
+}
+
+TEST(OverheadModel, NoCfNoSlowdown) {
+  const auto result = simulate_cf_cycles({}, 1000, config_for(267, 8));
+  EXPECT_EQ(result.cfi_cycles, 1000u);
+  EXPECT_DOUBLE_EQ(result.slowdown_percent(), 0.0);
+}
+
+TEST(OverheadModel, SparseCfsNeverStall) {
+  // Gap far above the check latency: the queue never backs up.
+  const auto cfs = uniform_cfs(100, 10'000);
+  const auto result = simulate_cf_cycles(cfs, 1'000'000, config_for(267, 8));
+  EXPECT_EQ(result.stall_cycles, 0u);
+  EXPECT_DOUBLE_EQ(result.slowdown_percent(), 0.0);
+}
+
+TEST(OverheadModel, SaturatedRegimeMatchesClosedForm) {
+  // When CF gaps are far below the service time, total time approaches
+  // N * L regardless of queue depth: slowdown -> 100 * (N*L/C - 1).
+  const std::uint64_t n = 10'000;
+  const Cycle gap = 6;
+  const Cycle baseline = n * gap;
+  const auto cfs = uniform_cfs(n, gap);
+  for (const std::size_t depth : {1u, 8u, 64u}) {
+    const auto result = simulate_cf_cycles(cfs, baseline, config_for(267, depth));
+    const double expected = 100.0 * (267.0 / gap - 1.0);
+    EXPECT_NEAR(result.slowdown_percent(), expected, expected * 0.02)
+        << "depth=" << depth;
+  }
+}
+
+TEST(OverheadModel, ReproducesPaperMmRow) {
+  // Table III, mm: 1.41e6 cycles, 2.33e5 CF -> 1108/1752/4311 % at depth 8.
+  const auto* mm = workloads::find_benchmark("mm");
+  ASSERT_NE(mm, nullptr);
+  const auto n = static_cast<std::uint64_t>(mm->cf_count);
+  const auto baseline = static_cast<Cycle>(mm->cycles);
+  const Cycle gap = baseline / n;  // mm is CF-saturated throughout
+  const auto cfs = uniform_cfs(n, gap);
+
+  const double irq =
+      simulate_cf_cycles(cfs, baseline, config_for(267, 8)).slowdown_percent();
+  const double poll =
+      simulate_cf_cycles(cfs, baseline, config_for(112, 8)).slowdown_percent();
+  const double opt =
+      simulate_cf_cycles(cfs, baseline, config_for(73, 8)).slowdown_percent();
+  EXPECT_NEAR(irq, 4311, 4311 * 0.05);
+  EXPECT_NEAR(poll, 1752, 1752 * 0.05);
+  EXPECT_NEAR(opt, 1108, 1108 * 0.05);
+}
+
+TEST(OverheadModel, ReproducesPaperDhrystoneRow) {
+  const auto* dhry = workloads::find_benchmark("dhrystone");
+  ASSERT_NE(dhry, nullptr);
+  const auto n = static_cast<std::uint64_t>(dhry->cf_count);
+  const auto baseline = static_cast<Cycle>(dhry->cycles);
+  const auto cfs = uniform_cfs(n, baseline / n);
+  const double irq =
+      simulate_cf_cycles(cfs, baseline, config_for(267, 8)).slowdown_percent();
+  EXPECT_NEAR(irq, 1215, 1215 * 0.06);
+}
+
+TEST(OverheadModel, MonotoneInCheckLatency) {
+  const auto cfs = uniform_cfs(1000, 50);
+  double previous = -1;
+  for (const std::uint32_t latency : {10u, 40u, 73u, 112u, 267u, 500u}) {
+    const double slowdown =
+        simulate_cf_cycles(cfs, 50'000, config_for(latency, 8))
+            .slowdown_percent();
+    EXPECT_GE(slowdown, previous);
+    previous = slowdown;
+  }
+}
+
+TEST(OverheadModel, NonIncreasingInQueueDepth) {
+  // Bursty arrivals: deeper queues absorb bursts, never hurt.
+  std::vector<Cycle> cfs;
+  for (int burst = 0; burst < 50; ++burst) {
+    for (int j = 0; j < 6; ++j) {
+      cfs.push_back(burst * 4000 + j * 8);
+    }
+  }
+  double previous = 1e18;
+  for (const std::size_t depth : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    const double slowdown =
+        simulate_cf_cycles(cfs, 200'000, config_for(267, depth))
+            .slowdown_percent();
+    EXPECT_LE(slowdown, previous + 1e-9) << "depth=" << depth;
+    previous = slowdown;
+  }
+}
+
+TEST(OverheadModel, DeepQueueAbsorbsShortBursts) {
+  // A single burst of 8 with long quiet time after: depth 8 absorbs it.
+  std::vector<Cycle> cfs;
+  for (int j = 0; j < 8; ++j) {
+    cfs.push_back(100 + j);
+  }
+  const auto result = simulate_cf_cycles(cfs, 100'000, config_for(267, 8));
+  // Only the single-write-port constraint applies (1 extra cycle per CF
+  // beyond the first when they'd land in the same shifted cycle).
+  EXPECT_LE(result.stall_cycles, 8u);
+}
+
+TEST(OverheadModel, Depth1SerialisesBursts) {
+  std::vector<Cycle> cfs;
+  for (int j = 0; j < 8; ++j) {
+    cfs.push_back(100 + j * 2);
+  }
+  const auto result = simulate_cf_cycles(cfs, 100'000, config_for(267, 1));
+  // With depth 1, one log can wait while one is in service: every CF beyond
+  // the second stalls behind a full check, ~6 * 267 minus the arrival gaps.
+  EXPECT_GT(result.stall_cycles, 6u * 267u - 30u);
+}
+
+TEST(OverheadModel, DualCommitSameCycleSlips) {
+  // Two CFs at the same cycle: the second must slip >= 1 (single push port).
+  const std::vector<Cycle> cfs = {1000, 1000};
+  const auto result = simulate_cf_cycles(cfs, 10'000, config_for(10, 8));
+  EXPECT_GE(result.stall_cycles, 1u);
+  EXPECT_GE(result.stall_events, 1u);
+}
+
+TEST(OverheadModel, DrainModeExtendsRun) {
+  const std::vector<Cycle> cfs = {990};
+  OverheadConfig config = config_for(267, 8);
+  const auto no_drain = simulate_cf_cycles(cfs, 1000, config);
+  config.drain_at_end = true;
+  const auto drained = simulate_cf_cycles(cfs, 1000, config);
+  EXPECT_EQ(no_drain.cfi_cycles, 1000u);
+  EXPECT_GE(drained.cfi_cycles, 990u + 267u);
+}
+
+TEST(OverheadModel, TransportAddsToServiceTime) {
+  const auto cfs = uniform_cfs(1000, 50);
+  OverheadConfig with_transport = config_for(100, 1);
+  with_transport.transport_cycles = 20;
+  const auto base =
+      simulate_cf_cycles(cfs, 50'000, config_for(100, 1)).slowdown_percent();
+  const auto heavier =
+      simulate_cf_cycles(cfs, 50'000, with_transport).slowdown_percent();
+  EXPECT_GT(heavier, base);
+}
+
+TEST(OverheadModel, StallShiftsDownstreamUniformly) {
+  // Two far-apart saturated phases: the delay accumulated in phase one
+  // persists (commit-stage stalls shift the whole program).
+  std::vector<Cycle> cfs;
+  for (int j = 0; j < 100; ++j) cfs.push_back(j * 5);
+  cfs.push_back(50'000);  // lone CF far later: no further stall
+  const auto result = simulate_cf_cycles(cfs, 60'000, config_for(267, 1));
+  const auto phase1 = simulate_cf_cycles(
+      std::vector<Cycle>(cfs.begin(), cfs.end() - 1), 60'000,
+      config_for(267, 1));
+  EXPECT_EQ(result.stall_cycles, phase1.stall_cycles);
+}
+
+}  // namespace
+}  // namespace titan::cfi

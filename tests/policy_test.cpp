@@ -1,0 +1,129 @@
+// Policy-layer tests: shadow-stack policy semantics, forward-edge jump-table
+// policy, and composite conjunction.
+#include "firmware/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rv/encode.hpp"
+
+namespace titan::fw {
+namespace {
+
+cfi::CommitLog call_log(std::uint64_t pc, std::uint64_t target) {
+  cfi::CommitLog log;
+  log.pc = pc;
+  log.encoding = rv::enc_j(0x6F, 1, 0);  // jal ra (offset in encoding unused)
+  log.next = pc + 4;
+  log.target = target;
+  return log;
+}
+
+cfi::CommitLog indirect_call_log(std::uint64_t pc, std::uint64_t target) {
+  cfi::CommitLog log;
+  log.pc = pc;
+  log.encoding = rv::enc_i(0x67, 0, 1, 10, 0);  // jalr ra, 0(a0)
+  log.next = pc + 4;
+  log.target = target;
+  return log;
+}
+
+cfi::CommitLog return_log(std::uint64_t pc, std::uint64_t target) {
+  cfi::CommitLog log;
+  log.pc = pc;
+  log.encoding = 0x00008067;
+  log.next = pc + 4;
+  log.target = target;
+  return log;
+}
+
+cfi::CommitLog ijump_log(std::uint64_t pc, std::uint64_t target) {
+  cfi::CommitLog log;
+  log.pc = pc;
+  log.encoding = rv::enc_i(0x67, 0, 0, 10, 0);  // jr a0
+  log.next = pc + 4;
+  log.target = target;
+  return log;
+}
+
+ShadowStackPolicy make_ss_policy(sim::Memory& memory) {
+  return ShadowStackPolicy({}, memory, {'k', 'e', 'y'});
+}
+
+TEST(ShadowStackPolicy, CallThenMatchingReturn) {
+  sim::Memory memory;
+  auto policy = make_ss_policy(memory);
+  EXPECT_TRUE(policy.check(call_log(0x1000, 0x2000)).ok);
+  EXPECT_TRUE(policy.check(return_log(0x2040, 0x1004)).ok);
+}
+
+TEST(ShadowStackPolicy, MismatchedReturnRejected) {
+  sim::Memory memory;
+  auto policy = make_ss_policy(memory);
+  EXPECT_TRUE(policy.check(call_log(0x1000, 0x2000)).ok);
+  const Verdict verdict = policy.check(return_log(0x2040, 0x6666));
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_EQ(verdict.reason, "return-address mismatch");
+}
+
+TEST(ShadowStackPolicy, UnderflowRejected) {
+  sim::Memory memory;
+  auto policy = make_ss_policy(memory);
+  const Verdict verdict = policy.check(return_log(0x2040, 0x1004));
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_EQ(verdict.reason, "shadow-stack underflow");
+}
+
+TEST(ShadowStackPolicy, IndirectJumpsUnconstrained) {
+  sim::Memory memory;
+  auto policy = make_ss_policy(memory);
+  EXPECT_TRUE(policy.check(ijump_log(0x1000, 0x12345)).ok);
+  EXPECT_TRUE(policy.check(ijump_log(0x1000, 0x99999)).ok);
+}
+
+TEST(JumpTablePolicy, RegisteredTargetsAccepted) {
+  JumpTablePolicy policy;
+  policy.allow_target(0x4000);
+  EXPECT_TRUE(policy.check(ijump_log(0x1000, 0x4000)).ok);
+  EXPECT_TRUE(policy.check(indirect_call_log(0x1000, 0x4000)).ok);
+}
+
+TEST(JumpTablePolicy, UnregisteredTargetsRejected) {
+  JumpTablePolicy policy;
+  policy.allow_target(0x4000);
+  EXPECT_FALSE(policy.check(ijump_log(0x1000, 0x4004)).ok);
+  EXPECT_FALSE(policy.check(indirect_call_log(0x1000, 0x5000)).ok);
+}
+
+TEST(JumpTablePolicy, DirectCallsAndReturnsIgnored) {
+  JumpTablePolicy policy;  // empty table
+  EXPECT_TRUE(policy.check(call_log(0x1000, 0x2000)).ok);  // JAL: direct
+  EXPECT_TRUE(policy.check(return_log(0x2040, 0x1004)).ok);
+}
+
+TEST(CompositePolicy, ConjunctionOfPolicies) {
+  sim::Memory memory;
+  auto composite = CompositePolicy();
+  composite.add(std::make_unique<ShadowStackPolicy>(
+      ShadowStackConfig{}, memory, std::vector<std::uint8_t>{'k'}));
+  auto jump_table = std::make_unique<JumpTablePolicy>();
+  jump_table->allow_target(0x4000);
+  composite.add(std::move(jump_table));
+
+  // Call+return pass both policies.
+  EXPECT_TRUE(composite.check(call_log(0x1000, 0x2000)).ok);
+  EXPECT_TRUE(composite.check(return_log(0x2040, 0x1004)).ok);
+  // Indirect jump to unregistered target fails the jump-table policy.
+  EXPECT_FALSE(composite.check(ijump_log(0x1000, 0x7777)).ok);
+  // Indirect jump to registered target passes both.
+  EXPECT_TRUE(composite.check(ijump_log(0x1000, 0x4000)).ok);
+}
+
+TEST(PolicyNames, AreStable) {
+  sim::Memory memory;
+  EXPECT_EQ(make_ss_policy(memory).name(), "shadow-stack");
+  EXPECT_EQ(JumpTablePolicy().name(), "jump-table");
+  EXPECT_EQ(CompositePolicy().name(), "composite");
+}
+
+}  // namespace
+}  // namespace titan::fw

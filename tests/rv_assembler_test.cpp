@@ -1,0 +1,230 @@
+// Assembler tests: label fixups, li expansion (verified by symbolic
+// evaluation), la PC-relative pairs, and disassembly smoke checks.
+#include "rv/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rv/decode.hpp"
+#include "rv/disasm.hpp"
+#include "sim/rng.hpp"
+
+namespace titan::rv {
+namespace {
+
+using sim::Rng;
+
+std::uint32_t word_at(const Image& image, std::uint64_t addr) {
+  const std::size_t offset = addr - image.base;
+  return static_cast<std::uint32_t>(image.bytes[offset]) |
+         (static_cast<std::uint32_t>(image.bytes[offset + 1]) << 8) |
+         (static_cast<std::uint32_t>(image.bytes[offset + 2]) << 16) |
+         (static_cast<std::uint32_t>(image.bytes[offset + 3]) << 24);
+}
+
+TEST(Assembler, EmitsAtBase) {
+  Assembler a(Xlen::k64, 0x80000000);
+  a.nop();
+  const Image image = a.finish();
+  EXPECT_EQ(image.base, 0x80000000u);
+  EXPECT_EQ(image.bytes.size(), 4u);
+  EXPECT_EQ(word_at(image, 0x80000000), 0x00000013u);
+}
+
+TEST(Assembler, BackwardBranchOffset) {
+  Assembler a(Xlen::k64, 0x1000);
+  const auto loop = a.here();
+  a.addi(Reg::kA0, Reg::kA0, -1);
+  a.bnez(Reg::kA0, loop);
+  const Image image = a.finish();
+  const Inst branch = decode(word_at(image, 0x1004), Xlen::k64);
+  EXPECT_EQ(branch.op, Op::kBne);
+  EXPECT_EQ(branch.imm, -4);
+}
+
+TEST(Assembler, ForwardBranchOffset) {
+  Assembler a(Xlen::k64, 0x1000);
+  const auto skip = a.new_label();
+  a.beqz(Reg::kA0, skip);
+  a.nop();
+  a.nop();
+  a.bind(skip);
+  a.nop();
+  const Image image = a.finish();
+  const Inst branch = decode(word_at(image, 0x1000), Xlen::k64);
+  EXPECT_EQ(branch.op, Op::kBeq);
+  EXPECT_EQ(branch.imm, 12);
+}
+
+TEST(Assembler, JalOffsets) {
+  Assembler a(Xlen::k64, 0x2000);
+  const auto fn = a.new_label();
+  a.call(fn);        // 0x2000: jal ra, +8
+  a.j(fn);           // 0x2004: jal x0, +4
+  a.bind(fn);
+  a.ret();
+  const Image image = a.finish();
+  const Inst call_inst = decode(word_at(image, 0x2000), Xlen::k64);
+  EXPECT_EQ(call_inst.op, Op::kJal);
+  EXPECT_EQ(call_inst.rd, 1);
+  EXPECT_EQ(call_inst.imm, 8);
+  const Inst jump_inst = decode(word_at(image, 0x2004), Xlen::k64);
+  EXPECT_EQ(jump_inst.rd, 0);
+  EXPECT_EQ(jump_inst.imm, 4);
+}
+
+TEST(Assembler, UnboundLabelThrows) {
+  Assembler a(Xlen::k64, 0);
+  const auto label = a.new_label();
+  a.j(label);
+  EXPECT_THROW(a.finish(), std::logic_error);
+}
+
+TEST(Assembler, DoubleBindThrows) {
+  Assembler a(Xlen::k64, 0);
+  const auto label = a.here();
+  EXPECT_THROW(a.bind(label), std::logic_error);
+}
+
+TEST(Assembler, BranchOutOfRangeThrows) {
+  Assembler a(Xlen::k64, 0);
+  const auto far = a.new_label();
+  a.beqz(Reg::kA0, far);
+  for (int i = 0; i < 1200; ++i) {
+    a.nop();  // > 4 KiB: outside the ±4 KiB B-type range
+  }
+  a.bind(far);
+  EXPECT_THROW(a.finish(), std::out_of_range);
+}
+
+TEST(Assembler, MarksRecordPositions) {
+  Assembler a(Xlen::k32, 0x500);
+  a.nop();
+  a.mark("policy_start");
+  a.nop();
+  const Image image = a.finish();
+  ASSERT_TRUE(image.marks.contains("policy_start"));
+  EXPECT_EQ(image.marks.at("policy_start"), 0x504u);
+}
+
+TEST(Assembler, AlignPadsWithNops) {
+  Assembler a(Xlen::k64, 0x100);
+  a.nop();
+  a.align(16);
+  EXPECT_EQ(a.pc() % 16, 0u);
+  const Image image = a.finish();
+  for (std::uint64_t addr = 0x104; addr < a.pc(); addr += 4) {
+    EXPECT_EQ(word_at(image, addr), 0x00000013u);
+  }
+}
+
+// ---- li expansion property --------------------------------------------------
+// Evaluate the emitted instruction sequence symbolically (only ops li may
+// emit) and check the final register value equals the requested constant.
+
+std::int64_t evaluate_li(const Image& image, Xlen xlen) {
+  std::int64_t reg = 0;
+  for (std::size_t offset = 0; offset < image.bytes.size(); offset += 4) {
+    const Inst inst = decode(word_at(image, image.base + offset), xlen);
+    switch (inst.op) {
+      case Op::kAddi:
+        reg = (inst.rs1 == 0 ? 0 : reg) + inst.imm;
+        break;
+      case Op::kLui:
+        reg = inst.imm;
+        break;
+      case Op::kAddiw:
+        reg = static_cast<std::int32_t>(((inst.rs1 == 0 ? 0 : reg) + inst.imm));
+        break;
+      case Op::kSlli:
+        reg = static_cast<std::int64_t>(static_cast<std::uint64_t>(reg)
+                                        << inst.imm);
+        break;
+      default:
+        ADD_FAILURE() << "unexpected op in li expansion: " << disasm(inst);
+        return 0;
+    }
+    if (xlen == Xlen::k32) {
+      reg = static_cast<std::int32_t>(reg);
+    }
+  }
+  return reg;
+}
+
+class LiPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LiPropertyTest, Rv64RandomConstants) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 400; ++trial) {
+    // Mix of small, 32-bit, and full 64-bit magnitudes.
+    std::int64_t value = 0;
+    switch (trial % 4) {
+      case 0: value = static_cast<std::int64_t>(rng.uniform(0, 4096)) - 2048; break;
+      case 1: value = static_cast<std::int32_t>(rng.next()); break;
+      case 2: value = static_cast<std::int64_t>(rng.next() & 0xFFFFFFFFFFFFULL); break;
+      default: value = static_cast<std::int64_t>(rng.next()); break;
+    }
+    Assembler a(Xlen::k64, 0);
+    a.li(Reg::kA0, value);
+    const Image image = a.finish();
+    ASSERT_EQ(evaluate_li(image, Xlen::k64), value) << "value=" << value;
+    // The expansion must stay within the canonical 8-instruction bound.
+    ASSERT_LE(image.bytes.size(), 8u * 4u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LiPropertyTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(Assembler, LiRv32Boundaries) {
+  for (const std::int64_t value :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1}, std::int64_t{2047},
+        std::int64_t{-2048}, std::int64_t{2048}, std::int64_t{0x7FFFFFFF},
+        std::int64_t{-0x80000000LL}, std::int64_t{0x12345678}}) {
+    Assembler a(Xlen::k32, 0);
+    a.li(Reg::kT0, value);
+    const Image image = a.finish();
+    EXPECT_EQ(evaluate_li(image, Xlen::k32),
+              static_cast<std::int32_t>(value))
+        << "value=" << value;
+  }
+}
+
+TEST(Assembler, LiRv64Boundaries) {
+  for (const std::int64_t value :
+       {std::int64_t{0x7FFFFFFFFFFFFFFFLL},
+        static_cast<std::int64_t>(0x8000000000000000ULL), std::int64_t{2048},
+        std::int64_t{-2049}, std::int64_t{0x80000000LL},
+        static_cast<std::int64_t>(0xDEADBEEFCAFEF00DULL)}) {
+    Assembler a(Xlen::k64, 0);
+    a.li(Reg::kT0, value);
+    const Image image = a.finish();
+    EXPECT_EQ(evaluate_li(image, Xlen::k64), value) << "value=" << value;
+  }
+}
+
+// ---- la ----------------------------------------------------------------------
+
+TEST(Assembler, LaResolvesPcRelative) {
+  Assembler a(Xlen::k64, 0x80000000);
+  const auto data = a.new_label();
+  a.la(Reg::kA1, data);
+  a.ret();
+  a.bind(data);
+  a.data64(0x1122334455667788ULL);
+  const Image image = a.finish();
+
+  const Inst auipc_inst = decode(word_at(image, 0x80000000), Xlen::k64);
+  const Inst addi_inst = decode(word_at(image, 0x80000004), Xlen::k64);
+  ASSERT_EQ(auipc_inst.op, Op::kAuipc);
+  ASSERT_EQ(addi_inst.op, Op::kAddi);
+  const std::int64_t resolved =
+      static_cast<std::int64_t>(0x80000000) + auipc_inst.imm + addi_inst.imm;
+  EXPECT_EQ(resolved, static_cast<std::int64_t>(a.addr_of(data)));
+}
+
+TEST(Assembler, DisasmSmoke) {
+  EXPECT_EQ(disasm(decode(0xFF010113, Xlen::k64)), "addi sp, sp, -16");
+  EXPECT_EQ(disasm(decode(0x00008067, Xlen::k64)), "jalr zero, 0(ra)");
+}
+
+}  // namespace
+}  // namespace titan::rv

@@ -1,0 +1,94 @@
+// Control-flow classification tests: the CFI Filter's correctness rests on
+// this ABI-convention mapping (calls/returns/indirect jumps vs. plain jumps).
+#include <gtest/gtest.h>
+
+#include "rv/decode.hpp"
+#include "rv/encode.hpp"
+#include "rv/isa.hpp"
+
+namespace titan::rv {
+namespace {
+
+Inst jal(std::uint8_t rd) {
+  Inst inst;
+  inst.op = Op::kJal;
+  inst.rd = rd;
+  return inst;
+}
+
+Inst jalr(std::uint8_t rd, std::uint8_t rs1) {
+  Inst inst;
+  inst.op = Op::kJalr;
+  inst.rd = rd;
+  inst.rs1 = rs1;
+  return inst;
+}
+
+TEST(Classify, JalWithLinkRegIsCall) {
+  EXPECT_EQ(classify(jal(1)), CfKind::kCall);   // jal ra, ...
+  EXPECT_EQ(classify(jal(5)), CfKind::kCall);   // jal t0, ... (alt link)
+}
+
+TEST(Classify, JalWithoutLinkIsDirectJump) {
+  EXPECT_EQ(classify(jal(0)), CfKind::kDirectJump);
+  EXPECT_EQ(classify(jal(10)), CfKind::kDirectJump);  // unusual but defined
+}
+
+TEST(Classify, JalrCallForms) {
+  EXPECT_EQ(classify(jalr(1, 10)), CfKind::kCall);  // jalr ra, 0(a0)
+  EXPECT_EQ(classify(jalr(5, 10)), CfKind::kCall);
+  // Even jalr ra, 0(ra) is a call by the ABI hint table.
+  EXPECT_EQ(classify(jalr(1, 1)), CfKind::kCall);
+}
+
+TEST(Classify, JalrReturnForms) {
+  EXPECT_EQ(classify(jalr(0, 1)), CfKind::kReturn);  // ret
+  EXPECT_EQ(classify(jalr(0, 5)), CfKind::kReturn);  // alternate link return
+}
+
+TEST(Classify, JalrIndirectJumpForms) {
+  EXPECT_EQ(classify(jalr(0, 10)), CfKind::kIndirectJump);  // jr a0
+  EXPECT_EQ(classify(jalr(3, 10)), CfKind::kIndirectJump);  // links to gp (!)
+}
+
+TEST(Classify, BranchesAreBranches) {
+  for (const Op op : {Op::kBeq, Op::kBne, Op::kBlt, Op::kBge, Op::kBltu, Op::kBgeu}) {
+    Inst inst;
+    inst.op = op;
+    EXPECT_EQ(classify(inst), CfKind::kBranch);
+  }
+}
+
+TEST(Classify, NonControlFlowIsNone) {
+  for (const Op op : {Op::kAddi, Op::kLd, Op::kSd, Op::kMul, Op::kLui,
+                      Op::kEcall, Op::kCsrrw, Op::kFence}) {
+    Inst inst;
+    inst.op = op;
+    EXPECT_EQ(classify(inst), CfKind::kNone);
+  }
+}
+
+TEST(Classify, CfiRelevanceMatchesPaperSec4B1) {
+  // "Such operations are indirect jumps, function returns, and function
+  // calls" — branches and direct jumps are NOT streamed to the RoT.
+  EXPECT_TRUE(cfi_relevant(CfKind::kCall));
+  EXPECT_TRUE(cfi_relevant(CfKind::kReturn));
+  EXPECT_TRUE(cfi_relevant(CfKind::kIndirectJump));
+  EXPECT_FALSE(cfi_relevant(CfKind::kDirectJump));
+  EXPECT_FALSE(cfi_relevant(CfKind::kBranch));
+  EXPECT_FALSE(cfi_relevant(CfKind::kNone));
+}
+
+TEST(Classify, ThroughDecoder) {
+  // ret == jalr x0, 0(ra)
+  EXPECT_EQ(classify(decode(0x00008067, Xlen::k64)), CfKind::kReturn);
+  // c.jr ra (compressed ret)
+  EXPECT_EQ(classify(decode(0x8082, Xlen::k64)), CfKind::kReturn);
+  // c.jalr a5 — indirect call
+  EXPECT_EQ(classify(decode(0x9782, Xlen::k64)), CfKind::kCall);
+  // jal ra, +0
+  EXPECT_EQ(classify(decode(enc_j(0x6F, 1, 0), Xlen::k64)), CfKind::kCall);
+}
+
+}  // namespace
+}  // namespace titan::rv

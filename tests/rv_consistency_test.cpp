@@ -1,0 +1,186 @@
+// Cross-layer consistency properties of the ISA layer:
+//  * decode->encode canonicality over random fetch words;
+//  * decoder totality (never crashes, always classifiable);
+//  * assembler output is always decodable.
+#include <gtest/gtest.h>
+
+#include "rv/assembler.hpp"
+#include "rv/decode.hpp"
+#include "rv/encode.hpp"
+#include "sim/rng.hpp"
+
+namespace titan::rv {
+namespace {
+
+TEST(Consistency, DecodeEncodeCanonicalOnRandomWords) {
+  // For every random 32-bit word the decoder accepts, re-encoding the
+  // decoded form must reproduce the word bit-exactly — i.e. the decoder
+  // never silently ignores architectural bits.  FENCE is excluded (its
+  // pred/succ/fm fields are deliberately collapsed by the model).
+  sim::Rng rng(0xC0DEC);
+  int accepted = 0;
+  for (int trial = 0; trial < 500'000; ++trial) {
+    const auto word = static_cast<std::uint32_t>(rng.next()) | 3;  // 32-bit
+    const Inst inst = decode(word, Xlen::k64);
+    if (!inst.valid() || inst.op == Op::kFence) {
+      continue;
+    }
+    ++accepted;
+    ASSERT_EQ(encode(inst), word)
+        << "op=" << mnemonic(inst.op) << " word=0x" << std::hex << word;
+  }
+  EXPECT_GT(accepted, 10'000);  // the opcode space is reasonably dense
+}
+
+TEST(Consistency, DecoderIsTotal) {
+  // Exhaustive over the low 2^16 x upper-sampled space: decode must never
+  // misbehave (this is a crash/UB canary; values checked elsewhere).
+  sim::Rng rng(7);
+  for (int trial = 0; trial < 200'000; ++trial) {
+    const auto word = static_cast<std::uint32_t>(rng.next());
+    const Inst inst64 = decode(word, Xlen::k64);
+    const Inst inst32 = decode(word, Xlen::k32);
+    // Classification is defined for every decode result.
+    (void)classify(inst64);
+    (void)classify(inst32);
+    ASSERT_TRUE(inst64.len == 2 || inst64.len == 4);
+    ASSERT_TRUE(inst32.len == 2 || inst32.len == 4);
+  }
+}
+
+TEST(Consistency, CompressedLengthAgreesWithEncodingClass) {
+  sim::Rng rng(8);
+  for (int trial = 0; trial < 100'000; ++trial) {
+    const auto word = static_cast<std::uint32_t>(rng.next());
+    const Inst inst = decode(word, Xlen::k64);
+    if ((word & 3) == 3) {
+      ASSERT_EQ(inst.len, 4);
+      ASSERT_EQ(inst.raw, word);
+    } else {
+      ASSERT_EQ(inst.len, 2);
+      ASSERT_EQ(inst.raw, word & 0xFFFF);
+    }
+  }
+}
+
+TEST(Consistency, AssembledProgramsAlwaysDecode) {
+  // Every word the assembler can emit must decode to a valid instruction of
+  // the same mnemonic class.  Exercise the whole emission surface.
+  Assembler a(Xlen::k64, 0x1000);
+  auto label = a.new_label();
+  a.bind(label);
+  a.lui(Reg::kA0, 0x12000);
+  a.auipc(Reg::kA1, 0x1000);
+  a.jal(Reg::kRa, label);
+  a.jalr(Reg::kZero, Reg::kRa, 0);
+  a.beq(Reg::kA0, Reg::kA1, label);
+  a.bne(Reg::kA0, Reg::kA1, label);
+  a.blt(Reg::kA0, Reg::kA1, label);
+  a.bge(Reg::kA0, Reg::kA1, label);
+  a.bltu(Reg::kA0, Reg::kA1, label);
+  a.bgeu(Reg::kA0, Reg::kA1, label);
+  a.lb(Reg::kA0, Reg::kSp, -1);
+  a.lh(Reg::kA0, Reg::kSp, 2);
+  a.lw(Reg::kA0, Reg::kSp, 4);
+  a.lbu(Reg::kA0, Reg::kSp, 1);
+  a.lhu(Reg::kA0, Reg::kSp, 2);
+  a.lwu(Reg::kA0, Reg::kSp, 4);
+  a.ld(Reg::kA0, Reg::kSp, 8);
+  a.sb(Reg::kA0, Reg::kSp, -1);
+  a.sh(Reg::kA0, Reg::kSp, 2);
+  a.sw(Reg::kA0, Reg::kSp, 4);
+  a.sd(Reg::kA0, Reg::kSp, 8);
+  a.addi(Reg::kA0, Reg::kA0, 5);
+  a.slti(Reg::kA0, Reg::kA0, 5);
+  a.sltiu(Reg::kA0, Reg::kA0, 5);
+  a.xori(Reg::kA0, Reg::kA0, 5);
+  a.ori(Reg::kA0, Reg::kA0, 5);
+  a.andi(Reg::kA0, Reg::kA0, 5);
+  a.slli(Reg::kA0, Reg::kA0, 5);
+  a.srli(Reg::kA0, Reg::kA0, 5);
+  a.srai(Reg::kA0, Reg::kA0, 5);
+  a.add(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.sub(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.sll(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.slt(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.sltu(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.xor_(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.srl(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.sra(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.or_(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.and_(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.addiw(Reg::kA0, Reg::kA0, 5);
+  a.slliw(Reg::kA0, Reg::kA0, 5);
+  a.srliw(Reg::kA0, Reg::kA0, 5);
+  a.sraiw(Reg::kA0, Reg::kA0, 5);
+  a.addw(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.subw(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.sllw(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.srlw(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.sraw(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.fence();
+  a.ecall();
+  a.ebreak();
+  a.mret();
+  a.wfi();
+  a.csrrw(Reg::kA0, csr::kMscratch, Reg::kA1);
+  a.csrrs(Reg::kA0, csr::kMscratch, Reg::kA1);
+  a.csrrc(Reg::kA0, csr::kMscratch, Reg::kA1);
+  a.csrrwi(Reg::kA0, csr::kMscratch, 3);
+  a.csrrsi(Reg::kA0, csr::kMscratch, 3);
+  a.csrrci(Reg::kA0, csr::kMscratch, 3);
+  a.mul(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.mulh(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.mulhsu(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.mulhu(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.div(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.divu(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.rem(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.remu(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.mulw(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.divw(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.remw(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.li(Reg::kA0, 0x123456789ABCDEFLL);
+  a.la(Reg::kA1, label);
+  a.nop();
+  a.mv(Reg::kA0, Reg::kA1);
+  a.not_(Reg::kA0, Reg::kA1);
+  a.neg(Reg::kA0, Reg::kA1);
+  a.seqz(Reg::kA0, Reg::kA1);
+  a.snez(Reg::kA0, Reg::kA1);
+  a.call(label);
+  a.callr(Reg::kA0);
+  a.ret();
+  a.jr(Reg::kA0);
+  a.j(label);
+  a.beqz(Reg::kA0, label);
+  a.bnez(Reg::kA0, label);
+  a.bgez(Reg::kA0, label);
+  a.bltz(Reg::kA0, label);
+
+  const Image image = a.finish();
+  for (std::size_t offset = 0; offset < image.bytes.size(); offset += 4) {
+    const std::uint32_t word =
+        static_cast<std::uint32_t>(image.bytes[offset]) |
+        (static_cast<std::uint32_t>(image.bytes[offset + 1]) << 8) |
+        (static_cast<std::uint32_t>(image.bytes[offset + 2]) << 16) |
+        (static_cast<std::uint32_t>(image.bytes[offset + 3]) << 24);
+    const Inst inst = decode(word, Xlen::k64);
+    ASSERT_TRUE(inst.valid()) << "offset " << offset << " word 0x" << std::hex
+                              << word;
+  }
+}
+
+TEST(Consistency, ImmediateRangeEnforced) {
+  Assembler a(Xlen::k64, 0);
+  EXPECT_THROW(a.addi(Reg::kA0, Reg::kA0, 2048), std::out_of_range);
+  EXPECT_THROW(a.addi(Reg::kA0, Reg::kA0, -2049), std::out_of_range);
+  EXPECT_THROW(a.lw(Reg::kA0, Reg::kSp, 4096), std::out_of_range);
+  EXPECT_THROW(a.sd(Reg::kA0, Reg::kSp, -3000), std::out_of_range);
+  EXPECT_THROW(a.jalr(Reg::kRa, Reg::kA0, 0x900), std::out_of_range);
+  EXPECT_NO_THROW(a.addi(Reg::kA0, Reg::kA0, 2047));
+  EXPECT_NO_THROW(a.addi(Reg::kA0, Reg::kA0, -2048));
+}
+
+}  // namespace
+}  // namespace titan::rv

@@ -1,0 +1,317 @@
+// Decoder tests: golden encodings cross-checked against binutils output,
+// plus an encode→decode round-trip property over every operation.
+#include "rv/decode.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rv/encode.hpp"
+#include "sim/rng.hpp"
+
+namespace titan::rv {
+namespace {
+
+using sim::Rng;
+
+Inst d64(std::uint32_t raw) { return decode(raw, Xlen::k64); }
+Inst d32(std::uint32_t raw) { return decode(raw, Xlen::k32); }
+
+// ---- Golden encodings (verified against riscv64 binutils) -----------------
+
+TEST(Decode, GoldenSystemInstructions) {
+  EXPECT_EQ(d64(0x00000073).op, Op::kEcall);
+  EXPECT_EQ(d64(0x00100073).op, Op::kEbreak);
+  EXPECT_EQ(d64(0x30200073).op, Op::kMret);
+  EXPECT_EQ(d64(0x10500073).op, Op::kWfi);
+}
+
+TEST(Decode, GoldenNop) {
+  const Inst inst = d64(0x00000013);  // addi x0, x0, 0
+  EXPECT_EQ(inst.op, Op::kAddi);
+  EXPECT_EQ(inst.rd, 0);
+  EXPECT_EQ(inst.rs1, 0);
+  EXPECT_EQ(inst.imm, 0);
+}
+
+TEST(Decode, GoldenRet) {
+  const Inst inst = d64(0x00008067);  // jalr x0, 0(ra)
+  EXPECT_EQ(inst.op, Op::kJalr);
+  EXPECT_EQ(inst.rd, 0);
+  EXPECT_EQ(inst.rs1, 1);
+  EXPECT_EQ(inst.imm, 0);
+}
+
+TEST(Decode, GoldenAddi) {
+  const Inst inst = d64(0x00310093);  // addi x1, x2, 3
+  EXPECT_EQ(inst.op, Op::kAddi);
+  EXPECT_EQ(inst.rd, 1);
+  EXPECT_EQ(inst.rs1, 2);
+  EXPECT_EQ(inst.imm, 3);
+}
+
+TEST(Decode, GoldenNegativeImmediate) {
+  const Inst inst = d64(0xFF010113);  // addi sp, sp, -16
+  EXPECT_EQ(inst.op, Op::kAddi);
+  EXPECT_EQ(inst.rd, 2);
+  EXPECT_EQ(inst.rs1, 2);
+  EXPECT_EQ(inst.imm, -16);
+}
+
+TEST(Decode, GoldenLuiSignExtends) {
+  const Inst inst = d64(0x800000B7);  // lui ra, 0x80000
+  EXPECT_EQ(inst.op, Op::kLui);
+  EXPECT_EQ(inst.rd, 1);
+  EXPECT_EQ(inst.imm, static_cast<std::int64_t>(0xFFFFFFFF80000000ULL));
+}
+
+TEST(Decode, GoldenStore) {
+  const Inst inst = d64(0x00113423);  // sd ra, 8(sp)
+  EXPECT_EQ(inst.op, Op::kSd);
+  EXPECT_EQ(inst.rs1, 2);
+  EXPECT_EQ(inst.rs2, 1);
+  EXPECT_EQ(inst.imm, 8);
+}
+
+TEST(Decode, GoldenJal) {
+  // jal ra, +16 from pc
+  const std::uint32_t raw = enc_j(0x6F, 1, 16);
+  const Inst inst = d64(raw);
+  EXPECT_EQ(inst.op, Op::kJal);
+  EXPECT_EQ(inst.rd, 1);
+  EXPECT_EQ(inst.imm, 16);
+}
+
+TEST(Decode, GoldenCsr) {
+  const Inst inst = d64(0x34202573);  // csrrs a0, mcause, x0
+  EXPECT_EQ(inst.op, Op::kCsrrs);
+  EXPECT_EQ(inst.rd, 10);
+  EXPECT_EQ(inst.rs1, 0);
+  EXPECT_EQ(inst.imm, 0x342);
+}
+
+TEST(Decode, GoldenMul) {
+  const Inst inst = d64(0x02B50533);  // mul a0, a0, a1
+  EXPECT_EQ(inst.op, Op::kMul);
+  EXPECT_EQ(inst.rd, 10);
+  EXPECT_EQ(inst.rs1, 10);
+  EXPECT_EQ(inst.rs2, 11);
+}
+
+// ---- XLEN-sensitive decoding ------------------------------------------------
+
+TEST(Decode, Rv64OnlyOpsIllegalOnRv32) {
+  const std::uint32_t ld = enc_i(0x03, 3, 5, 6, 0);
+  EXPECT_EQ(d64(ld).op, Op::kLd);
+  EXPECT_EQ(d32(ld).op, Op::kIllegal);
+
+  const std::uint32_t addiw = enc_i(0x1B, 0, 5, 6, 1);
+  EXPECT_EQ(d64(addiw).op, Op::kAddiw);
+  EXPECT_EQ(d32(addiw).op, Op::kIllegal);
+}
+
+TEST(Decode, ShiftAmountRangesByXlen) {
+  // slli with shamt 40 is legal on RV64, illegal on RV32.
+  const std::uint32_t slli40 = enc_i(0x13, 1, 5, 5, 40);
+  EXPECT_EQ(d64(slli40).op, Op::kSlli);
+  EXPECT_EQ(d64(slli40).imm, 40);
+  EXPECT_EQ(d32(slli40).op, Op::kIllegal);
+}
+
+TEST(Decode, IllegalOpcodeRejected) {
+  EXPECT_EQ(d64(0xFFFFFFFF).op, Op::kIllegal);
+  EXPECT_EQ(d64(0x0000007F).op, Op::kIllegal);
+}
+
+// ---- Round-trip property ------------------------------------------------------
+// For every op, generate random well-formed instances, encode, decode, and
+// compare all architectural fields.
+
+struct RoundTripCase {
+  Op op;
+};
+
+class RoundTripTest : public ::testing::TestWithParam<Op> {};
+
+enum class FieldShape {
+  kRdRs1Rs2,
+  kRdRs1Imm12,
+  kRdRs1Shamt6,
+  kRdRs1Shamt5,
+  kRs1Rs2Imm12,   // stores
+  kRs1Rs2Off13,   // branches
+  kRdImm20,       // lui/auipc
+  kRdOff21,       // jal
+  kNone,
+  kCsr,
+  kCsrImm,
+};
+
+FieldShape shape_of(Op op) {
+  switch (op) {
+    case Op::kLui:
+    case Op::kAuipc:
+      return FieldShape::kRdImm20;
+    case Op::kJal:
+      return FieldShape::kRdOff21;
+    case Op::kJalr:
+    case Op::kLb:
+    case Op::kLh:
+    case Op::kLw:
+    case Op::kLbu:
+    case Op::kLhu:
+    case Op::kLwu:
+    case Op::kLd:
+    case Op::kAddi:
+    case Op::kSlti:
+    case Op::kSltiu:
+    case Op::kXori:
+    case Op::kOri:
+    case Op::kAndi:
+    case Op::kAddiw:
+      return FieldShape::kRdRs1Imm12;
+    case Op::kSlli:
+    case Op::kSrli:
+    case Op::kSrai:
+      return FieldShape::kRdRs1Shamt6;
+    case Op::kSlliw:
+    case Op::kSrliw:
+    case Op::kSraiw:
+      return FieldShape::kRdRs1Shamt5;
+    case Op::kSb:
+    case Op::kSh:
+    case Op::kSw:
+    case Op::kSd:
+      return FieldShape::kRs1Rs2Imm12;
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu:
+      return FieldShape::kRs1Rs2Off13;
+    case Op::kFence:
+    case Op::kEcall:
+    case Op::kEbreak:
+    case Op::kMret:
+    case Op::kWfi:
+    case Op::kIllegal:
+      return FieldShape::kNone;
+    case Op::kCsrrw:
+    case Op::kCsrrs:
+    case Op::kCsrrc:
+      return FieldShape::kCsr;
+    case Op::kCsrrwi:
+    case Op::kCsrrsi:
+    case Op::kCsrrci:
+      return FieldShape::kCsrImm;
+    default:
+      return FieldShape::kRdRs1Rs2;
+  }
+}
+
+TEST_P(RoundTripTest, EncodeDecodeIdentity) {
+  const Op op = GetParam();
+  Rng rng(static_cast<std::uint64_t>(op) * 7919 + 1);
+  const FieldShape shape = shape_of(op);
+
+  for (int trial = 0; trial < 300; ++trial) {
+    Inst inst;
+    inst.op = op;
+    switch (shape) {
+      case FieldShape::kRdRs1Rs2:
+        inst.rd = static_cast<std::uint8_t>(rng.uniform(0, 31));
+        inst.rs1 = static_cast<std::uint8_t>(rng.uniform(0, 31));
+        inst.rs2 = static_cast<std::uint8_t>(rng.uniform(0, 31));
+        break;
+      case FieldShape::kRdRs1Imm12:
+        inst.rd = static_cast<std::uint8_t>(rng.uniform(0, 31));
+        inst.rs1 = static_cast<std::uint8_t>(rng.uniform(0, 31));
+        inst.imm = static_cast<std::int64_t>(rng.uniform(0, 4095)) - 2048;
+        break;
+      case FieldShape::kRdRs1Shamt6:
+        inst.rd = static_cast<std::uint8_t>(rng.uniform(0, 31));
+        inst.rs1 = static_cast<std::uint8_t>(rng.uniform(0, 31));
+        inst.imm = static_cast<std::int64_t>(rng.uniform(0, 63));
+        break;
+      case FieldShape::kRdRs1Shamt5:
+        inst.rd = static_cast<std::uint8_t>(rng.uniform(0, 31));
+        inst.rs1 = static_cast<std::uint8_t>(rng.uniform(0, 31));
+        inst.imm = static_cast<std::int64_t>(rng.uniform(0, 31));
+        break;
+      case FieldShape::kRs1Rs2Imm12:
+        inst.rs1 = static_cast<std::uint8_t>(rng.uniform(0, 31));
+        inst.rs2 = static_cast<std::uint8_t>(rng.uniform(0, 31));
+        inst.imm = static_cast<std::int64_t>(rng.uniform(0, 4095)) - 2048;
+        break;
+      case FieldShape::kRs1Rs2Off13:
+        inst.rs1 = static_cast<std::uint8_t>(rng.uniform(0, 31));
+        inst.rs2 = static_cast<std::uint8_t>(rng.uniform(0, 31));
+        inst.imm = (static_cast<std::int64_t>(rng.uniform(0, 4095)) - 2048) * 2;
+        break;
+      case FieldShape::kRdImm20:
+        inst.rd = static_cast<std::uint8_t>(rng.uniform(0, 31));
+        inst.imm = static_cast<std::int64_t>(
+                       static_cast<std::int32_t>(rng.next() & 0xFFFFF000u));
+        break;
+      case FieldShape::kRdOff21:
+        inst.rd = static_cast<std::uint8_t>(rng.uniform(0, 31));
+        inst.imm = (static_cast<std::int64_t>(rng.uniform(0, (1 << 20) - 1)) -
+                    (1 << 19)) * 2;
+        break;
+      case FieldShape::kNone:
+        break;
+      case FieldShape::kCsr:
+        inst.rd = static_cast<std::uint8_t>(rng.uniform(0, 31));
+        inst.rs1 = static_cast<std::uint8_t>(rng.uniform(0, 31));
+        inst.imm = static_cast<std::int64_t>(rng.uniform(0, 4095));
+        break;
+      case FieldShape::kCsrImm:
+        inst.rd = static_cast<std::uint8_t>(rng.uniform(0, 31));
+        inst.rs1 = static_cast<std::uint8_t>(rng.uniform(0, 31));  // zimm
+        inst.imm = static_cast<std::int64_t>(rng.uniform(0, 4095));
+        break;
+    }
+    if (op == Op::kIllegal) {
+      continue;
+    }
+
+    const std::uint32_t raw = encode(inst);
+    const Inst back = decode(raw, Xlen::k64);
+    ASSERT_EQ(back.op, inst.op) << "raw=0x" << std::hex << raw;
+    if (shape != FieldShape::kNone) {
+      ASSERT_EQ(back.rd, inst.rd);
+      ASSERT_EQ(back.rs1, inst.rs1);
+      if (shape == FieldShape::kRdRs1Rs2 || shape == FieldShape::kRs1Rs2Imm12 ||
+          shape == FieldShape::kRs1Rs2Off13) {
+        ASSERT_EQ(back.rs2, inst.rs2);
+      }
+      ASSERT_EQ(back.imm, inst.imm) << "raw=0x" << std::hex << raw;
+    }
+    ASSERT_EQ(back.len, 4);
+    ASSERT_EQ(back.expanded, raw);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, RoundTripTest,
+    ::testing::Values(
+        Op::kLui, Op::kAuipc, Op::kJal, Op::kJalr, Op::kBeq, Op::kBne,
+        Op::kBlt, Op::kBge, Op::kBltu, Op::kBgeu, Op::kLb, Op::kLh, Op::kLw,
+        Op::kLbu, Op::kLhu, Op::kLwu, Op::kLd, Op::kSb, Op::kSh, Op::kSw,
+        Op::kSd, Op::kAddi, Op::kSlti, Op::kSltiu, Op::kXori, Op::kOri,
+        Op::kAndi, Op::kSlli, Op::kSrli, Op::kSrai, Op::kAdd, Op::kSub,
+        Op::kSll, Op::kSlt, Op::kSltu, Op::kXor, Op::kSrl, Op::kSra, Op::kOr,
+        Op::kAnd, Op::kAddiw, Op::kSlliw, Op::kSrliw, Op::kSraiw, Op::kAddw,
+        Op::kSubw, Op::kSllw, Op::kSrlw, Op::kSraw, Op::kCsrrw, Op::kCsrrs,
+        Op::kCsrrc, Op::kCsrrwi, Op::kCsrrsi, Op::kCsrrci, Op::kMul,
+        Op::kMulh, Op::kMulhsu, Op::kMulhu, Op::kDiv, Op::kDivu, Op::kRem,
+        Op::kRemu, Op::kMulw, Op::kDivw, Op::kDivuw, Op::kRemw, Op::kRemuw),
+    [](const ::testing::TestParamInfo<Op>& info) {
+      std::string name(mnemonic(info.param));
+      for (char& ch : name) {
+        if (ch == '.') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace titan::rv

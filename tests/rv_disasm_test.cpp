@@ -1,0 +1,76 @@
+// Disassembler golden-string tests (objdump-style syntax).
+#include "rv/disasm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rv/decode.hpp"
+#include "rv/encode.hpp"
+
+namespace titan::rv {
+namespace {
+
+std::string d64(std::uint32_t raw) { return disasm(decode(raw, Xlen::k64)); }
+
+TEST(Disasm, SystemInstructions) {
+  EXPECT_EQ(d64(0x00000073), "ecall");
+  EXPECT_EQ(d64(0x00100073), "ebreak");
+  EXPECT_EQ(d64(0x30200073), "mret");
+  EXPECT_EQ(d64(0x10500073), "wfi");
+}
+
+TEST(Disasm, ArithmeticForms) {
+  EXPECT_EQ(d64(0x00000013), "addi zero, zero, 0");
+  EXPECT_EQ(d64(0xFF010113), "addi sp, sp, -16");
+  EXPECT_EQ(d64(enc_r(0x33, 0, 0, 10, 11, 12)), "add a0, a1, a2");
+  EXPECT_EQ(d64(enc_r(0x33, 0, 0x20, 5, 6, 7)), "sub t0, t1, t2");
+  EXPECT_EQ(d64(enc_r(0x33, 4, 0x01, 28, 29, 30)), "div t3, t4, t5");
+}
+
+TEST(Disasm, MemoryForms) {
+  EXPECT_EQ(d64(0x00113423), "sd ra, 8(sp)");
+  EXPECT_EQ(d64(enc_i(0x03, 3, 8, 2, -24)), "ld s0, -24(sp)");
+  EXPECT_EQ(d64(enc_i(0x03, 2, 15, 10, 0)), "lw a5, 0(a0)");
+}
+
+TEST(Disasm, BranchAndJumpForms) {
+  EXPECT_EQ(d64(enc_b(0x63, 1, 10, 0, -4)), "bne a0, zero, -4");
+  EXPECT_EQ(d64(enc_j(0x6F, 1, 16)), "jal ra, 16");
+  EXPECT_EQ(d64(0x00008067), "jalr zero, 0(ra)");
+}
+
+TEST(Disasm, UpperImmediateShowsPage) {
+  EXPECT_EQ(d64(enc_u(0x37, 10, 0x12345000)), "lui a0, 0x12345");
+  EXPECT_EQ(d64(enc_u(0x17, 3, 0x1000)), "auipc gp, 0x1");
+}
+
+TEST(Disasm, CsrForms) {
+  EXPECT_EQ(d64(0x34202573), "csrrs a0, 0x342, zero");
+  EXPECT_EQ(d64(enc_i(0x73, 5, 0, 21, 0x340)), "csrrwi zero, 0x340, 21");
+}
+
+TEST(Disasm, ShiftImmediates) {
+  EXPECT_EQ(d64(enc_i(0x13, 1, 10, 10, 12)), "slli a0, a0, 12");
+  EXPECT_EQ(d64(enc_i(0x13, 5, 10, 10, 0x41D)), "srai a0, a0, 29");
+}
+
+TEST(Disasm, CompressedDisassemblesAsExpansion) {
+  EXPECT_EQ(disasm(decode(0x8082, Xlen::k64)), "jalr zero, 0(ra)");
+  EXPECT_EQ(disasm(decode(0x4501, Xlen::k64)), "addi a0, zero, 0");
+}
+
+TEST(Disasm, IllegalInstruction) {
+  EXPECT_EQ(d64(0xFFFFFFFF), "illegal");
+}
+
+TEST(Disasm, EveryRegisterNameRoundTrips) {
+  static constexpr const char* kExpected[32] = {
+      "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+      "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+      "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+  for (std::uint8_t reg = 0; reg < 32; ++reg) {
+    EXPECT_EQ(reg_name(reg), kExpected[reg]);
+  }
+}
+
+}  // namespace
+}  // namespace titan::rv

@@ -1,0 +1,143 @@
+// Compressed-instruction tests: golden expansions plus an exhaustive sweep of
+// the full 16-bit encoding space on both XLENs.
+#include <gtest/gtest.h>
+
+#include "rv/decode.hpp"
+#include "rv/encode.hpp"
+
+namespace titan::rv {
+namespace {
+
+std::uint32_t expand64(std::uint16_t half) {
+  const auto expansion = expand_rvc(half, Xlen::k64);
+  EXPECT_TRUE(expansion.has_value()) << std::hex << half;
+  return expansion.value_or(0);
+}
+
+// ---- Golden expansions (cross-checked against binutils disassembly) -------
+
+TEST(Rvc, Nop) {
+  EXPECT_EQ(expand64(0x0001), 0x00000013u);  // c.nop -> addi x0, x0, 0
+}
+
+TEST(Rvc, LiA0Zero) {
+  // c.li a0, 0 -> addi a0, x0, 0
+  EXPECT_EQ(expand64(0x4501), enc_i(0x13, 0, 10, 0, 0));
+}
+
+TEST(Rvc, JrRaIsRet) {
+  // c.jr ra -> jalr x0, 0(ra) == ret
+  EXPECT_EQ(expand64(0x8082), 0x00008067u);
+}
+
+TEST(Rvc, Ebreak) { EXPECT_EQ(expand64(0x9002), 0x00100073u); }
+
+TEST(Rvc, Addi16Sp) {
+  // c.addi16sp sp, 32 -> addi sp, sp, 32
+  EXPECT_EQ(expand64(0x6105), enc_i(0x13, 0, 2, 2, 32));
+}
+
+TEST(Rvc, AddiSpMinus16) {
+  // c.addi16sp sp, -16: imm = -16 -> bits imm[9]=1... binutils: 0x7179 is
+  // c.addi16sp sp,-48; use -48 golden instead.
+  EXPECT_EQ(expand64(0x7179), enc_i(0x13, 0, 2, 2, -48));
+}
+
+TEST(Rvc, MvAndAdd) {
+  // c.mv a0, a1 -> add a0, x0, a1 (0x852e)
+  EXPECT_EQ(expand64(0x852E), enc_r(0x33, 0, 0, 10, 0, 11));
+  // c.add a0, a1 -> add a0, a0, a1 (0x952e)
+  EXPECT_EQ(expand64(0x952E), enc_r(0x33, 0, 0, 10, 10, 11));
+}
+
+TEST(Rvc, JalrThroughA5) {
+  // c.jalr a5 -> jalr ra, 0(a5) (0x9782)
+  EXPECT_EQ(expand64(0x9782), enc_i(0x67, 0, 1, 15, 0));
+}
+
+TEST(Rvc, LwspAndSwsp) {
+  // c.lwsp a0, 0(sp) -> lw a0, 0(sp) (0x4502)
+  EXPECT_EQ(expand64(0x4502), enc_i(0x03, 2, 10, 2, 0));
+  // c.swsp a0, 0(sp) -> sw a0, 0(sp) (0xc02a)
+  EXPECT_EQ(expand64(0xC02A), enc_s(0x23, 2, 2, 10, 0));
+}
+
+TEST(Rvc, LdspAndSdsp) {
+  // c.ldsp ra, 8(sp) -> ld ra, 8(sp) (0x60a2)
+  EXPECT_EQ(expand64(0x60A2), enc_i(0x03, 3, 1, 2, 8));
+  // c.sdsp ra, 8(sp) -> sd ra, 8(sp) (0xe406)
+  EXPECT_EQ(expand64(0xE406), enc_s(0x23, 3, 2, 1, 8));
+}
+
+TEST(Rvc, CompressedLoadsUsePrimeRegs) {
+  // c.lw a5, 0(a0) (0x411c) -> lw a5, 0(a0)
+  EXPECT_EQ(expand64(0x411C), enc_i(0x03, 2, 15, 10, 0));
+  // c.ld a4, 8(a3) -> ld a4, 8(a3) (0x6698)
+  EXPECT_EQ(expand64(0x6698), enc_i(0x03, 3, 14, 13, 8));
+}
+
+TEST(Rvc, DefinedIllegal) {
+  EXPECT_FALSE(expand_rvc(0x0000, Xlen::k64).has_value());
+  EXPECT_FALSE(expand_rvc(0x0000, Xlen::k32).has_value());
+}
+
+TEST(Rvc, JalOnlyOnRv32) {
+  // Quadrant 1, funct3=001 is c.jal on RV32, c.addiw on RV64.
+  const std::uint16_t half = 0x2001;  // offset 0 / addiw x0 — x0 reserved
+  const auto rv32 = expand_rvc(half, Xlen::k32);
+  ASSERT_TRUE(rv32.has_value());
+  const Inst jal_inst = decode(*rv32, Xlen::k32);
+  EXPECT_EQ(jal_inst.op, Op::kJal);
+  EXPECT_EQ(jal_inst.rd, 1);
+  // On RV64 rd==x0 for c.addiw is reserved.
+  EXPECT_FALSE(expand_rvc(half, Xlen::k64).has_value());
+}
+
+TEST(Rvc, AddiwOnRv64) {
+  // c.addiw a0, 1 (0x2505)
+  const auto expansion = expand_rvc(0x2505, Xlen::k64);
+  ASSERT_TRUE(expansion.has_value());
+  EXPECT_EQ(*expansion, enc_i(0x1B, 0, 10, 10, 1));
+}
+
+// ---- Exhaustive sweep property ---------------------------------------------
+// Every 16-bit value that the expander accepts must decode into a valid
+// (non-illegal) 32-bit instruction, and decode() must report len==2 with the
+// expansion recorded.
+
+class RvcSweepTest : public ::testing::TestWithParam<Xlen> {};
+
+TEST_P(RvcSweepTest, AllExpansionsDecode) {
+  const Xlen xlen = GetParam();
+  int expanded_count = 0;
+  for (std::uint32_t half = 0; half <= 0xFFFF; ++half) {
+    if ((half & 3) == 3) {
+      continue;  // Not a compressed encoding.
+    }
+    const auto expansion = expand_rvc(static_cast<std::uint16_t>(half), xlen);
+    if (!expansion.has_value()) {
+      continue;
+    }
+    ++expanded_count;
+    const Inst inst32 = decode(*expansion, xlen);
+    ASSERT_NE(inst32.op, Op::kIllegal)
+        << "half=0x" << std::hex << half << " expansion=0x" << *expansion;
+
+    const Inst via_decode = decode(half, xlen);
+    ASSERT_EQ(via_decode.op, inst32.op);
+    ASSERT_EQ(via_decode.len, 2);
+    ASSERT_EQ(via_decode.expanded, *expansion);
+    ASSERT_EQ(via_decode.raw, half);
+  }
+  // Sanity: a healthy fraction of the RVC space must be populated.
+  EXPECT_GT(expanded_count, 20000);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothXlens, RvcSweepTest,
+                         ::testing::Values(Xlen::k32, Xlen::k64),
+                         [](const ::testing::TestParamInfo<Xlen>& info) {
+                           return info.param == Xlen::k32 ? "rv32" : "rv64";
+                         });
+
+}  // namespace
+}  // namespace titan::rv

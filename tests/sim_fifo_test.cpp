@@ -1,0 +1,107 @@
+// Unit and property tests for the bounded FIFO used as the CFI Queue.
+#include "sim/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "sim/rng.hpp"
+
+namespace titan::sim {
+namespace {
+
+TEST(Fifo, RejectsZeroDepth) { EXPECT_THROW(Fifo<int>(0), std::invalid_argument); }
+
+TEST(Fifo, StartsEmpty) {
+  Fifo<int> fifo(4);
+  EXPECT_TRUE(fifo.empty());
+  EXPECT_FALSE(fifo.full());
+  EXPECT_EQ(fifo.size(), 0u);
+  EXPECT_EQ(fifo.depth(), 4u);
+  EXPECT_EQ(fifo.free_slots(), 4u);
+  EXPECT_EQ(fifo.pop(), std::nullopt);
+  EXPECT_EQ(fifo.front(), nullptr);
+}
+
+TEST(Fifo, PushPopFifoOrder) {
+  Fifo<int> fifo(3);
+  EXPECT_TRUE(fifo.push(1));
+  EXPECT_TRUE(fifo.push(2));
+  EXPECT_TRUE(fifo.push(3));
+  EXPECT_TRUE(fifo.full());
+  EXPECT_FALSE(fifo.push(4));
+  EXPECT_EQ(fifo.stats().rejected_pushes, 1u);
+  EXPECT_EQ(fifo.pop(), 1);
+  EXPECT_EQ(fifo.pop(), 2);
+  EXPECT_TRUE(fifo.push(4));
+  EXPECT_EQ(fifo.pop(), 3);
+  EXPECT_EQ(fifo.pop(), 4);
+  EXPECT_TRUE(fifo.empty());
+}
+
+TEST(Fifo, FrontPeeksWithoutRemoving) {
+  Fifo<int> fifo(2);
+  fifo.push(7);
+  ASSERT_NE(fifo.front(), nullptr);
+  EXPECT_EQ(*fifo.front(), 7);
+  EXPECT_EQ(fifo.size(), 1u);
+}
+
+TEST(Fifo, StatsTrackHighWaterMark) {
+  Fifo<int> fifo(8);
+  for (int i = 0; i < 5; ++i) fifo.push(i);
+  for (int i = 0; i < 3; ++i) fifo.pop();
+  for (int i = 0; i < 2; ++i) fifo.push(i);
+  EXPECT_EQ(fifo.stats().max_occupancy, 5u);
+  EXPECT_EQ(fifo.stats().pushes, 7u);
+  EXPECT_EQ(fifo.stats().pops, 3u);
+}
+
+TEST(Fifo, OccupancySampling) {
+  Fifo<int> fifo(4);
+  fifo.push(1);
+  fifo.sample();  // occupancy 1
+  fifo.push(2);
+  fifo.push(3);
+  fifo.sample();  // occupancy 3
+  EXPECT_DOUBLE_EQ(fifo.stats().mean_occupancy(), 2.0);
+}
+
+// Property: under a random push/pop schedule, the FIFO behaves exactly like
+// an unbounded std::deque reference truncated by the full/empty rules, for
+// several depths.
+class FifoPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FifoPropertyTest, MatchesReferenceModel) {
+  const std::size_t depth = GetParam();
+  Fifo<std::uint64_t> fifo(depth);
+  std::deque<std::uint64_t> reference;
+  Rng rng(0xF1F0 + depth);
+
+  for (int step = 0; step < 20000; ++step) {
+    if (rng.chance(0.55)) {
+      const std::uint64_t value = rng.next();
+      const bool accepted = fifo.push(value);
+      EXPECT_EQ(accepted, reference.size() < depth);
+      if (accepted) reference.push_back(value);
+    } else {
+      const auto popped = fifo.pop();
+      if (reference.empty()) {
+        EXPECT_EQ(popped, std::nullopt);
+      } else {
+        ASSERT_TRUE(popped.has_value());
+        EXPECT_EQ(*popped, reference.front());
+        reference.pop_front();
+      }
+    }
+    ASSERT_EQ(fifo.size(), reference.size());
+    ASSERT_EQ(fifo.empty(), reference.empty());
+    ASSERT_EQ(fifo.full(), reference.size() >= depth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, FifoPropertyTest,
+                         ::testing::Values(1, 2, 3, 8, 64));
+
+}  // namespace
+}  // namespace titan::sim

@@ -1,0 +1,95 @@
+// Tests for the sparse memory model.
+#include "sim/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace titan::sim {
+namespace {
+
+TEST(Memory, UntouchedReadsAsZero) {
+  Memory mem;
+  EXPECT_EQ(mem.read8(0), 0u);
+  EXPECT_EQ(mem.read64(0xDEADBEEF), 0u);
+  EXPECT_EQ(mem.page_count(), 0u);
+}
+
+TEST(Memory, ReadBackAllWidths) {
+  Memory mem;
+  mem.write8(0x100, 0xAB);
+  mem.write16(0x200, 0xCDEF);
+  mem.write32(0x300, 0x01234567);
+  mem.write64(0x400, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(mem.read8(0x100), 0xABu);
+  EXPECT_EQ(mem.read16(0x200), 0xCDEFu);
+  EXPECT_EQ(mem.read32(0x300), 0x01234567u);
+  EXPECT_EQ(mem.read64(0x400), 0x0123456789ABCDEFULL);
+}
+
+TEST(Memory, LittleEndianLayout) {
+  Memory mem;
+  mem.write32(0x10, 0x11223344);
+  EXPECT_EQ(mem.read8(0x10), 0x44u);
+  EXPECT_EQ(mem.read8(0x11), 0x33u);
+  EXPECT_EQ(mem.read8(0x12), 0x22u);
+  EXPECT_EQ(mem.read8(0x13), 0x11u);
+}
+
+TEST(Memory, CrossPageAccess) {
+  Memory mem;
+  const Addr boundary = Memory::kPageSize - 2;
+  mem.write64(boundary, 0x8877665544332211ULL);
+  EXPECT_EQ(mem.read64(boundary), 0x8877665544332211ULL);
+  EXPECT_EQ(mem.page_count(), 2u);
+}
+
+TEST(Memory, LoadBlobAndDump) {
+  Memory mem;
+  const std::vector<std::uint8_t> blob = {1, 2, 3, 4, 5};
+  mem.load(0x1000, blob);
+  EXPECT_EQ(mem.dump(0x1000, 5), blob);
+  EXPECT_EQ(mem.read8(0x1004), 5u);
+}
+
+TEST(Memory, LoadWords) {
+  Memory mem;
+  const std::vector<std::uint32_t> words = {0xAABBCCDD, 0x11223344};
+  mem.load_words(0x2000, words);
+  EXPECT_EQ(mem.read32(0x2000), 0xAABBCCDDu);
+  EXPECT_EQ(mem.read32(0x2004), 0x11223344u);
+}
+
+TEST(Memory, SparseHighAddresses) {
+  Memory mem;
+  mem.write64(0xFFFF'FFFF'FFFF'FFF0ULL, 42);
+  EXPECT_EQ(mem.read64(0xFFFF'FFFF'FFFF'FFF0ULL), 42u);
+  EXPECT_EQ(mem.page_count(), 1u);
+}
+
+// Property: random writes followed by read-back match a reference map.
+TEST(Memory, RandomWriteReadProperty) {
+  Memory mem;
+  std::unordered_map<Addr, std::uint8_t> reference;
+  Rng rng(123);
+  for (int i = 0; i < 50000; ++i) {
+    const Addr addr = rng.uniform(0, 1 << 20);
+    const auto value = static_cast<std::uint8_t>(rng.next());
+    mem.write8(addr, value);
+    reference[addr] = value;
+  }
+  for (const auto& [addr, value] : reference) {
+    ASSERT_EQ(mem.read8(addr), value);
+  }
+}
+
+TEST(Memory, ClearDropsEverything) {
+  Memory mem;
+  mem.write64(0x123, 99);
+  mem.clear();
+  EXPECT_EQ(mem.read64(0x123), 0u);
+  EXPECT_EQ(mem.page_count(), 0u);
+}
+
+}  // namespace
+}  // namespace titan::sim

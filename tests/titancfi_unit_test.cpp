@@ -1,0 +1,299 @@
+// Unit tests for the TitanCFI hardware-side components: commit-log packing,
+// CFI Filter, Queue Controller stall invariants, and the Log Writer FSM.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cva6/scoreboard.hpp"
+#include "rv/decode.hpp"
+#include "rv/encode.hpp"
+#include "sim/rng.hpp"
+#include "titancfi/commit_log.hpp"
+#include "titancfi/filter.hpp"
+#include "titancfi/log_writer.hpp"
+#include "titancfi/queue_controller.hpp"
+
+namespace titan::cfi {
+namespace {
+
+cva6::ScoreboardEntry make_entry(rv::CfKind kind, std::uint64_t pc = 0x8000'0000) {
+  cva6::ScoreboardEntry entry;
+  entry.pc = pc;
+  entry.next_pc = pc + 4;
+  switch (kind) {
+    case rv::CfKind::kCall:
+      entry.inst = rv::decode(rv::enc_j(0x6F, 1, 0x40), rv::Xlen::k64);
+      entry.target = pc + 0x40;
+      break;
+    case rv::CfKind::kReturn:
+      entry.inst = rv::decode(0x00008067, rv::Xlen::k64);
+      entry.target = 0x8000'1000;
+      break;
+    case rv::CfKind::kIndirectJump:
+      entry.inst = rv::decode(rv::enc_i(0x67, 0, 0, 10, 0), rv::Xlen::k64);
+      entry.target = 0x8000'2000;
+      break;
+    default:
+      entry.inst = rv::decode(0x00000013, rv::Xlen::k64);  // nop
+      entry.target = entry.next_pc;
+      break;
+  }
+  entry.kind = rv::classify(entry.inst);
+  return entry;
+}
+
+// ---- CommitLog ---------------------------------------------------------------
+
+TEST(CommitLog, PackUnpackRoundTripProperty) {
+  sim::Rng rng(77);
+  for (int trial = 0; trial < 2000; ++trial) {
+    CommitLog log;
+    log.pc = rng.next();
+    log.encoding = static_cast<std::uint32_t>(rng.next());
+    log.next = rng.next();
+    log.target = rng.next();
+    EXPECT_EQ(CommitLog::unpack(log.pack()), log);
+  }
+}
+
+TEST(CommitLog, PacketIs224BitsIn4Beats) {
+  EXPECT_EQ(CommitLog::kBits, 224u);
+  EXPECT_EQ(CommitLog::kBeats, 4u);
+  // Upper 32 bits of beat 3 are unused padding.
+  CommitLog log;
+  log.pc = ~0ULL;
+  log.encoding = ~0u;
+  log.next = ~0ULL;
+  log.target = ~0ULL;
+  EXPECT_EQ(log.pack()[3] >> 32, 0u);
+}
+
+TEST(CommitLog, ClassifyRecoversKindFromEncoding) {
+  EXPECT_EQ(CommitLog::from_entry(make_entry(rv::CfKind::kCall)).classify(),
+            rv::CfKind::kCall);
+  EXPECT_EQ(CommitLog::from_entry(make_entry(rv::CfKind::kReturn)).classify(),
+            rv::CfKind::kReturn);
+  EXPECT_EQ(
+      CommitLog::from_entry(make_entry(rv::CfKind::kIndirectJump)).classify(),
+      rv::CfKind::kIndirectJump);
+}
+
+// ---- CfiFilter ------------------------------------------------------------------
+
+TEST(CfiFilter, SelectsOnlyCfiRelevant) {
+  CfiFilter filter;
+  EXPECT_TRUE(filter.filter(make_entry(rv::CfKind::kCall)).has_value());
+  EXPECT_TRUE(filter.filter(make_entry(rv::CfKind::kReturn)).has_value());
+  EXPECT_TRUE(filter.filter(make_entry(rv::CfKind::kIndirectJump)).has_value());
+  EXPECT_FALSE(filter.filter(make_entry(rv::CfKind::kNone)).has_value());
+  EXPECT_EQ(filter.scanned(), 4u);
+  EXPECT_EQ(filter.selected(), 3u);
+}
+
+TEST(CfiFilter, LogCarriesEntryFields) {
+  CfiFilter filter;
+  const auto entry = make_entry(rv::CfKind::kCall, 0x8000'1234);
+  const auto log = filter.filter(entry);
+  ASSERT_TRUE(log.has_value());
+  EXPECT_EQ(log->pc, 0x8000'1234u);
+  EXPECT_EQ(log->next, 0x8000'1238u);
+  EXPECT_EQ(log->target, 0x8000'1234u + 0x40u);
+  EXPECT_EQ(log->encoding, entry.inst.expanded);
+}
+
+// ---- QueueController ---------------------------------------------------------------
+
+TEST(QueueController, NonCfEntriesAlwaysRetire) {
+  QueueController controller(1);
+  const std::vector<cva6::ScoreboardEntry> entries = {
+      make_entry(rv::CfKind::kNone), make_entry(rv::CfKind::kNone)};
+  EXPECT_EQ(controller.evaluate(entries), 2u);
+  EXPECT_TRUE(controller.queue().empty());
+}
+
+TEST(QueueController, CfEntryPushesLog) {
+  QueueController controller(4);
+  const std::vector<cva6::ScoreboardEntry> entries = {
+      make_entry(rv::CfKind::kCall)};
+  EXPECT_EQ(controller.evaluate(entries), 1u);
+  EXPECT_EQ(controller.queue().size(), 1u);
+}
+
+TEST(QueueController, DualCfStallsSecondPort) {
+  QueueController controller(4);
+  const std::vector<cva6::ScoreboardEntry> entries = {
+      make_entry(rv::CfKind::kCall, 0x1000),
+      make_entry(rv::CfKind::kReturn, 0x2000)};
+  EXPECT_EQ(controller.evaluate(entries), 1u);  // only the first retires
+  EXPECT_EQ(controller.dual_cf_stalls(), 1u);
+  EXPECT_EQ(controller.queue().size(), 1u);
+  // Next cycle the second one goes through.
+  const std::vector<cva6::ScoreboardEntry> rest = {
+      make_entry(rv::CfKind::kReturn, 0x2000)};
+  EXPECT_EQ(controller.evaluate(rest), 1u);
+  EXPECT_EQ(controller.queue().size(), 2u);
+}
+
+TEST(QueueController, FullQueueStallsCfButNotPriorEntries) {
+  QueueController controller(1);
+  (void)controller.evaluate(
+      std::vector<cva6::ScoreboardEntry>{make_entry(rv::CfKind::kCall)});
+  ASSERT_TRUE(controller.queue().full());
+  const std::vector<cva6::ScoreboardEntry> entries = {
+      make_entry(rv::CfKind::kNone), make_entry(rv::CfKind::kReturn)};
+  EXPECT_EQ(controller.evaluate(entries), 1u);  // nop retires, CF stalls
+  EXPECT_EQ(controller.full_stalls(), 1u);
+}
+
+TEST(QueueController, NeverLosesOrReordersLogsProperty) {
+  // Random streams of commit candidates; every CF entry that retired must
+  // appear in the queue pops exactly once, in program order.
+  sim::Rng rng(31);
+  QueueController controller(2);
+  std::vector<std::uint64_t> pushed_pcs;
+  std::vector<std::uint64_t> popped_pcs;
+  std::uint64_t next_pc = 0x8000'0000;
+  std::vector<cva6::ScoreboardEntry> pending;
+
+  for (int cycle = 0; cycle < 20000; ++cycle) {
+    // Refill pending up to 2 candidates.
+    while (pending.size() < 2) {
+      const double roll = rng.uniform01();
+      const rv::CfKind kind = roll < 0.25   ? rv::CfKind::kCall
+                              : roll < 0.5  ? rv::CfKind::kReturn
+                              : roll < 0.55 ? rv::CfKind::kIndirectJump
+                                            : rv::CfKind::kNone;
+      pending.push_back(make_entry(kind, next_pc));
+      next_pc += 4;
+    }
+    const unsigned allowed = controller.evaluate(pending);
+    ASSERT_LE(allowed, pending.size());
+    for (unsigned i = 0; i < allowed; ++i) {
+      if (pending[i].cfi_relevant()) {
+        pushed_pcs.push_back(pending[i].pc);
+      }
+    }
+    pending.erase(pending.begin(), pending.begin() + allowed);
+    // Pop 0..1 logs per cycle (models the writer draining).
+    if (rng.chance(0.6)) {
+      const auto log = controller.queue().pop();
+      if (log.has_value()) {
+        popped_pcs.push_back(log->pc);
+      }
+    }
+  }
+  while (const auto log = controller.queue().pop()) {
+    popped_pcs.push_back(log->pc);
+  }
+  ASSERT_EQ(popped_pcs.size(), pushed_pcs.size());
+  EXPECT_EQ(popped_pcs, pushed_pcs);  // order preserved
+}
+
+// ---- LogWriter -----------------------------------------------------------------
+
+struct WriterHarness {
+  CfiQueue queue{4};
+  sim::Memory memory;
+  soc::MemoryTarget memory_target{memory};
+  soc::Crossbar axi{"axi", 1};
+  soc::Mailbox mailbox;
+  bool faulted = false;
+  CommitLog fault_log;
+  LogWriter writer{queue, axi, mailbox, [this](const CommitLog& log) {
+                     faulted = true;
+                     fault_log = log;
+                   }};
+
+  WriterHarness() { axi.map(soc::kCfiMailbox, mailbox, 0, "mailbox"); }
+};
+
+TEST(LogWriter, TransmitsAllBeatsAndDoorbell) {
+  WriterHarness harness;
+  CommitLog log;
+  log.pc = 0x1111'2222'3333'4444;
+  log.encoding = 0xAABBCCDD;
+  log.next = 0x5555'6666'7777'8888;
+  log.target = 0x9999'AAAA'BBBB'CCCC;
+  harness.queue.push(log);
+
+  sim::Cycle cycle = 0;
+  while (harness.writer.state() != LogWriter::State::kWaitCompletion &&
+         cycle < 1000) {
+    harness.writer.tick(cycle++);
+  }
+  ASSERT_EQ(harness.writer.state(), LogWriter::State::kWaitCompletion);
+  EXPECT_TRUE(harness.mailbox.doorbell_pending());
+  // The RoT-side view reassembles the exact log.
+  const std::array<std::uint64_t, 4> beats = {
+      harness.mailbox.data(0), harness.mailbox.data(1),
+      harness.mailbox.data(2), harness.mailbox.data(3)};
+  EXPECT_EQ(CommitLog::unpack(beats), log);
+  EXPECT_EQ(harness.writer.logs_sent(), 1u);
+}
+
+TEST(LogWriter, SafeVerdictReturnsToIdle) {
+  WriterHarness harness;
+  harness.queue.push(CommitLog{.pc = 1, .encoding = 2, .next = 3, .target = 4});
+  sim::Cycle cycle = 0;
+  while (harness.writer.state() != LogWriter::State::kWaitCompletion) {
+    harness.writer.tick(cycle++);
+  }
+  // RoT: verdict safe + completion.
+  harness.mailbox.set_data(0, 0);
+  harness.mailbox.signal_completion();
+  while (harness.writer.state() != LogWriter::State::kIdle && cycle < 1000) {
+    harness.writer.tick(cycle++);
+  }
+  EXPECT_EQ(harness.writer.state(), LogWriter::State::kIdle);
+  EXPECT_FALSE(harness.faulted);
+  EXPECT_EQ(harness.writer.violations(), 0u);
+  EXPECT_FALSE(harness.mailbox.completion_pending());  // consumed
+}
+
+TEST(LogWriter, ViolationTriggersFaultAndLatches) {
+  WriterHarness harness;
+  const CommitLog bad{.pc = 0xDEAD, .encoding = 0x8067, .next = 1, .target = 2};
+  harness.queue.push(bad);
+  sim::Cycle cycle = 0;
+  while (harness.writer.state() != LogWriter::State::kWaitCompletion) {
+    harness.writer.tick(cycle++);
+  }
+  harness.mailbox.set_data(0, 1);  // violation verdict
+  harness.mailbox.signal_completion();
+  while (harness.writer.state() != LogWriter::State::kFault && cycle < 1000) {
+    harness.writer.tick(cycle++);
+  }
+  EXPECT_EQ(harness.writer.state(), LogWriter::State::kFault);
+  EXPECT_TRUE(harness.faulted);
+  EXPECT_EQ(harness.fault_log, bad);
+  EXPECT_EQ(harness.writer.violations(), 1u);
+  // The FSM stays in the fault state (the host core has trapped).
+  harness.writer.tick(cycle + 1);
+  EXPECT_EQ(harness.writer.state(), LogWriter::State::kFault);
+}
+
+TEST(LogWriter, ProcessesQueueSequentially) {
+  WriterHarness harness;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    harness.queue.push(CommitLog{.pc = i, .encoding = 0, .next = 0, .target = 0});
+  }
+  sim::Cycle cycle = 0;
+  std::uint64_t completed = 0;
+  while (completed < 4 && cycle < 10000) {
+    harness.writer.tick(cycle);
+    if (harness.writer.state() == LogWriter::State::kWaitCompletion &&
+        !harness.mailbox.completion_pending()) {
+      EXPECT_EQ(harness.mailbox.data(0), completed);  // beats of log i
+      harness.mailbox.set_data(0, 0);
+      harness.mailbox.signal_completion();
+      ++completed;
+    }
+    ++cycle;
+  }
+  EXPECT_EQ(completed, 4u);
+  EXPECT_EQ(harness.writer.logs_sent(), 4u);
+  EXPECT_TRUE(harness.queue.empty());
+}
+
+}  // namespace
+}  // namespace titan::cfi

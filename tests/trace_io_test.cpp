@@ -1,0 +1,89 @@
+// Commit-trace CSV serialisation tests.
+#include "cva6/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cva6/core.hpp"
+#include "workloads/programs.hpp"
+
+namespace titan::cva6 {
+namespace {
+
+std::vector<CommitRecord> real_trace() {
+  const auto image = workloads::fib_recursive(7);
+  sim::Memory memory;
+  memory.load(image.base, image.bytes);
+  Cva6Config config;
+  config.reset_pc = image.base;
+  Cva6Core core(config, memory);
+  core.run_baseline();
+  return core.trace();
+}
+
+TEST(TraceIo, RoundTripRealTrace) {
+  const auto trace = real_trace();
+  ASSERT_FALSE(trace.empty());
+  std::stringstream buffer;
+  write_trace_csv(buffer, trace);
+  const auto reloaded = read_trace_csv(buffer);
+  ASSERT_EQ(reloaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_EQ(reloaded[i].cycle, trace[i].cycle) << i;
+    ASSERT_EQ(reloaded[i].pc, trace[i].pc) << i;
+    ASSERT_EQ(reloaded[i].encoding, trace[i].encoding) << i;
+    ASSERT_EQ(reloaded[i].kind, trace[i].kind) << i;
+    ASSERT_EQ(reloaded[i].next_pc, trace[i].next_pc) << i;
+    ASSERT_EQ(reloaded[i].target, trace[i].target) << i;
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::stringstream buffer;
+  write_trace_csv(buffer, {});
+  EXPECT_TRUE(read_trace_csv(buffer).empty());
+}
+
+TEST(TraceIo, KindTokensRoundTrip) {
+  for (const auto kind :
+       {rv::CfKind::kNone, rv::CfKind::kCall, rv::CfKind::kReturn,
+        rv::CfKind::kIndirectJump, rv::CfKind::kDirectJump,
+        rv::CfKind::kBranch}) {
+    EXPECT_EQ(kind_from_token(kind_token(kind)), kind);
+  }
+  EXPECT_THROW((void)kind_from_token("bogus"), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsWrongHeader) {
+  std::stringstream buffer("oops\n1,0x0,0x0,none,0x0,0x0\n");
+  EXPECT_THROW(read_trace_csv(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsShortRow) {
+  std::stringstream buffer;
+  buffer << "cycle,pc,encoding,kind,next_pc,target\n";
+  buffer << "1,0x0,0x0,none\n";
+  EXPECT_THROW(read_trace_csv(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsBadNumber) {
+  std::stringstream buffer;
+  buffer << "cycle,pc,encoding,kind,next_pc,target\n";
+  buffer << "xyz,0x0,0x0,none,0x0,0x0\n";
+  EXPECT_THROW(read_trace_csv(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, SkipsBlankLines) {
+  std::stringstream buffer;
+  buffer << "cycle,pc,encoding,kind,next_pc,target\n\n";
+  buffer << "5,0x80000000,0x8067,return,0x80000004,0x80001000\n\n";
+  const auto trace = read_trace_csv(buffer);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].cycle, 5u);
+  EXPECT_EQ(trace[0].kind, rv::CfKind::kReturn);
+  EXPECT_EQ(trace[0].target, 0x80001000u);
+}
+
+}  // namespace
+}  // namespace titan::cva6

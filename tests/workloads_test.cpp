@@ -1,0 +1,136 @@
+// Workload-layer tests: benchmark table integrity, trace-generator
+// properties, and calibration fidelity against the paper's IRQ columns.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "titancfi/overhead_model.hpp"
+#include "workloads/embench.hpp"
+
+namespace titan::workloads {
+namespace {
+
+TEST(BenchmarkTable, HasAllTableIiiRows) {
+  EXPECT_EQ(benchmark_table().size(), 32u);  // 19 EmBench + 13 RISC-V-Tests
+  int embench = 0;
+  int riscv = 0;
+  for (const BenchmarkStats& stats : benchmark_table()) {
+    if (stats.suite == "embench") ++embench;
+    if (stats.suite == "riscv-tests") ++riscv;
+    EXPECT_GT(stats.cycles, 0);
+    EXPECT_GT(stats.cf_count, 0);
+  }
+  EXPECT_EQ(embench, 19);
+  EXPECT_EQ(riscv, 13);
+}
+
+TEST(BenchmarkTable, LookupByName) {
+  ASSERT_NE(find_benchmark("dhrystone"), nullptr);
+  EXPECT_EQ(find_benchmark("dhrystone")->paper_irq, 1215);
+  EXPECT_EQ(find_benchmark("nope"), nullptr);
+}
+
+TEST(BenchmarkTable, Table2SubsetFlagged) {
+  int in_table2 = 0;
+  for (const BenchmarkStats& stats : benchmark_table()) {
+    if (stats.in_table2()) ++in_table2;
+  }
+  EXPECT_EQ(in_table2, 9);  // Table II lists 4 EmBench + 5 RISC-V-Tests rows
+}
+
+TEST(TraceGen, ProducesExactCountWithinRun) {
+  const BenchmarkStats* stats = find_benchmark("picojpeg");
+  ASSERT_NE(stats, nullptr);
+  const auto cycles = synthesize_cf_cycles(*stats, TraceParams{});
+  EXPECT_EQ(cycles.size(), static_cast<std::size_t>(stats->cf_count));
+  EXPECT_TRUE(std::is_sorted(cycles.begin(), cycles.end()));
+  EXPECT_LT(cycles.back(), static_cast<sim::Cycle>(stats->cycles));
+}
+
+TEST(TraceGen, WindowFractionConcentratesActivity) {
+  const BenchmarkStats* stats = find_benchmark("wikisort");
+  ASSERT_NE(stats, nullptr);
+  TraceParams narrow;
+  narrow.window_fraction = 0.1;
+  const auto cycles = synthesize_cf_cycles(*stats, narrow);
+  const double span =
+      static_cast<double>(cycles.back() - cycles.front());
+  EXPECT_LT(span, 0.15 * stats->cycles);
+}
+
+TEST(TraceGen, ClusterSizeCreatesBackToBackOps) {
+  const BenchmarkStats* stats = find_benchmark("ud");
+  ASSERT_NE(stats, nullptr);
+  TraceParams params;
+  params.cluster = 4;
+  params.intra_gap = 8;
+  const auto cycles = synthesize_cf_cycles(*stats, params);
+  // Inside a cluster consecutive gaps equal intra_gap.
+  int tight_gaps = 0;
+  for (std::size_t i = 1; i < cycles.size(); ++i) {
+    if (cycles[i] - cycles[i - 1] == 8) ++tight_gaps;
+  }
+  EXPECT_GT(tight_gaps, static_cast<int>(cycles.size() / 2));
+}
+
+TEST(TraceGen, EmptyBenchmarkYieldsEmptyTrace) {
+  BenchmarkStats empty{"x", "embench", 0, 0, -1, -1, -1, -2, -2, -2};
+  EXPECT_TRUE(synthesize_cf_cycles(empty, TraceParams{}).empty());
+}
+
+// Calibration: fitting phi on the IRQ column must reproduce that column; the
+// real validation (predicting Poll/Opt) lives in the Table III bench.
+class CalibrationTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CalibrationTest, ReproducesIrqColumnAtDepth8) {
+  const BenchmarkStats* stats = find_benchmark(GetParam());
+  ASSERT_NE(stats, nullptr);
+  const TraceParams params = calibrate(*stats);
+  const auto cf = synthesize_cf_cycles(*stats, params);
+  cfi::OverheadConfig config;
+  config.queue_depth = 8;
+  config.check_latency = kIrqLatency;
+  config.transport_cycles = 0;
+  const double predicted =
+      cfi::simulate_cf_cycles(cf, static_cast<sim::Cycle>(stats->cycles), config)
+          .slowdown_percent();
+  if (stats->paper_irq <= 0) {
+    EXPECT_LT(predicted, 1.0);
+  } else {
+    // Within 10% relative or 2 points absolute of the published number.
+    EXPECT_NEAR(predicted, stats->paper_irq,
+                std::max(2.0, 0.10 * stats->paper_irq));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Benchmarks, CalibrationTest,
+    ::testing::Values("cubic", "huffbench", "nbody", "picojpeg", "slre",
+                      "wikisort", "dhrystone", "mm", "mt-matmul", "statemate",
+                      "edn", "crc32", "qsort", "towers"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name(info.param);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(Calibration, SaturatedBenchmarksInsensitiveToPhi) {
+  // mm is CF-saturated: any window gives ~the same slowdown; calibrate()
+  // must not produce a degenerate window.
+  const BenchmarkStats* mm = find_benchmark("mm");
+  ASSERT_NE(mm, nullptr);
+  const TraceParams params = calibrate(*mm);
+  EXPECT_GT(params.window_fraction, 0.0);
+  EXPECT_LE(params.window_fraction, 1.0);
+}
+
+TEST(Calibration, QuietBenchmarksGetFullWindow) {
+  const BenchmarkStats* edn = find_benchmark("edn");
+  ASSERT_NE(edn, nullptr);
+  EXPECT_DOUBLE_EQ(calibrate(*edn).window_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace titan::workloads
