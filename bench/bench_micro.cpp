@@ -1,16 +1,40 @@
 // Micro-benchmarks (google-benchmark) for the infrastructure libraries:
-// decoder, RVC expansion, assembler, FIFO, SHA-256/HMAC, Ibex/CVA6 ISS
-// throughput, and the trace-driven overhead model.
+// decoder, RVC expansion, assembler, FIFO, SHA-256/HMAC, memory system,
+// Ibex/CVA6 ISS throughput, and the trace-driven overhead model.
+//
+// Besides the google-benchmark suite, this binary emits a machine-readable
+// before/after report (BENCH_PR1.json) comparing the PR-1 fast paths against
+// the seed code paths, which both survive in-tree behind runtime switches:
+//   * sim::Memory::set_fast_path_enabled(false) — one hash probe per byte;
+//   * {Cva6Core,IbexCore}::set_decode_cache_enabled(false) — rv::decode on
+//     every fetch;
+//   * crypto::HmacKey vs. per-call key scheduling — 4 vs 2 compressions.
+//
+//   bench_micro                  # full google-benchmark suite + JSON report
+//   bench_micro --pr1_only       # JSON report only (CI smoke)
+//   bench_micro --pr1_json=PATH  # report destination (default BENCH_PR1.json)
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
 #include "cva6/core.hpp"
 #include "firmware/builder.hpp"
+#include "ibex/core.hpp"
 #include "rv/assembler.hpp"
 #include "rv/decode.hpp"
+#include "sim/decode_cache.hpp"
 #include "sim/fifo.hpp"
+#include "sim/memory.hpp"
 #include "sim/rng.hpp"
+#include "soc/bus.hpp"
 #include "titancfi/overhead_model.hpp"
 #include "workloads/embench.hpp"
 #include "workloads/programs.hpp"
@@ -30,6 +54,24 @@ void BM_Decode32(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Decode32);
+
+void BM_DecodeCached(benchmark::State& state) {
+  titan::sim::Rng rng(1);
+  std::vector<std::uint32_t> words(4096);
+  for (auto& word : words) {
+    word = static_cast<std::uint32_t>(rng.next()) | 3;
+  }
+  titan::sim::DecodeCache cache(titan::rv::Xlen::k64);
+  std::size_t index = 0;
+  for (auto _ : state) {
+    const std::size_t i = index++ & 4095;
+    benchmark::DoNotOptimize(cache.decode(i * 4, words[i]));
+  }
+  state.counters["hit_rate"] =
+      static_cast<double>(cache.hits()) /
+      static_cast<double>(cache.hits() + cache.misses());
+}
+BENCHMARK(BM_DecodeCached);
 
 void BM_ExpandRvc(benchmark::State& state) {
   std::uint16_t half = 0;
@@ -60,6 +102,56 @@ void BM_FifoPushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_FifoPushPop)->Arg(1)->Arg(8)->Arg(64);
 
+// Mixed-width read/write traffic over a working set of a few pages; the
+// `fast` arg toggles the single-probe page-cache path vs. the seed
+// byte-by-byte hash lookups.
+void BM_MemoryMixed(benchmark::State& state) {
+  titan::sim::Memory memory;
+  memory.set_fast_path_enabled(state.range(0) != 0);
+  for (titan::sim::Addr a = 0; a < 8 * titan::sim::Memory::kPageSize; a += 8) {
+    memory.write64(a, a);
+  }
+  titan::sim::Addr addr = 0;
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    addr = (addr + 40) & (8 * titan::sim::Memory::kPageSize - 8);
+    memory.write64(addr, acc);
+    acc += memory.read64(addr);
+    acc += memory.read16(addr + 2);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["ops/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 3, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MemoryMixed)->Arg(0)->Arg(1)->ArgNames({"fast"});
+
+void BM_MemoryFetch32(benchmark::State& state) {
+  titan::sim::Memory memory;
+  for (titan::sim::Addr a = 0; a < titan::sim::Memory::kPageSize; a += 4) {
+    memory.write32(a, static_cast<std::uint32_t>(a) | 3);
+  }
+  titan::sim::Addr pc = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memory.fetch32(pc));
+    pc = (pc + 4) & (titan::sim::Memory::kPageSize - 4);
+  }
+}
+BENCHMARK(BM_MemoryFetch32);
+
+void BM_MemoryBlock(benchmark::State& state) {
+  titan::sim::Memory memory;
+  std::vector<std::uint8_t> buffer(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    buffer[i] = static_cast<std::uint8_t>(i);
+  }
+  for (auto _ : state) {
+    memory.write_block(0x1000, buffer);
+    memory.read_block(0x1000, buffer);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_MemoryBlock)->Arg(4096)->Arg(65536);
+
 void BM_Sha256(benchmark::State& state) {
   std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0xAB);
   for (auto _ : state) {
@@ -78,21 +170,35 @@ void BM_HmacSha256(benchmark::State& state) {
 }
 BENCHMARK(BM_HmacSha256);
 
+void BM_HmacPreparedKey(benchmark::State& state) {
+  const std::vector<std::uint8_t> key(32, 0x11);
+  const titan::crypto::HmacKey prepared(key);
+  std::vector<std::uint8_t> data(256, 0xCD);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prepared.mac(data));
+  }
+}
+BENCHMARK(BM_HmacPreparedKey);
+
 void BM_Cva6IssFib(benchmark::State& state) {
   const auto image = titan::workloads::fib_recursive(12);
   for (auto _ : state) {
     titan::sim::Memory memory;
     memory.load(image.base, image.bytes);
+    memory.set_fast_path_enabled(state.range(0) != 0);
     titan::cva6::Cva6Config config;
     config.reset_pc = image.base;
     titan::cva6::Cva6Core core(config, memory);
+    core.set_decode_cache_enabled(state.range(0) != 0);
     core.set_trace_enabled(false);
     benchmark::DoNotOptimize(core.run_baseline());
     state.counters["insts/s"] = benchmark::Counter(
         static_cast<double>(core.instret()), benchmark::Counter::kIsRate);
+    state.counters["decodes_avoided"] =
+        static_cast<double>(core.decode_cache().decodes_avoided());
   }
 }
-BENCHMARK(BM_Cva6IssFib);
+BENCHMARK(BM_Cva6IssFib)->Arg(0)->Arg(1)->ArgNames({"fast"});
 
 void BM_OverheadModel(benchmark::State& state) {
   const auto* stats = titan::workloads::find_benchmark("mm");
@@ -119,6 +225,246 @@ void BM_TraceCalibration(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceCalibration);
 
+// ---- PR-1 before/after report ------------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+/// Run `body` (which returns a work-unit count) repeatedly for ~budget
+/// seconds after one warmup call; return work units per second.
+template <typename Body>
+double measure_rate(double budget_seconds, Body&& body) {
+  (void)body();  // Warmup (page caches, branch predictors, allocators).
+  std::uint64_t work = 0;
+  const auto start = Clock::now();
+  Clock::duration elapsed{};
+  do {
+    work += body();
+    elapsed = Clock::now() - start;
+  } while (std::chrono::duration<double>(elapsed).count() < budget_seconds);
+  return static_cast<double>(work) /
+         std::chrono::duration<double>(elapsed).count();
+}
+
+struct Pr1Report {
+  double mem_ops_seed = 0, mem_ops_fast = 0;
+  double cva6_insts_seed = 0, cva6_insts_fast = 0;
+  double ibex_insts_seed = 0, ibex_insts_fast = 0;
+  double hmac_macs_seed = 0, hmac_macs_fast = 0;
+  std::uint64_t decodes_avoided = 0;
+  double decode_hit_rate = 0;
+};
+
+double bench_memory(bool fast) {
+  titan::sim::Memory memory;
+  memory.set_fast_path_enabled(fast);
+  for (titan::sim::Addr a = 0; a < 8 * titan::sim::Memory::kPageSize; a += 8) {
+    memory.write64(a, a);
+  }
+  return measure_rate(0.25, [&] {
+    std::uint64_t acc = 0;
+    titan::sim::Addr addr = 0;
+    constexpr int kOpsPerCall = 3;
+    constexpr int kIters = 4096;
+    for (int i = 0; i < kIters; ++i) {
+      addr = (addr + 40) & (8 * titan::sim::Memory::kPageSize - 8);
+      memory.write64(addr, acc);
+      acc += memory.read64(addr);
+      acc += memory.read16(addr + 2);
+    }
+    benchmark::DoNotOptimize(acc);
+    return static_cast<std::uint64_t>(kIters * kOpsPerCall);
+  });
+}
+
+/// End-to-end CVA6 instruction throughput over the host workload programs
+/// the paper's tables sweep (call-dense, memory-dense, and ALU-dense mixes).
+double bench_cva6(bool fast, Pr1Report* report) {
+  const titan::rv::Image images[] = {
+      titan::workloads::fib_recursive(15), titan::workloads::matmul(12),
+      titan::workloads::crc32(512), titan::workloads::quicksort(128),
+      titan::workloads::indirect_dispatch(100)};
+  return measure_rate(0.4, [&] {
+    std::uint64_t insts = 0;
+    for (const auto& image : images) {
+      titan::sim::Memory memory;
+      memory.load(image.base, image.bytes);
+      memory.set_fast_path_enabled(fast);
+      titan::cva6::Cva6Config config;
+      config.reset_pc = image.base;
+      titan::cva6::Cva6Core core(config, memory);
+      core.set_decode_cache_enabled(fast);
+      core.set_trace_enabled(false);
+      core.run_baseline();
+      insts += core.instret();
+      if (fast && report != nullptr) {
+        report->decodes_avoided += core.decode_cache().decodes_avoided();
+        const double lookups = static_cast<double>(
+            core.decode_cache().hits() + core.decode_cache().misses());
+        if (lookups > 0) {
+          report->decode_hit_rate =
+              static_cast<double>(core.decode_cache().hits()) / lookups;
+        }
+      }
+    }
+    return insts;
+  });
+}
+
+/// RV32 compute kernel on the Ibex model behind a crossbar (the RoT-side
+/// half of every co-simulation).
+double bench_ibex(bool fast) {
+  using titan::rv::Reg;
+  titan::rv::Assembler a(titan::rv::Xlen::k32, 0);
+  const auto loop = a.new_label();
+  a.li(Reg::kA0, 0);
+  a.li(Reg::kT0, 20000);  // iterations
+  a.li(Reg::kT1, 0x4000); // buffer base
+  a.bind(loop);
+  a.sw(Reg::kA0, Reg::kT1, 0);
+  a.lw(Reg::kT2, Reg::kT1, 0);
+  a.add(Reg::kA0, Reg::kA0, Reg::kT2);
+  a.andi(Reg::kT2, Reg::kA0, 0xFC);
+  a.add(Reg::kT1, Reg::kT1, Reg::kT2);
+  a.li(Reg::kT1, 0x4000);
+  a.addi(Reg::kT0, Reg::kT0, -1);
+  a.bnez(Reg::kT0, loop);
+  a.ecall();
+  const titan::rv::Image image = a.finish();
+
+  return measure_rate(0.25, [&] {
+    titan::sim::Memory memory;
+    memory.load(image.base, image.bytes);
+    memory.set_fast_path_enabled(fast);
+    titan::soc::MemoryTarget target(memory);
+    titan::soc::Crossbar bus("bench", 0);
+    bus.map(titan::soc::Region{0, 0x1'0000}, target, 0, "ram");
+    titan::ibex::IbexConfig config;
+    config.reset_sp = 0x8000;
+    titan::ibex::IbexCore core(config, bus);
+    core.set_decode_cache_enabled(fast);
+    while (!core.halted()) {
+      core.step();
+    }
+    return core.instret();
+  });
+}
+
+double bench_hmac(bool prepared) {
+  std::vector<std::uint8_t> key(32);
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  }
+  // One TitanCFI commit log entry is small; 64 bytes models a log + header.
+  const std::vector<std::uint8_t> message(64, 0xC3);
+  const titan::crypto::HmacKey prepared_key(key);
+  return measure_rate(0.2, [&] {
+    constexpr int kIters = 512;
+    for (int i = 0; i < kIters; ++i) {
+      if (prepared) {
+        benchmark::DoNotOptimize(prepared_key.mac(message));
+      } else {
+        // Seed path: full key schedule (ipad+opad compressions) per MAC.
+        benchmark::DoNotOptimize(titan::crypto::hmac_sha256(key, message));
+      }
+    }
+    return static_cast<std::uint64_t>(kIters);
+  });
+}
+
+bool write_pr1_json(const Pr1Report& r, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "[pr1] error: cannot open '" << path << "' for writing\n";
+    return false;
+  }
+  const auto ratio = [](double fast, double seed) {
+    return seed > 0 ? fast / seed : 0.0;
+  };
+  os << "{\n"
+     << "  \"pr\": 1,\n"
+     << "  \"description\": \"fast-path memory system + decode cache + HMAC midstates\",\n"
+     << "  \"memory\": {\n"
+     << "    \"ops_per_s_seed\": " << r.mem_ops_seed << ",\n"
+     << "    \"ops_per_s_fast\": " << r.mem_ops_fast << ",\n"
+     << "    \"speedup\": " << ratio(r.mem_ops_fast, r.mem_ops_seed) << "\n"
+     << "  },\n"
+     << "  \"cva6_e2e\": {\n"
+     << "    \"workloads\": [\"fib\", \"matmul\", \"crc32\", \"quicksort\", \"indirect_dispatch\"],\n"
+     << "    \"insts_per_s_seed\": " << r.cva6_insts_seed << ",\n"
+     << "    \"insts_per_s_fast\": " << r.cva6_insts_fast << ",\n"
+     << "    \"speedup\": " << ratio(r.cva6_insts_fast, r.cva6_insts_seed) << ",\n"
+     << "    \"decodes_avoided\": " << r.decodes_avoided << ",\n"
+     << "    \"decode_cache_hit_rate\": " << r.decode_hit_rate << "\n"
+     << "  },\n"
+     << "  \"ibex_e2e\": {\n"
+     << "    \"insts_per_s_seed\": " << r.ibex_insts_seed << ",\n"
+     << "    \"insts_per_s_fast\": " << r.ibex_insts_fast << ",\n"
+     << "    \"speedup\": " << ratio(r.ibex_insts_fast, r.ibex_insts_seed) << "\n"
+     << "  },\n"
+     << "  \"hmac\": {\n"
+     << "    \"macs_per_s_seed\": " << r.hmac_macs_seed << ",\n"
+     << "    \"macs_per_s_fast\": " << r.hmac_macs_fast << ",\n"
+     << "    \"speedup\": " << ratio(r.hmac_macs_fast, r.hmac_macs_seed) << "\n"
+     << "  }\n"
+     << "}\n";
+  return os.good();
+}
+
+bool run_pr1_report(const std::string& path) {
+  Pr1Report report;
+  std::cerr << "[pr1] measuring memory system (seed vs fast)...\n";
+  report.mem_ops_seed = bench_memory(false);
+  report.mem_ops_fast = bench_memory(true);
+  std::cerr << "[pr1] measuring CVA6 end-to-end (seed vs fast)...\n";
+  report.cva6_insts_seed = bench_cva6(false, nullptr);
+  report.cva6_insts_fast = bench_cva6(true, &report);
+  std::cerr << "[pr1] measuring Ibex end-to-end (seed vs fast)...\n";
+  report.ibex_insts_seed = bench_ibex(false);
+  report.ibex_insts_fast = bench_ibex(true);
+  std::cerr << "[pr1] measuring HMAC (per-call key schedule vs midstates)...\n";
+  report.hmac_macs_seed = bench_hmac(false);
+  report.hmac_macs_fast = bench_hmac(true);
+  if (!write_pr1_json(report, path)) {
+    return false;
+  }
+  std::cerr << "[pr1] memory speedup:  " << report.mem_ops_fast / report.mem_ops_seed
+            << "x\n[pr1] cva6 speedup:    "
+            << report.cva6_insts_fast / report.cva6_insts_seed
+            << "x\n[pr1] ibex speedup:    "
+            << report.ibex_insts_fast / report.ibex_insts_seed
+            << "x\n[pr1] hmac speedup:    "
+            << report.hmac_macs_fast / report.hmac_macs_seed
+            << "x\n[pr1] wrote " << path << "\n";
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_PR1.json";
+  bool pr1_only = false;
+  // Peel off our flags; everything else goes to google-benchmark.
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--pr1_only") {
+      pr1_only = true;
+    } else if (arg.rfind("--pr1_json=", 0) == 0) {
+      json_path = arg.substr(std::strlen("--pr1_json="));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  if (!pr1_only) {
+    ::benchmark::Initialize(&pass_argc, passthrough.data());
+    if (::benchmark::ReportUnrecognizedArguments(pass_argc,
+                                                 passthrough.data())) {
+      return 1;
+    }
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+  }
+  return run_pr1_report(json_path) ? 0 : 1;
+}

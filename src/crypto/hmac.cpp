@@ -5,8 +5,7 @@
 
 namespace titan::crypto {
 
-Digest hmac_sha256(std::span<const std::uint8_t> key,
-                   std::span<const std::uint8_t> message) {
+HmacKey::HmacKey(std::span<const std::uint8_t> key) {
   constexpr std::size_t kBlockSize = 64;
 
   std::array<std::uint8_t, kBlockSize> key_block{};
@@ -17,22 +16,37 @@ Digest hmac_sha256(std::span<const std::uint8_t> key,
     std::copy(key.begin(), key.end(), key_block.begin());
   }
 
-  std::array<std::uint8_t, kBlockSize> ipad{};
-  std::array<std::uint8_t, kBlockSize> opad{};
+  std::array<std::uint8_t, kBlockSize> pad{};
   for (std::size_t i = 0; i < kBlockSize; ++i) {
-    ipad[i] = key_block[i] ^ 0x36;
-    opad[i] = key_block[i] ^ 0x5c;
+    pad[i] = key_block[i] ^ 0x36;
   }
-
   Sha256 inner;
-  inner.update(ipad);
+  inner.update(pad);
+  inner_mid_ = inner.midstate();
+
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    pad[i] = key_block[i] ^ 0x5c;
+  }
+  Sha256 outer;
+  outer.update(pad);
+  outer_mid_ = outer.midstate();
+}
+
+Digest HmacKey::mac(std::span<const std::uint8_t> message) const {
+  Sha256 inner;
+  inner.seed(inner_mid_, 64);
   inner.update(message);
   const Digest inner_digest = inner.finish();
 
   Sha256 outer;
-  outer.update(opad);
+  outer.seed(outer_mid_, 64);
   outer.update(inner_digest);
   return outer.finish();
+}
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message) {
+  return HmacKey(key).mac(message);
 }
 
 bool digest_equal(const Digest& a, const Digest& b) {

@@ -13,6 +13,23 @@ namespace titan::crypto {
 
 using Key = std::vector<std::uint8_t>;
 
+/// A key with precomputed ipad/opad SHA-256 midstates (the classic HMAC
+/// optimisation, and what OpenTitan's HMAC block does when the key register
+/// is left loaded).  Construction costs the two pad compressions once; each
+/// mac() then costs two compression call sites instead of four, which is
+/// what makes per-commit-log authentication cheap.
+class HmacKey {
+ public:
+  HmacKey() = default;
+  explicit HmacKey(std::span<const std::uint8_t> key);
+
+  [[nodiscard]] Digest mac(std::span<const std::uint8_t> message) const;
+
+ private:
+  Sha256State inner_mid_{};
+  Sha256State outer_mid_{};
+};
+
 /// One-shot HMAC-SHA256.
 [[nodiscard]] Digest hmac_sha256(std::span<const std::uint8_t> key,
                                  std::span<const std::uint8_t> message);

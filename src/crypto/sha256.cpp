@@ -1,5 +1,6 @@
 #include "crypto/sha256.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cstring>
@@ -77,15 +78,40 @@ void Sha256::process_block(const std::uint8_t* block) {
   state_[7] += h;
 }
 
+void Sha256::seed(const Sha256State& midstate, std::uint64_t bytes_consumed) {
+  assert(bytes_consumed % 64 == 0 && "Sha256: midstate must be block-aligned");
+  state_ = midstate;
+  buffer_len_ = 0;
+  total_bits_ = bytes_consumed * 8;
+  finished_ = false;
+}
+
+const Sha256State& Sha256::midstate() const {
+  assert(buffer_len_ == 0 && "Sha256: midstate only valid at block boundary");
+  return state_;
+}
+
 void Sha256::update(std::span<const std::uint8_t> data) {
   assert(!finished_ && "Sha256: update after finish");
   total_bits_ += static_cast<std::uint64_t>(data.size()) * 8;
-  for (const std::uint8_t byte : data) {
-    buffer_[buffer_len_++] = byte;
+  std::size_t i = 0;
+  if (buffer_len_ != 0) {
+    const std::size_t take =
+        std::min(buffer_.size() - buffer_len_, data.size());
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    i = take;
     if (buffer_len_ == buffer_.size()) {
       process_block(buffer_.data());
       buffer_len_ = 0;
     }
+  }
+  for (; i + buffer_.size() <= data.size(); i += buffer_.size()) {
+    process_block(data.data() + i);
+  }
+  if (i < data.size()) {
+    buffer_len_ = data.size() - i;
+    std::memcpy(buffer_.data(), data.data() + i, buffer_len_);
   }
 }
 

@@ -14,6 +14,10 @@ namespace titan::crypto {
 
 using Digest = std::array<std::uint8_t, 32>;
 
+/// The eight 32-bit words of SHA-256 compression state — a resumable
+/// midstate when captured at a 64-byte block boundary.
+using Sha256State = std::array<std::uint32_t, 8>;
+
 class Sha256 {
  public:
   Sha256() { reset(); }
@@ -22,6 +26,15 @@ class Sha256 {
   void update(std::span<const std::uint8_t> data);
   /// Finalise and return the digest.  The object must be reset() before reuse.
   Digest finish();
+
+  /// Resume hashing from a midstate captured after `bytes_consumed` bytes
+  /// (must be a multiple of the 64-byte block size).  This is what lets
+  /// HMAC precompute its ipad/opad blocks once per key.
+  void seed(const Sha256State& midstate, std::uint64_t bytes_consumed);
+
+  /// Snapshot the compression state.  Only meaningful at a block boundary
+  /// (asserted): partial buffered input is not part of the state.
+  [[nodiscard]] const Sha256State& midstate() const;
 
   /// One-shot convenience.
   static Digest hash(std::span<const std::uint8_t> data);

@@ -22,16 +22,6 @@ Cva6Core::Cva6Core(const Cva6Config& config, sim::Memory& memory)
   regs_[2] = config.reset_sp;
 }
 
-std::uint32_t Cva6Core::fetch(std::uint64_t addr, unsigned* len) const {
-  const std::uint32_t low = memory_.read16(addr);
-  if ((low & 3) != 3) {
-    *len = 2;
-    return low;
-  }
-  *len = 4;
-  return low | (static_cast<std::uint32_t>(memory_.read16(addr + 2)) << 16);
-}
-
 std::uint32_t Cva6Core::latency_of(const rv::Inst& inst) const {
   using rv::Op;
   switch (inst.op) {
@@ -59,15 +49,23 @@ void Cva6Core::issue_one() {
     throw std::runtime_error("Cva6Core: instruction budget exhausted");
   }
 
-  unsigned len = 4;
-  const std::uint32_t raw = fetch(pc_, &len);
-  rv::Inst inst = rv::decode(raw, rv::Xlen::k64);
-  inst.len = static_cast<std::uint8_t>(len);
+  // One instruction-lane page probe yields the whole fetch window; the
+  // decode cache skips rv::decode whenever the window's encoding matches.
+  const std::uint32_t window = memory_.fetch32(pc_);
+  rv::Inst uncached;
+  const rv::Inst* decoded;
+  if (decode_cache_enabled_) {
+    decoded = &decode_cache_.decode(pc_, window);
+  } else {
+    uncached = rv::decode(window, rv::Xlen::k64);
+    decoded = &uncached;
+  }
+  const rv::Inst& inst = *decoded;
 
   ScoreboardEntry entry;
   entry.pc = pc_;
   entry.inst = inst;
-  entry.next_pc = pc_ + len;
+  entry.next_pc = pc_ + inst.len;
   entry.kind = rv::classify(inst);
 
   execute(inst, entry);

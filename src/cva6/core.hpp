@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cva6/scoreboard.hpp"
+#include "sim/decode_cache.hpp"
 #include "sim/memory.hpp"
 #include "sim/types.hpp"
 #include "soc/pmp.hpp"
@@ -90,6 +91,15 @@ class Cva6Core {
   /// Commit-stall cycles observed (cycles where ready work retired short).
   [[nodiscard]] std::uint64_t stall_cycles() const { return stall_cycles_; }
 
+  /// Decoded-instruction cache (PC-indexed, validated against the raw fetch
+  /// window, so self-modifying stores and Memory::load invalidate exactly).
+  [[nodiscard]] const sim::DecodeCache& decode_cache() const {
+    return decode_cache_;
+  }
+  /// Disable to force a full rv::decode per fetch (the seed behaviour, kept
+  /// for before/after benchmarking).
+  void set_decode_cache_enabled(bool enabled) { decode_cache_enabled_ = enabled; }
+
  private:
   struct RobEntry {
     ScoreboardEntry entry;
@@ -98,7 +108,6 @@ class Cva6Core {
 
   /// Functionally execute the next instruction and append it to the ROB.
   void issue_one();
-  [[nodiscard]] std::uint32_t fetch(std::uint64_t addr, unsigned* len) const;
   void execute(const rv::Inst& inst, ScoreboardEntry& entry);
   [[nodiscard]] std::uint32_t latency_of(const rv::Inst& inst) const;
 
@@ -121,6 +130,8 @@ class Cva6Core {
   std::vector<CommitRecord> trace_;
   bool trace_enabled_ = true;
   std::uint64_t stall_cycles_ = 0;
+  sim::DecodeCache decode_cache_{rv::Xlen::k64};
+  bool decode_cache_enabled_ = true;
 };
 
 }  // namespace titan::cva6

@@ -65,16 +65,18 @@ IbexStep IbexCore::take_trap() {
   return info;
 }
 
-std::uint32_t IbexCore::fetch(std::uint32_t addr, unsigned* len) {
+std::uint32_t IbexCore::fetch_window(std::uint32_t addr) {
   // The prefetch buffer hides instruction-fetch latency in steady state; we
-  // charge fetch time only through the taken-branch penalty.
+  // charge fetch time only through the taken-branch penalty.  The high half
+  // is fetched only for uncompressed encodings: a single 4-byte read would
+  // be routed by the low address alone and could reach past the end of a
+  // mapped region, which the crossbar's per-halfword decode never allows.
   const std::uint32_t low = static_cast<std::uint32_t>(bus_.read(addr, 2).value);
   if ((low & 3) != 3) {
-    *len = 2;
     return low;
   }
-  const std::uint32_t high = static_cast<std::uint32_t>(bus_.read(addr + 2, 2).value);
-  *len = 4;
+  const std::uint32_t high =
+      static_cast<std::uint32_t>(bus_.read(addr + 2, 2).value);
   return low | (high << 16);
 }
 
@@ -98,9 +100,16 @@ IbexStep IbexCore::step() {
     return info;
   }
 
-  unsigned len = 4;
-  const std::uint32_t raw = fetch(pc_, &len);
-  const rv::Inst inst = rv::decode(raw, rv::Xlen::k32);
+  const std::uint32_t window = fetch_window(pc_);
+  rv::Inst uncached;
+  const rv::Inst* decoded;
+  if (decode_cache_enabled_) {
+    decoded = &decode_cache_.decode(pc_, window);
+  } else {
+    uncached = rv::decode(window, rv::Xlen::k32);
+    decoded = &uncached;
+  }
+  const rv::Inst& inst = *decoded;
 
   IbexStep info;
   info.pc = pc_;

@@ -20,6 +20,7 @@
 #include <optional>
 
 #include "rv/isa.hpp"
+#include "sim/decode_cache.hpp"
 #include "sim/types.hpp"
 #include "soc/bus.hpp"
 
@@ -81,9 +82,17 @@ class IbexCore {
   /// skip idle RoT time between doorbells).
   void advance_clock(Cycle cycles) { cycle_ += cycles; }
 
+  /// Decoded-instruction cache (shared design with the CVA6 model; entries
+  /// are validated against the raw fetch window, so firmware reload or
+  /// self-modifying stores invalidate exactly).
+  [[nodiscard]] const sim::DecodeCache& decode_cache() const {
+    return decode_cache_;
+  }
+  void set_decode_cache_enabled(bool enabled) { decode_cache_enabled_ = enabled; }
+
  private:
   IbexStep take_trap();
-  [[nodiscard]] std::uint32_t fetch(std::uint32_t addr, unsigned* len);
+  [[nodiscard]] std::uint32_t fetch_window(std::uint32_t addr);
   void execute(const rv::Inst& inst, IbexStep& info);
 
   IbexConfig config_;
@@ -105,6 +114,9 @@ class IbexCore {
   bool irq_line_ = false;
   bool sleeping_ = false;
   bool halted_ = false;
+
+  sim::DecodeCache decode_cache_{rv::Xlen::k32, 2048};
+  bool decode_cache_enabled_ = true;
 };
 
 /// mstatus/mie bit positions used by the model.

@@ -1,16 +1,35 @@
 #include "sim/memory.hpp"
 
-#include <cstring>
+#include <stdexcept>
+#include <string>
 
 namespace titan::sim {
 
-const Memory::Page* Memory::find_page(Addr addr) const {
-  auto it = pages_.find(addr >> kPageBits);
+namespace {
+
+std::string hex_addr(Addr addr) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out = "0x";
+  bool started = false;
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    const unsigned nibble = (addr >> shift) & 0xF;
+    if (nibble != 0 || started || shift == 0) {
+      out.push_back(kHex[nibble]);
+      started = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const Memory::Page* Memory::find_page(Addr page_no) const {
+  auto it = pages_.find(page_no);
   return it == pages_.end() ? nullptr : it->second.get();
 }
 
-Memory::Page& Memory::touch_page(Addr addr) {
-  auto& slot = pages_[addr >> kPageBits];
+Memory::Page& Memory::touch_page(Addr page_no) {
+  auto& slot = pages_[page_no];
   if (!slot) {
     slot = std::make_unique<Page>();
     slot->fill(0);
@@ -18,62 +37,162 @@ Memory::Page& Memory::touch_page(Addr addr) {
   return *slot;
 }
 
-std::uint8_t Memory::read8(Addr addr) const {
-  const Page* page = find_page(addr);
-  return page == nullptr ? 0 : (*page)[addr & (kPageSize - 1)];
+const std::uint8_t* Memory::lookup_read(Addr page_no, Lane lane) const {
+  Way& way = ways_[lane][static_cast<std::size_t>(page_no) & (kWays - 1)];
+  if (way.page_no == page_no) {
+    ++stats_.page_cache_hits;
+    return way.data;
+  }
+  ++stats_.page_cache_misses;
+  const Page* page = find_page(page_no);
+  if (page == nullptr) {
+    return nullptr;  // Never cache absence: a later write may map the page.
+  }
+  way.page_no = page_no;
+  way.data = const_cast<std::uint8_t*>(page->data());
+  return way.data;
 }
 
-std::uint16_t Memory::read16(Addr addr) const {
-  return static_cast<std::uint16_t>(read8(addr)) |
-         static_cast<std::uint16_t>(static_cast<std::uint16_t>(read8(addr + 1)) << 8);
+std::uint8_t* Memory::lookup_write(Addr page_no) {
+  Way& way = ways_[kDataLane][static_cast<std::size_t>(page_no) & (kWays - 1)];
+  if (way.page_no == page_no) {
+    ++stats_.page_cache_hits;
+    return way.data;
+  }
+  ++stats_.page_cache_misses;
+  Page& page = touch_page(page_no);
+  way.page_no = page_no;
+  way.data = page.data();
+  return way.data;
 }
 
-std::uint32_t Memory::read32(Addr addr) const {
-  return static_cast<std::uint32_t>(read16(addr)) |
-         (static_cast<std::uint32_t>(read16(addr + 2)) << 16);
+void Memory::note_unmapped(Addr addr) const {
+  ++stats_.unmapped_reads;
+  if (strict_unmapped_) {
+    throw std::out_of_range("Memory: read of unmapped address " +
+                            hex_addr(addr));
+  }
 }
 
-std::uint64_t Memory::read64(Addr addr) const {
-  return static_cast<std::uint64_t>(read32(addr)) |
-         (static_cast<std::uint64_t>(read32(addr + 4)) << 32);
+std::uint8_t Memory::read8_slow(Addr addr) const {
+  const Page* page = find_page(addr >> kPageBits);
+  if (page == nullptr) {
+    note_unmapped(addr);
+    return 0;
+  }
+  return (*page)[addr & (kPageSize - 1)];
 }
 
-void Memory::write8(Addr addr, std::uint8_t value) {
-  touch_page(addr)[addr & (kPageSize - 1)] = value;
+template <typename T>
+T Memory::read_cold(Addr addr) const {
+  if (fast_path_ && sizeof(T) > 1) {
+    ++stats_.straddles;
+  }
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    value = static_cast<T>(value |
+                           (static_cast<T>(read8_slow(addr + i)) << (8 * i)));
+  }
+  return value;
 }
 
-void Memory::write16(Addr addr, std::uint16_t value) {
-  write8(addr, static_cast<std::uint8_t>(value));
-  write8(addr + 1, static_cast<std::uint8_t>(value >> 8));
+template <typename T>
+void Memory::write_cold(Addr addr, T value) {
+  if (fast_path_ && sizeof(T) > 1) {
+    ++stats_.straddles;
+  }
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    touch_page((addr + i) >> kPageBits)[(addr + i) & (kPageSize - 1)] =
+        static_cast<std::uint8_t>(value >> (8 * i));
+  }
 }
 
-void Memory::write32(Addr addr, std::uint32_t value) {
-  write16(addr, static_cast<std::uint16_t>(value));
-  write16(addr + 2, static_cast<std::uint16_t>(value >> 16));
+template std::uint8_t Memory::read_cold<std::uint8_t>(Addr) const;
+template std::uint16_t Memory::read_cold<std::uint16_t>(Addr) const;
+template std::uint32_t Memory::read_cold<std::uint32_t>(Addr) const;
+template std::uint64_t Memory::read_cold<std::uint64_t>(Addr) const;
+template void Memory::write_cold<std::uint8_t>(Addr, std::uint8_t);
+template void Memory::write_cold<std::uint16_t>(Addr, std::uint16_t);
+template void Memory::write_cold<std::uint32_t>(Addr, std::uint32_t);
+template void Memory::write_cold<std::uint64_t>(Addr, std::uint64_t);
+
+std::uint32_t Memory::fetch32(Addr addr) const {
+  ++stats_.fetches;
+  const std::size_t offset = static_cast<std::size_t>(addr) & (kPageSize - 1);
+  if (fast_path_ && offset + 4 <= kPageSize) [[likely]] {
+    const std::uint8_t* page = lookup_read(addr >> kPageBits, kFetchLane);
+    if (page != nullptr) [[likely]] {
+      return load_le<std::uint32_t>(page + offset);
+    }
+    note_unmapped(addr);
+    return 0;
+  }
+  // Page-straddling (or slow-mode) fetch: the low half decides whether the
+  // window is an instruction at all, so only it participates in unmapped
+  // accounting; the high half is a speculative overshoot.
+  if (offset + 4 > kPageSize) {
+    ++stats_.straddles;
+  }
+  const Page* low_page = find_page(addr >> kPageBits);
+  if (low_page == nullptr) {
+    note_unmapped(addr);
+    return 0;
+  }
+  std::uint32_t window = (*low_page)[addr & (kPageSize - 1)];
+  for (std::size_t i = 1; i < 4; ++i) {
+    const Page* page = find_page((addr + i) >> kPageBits);
+    const std::uint8_t byte =
+        page == nullptr ? 0 : (*page)[(addr + i) & (kPageSize - 1)];
+    window |= static_cast<std::uint32_t>(byte) << (8 * i);
+  }
+  return window;
 }
 
-void Memory::write64(Addr addr, std::uint64_t value) {
-  write32(addr, static_cast<std::uint32_t>(value));
-  write32(addr + 4, static_cast<std::uint32_t>(value >> 32));
+void Memory::read_block(Addr base, std::span<std::uint8_t> out) const {
+  stats_.bulk_bytes += out.size();
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const Addr addr = base + done;
+    const std::size_t offset = static_cast<std::size_t>(addr) & (kPageSize - 1);
+    const std::size_t chunk = std::min(out.size() - done, kPageSize - offset);
+    const Page* page = find_page(addr >> kPageBits);
+    if (page == nullptr) {
+      std::memset(out.data() + done, 0, chunk);
+    } else {
+      std::memcpy(out.data() + done, page->data() + offset, chunk);
+    }
+    done += chunk;
+  }
+}
+
+void Memory::write_block(Addr base, std::span<const std::uint8_t> bytes) {
+  stats_.bulk_bytes += bytes.size();
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const Addr addr = base + done;
+    const std::size_t offset = static_cast<std::size_t>(addr) & (kPageSize - 1);
+    const std::size_t chunk = std::min(bytes.size() - done, kPageSize - offset);
+    std::memcpy(touch_page(addr >> kPageBits).data() + offset,
+                bytes.data() + done, chunk);
+    done += chunk;
+  }
 }
 
 void Memory::load(Addr base, std::span<const std::uint8_t> bytes) {
-  for (std::size_t i = 0; i < bytes.size(); ++i) {
-    write8(base + i, bytes[i]);
-  }
+  write_block(base, bytes);
 }
 
 void Memory::load_words(Addr base, std::span<const std::uint32_t> words) {
+  std::vector<std::uint8_t> bytes(words.size() * 4);
   for (std::size_t i = 0; i < words.size(); ++i) {
-    write32(base + 4 * i, words[i]);
+    store_le(bytes.data() + 4 * i, words[i]);
   }
+  write_block(base, bytes);
 }
 
 std::vector<std::uint8_t> Memory::dump(Addr base, std::size_t len) const {
   std::vector<std::uint8_t> out(len);
-  for (std::size_t i = 0; i < len; ++i) {
-    out[i] = read8(base + i);
-  }
+  read_block(base, out);
   return out;
 }
 

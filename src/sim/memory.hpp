@@ -3,10 +3,28 @@
 // Backed by 4 KiB pages allocated on first touch, so a 64-bit address space
 // costs only what the workload actually touches.  All accesses are
 // little-endian, matching RISC-V.
+//
+// Hot-path design (this is the floor under simulator throughput):
+//  * every access resolves its page ONCE through a small direct-mapped page
+//    cache (separate instruction/data lanes) in front of the hash map, then
+//    memcpy's within the page — a read64 is one tag compare, not 8 hash
+//    probes;
+//  * accesses that straddle a page boundary take a cold out-of-line path;
+//  * bulk read_block/write_block move whole page spans for image load/dump;
+//  * an access-statistics block counts reads, writes, fetches, page-cache
+//    hits/misses, straddles, and unmapped reads; optional strict mode turns
+//    an unmapped read (which legally returns 0) into an exception so co-sim
+//    fuzzing can detect wild reads.
+//
+// set_fast_path_enabled(false) routes every access byte-by-byte through the
+// hash map — the seed implementation's behaviour — so benchmarks can report
+// honest before/after numbers from one binary.
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -16,6 +34,18 @@
 
 namespace titan::sim {
 
+/// Access-path statistics (cheap monotonic counters, always on).
+struct MemStats {
+  std::uint64_t reads = 0;            ///< Data read calls (any width).
+  std::uint64_t writes = 0;           ///< Write calls (any width).
+  std::uint64_t fetches = 0;          ///< Instruction-window fetches.
+  std::uint64_t page_cache_hits = 0;  ///< Fast-path tag matches.
+  std::uint64_t page_cache_misses = 0;///< Hash-map fills of a cache way.
+  std::uint64_t straddles = 0;        ///< Accesses crossing a page boundary.
+  std::uint64_t unmapped_reads = 0;   ///< Reads of never-written pages.
+  std::uint64_t bulk_bytes = 0;       ///< Bytes moved by block operations.
+};
+
 class Memory {
  public:
   static constexpr std::size_t kPageBits = 12;
@@ -23,42 +53,170 @@ class Memory {
 
   Memory() = default;
 
-  // Non-copyable (pages can be large); movable.
+  // Non-copyable (pages can be large); movable.  Moves invalidate both
+  // objects' page caches: the source's ways would otherwise keep pointing
+  // into pages the destination now owns.
   Memory(const Memory&) = delete;
   Memory& operator=(const Memory&) = delete;
-  Memory(Memory&&) = default;
-  Memory& operator=(Memory&&) = default;
+  Memory(Memory&& other) noexcept { *this = std::move(other); }
+  Memory& operator=(Memory&& other) noexcept {
+    if (this != &other) {
+      pages_ = std::move(other.pages_);
+      stats_ = other.stats_;
+      fast_path_ = other.fast_path_;
+      strict_unmapped_ = other.strict_unmapped_;
+      invalidate_page_cache();
+      other.pages_.clear();
+      other.invalidate_page_cache();
+      other.stats_ = MemStats{};
+    }
+    return *this;
+  }
 
-  [[nodiscard]] std::uint8_t read8(Addr addr) const;
-  [[nodiscard]] std::uint16_t read16(Addr addr) const;
-  [[nodiscard]] std::uint32_t read32(Addr addr) const;
-  [[nodiscard]] std::uint64_t read64(Addr addr) const;
+  [[nodiscard]] std::uint8_t read8(Addr addr) const { return read_le<std::uint8_t>(addr); }
+  [[nodiscard]] std::uint16_t read16(Addr addr) const { return read_le<std::uint16_t>(addr); }
+  [[nodiscard]] std::uint32_t read32(Addr addr) const { return read_le<std::uint32_t>(addr); }
+  [[nodiscard]] std::uint64_t read64(Addr addr) const { return read_le<std::uint64_t>(addr); }
 
-  void write8(Addr addr, std::uint8_t value);
-  void write16(Addr addr, std::uint16_t value);
-  void write32(Addr addr, std::uint32_t value);
-  void write64(Addr addr, std::uint64_t value);
+  void write8(Addr addr, std::uint8_t value) { write_le(addr, value); }
+  void write16(Addr addr, std::uint16_t value) { write_le(addr, value); }
+  void write32(Addr addr, std::uint32_t value) { write_le(addr, value); }
+  void write64(Addr addr, std::uint64_t value) { write_le(addr, value); }
+
+  /// Fetch a 32-bit instruction window at `addr` through the instruction
+  /// lane of the page cache.  The window may overshoot the end of a mapped
+  /// region by two bytes (a compressed instruction only consumes the low
+  /// half); only the page containing `addr` itself counts as an unmapped
+  /// read if absent.
+  [[nodiscard]] std::uint32_t fetch32(Addr addr) const;
+
+  /// Bulk copy out of / into memory, page-by-page.  Unmapped source pages
+  /// read as zero and never count toward unmapped_reads (dumping a sparse
+  /// image is legitimate); destination pages are allocated on demand.
+  void read_block(Addr base, std::span<std::uint8_t> out) const;
+  void write_block(Addr base, std::span<const std::uint8_t> bytes);
 
   /// Bulk-load a binary blob (e.g. an assembled program image).
   void load(Addr base, std::span<const std::uint8_t> bytes);
   void load_words(Addr base, std::span<const std::uint32_t> words);
 
-  /// Copy out a range of bytes (allocating untouched pages as zero).
+  /// Copy out a range of bytes (unmapped pages read as zero).
   [[nodiscard]] std::vector<std::uint8_t> dump(Addr base, std::size_t len) const;
 
   /// Number of pages materialised so far.
   [[nodiscard]] std::size_t page_count() const { return pages_.size(); }
 
   /// Drop all contents.
-  void clear() { pages_.clear(); }
+  void clear() {
+    pages_.clear();
+    invalidate_page_cache();
+  }
+
+  /// Toggle the single-probe page-cache fast path.  Disabled, every access
+  /// degenerates to one hash probe per byte — the seed implementation —
+  /// which benchmarks use as the "before" reference.
+  void set_fast_path_enabled(bool enabled) { fast_path_ = enabled; }
+  [[nodiscard]] bool fast_path_enabled() const { return fast_path_; }
+
+  /// Strict mode: scalar reads of unmapped pages throw std::out_of_range
+  /// instead of silently returning 0 (block reads stay permissive).
+  void set_strict_unmapped(bool strict) { strict_unmapped_ = strict; }
+  [[nodiscard]] bool strict_unmapped() const { return strict_unmapped_; }
+
+  [[nodiscard]] const MemStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = MemStats{}; }
+  [[nodiscard]] std::uint64_t unmapped_reads() const { return stats_.unmapped_reads; }
 
  private:
   using Page = std::array<std::uint8_t, kPageSize>;
 
-  [[nodiscard]] const Page* find_page(Addr addr) const;
-  Page& touch_page(Addr addr);
+  /// Direct-mapped page-cache lanes: instruction fetches and data accesses
+  /// get separate ways so a store-heavy loop cannot evict its own code page.
+  enum Lane : unsigned { kDataLane = 0, kFetchLane = 1 };
+  static constexpr std::size_t kWays = 16;
+  static constexpr Addr kNoPage = ~Addr{0};
+  struct Way {
+    Addr page_no = kNoPage;
+    std::uint8_t* data = nullptr;
+  };
+
+  template <typename T>
+  [[nodiscard]] T read_le(Addr addr) const {
+    ++stats_.reads;
+    const std::size_t offset = static_cast<std::size_t>(addr) & (kPageSize - 1);
+    if (fast_path_ && offset + sizeof(T) <= kPageSize) [[likely]] {
+      const std::uint8_t* page = lookup_read(addr >> kPageBits, kDataLane);
+      if (page != nullptr) [[likely]] {
+        return load_le<T>(page + offset);
+      }
+      note_unmapped(addr);
+      return 0;
+    }
+    return read_cold<T>(addr);
+  }
+
+  template <typename T>
+  void write_le(Addr addr, T value) {
+    ++stats_.writes;
+    const std::size_t offset = static_cast<std::size_t>(addr) & (kPageSize - 1);
+    if (fast_path_ && offset + sizeof(T) <= kPageSize) [[likely]] {
+      store_le(lookup_write(addr >> kPageBits) + offset, value);
+      return;
+    }
+    write_cold(addr, value);
+  }
+
+  template <typename T>
+  [[nodiscard]] static T load_le(const std::uint8_t* src) {
+    if constexpr (std::endian::native == std::endian::little) {
+      T value;
+      std::memcpy(&value, src, sizeof(T));
+      return value;
+    } else {
+      T value = 0;
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        value = static_cast<T>(value | (static_cast<T>(src[i]) << (8 * i)));
+      }
+      return value;
+    }
+  }
+
+  template <typename T>
+  static void store_le(std::uint8_t* dst, T value) {
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(dst, &value, sizeof(T));
+    } else {
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        dst[i] = static_cast<std::uint8_t>(value >> (8 * i));
+      }
+    }
+  }
+
+  /// Resolve a page for reading through the given cache lane; null when the
+  /// page was never written.
+  [[nodiscard]] const std::uint8_t* lookup_read(Addr page_no, Lane lane) const;
+  /// Resolve (allocating on demand) a page for writing through the data lane.
+  [[nodiscard]] std::uint8_t* lookup_write(Addr page_no);
+
+  template <typename T>
+  [[nodiscard]] T read_cold(Addr addr) const;
+  template <typename T>
+  void write_cold(Addr addr, T value);
+
+  [[nodiscard]] std::uint8_t read8_slow(Addr addr) const;
+  void note_unmapped(Addr addr) const;
+  void invalidate_page_cache() const {
+    for (auto& lane : ways_) lane.fill(Way{});
+  }
+
+  [[nodiscard]] const Page* find_page(Addr page_no) const;
+  Page& touch_page(Addr page_no);
 
   std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+  mutable std::array<std::array<Way, kWays>, 2> ways_{};
+  mutable MemStats stats_;
+  bool fast_path_ = true;
+  bool strict_unmapped_ = false;
 };
 
 }  // namespace titan::sim

@@ -18,9 +18,13 @@ void Crossbar::map(Region region, BusTarget& target,
 }
 
 Crossbar::Mapping* Crossbar::lookup(Addr addr) {
-  for (Mapping& mapping : mappings_) {
-    if (mapping.region.contains(addr)) {
-      return &mapping;
+  if (mru_ < mappings_.size() && mappings_[mru_].region.contains(addr)) {
+    return &mappings_[mru_];
+  }
+  for (std::size_t i = 0; i < mappings_.size(); ++i) {
+    if (mappings_[i].region.contains(addr)) {
+      mru_ = i;
+      return &mappings_[i];
     }
   }
   return nullptr;

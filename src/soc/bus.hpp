@@ -103,6 +103,9 @@ class Crossbar {
   std::uint32_t hop_latency_;
   std::vector<Mapping> mappings_;
   std::uint64_t transactions_ = 0;
+  /// Most-recently-hit mapping (index, so vector growth can't dangle it);
+  /// bus traffic is strongly clustered, making the decode scan rare.
+  std::size_t mru_ = SIZE_MAX;
 };
 
 }  // namespace titan::soc

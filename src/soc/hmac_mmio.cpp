@@ -12,6 +12,29 @@ HmacMmio::HmacMmio(Crossbar& data_bus, std::uint64_t device_secret,
       device_secret_(device_secret),
       clock_(std::move(clock)) {}
 
+const crypto::HmacKey& HmacMmio::key_for(std::uint32_t key_sel) {
+  const auto it = key_slots_.find(key_sel);
+  if (it != key_slots_.end()) {
+    return it->second;
+  }
+  // KEY_SEL is guest-writable; bound the cache so firmware cycling through
+  // arbitrary selectors cannot grow host memory without limit (the modelled
+  // hardware has a handful of real slots).
+  if (key_slots_.size() >= kMaxKeySlots) {
+    key_slots_.clear();
+  }
+  // Key slots are derived from the device secret, never visible on the bus.
+  std::vector<std::uint8_t> key(32);
+  sim::SplitMix64 kdf(device_secret_ ^ key_sel);
+  for (std::size_t i = 0; i < key.size(); i += 8) {
+    const std::uint64_t chunk = kdf.next();
+    for (std::size_t j = 0; j < 8; ++j) {
+      key[i + j] = static_cast<std::uint8_t>(chunk >> (8 * j));
+    }
+  }
+  return key_slots_.emplace(key_sel, crypto::HmacKey(key)).first->second;
+}
+
 void HmacMmio::start() {
   ++starts_;
   // DMA the source buffer (hardware engine: does not cost core cycles).
@@ -19,16 +42,7 @@ void HmacMmio::start() {
   for (std::uint32_t i = 0; i < len_; ++i) {
     buffer[i] = static_cast<std::uint8_t>(data_bus_.read(src_ + i, 1).value);
   }
-  // Key slots are derived from the device secret, never visible on the bus.
-  std::vector<std::uint8_t> key(32);
-  sim::SplitMix64 kdf(device_secret_ ^ key_sel_);
-  for (std::size_t i = 0; i < key.size(); i += 8) {
-    const std::uint64_t chunk = kdf.next();
-    for (std::size_t j = 0; j < 8; ++j) {
-      key[i + j] = static_cast<std::uint8_t>(chunk >> (8 * j));
-    }
-  }
-  const auto result = engine_.mac_accounted(key, buffer);
+  const auto result = engine_.mac_accounted(key_for(key_sel_), buffer);
   digest_ = result.digest;
   done_at_ = clock_() + result.cycles;
 }

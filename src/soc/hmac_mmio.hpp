@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 
 #include "crypto/accel.hpp"
 #include "soc/bus.hpp"
@@ -45,11 +46,17 @@ class HmacMmio final : public BusTarget {
 
  private:
   void start();
+  [[nodiscard]] const crypto::HmacKey& key_for(std::uint32_t key_sel);
 
   Crossbar& data_bus_;
   std::uint64_t device_secret_;
   ClockFn clock_;
   crypto::HmacAccel engine_;
+  /// Key slots derived from the device secret are immutable, so their
+  /// ipad/opad midstates are computed once per slot, not per log.  Bounded:
+  /// KEY_SEL is an arbitrary guest value, not a cache key to trust.
+  static constexpr std::size_t kMaxKeySlots = 16;
+  std::unordered_map<std::uint32_t, crypto::HmacKey> key_slots_;
 
   std::uint32_t src_ = 0;
   std::uint32_t len_ = 0;

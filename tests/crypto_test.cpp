@@ -164,5 +164,64 @@ TEST(HmacAccel, AccountingAccumulates) {
   EXPECT_EQ(accel.total_cycles(), first.cycles + second.cycles);
 }
 
+// ---- Precomputed ipad/opad midstates (HmacKey) -------------------------------
+
+TEST(HmacKey, MatchesOneShotOnRfc4231Vectors) {
+  {
+    const std::vector<std::uint8_t> key(20, 0x0b);
+    EXPECT_EQ(to_hex(HmacKey(key).mac(bytes("Hi There"))),
+              to_hex(hmac_sha256(key, bytes("Hi There"))));
+  }
+  {
+    const HmacKey key(bytes("Jefe"));
+    EXPECT_EQ(to_hex(key.mac(bytes("what do ya want for nothing?"))),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+  }
+}
+
+TEST(HmacKey, LongKeyIsHashedFirst) {
+  const std::vector<std::uint8_t> key(131, 0xaa);  // > 64-byte block.
+  const auto message = bytes("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(HmacKey(key).mac(message), hmac_sha256(key, message));
+}
+
+TEST(HmacKey, ReusedKeyMatchesAcrossMessageLengths) {
+  sim::Rng rng(99);
+  std::vector<std::uint8_t> key(32);
+  for (auto& byte : key) byte = static_cast<std::uint8_t>(rng.next());
+  const HmacKey prepared(key);
+  for (const std::size_t len : {0u, 1u, 55u, 56u, 63u, 64u, 65u, 200u, 4096u}) {
+    std::vector<std::uint8_t> message(len);
+    for (auto& byte : message) byte = static_cast<std::uint8_t>(rng.next());
+    EXPECT_EQ(prepared.mac(message), hmac_sha256(key, message)) << len;
+  }
+}
+
+TEST(Sha256, MidstateSeedResumesExactly) {
+  sim::Rng rng(5);
+  std::vector<std::uint8_t> message(256);
+  for (auto& byte : message) byte = static_cast<std::uint8_t>(rng.next());
+  // Capture the midstate after the first two blocks, then resume a second
+  // hasher from it; the digests must agree bit-for-bit.
+  Sha256 first;
+  first.update(std::span(message).first(128));
+  const Sha256State mid = first.midstate();
+  Sha256 resumed;
+  resumed.seed(mid, 128);
+  resumed.update(std::span(message).subspan(128));
+  EXPECT_EQ(resumed.finish(), Sha256::hash(message));
+}
+
+TEST(HmacAccel, PreparedKeyCostsAndDigestsMatch) {
+  HmacAccel accel;
+  const auto key_bytes = bytes("device-secret-slot-0");
+  const HmacKey key(key_bytes);
+  const std::vector<std::uint8_t> message(192, 0x5A);
+  const auto via_key = accel.mac(key, message);
+  const auto via_bytes = accel.mac(key_bytes, message);
+  EXPECT_TRUE(digest_equal(via_key.digest, via_bytes.digest));
+  EXPECT_EQ(via_key.cycles, via_bytes.cycles);  // Same modelled hardware cost.
+}
+
 }  // namespace
 }  // namespace titan::crypto

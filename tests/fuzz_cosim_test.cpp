@@ -17,11 +17,16 @@ namespace {
 std::uint64_t bare_exit(const rv::Image& image) {
   sim::Memory memory;
   memory.load(image.base, image.bytes);
+  // Strict mode: a wild read of unmapped memory (which the permissive mode
+  // silently satisfies with zero) aborts the run instead of being masked.
+  // Well-formed generated programs never read memory they did not write.
+  memory.set_strict_unmapped(true);
   cva6::Cva6Config config;
   config.reset_pc = image.base;
   cva6::Cva6Core core(config, memory);
   core.set_trace_enabled(false);
   core.run_baseline();
+  EXPECT_EQ(memory.unmapped_reads(), 0u);
   return core.exit_code();
 }
 
@@ -47,6 +52,10 @@ TEST_P(CosimFuzzTest, CleanProgramsHaveNoFalsePositives) {
   EXPECT_EQ(result.violations, 0u);
   EXPECT_EQ(result.exit_code, bare_exit(program));
   EXPECT_GT(result.cf_logs, 0u);
+  // No component of the CFI machinery may have issued stray host-memory
+  // reads: the counter that used to be silently masked by read8's zero
+  // return must stay at zero for clean runs.
+  EXPECT_EQ(soc.host_memory().unmapped_reads(), 0u);
 }
 
 TEST_P(CosimFuzzTest, InjectedRopIsAlwaysCaught) {

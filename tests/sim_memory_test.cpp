@@ -91,5 +91,190 @@ TEST(Memory, ClearDropsEverything) {
   EXPECT_EQ(mem.page_count(), 0u);
 }
 
+// ---- Fast-path / page-straddle coverage ------------------------------------
+
+TEST(Memory, PageStraddlingReadsAllWidths) {
+  Memory mem;
+  // Fill two adjacent pages with a byte pattern, then read across the seam
+  // at every offset a multi-byte access could straddle it.
+  for (Addr a = Memory::kPageSize - 8; a < Memory::kPageSize + 8; ++a) {
+    mem.write8(a, static_cast<std::uint8_t>(a * 37 + 11));
+  }
+  auto expect_le = [&](Addr base, unsigned n) {
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(mem.read8(base + i)) << (8 * i);
+    }
+    return v;
+  };
+  for (Addr a = Memory::kPageSize - 8; a < Memory::kPageSize; ++a) {
+    EXPECT_EQ(mem.read16(a), expect_le(a, 2)) << a;
+    EXPECT_EQ(mem.read32(a), expect_le(a, 4)) << a;
+    EXPECT_EQ(mem.read64(a), expect_le(a, 8)) << a;
+  }
+  EXPECT_GT(mem.stats().straddles, 0u);
+}
+
+TEST(Memory, PageStraddlingWritesAllWidths) {
+  for (unsigned width : {2u, 4u, 8u}) {
+    for (unsigned back = 1; back < width; ++back) {
+      Memory mem;
+      const Addr addr = Memory::kPageSize - back;
+      const std::uint64_t value = 0xF1E2D3C4B5A69788ULL;
+      switch (width) {
+        case 2: mem.write16(addr, static_cast<std::uint16_t>(value)); break;
+        case 4: mem.write32(addr, static_cast<std::uint32_t>(value)); break;
+        default: mem.write64(addr, value); break;
+      }
+      for (unsigned i = 0; i < width; ++i) {
+        EXPECT_EQ(mem.read8(addr + i),
+                  static_cast<std::uint8_t>(value >> (8 * i)))
+            << "width " << width << " back " << back << " byte " << i;
+      }
+      EXPECT_EQ(mem.page_count(), 2u);
+    }
+  }
+}
+
+// Property: the fast path and the seed-equivalent slow path are
+// indistinguishable over random mixed-width traffic.
+TEST(Memory, FastAndSlowPathsAgree) {
+  Memory fast;
+  Memory slow;
+  slow.set_fast_path_enabled(false);
+  Rng rng(2024);
+  for (int i = 0; i < 20000; ++i) {
+    // Cluster around page boundaries to exercise straddles.
+    const Addr page = static_cast<Addr>(rng.uniform(0, 8)) << Memory::kPageBits;
+    const Addr addr = page + rng.uniform(0, 16) - 8 + Memory::kPageSize;
+    const std::uint64_t value = rng.next();
+    switch (rng.uniform(0, 4)) {
+      case 0: fast.write8(addr, static_cast<std::uint8_t>(value));
+              slow.write8(addr, static_cast<std::uint8_t>(value)); break;
+      case 1: fast.write16(addr, static_cast<std::uint16_t>(value));
+              slow.write16(addr, static_cast<std::uint16_t>(value)); break;
+      case 2: fast.write32(addr, static_cast<std::uint32_t>(value));
+              slow.write32(addr, static_cast<std::uint32_t>(value)); break;
+      default: fast.write64(addr, value); slow.write64(addr, value); break;
+    }
+    const Addr raddr = page + rng.uniform(0, 16) - 8 + Memory::kPageSize;
+    ASSERT_EQ(fast.read64(raddr), slow.read64(raddr));
+    ASSERT_EQ(fast.read16(raddr + 1), slow.read16(raddr + 1));
+  }
+}
+
+// ---- Unmapped-read accounting / strict mode ---------------------------------
+
+TEST(Memory, UnmappedReadsAreCounted) {
+  Memory mem;
+  EXPECT_EQ(mem.read64(0x5000), 0u);
+  EXPECT_EQ(mem.unmapped_reads(), 1u);
+  mem.write8(0x5000, 1);
+  (void)mem.read64(0x5000);
+  EXPECT_EQ(mem.unmapped_reads(), 1u);  // Now mapped: no new events.
+}
+
+TEST(Memory, StrictModeThrowsOnUnmappedRead) {
+  Memory mem;
+  mem.set_strict_unmapped(true);
+  mem.write8(0x100, 7);
+  EXPECT_EQ(mem.read8(0x100), 7u);   // Mapped reads unaffected.
+  EXPECT_EQ(mem.read32(0xF00), 0u);  // Same page: mapped, zero-filled.
+  EXPECT_THROW((void)mem.read8(0x10'0000), std::out_of_range);
+  EXPECT_THROW((void)mem.read64(0x20'0000), std::out_of_range);
+  mem.set_strict_unmapped(false);
+  EXPECT_EQ(mem.read8(0x10'0000), 0u);  // Back to permissive zero-fill.
+}
+
+TEST(Memory, BlockOpsAreExemptFromStrictMode) {
+  Memory mem;
+  mem.set_strict_unmapped(true);
+  const auto sparse = mem.dump(0x8000, 64);  // Dumping sparse space is legal.
+  EXPECT_EQ(sparse, std::vector<std::uint8_t>(64, 0));
+  EXPECT_EQ(mem.unmapped_reads(), 0u);
+}
+
+// ---- Bulk block operations ---------------------------------------------------
+
+TEST(Memory, BlockRoundTripAcrossPages) {
+  Memory mem;
+  std::vector<std::uint8_t> blob(3 * Memory::kPageSize + 123);
+  Rng rng(7);
+  for (auto& byte : blob) byte = static_cast<std::uint8_t>(rng.next());
+  const Addr base = Memory::kPageSize - 57;  // Misaligned, multi-page.
+  mem.write_block(base, blob);
+  EXPECT_EQ(mem.dump(base, blob.size()), blob);
+  // Spot-check against scalar reads.
+  EXPECT_EQ(mem.read8(base), blob[0]);
+  EXPECT_EQ(mem.read8(base + blob.size() - 1), blob.back());
+}
+
+TEST(Memory, ReadBlockZeroFillsUnmappedGaps) {
+  Memory mem;
+  mem.write8(0x10, 0xAA);
+  mem.write8(Memory::kPageSize + 0x10, 0xBB);
+  std::vector<std::uint8_t> out(2 * Memory::kPageSize);
+  mem.read_block(0, out);
+  EXPECT_EQ(out[0x10], 0xAA);
+  EXPECT_EQ(out[Memory::kPageSize + 0x10], 0xBB);
+  EXPECT_EQ(out[0x11], 0);
+}
+
+// ---- Instruction-window fetch ------------------------------------------------
+
+TEST(Memory, Fetch32ReadsWindow) {
+  Memory mem;
+  mem.write32(0x100, 0x00A50513);  // addi a0, a0, 10
+  EXPECT_EQ(mem.fetch32(0x100), 0x00A50513u);
+  EXPECT_EQ(mem.stats().fetches, 1u);
+}
+
+TEST(Memory, Fetch32StraddlesPages) {
+  Memory mem;
+  const Addr addr = Memory::kPageSize - 2;
+  mem.write16(addr, 0x4501);       // Low half on page 0...
+  mem.write16(addr + 2, 0x9302);   // ...high half on page 1.
+  EXPECT_EQ(mem.fetch32(addr), 0x93024501u);
+}
+
+TEST(Memory, Fetch32OvershootDoesNotCountUnmapped) {
+  Memory mem;
+  // A compressed instruction in the last halfword of the only mapped page:
+  // the window overshoots into unmapped space, which must read as zero and
+  // not trip the wild-read accounting (the low half decides validity).
+  mem.set_strict_unmapped(true);
+  const Addr addr = Memory::kPageSize - 2;
+  mem.write16(addr, 0x4501);
+  EXPECT_EQ(mem.fetch32(addr), 0x4501u);
+  EXPECT_EQ(mem.unmapped_reads(), 0u);
+  // But a fetch of a fully unmapped pc does count (and throws when strict).
+  EXPECT_THROW((void)mem.fetch32(0x70'0000), std::out_of_range);
+}
+
+TEST(Memory, MoveInvalidatesSourcePageCache) {
+  Memory a;
+  a.write64(0x1000, 1);
+  (void)a.read64(0x1000);  // Warm a's page-cache ways.
+  Memory b = std::move(a);
+  EXPECT_EQ(b.read64(0x1000), 1u);
+  // The moved-from object must not alias b's pages through stale ways.
+  a.write64(0x1000, 2);
+  EXPECT_EQ(b.read64(0x1000), 1u);
+  EXPECT_EQ(a.read64(0x1000), 2u);
+  EXPECT_EQ(a.page_count(), 1u);
+}
+
+TEST(Memory, StatsTrackPageCacheEffectiveness) {
+  Memory mem;
+  mem.write64(0x1000, 1);
+  mem.reset_stats();
+  for (int i = 0; i < 100; ++i) {
+    (void)mem.read64(0x1000);
+  }
+  EXPECT_EQ(mem.stats().reads, 100u);
+  // First access may miss the (cold, just-reset) cache; the rest must hit.
+  EXPECT_GE(mem.stats().page_cache_hits, 99u);
+}
+
 }  // namespace
 }  // namespace titan::sim
