@@ -10,9 +10,19 @@
 //     every fetch;
 //   * crypto::HmacKey vs. per-call key scheduling — 4 vs 2 compressions.
 //
-//   bench_micro                  # full google-benchmark suite + JSON report
-//   bench_micro --pr1_only       # JSON report only (CI smoke)
-//   bench_micro --pr1_json=PATH  # report destination (default BENCH_PR1.json)
+//   bench_micro                  # full google-benchmark suite + JSON reports
+//   bench_micro --pr1_only       # PR-1 report only (CI smoke)
+//   bench_micro --pr1_json=PATH  # PR-1 report destination (BENCH_PR1.json)
+//
+// PR-2 report (BENCH_PR2.json): the full Table III sweep run serially and
+// through the thread-pooled sim::SweepRunner (wall-clock + bitwise
+// determinism check), plus the batched commit-log drain before/after
+// (doorbells per log at burst 1 vs 8, with and without the burst MAC) and
+// the Table I per-op costs in one-at-a-time mode as the
+// reproduction-unchanged witness:
+//   bench_micro --pr2_only       # PR-2 report only
+//   bench_micro --pr2_json=PATH  # PR-2 report destination (BENCH_PR2.json)
+//   bench_micro --threads=N      # sweep worker threads (default: hardware)
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -27,6 +37,7 @@
 #include "crypto/sha256.hpp"
 #include "cva6/core.hpp"
 #include "firmware/builder.hpp"
+#include "firmware/table1.hpp"
 #include "ibex/core.hpp"
 #include "rv/assembler.hpp"
 #include "rv/decode.hpp"
@@ -34,8 +45,10 @@
 #include "sim/fifo.hpp"
 #include "sim/memory.hpp"
 #include "sim/rng.hpp"
+#include "sim/sweep.hpp"
 #include "soc/bus.hpp"
 #include "titancfi/overhead_model.hpp"
+#include "titancfi/soc_top.hpp"
 #include "workloads/embench.hpp"
 #include "workloads/programs.hpp"
 
@@ -438,11 +451,173 @@ bool run_pr1_report(const std::string& path) {
   return true;
 }
 
+// ---- PR-2 report: sweep engine + batched drain ------------------------------
+
+/// One Table III point: calibrate the trace generator and replay the three
+/// firmware latencies.  This is the unit of work the sweep engine shards.
+struct SweepRow {
+  double opt = 0, poll = 0, irq = 0;
+
+  bool operator==(const SweepRow&) const = default;
+};
+
+std::vector<SweepRow> run_table_sweep(unsigned threads, double* seconds) {
+  titan::sim::SweepOptions options;
+  options.threads = threads;
+  titan::sim::SweepRunner runner(options);
+  const auto& table = titan::workloads::benchmark_table();
+  const auto start = Clock::now();
+  auto rows = runner.run<SweepRow>(table.size(), [&table](std::size_t index) {
+    const auto& stats = table[index];
+    const auto params = titan::workloads::calibrate(stats);
+    const auto measure = [&](std::uint32_t latency) {
+      const auto cf = titan::workloads::synthesize_cf_cycles(stats, params);
+      titan::cfi::OverheadConfig config;
+      config.queue_depth = 8;
+      config.check_latency = latency;
+      config.transport_cycles = 0;
+      return titan::cfi::simulate_cf_cycles(
+                 cf, static_cast<titan::sim::Cycle>(stats.cycles), config)
+          .slowdown_percent();
+    };
+    SweepRow row;
+    row.opt = measure(titan::workloads::kOptimizedLatency);
+    row.poll = measure(titan::workloads::kPollingLatency);
+    row.irq = measure(titan::workloads::kIrqLatency);
+    return row;
+  });
+  *seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return rows;
+}
+
+struct DrainPoint {
+  titan::cfi::SocRunResult result;
+  std::vector<titan::cfi::CommitLog> stream;
+};
+
+DrainPoint run_drain(unsigned burst, bool mac) {
+  titan::fw::FirmwareConfig fw_config;
+  fw_config.batch_capacity = burst;
+  fw_config.batch_mac = mac;
+  titan::cfi::SocConfig config;
+  config.queue_depth = 8;
+  config.drain_burst = burst;
+  config.mac_batches = mac;
+  titan::cfi::SocTop soc(config, titan::workloads::fib_recursive(10),
+                         titan::fw::build_firmware(fw_config));
+  DrainPoint point;
+  soc.log_writer().set_log_capture(
+      [&point](const titan::cfi::CommitLog& log) {
+        point.stream.push_back(log);
+      });
+  point.result = soc.run();
+  return point;
+}
+
+void emit_drain_point(titan::sim::JsonWriter& json, std::string_view key,
+                      const DrainPoint& point) {
+  const auto& r = point.result;
+  json.begin_object(key)
+      .field("cf_logs", r.cf_logs)
+      .field("doorbells", r.doorbells)
+      .field("batches", r.batches)
+      .field("max_batch", static_cast<std::uint64_t>(r.max_batch))
+      .field("cycles", static_cast<std::uint64_t>(r.cycles))
+      .field("doorbells_per_log",
+             static_cast<double>(r.doorbells) / static_cast<double>(r.cf_logs))
+      .end_object();
+}
+
+bool run_pr2_report(const std::string& path, unsigned threads) {
+  if (threads == 0) {
+    threads = titan::sim::SweepRunner::hardware_threads();
+  }
+  std::cerr << "[pr2] table sweep, serial reference...\n";
+  double serial_seconds = 0;
+  const auto serial = run_table_sweep(1, &serial_seconds);
+  std::cerr << "[pr2] table sweep, " << threads << " thread(s)...\n";
+  double parallel_seconds = 0;
+  const auto parallel = run_table_sweep(threads, &parallel_seconds);
+  const bool deterministic = serial == parallel;
+
+  std::cerr << "[pr2] batched drain before/after (fib(10))...\n";
+  const DrainPoint burst1 = run_drain(1, false);
+  const DrainPoint burst8 = run_drain(8, false);
+  const DrainPoint burst8_mac = run_drain(8, true);
+  const bool stream_identical =
+      burst1.stream == burst8.stream && burst1.stream == burst8_mac.stream;
+
+  std::cerr << "[pr2] Table I per-op costs (one-at-a-time mode witness)...\n";
+  using titan::fw::OpCase;
+  using titan::fw::RotVariant;
+  const auto op_cycles = [](RotVariant variant, OpCase op) {
+    return static_cast<std::uint64_t>(
+        titan::fw::measure_policy_cost(variant, op).total().cycles);
+  };
+
+  titan::sim::JsonWriter json;
+  json.begin_object()
+      .field("pr", 2)
+      .field("description",
+             std::string_view{
+                 "batched commit-log drain + thread-pooled sweep engine"})
+      .field("hardware_threads", titan::sim::SweepRunner::hardware_threads());
+  json.begin_object("sweep")
+      .field("points",
+             static_cast<std::uint64_t>(
+                 titan::workloads::benchmark_table().size()))
+      .field("threads", threads)
+      .field("serial_seconds", serial_seconds)
+      .field("parallel_seconds", parallel_seconds)
+      .field("speedup", parallel_seconds > 0
+                            ? serial_seconds / parallel_seconds
+                            : 0.0)
+      .field("deterministic", deterministic)
+      .end_object();
+  json.begin_object("batched_drain")
+      .field("workload", std::string_view{"fib_recursive(10)"});
+  emit_drain_point(json, "burst1", burst1);
+  emit_drain_point(json, "burst8", burst8);
+  emit_drain_point(json, "burst8_mac", burst8_mac);
+  const double reduction =
+      static_cast<double>(burst1.result.doorbells) /
+      static_cast<double>(burst8.result.doorbells);
+  json.field("doorbell_reduction_burst8", reduction)
+      .field("stream_identical", stream_identical)
+      .end_object();
+  json.begin_object("table1_cycles_single_mode")
+      .field("irq_call", op_cycles(RotVariant::kIrq, OpCase::kCall))
+      .field("irq_ret", op_cycles(RotVariant::kIrq, OpCase::kReturn))
+      .field("polling_call", op_cycles(RotVariant::kPolling, OpCase::kCall))
+      .field("polling_ret", op_cycles(RotVariant::kPolling, OpCase::kReturn))
+      .field("optimized_call",
+             op_cycles(RotVariant::kOptimized, OpCase::kCall))
+      .field("optimized_ret",
+             op_cycles(RotVariant::kOptimized, OpCase::kReturn))
+      .end_object();
+  json.end_object();
+  if (!json.write_file(path)) {
+    std::cerr << "[pr2] error: cannot open '" << path << "' for writing\n";
+    return false;
+  }
+  std::cerr << "[pr2] sweep speedup:      " << serial_seconds / parallel_seconds
+            << "x on " << threads << " thread(s) (deterministic: "
+            << (deterministic ? "yes" : "NO") << ")\n"
+            << "[pr2] doorbell reduction: " << reduction
+            << "x at burst 8 (stream identical: "
+            << (stream_identical ? "yes" : "NO") << ")\n"
+            << "[pr2] wrote " << path << "\n";
+  return deterministic && stream_identical;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_PR1.json";
+  std::string pr2_json_path = "BENCH_PR2.json";
   bool pr1_only = false;
+  bool pr2_only = false;
+  unsigned threads = 0;  // 0 = hardware concurrency
   // Peel off our flags; everything else goes to google-benchmark.
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
@@ -450,14 +625,21 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--pr1_only") {
       pr1_only = true;
+    } else if (arg == "--pr2_only") {
+      pr2_only = true;
     } else if (arg.rfind("--pr1_json=", 0) == 0) {
       json_path = arg.substr(std::strlen("--pr1_json="));
+    } else if (arg.rfind("--pr2_json=", 0) == 0) {
+      pr2_json_path = arg.substr(std::strlen("--pr2_json="));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<unsigned>(
+          std::strtoul(arg.c_str() + std::strlen("--threads="), nullptr, 10));
     } else {
       passthrough.push_back(argv[i]);
     }
   }
   int pass_argc = static_cast<int>(passthrough.size());
-  if (!pr1_only) {
+  if (!pr1_only && !pr2_only) {
     ::benchmark::Initialize(&pass_argc, passthrough.data());
     if (::benchmark::ReportUnrecognizedArguments(pass_argc,
                                                  passthrough.data())) {
@@ -466,5 +648,13 @@ int main(int argc, char** argv) {
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
   }
-  return run_pr1_report(json_path) ? 0 : 1;
+  if (pr2_only) {
+    return run_pr2_report(pr2_json_path, threads) ? 0 : 1;
+  }
+  if (pr1_only) {
+    return run_pr1_report(json_path) ? 0 : 1;
+  }
+  const bool pr1_ok = run_pr1_report(json_path);
+  const bool pr2_ok = run_pr2_report(pr2_json_path, threads);
+  return pr1_ok && pr2_ok ? 0 : 1;
 }

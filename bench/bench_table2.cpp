@@ -6,10 +6,16 @@
 // Columns: the comparators' reported numbers, our behavioural models of the
 // comparators, and TitanCFI's Optimized / Polling / IRQ firmware through the
 // trace-driven overhead model on calibrated synthetic traces.
+//
+// Each benchmark row is an independent simulation point sharded through
+// sim::SweepRunner:
+//   bench_table2 [--threads=N] [--json=PATH]
+#include <chrono>
 #include <iomanip>
 #include <iostream>
 
 #include "baselines/baselines.hpp"
+#include "sim/sweep.hpp"
 #include "titancfi/overhead_model.hpp"
 #include "workloads/embench.hpp"
 
@@ -43,9 +49,53 @@ double ours(const BenchmarkStats& stats,
       .slowdown_percent();
 }
 
+struct Row {
+  const BenchmarkStats* stats = nullptr;
+  double dexie_model = 0;
+  double fixer_model = 0;
+  double opt = 0;
+  double poll = 0;
+  double irq = 0;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const titan::sim::SweepCli cli = titan::sim::parse_sweep_cli(argc, argv);
+  titan::sim::SweepOptions sweep_options;
+  sweep_options.threads = cli.threads;
+  titan::sim::SweepRunner runner(sweep_options);
+
+  std::vector<const BenchmarkStats*> selected;
+  for (const BenchmarkStats& stats : titan::workloads::benchmark_table()) {
+    if (stats.in_table2()) {
+      selected.push_back(&stats);
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<Row> rows = runner.run<Row>(
+      selected.size(), [&selected](std::size_t index) {
+        const BenchmarkStats& stats = *selected[index];
+        const auto params = titan::workloads::calibrate(stats);
+        const titan::baselines::TraceStats trace_stats{
+            static_cast<std::uint64_t>(stats.cycles),
+            static_cast<std::uint64_t>(stats.cf_count)};
+        titan::baselines::DexieModel dexie;
+        titan::baselines::FixerModel fixer;
+        Row row;
+        row.stats = &stats;
+        row.dexie_model = dexie.slowdown_percent(trace_stats);
+        row.fixer_model = fixer.slowdown_percent(trace_stats);
+        row.opt = ours(stats, params, titan::workloads::kOptimizedLatency);
+        row.poll = ours(stats, params, titan::workloads::kPollingLatency);
+        row.irq = ours(stats, params, titan::workloads::kIrqLatency);
+        return row;
+      });
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
   std::cout << "TABLE II — Runtime slowdown comparison with DExIE [8] and "
                "FIXER [6]  (CFI queue depth 1, slowdown %)\n\n";
   std::cout << std::left << std::setw(14) << "benchmark" << std::right
@@ -54,39 +104,22 @@ int main() {
             << std::setw(8) << "Opt." << std::setw(8) << "Poll."
             << std::setw(8) << "IRQ" << "\n";
 
-  titan::baselines::DexieModel dexie;
-  titan::baselines::FixerModel fixer;
-
-  for (const BenchmarkStats& stats : titan::workloads::benchmark_table()) {
-    if (!stats.in_table2()) {
-      continue;
-    }
-    const auto params = titan::workloads::calibrate(stats);
-    const titan::baselines::TraceStats trace_stats{
-        static_cast<std::uint64_t>(stats.cycles),
-        static_cast<std::uint64_t>(stats.cf_count)};
-
+  for (const Row& row : rows) {
+    const BenchmarkStats& stats = *row.stats;
     const auto dexie_rep = titan::baselines::dexie_reported(stats.name);
     const auto fixer_rep = titan::baselines::fixer_reported(stats.name);
     std::cout << std::left << std::setw(14) << stats.name << std::right
               << std::setw(10) << fmt_opt(dexie_rep) << std::setw(10)
-              << (dexie_rep ? fmt(dexie.slowdown_percent(trace_stats)) : "n.a.")
-              << std::setw(10) << fmt_opt(fixer_rep) << std::setw(10)
-              << (fixer_rep ? fmt(fixer.slowdown_percent(trace_stats)) : "n.a.")
-              << std::setw(8)
-              << fmt(ours(stats, params, titan::workloads::kOptimizedLatency))
-              << std::setw(8)
-              << fmt(ours(stats, params, titan::workloads::kPollingLatency))
-              << std::setw(8)
-              << fmt(ours(stats, params, titan::workloads::kIrqLatency))
-              << "\n";
+              << (dexie_rep ? fmt(row.dexie_model) : "n.a.") << std::setw(10)
+              << fmt_opt(fixer_rep) << std::setw(10)
+              << (fixer_rep ? fmt(row.fixer_model) : "n.a.") << std::setw(8)
+              << fmt(row.opt) << std::setw(8) << fmt(row.poll) << std::setw(8)
+              << fmt(row.irq) << "\n";
   }
 
   std::cout << "\n  Paper values for TitanCFI columns (Opt/Poll/IRQ):\n";
-  for (const BenchmarkStats& stats : titan::workloads::benchmark_table()) {
-    if (!stats.in_table2()) {
-      continue;
-    }
+  for (const Row& row : rows) {
+    const BenchmarkStats& stats = *row.stats;
     const auto show = [](double value) {
       return value <= -2 ? std::string("n.a.")
              : value < 0 ? std::string("-")
@@ -98,5 +131,33 @@ int main() {
   }
   std::cout << "\n  Shape: TitanCFI beats DExIE's ~47-48% on 3 of 4 EmBench "
                "rows; dhrystone remains the outlier, as in the paper.\n";
+  std::cout << "  Sweep: " << rows.size() << " points on " << runner.threads()
+            << " thread(s) in " << std::fixed << std::setprecision(2)
+            << seconds << "s\n";
+
+  if (!cli.json_path.empty()) {
+    titan::sim::JsonWriter json;
+    json.begin_object()
+        .field("bench", std::string_view{"table2"})
+        .field("threads", runner.threads())
+        .field("points", static_cast<std::uint64_t>(rows.size()))
+        .field("seconds", seconds)
+        .begin_array("rows");
+    for (const Row& row : rows) {
+      json.begin_object()
+          .field("name", row.stats->name)
+          .field("dexie_model", row.dexie_model)
+          .field("fixer_model", row.fixer_model)
+          .field("opt", row.opt)
+          .field("poll", row.poll)
+          .field("irq", row.irq)
+          .end_object();
+    }
+    json.end_array().end_object();
+    if (!json.write_file(cli.json_path)) {
+      std::cerr << "cannot write " << cli.json_path << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

@@ -51,7 +51,7 @@ void Cva6Core::issue_one() {
 
   // One instruction-lane page probe yields the whole fetch window; the
   // decode cache skips rv::decode whenever the window's encoding matches.
-  const std::uint32_t window = memory_.fetch32(pc_);
+  const std::uint32_t window = fetch_window(pc_);
   rv::Inst uncached;
   const rv::Inst* decoded;
   if (decode_cache_enabled_) {
@@ -85,6 +85,17 @@ void Cva6Core::issue_one() {
   rob_entry.ready = issue_ready_ + latency - 1;
   issue_ready_ += latency;
   rob_.push_back(rob_entry);
+}
+
+std::uint32_t Cva6Core::fetch_window(std::uint64_t pc) {
+  std::uint32_t window;
+  if (fetch_cache_.lookup(pc, &window) ||
+      fetch_cache_.refill(memory_, pc, &window)) [[likely]] {
+    return window;
+  }
+  // Page straddle, unmapped page, or seed-mode memory: the full probe also
+  // handles strict-mode accounting.
+  return memory_.fetch32(pc);
 }
 
 void Cva6Core::execute(const rv::Inst& inst, ScoreboardEntry& entry) {
@@ -264,19 +275,58 @@ void Cva6Core::retire(unsigned count) {
     ++stall_cycles_;
   }
   for (unsigned i = 0; i < count; ++i) {
-    const ScoreboardEntry& entry = rob_.front().entry;
     if (trace_enabled_) {
-      CommitRecord record;
-      record.cycle = cycle_;
-      record.pc = entry.pc;
-      record.encoding = entry.inst.expanded;
-      record.kind = entry.kind;
-      record.next_pc = entry.next_pc;
-      record.target = entry.target;
-      trace_.push_back(record);
+      record_commit(rob_.front().entry);
     }
     rob_.pop_front();
   }
+}
+
+void Cva6Core::record_commit(const ScoreboardEntry& entry) {
+  CommitRecord record;
+  record.cycle = cycle_;
+  record.pc = entry.pc;
+  record.encoding = entry.inst.expanded;
+  record.kind = entry.kind;
+  record.next_pc = entry.next_pc;
+  record.target = entry.target;
+  if (trace_ring_capacity_ == 0) {
+    trace_.push_back(record);
+    return;
+  }
+  if (trace_.size() < trace_ring_capacity_) {
+    trace_.push_back(record);
+    return;
+  }
+  // Ring full: overwrite the oldest record in place, bounded memory.
+  trace_[trace_ring_head_] = record;
+  trace_ring_head_ = (trace_ring_head_ + 1) % trace_ring_capacity_;
+  ++trace_dropped_;
+}
+
+void Cva6Core::set_trace_ring_capacity(std::size_t capacity) {
+  trace_ring_capacity_ = capacity;
+  trace_ring_head_ = 0;
+  trace_dropped_ = 0;
+  trace_.clear();
+  if (capacity != 0) {
+    trace_.reserve(capacity);
+  }
+}
+
+std::vector<CommitRecord> Cva6Core::ordered_trace() const {
+  std::vector<CommitRecord> ordered;
+  ordered.reserve(trace_.size());
+  if (trace_ring_capacity_ == 0 || trace_.size() < trace_ring_capacity_) {
+    ordered = trace_;
+    return ordered;
+  }
+  // The ring wrapped: oldest record sits at the head cursor.
+  ordered.insert(ordered.end(), trace_.begin() + static_cast<std::ptrdiff_t>(trace_ring_head_),
+                 trace_.end());
+  ordered.insert(ordered.end(), trace_.begin(),
+                 trace_.begin() + static_cast<std::ptrdiff_t>(trace_ring_head_));
+  return ordered;
 }
 
 void Cva6Core::tick() {

@@ -83,10 +83,24 @@ class Cva6Core {
   }
   [[nodiscard]] std::uint64_t pc() const { return pc_; }
 
-  /// Cycle-stamped trace of every retired instruction.
+  /// Cycle-stamped trace of every retired instruction.  In ring mode the
+  /// underlying storage is a circular buffer — use ordered_trace() for the
+  /// records in retirement order once the capacity may have been exceeded.
   [[nodiscard]] const std::vector<CommitRecord>& trace() const { return trace_; }
   /// Discard the trace (long co-sim runs that only need statistics).
   void set_trace_enabled(bool enabled) { trace_enabled_ = enabled; }
+
+  /// Bound trace memory: keep only the last `capacity` retired records in a
+  /// ring buffer (0 restores the default unbounded vector).  Long sweep
+  /// workloads retire hundreds of millions of instructions; an unbounded
+  /// `std::vector<CommitRecord>` append per retirement does not survive that.
+  void set_trace_ring_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t trace_ring_capacity() const { return trace_ring_capacity_; }
+  /// Records discarded because the ring wrapped.
+  [[nodiscard]] std::uint64_t trace_dropped() const { return trace_dropped_; }
+  /// The retained trace in retirement order (oldest first).  Equals trace()
+  /// in unbounded mode; in ring mode it un-rotates the circular storage.
+  [[nodiscard]] std::vector<CommitRecord> ordered_trace() const;
 
   /// Commit-stall cycles observed (cycles where ready work retired short).
   [[nodiscard]] std::uint64_t stall_cycles() const { return stall_cycles_; }
@@ -110,6 +124,8 @@ class Cva6Core {
   void issue_one();
   void execute(const rv::Inst& inst, ScoreboardEntry& entry);
   [[nodiscard]] std::uint32_t latency_of(const rv::Inst& inst) const;
+  [[nodiscard]] std::uint32_t fetch_window(std::uint64_t pc);
+  void record_commit(const ScoreboardEntry& entry);
 
   Cva6Config config_;
   sim::Memory& memory_;
@@ -129,9 +145,14 @@ class Cva6Core {
   std::vector<ScoreboardEntry> candidates_;
   std::vector<CommitRecord> trace_;
   bool trace_enabled_ = true;
+  std::size_t trace_ring_capacity_ = 0;  ///< 0 = unbounded.
+  std::size_t trace_ring_head_ = 0;      ///< Next slot to overwrite.
+  std::uint64_t trace_dropped_ = 0;
   std::uint64_t stall_cycles_ = 0;
   sim::DecodeCache decode_cache_{rv::Xlen::k64};
   bool decode_cache_enabled_ = true;
+  /// Hoisted fetch-page probe (see sim::FetchPageCache).
+  sim::FetchPageCache fetch_cache_;
 };
 
 }  // namespace titan::cva6

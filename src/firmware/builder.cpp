@@ -1,7 +1,10 @@
 #include "firmware/builder.hpp"
 
+#include <stdexcept>
+
 #include "rv/isa.hpp"
 #include "soc/hmac_mmio.hpp"
+#include "soc/mailbox.hpp"
 #include "soc/memmap.hpp"
 #include "soc/plic.hpp"
 #include "titancfi/rot_subsystem.hpp"
@@ -13,13 +16,19 @@ namespace {
 using rv::Assembler;
 using rv::Reg;
 
-// Mailbox register byte offsets (see cfi::CommitLog::pack()).
+// Mailbox register byte offsets (see cfi::CommitLog::pack()).  The
+// per-field offsets are relative to the log's first beat, so they hold both
+// for the legacy single-log area (base + 0) and for every batch slot.
 constexpr std::int32_t kMbResult = 0x00;     // verdict goes to data[0] low
 constexpr std::int32_t kMbEncoding = 0x08;   // beat1 low  = encoding
 constexpr std::int32_t kMbNextLo = 0x0C;     // beat1 high = next[31:0]
 constexpr std::int32_t kMbTargetLo = 0x14;   // beat2 high = target[31:0]
 constexpr std::int32_t kMbDoorbell = 0x40;
 constexpr std::int32_t kMbCompletion = 0x48;
+constexpr std::int32_t kMbBatchCount = 0x50;
+constexpr std::int32_t kMbBatchMac = 0x60;
+constexpr std::int32_t kMbBatchBase = 0x80;
+constexpr std::int32_t kMbSlotStride = 0x20;
 
 // Accelerator register byte offsets.
 constexpr std::int32_t kAccCmd = 0x00;
@@ -36,7 +45,14 @@ constexpr std::int32_t kAccDigest = 0x20;
 ///   t0 = CFI mailbox base      t1 = instruction encoding
 ///   t2 = variable block base   t3 = bound / scratch
 ///   a0 = shadow-stack pointer  a1 = return address / target
-void emit_policy(Assembler& a, const FirmwareConfig& config) {
+///
+/// `batched` changes the interface, not the checks: the caller preloads t0
+/// with the batch-slot base (the per-field offsets are slot-relative either
+/// way) and the verdict comes back in a0 (0 = safe, 1 = violation) instead
+/// of being written to the mailbox result/completion registers — the burst
+/// loop accumulates verdicts and completes once per doorbell.
+void emit_policy(Assembler& a, const FirmwareConfig& config,
+                 bool batched = false) {
   const std::int32_t ss_end =
       static_cast<std::int32_t>(FwLayout::kSsBase + config.ss_capacity * 4);
   const std::int32_t block_bytes =
@@ -59,7 +75,9 @@ void emit_policy(Assembler& a, const FirmwareConfig& config) {
   auto verdict_bad = a.new_label();
 
   // ---- Decode the uncompressed encoding (paper Sec. IV-C) -----------------
-  a.li(Reg::kT0, soc::kCfiMailbox.base);
+  if (!batched) {
+    a.li(Reg::kT0, soc::kCfiMailbox.base);
+  }
   a.lw(Reg::kT1, Reg::kT0, kMbEncoding);       // SoC access
   a.andi(Reg::kT2, Reg::kT1, 0x7F);            // opcode
   a.li(Reg::kA1, 0x6F);
@@ -156,16 +174,25 @@ void emit_policy(Assembler& a, const FirmwareConfig& config) {
   }
 
   // ---- Verdict write-back ------------------------------------------------------
-  a.bind(verdict_ok);
-  a.sw(Reg::kZero, Reg::kT0, kMbResult);       // SoC: verdict = safe
-  a.li(Reg::kA1, 1);
-  a.sw(Reg::kA1, Reg::kT0, kMbCompletion);     // SoC: completion
-  a.ret();
-  a.bind(verdict_bad);
-  a.li(Reg::kA1, 1);
-  a.sw(Reg::kA1, Reg::kT0, kMbResult);         // SoC: verdict = violation
-  a.sw(Reg::kA1, Reg::kT0, kMbCompletion);     // SoC: completion
-  a.ret();
+  if (!batched) {
+    a.bind(verdict_ok);
+    a.sw(Reg::kZero, Reg::kT0, kMbResult);       // SoC: verdict = safe
+    a.li(Reg::kA1, 1);
+    a.sw(Reg::kA1, Reg::kT0, kMbCompletion);     // SoC: completion
+    a.ret();
+    a.bind(verdict_bad);
+    a.li(Reg::kA1, 1);
+    a.sw(Reg::kA1, Reg::kT0, kMbResult);         // SoC: verdict = violation
+    a.sw(Reg::kA1, Reg::kT0, kMbCompletion);     // SoC: completion
+    a.ret();
+  } else {
+    a.bind(verdict_ok);
+    a.li(Reg::kA0, 0);                           // verdict in a0, no MMIO
+    a.ret();
+    a.bind(verdict_bad);
+    a.li(Reg::kA0, 1);
+    a.ret();
+  }
 
   // ---- Overflow spill (slow path) -------------------------------------------
   // Authenticates the oldest `spill_block` entries with the HMAC engine,
@@ -326,14 +353,106 @@ void emit_policy(Assembler& a, const FirmwareConfig& config) {
 
 }
 
+/// Emit the burst-drain entry point (batch mode): verify the Log Writer's
+/// burst MAC (one HMAC-accelerator pass over the whole batch, key slot
+/// kBatchMacKeySlot), then run the policy over every slot, then write one
+/// verdict + completion for the doorbell.  Register roles: s2 = mailbox
+/// base, s3 = batch count, s4 = slot index, s5 = slot pointer; the policy
+/// subroutine gets the slot base in t0 and returns its verdict in a0.
+void emit_batch_entry(Assembler& a, const FirmwareConfig& config,
+                      Assembler::Label policy_entry) {
+  auto done_ok = a.new_label();
+  auto bad = a.new_label();
+  auto tamper = a.new_label();
+  auto epilogue = a.new_label();
+  auto loop = a.new_label();
+
+  a.addi(Reg::kSp, Reg::kSp, -8);
+  a.sw(Reg::kRa, Reg::kSp, 0);                  // calls the policy below
+  a.li(Reg::kS2, soc::kCfiMailbox.base);
+  a.lw(Reg::kS3, Reg::kS2, kMbBatchCount);      // SoC: burst size
+  a.beqz(Reg::kS3, done_ok);                    // spurious doorbell
+  if (config.batch_mac) {
+    // One accelerator pass authenticates count*32 bytes; HMAC's fixed
+    // two-block pad cost is paid once per burst instead of once per log.
+    a.li(Reg::kA2, soc::kRotHmacAccel.base);
+    a.li(Reg::kA3,
+         static_cast<std::int64_t>(soc::kCfiMailbox.base) + kMbBatchBase);
+    a.sw(Reg::kA3, Reg::kA2, kAccSrc);
+    a.slli(Reg::kA4, Reg::kS3, 5);              // bytes = count * 32
+    a.sw(Reg::kA4, Reg::kA2, kAccLen);
+    a.li(Reg::kA4, static_cast<std::int32_t>(cfi::kBatchMacKeySlot));
+    a.sw(Reg::kA4, Reg::kA2, kAccKeySel);
+    a.li(Reg::kA4, 1);
+    a.sw(Reg::kA4, Reg::kA2, kAccCmd);
+    {
+      auto wait = a.here();
+      a.lw(Reg::kA4, Reg::kA2, kAccStatus);
+      a.beqz(Reg::kA4, wait);
+    }
+    // Constant-time compare: accelerator digest words vs mailbox MAC words.
+    a.addi(Reg::kA3, Reg::kA2, kAccDigest);
+    a.li(Reg::kA4,
+         static_cast<std::int64_t>(soc::kCfiMailbox.base) + kMbBatchMac);
+    a.li(Reg::kT6, 8);
+    a.li(Reg::kT3, 0);
+    {
+      auto cmp = a.here();
+      a.lw(Reg::kT4, Reg::kA3, 0);              // RoT: digest word
+      a.lw(Reg::kT5, Reg::kA4, 0);              // SoC: transmitted MAC word
+      a.xor_(Reg::kT4, Reg::kT4, Reg::kT5);
+      a.or_(Reg::kT3, Reg::kT3, Reg::kT4);
+      a.addi(Reg::kA3, Reg::kA3, 4);
+      a.addi(Reg::kA4, Reg::kA4, 4);
+      a.addi(Reg::kT6, Reg::kT6, -1);
+      a.bnez(Reg::kT6, cmp);
+    }
+    a.bnez(Reg::kT3, tamper);
+  }
+  a.li(Reg::kS4, 0);                            // slot index
+  a.addi(Reg::kS5, Reg::kS2, kMbBatchBase);     // slot pointer
+  a.bind(loop);
+  a.mv(Reg::kT0, Reg::kS5);                     // policy: fields at t0+off
+  a.jal(Reg::kRa, policy_entry);
+  a.bnez(Reg::kA0, bad);                        // a0 = per-log verdict
+  a.addi(Reg::kS4, Reg::kS4, 1);
+  a.addi(Reg::kS5, Reg::kS5, kMbSlotStride);
+  a.blt(Reg::kS4, Reg::kS3, loop);
+  a.bind(done_ok);
+  a.sw(Reg::kZero, Reg::kS2, kMbResult);        // SoC: verdict = safe
+  a.li(Reg::kA1, 1);
+  a.sw(Reg::kA1, Reg::kS2, kMbCompletion);      // SoC: one completion/burst
+  a.j(epilogue);
+  a.bind(tamper);
+  a.li(Reg::kS4, 0);                            // MAC mismatch: blame slot 0
+  a.bind(bad);
+  a.slli(Reg::kA1, Reg::kS4, 1);                // verdict = index << 1 | 1
+  a.ori(Reg::kA1, Reg::kA1, 1);
+  a.sw(Reg::kA1, Reg::kS2, kMbResult);
+  a.li(Reg::kA1, 1);
+  a.sw(Reg::kA1, Reg::kS2, kMbCompletion);
+  a.bind(epilogue);
+  a.lw(Reg::kRa, Reg::kSp, 0);
+  a.addi(Reg::kSp, Reg::kSp, 8);
+  a.ret();
+}
+
 }  // namespace
 
 rv::Image build_firmware(const FirmwareConfig& config) {
+  if (config.batch_capacity > soc::Mailbox::kBatchSlots) {
+    throw std::invalid_argument(
+        "build_firmware: batch_capacity exceeds mailbox batch slots");
+  }
+  const bool batched = config.batch_capacity > 1;
   Assembler a(rv::Xlen::k32, soc::kRotFlash.base);
 
   auto isr = a.new_label();
   auto policy_entry = a.new_label();
+  auto batch_entry = a.new_label();
   auto main_loop = a.new_label();
+  // Per doorbell the firmware services one log (paper) or one burst.
+  const Assembler::Label service_entry = batched ? batch_entry : policy_entry;
 
   // ---- Reset / init -------------------------------------------------------------
   a.mark("init");
@@ -366,26 +485,46 @@ rv::Image build_firmware(const FirmwareConfig& config) {
     a.lw(Reg::kT1, Reg::kT0, kMbDoorbell);
     a.beqz(Reg::kT1, poll);
     a.sw(Reg::kZero, Reg::kT0, kMbDoorbell);  // ack
-    a.jal(Reg::kRa, policy_entry);
+    a.jal(Reg::kRa, service_entry);
     a.j(poll);
   }
 
   // ---- ISR (IRQ variant only, but always emitted for layout stability) ------------
   a.mark("irq");
   a.bind(isr);
-  a.addi(Reg::kSp, Reg::kSp, -24);
-  a.sw(Reg::kRa, Reg::kSp, 0);
-  a.sw(Reg::kT0, Reg::kSp, 4);
-  a.sw(Reg::kT1, Reg::kSp, 8);
-  a.sw(Reg::kT2, Reg::kSp, 12);
-  a.sw(Reg::kA0, Reg::kSp, 16);
-  a.sw(Reg::kA1, Reg::kSp, 20);
+  if (!batched) {
+    // Paper frame: exactly six registers (Sec. IV-C).
+    a.addi(Reg::kSp, Reg::kSp, -24);
+    a.sw(Reg::kRa, Reg::kSp, 0);
+    a.sw(Reg::kT0, Reg::kSp, 4);
+    a.sw(Reg::kT1, Reg::kSp, 8);
+    a.sw(Reg::kT2, Reg::kSp, 12);
+    a.sw(Reg::kA0, Reg::kSp, 16);
+    a.sw(Reg::kA1, Reg::kSp, 20);
+  } else {
+    // Burst frame: the batch loop additionally clobbers a2-a4 and s2-s5;
+    // the larger spill is amortised over the whole burst.
+    a.addi(Reg::kSp, Reg::kSp, -52);
+    a.sw(Reg::kRa, Reg::kSp, 0);
+    a.sw(Reg::kT0, Reg::kSp, 4);
+    a.sw(Reg::kT1, Reg::kSp, 8);
+    a.sw(Reg::kT2, Reg::kSp, 12);
+    a.sw(Reg::kA0, Reg::kSp, 16);
+    a.sw(Reg::kA1, Reg::kSp, 20);
+    a.sw(Reg::kA2, Reg::kSp, 24);
+    a.sw(Reg::kA3, Reg::kSp, 28);
+    a.sw(Reg::kA4, Reg::kSp, 32);
+    a.sw(Reg::kS2, Reg::kSp, 36);
+    a.sw(Reg::kS3, Reg::kSp, 40);
+    a.sw(Reg::kS4, Reg::kSp, 44);
+    a.sw(Reg::kS5, Reg::kSp, 48);
+  }
   a.li(Reg::kT0, cfi::kRotPlic.base);
   a.lw(Reg::kA0, Reg::kT0, soc::Plic::kClaimOffset);  // RoT: claim
   a.li(Reg::kT1, soc::kCfiMailbox.base);
   a.lw(Reg::kT2, Reg::kT1, kMbDoorbell);              // SoC: spurious-IRQ check
   a.sw(Reg::kZero, Reg::kT1, kMbDoorbell);            // SoC: ack doorbell
-  a.jal(Reg::kRa, policy_entry);
+  a.jal(Reg::kRa, service_entry);
   a.mark("irq_exit");
   a.li(Reg::kT0, cfi::kRotPlic.base);
   a.li(Reg::kT1, cfi::kCfiDoorbellIrq);
@@ -396,13 +535,36 @@ rv::Image build_firmware(const FirmwareConfig& config) {
   a.lw(Reg::kT2, Reg::kSp, 12);
   a.lw(Reg::kA0, Reg::kSp, 16);
   a.lw(Reg::kA1, Reg::kSp, 20);
-  a.addi(Reg::kSp, Reg::kSp, 24);
+  if (!batched) {
+    a.addi(Reg::kSp, Reg::kSp, 24);
+  } else {
+    a.lw(Reg::kA2, Reg::kSp, 24);
+    a.lw(Reg::kA3, Reg::kSp, 28);
+    a.lw(Reg::kA4, Reg::kSp, 32);
+    a.lw(Reg::kS2, Reg::kSp, 36);
+    a.lw(Reg::kS3, Reg::kSp, 40);
+    a.lw(Reg::kS4, Reg::kSp, 44);
+    a.lw(Reg::kS5, Reg::kSp, 48);
+    a.addi(Reg::kSp, Reg::kSp, 52);
+  }
   a.mret();
 
   // ---- Policy ---------------------------------------------------------------------
   a.mark("cfi");
+  if (batched) {
+    // Contract marks: SocTop cross-checks these against SocConfig so a
+    // burst-mode Log Writer can never be paired with single-log firmware
+    // (which would read the never-written legacy registers and wave every
+    // burst through) or a MAC mismatch.
+    a.mark("batch");
+    if (config.batch_mac) {
+      a.mark("batch_mac");
+    }
+    a.bind(batch_entry);
+    emit_batch_entry(a, config, policy_entry);
+  }
   a.bind(policy_entry);
-  emit_policy(a, config);
+  emit_policy(a, config, batched);
   a.mark("end");
 
   return a.finish();

@@ -41,6 +41,18 @@ struct FirmwareConfig {
   /// feature is inert until provisioned.  Off by default to keep Table I's
   /// fast path identical to the paper's.
   bool enable_jump_table = false;
+  /// Commit logs processed per doorbell.  1 (default) emits the paper's
+  /// single-log firmware byte-for-byte; > 1 emits the burst loop: per
+  /// IRQ/poll the firmware reads BATCH_COUNT, optionally verifies the Log
+  /// Writer's burst MAC on the HMAC accelerator, then runs the policy over
+  /// every batch slot before writing one verdict + completion.  Must be >=
+  /// the Log Writer's configured burst (soc::Mailbox::kBatchSlots at most).
+  unsigned batch_capacity = 1;
+  /// Verify the burst MAC before trusting the batch slots (batch mode only;
+  /// match the Log Writer's mac_batches).  One accelerator pass per burst —
+  /// the per-log MAC cost shrinks with the batch thanks to HMAC's fixed
+  /// 2-block pad overhead being paid once.
+  bool batch_mac = true;
 };
 
 /// Firmware data layout in the RoT private SRAM.

@@ -66,6 +66,20 @@ IbexStep IbexCore::take_trap() {
 }
 
 std::uint32_t IbexCore::fetch_window(std::uint32_t addr) {
+  // Hoisted fast path: the window never leaves the cached page (and the
+  // page never leaves its mapped region, guarded on refill), which is at
+  // least as strict as the per-halfword decode below.
+  std::uint32_t window;
+  if (fetch_cache_.lookup(addr, &window)) [[likely]] {
+    return window;
+  }
+  const std::uint64_t page_base = addr & ~(sim::Memory::kPageSize - 1);
+  const auto target = bus_.fetch_window_target(addr);
+  if (target.memory != nullptr && target.region.base <= page_base &&
+      page_base + sim::Memory::kPageSize <= target.region.end() &&
+      fetch_cache_.refill(*target.memory, addr, &window)) {
+    return window;
+  }
   // The prefetch buffer hides instruction-fetch latency in steady state; we
   // charge fetch time only through the taken-branch penalty.  The high half
   // is fetched only for uncompressed encodings: a single 4-byte read would

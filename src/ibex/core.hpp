@@ -117,6 +117,11 @@ class IbexCore {
 
   sim::DecodeCache decode_cache_{rv::Xlen::k32, 2048};
   bool decode_cache_enabled_ = true;
+  /// Hoisted fetch-page probe (see sim::FetchPageCache): engaged when the
+  /// PC's region decodes to plain memory (the firmware ROM) past the
+  /// crossbar.  Timing is unchanged — fetch latency is hidden by the
+  /// prefetch buffer and charged via the taken-branch penalty.
+  sim::FetchPageCache fetch_cache_;
 };
 
 /// mstatus/mie bit positions used by the model.

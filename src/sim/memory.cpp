@@ -33,6 +33,10 @@ Memory::Page& Memory::touch_page(Addr page_no) {
   if (!slot) {
     slot = std::make_unique<Page>();
     slot->fill(0);
+    // The map changed shape: retire negative-cache entries (this very page
+    // may be cached as absent) and stale PageRefs.
+    neg_ways_.fill(kNoPage);
+    ++map_epoch_;
   }
   return *slot;
 }
@@ -43,10 +47,17 @@ const std::uint8_t* Memory::lookup_read(Addr page_no, Lane lane) const {
     ++stats_.page_cache_hits;
     return way.data;
   }
+  Addr& neg = neg_ways_[static_cast<std::size_t>(page_no) & (kNegWays - 1)];
+  if (neg == page_no) {
+    ++stats_.neg_cache_hits;
+    return nullptr;  // Known-unmapped; skip the hash walk.
+  }
   ++stats_.page_cache_misses;
   const Page* page = find_page(page_no);
   if (page == nullptr) {
-    return nullptr;  // Never cache absence: a later write may map the page.
+    // Cache the absence; touch_page flushes this when any page is mapped.
+    neg = page_no;
+    return nullptr;
   }
   way.page_no = page_no;
   way.data = const_cast<std::uint8_t*>(page->data());

@@ -44,6 +44,35 @@ struct MemStats {
   std::uint64_t straddles = 0;        ///< Accesses crossing a page boundary.
   std::uint64_t unmapped_reads = 0;   ///< Reads of never-written pages.
   std::uint64_t bulk_bytes = 0;       ///< Bytes moved by block operations.
+  std::uint64_t neg_cache_hits = 0;   ///< Unmapped probes answered by the
+                                      ///< negative page cache (no hash walk).
+};
+
+/// Stable reference to one mapped page, for callers (the ISS fetch stage)
+/// that hoist the page probe out of their inner loop.  `data` is null when
+/// the page is unmapped.  The reference is valid while `epoch` equals the
+/// owning Memory's map_epoch(): the epoch advances whenever the page table
+/// changes shape (new page mapped, clear(), move), never on plain stores —
+/// stores mutate the referenced bytes in place, so a holder always reads
+/// current contents.
+struct PageRef {
+  const std::uint8_t* data = nullptr;
+  std::uint64_t epoch = 0;
+
+  /// Little-endian 32-bit window at `offset` (caller keeps offset+4 in page).
+  [[nodiscard]] std::uint32_t window32(std::size_t offset) const {
+    if constexpr (std::endian::native == std::endian::little) {
+      std::uint32_t value;
+      std::memcpy(&value, data + offset, sizeof(value));
+      return value;
+    } else {
+      const std::uint8_t* src = data + offset;
+      return static_cast<std::uint32_t>(src[0]) |
+             (static_cast<std::uint32_t>(src[1]) << 8) |
+             (static_cast<std::uint32_t>(src[2]) << 16) |
+             (static_cast<std::uint32_t>(src[3]) << 24);
+    }
+  }
 };
 
 class Memory {
@@ -66,8 +95,10 @@ class Memory {
       fast_path_ = other.fast_path_;
       strict_unmapped_ = other.strict_unmapped_;
       invalidate_page_cache();
+      ++map_epoch_;
       other.pages_.clear();
       other.invalidate_page_cache();
+      ++other.map_epoch_;
       other.stats_ = MemStats{};
     }
     return *this;
@@ -106,10 +137,24 @@ class Memory {
   /// Number of pages materialised so far.
   [[nodiscard]] std::size_t page_count() const { return pages_.size(); }
 
+  /// Map-shape generation counter: bumped when a page is mapped, on clear()
+  /// and on move — i.e. whenever an outstanding PageRef could go stale.
+  [[nodiscard]] std::uint64_t map_epoch() const { return map_epoch_; }
+
+  /// Resolve the page containing `addr` for hoisted instruction fetches.
+  /// Does not disturb the page-cache lanes or the access statistics: the
+  /// caller is expected to hold the reference across many fetches (and to
+  /// revalidate against map_epoch()), so per-access counters would lie.
+  [[nodiscard]] PageRef page_ref(Addr addr) const {
+    const Page* page = find_page(addr >> kPageBits);
+    return PageRef{page == nullptr ? nullptr : page->data(), map_epoch_};
+  }
+
   /// Drop all contents.
   void clear() {
     pages_.clear();
     invalidate_page_cache();
+    ++map_epoch_;
   }
 
   /// Toggle the single-probe page-cache fast path.  Disabled, every access
@@ -207,6 +252,7 @@ class Memory {
   void note_unmapped(Addr addr) const;
   void invalidate_page_cache() const {
     for (auto& lane : ways_) lane.fill(Way{});
+    neg_ways_.fill(kNoPage);
   }
 
   [[nodiscard]] const Page* find_page(Addr page_no) const;
@@ -214,9 +260,69 @@ class Memory {
 
   std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
   mutable std::array<std::array<Way, kWays>, 2> ways_{};
+  /// TLB-style negative cache: page numbers recently probed and found
+  /// unmapped.  MMIO-heavy workloads poll device regions that never become
+  /// RAM, and without this every such read walks the hash map.  Flushed
+  /// whenever any page is mapped (allocation is rare; correctness over
+  /// cleverness).
+  static constexpr std::size_t kNegWays = 16;
+  mutable std::array<Addr, kNegWays> neg_ways_{[] {
+    std::array<Addr, kNegWays> init{};
+    init.fill(kNoPage);
+    return init;
+  }()};
   mutable MemStats stats_;
+  std::uint64_t map_epoch_ = 0;
   bool fast_path_ = true;
   bool strict_unmapped_ = false;
+};
+
+/// Hoisted fetch-page probe shared by the ISS cores: sequential fetches
+/// between taken branches stay on one 4 KiB page, so the page is resolved
+/// once (lookup/refill) and revalidated with a page-number/epoch compare
+/// per fetch instead of a full memory or bus access.  In-place stores are
+/// always observed (PageRef reads live page bytes); map-shape changes are
+/// caught by the epoch compare.
+class FetchPageCache {
+ public:
+  /// Fast hit: the cached page is still valid (same page number, same map
+  /// epoch) and the 4-byte window lies inside it.
+  [[nodiscard]] bool lookup(Addr addr, std::uint32_t* window) const {
+    const std::size_t offset =
+        static_cast<std::size_t>(addr) & (Memory::kPageSize - 1);
+    if (memory_ == nullptr || offset + 4 > Memory::kPageSize ||
+        (addr >> Memory::kPageBits) != page_no_ ||
+        page_.epoch != memory_->map_epoch()) {
+      return false;
+    }
+    *window = page_.window32(offset);
+    return true;
+  }
+
+  /// Install the page covering `addr` from `memory` and read the window.
+  /// Fails (caller takes its slow path) on page straddles, unmapped pages,
+  /// or when the memory's fast path is disabled for seed-mode benching.
+  bool refill(const Memory& memory, Addr addr, std::uint32_t* window) {
+    const std::size_t offset =
+        static_cast<std::size_t>(addr) & (Memory::kPageSize - 1);
+    if (!memory.fast_path_enabled() || offset + 4 > Memory::kPageSize) {
+      return false;
+    }
+    const PageRef ref = memory.page_ref(addr);
+    if (ref.data == nullptr) {
+      return false;
+    }
+    memory_ = &memory;
+    page_ = ref;
+    page_no_ = addr >> Memory::kPageBits;
+    *window = ref.window32(offset);
+    return true;
+  }
+
+ private:
+  const Memory* memory_ = nullptr;
+  PageRef page_{};
+  Addr page_no_ = ~Addr{0};
 };
 
 }  // namespace titan::sim

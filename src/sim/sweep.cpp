@@ -1,0 +1,215 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace titan::sim {
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : threads_(options.threads == 0 ? hardware_threads() : options.threads) {}
+
+unsigned SweepRunner::hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void SweepRunner::run_indexed(std::size_t count,
+                              const std::function<void(std::size_t)>& job) {
+  if (count == 0) {
+    return;
+  }
+  if (threads_ == 1 || count == 1) {
+    // Serial reference path: inline, exceptions propagate naturally.
+    for (std::size_t index = 0; index < count; ++index) {
+      job(index);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  // First failing *index* (not first in wall time), so parallel failure
+  // reporting matches what a serial run would have thrown.  Indices are
+  // claimed in ascending order, so when a failure stops further claims,
+  // every lower index is already in flight and will still report — the
+  // lowest failing index is found without running the rest of the grid.
+  std::mutex failure_mutex;
+  std::size_t failed_index = count;
+  std::exception_ptr failure;
+
+  const auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) {
+        return;
+      }
+      try {
+        job(index);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        failed.store(true, std::memory_order_relaxed);
+        if (index < failed_index) {
+          failed_index = index;
+          failure = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, count));
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned i = 1; i < workers; ++i) {
+    pool.emplace_back(worker);
+  }
+  worker();  // The calling thread is worker 0.
+  for (std::thread& thread : pool) {
+    thread.join();
+  }
+  if (failure) {
+    std::rethrow_exception(failure);
+  }
+}
+
+SweepCli parse_sweep_cli(int argc, char** argv, std::string default_json) {
+  SweepCli cli;
+  cli.json_path = std::move(default_json);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      const long value = std::strtol(arg + 10, nullptr, 10);
+      cli.threads = value <= 0 ? 0 : static_cast<unsigned>(value);
+      cli.threads_given = true;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      cli.json_path = arg + 7;
+    }
+  }
+  return cli;
+}
+
+// ---- JsonWriter -------------------------------------------------------------
+
+void JsonWriter::comma_and_indent() {
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) {
+      out_ += ",";
+    }
+    need_comma_.back() = true;
+    out_ += "\n";
+    out_.append(2 * need_comma_.size(), ' ');
+  }
+}
+
+void JsonWriter::key_prefix(std::string_view key) {
+  comma_and_indent();
+  out_ += "\"";
+  out_ += key;
+  out_ += "\": ";
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_and_indent();
+  out_ += "{";
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object(std::string_view key) {
+  key_prefix(key);
+  out_ += "{";
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool had_fields = need_comma_.back();
+  need_comma_.pop_back();
+  if (had_fields) {
+    out_ += "\n";
+    out_.append(2 * need_comma_.size(), ' ');
+  }
+  out_ += "}";
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(std::string_view key) {
+  key_prefix(key);
+  out_ += "[";
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool had_fields = need_comma_.back();
+  need_comma_.pop_back();
+  if (had_fields) {
+    out_ += "\n";
+    out_.append(2 * need_comma_.size(), ' ');
+  }
+  out_ += "]";
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, double value) {
+  key_prefix(key);
+  std::ostringstream fmt;
+  fmt << value;
+  out_ += fmt.str();
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::uint64_t value) {
+  key_prefix(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, int value) {
+  key_prefix(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, unsigned value) {
+  key_prefix(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, bool value) {
+  key_prefix(key);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::string_view value) {
+  key_prefix(key);
+  out_ += "\"";
+  for (const char c : value) {
+    if (c == '"' || c == '\\') {
+      out_ += '\\';
+    }
+    out_ += c;
+  }
+  out_ += "\"";
+  return *this;
+}
+
+bool JsonWriter::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    return false;
+  }
+  os << out_ << "\n";
+  return os.good();
+}
+
+}  // namespace titan::sim

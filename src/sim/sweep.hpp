@@ -1,0 +1,109 @@
+// Thread-pooled sweep engine for independent simulation points.
+//
+// Every table/figure bench in this repo evaluates a grid of (workload,
+// queue-depth, policy, fabric) points, and each point is an independent
+// simulation — embarrassingly parallel host-side work.  SweepRunner shards
+// the index space across a pool of worker threads and aggregates results
+// *by index*, so the output is deterministic and byte-identical to a serial
+// run at any thread count (jobs must be pure functions of their index: own
+// your Memory/SocTop/Rng per job, which every bench here already does).
+//
+// Design points:
+//  * job sharding via an atomic cursor — long and short points interleave
+//    without static partitioning imbalance;
+//  * ordered aggregation — worker completion order never leaks into output;
+//  * exception safety — the first failing index's exception is rethrown on
+//    the calling thread after the pool drains (matching serial semantics:
+//    the lowest failing index wins, not the first to fail in wall time);
+//  * threads == 1 runs inline on the calling thread (no pool, no atomics in
+//    the hot path), which is both the fallback and the reference behaviour.
+//
+// JsonWriter is the shared emitter for the machine-readable BENCH_*.json
+// sweep reports (ordered fields, no external deps).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace titan::sim {
+
+struct SweepOptions {
+  /// Worker threads; 0 picks hardware_concurrency, 1 runs serial inline.
+  unsigned threads = 1;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// Number of workers this runner actually uses (>= 1).
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  [[nodiscard]] static unsigned hardware_threads();
+
+  /// Evaluate `count` independent jobs and return the results in index
+  /// order.  `job` is called with indices [0, count) from pool threads (or
+  /// inline when threads() == 1) and must not share mutable state across
+  /// indices.
+  template <typename Result>
+  std::vector<Result> run(std::size_t count,
+                          const std::function<Result(std::size_t)>& job) {
+    std::vector<Result> results(count);
+    run_indexed(count, [&results, &job](std::size_t index) {
+      results[index] = job(index);
+    });
+    return results;
+  }
+
+  /// Index-only form for jobs that write their own output slots.
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& job);
+
+ private:
+  unsigned threads_;
+};
+
+/// Command-line conventions shared by the sweep benches:
+///   --threads=N   worker threads for SweepRunner (default 1 == serial)
+///   --json=PATH   destination for the machine-readable report
+struct SweepCli {
+  unsigned threads = 1;
+  std::string json_path;
+  bool threads_given = false;
+};
+
+[[nodiscard]] SweepCli parse_sweep_cli(int argc, char** argv,
+                                       std::string default_json = {});
+
+/// Minimal ordered JSON emitter (objects keep insertion order, arrays are
+/// explicit) for the sweep reports; no external dependencies.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();                       ///< Root or array element.
+  JsonWriter& begin_object(std::string_view key);
+  JsonWriter& end_object();
+  JsonWriter& begin_array(std::string_view key);
+  JsonWriter& end_array();
+  JsonWriter& field(std::string_view key, double value);
+  JsonWriter& field(std::string_view key, std::uint64_t value);
+  JsonWriter& field(std::string_view key, int value);
+  JsonWriter& field(std::string_view key, unsigned value);
+  JsonWriter& field(std::string_view key, bool value);
+  JsonWriter& field(std::string_view key, std::string_view value);
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  bool write_file(const std::string& path) const;
+
+ private:
+  void comma_and_indent();
+  void key_prefix(std::string_view key);
+
+  std::string out_;
+  std::vector<bool> need_comma_;
+};
+
+}  // namespace titan::sim

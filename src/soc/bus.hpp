@@ -26,6 +26,12 @@ class BusTarget {
   virtual ~BusTarget() = default;
   virtual std::uint64_t read(Addr addr, unsigned size) = 0;
   virtual void write(Addr addr, unsigned size, std::uint64_t value) = 0;
+
+  /// The plain sim::Memory this target adapts, if it is simple RAM/ROM with
+  /// no side effects (null for device targets).  Lets an ISS hoist its
+  /// fetch-page probe past the crossbar; functional behaviour is identical
+  /// because reads of plain memory have no device semantics.
+  [[nodiscard]] virtual sim::Memory* backing_memory() { return nullptr; }
 };
 
 /// Adapts a sim::Memory to the bus interface.
@@ -50,6 +56,8 @@ class MemoryTarget final : public BusTarget {
       default: memory_.write64(addr, value); break;
     }
   }
+
+  [[nodiscard]] sim::Memory* backing_memory() override { return &memory_; }
 
  private:
   sim::Memory& memory_;
@@ -93,6 +101,23 @@ class Crossbar {
   /// Override the device latency of a mapped region (used by the "Optimized"
   /// RoT configuration that swaps the internal interconnect, Sec. V-B).
   void set_device_latency(const std::string& label, std::uint32_t cycles);
+
+  /// Plain-memory window for hoisted instruction fetches: when `addr` decodes
+  /// to a MemoryTarget, returns its backing sim::Memory and the mapped region
+  /// (so the caller can bound page residency); null memory otherwise.  Does
+  /// not count as a bus transaction — the Ibex prefetch buffer hides fetch
+  /// latency anyway (fetch timing is charged via the taken-branch penalty).
+  struct FetchWindow {
+    sim::Memory* memory = nullptr;
+    Region region{};
+  };
+  [[nodiscard]] FetchWindow fetch_window_target(Addr addr) {
+    Mapping* mapping = lookup(addr);
+    if (mapping == nullptr) {
+      return {};
+    }
+    return {mapping->target->backing_memory(), mapping->region};
+  }
 
   [[nodiscard]] std::uint64_t transaction_count() const { return transactions_; }
 

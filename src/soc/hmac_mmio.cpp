@@ -12,6 +12,20 @@ HmacMmio::HmacMmio(Crossbar& data_bus, std::uint64_t device_secret,
       device_secret_(device_secret),
       clock_(std::move(clock)) {}
 
+crypto::HmacKey derive_slot_key(std::uint64_t device_secret,
+                                std::uint32_t key_sel) {
+  // Key slots are derived from the device secret, never visible on the bus.
+  std::vector<std::uint8_t> key(32);
+  sim::SplitMix64 kdf(device_secret ^ key_sel);
+  for (std::size_t i = 0; i < key.size(); i += 8) {
+    const std::uint64_t chunk = kdf.next();
+    for (std::size_t j = 0; j < 8; ++j) {
+      key[i + j] = static_cast<std::uint8_t>(chunk >> (8 * j));
+    }
+  }
+  return crypto::HmacKey(key);
+}
+
 const crypto::HmacKey& HmacMmio::key_for(std::uint32_t key_sel) {
   const auto it = key_slots_.find(key_sel);
   if (it != key_slots_.end()) {
@@ -23,16 +37,8 @@ const crypto::HmacKey& HmacMmio::key_for(std::uint32_t key_sel) {
   if (key_slots_.size() >= kMaxKeySlots) {
     key_slots_.clear();
   }
-  // Key slots are derived from the device secret, never visible on the bus.
-  std::vector<std::uint8_t> key(32);
-  sim::SplitMix64 kdf(device_secret_ ^ key_sel);
-  for (std::size_t i = 0; i < key.size(); i += 8) {
-    const std::uint64_t chunk = kdf.next();
-    for (std::size_t j = 0; j < 8; ++j) {
-      key[i + j] = static_cast<std::uint8_t>(chunk >> (8 * j));
-    }
-  }
-  return key_slots_.emplace(key_sel, crypto::HmacKey(key)).first->second;
+  return key_slots_.emplace(key_sel, derive_slot_key(device_secret_, key_sel))
+      .first->second;
 }
 
 void HmacMmio::start() {

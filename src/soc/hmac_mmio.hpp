@@ -23,6 +23,13 @@
 
 namespace titan::soc {
 
+/// Derive the HMAC key for a sideloaded key slot from the device secret.
+/// Shared between the RoT-side accelerator and the host-side CFI Log Writer
+/// model so both ends of an authenticated burst agree on the slot key; the
+/// returned HmacKey carries precomputed ipad/opad midstates.
+[[nodiscard]] crypto::HmacKey derive_slot_key(std::uint64_t device_secret,
+                                              std::uint32_t key_sel);
+
 class HmacMmio final : public BusTarget {
  public:
   static constexpr Addr kCmd = 0x00;

@@ -9,17 +9,33 @@ Addr reg_offset(Addr addr) { return addr & 0xFFF; }
 
 }  // namespace
 
+std::uint64_t* Mailbox::reg_at(Addr offset) {
+  if (offset < kDataOffset + 8 * kDataRegs) {
+    return &data_[static_cast<unsigned>((offset - kDataOffset) / 8)];
+  }
+  if (offset >= kBatchCountOffset && offset < kBatchCountOffset + 8) {
+    return &batch_count_;
+  }
+  if (offset >= kBatchMacOffset && offset < kBatchMacOffset + 8 * kMacRegs) {
+    return &mac_[static_cast<unsigned>((offset - kBatchMacOffset) / 8)];
+  }
+  if (offset >= kBatchBase &&
+      offset < kBatchBase + kBatchSlots * kSlotStride) {
+    return &batch_[static_cast<unsigned>((offset - kBatchBase) / 8)];
+  }
+  return nullptr;
+}
+
 std::uint64_t Mailbox::read(Addr addr, unsigned size) {
   const Addr offset = reg_offset(addr);
   std::uint64_t value = 0;
-  if (offset >= kDataOffset && offset < kDataOffset + 8 * kDataRegs) {
-    const unsigned index = static_cast<unsigned>((offset - kDataOffset) / 8);
-    const unsigned shift = static_cast<unsigned>((offset % 8) * 8);
-    value = data_[index] >> shift;
-  } else if (offset == kDoorbellOffset) {
+  if (offset == kDoorbellOffset) {
     value = doorbell_ ? 1 : 0;
   } else if (offset == kCompletionOffset) {
     value = completion_ ? 1 : 0;
+  } else if (const std::uint64_t* reg = reg_at(offset); reg != nullptr) {
+    const unsigned shift = static_cast<unsigned>((offset % 8) * 8);
+    value = *reg >> shift;
   }
   if (size < 8) {
     value &= (std::uint64_t{1} << (8 * size)) - 1;
@@ -29,17 +45,6 @@ std::uint64_t Mailbox::read(Addr addr, unsigned size) {
 
 void Mailbox::write(Addr addr, unsigned size, std::uint64_t value) {
   const Addr offset = reg_offset(addr);
-  if (offset >= kDataOffset && offset < kDataOffset + 8 * kDataRegs) {
-    const unsigned index = static_cast<unsigned>((offset - kDataOffset) / 8);
-    if (size == 8) {
-      data_[index] = value;
-    } else {
-      const unsigned shift = static_cast<unsigned>((offset % 8) * 8);
-      const std::uint64_t mask = ((std::uint64_t{1} << (8 * size)) - 1) << shift;
-      data_[index] = (data_[index] & ~mask) | ((value << shift) & mask);
-    }
-    return;
-  }
   if (offset == kDoorbellOffset) {
     if ((value & 1) != 0) {
       ring_doorbell();
@@ -54,6 +59,18 @@ void Mailbox::write(Addr addr, unsigned size, std::uint64_t value) {
     } else {
       clear_completion();
     }
+    return;
+  }
+  std::uint64_t* reg = reg_at(offset);
+  if (reg == nullptr) {
+    return;
+  }
+  if (size == 8) {
+    *reg = value;
+  } else {
+    const unsigned shift = static_cast<unsigned>((offset % 8) * 8);
+    const std::uint64_t mask = ((std::uint64_t{1} << (8 * size)) - 1) << shift;
+    *reg = (*reg & ~mask) | ((value << shift) & mask);
   }
 }
 

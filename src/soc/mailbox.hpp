@@ -10,6 +10,14 @@
 //  * the completion register is wired directly to the CVA6 commit stage
 //    (the CFI Log Writer) rather than to the host interrupt controller.
 // Both behaviours are expressed through the on_doorbell/on_completion hooks.
+//
+// Burst extension (this repo, beyond the paper's single-log register file):
+// the deeper queue sweeps assume the RoT drains the CFI Queue in bursts, so
+// the data register file grows a batch area — BATCH_COUNT at +0x50, an
+// optional 256-bit batch MAC at +0x60, and up to kBatchSlots commit-log
+// slots of kSlotRegs 64-bit registers each from +0x80.  The legacy one-log
+// layout (data 0x00-0x3F, doorbell 0x40, completion 0x48) is untouched, so
+// single-drain firmware and Table I/II reproductions see an identical block.
 #pragma once
 
 #include <array>
@@ -27,6 +35,17 @@ class Mailbox final : public BusTarget {
   static constexpr unsigned kDataRegs = 8;
   static constexpr Addr kDoorbellOffset = 0x40;
   static constexpr Addr kCompletionOffset = 0x48;
+  // ---- Burst-drain extension ------------------------------------------------
+  static constexpr Addr kBatchCountOffset = 0x50;
+  static constexpr Addr kBatchMacOffset = 0x60;   ///< 4 x 64-bit MAC words.
+  static constexpr unsigned kMacRegs = 4;
+  static constexpr Addr kBatchBase = 0x80;
+  static constexpr unsigned kBatchSlots = 16;     ///< Max logs per doorbell.
+  static constexpr unsigned kSlotRegs = 4;        ///< 64-bit beats per log.
+  static constexpr Addr kSlotStride = 8 * kSlotRegs;
+  static constexpr Addr slot_offset(unsigned slot) {
+    return kBatchBase + slot * kSlotStride;
+  }
 
   using SignalHook = std::function<void()>;
 
@@ -42,6 +61,20 @@ class Mailbox final : public BusTarget {
   // ---- Direct port view (used by the hardware-side CFI Log Writer) ---------
   [[nodiscard]] std::uint64_t data(unsigned index) const { return data_.at(index); }
   void set_data(unsigned index, std::uint64_t value) { data_.at(index) = value; }
+  [[nodiscard]] std::uint64_t batch_count() const { return batch_count_; }
+  void set_batch_count(std::uint64_t count) { batch_count_ = count; }
+  [[nodiscard]] std::uint64_t batch_beat(unsigned slot, unsigned beat) const {
+    return batch_.at(slot * kSlotRegs + beat);
+  }
+  void set_batch_beat(unsigned slot, unsigned beat, std::uint64_t value) {
+    batch_.at(slot * kSlotRegs + beat) = value;
+  }
+  [[nodiscard]] std::uint64_t batch_mac(unsigned index) const {
+    return mac_.at(index);
+  }
+  void set_batch_mac(unsigned index, std::uint64_t value) {
+    mac_.at(index) = value;
+  }
 
   void ring_doorbell();
   void signal_completion();
@@ -54,7 +87,14 @@ class Mailbox final : public BusTarget {
   [[nodiscard]] std::uint64_t completion_count() const { return completion_count_; }
 
  private:
+  /// Resolve a register byte offset to its backing 64-bit register, or null
+  /// for unimplemented holes (reads return 0, writes are dropped).
+  [[nodiscard]] std::uint64_t* reg_at(Addr offset);
+
   std::array<std::uint64_t, kDataRegs> data_{};
+  std::uint64_t batch_count_ = 0;
+  std::array<std::uint64_t, kMacRegs> mac_{};
+  std::array<std::uint64_t, kBatchSlots * kSlotRegs> batch_{};
   bool doorbell_ = false;
   bool completion_ = false;
   std::uint64_t doorbell_count_ = 0;

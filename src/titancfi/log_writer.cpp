@@ -1,10 +1,93 @@
 #include "titancfi/log_writer.hpp"
 
+#include <stdexcept>
+
+#include "soc/hmac_mmio.hpp"
+
 namespace titan::cfi {
 
-LogWriter::LogWriter(CfiQueue& queue, soc::Crossbar& axi,
-                     soc::Mailbox& mailbox, FaultHook on_fault)
-    : queue_(queue), axi_(axi), mailbox_(mailbox), on_fault_(std::move(on_fault)) {}
+namespace {
+
+/// Mailbox MAC register packing: each 64-bit register holds two digest words
+/// in the byte order the HMAC accelerator's DIGESTn reads present them
+/// (big-endian within the 32-bit word), so the firmware can compare the
+/// accelerator output against 32-bit mailbox reads with no byte shuffling.
+std::uint64_t mac_reg(const crypto::Digest& digest, unsigned index) {
+  const auto word = [&digest](unsigned w) -> std::uint64_t {
+    return (std::uint64_t{digest[4 * w]} << 24) |
+           (std::uint64_t{digest[4 * w + 1]} << 16) |
+           (std::uint64_t{digest[4 * w + 2]} << 8) |
+           std::uint64_t{digest[4 * w + 3]};
+  };
+  return word(2 * index) | (word(2 * index + 1) << 32);
+}
+
+}  // namespace
+
+LogWriter::LogWriter(QueueController& controller, soc::Crossbar& axi,
+                     soc::Mailbox& mailbox, FaultHook on_fault,
+                     LogWriterConfig config)
+    : controller_(controller),
+      axi_(axi),
+      mailbox_(mailbox),
+      on_fault_(std::move(on_fault)),
+      config_(config) {
+  if (config_.burst < 1 || config_.burst > soc::Mailbox::kBatchSlots) {
+    throw std::invalid_argument("LogWriter: burst must be in [1, kBatchSlots]");
+  }
+  if (config_.mac_batches) {
+    mac_key_.emplace(
+        soc::derive_slot_key(config.device_secret, config.mac_key_sel));
+  }
+  batch_.reserve(config_.burst);
+}
+
+void LogWriter::begin_batch(Cycle now, std::size_t count) {
+  writes_.clear();
+  write_index_ = 0;
+  const soc::Addr base = soc::kCfiMailbox.base;
+  if (config_.burst == 1) {
+    // Paper layout: the single log's beats land in the legacy data registers.
+    const auto beats = batch_[0].pack();
+    for (unsigned beat = 0; beat < CommitLog::kBeats; ++beat) {
+      writes_.push_back(
+          {base + soc::Mailbox::kDataOffset + 8 * beat, beats[beat]});
+    }
+    busy_until_ = now + 1;  // Pop latency.
+    return;
+  }
+  std::vector<std::uint8_t> packed;
+  if (config_.mac_batches) {
+    packed.reserve(count * CommitLog::kBeats * 8);
+  }
+  for (std::size_t slot = 0; slot < count; ++slot) {
+    const auto beats = batch_[slot].pack();
+    for (unsigned beat = 0; beat < CommitLog::kBeats; ++beat) {
+      writes_.push_back(
+          {base + soc::Mailbox::slot_offset(static_cast<unsigned>(slot)) +
+               8 * beat,
+           beats[beat]});
+      if (config_.mac_batches) {
+        for (unsigned byte = 0; byte < 8; ++byte) {
+          packed.push_back(
+              static_cast<std::uint8_t>(beats[beat] >> (8 * byte)));
+        }
+      }
+    }
+  }
+  writes_.push_back({base + soc::Mailbox::kBatchCountOffset,
+                     static_cast<std::uint64_t>(count)});
+  if (config_.mac_batches) {
+    const crypto::Digest digest = mac_key_->mac(packed);
+    for (unsigned index = 0; index < soc::Mailbox::kMacRegs; ++index) {
+      writes_.push_back(
+          {base + soc::Mailbox::kBatchMacOffset + 8 * index,
+           mac_reg(digest, index)});
+    }
+  }
+  // One pop per drained log: the queue SRAM still has a single read port.
+  busy_until_ = now + static_cast<Cycle>(count);
+}
 
 void LogWriter::tick(Cycle now) {
   if (now < busy_until_ || state_ == State::kFault) {
@@ -16,23 +99,26 @@ void LogWriter::tick(Cycle now) {
 
   switch (state_) {
     case State::kIdle: {
-      const auto log = queue_.pop();
-      if (!log.has_value()) {
+      batch_.resize(config_.burst);
+      const std::size_t count = controller_.drain(batch_);
+      if (count == 0) {
         return;
       }
-      current_ = *log;
-      beats_ = current_.pack();
-      beat_index_ = 0;
+      batch_.resize(count);
+      if (on_log_) {
+        for (const CommitLog& log : batch_) {
+          on_log_(log);
+        }
+      }
+      begin_batch(now, count);
       state_ = State::kWriteBeats;
-      busy_until_ = now + 1;  // Pop latency.
       break;
     }
     case State::kWriteBeats: {
-      const soc::Addr addr =
-          soc::kCfiMailbox.base + soc::Mailbox::kDataOffset + 8 * beat_index_;
-      const soc::BusResponse response = axi_.write(addr, 8, beats_[beat_index_]);
+      const PendingWrite& write = writes_[write_index_];
+      const soc::BusResponse response = axi_.write(write.addr, 8, write.value);
       busy_until_ = now + response.latency;
-      if (++beat_index_ == CommitLog::kBeats) {
+      if (++write_index_ == writes_.size()) {
         state_ = State::kRingDoorbell;
       }
       break;
@@ -41,7 +127,8 @@ void LogWriter::tick(Cycle now) {
       const soc::BusResponse response =
           axi_.write(soc::kCfiMailbox.base + soc::Mailbox::kDoorbellOffset, 8, 1);
       busy_until_ = now + response.latency;
-      ++logs_sent_;
+      logs_sent_ += batch_.size();
+      ++batches_sent_;
       state_ = State::kWaitCompletion;
       break;
     }
@@ -65,7 +152,12 @@ void LogWriter::tick(Cycle now) {
         ++violations_;
         state_ = State::kFault;
         if (on_fault_) {
-          on_fault_(current_);
+          // Burst verdicts carry the violating slot index in bits [63:1].
+          std::size_t index = static_cast<std::size_t>(response.value >> 1);
+          if (index >= batch_.size()) {
+            index = 0;
+          }
+          on_fault_(batch_[index]);
         }
       } else {
         state_ = State::kIdle;

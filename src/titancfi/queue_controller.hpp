@@ -60,6 +60,28 @@ class QueueController {
     return allowed;
   }
 
+  /// Burst drain for the Log Writer: pop up to out.size() logs, oldest
+  /// first, freeing that many commit slots at once.  Returns the count
+  /// actually popped.  A drain of 1 is exactly the paper's one-at-a-time
+  /// pop; larger bursts feed the batched mailbox transfer.
+  std::size_t drain(std::span<CommitLog> out) {
+    std::size_t count = 0;
+    while (count < out.size()) {
+      auto log = queue_.pop();
+      if (!log.has_value()) {
+        break;
+      }
+      out[count++] = *log;
+    }
+    if (count > max_drained_) {
+      max_drained_ = count;
+    }
+    return count;
+  }
+
+  /// Largest burst a single drain() call has popped.
+  [[nodiscard]] std::size_t max_drained() const { return max_drained_; }
+
   [[nodiscard]] CfiQueue& queue() { return queue_; }
   [[nodiscard]] const CfiQueue& queue() const { return queue_; }
   [[nodiscard]] const CfiFilter& filter(unsigned port) const {
@@ -74,6 +96,7 @@ class QueueController {
   CfiFilter filters_[2];
   std::uint64_t full_stalls_ = 0;
   std::uint64_t dual_cf_stalls_ = 0;
+  std::size_t max_drained_ = 0;
 };
 
 }  // namespace titan::cfi

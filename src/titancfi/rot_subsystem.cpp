@@ -40,9 +40,8 @@ RotSubsystem::RotSubsystem(const rv::Image& firmware, RotFabric fabric,
   core_ = std::make_unique<ibex::IbexCore>(config, tlul_);
 
   // The HMAC accelerator needs the Ibex clock for its STATUS timing.
-  hmac_ = std::make_unique<soc::HmacMmio>(
-      tlul_, /*device_secret=*/0x0123'4567'89AB'CDEFULL,
-      [this] { return core_->cycle(); });
+  hmac_ = std::make_unique<soc::HmacMmio>(tlul_, kRotDeviceSecret,
+                                          [this] { return core_->cycle(); });
   tlul_.map(soc::kRotHmacAccel, *hmac_, sram_latency(fabric), "hmac");
 
   plic_.enable(kCfiDoorbellIrq);

@@ -31,6 +31,12 @@ enum class RotFabric {
 inline constexpr soc::Region kRotPlic = soc::kRotPlic;
 /// Doorbell interrupt source id on the RoT PLIC.
 inline constexpr unsigned kCfiDoorbellIrq = 1;
+/// Device secret the RoT's key slots derive from (model value; the silicon
+/// part keeps this in OTP).  Shared with the host-side Log Writer model so
+/// batched drains can be MAC'd end to end (soc::derive_slot_key).
+inline constexpr std::uint64_t kRotDeviceSecret = 0x0123'4567'89AB'CDEFULL;
+/// Key slot used to authenticate batched commit-log transfers.
+inline constexpr std::uint32_t kBatchMacKeySlot = 1;
 
 class RotSubsystem {
  public:

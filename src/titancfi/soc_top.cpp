@@ -7,6 +7,24 @@ namespace titan::cfi {
 SocTop::SocTop(const SocConfig& config, const rv::Image& host_program,
                const rv::Image& firmware)
     : config_(config), queue_controller_(config.queue_depth) {
+  // The drain protocol is a contract between the Log Writer and the
+  // firmware; a skew (burst writer + single-log firmware, or MAC on one
+  // side only) would silently disable or falsely trip CFI checking, so
+  // fail construction instead.  Batched images carry "batch"/"batch_mac"
+  // marks (see fw::build_firmware).
+  const bool fw_batched = firmware.marks.contains("batch");
+  const bool fw_mac = firmware.marks.contains("batch_mac");
+  const bool want_batched = config.drain_burst > 1;
+  const bool want_mac = want_batched && config.mac_batches;
+  if (fw_batched != want_batched) {
+    throw std::invalid_argument(
+        "SocTop: drain_burst and firmware batch_capacity disagree "
+        "(build the firmware with batch_capacity matching the burst)");
+  }
+  if (fw_batched && fw_mac != want_mac) {
+    throw std::invalid_argument(
+        "SocTop: mac_batches and firmware batch_mac disagree");
+  }
   host_memory_.load(host_program.base, host_program.bytes);
 
   // Host-domain AXI fabric, mastered by the CFI Log Writer.
@@ -25,12 +43,19 @@ SocTop::SocTop(const SocConfig& config, const rv::Image& host_program,
   rot_ = std::make_unique<RotSubsystem>(firmware, config.fabric, mailbox_,
                                         host_memory_);
 
+  LogWriterConfig writer_config;
+  writer_config.burst = config.drain_burst;
+  writer_config.mac_batches = config.drain_burst > 1 && config.mac_batches;
+  writer_config.device_secret = kRotDeviceSecret;
+  writer_config.mac_key_sel = kBatchMacKeySlot;
   log_writer_ = std::make_unique<LogWriter>(
-      queue_controller_.queue(), axi_, mailbox_, [this](const CommitLog& log) {
+      queue_controller_, axi_, mailbox_,
+      [this](const CommitLog& log) {
         fault_log_ = log;
         fault_seen_ = true;
         host_core_->raise_cfi_fault();
-      });
+      },
+      writer_config);
 }
 
 SocRunResult SocTop::run() {
@@ -80,6 +105,8 @@ SocRunResult SocTop::run() {
   result.queue_full_stalls = queue_controller_.full_stalls();
   result.dual_cf_stalls = queue_controller_.dual_cf_stalls();
   result.doorbells = mailbox_.doorbell_count();
+  result.batches = log_writer_->batches_sent();
+  result.max_batch = queue_controller_.max_drained();
   result.mean_queue_occupancy =
       queue_controller_.queue().stats().mean_occupancy();
   return result;

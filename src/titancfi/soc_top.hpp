@@ -36,6 +36,12 @@ struct SocConfig {
   /// Program the host PMP so untrusted software cannot touch the CFI
   /// mailbox or the authenticated spill arena (paper Sec. VI).
   bool enable_pmp = true;
+  /// Commit logs per doorbell (1 == the paper's one-at-a-time drain; match
+  /// the firmware's FirmwareConfig::batch_capacity when > 1).
+  unsigned drain_burst = 1;
+  /// HMAC each burst with the shared device-secret slot key (burst > 1;
+  /// match FirmwareConfig::batch_mac).
+  bool mac_batches = true;
 };
 
 struct SocRunResult {
@@ -48,6 +54,8 @@ struct SocRunResult {
   std::uint64_t queue_full_stalls = 0;
   std::uint64_t dual_cf_stalls = 0;
   std::uint64_t doorbells = 0;
+  std::uint64_t batches = 0;        ///< Doorbell-delimited burst transfers.
+  std::size_t max_batch = 0;        ///< Largest burst drained from the queue.
   double mean_queue_occupancy = 0.0;
   /// The log that triggered the violation (valid when cfi_fault).
   CommitLog fault_log{};

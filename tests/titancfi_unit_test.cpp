@@ -192,14 +192,15 @@ TEST(QueueController, NeverLosesOrReordersLogsProperty) {
 // ---- LogWriter -----------------------------------------------------------------
 
 struct WriterHarness {
-  CfiQueue queue{4};
+  QueueController controller{4};
+  CfiQueue& queue = controller.queue();
   sim::Memory memory;
   soc::MemoryTarget memory_target{memory};
   soc::Crossbar axi{"axi", 1};
   soc::Mailbox mailbox;
   bool faulted = false;
   CommitLog fault_log;
-  LogWriter writer{queue, axi, mailbox, [this](const CommitLog& log) {
+  LogWriter writer{controller, axi, mailbox, [this](const CommitLog& log) {
                      faulted = true;
                      fault_log = log;
                    }};
