@@ -8,16 +8,28 @@
 // fabric x drain burst) configuration grid through sim::SweepRunner — each
 // point is an independent co-simulation:
 //   bench_fig1 [--threads=N] [--json=PATH]
+//   bench_fig1 --shard=i/K --shard_json=PATH [--threads=N]
+// A --shard run co-simulates only the ShardPlanner-owned slice of the grid
+// and writes a partial report; tools/bench_merge reconstructs the --json
+// output byte-for-byte from all K partials.
 #include <chrono>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 
 #include "firmware/builder.hpp"
+#include "sim/shard_merge.hpp"
 #include "sim/sweep.hpp"
 #include "titancfi/soc_top.hpp"
 #include "workloads/programs.hpp"
 
 namespace {
+
+// Shared by every liveness-grid point and by the report's config
+// fingerprint, so the fingerprint tracks the configuration actually run.
+constexpr unsigned kQueueDepth = 8;
+constexpr int kLivenessFib = 8;
 
 struct LivenessPoint {
   titan::fw::FwVariant variant;
@@ -52,11 +64,11 @@ titan::cfi::SocRunResult run_point(const LivenessPoint& point) {
   fw_config.batch_capacity = point.burst;
   fw_config.batch_mac = point.mac;
   titan::cfi::SocConfig config;
-  config.queue_depth = 8;
+  config.queue_depth = kQueueDepth;
   config.fabric = point.fabric;
   config.drain_burst = point.burst;
   config.mac_batches = point.mac;
-  titan::cfi::SocTop soc(config, titan::workloads::fib_recursive(8),
+  titan::cfi::SocTop soc(config, titan::workloads::fib_recursive(kLivenessFib),
                          titan::fw::build_firmware(fw_config));
   return soc.run();
 }
@@ -65,8 +77,12 @@ titan::cfi::SocRunResult run_point(const LivenessPoint& point) {
 
 int main(int argc, char** argv) {
   const titan::sim::SweepCli cli = titan::sim::parse_sweep_cli(argc, argv);
+  if (!cli.error.empty()) {
+    std::cerr << "bench_fig1: " << cli.error << "\n";
+    return 2;
+  }
   titan::cfi::SocConfig config;
-  config.queue_depth = 8;
+  config.queue_depth = kQueueDepth;
   titan::fw::FirmwareConfig fw_config;
   const auto firmware = titan::fw::build_firmware(fw_config);
   titan::cfi::SocTop soc(config, titan::workloads::fib_recursive(5), firmware);
@@ -132,23 +148,44 @@ int main(int argc, char** argv) {
   sweep_options.threads = cli.threads;
   titan::sim::SweepRunner runner(sweep_options);
   const std::size_t grid_size = std::size(kLivenessGrid);
+
+  // Report identity: shards (and the serial witness) must agree on the
+  // point grid and the fixed configuration before their rows may be merged.
+  std::ostringstream grid_desc;
+  for (const LivenessPoint& point : kLivenessGrid) {
+    grid_desc << point.label << ';';
+  }
+  std::ostringstream config_desc;
+  config_desc << "workload=fib_recursive(" << kLivenessFib
+              << ");queue_depth=" << kQueueDepth;
+  titan::sim::SweepDocHeader header;
+  header.bench = "fig1";
+  header.total_points = grid_size;
+  header.grid_hash = titan::sim::fingerprint_hex(grid_desc.str());
+  header.config_fingerprint = titan::sim::fingerprint_hex(config_desc.str());
+
+  const titan::sim::ShardPlanner planner(grid_size, cli.shard.count);
+  const titan::sim::ShardRange owned = planner.range(cli.shard.index);
+
   const auto start = std::chrono::steady_clock::now();
   const auto results = runner.run<titan::cfi::SocRunResult>(
-      grid_size,
-      [](std::size_t index) { return run_point(kLivenessGrid[index]); });
+      owned.size(), [&owned](std::size_t local) {
+        return run_point(kLivenessGrid[owned.begin + local]);
+      });
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
   std::cout << "\n  Liveness grid (fib(8) through the full stack; "
-            << grid_size << " points, " << runner.threads() << " thread(s), "
-            << std::fixed << std::setprecision(2) << seconds << "s):\n";
+            << owned.size() << " of " << grid_size << " points, "
+            << runner.threads() << " thread(s), " << std::fixed
+            << std::setprecision(2) << seconds << "s):\n";
   std::cout << "    " << std::left << std::setw(28) << "config" << std::right
             << std::setw(8) << "logs" << std::setw(10) << "doorbells"
             << std::setw(9) << "cycles" << std::setw(6) << "viol" << "\n";
   std::uint64_t violations = 0;
-  for (std::size_t index = 0; index < grid_size; ++index) {
-    const auto& result = results[index];
+  for (std::size_t index = owned.begin; index < owned.end; ++index) {
+    const auto& result = results[index - owned.begin];
     std::cout << "    " << std::left << std::setw(28)
               << kLivenessGrid[index].label << std::right << std::setw(8)
               << result.cf_logs << std::setw(10) << result.doorbells
@@ -157,26 +194,30 @@ int main(int argc, char** argv) {
     violations += result.violations;
   }
 
-  if (!cli.json_path.empty()) {
-    titan::sim::JsonWriter json;
+  const auto emit_row = [&results, &owned](titan::sim::JsonWriter& json,
+                                           std::size_t index) {
+    const auto& result = results[index - owned.begin];
     json.begin_object()
-        .field("bench", std::string_view{"fig1"})
-        .field("threads", runner.threads())
-        .field("points", static_cast<std::uint64_t>(grid_size))
-        .field("seconds", seconds)
-        .begin_array("grid");
-    for (std::size_t index = 0; index < grid_size; ++index) {
-      const auto& result = results[index];
-      json.begin_object()
-          .field("config", kLivenessGrid[index].label)
-          .field("cf_logs", result.cf_logs)
-          .field("doorbells", result.doorbells)
-          .field("cycles", static_cast<std::uint64_t>(result.cycles))
-          .field("violations", result.violations)
-          .end_object();
+        .field("config", kLivenessGrid[index].label)
+        .field("cf_logs", result.cf_logs)
+        .field("doorbells", result.doorbells)
+        .field("cycles", static_cast<std::uint64_t>(result.cycles))
+        .field("violations", result.violations)
+        .end_object();
+  };
+
+  if (cli.shard_given) {
+    if (!titan::sim::write_document(
+            cli.shard_json_path,
+            titan::sim::render_shard_document(header, cli.shard, emit_row))) {
+      std::cerr << "cannot write " << cli.shard_json_path << "\n";
+      return 1;
     }
-    json.end_array().end_object();
-    if (!json.write_file(cli.json_path)) {
+  } else if (!cli.json_path.empty()) {
+    // Canonical deterministic report: header + rows only, byte-identical to
+    // what bench_merge reconstructs from K shard partials.
+    if (!titan::sim::write_document(
+            cli.json_path, titan::sim::render_full_document(header, emit_row))) {
       std::cerr << "cannot write " << cli.json_path << "\n";
       return 1;
     }

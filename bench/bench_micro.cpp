@@ -23,6 +23,13 @@
 //   bench_micro --pr2_only       # PR-2 report only
 //   bench_micro --pr2_json=PATH  # PR-2 report destination (BENCH_PR2.json)
 //   bench_micro --threads=N      # sweep worker threads (default: hardware)
+//
+// Process-level sharding of the Table III sweep grid (bench "micro_sweep"):
+//   bench_micro --sweep_json=PATH            # canonical deterministic report
+//   bench_micro --shard=i/K --shard_json=PATH  # partial report for shard i
+// Merging all K partials with tools/bench_merge reconstructs the
+// --sweep_json document byte-for-byte.  Either flag runs only the sweep
+// grid (no google-benchmark suite, no PR reports).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -32,6 +39,8 @@
 #include <iostream>
 #include <string>
 #include <vector>
+
+#include <sstream>
 
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
@@ -45,7 +54,9 @@
 #include "sim/fifo.hpp"
 #include "sim/memory.hpp"
 #include "sim/rng.hpp"
+#include "sim/shard_merge.hpp"
 #include "sim/sweep.hpp"
+#include "sweep_bench_common.hpp"
 #include "soc/bus.hpp"
 #include "titancfi/overhead_model.hpp"
 #include "titancfi/soc_top.hpp"
@@ -461,33 +472,93 @@ struct SweepRow {
   bool operator==(const SweepRow&) const = default;
 };
 
+/// The one OverheadConfig every Table III sweep point replays with
+/// (check_latency varies per column); also the source of the micro_sweep
+/// report's config fingerprint.
+titan::cfi::OverheadConfig sweep_base_config() {
+  titan::cfi::OverheadConfig config;
+  config.queue_depth = 8;
+  config.transport_cycles = 0;
+  return config;
+}
+
+SweepRow table_sweep_point(std::size_t index) {
+  const auto& stats = titan::workloads::benchmark_table()[index];
+  const auto params = titan::workloads::calibrate(stats);
+  const auto measure = [&](std::uint32_t latency) {
+    const auto cf = titan::workloads::synthesize_cf_cycles(stats, params);
+    titan::cfi::OverheadConfig config = sweep_base_config();
+    config.check_latency = latency;
+    return titan::cfi::simulate_cf_cycles(
+               cf, static_cast<titan::sim::Cycle>(stats.cycles), config)
+        .slowdown_percent();
+  };
+  SweepRow row;
+  row.opt = measure(titan::workloads::kOptimizedLatency);
+  row.poll = measure(titan::workloads::kPollingLatency);
+  row.irq = measure(titan::workloads::kIrqLatency);
+  return row;
+}
+
 std::vector<SweepRow> run_table_sweep(unsigned threads, double* seconds) {
   titan::sim::SweepOptions options;
   options.threads = threads;
   titan::sim::SweepRunner runner(options);
   const auto& table = titan::workloads::benchmark_table();
   const auto start = Clock::now();
-  auto rows = runner.run<SweepRow>(table.size(), [&table](std::size_t index) {
-    const auto& stats = table[index];
-    const auto params = titan::workloads::calibrate(stats);
-    const auto measure = [&](std::uint32_t latency) {
-      const auto cf = titan::workloads::synthesize_cf_cycles(stats, params);
-      titan::cfi::OverheadConfig config;
-      config.queue_depth = 8;
-      config.check_latency = latency;
-      config.transport_cycles = 0;
-      return titan::cfi::simulate_cf_cycles(
-                 cf, static_cast<titan::sim::Cycle>(stats.cycles), config)
-          .slowdown_percent();
-    };
-    SweepRow row;
-    row.opt = measure(titan::workloads::kOptimizedLatency);
-    row.poll = measure(titan::workloads::kPollingLatency);
-    row.irq = measure(titan::workloads::kIrqLatency);
-    return row;
-  });
+  auto rows = runner.run<SweepRow>(table.size(), table_sweep_point);
   *seconds = std::chrono::duration<double>(Clock::now() - start).count();
   return rows;
+}
+
+// ---- Sharded sweep-grid mode (bench "micro_sweep") --------------------------
+//
+// The process-level counterpart of run_table_sweep: evaluate only the
+// ShardPlanner-owned slice of the Table III grid and emit the canonical /
+// partial report documents that tools/bench_merge aggregates.
+
+int run_sweep_grid_mode(const titan::sim::ShardSpec& shard, bool shard_given,
+                        const std::string& shard_json_path,
+                        const std::string& sweep_json_path, unsigned threads) {
+  const auto& table = titan::workloads::benchmark_table();
+  const titan::sim::SweepDocHeader header = titan::bench::overhead_sweep_header(
+      "micro_sweep", table, table.size(), sweep_base_config());
+
+  const titan::sim::ShardPlanner planner(table.size(), shard.count);
+  const titan::sim::ShardRange owned = planner.range(shard.index);
+
+  titan::sim::SweepOptions options;
+  options.threads = threads;
+  titan::sim::SweepRunner runner(options);
+  const std::vector<SweepRow> rows = runner.run<SweepRow>(
+      owned.size(), [&owned](std::size_t local) {
+        return table_sweep_point(owned.begin + local);
+      });
+
+  const auto emit_row = [&table, &rows, &owned](titan::sim::JsonWriter& json,
+                                                std::size_t index) {
+    const SweepRow& row = rows[index - owned.begin];
+    json.begin_object()
+        .field("name", table[index].name)
+        .field("opt", row.opt)
+        .field("poll", row.poll)
+        .field("irq", row.irq)
+        .end_object();
+  };
+
+  const std::string path = shard_given ? shard_json_path : sweep_json_path;
+  const std::string document =
+      shard_given
+          ? titan::sim::render_shard_document(header, shard, emit_row)
+          : titan::sim::render_full_document(header, emit_row);
+  if (!titan::sim::write_document(path, document)) {
+    std::cerr << "[micro_sweep] error: cannot write '" << path << "'\n";
+    return 1;
+  }
+  std::cerr << "[micro_sweep] shard " << shard.index << "/" << shard.count
+            << ": rows [" << owned.begin << "," << owned.end << ") of "
+            << table.size() << " -> " << path << "\n";
+  return 0;
 }
 
 struct DrainPoint {
@@ -532,6 +603,12 @@ bool run_pr2_report(const std::string& path, unsigned threads) {
   if (threads == 0) {
     threads = titan::sim::SweepRunner::hardware_threads();
   }
+  // On a 1-hardware-thread host the parallel sweep cannot beat the serial
+  // one; the report records hw_concurrency and withholds the speedup claim
+  // so a run on a small container stays honest (CI's multi-core runners
+  // show the real gain).
+  const unsigned hw_concurrency = titan::sim::SweepRunner::hardware_threads();
+  const bool speedup_meaningful = hw_concurrency > 1;
   std::cerr << "[pr2] table sweep, serial reference...\n";
   double serial_seconds = 0;
   const auto serial = run_table_sweep(1, &serial_seconds);
@@ -561,7 +638,7 @@ bool run_pr2_report(const std::string& path, unsigned threads) {
       .field("description",
              std::string_view{
                  "batched commit-log drain + thread-pooled sweep engine"})
-      .field("hardware_threads", titan::sim::SweepRunner::hardware_threads());
+      .field("hw_concurrency", hw_concurrency);
   json.begin_object("sweep")
       .field("points",
              static_cast<std::uint64_t>(
@@ -572,6 +649,7 @@ bool run_pr2_report(const std::string& path, unsigned threads) {
       .field("speedup", parallel_seconds > 0
                             ? serial_seconds / parallel_seconds
                             : 0.0)
+      .field("speedup_meaningful", speedup_meaningful)
       .field("deterministic", deterministic)
       .end_object();
   json.begin_object("batched_drain")
@@ -600,10 +678,17 @@ bool run_pr2_report(const std::string& path, unsigned threads) {
     std::cerr << "[pr2] error: cannot open '" << path << "' for writing\n";
     return false;
   }
-  std::cerr << "[pr2] sweep speedup:      " << serial_seconds / parallel_seconds
-            << "x on " << threads << " thread(s) (deterministic: "
-            << (deterministic ? "yes" : "NO") << ")\n"
-            << "[pr2] doorbell reduction: " << reduction
+  if (speedup_meaningful) {
+    std::cerr << "[pr2] sweep speedup:      "
+              << serial_seconds / parallel_seconds << "x on " << threads
+              << " thread(s) (deterministic: "
+              << (deterministic ? "yes" : "NO") << ")\n";
+  } else {
+    std::cerr << "[pr2] sweep speedup:      not claimed (1 hardware thread; "
+                 "deterministic: "
+              << (deterministic ? "yes" : "NO") << ")\n";
+  }
+  std::cerr << "[pr2] doorbell reduction: " << reduction
             << "x at burst 8 (stream identical: "
             << (stream_identical ? "yes" : "NO") << ")\n"
             << "[pr2] wrote " << path << "\n";
@@ -615,6 +700,10 @@ bool run_pr2_report(const std::string& path, unsigned threads) {
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_PR1.json";
   std::string pr2_json_path = "BENCH_PR2.json";
+  std::string sweep_json_path;
+  std::string shard_json_path;
+  titan::sim::ShardSpec shard;
+  bool shard_given = false;
   bool pr1_only = false;
   bool pr2_only = false;
   unsigned threads = 0;  // 0 = hardware concurrency
@@ -631,12 +720,45 @@ int main(int argc, char** argv) {
       json_path = arg.substr(std::strlen("--pr1_json="));
     } else if (arg.rfind("--pr2_json=", 0) == 0) {
       pr2_json_path = arg.substr(std::strlen("--pr2_json="));
+    } else if (arg.rfind("--sweep_json=", 0) == 0) {
+      sweep_json_path = arg.substr(std::strlen("--sweep_json="));
+    } else if (arg.rfind("--shard_json=", 0) == 0) {
+      shard_json_path = arg.substr(std::strlen("--shard_json="));
+    } else if (arg.rfind("--shard=", 0) == 0) {
+      if (!titan::sim::parse_shard_spec(
+              arg.c_str() + std::strlen("--shard="), &shard)) {
+        std::cerr << "bench_micro: malformed --shard value '"
+                  << arg.substr(std::strlen("--shard="))
+                  << "' (expected i/K with K >= 1 and i < K)\n";
+        return 2;
+      }
+      shard_given = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = static_cast<unsigned>(
           std::strtoul(arg.c_str() + std::strlen("--threads="), nullptr, 10));
     } else {
       passthrough.push_back(argv[i]);
     }
+  }
+  if (shard_given != !shard_json_path.empty()) {
+    std::cerr << "bench_micro: --shard=i/K and --shard_json=PATH must be "
+                 "given together\n";
+    return 2;
+  }
+  if ((shard_given || !sweep_json_path.empty()) && (pr1_only || pr2_only)) {
+    std::cerr << "bench_micro: --shard/--sweep_json run only the sweep grid "
+                 "and cannot be combined with --pr1_only/--pr2_only\n";
+    return 2;
+  }
+  if (shard_given && !sweep_json_path.empty()) {
+    std::cerr << "bench_micro: --shard writes a partial report via "
+                 "--shard_json; --sweep_json is for single-process runs "
+                 "(merge shards with tools/bench_merge)\n";
+    return 2;
+  }
+  if (shard_given || !sweep_json_path.empty()) {
+    return run_sweep_grid_mode(shard, shard_given, shard_json_path,
+                               sweep_json_path, threads);
   }
   int pass_argc = static_cast<int>(passthrough.size());
   if (!pr1_only && !pr2_only) {

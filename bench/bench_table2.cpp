@@ -8,14 +8,22 @@
 // trace-driven overhead model on calibrated synthetic traces.
 //
 // Each benchmark row is an independent simulation point sharded through
-// sim::SweepRunner:
+// sim::SweepRunner (threads) and, above that, sim::ShardPlanner (processes):
 //   bench_table2 [--threads=N] [--json=PATH]
+//   bench_table2 --shard=i/K --shard_json=PATH [--threads=N]
+// A --shard run evaluates only the owned contiguous slice of the row grid
+// and writes a partial report; merging all K partials with tools/bench_merge
+// reconstructs the single-process --json output byte-for-byte.
 #include <chrono>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 
 #include "baselines/baselines.hpp"
+#include "sim/shard_merge.hpp"
 #include "sim/sweep.hpp"
+#include "sweep_bench_common.hpp"
 #include "titancfi/overhead_model.hpp"
 #include "workloads/embench.hpp"
 
@@ -36,14 +44,21 @@ std::string fmt_opt(std::optional<double> value) {
   return value.has_value() ? fmt(*value) : "n.a.";
 }
 
+/// The one OverheadConfig every Table II point replays with (check_latency
+/// varies per column); also the source of the report's config fingerprint.
+titan::cfi::OverheadConfig base_config() {
+  titan::cfi::OverheadConfig config;
+  config.queue_depth = 1;  // Table II constraint
+  config.transport_cycles = 0;
+  return config;
+}
+
 double ours(const BenchmarkStats& stats,
             const titan::workloads::TraceParams& params,
             std::uint32_t latency) {
   const auto cf = titan::workloads::synthesize_cf_cycles(stats, params);
-  titan::cfi::OverheadConfig config;
-  config.queue_depth = 1;  // Table II constraint
+  titan::cfi::OverheadConfig config = base_config();
   config.check_latency = latency;
-  config.transport_cycles = 0;
   return titan::cfi::simulate_cf_cycles(
              cf, static_cast<titan::sim::Cycle>(stats.cycles), config)
       .slowdown_percent();
@@ -62,6 +77,10 @@ struct Row {
 
 int main(int argc, char** argv) {
   const titan::sim::SweepCli cli = titan::sim::parse_sweep_cli(argc, argv);
+  if (!cli.error.empty()) {
+    std::cerr << "bench_table2: " << cli.error << "\n";
+    return 2;
+  }
   titan::sim::SweepOptions sweep_options;
   sweep_options.threads = cli.threads;
   titan::sim::SweepRunner runner(sweep_options);
@@ -73,10 +92,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Report identity: shards (and the serial witness) must agree on the
+  // point grid and the live configuration before their rows may be merged.
+  const titan::sim::SweepDocHeader header = titan::bench::overhead_sweep_header(
+      "table2", selected, selected.size(), base_config());
+
+  const titan::sim::ShardPlanner planner(selected.size(), cli.shard.count);
+  const titan::sim::ShardRange owned = planner.range(cli.shard.index);
+
   const auto start = std::chrono::steady_clock::now();
   const std::vector<Row> rows = runner.run<Row>(
-      selected.size(), [&selected](std::size_t index) {
-        const BenchmarkStats& stats = *selected[index];
+      owned.size(), [&selected, &owned](std::size_t local) {
+        const BenchmarkStats& stats = *selected[owned.begin + local];
         const auto params = titan::workloads::calibrate(stats);
         const titan::baselines::TraceStats trace_stats{
             static_cast<std::uint64_t>(stats.cycles),
@@ -95,6 +122,34 @@ int main(int argc, char** argv) {
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+
+  const auto emit_row = [&rows, &owned](titan::sim::JsonWriter& json,
+                                        std::size_t index) {
+    const Row& row = rows[index - owned.begin];
+    json.begin_object()
+        .field("name", row.stats->name)
+        .field("dexie_model", row.dexie_model)
+        .field("fixer_model", row.fixer_model)
+        .field("opt", row.opt)
+        .field("poll", row.poll)
+        .field("irq", row.irq)
+        .end_object();
+  };
+
+  if (cli.shard_given) {
+    std::cout << "TABLE II shard " << cli.shard.index << "/"
+              << cli.shard.count << ": rows [" << owned.begin << ","
+              << owned.end << ") of " << selected.size() << " on "
+              << runner.threads() << " thread(s) in " << std::fixed
+              << std::setprecision(2) << seconds << "s\n";
+    if (!titan::sim::write_document(
+            cli.shard_json_path,
+            titan::sim::render_shard_document(header, cli.shard, emit_row))) {
+      std::cerr << "cannot write " << cli.shard_json_path << "\n";
+      return 1;
+    }
+    return 0;
+  }
 
   std::cout << "TABLE II — Runtime slowdown comparison with DExIE [8] and "
                "FIXER [6]  (CFI queue depth 1, slowdown %)\n\n";
@@ -136,25 +191,11 @@ int main(int argc, char** argv) {
             << seconds << "s\n";
 
   if (!cli.json_path.empty()) {
-    titan::sim::JsonWriter json;
-    json.begin_object()
-        .field("bench", std::string_view{"table2"})
-        .field("threads", runner.threads())
-        .field("points", static_cast<std::uint64_t>(rows.size()))
-        .field("seconds", seconds)
-        .begin_array("rows");
-    for (const Row& row : rows) {
-      json.begin_object()
-          .field("name", row.stats->name)
-          .field("dexie_model", row.dexie_model)
-          .field("fixer_model", row.fixer_model)
-          .field("opt", row.opt)
-          .field("poll", row.poll)
-          .field("irq", row.irq)
-          .end_object();
-    }
-    json.end_array().end_object();
-    if (!json.write_file(cli.json_path)) {
+    // Canonical deterministic report: header + rows only (wall-clock and
+    // thread count stay on stdout), so a bench_merge of K shards can
+    // reconstruct this file byte-for-byte.
+    if (!titan::sim::write_document(
+            cli.json_path, titan::sim::render_full_document(header, emit_row))) {
       std::cerr << "cannot write " << cli.json_path << "\n";
       return 1;
     }

@@ -9,14 +9,22 @@
 // Every benchmark row is an independent (calibrate + replay x3) simulation
 // point, so the grid runs through sim::SweepRunner:
 //   bench_table3 [--threads=N] [--json=PATH]
+//   bench_table3 --shard=i/K --shard_json=PATH [--threads=N]
 // Output is printed in table order regardless of thread count (deterministic
 // ordered aggregation), and --json adds a machine-readable dump of the rows.
+// A --shard run evaluates only the ShardPlanner-owned slice and writes a
+// partial report; tools/bench_merge reconstructs the --json output
+// byte-for-byte from all K partials.
 #include <chrono>
 #include <cmath>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 
+#include "sim/shard_merge.hpp"
 #include "sim/sweep.hpp"
+#include "sweep_bench_common.hpp"
 #include "titancfi/overhead_model.hpp"
 #include "workloads/embench.hpp"
 
@@ -35,14 +43,21 @@ std::string fmt(double slowdown) {
 
 std::string paper_fmt(double value) { return value < 0 ? "-" : fmt(value); }
 
+/// The one OverheadConfig every Table III point replays with (check_latency
+/// varies per column); also the source of the report's config fingerprint.
+titan::cfi::OverheadConfig base_config() {
+  titan::cfi::OverheadConfig config;
+  config.queue_depth = 8;
+  config.transport_cycles = 0;
+  return config;
+}
+
 double measure(const BenchmarkStats& stats,
                const titan::workloads::TraceParams& params,
                std::uint32_t latency) {
   const auto cf = titan::workloads::synthesize_cf_cycles(stats, params);
-  titan::cfi::OverheadConfig config;
-  config.queue_depth = 8;
+  titan::cfi::OverheadConfig config = base_config();
   config.check_latency = latency;
-  config.transport_cycles = 0;
   return titan::cfi::simulate_cf_cycles(
              cf, static_cast<titan::sim::Cycle>(stats.cycles), config)
       .slowdown_percent();
@@ -58,15 +73,28 @@ struct Row {
 
 int main(int argc, char** argv) {
   const titan::sim::SweepCli cli = titan::sim::parse_sweep_cli(argc, argv);
+  if (!cli.error.empty()) {
+    std::cerr << "bench_table3: " << cli.error << "\n";
+    return 2;
+  }
   titan::sim::SweepOptions sweep_options;
   sweep_options.threads = cli.threads;
   titan::sim::SweepRunner runner(sweep_options);
 
   const auto& table = titan::workloads::benchmark_table();
+
+  // Report identity: shards (and the serial witness) must agree on the
+  // point grid and the live configuration before their rows may be merged.
+  const titan::sim::SweepDocHeader header = titan::bench::overhead_sweep_header(
+      "table3", table, table.size(), base_config());
+
+  const titan::sim::ShardPlanner planner(table.size(), cli.shard.count);
+  const titan::sim::ShardRange owned = planner.range(cli.shard.index);
+
   const auto start = std::chrono::steady_clock::now();
   const std::vector<Row> rows = runner.run<Row>(
-      table.size(), [&table](std::size_t index) {
-        const BenchmarkStats& stats = table[index];
+      owned.size(), [&table, &owned](std::size_t local) {
+        const BenchmarkStats& stats = table[owned.begin + local];
         const auto params = titan::workloads::calibrate(stats);
         Row row;
         row.opt = measure(stats, params, titan::workloads::kOptimizedLatency);
@@ -77,6 +105,32 @@ int main(int argc, char** argv) {
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+
+  const auto emit_row = [&table, &rows, &owned](titan::sim::JsonWriter& json,
+                                                std::size_t index) {
+    const Row& row = rows[index - owned.begin];
+    json.begin_object()
+        .field("name", table[index].name)
+        .field("opt", row.opt)
+        .field("poll", row.poll)
+        .field("irq", row.irq)
+        .end_object();
+  };
+
+  if (cli.shard_given) {
+    std::cout << "TABLE III shard " << cli.shard.index << "/"
+              << cli.shard.count << ": rows [" << owned.begin << ","
+              << owned.end << ") of " << table.size() << " on "
+              << runner.threads() << " thread(s) in " << std::fixed
+              << std::setprecision(2) << seconds << "s\n";
+    if (!titan::sim::write_document(
+            cli.shard_json_path,
+            titan::sim::render_shard_document(header, cli.shard, emit_row))) {
+      std::cerr << "cannot write " << cli.shard_json_path << "\n";
+      return 1;
+    }
+    return 0;
+  }
 
   std::cout << "TABLE III — Statistics and slowdowns of EmBench-IoT and "
                "RISC-V-Tests  (queue depth 8, slowdown %)\n";
@@ -131,23 +185,11 @@ int main(int argc, char** argv) {
             << seconds << "s\n";
 
   if (!cli.json_path.empty()) {
-    titan::sim::JsonWriter json;
-    json.begin_object()
-        .field("bench", std::string_view{"table3"})
-        .field("threads", runner.threads())
-        .field("points", static_cast<std::uint64_t>(table.size()))
-        .field("seconds", seconds)
-        .begin_array("rows");
-    for (std::size_t index = 0; index < table.size(); ++index) {
-      json.begin_object()
-          .field("name", table[index].name)
-          .field("opt", rows[index].opt)
-          .field("poll", rows[index].poll)
-          .field("irq", rows[index].irq)
-          .end_object();
-    }
-    json.end_array().end_object();
-    if (!json.write_file(cli.json_path)) {
+    // Canonical deterministic report: header + rows only (wall-clock and
+    // thread count stay on stdout), so a bench_merge of K shards can
+    // reconstruct this file byte-for-byte.
+    if (!titan::sim::write_document(
+            cli.json_path, titan::sim::render_full_document(header, emit_row))) {
       std::cerr << "cannot write " << cli.json_path << "\n";
       return 1;
     }

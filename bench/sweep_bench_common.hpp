@@ -1,0 +1,68 @@
+// Shared report-identity helpers for the sweep benches.
+//
+// A shard partial may only merge with shards (and the serial witness) that
+// ran the same point grid under the same configuration, so every sweep
+// bench stamps its documents with a grid hash and a config fingerprint.
+// These helpers derive the fingerprinted text from the *live* values the
+// bench actually runs with — the OverheadConfig instance, the benchmark
+// table rows — so the fingerprint cannot drift from the configuration the
+// way a hand-maintained description literal would, which is the whole point
+// of the skew check in tools/bench_merge.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <type_traits>
+
+#include "sim/shard_merge.hpp"
+#include "titancfi/overhead_model.hpp"
+#include "workloads/embench.hpp"
+
+namespace titan::bench {
+
+/// Grid identity over Table rows (by value or by pointer): the name plus
+/// the two published quantities that drive the trace-driven model.
+template <typename Range>
+[[nodiscard]] std::string benchmark_grid_desc(const Range& rows) {
+  std::ostringstream desc;
+  for (const auto& row : rows) {
+    const workloads::BenchmarkStats& stats = [&]() -> decltype(auto) {
+      if constexpr (std::is_pointer_v<std::decay_t<decltype(row)>>) {
+        return *row;
+      } else {
+        return row;
+      }
+    }();
+    desc << stats.name << ':' << stats.cycles << ':' << stats.cf_count << ';';
+  }
+  return desc.str();
+}
+
+/// Config identity of a trace-driven overhead sweep: the queue/transport
+/// values of the config instance the bench replays with, plus the three
+/// firmware check latencies every row sweeps over.
+[[nodiscard]] inline std::string overhead_config_desc(
+    const cfi::OverheadConfig& config) {
+  std::ostringstream desc;
+  desc << "queue_depth=" << config.queue_depth
+       << ";transport=" << config.transport_cycles
+       << ";lat=" << workloads::kOptimizedLatency << ','
+       << workloads::kPollingLatency << ',' << workloads::kIrqLatency;
+  return desc.str();
+}
+
+/// Document header for an overhead-model sweep over `rows`.
+template <typename Range>
+[[nodiscard]] sim::SweepDocHeader overhead_sweep_header(
+    std::string bench_name, const Range& rows, std::size_t total_points,
+    const cfi::OverheadConfig& config) {
+  sim::SweepDocHeader header;
+  header.bench = std::move(bench_name);
+  header.total_points = total_points;
+  header.grid_hash = sim::fingerprint_hex(benchmark_grid_desc(rows));
+  header.config_fingerprint =
+      sim::fingerprint_hex(overhead_config_desc(config));
+  return header;
+}
+
+}  // namespace titan::bench

@@ -247,7 +247,12 @@ void Assembler::li(Reg rd, std::int64_t value) {
   // 64-bit constant: build upper part recursively, then shift in 12-bit
   // chunks.  value == upper * 2^12 + lo12 with lo12 sign-extended.
   const auto lo12 = static_cast<std::int32_t>((value << 52) >> 52);
-  const std::int64_t upper = (value - lo12) >> 12;
+  // value - lo12 in unsigned space: e.g. INT64_MAX - (-1) must wrap, not
+  // overflow (the low 12 bits cancel, so the reinterpreted result is exact).
+  const std::int64_t upper =
+      static_cast<std::int64_t>(static_cast<std::uint64_t>(value) -
+                                static_cast<std::uint64_t>(lo12)) >>
+      12;
   li(rd, upper);
   slli(rd, rd, 12);
   if (lo12 != 0) {

@@ -1,0 +1,395 @@
+#include "sim/shard_merge.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace titan::sim {
+namespace {
+
+// Bump when the document layout changes incompatibly; bench_merge refuses to
+// mix schemas.
+constexpr int kSchemaVersion = 1;
+
+void write_header(JsonWriter& json, const SweepDocHeader& header) {
+  json.begin_object()
+      .field("bench", std::string_view(header.bench))
+      .field("schema", kSchemaVersion)
+      .field("points", header.total_points)
+      .field("grid_hash", std::string_view(header.grid_hash))
+      .field("config_fingerprint",
+             std::string_view(header.config_fingerprint));
+}
+
+// ---- Minimal scanner over renderer-produced documents -----------------------
+//
+// The merge only ever reads documents this library wrote, so the scanner is
+// deliberately small: it understands strings (with escapes), balanced
+// brackets, and `"key": value` pairs — enough to lift the manifest fields
+// and the rows array out without a general JSON parser, and to reject
+// anything structurally off as a malformed shard file.
+
+/// Position just past the bracket matching the one at `open_pos`, or npos.
+std::size_t skip_balanced(std::string_view text, std::size_t open_pos) {
+  const char open = text[open_pos];
+  const char close = open == '{' ? '}' : ']';
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = open_pos; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == open) {
+      ++depth;
+    } else if (c == close) {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    }
+  }
+  return std::string_view::npos;
+}
+
+/// Position of the value of `"key": ` within `text`, or npos.
+std::size_t find_value(std::string_view text, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string_view::npos) {
+    return at;
+  }
+  std::size_t value = at + needle.size();
+  while (value < text.size() && text[value] == ' ') {
+    ++value;
+  }
+  return value < text.size() ? value : std::string_view::npos;
+}
+
+bool parse_string_field(std::string_view text, std::string_view key,
+                        std::string* out) {
+  const std::size_t value = find_value(text, key);
+  if (value == std::string_view::npos || text[value] != '"') {
+    return false;
+  }
+  out->clear();
+  for (std::size_t i = value + 1; i < text.size(); ++i) {
+    if (text[i] == '\\' && i + 1 < text.size()) {
+      out->push_back(text[++i]);
+    } else if (text[i] == '"') {
+      return true;
+    } else {
+      out->push_back(text[i]);
+    }
+  }
+  return false;
+}
+
+bool parse_uint_field(std::string_view text, std::string_view key,
+                      std::uint64_t* out) {
+  const std::size_t value = find_value(text, key);
+  if (value == std::string_view::npos || text[value] < '0' ||
+      text[value] > '9') {
+    return false;
+  }
+  *out = 0;
+  for (std::size_t i = value; i < text.size() && text[i] >= '0' &&
+                              text[i] <= '9';
+       ++i) {
+    *out = *out * 10 + static_cast<std::uint64_t>(text[i] - '0');
+  }
+  return true;
+}
+
+struct ParsedShard {
+  std::string label;  ///< Path or "shard document #i", for error messages.
+  SweepDocHeader header;
+  std::uint64_t schema = 0;
+  ShardSpec shard;
+  ShardRange claimed;  ///< The [begin, end) the manifest claims to own.
+  std::vector<std::string> rows;
+};
+
+bool parse_shard_document(const std::string& label, std::string_view text,
+                          ParsedShard* out, std::string* error) {
+  out->label = label;
+  const auto fail = [&](const std::string& what) {
+    *error = label + ": " + what;
+    return false;
+  };
+
+  const std::size_t rows_value = find_value(text, "rows");
+  if (rows_value == std::string_view::npos || text[rows_value] != '[') {
+    return fail("missing \"rows\" array (not a shard partial?)");
+  }
+  // Header and manifest live strictly before the rows array, so field
+  // lookups can never alias a row's own keys.
+  const std::string_view prefix = text.substr(0, rows_value);
+
+  if (!parse_string_field(prefix, "bench", &out->header.bench)) {
+    return fail("missing \"bench\"");
+  }
+  if (!parse_uint_field(prefix, "schema", &out->schema)) {
+    return fail("missing \"schema\"");
+  }
+  if (out->schema != static_cast<std::uint64_t>(kSchemaVersion)) {
+    return fail("unsupported schema " + std::to_string(out->schema) +
+                " (this bench_merge understands schema " +
+                std::to_string(kSchemaVersion) + ")");
+  }
+  if (!parse_uint_field(prefix, "points", &out->header.total_points)) {
+    return fail("missing \"points\"");
+  }
+  if (!parse_string_field(prefix, "grid_hash", &out->header.grid_hash)) {
+    return fail("missing \"grid_hash\"");
+  }
+  if (!parse_string_field(prefix, "config_fingerprint",
+                          &out->header.config_fingerprint)) {
+    return fail("missing \"config_fingerprint\"");
+  }
+
+  const std::size_t shard_value = find_value(prefix, "shard");
+  if (shard_value == std::string_view::npos || prefix[shard_value] != '{') {
+    return fail("missing \"shard\" manifest");
+  }
+  const std::size_t shard_end = skip_balanced(prefix, shard_value);
+  if (shard_end == std::string_view::npos) {
+    return fail("unterminated \"shard\" manifest");
+  }
+  const std::string_view manifest =
+      prefix.substr(shard_value, shard_end - shard_value);
+  std::uint64_t index = 0, count = 0, begin = 0, end = 0;
+  if (!parse_uint_field(manifest, "index", &index) ||
+      !parse_uint_field(manifest, "count", &count) ||
+      !parse_uint_field(manifest, "begin", &begin) ||
+      !parse_uint_field(manifest, "end", &end)) {
+    return fail("shard manifest needs index/count/begin/end");
+  }
+  if (count == 0 || index >= count) {
+    return fail("shard manifest claims index " + std::to_string(index) +
+                " of " + std::to_string(count));
+  }
+  out->shard.index = static_cast<unsigned>(index);
+  out->shard.count = static_cast<unsigned>(count);
+  out->claimed.begin = static_cast<std::size_t>(begin);
+  out->claimed.end = static_cast<std::size_t>(end);
+
+  const std::size_t rows_end = skip_balanced(text, rows_value);
+  if (rows_end == std::string_view::npos) {
+    return fail("unterminated \"rows\" array");
+  }
+  // Split the array body into verbatim row-object texts.
+  std::size_t i = rows_value + 1;
+  const std::size_t body_end = rows_end - 1;
+  while (i < body_end) {
+    const char c = text[i];
+    if (c == ' ' || c == '\n' || c == ',') {
+      ++i;
+      continue;
+    }
+    if (c != '{') {
+      return fail("malformed rows array (expected an object element)");
+    }
+    const std::size_t element_end = skip_balanced(text, i);
+    if (element_end == std::string_view::npos || element_end > body_end) {
+      return fail("unterminated row object");
+    }
+    out->rows.emplace_back(text.substr(i, element_end - i));
+    i = element_end;
+  }
+  return true;
+}
+
+MergeResult merge_parsed(std::vector<ParsedShard> shards) {
+  MergeResult result;
+  const auto fail = [&result](std::string what) {
+    result.error = std::move(what);
+    return result;
+  };
+  if (shards.empty()) {
+    return fail("no shard files given");
+  }
+
+  const ParsedShard& first = shards.front();
+  for (const ParsedShard& shard : shards) {
+    if (shard.header.bench != first.header.bench) {
+      return fail("bench mismatch: " + first.label + " is \"" +
+                  first.header.bench + "\" but " + shard.label + " is \"" +
+                  shard.header.bench + "\"");
+    }
+    if (shard.header.total_points != first.header.total_points) {
+      return fail("point count mismatch: " + first.label + " has " +
+                  std::to_string(first.header.total_points) + " but " +
+                  shard.label + " has " +
+                  std::to_string(shard.header.total_points));
+    }
+    if (shard.header.grid_hash != first.header.grid_hash) {
+      return fail("grid hash skew: " + first.label + " has " +
+                  first.header.grid_hash + " but " + shard.label + " has " +
+                  shard.header.grid_hash +
+                  " (shards ran different point grids)");
+    }
+    if (shard.header.config_fingerprint != first.header.config_fingerprint) {
+      return fail("config fingerprint skew: " + first.label + " has " +
+                  first.header.config_fingerprint + " but " + shard.label +
+                  " has " + shard.header.config_fingerprint +
+                  " (shards ran different configurations)");
+    }
+    if (shard.shard.count != first.shard.count) {
+      return fail("shard count mismatch: " + first.label + " says K=" +
+                  std::to_string(first.shard.count) + " but " + shard.label +
+                  " says K=" + std::to_string(shard.shard.count));
+    }
+  }
+
+  const unsigned count = first.shard.count;
+  std::vector<const ParsedShard*> by_index(count, nullptr);
+  for (const ParsedShard& shard : shards) {
+    const ParsedShard*& slot = by_index[shard.shard.index];
+    if (slot != nullptr) {
+      return fail("overlapping shards: index " +
+                  std::to_string(shard.shard.index) + " provided by both " +
+                  slot->label + " and " + shard.label);
+    }
+    slot = &shard;
+  }
+  for (unsigned i = 0; i < count; ++i) {
+    if (by_index[i] == nullptr) {
+      return fail("missing shard " + std::to_string(i) + " of " +
+                  std::to_string(count));
+    }
+  }
+
+  const ShardPlanner planner(first.header.total_points, count);
+  for (unsigned i = 0; i < count; ++i) {
+    const ParsedShard& shard = *by_index[i];
+    const ShardRange planned = planner.range(i);
+    if (shard.claimed.begin != planned.begin ||
+        shard.claimed.end != planned.end) {
+      return fail(shard.label + ": shard " + std::to_string(i) + "/" +
+                  std::to_string(count) + " claims points [" +
+                  std::to_string(shard.claimed.begin) + "," +
+                  std::to_string(shard.claimed.end) +
+                  ") but the plan assigns [" + std::to_string(planned.begin) +
+                  "," + std::to_string(planned.end) + ") (skewed shard plan)");
+    }
+    if (shard.rows.size() != planned.size()) {
+      return fail(shard.label + ": shard " + std::to_string(i) + "/" +
+                  std::to_string(count) + " owns " +
+                  std::to_string(planned.size()) + " points but carries " +
+                  std::to_string(shard.rows.size()) + " rows");
+    }
+  }
+
+  JsonWriter json;
+  write_header(json, first.header);
+  json.begin_array("rows");
+  for (unsigned i = 0; i < count; ++i) {
+    for (const std::string& row : by_index[i]->rows) {
+      json.raw_element(row);
+    }
+  }
+  json.end_array().end_object();
+  result.ok = true;
+  result.merged = json.str();
+  return result;
+}
+
+}  // namespace
+
+std::uint64_t fingerprint64(std::string_view data) {
+  std::uint64_t hash = 14695981039346656037ull;  // FNV-1a offset basis.
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV-1a prime.
+  }
+  return hash;
+}
+
+std::string fingerprint_hex(std::string_view data) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(fingerprint64(data)));
+  return buffer;
+}
+
+std::string render_full_document(const SweepDocHeader& header,
+                                 const RowEmitter& emit_row) {
+  JsonWriter json;
+  write_header(json, header);
+  json.begin_array("rows");
+  for (std::size_t index = 0; index < header.total_points; ++index) {
+    emit_row(json, index);
+  }
+  json.end_array().end_object();
+  return json.str();
+}
+
+std::string render_shard_document(const SweepDocHeader& header,
+                                  const ShardSpec& shard,
+                                  const RowEmitter& emit_row) {
+  const ShardRange owned =
+      ShardPlanner(header.total_points, shard.count).range(shard.index);
+  JsonWriter json;
+  write_header(json, header);
+  json.begin_object("shard")
+      .field("index", shard.index)
+      .field("count", shard.count)
+      .field("begin", static_cast<std::uint64_t>(owned.begin))
+      .field("end", static_cast<std::uint64_t>(owned.end))
+      .end_object();
+  json.begin_array("rows");
+  for (std::size_t index = owned.begin; index < owned.end; ++index) {
+    emit_row(json, index);
+  }
+  json.end_array().end_object();
+  return json.str();
+}
+
+bool write_document(const std::string& path, std::string_view document) {
+  std::ofstream os(path);
+  if (!os) {
+    return false;
+  }
+  os << document << "\n";
+  os.flush();
+  return os.good();
+}
+
+MergeResult merge_shard_documents(const std::vector<std::string>& documents) {
+  std::vector<ParsedShard> shards(documents.size());
+  MergeResult result;
+  for (std::size_t i = 0; i < documents.size(); ++i) {
+    if (!parse_shard_document("shard document #" + std::to_string(i),
+                              documents[i], &shards[i], &result.error)) {
+      return result;
+    }
+  }
+  return merge_parsed(std::move(shards));
+}
+
+MergeResult merge_shard_files(const std::vector<std::string>& paths) {
+  std::vector<ParsedShard> shards(paths.size());
+  MergeResult result;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    std::ifstream is(paths[i]);
+    if (!is) {
+      result.error = "cannot read " + paths[i];
+      return result;
+    }
+    std::ostringstream content;
+    content << is.rdbuf();
+    if (!parse_shard_document(paths[i], content.str(), &shards[i],
+                              &result.error)) {
+      return result;
+    }
+  }
+  return merge_parsed(std::move(shards));
+}
+
+}  // namespace titan::sim

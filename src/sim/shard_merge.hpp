@@ -1,0 +1,89 @@
+// Shard-merge aggregation for process-level sweep sharding.
+//
+// A sweep bench run with `--shard=i/K --shard_json=PATH` evaluates only the
+// ShardPlanner-owned slice of its point grid and writes a *partial report*:
+// the canonical document header (bench name, point count, grid hash, config
+// fingerprint), a shard manifest (index/count and the owned index range),
+// and the owned rows.  tools/bench_merge feeds all K partials through
+// merge_shard_documents(), which
+//
+//   1. validates the manifests — every header field must match across
+//      shards, indices 0..K-1 must each appear exactly once, each owned
+//      range must equal the ShardPlanner partition (a skewed shard means two
+//      processes disagreed about the plan), and each partial must carry
+//      exactly range-many rows;
+//   2. splices the rows arrays verbatim, in shard order.
+//
+// Because the partition is contiguous-by-index and each row is a pure
+// function of its grid index, the merged document is byte-identical to what
+// a serial single-process `--json=PATH` run writes — the property the CI
+// determinism diff (and the paper-table reproduction guarantee) rests on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/sweep.hpp"
+
+namespace titan::sim {
+
+/// FNV-1a 64-bit over `data`; the stable identity hash behind grid_hash and
+/// config_fingerprint (no external deps, cheap, and good enough to detect a
+/// shard built from a different grid or configuration).
+[[nodiscard]] std::uint64_t fingerprint64(std::string_view data);
+
+/// fingerprint64 rendered as 16 lowercase hex digits.
+[[nodiscard]] std::string fingerprint_hex(std::string_view data);
+
+/// The deterministic identity of one sweep report.  Everything here must be
+/// a pure function of the grid and configuration — never wall-clock, thread
+/// count, or host properties — so that shard partials and the serial
+/// document agree byte-for-byte.
+struct SweepDocHeader {
+  std::string bench;               ///< e.g. "table2", "fig1".
+  std::uint64_t total_points = 0;  ///< Size of the full grid.
+  std::string grid_hash;           ///< fingerprint_hex of the point list.
+  std::string config_fingerprint;  ///< fingerprint_hex of the fixed config.
+};
+
+/// Emits one rows-array element (begin_object()...end_object()) for grid
+/// index `index`.
+using RowEmitter = std::function<void(JsonWriter&, std::size_t index)>;
+
+/// Canonical full document: what a serial single-process `--json=PATH` run
+/// writes, and what merging K partials reconstructs.
+[[nodiscard]] std::string render_full_document(const SweepDocHeader& header,
+                                               const RowEmitter& emit_row);
+
+/// Shard partial: canonical header + shard manifest + the rows owned by
+/// ShardPlanner(header.total_points, shard.count).range(shard.index).
+[[nodiscard]] std::string render_shard_document(const SweepDocHeader& header,
+                                                const ShardSpec& shard,
+                                                const RowEmitter& emit_row);
+
+/// Write `document` plus the canonical trailing newline to `path`; false on
+/// any stream error.  Every report file (partial, full, and merged) goes
+/// through here, so the on-disk byte format the determinism diff compares
+/// has exactly one definition.
+[[nodiscard]] bool write_document(const std::string& path,
+                                  std::string_view document);
+
+struct MergeResult {
+  bool ok = false;
+  std::string error;   ///< Loud description of the first validation failure.
+  std::string merged;  ///< Canonical full document when ok.
+};
+
+/// Merge shard partial documents (accepted in any order).
+[[nodiscard]] MergeResult merge_shard_documents(
+    const std::vector<std::string>& documents);
+
+/// File-based wrapper: loads each path and merges.  Errors mention the
+/// offending path.
+[[nodiscard]] MergeResult merge_shard_files(
+    const std::vector<std::string>& paths);
+
+}  // namespace titan::sim

@@ -79,6 +79,38 @@ void SweepRunner::run_indexed(std::size_t count,
   }
 }
 
+// ---- Sharding ---------------------------------------------------------------
+
+bool parse_shard_spec(const char* text, ShardSpec* out) {
+  char* slash = nullptr;
+  const unsigned long index = std::strtoul(text, &slash, 10);
+  if (slash == text || *slash != '/') {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long count = std::strtoul(slash + 1, &end, 10);
+  if (end == slash + 1 || *end != '\0' || count == 0 || index >= count) {
+    return false;
+  }
+  out->index = static_cast<unsigned>(index);
+  out->count = static_cast<unsigned>(count);
+  return true;
+}
+
+ShardPlanner::ShardPlanner(std::size_t total_points, unsigned shard_count)
+    : total_points_(total_points),
+      shard_count_(shard_count == 0 ? 1 : shard_count) {}
+
+ShardRange ShardPlanner::range(unsigned shard_index) const {
+  const std::size_t quotient = total_points_ / shard_count_;
+  const std::size_t remainder = total_points_ % shard_count_;
+  ShardRange owned;
+  owned.begin = shard_index * quotient +
+                std::min<std::size_t>(shard_index, remainder);
+  owned.end = owned.begin + quotient + (shard_index < remainder ? 1 : 0);
+  return owned;
+}
+
 SweepCli parse_sweep_cli(int argc, char** argv, std::string default_json) {
   SweepCli cli;
   cli.json_path = std::move(default_json);
@@ -90,7 +122,26 @@ SweepCli parse_sweep_cli(int argc, char** argv, std::string default_json) {
       cli.threads_given = true;
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       cli.json_path = arg + 7;
+      cli.json_given = true;
+    } else if (std::strncmp(arg, "--shard=", 8) == 0) {
+      if (!parse_shard_spec(arg + 8, &cli.shard)) {
+        cli.error = std::string("malformed --shard value '") + (arg + 8) +
+                    "' (expected i/K with K >= 1 and i < K)";
+        return cli;
+      }
+      cli.shard_given = true;
+    } else if (std::strncmp(arg, "--shard_json=", 13) == 0) {
+      cli.shard_json_path = arg + 13;
     }
+  }
+  if (cli.shard_given && cli.shard_json_path.empty()) {
+    cli.error = "--shard requires --shard_json=PATH (partial report output)";
+  } else if (!cli.shard_given && !cli.shard_json_path.empty()) {
+    cli.error = "--shard_json requires --shard=i/K";
+  } else if (cli.shard_given && cli.json_given) {
+    cli.error =
+        "--shard writes a partial report via --shard_json; --json is for "
+        "single-process runs (merge shards with tools/bench_merge)";
   }
   return cli;
 }
@@ -187,6 +238,12 @@ JsonWriter& JsonWriter::field(std::string_view key, unsigned value) {
 JsonWriter& JsonWriter::field(std::string_view key, bool value) {
   key_prefix(key);
   out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw_element(std::string_view json_text) {
+  comma_and_indent();
+  out_ += json_text;
   return *this;
 }
 

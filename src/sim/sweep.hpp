@@ -67,13 +67,64 @@ class SweepRunner {
   unsigned threads_;
 };
 
+// ---- Process-level sharding -------------------------------------------------
+//
+// SweepRunner parallelises one address space; ShardPlanner is the layer above
+// it: a sweep's point grid is deterministically partitioned into K
+// contiguous-by-index shards so independent *processes* (CI matrix jobs,
+// fork-per-shard drivers) each own a slice.  Contiguity is the property the
+// shard-merge step relies on: concatenating the shards' row arrays in shard
+// order reconstructs the serial row order exactly, so the merged report is
+// byte-identical to a single-process run (see sim/shard_merge.hpp).
+
+/// "I am shard `index` of `count`" — the value of a `--shard=i/K` flag.
+struct ShardSpec {
+  unsigned index = 0;
+  unsigned count = 1;
+};
+
+/// Parse "i/K" (e.g. "2/4") into `out`.  Requires K >= 1 and i < K.
+[[nodiscard]] bool parse_shard_spec(const char* text, ShardSpec* out);
+
+/// Half-open index range [begin, end) owned by one shard.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+};
+
+/// Deterministic contiguous partition of [0, total_points) into shard_count
+/// slices whose sizes differ by at most one (the first total%count shards get
+/// the extra point).  Shards beyond the point count own empty ranges, so any
+/// K is valid for any grid.
+class ShardPlanner {
+ public:
+  ShardPlanner(std::size_t total_points, unsigned shard_count);
+
+  [[nodiscard]] std::size_t total_points() const { return total_points_; }
+  [[nodiscard]] unsigned shard_count() const { return shard_count_; }
+  [[nodiscard]] ShardRange range(unsigned shard_index) const;
+
+ private:
+  std::size_t total_points_;
+  unsigned shard_count_;
+};
+
 /// Command-line conventions shared by the sweep benches:
-///   --threads=N   worker threads for SweepRunner (default 1 == serial)
-///   --json=PATH   destination for the machine-readable report
+///   --threads=N       worker threads for SweepRunner (default 1 == serial)
+///   --json=PATH       destination for the machine-readable report
+///   --shard=i/K       run only shard i of a K-way contiguous partition
+///   --shard_json=PATH destination for the shard's partial report (manifest +
+///                     owned rows; feed all K to tools/bench_merge)
 struct SweepCli {
   unsigned threads = 1;
   std::string json_path;
   bool threads_given = false;
+  bool json_given = false;
+  ShardSpec shard;
+  bool shard_given = false;
+  std::string shard_json_path;
+  std::string error;  ///< Non-empty when a flag was malformed; exit 2.
 };
 
 [[nodiscard]] SweepCli parse_sweep_cli(int argc, char** argv,
@@ -94,6 +145,19 @@ class JsonWriter {
   JsonWriter& field(std::string_view key, unsigned value);
   JsonWriter& field(std::string_view key, bool value);
   JsonWriter& field(std::string_view key, std::string_view value);
+  /// Without this overload a string literal or const char* silently takes
+  /// the bool overload (pointer->bool is a standard conversion, ->
+  /// string_view is user-defined) and emits `true` instead of the string.
+  JsonWriter& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+
+  /// Append pre-rendered JSON text as the next array element (comma and
+  /// indentation handled as usual, the text itself verbatim).  This is how
+  /// the shard merge splices rows extracted from partial reports without
+  /// re-parsing them — splicing verbatim is what makes the merged document
+  /// byte-identical to a serial run's.
+  JsonWriter& raw_element(std::string_view json_text);
 
   [[nodiscard]] const std::string& str() const { return out_; }
   bool write_file(const std::string& path) const;

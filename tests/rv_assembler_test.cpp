@@ -127,13 +127,19 @@ std::int64_t evaluate_li(const Image& image, Xlen xlen) {
     const Inst inst = decode(word_at(image, image.base + offset), xlen);
     switch (inst.op) {
       case Op::kAddi:
-        reg = (inst.rs1 == 0 ? 0 : reg) + inst.imm;
+        // Hardware adds wrap; evaluate in unsigned space to model that
+        // (and keep UBSan quiet about the intentional overflow).
+        reg = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(inst.rs1 == 0 ? 0 : reg) +
+            static_cast<std::uint64_t>(inst.imm));
         break;
       case Op::kLui:
         reg = inst.imm;
         break;
       case Op::kAddiw:
-        reg = static_cast<std::int32_t>(((inst.rs1 == 0 ? 0 : reg) + inst.imm));
+        reg = static_cast<std::int32_t>(static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(inst.rs1 == 0 ? 0 : reg) +
+            static_cast<std::uint64_t>(inst.imm)));
         break;
       case Op::kSlli:
         reg = static_cast<std::int64_t>(static_cast<std::uint64_t>(reg)

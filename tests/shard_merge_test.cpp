@@ -1,0 +1,379 @@
+// Process-level sweep sharding: ShardPlanner partition properties, the
+// --shard CLI surface, and shard-merge aggregation — including the central
+// contract that merging K shard partials reconstructs a serial SweepRunner
+// run's document byte-for-byte, and that inconsistent shard sets are
+// rejected loudly.
+#include "sim/shard_merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/sweep.hpp"
+
+namespace titan::sim {
+namespace {
+
+constexpr unsigned kShardCounts[] = {1, 2, 3, 7};
+
+TEST(ShardPlanner, ExhaustiveCoverageAndNoOverlap) {
+  for (const std::size_t total : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{2}, std::size_t{3},
+                                  std::size_t{5}, std::size_t{6},
+                                  std::size_t{7}, std::size_t{8},
+                                  std::size_t{13}, std::size_t{21},
+                                  std::size_t{32}, std::size_t{100}}) {
+    for (const unsigned count : kShardCounts) {
+      const ShardPlanner planner(total, count);
+      std::vector<int> owners(total, 0);
+      std::size_t previous_end = 0;
+      std::size_t max_size = 0, min_size = total + 1;
+      for (unsigned i = 0; i < count; ++i) {
+        const ShardRange range = planner.range(i);
+        // Contiguous-by-index: each shard starts where the previous ended.
+        EXPECT_EQ(range.begin, previous_end)
+            << "total=" << total << " K=" << count << " shard=" << i;
+        EXPECT_LE(range.begin, range.end);
+        previous_end = range.end;
+        max_size = std::max(max_size, range.size());
+        min_size = std::min(min_size, range.size());
+        for (std::size_t p = range.begin; p < range.end; ++p) {
+          ++owners[p];
+        }
+      }
+      EXPECT_EQ(previous_end, total) << "total=" << total << " K=" << count;
+      for (std::size_t p = 0; p < total; ++p) {
+        EXPECT_EQ(owners[p], 1) << "point " << p << " total=" << total
+                                << " K=" << count;
+      }
+      // Balanced: slice sizes differ by at most one.
+      EXPECT_LE(max_size - min_size, 1u) << "total=" << total
+                                         << " K=" << count;
+    }
+  }
+}
+
+TEST(ShardSpecParse, AcceptsValidRejectsMalformed) {
+  ShardSpec spec;
+  EXPECT_TRUE(parse_shard_spec("2/4", &spec));
+  EXPECT_EQ(spec.index, 2u);
+  EXPECT_EQ(spec.count, 4u);
+  EXPECT_TRUE(parse_shard_spec("0/1", &spec));
+  for (const char* bad : {"", "/", "3", "3/", "/4", "4/4", "5/4", "0/0",
+                          "1/2x", "a/b", "-1/4"}) {
+    EXPECT_FALSE(parse_shard_spec(bad, &spec)) << "'" << bad << "'";
+  }
+}
+
+TEST(SweepCliShard, ParsesShardFlagsAndDiagnosesMisuse) {
+  {
+    const char* argv[] = {"bench", "--shard=1/4", "--shard_json=p.json"};
+    const SweepCli cli = parse_sweep_cli(3, const_cast<char**>(argv));
+    EXPECT_TRUE(cli.error.empty()) << cli.error;
+    EXPECT_TRUE(cli.shard_given);
+    EXPECT_EQ(cli.shard.index, 1u);
+    EXPECT_EQ(cli.shard.count, 4u);
+    EXPECT_EQ(cli.shard_json_path, "p.json");
+  }
+  {
+    const char* argv[] = {"bench", "--shard=9/4", "--shard_json=p.json"};
+    const SweepCli cli = parse_sweep_cli(3, const_cast<char**>(argv));
+    EXPECT_NE(cli.error.find("malformed --shard"), std::string::npos)
+        << cli.error;
+  }
+  {
+    const char* argv[] = {"bench", "--shard=1/4"};
+    const SweepCli cli = parse_sweep_cli(2, const_cast<char**>(argv));
+    EXPECT_NE(cli.error.find("--shard_json"), std::string::npos) << cli.error;
+  }
+  {
+    const char* argv[] = {"bench", "--shard_json=p.json"};
+    const SweepCli cli = parse_sweep_cli(2, const_cast<char**>(argv));
+    EXPECT_NE(cli.error.find("--shard=i/K"), std::string::npos) << cli.error;
+  }
+  {
+    const char* argv[] = {"bench", "--shard=1/4", "--shard_json=p.json",
+                          "--json=full.json"};
+    const SweepCli cli = parse_sweep_cli(4, const_cast<char**>(argv));
+    EXPECT_NE(cli.error.find("--json"), std::string::npos) << cli.error;
+  }
+}
+
+TEST(Fingerprint, StableAndDiscriminating) {
+  EXPECT_EQ(fingerprint_hex("grid-a"), fingerprint_hex("grid-a"));
+  EXPECT_NE(fingerprint_hex("grid-a"), fingerprint_hex("grid-b"));
+  EXPECT_EQ(fingerprint_hex("x").size(), 16u);
+  // FNV-1a 64 published reference value for the empty string.
+  EXPECT_EQ(fingerprint64(""), 14695981039346656037ull);
+}
+
+// ---- Merge byte-identity ----------------------------------------------------
+
+// The synthetic sweep used below mirrors the real benches: each point is a
+// pure function of its grid index (a per-index Rng stream feeding doubles
+// and counters), evaluated through SweepRunner.
+struct SyntheticRow {
+  std::uint64_t ticks = 0;
+  double score = 0;
+};
+
+SyntheticRow synthetic_point(std::size_t index) {
+  Rng rng(0xBEEF + index);
+  SyntheticRow row;
+  for (int i = 0; i < 50; ++i) {
+    row.ticks += rng.next() & 0xFF;
+  }
+  row.score = static_cast<double>(row.ticks) / (1.0 + static_cast<double>(index));
+  return row;
+}
+
+SweepDocHeader synthetic_header(std::size_t total) {
+  SweepDocHeader header;
+  header.bench = "synthetic";
+  header.total_points = total;
+  header.grid_hash = fingerprint_hex("synthetic-grid");
+  header.config_fingerprint = fingerprint_hex("synthetic-config");
+  return header;
+}
+
+/// Serial single-process document: SweepRunner over the full grid.
+std::string render_serial(std::size_t total) {
+  SweepOptions options;
+  options.threads = 1;
+  SweepRunner runner(options);
+  const auto rows = runner.run<SyntheticRow>(total, synthetic_point);
+  return render_full_document(
+      synthetic_header(total), [&rows](JsonWriter& json, std::size_t index) {
+        json.begin_object()
+            .field("index", static_cast<std::uint64_t>(index))
+            .field("ticks", rows[index].ticks)
+            .field("score", rows[index].score)
+            .end_object();
+      });
+}
+
+/// One shard's partial document: its own SweepRunner over the owned slice
+/// only, exactly like a --shard=i/K bench process.
+std::string render_one_shard(std::size_t total, unsigned index,
+                             unsigned count) {
+  const ShardRange owned = ShardPlanner(total, count).range(index);
+  SweepOptions options;
+  options.threads = 2;  // Thread-pooled inside the process, like the benches.
+  SweepRunner runner(options);
+  const auto rows = runner.run<SyntheticRow>(
+      owned.size(),
+      [&owned](std::size_t local) { return synthetic_point(owned.begin + local); });
+  ShardSpec spec;
+  spec.index = index;
+  spec.count = count;
+  return render_shard_document(
+      synthetic_header(total), spec,
+      [&rows, &owned](JsonWriter& json, std::size_t global) {
+        const SyntheticRow& row = rows[global - owned.begin];
+        json.begin_object()
+            .field("index", static_cast<std::uint64_t>(global))
+            .field("ticks", row.ticks)
+            .field("score", row.score)
+            .end_object();
+      });
+}
+
+std::vector<std::string> render_all_shards(std::size_t total, unsigned count) {
+  std::vector<std::string> documents;
+  for (unsigned i = 0; i < count; ++i) {
+    documents.push_back(render_one_shard(total, i, count));
+  }
+  return documents;
+}
+
+TEST(ShardMerge, ByteIdenticalToSerialRunForAllShardCounts) {
+  for (const std::size_t total : {std::size_t{5}, std::size_t{13},
+                                  std::size_t{21}}) {
+    const std::string serial = render_serial(total);
+    for (const unsigned count : kShardCounts) {
+      std::vector<std::string> documents = render_all_shards(total, count);
+      // Shard files arrive in arbitrary order in CI; merge must not care.
+      std::reverse(documents.begin(), documents.end());
+      const MergeResult result = merge_shard_documents(documents);
+      ASSERT_TRUE(result.ok) << result.error;
+      EXPECT_EQ(result.merged, serial)
+          << "total=" << total << " K=" << count;
+    }
+  }
+}
+
+TEST(ShardMerge, EmptyShardsFromOversizedPartitionsMergeFine) {
+  // K=7 over 3 points: four shards own nothing and must still merge.
+  const std::string serial = render_serial(3);
+  const MergeResult result = merge_shard_documents(render_all_shards(3, 7));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.merged, serial);
+}
+
+// ---- Merge rejections -------------------------------------------------------
+
+TEST(ShardMerge, RejectsEmptyInput) {
+  const MergeResult result = merge_shard_documents({});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("no shard files"), std::string::npos)
+      << result.error;
+}
+
+TEST(ShardMerge, RejectsMissingShard) {
+  auto documents = render_all_shards(10, 3);
+  documents.erase(documents.begin() + 1);
+  const MergeResult result = merge_shard_documents(documents);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("missing shard 1 of 3"), std::string::npos)
+      << result.error;
+}
+
+TEST(ShardMerge, RejectsOverlappingShards) {
+  auto documents = render_all_shards(10, 3);
+  documents[2] = documents[1];  // Index 1 twice, index 2 never.
+  const MergeResult result = merge_shard_documents(documents);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("overlapping shards: index 1"),
+            std::string::npos)
+      << result.error;
+}
+
+TEST(ShardMerge, RejectsGridHashSkew) {
+  auto documents = render_all_shards(10, 2);
+  const std::string from = synthetic_header(10).grid_hash;
+  const std::size_t at = documents[1].find(from);
+  ASSERT_NE(at, std::string::npos);
+  documents[1].replace(at, from.size(), fingerprint_hex("other-grid"));
+  const MergeResult result = merge_shard_documents(documents);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("grid hash skew"), std::string::npos)
+      << result.error;
+}
+
+TEST(ShardMerge, RejectsConfigFingerprintSkew) {
+  auto documents = render_all_shards(10, 2);
+  const std::string from = synthetic_header(10).config_fingerprint;
+  const std::size_t at = documents[0].find(from);
+  ASSERT_NE(at, std::string::npos);
+  documents[0].replace(at, from.size(), fingerprint_hex("other-config"));
+  const MergeResult result = merge_shard_documents(documents);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("config fingerprint skew"), std::string::npos)
+      << result.error;
+}
+
+TEST(ShardMerge, RejectsPointCountMismatch) {
+  auto documents = render_all_shards(10, 2);
+  const std::size_t at = documents[1].find("\"points\": 10");
+  ASSERT_NE(at, std::string::npos);
+  documents[1].replace(at, 12, "\"points\": 11");
+  const MergeResult result = merge_shard_documents(documents);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("point count mismatch"), std::string::npos)
+      << result.error;
+}
+
+TEST(ShardMerge, RejectsSkewedShardPlan) {
+  auto documents = render_all_shards(10, 2);
+  // Shard 0 of 2 over 10 points owns [0,5); claim [0,6) instead.
+  const std::size_t at = documents[0].find("\"end\": 5");
+  ASSERT_NE(at, std::string::npos);
+  documents[0].replace(at, 8, "\"end\": 6");
+  const MergeResult result = merge_shard_documents(documents);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("skewed shard plan"), std::string::npos)
+      << result.error;
+}
+
+TEST(ShardMerge, RejectsRowCountMismatch) {
+  // Empty-object rows make element surgery trivial: drop one "{}" element
+  // from an otherwise consistent shard.
+  const auto emit_empty = [](JsonWriter& json, std::size_t) {
+    json.begin_object().end_object();
+  };
+  const SweepDocHeader header = synthetic_header(6);
+  ShardSpec spec0{0, 2}, spec1{1, 2};
+  std::string doc0 = render_shard_document(header, spec0, emit_empty);
+  const std::string doc1 = render_shard_document(header, spec1, emit_empty);
+  const std::size_t at = doc0.find(",\n    {}");
+  ASSERT_NE(at, std::string::npos);
+  doc0.erase(at, std::string(",\n    {}").size());
+  const MergeResult result = merge_shard_documents({doc0, doc1});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("owns 3 points but carries 2 rows"),
+            std::string::npos)
+      << result.error;
+}
+
+TEST(ShardMerge, RejectsDocumentsWithoutManifest) {
+  // A canonical full document is not a shard partial.
+  const std::string full = render_serial(4);
+  const MergeResult result = merge_shard_documents({full});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("shard"), std::string::npos) << result.error;
+}
+
+TEST(ShardMerge, RejectsGarbage) {
+  const MergeResult result = merge_shard_documents({"not json at all"});
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(ShardMergeFiles, ReportsUnreadablePath) {
+  const MergeResult result =
+      merge_shard_files({"/nonexistent/shard.json"});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("cannot read"), std::string::npos)
+      << result.error;
+}
+
+TEST(ShardMergeFiles, MergesRealFiles) {
+  const std::string dir = ::testing::TempDir();
+  const auto documents = render_all_shards(9, 3);
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < documents.size(); ++i) {
+    paths.push_back(dir + "/shard_merge_test_" + std::to_string(i) + ".json");
+    std::ofstream os(paths.back());
+    os << documents[i] << "\n";
+    ASSERT_TRUE(os.good());
+  }
+  const MergeResult result = merge_shard_files(paths);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.merged, render_serial(9));
+  for (const std::string& path : paths) {
+    std::remove(path.c_str());
+  }
+}
+
+// ---- JsonWriter additions ---------------------------------------------------
+
+TEST(JsonWriter, RawElementSplicesVerbatim) {
+  JsonWriter json;
+  json.begin_object().begin_array("rows");
+  json.raw_element("{\n      \"x\": 1\n    }");
+  json.raw_element("{\n      \"x\": 2\n    }");
+  json.end_array().end_object();
+
+  JsonWriter reference;
+  reference.begin_object().begin_array("rows");
+  reference.begin_object().field("x", 1).end_object();
+  reference.begin_object().field("x", 2).end_object();
+  reference.end_array().end_object();
+  EXPECT_EQ(json.str(), reference.str());
+}
+
+TEST(JsonWriter, CStringFieldEmitsStringNotBool) {
+  JsonWriter json;
+  const char* label = "irq/baseline/burst1";
+  json.begin_object().field("config", label).end_object();
+  EXPECT_NE(json.str().find("\"config\": \"irq/baseline/burst1\""),
+            std::string::npos)
+      << json.str();
+}
+
+}  // namespace
+}  // namespace titan::sim

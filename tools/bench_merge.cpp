@@ -1,0 +1,93 @@
+// bench_merge — aggregate process-level sweep shards into one report.
+//
+//   bench_merge --out=MERGED.json shard0.json shard1.json ... shardK-1.json
+//   bench_merge --out=MERGED.json --check-against=SERIAL.json shards...
+//
+// Each input is a partial report written by a sweep bench run with
+// `--shard=i/K --shard_json=PATH` (see src/sim/shard_merge.hpp for the
+// format).  The manifests are validated — grid hash, config fingerprint,
+// point count, exactly-once shard coverage, ShardPlanner-consistent ranges —
+// and the rows are spliced in shard order; any inconsistency is a hard
+// failure.  The merged document is byte-identical to what a serial
+// single-process `--json=PATH` run of the same bench writes, which
+// `--check-against` verifies directly (CI diffs the merge of K shards
+// against a 1-shard witness).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/shard_merge.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: bench_merge [--out=PATH] [--check-against=PATH] "
+               "shard0.json ... shardK-1.json\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::string check_path;
+  std::vector<std::string> shard_paths;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else if (std::strncmp(arg, "--check-against=", 16) == 0) {
+      check_path = arg + 16;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::cerr << "bench_merge: unknown flag '" << arg << "'\n";
+      return usage();
+    } else {
+      shard_paths.emplace_back(arg);
+    }
+  }
+  if (shard_paths.empty()) {
+    return usage();
+  }
+
+  const titan::sim::MergeResult result =
+      titan::sim::merge_shard_files(shard_paths);
+  if (!result.ok) {
+    std::cerr << "bench_merge: FAILED: " << result.error << "\n";
+    return 1;
+  }
+
+  if (!out_path.empty()) {
+    if (!titan::sim::write_document(out_path, result.merged)) {
+      std::cerr << "bench_merge: cannot write " << out_path << "\n";
+      return 1;
+    }
+  } else if (check_path.empty()) {
+    std::cout << result.merged << "\n";
+  }
+
+  if (!check_path.empty()) {
+    std::ifstream is(check_path);
+    if (!is) {
+      std::cerr << "bench_merge: cannot read " << check_path << "\n";
+      return 1;
+    }
+    std::ostringstream serial;
+    serial << is.rdbuf();
+    if (serial.str() != result.merged + "\n") {
+      std::cerr << "bench_merge: DETERMINISM CHECK FAILED: merged output "
+                   "differs from "
+                << check_path << " (" << result.merged.size() + 1 << " vs "
+                << serial.str().size() << " bytes)\n";
+      return 1;
+    }
+    std::cerr << "bench_merge: determinism check passed (merged == "
+              << check_path << ")\n";
+  }
+
+  std::cerr << "bench_merge: merged " << shard_paths.size() << " shard(s)"
+            << (out_path.empty() ? "" : " into " + out_path) << "\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Bench regression gate: warn (never fail) when fresh BENCH numbers regress.
+
+Compares the ratio-style fields (speedups, doorbell reduction) of freshly
+generated BENCH_*.json reports against the baselines committed in the repo,
+with a generous tolerance — the point is to make the perf trajectory visible
+per PR, not to make CI flaky on noisy shared runners.  Emits GitHub Actions
+`::warning::` annotations and always exits 0 unless an input file is missing
+or malformed (a broken gate must be visible).
+
+Usage:
+    bench_regression_gate.py BASELINE.json FRESH.json [BASELINE FRESH ...]
+                             [--tolerance=0.5]
+"""
+
+import json
+import sys
+
+# Fresh must reach baseline * (1 - TOLERANCE) before we warn; 0.5 is
+# deliberately generous because CI runners vary wildly in per-core speed.
+DEFAULT_TOLERANCE = 0.5
+
+# Numeric leaves worth gating: machine-portable ratios, not absolute rates.
+GATED_KEY_SUBSTRINGS = ("speedup", "reduction")
+
+
+def numeric_leaves(node, prefix=""):
+    """Yield (dotted_path, value) for every numeric leaf in a JSON tree."""
+    if isinstance(node, dict):
+        items = node.items()
+    elif isinstance(node, list):
+        items = enumerate(node)
+    else:
+        if isinstance(node, (int, float)) and not isinstance(node, bool):
+            yield prefix, float(node)
+        return
+    for key, value in items:
+        yield from numeric_leaves(value, f"{prefix}.{key}" if prefix else str(key))
+
+
+def gated_fields(report):
+    return {
+        path: value
+        for path, value in numeric_leaves(report)
+        if any(s in path.rsplit(".", 1)[-1] for s in GATED_KEY_SUBSTRINGS)
+    }
+
+
+def speedup_not_measurable(report):
+    """PR2-style reports on 1-hardware-thread hosts can't show sweep speedup
+    (see bench_micro --pr2_only): skip sweep.speedup comparison there."""
+    if report.get("hw_concurrency", report.get("hardware_threads", 2)) <= 1:
+        return True
+    sweep = report.get("sweep", {})
+    return sweep.get("speedup_meaningful") is False
+
+
+def compare(baseline_path, fresh_path, tolerance):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+
+    baseline_fields = gated_fields(baseline)
+    fresh_fields = gated_fields(fresh)
+    skip_sweep = speedup_not_measurable(baseline) or speedup_not_measurable(fresh)
+
+    warned = 0
+    for path, base_value in sorted(baseline_fields.items()):
+        if path not in fresh_fields:
+            print(f"::warning::bench gate: {fresh_path} dropped field "
+                  f"'{path}' (baseline {baseline_path} has {base_value:.3g})")
+            warned += 1
+            continue
+        if skip_sweep and path.startswith("sweep.speedup"):
+            print(f"  skip  {path}: sweep speedup not measurable on a "
+                  f"1-hardware-thread host")
+            continue
+        fresh_value = fresh_fields[path]
+        floor = base_value * (1.0 - tolerance)
+        status = "ok"
+        if fresh_value < floor:
+            print(f"::warning::bench gate: {path} regressed: "
+                  f"{fresh_value:.3g} vs baseline {base_value:.3g} "
+                  f"(floor {floor:.3g}, tolerance {tolerance:.0%}) "
+                  f"[{fresh_path} vs {baseline_path}]")
+            warned += 1
+            status = "SLOW"
+        print(f"  {status:4}  {path}: fresh {fresh_value:.3g} vs "
+              f"baseline {base_value:.3g}")
+    return warned
+
+
+def main(argv):
+    tolerance = DEFAULT_TOLERANCE
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if not paths or len(paths) % 2 != 0:
+        print("usage: bench_regression_gate.py BASELINE FRESH "
+              "[BASELINE FRESH ...] [--tolerance=0.5]", file=sys.stderr)
+        return 2
+
+    warned = 0
+    for baseline_path, fresh_path in zip(paths[0::2], paths[1::2]):
+        print(f"== {baseline_path} vs {fresh_path}")
+        warned += compare(baseline_path, fresh_path, tolerance)
+    print(f"bench gate: {warned} warning(s); perf regressions warn, "
+          f"never fail the build")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
