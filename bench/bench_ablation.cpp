@@ -4,16 +4,16 @@
 //   3. dual-CF-commit stall rate — is the single queue write port really
 //      "a rare event" (paper Sec. IV-B2)?
 //   4. shadow-stack geometry — spill traffic vs on-chip capacity.
+//
+// The co-simulated sections (A3/A4) run the registry's "ablation_depth" and
+// "ablation_ss" scenario grids through the Scenario API.
 #include <iomanip>
 #include <iostream>
 
-#include "firmware/builder.hpp"
+#include "api/api.hpp"
 #include "firmware/shadow_stack.hpp"
 #include "firmware/zipper_stack.hpp"
-#include "titancfi/overhead_model.hpp"
-#include "titancfi/soc_top.hpp"
-#include "workloads/embench.hpp"
-#include "workloads/programs.hpp"
+#include "api/enforce.hpp"
 
 namespace {
 
@@ -71,19 +71,16 @@ void latency_sweep() {
 void cosim_cross_check() {
   std::cout << "\nA3. Co-simulation cross-check (fib(9), polling firmware):\n";
   std::cout << "    depth   cycles   full-stalls   dual-CF-stalls   mean-occ\n";
-  titan::fw::FirmwareConfig fw_config;
-  fw_config.variant = titan::fw::FwVariant::kPolling;
-  const auto firmware = titan::fw::build_firmware(fw_config);
-  for (const std::size_t depth : {1u, 2u, 4u, 8u, 16u}) {
-    titan::cfi::SocConfig config;
-    config.queue_depth = depth;
-    titan::cfi::SocTop soc(config, titan::workloads::fib_recursive(9), firmware);
-    const auto result = soc.run();
-    std::cout << "    " << std::setw(5) << depth << std::setw(9)
-              << result.cycles << std::setw(12) << result.queue_full_stalls
-              << std::setw(15) << result.dual_cf_stalls << std::setw(12)
-              << std::fixed << std::setprecision(2)
-              << result.mean_queue_occupancy << "\n";
+  const titan::api::ScenarioSet grid =
+      titan::api::ScenarioRegistry::global().query("ablation_depth",
+                                                   "ablation_depth");
+  for (const titan::api::Scenario& scenario : grid) {
+    const titan::api::RunReport report = titan::api::run_scenario(scenario);
+    std::cout << "    " << std::setw(5) << scenario.soc_config().queue_depth
+              << std::setw(9) << report.cycles << std::setw(12)
+              << report.queue_full_stalls << std::setw(15)
+              << report.dual_cf_stalls << std::setw(12) << std::fixed
+              << std::setprecision(2) << report.mean_queue_occupancy << "\n";
   }
   std::cout << "    (dual-CF stalls are orders of magnitude rarer than "
                "queue-full stalls — the paper's single-write-port choice is "
@@ -93,19 +90,16 @@ void cosim_cross_check() {
 void shadow_stack_geometry() {
   std::cout << "\nA4. Shadow-stack geometry (call_chain(120), IRQ firmware):\n";
   std::cout << "    capacity  spill-block   hmac-ops   cycles\n";
-  for (const auto& [capacity, block] :
-       {std::pair{8u, 4u}, {16u, 8u}, {32u, 16u}, {64u, 32u}, {128u, 64u}}) {
-    titan::fw::FirmwareConfig fw_config;
-    fw_config.ss_capacity = capacity;
-    fw_config.spill_block = block;
-    titan::cfi::SocConfig config;
-    titan::cfi::SocTop soc(config, titan::workloads::call_chain(120),
-                           titan::fw::build_firmware(fw_config));
-    const auto result = soc.run();
-    std::cout << "    " << std::setw(8) << capacity << std::setw(13) << block
-              << std::setw(11) << soc.rot().hmac().starts() << std::setw(9)
-              << result.cycles << (result.violations ? "  VIOLATION?!" : "")
-              << "\n";
+  const titan::api::ScenarioSet grid =
+      titan::api::ScenarioRegistry::global().query("ablation_ss",
+                                                   "ablation_ss");
+  for (const titan::api::Scenario& scenario : grid) {
+    const titan::api::RunReport report = titan::api::run_scenario(scenario);
+    std::cout << "    " << std::setw(8)
+              << scenario.firmware_config().ss_capacity << std::setw(13)
+              << scenario.firmware_config().spill_block << std::setw(11)
+              << report.rot_hmac_starts << std::setw(9) << report.cycles
+              << (report.violations ? "  VIOLATION?!" : "") << "\n";
   }
   std::cout << "    (larger on-chip capacity trades RoT SRAM for fewer "
                "authenticated spills — paper Sec. VI)\n";

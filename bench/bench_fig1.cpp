@@ -4,76 +4,20 @@
 // layout, and the doorbell/completion wiring are all read back from the
 // instantiated components.
 //
-// The liveness proof at the end runs the full (firmware variant x RoT
-// fabric x drain burst) configuration grid through sim::SweepRunner — each
-// point is an independent co-simulation:
+// The liveness proof at the end runs the registry's "fig1_liveness" scenario
+// grid (firmware variant x RoT fabric x drain burst) through the typed sweep
+// surface — each point is an independent co-simulation:
 //   bench_fig1 [--threads=N] [--json=PATH]
 //   bench_fig1 --shard=i/K --shard_json=PATH [--threads=N]
 // A --shard run co-simulates only the ShardPlanner-owned slice of the grid
-// and writes a partial report; tools/bench_merge reconstructs the --json
-// output byte-for-byte from all K partials.
-#include <chrono>
-#include <fstream>
+// and writes a partial report; tools/bench_merge (or the one-command
+// tools/bench_shard_driver) reconstructs the --json output byte-for-byte
+// from all K partials.
 #include <iomanip>
 #include <iostream>
-#include <sstream>
 
-#include "firmware/builder.hpp"
-#include "sim/shard_merge.hpp"
-#include "sim/sweep.hpp"
-#include "titancfi/soc_top.hpp"
-#include "workloads/programs.hpp"
-
-namespace {
-
-// Shared by every liveness-grid point and by the report's config
-// fingerprint, so the fingerprint tracks the configuration actually run.
-constexpr unsigned kQueueDepth = 8;
-constexpr int kLivenessFib = 8;
-
-struct LivenessPoint {
-  titan::fw::FwVariant variant;
-  titan::cfi::RotFabric fabric;
-  unsigned burst;
-  bool mac;
-  const char* label;
-};
-
-constexpr LivenessPoint kLivenessGrid[] = {
-    {titan::fw::FwVariant::kIrq, titan::cfi::RotFabric::kBaseline, 1, false,
-     "irq/baseline/burst1"},
-    {titan::fw::FwVariant::kIrq, titan::cfi::RotFabric::kBaseline, 8, false,
-     "irq/baseline/burst8"},
-    {titan::fw::FwVariant::kIrq, titan::cfi::RotFabric::kBaseline, 8, true,
-     "irq/baseline/burst8+mac"},
-    {titan::fw::FwVariant::kPolling, titan::cfi::RotFabric::kBaseline, 1,
-     false, "polling/baseline/burst1"},
-    {titan::fw::FwVariant::kPolling, titan::cfi::RotFabric::kBaseline, 8,
-     false, "polling/baseline/burst8"},
-    {titan::fw::FwVariant::kPolling, titan::cfi::RotFabric::kBaseline, 8,
-     true, "polling/baseline/burst8+mac"},
-    {titan::fw::FwVariant::kPolling, titan::cfi::RotFabric::kOptimized, 1,
-     false, "polling/optimized/burst1"},
-    {titan::fw::FwVariant::kPolling, titan::cfi::RotFabric::kOptimized, 8,
-     false, "polling/optimized/burst8"},
-};
-
-titan::cfi::SocRunResult run_point(const LivenessPoint& point) {
-  titan::fw::FirmwareConfig fw_config;
-  fw_config.variant = point.variant;
-  fw_config.batch_capacity = point.burst;
-  fw_config.batch_mac = point.mac;
-  titan::cfi::SocConfig config;
-  config.queue_depth = kQueueDepth;
-  config.fabric = point.fabric;
-  config.drain_burst = point.burst;
-  config.mac_batches = point.mac;
-  titan::cfi::SocTop soc(config, titan::workloads::fib_recursive(kLivenessFib),
-                         titan::fw::build_firmware(fw_config));
-  return soc.run();
-}
-
-}  // namespace
+#include "api/api.hpp"
+#include "api/enforce.hpp"
 
 int main(int argc, char** argv) {
   const titan::sim::SweepCli cli = titan::sim::parse_sweep_cli(argc, argv);
@@ -81,11 +25,18 @@ int main(int argc, char** argv) {
     std::cerr << "bench_fig1: " << cli.error << "\n";
     return 2;
   }
-  titan::cfi::SocConfig config;
-  config.queue_depth = kQueueDepth;
-  titan::fw::FirmwareConfig fw_config;
-  const auto firmware = titan::fw::build_firmware(fw_config);
-  titan::cfi::SocTop soc(config, titan::workloads::fib_recursive(5), firmware);
+
+  // A representative scenario (grid point 0) instantiated for the
+  // structural dump: everything printed below is read back from this object
+  // graph, through the Scenario API's one construction path.
+  const titan::api::ScenarioSet grid =
+      titan::api::ScenarioRegistry::global().query("fig1_liveness", "fig1");
+  if (grid.empty()) {
+    std::cerr << "bench_fig1: registry has no fig1_liveness scenarios\n";
+    return 1;
+  }
+  const auto soc = grid[0].make_soc();
+  const titan::rv::Image firmware = grid[0].firmware_image();
 
   std::cout << "FIG. 1 — Architecture of TitanCFI (structural dump of the "
                "instantiated SoC)\n\n";
@@ -96,16 +47,16 @@ int main(int argc, char** argv) {
       << "    commit port 1 ──> CFI Filter1 ─┤ (calls / returns / indirect "
          "jumps)\n"
       << "                                   v\n"
-      << "    CFI Queue: depth " << soc.queue_controller().queue().depth()
+      << "    CFI Queue: depth " << soc->queue_controller().queue().depth()
       << ", " << titan::cfi::CommitLog::kBits
       << "-bit commit logs {pc, encoding, next, target}\n"
       << "    Queue Controller: stalls commit on full queue / dual-CF cycle\n"
       << "    CFI Log Writer FSM: pop -> " << titan::cfi::CommitLog::kBeats
       << " x 64-bit AXI beats -> doorbell -> wait -> verdict\n\n";
 
-  std::cout << "  Host AXI crossbar '" << soc.axi().name()
-            << "' (hop latency " << soc.axi().hop_latency() << " cycles):\n";
-  for (const auto& mapping : soc.axi().mappings()) {
+  std::cout << "  Host AXI crossbar '" << soc->axi().name()
+            << "' (hop latency " << soc->axi().hop_latency() << " cycles):\n";
+  for (const auto& mapping : soc->axi().mappings()) {
     std::cout << "    0x" << std::hex << std::setw(9) << std::setfill('0')
               << mapping.region.base << std::dec << std::setfill(' ')
               << "  +" << std::setw(8) << mapping.region.size << "  "
@@ -122,10 +73,10 @@ int main(int argc, char** argv) {
             << "    completion-cfi ─> wired directly to the CFI Log Writer "
                "(not the host PLIC)\n";
 
-  std::cout << "\n  OpenTitan RoT TL-UL fabric '" << soc.rot().fabric().name()
-            << "' (hop latency " << soc.rot().fabric().hop_latency()
+  std::cout << "\n  OpenTitan RoT TL-UL fabric '" << soc->rot().fabric().name()
+            << "' (hop latency " << soc->rot().fabric().hop_latency()
             << " cycles):\n";
-  for (const auto& mapping : soc.rot().fabric().mappings()) {
+  for (const auto& mapping : soc->rot().fabric().mappings()) {
     std::cout << "    0x" << std::hex << std::setw(9) << std::setfill('0')
               << mapping.region.base << std::dec << std::setfill(' ')
               << "  +" << std::setw(8) << mapping.region.size << "  "
@@ -141,86 +92,33 @@ int main(int argc, char** argv) {
               << "\n";
   }
 
-  // Prove the wiring is live, not cosmetic: run the full configuration grid
-  // and show traffic.  Each point is an independent co-simulation, sharded
-  // across threads by the sweep engine with index-ordered aggregation.
-  titan::sim::SweepOptions sweep_options;
-  sweep_options.threads = cli.threads;
-  titan::sim::SweepRunner runner(sweep_options);
-  const std::size_t grid_size = std::size(kLivenessGrid);
-
-  // Report identity: shards (and the serial witness) must agree on the
-  // point grid and the fixed configuration before their rows may be merged.
-  std::ostringstream grid_desc;
-  for (const LivenessPoint& point : kLivenessGrid) {
-    grid_desc << point.label << ';';
+  // Prove the wiring is live, not cosmetic: run the full scenario grid and
+  // show traffic.  The typed sweep surface shards the points across threads
+  // (and, with --shard, across processes) with index-ordered aggregation.
+  const titan::api::SweepPlan<titan::api::RunReport> plan =
+      titan::api::scenario_sweep_plan(grid);
+  titan::api::SweepOutcome<titan::api::RunReport> outcome;
+  const int exit_code = titan::api::run_sweep(plan, cli, &outcome);
+  if (exit_code != 0) {
+    return exit_code;
   }
-  std::ostringstream config_desc;
-  config_desc << "workload=fib_recursive(" << kLivenessFib
-              << ");queue_depth=" << kQueueDepth;
-  titan::sim::SweepDocHeader header;
-  header.bench = "fig1";
-  header.total_points = grid_size;
-  header.grid_hash = titan::sim::fingerprint_hex(grid_desc.str());
-  header.config_fingerprint = titan::sim::fingerprint_hex(config_desc.str());
-
-  const titan::sim::ShardPlanner planner(grid_size, cli.shard.count);
-  const titan::sim::ShardRange owned = planner.range(cli.shard.index);
-
-  const auto start = std::chrono::steady_clock::now();
-  const auto results = runner.run<titan::cfi::SocRunResult>(
-      owned.size(), [&owned](std::size_t local) {
-        return run_point(kLivenessGrid[owned.begin + local]);
-      });
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
 
   std::cout << "\n  Liveness grid (fib(8) through the full stack; "
-            << owned.size() << " of " << grid_size << " points, "
-            << runner.threads() << " thread(s), " << std::fixed
-            << std::setprecision(2) << seconds << "s):\n";
-  std::cout << "    " << std::left << std::setw(28) << "config" << std::right
+            << outcome.owned.size() << " of " << grid.size() << " points, "
+            << outcome.threads << " thread(s), " << std::fixed
+            << std::setprecision(2) << outcome.seconds << "s):\n";
+  std::cout << "    " << std::left << std::setw(28) << "scenario" << std::right
             << std::setw(8) << "logs" << std::setw(10) << "doorbells"
             << std::setw(9) << "cycles" << std::setw(6) << "viol" << "\n";
   std::uint64_t violations = 0;
-  for (std::size_t index = owned.begin; index < owned.end; ++index) {
-    const auto& result = results[index - owned.begin];
-    std::cout << "    " << std::left << std::setw(28)
-              << kLivenessGrid[index].label << std::right << std::setw(8)
-              << result.cf_logs << std::setw(10) << result.doorbells
-              << std::setw(9) << result.cycles << std::setw(6)
-              << result.violations << "\n";
-    violations += result.violations;
-  }
-
-  const auto emit_row = [&results, &owned](titan::sim::JsonWriter& json,
-                                           std::size_t index) {
-    const auto& result = results[index - owned.begin];
-    json.begin_object()
-        .field("config", kLivenessGrid[index].label)
-        .field("cf_logs", result.cf_logs)
-        .field("doorbells", result.doorbells)
-        .field("cycles", static_cast<std::uint64_t>(result.cycles))
-        .field("violations", result.violations)
-        .end_object();
-  };
-
-  if (cli.shard_given) {
-    if (!titan::sim::write_document(
-            cli.shard_json_path,
-            titan::sim::render_shard_document(header, cli.shard, emit_row))) {
-      std::cerr << "cannot write " << cli.shard_json_path << "\n";
-      return 1;
-    }
-  } else if (!cli.json_path.empty()) {
-    // Canonical deterministic report: header + rows only, byte-identical to
-    // what bench_merge reconstructs from K shard partials.
-    if (!titan::sim::write_document(
-            cli.json_path, titan::sim::render_full_document(header, emit_row))) {
-      std::cerr << "cannot write " << cli.json_path << "\n";
-      return 1;
-    }
+  for (std::size_t index = outcome.owned.begin; index < outcome.owned.end;
+       ++index) {
+    const titan::api::RunReport& report = outcome.at_global(index);
+    std::cout << "    " << std::left << std::setw(28) << report.scenario
+              << std::right << std::setw(8) << report.cf_logs << std::setw(10)
+              << report.doorbells << std::setw(9) << report.cycles
+              << std::setw(6) << report.violations << "\n";
+    violations += report.violations;
   }
   return violations == 0 ? 0 : 1;
 }

@@ -15,37 +15,36 @@
 //   bench_micro --pr1_json=PATH  # PR-1 report destination (BENCH_PR1.json)
 //
 // PR-2 report (BENCH_PR2.json): the full Table III sweep run serially and
-// through the thread-pooled sim::SweepRunner (wall-clock + bitwise
-// determinism check), plus the batched commit-log drain before/after
-// (doorbells per log at burst 1 vs 8, with and without the burst MAC) and
-// the Table I per-op costs in one-at-a-time mode as the
-// reproduction-unchanged witness:
+// through the thread-pooled sweep surface (wall-clock + bitwise determinism
+// check), plus the batched commit-log drain before/after on the registry's
+// "drain_study" scenarios, and the Table I per-op costs in one-at-a-time
+// mode as the reproduction-unchanged witness:
 //   bench_micro --pr2_only       # PR-2 report only
 //   bench_micro --pr2_json=PATH  # PR-2 report destination (BENCH_PR2.json)
 //   bench_micro --threads=N      # sweep worker threads (default: hardware)
 //
-// Process-level sharding of the Table III sweep grid (bench "micro_sweep"):
+// Process-level sharding of the typed api::OverheadGrid::micro_sweep() grid:
 //   bench_micro --sweep_json=PATH            # canonical deterministic report
 //   bench_micro --shard=i/K --shard_json=PATH  # partial report for shard i
-// Merging all K partials with tools/bench_merge reconstructs the
-// --sweep_json document byte-for-byte.  Either flag runs only the sweep
-// grid (no google-benchmark suite, no PR reports).
+// Merging all K partials with tools/bench_merge (or in one command with
+// tools/bench_shard_driver) reconstructs the --sweep_json document
+// byte-for-byte.  Either flag runs only the sweep grid (no google-benchmark
+// suite, no PR reports).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include <sstream>
-
+#include "api/api.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
 #include "cva6/core.hpp"
-#include "firmware/builder.hpp"
 #include "firmware/table1.hpp"
 #include "ibex/core.hpp"
 #include "rv/assembler.hpp"
@@ -54,14 +53,9 @@
 #include "sim/fifo.hpp"
 #include "sim/memory.hpp"
 #include "sim/rng.hpp"
-#include "sim/shard_merge.hpp"
-#include "sim/sweep.hpp"
-#include "sweep_bench_common.hpp"
 #include "soc/bus.hpp"
-#include "titancfi/overhead_model.hpp"
-#include "titancfi/soc_top.hpp"
-#include "workloads/embench.hpp"
 #include "workloads/programs.hpp"
+#include "api/enforce.hpp"
 
 namespace {
 
@@ -108,9 +102,12 @@ void BM_ExpandRvc(benchmark::State& state) {
 BENCHMARK(BM_ExpandRvc);
 
 void BM_AssembleFirmware(benchmark::State& state) {
-  titan::fw::FirmwareConfig config;
+  const titan::api::Scenario scenario = titan::api::ScenarioBuilder()
+                                            .name("bm_firmware")
+                                            .workload(titan::api::Workload::fib(1))
+                                            .build();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(titan::fw::build_firmware(config));
+    benchmark::DoNotOptimize(scenario.firmware_image());
   }
 }
 BENCHMARK(BM_AssembleFirmware);
@@ -472,130 +469,84 @@ struct SweepRow {
   bool operator==(const SweepRow&) const = default;
 };
 
-/// The one OverheadConfig every Table III sweep point replays with
-/// (check_latency varies per column); also the source of the micro_sweep
-/// report's config fingerprint.
-titan::cfi::OverheadConfig sweep_base_config() {
-  titan::cfi::OverheadConfig config;
-  config.queue_depth = 8;
-  config.transport_cycles = 0;
-  return config;
-}
-
-SweepRow table_sweep_point(std::size_t index) {
-  const auto& stats = titan::workloads::benchmark_table()[index];
-  const auto params = titan::workloads::calibrate(stats);
-  const auto measure = [&](std::uint32_t latency) {
-    const auto cf = titan::workloads::synthesize_cf_cycles(stats, params);
-    titan::cfi::OverheadConfig config = sweep_base_config();
-    config.check_latency = latency;
-    return titan::cfi::simulate_cf_cycles(
-               cf, static_cast<titan::sim::Cycle>(stats.cycles), config)
-        .slowdown_percent();
-  };
+SweepRow table_sweep_point(const titan::api::OverheadGrid& grid,
+                           std::size_t index) {
+  const auto params = titan::workloads::calibrate(grid.row(index));
   SweepRow row;
-  row.opt = measure(titan::workloads::kOptimizedLatency);
-  row.poll = measure(titan::workloads::kPollingLatency);
-  row.irq = measure(titan::workloads::kIrqLatency);
+  row.opt = grid.slowdown(index, params, titan::workloads::kOptimizedLatency);
+  row.poll = grid.slowdown(index, params, titan::workloads::kPollingLatency);
+  row.irq = grid.slowdown(index, params, titan::workloads::kIrqLatency);
   return row;
 }
 
-std::vector<SweepRow> run_table_sweep(unsigned threads, double* seconds) {
+std::vector<SweepRow> run_table_sweep(const titan::api::OverheadGrid& grid,
+                                      unsigned threads, double* seconds) {
   titan::sim::SweepOptions options;
   options.threads = threads;
   titan::sim::SweepRunner runner(options);
-  const auto& table = titan::workloads::benchmark_table();
   const auto start = Clock::now();
-  auto rows = runner.run<SweepRow>(table.size(), table_sweep_point);
+  auto rows = runner.run<SweepRow>(grid.size(), [&grid](std::size_t index) {
+    return table_sweep_point(grid, index);
+  });
   *seconds = std::chrono::duration<double>(Clock::now() - start).count();
   return rows;
 }
 
 // ---- Sharded sweep-grid mode (bench "micro_sweep") --------------------------
-//
-// The process-level counterpart of run_table_sweep: evaluate only the
-// ShardPlanner-owned slice of the Table III grid and emit the canonical /
-// partial report documents that tools/bench_merge aggregates.
 
-int run_sweep_grid_mode(const titan::sim::ShardSpec& shard, bool shard_given,
-                        const std::string& shard_json_path,
-                        const std::string& sweep_json_path, unsigned threads) {
-  const auto& table = titan::workloads::benchmark_table();
-  const titan::sim::SweepDocHeader header = titan::bench::overhead_sweep_header(
-      "micro_sweep", table, table.size(), sweep_base_config());
-
-  const titan::sim::ShardPlanner planner(table.size(), shard.count);
-  const titan::sim::ShardRange owned = planner.range(shard.index);
-
-  titan::sim::SweepOptions options;
-  options.threads = threads;
-  titan::sim::SweepRunner runner(options);
-  const std::vector<SweepRow> rows = runner.run<SweepRow>(
-      owned.size(), [&owned](std::size_t local) {
-        return table_sweep_point(owned.begin + local);
-      });
-
-  const auto emit_row = [&table, &rows, &owned](titan::sim::JsonWriter& json,
-                                                std::size_t index) {
-    const SweepRow& row = rows[index - owned.begin];
+int run_sweep_grid_mode(const titan::sim::SweepCli& cli) {
+  const titan::api::OverheadGrid grid = titan::api::OverheadGrid::micro_sweep();
+  titan::api::SweepPlan<SweepRow> plan;
+  plan.header = grid.header();
+  plan.point = [&grid](std::size_t index) {
+    return table_sweep_point(grid, index);
+  };
+  plan.emit = [&grid](titan::sim::JsonWriter& json, const SweepRow& row,
+                      std::size_t index) {
     json.begin_object()
-        .field("name", table[index].name)
+        .field("name", grid.row(index).name)
         .field("opt", row.opt)
         .field("poll", row.poll)
         .field("irq", row.irq)
         .end_object();
   };
-
-  const std::string path = shard_given ? shard_json_path : sweep_json_path;
-  const std::string document =
-      shard_given
-          ? titan::sim::render_shard_document(header, shard, emit_row)
-          : titan::sim::render_full_document(header, emit_row);
-  if (!titan::sim::write_document(path, document)) {
-    std::cerr << "[micro_sweep] error: cannot write '" << path << "'\n";
-    return 1;
+  titan::api::SweepOutcome<SweepRow> outcome;
+  const int exit_code = titan::api::run_sweep(plan, cli, &outcome);
+  if (exit_code != 0) {
+    return exit_code;
   }
-  std::cerr << "[micro_sweep] shard " << shard.index << "/" << shard.count
-            << ": rows [" << owned.begin << "," << owned.end << ") of "
-            << table.size() << " -> " << path << "\n";
+  std::cerr << "[micro_sweep] shard " << cli.shard.index << "/"
+            << cli.shard.count << ": rows [" << outcome.owned.begin << ","
+            << outcome.owned.end << ") of " << grid.size() << " -> "
+            << (cli.shard_given ? cli.shard_json_path : cli.json_path) << "\n";
   return 0;
 }
 
 struct DrainPoint {
-  titan::cfi::SocRunResult result;
+  titan::api::RunReport report;
   std::vector<titan::cfi::CommitLog> stream;
 };
 
-DrainPoint run_drain(unsigned burst, bool mac) {
-  titan::fw::FirmwareConfig fw_config;
-  fw_config.batch_capacity = burst;
-  fw_config.batch_mac = mac;
-  titan::cfi::SocConfig config;
-  config.queue_depth = 8;
-  config.drain_burst = burst;
-  config.mac_batches = mac;
-  titan::cfi::SocTop soc(config, titan::workloads::fib_recursive(10),
-                         titan::fw::build_firmware(fw_config));
+DrainPoint run_drain(const titan::api::Scenario& scenario) {
   DrainPoint point;
-  soc.log_writer().set_log_capture(
-      [&point](const titan::cfi::CommitLog& log) {
-        point.stream.push_back(log);
-      });
-  point.result = soc.run();
+  titan::api::RunHooks hooks;
+  hooks.log_capture = [&point](const titan::cfi::CommitLog& log) {
+    point.stream.push_back(log);
+  };
+  point.report = titan::api::run_scenario(scenario, hooks);
   return point;
 }
 
 void emit_drain_point(titan::sim::JsonWriter& json, std::string_view key,
                       const DrainPoint& point) {
-  const auto& r = point.result;
+  const titan::api::RunReport& r = point.report;
   json.begin_object(key)
       .field("cf_logs", r.cf_logs)
       .field("doorbells", r.doorbells)
       .field("batches", r.batches)
-      .field("max_batch", static_cast<std::uint64_t>(r.max_batch))
-      .field("cycles", static_cast<std::uint64_t>(r.cycles))
-      .field("doorbells_per_log",
-             static_cast<double>(r.doorbells) / static_cast<double>(r.cf_logs))
+      .field("max_batch", r.max_batch)
+      .field("cycles", r.cycles)
+      .field("doorbells_per_log", r.doorbells_per_log())
       .end_object();
 }
 
@@ -609,18 +560,29 @@ bool run_pr2_report(const std::string& path, unsigned threads) {
   // show the real gain).
   const unsigned hw_concurrency = titan::sim::SweepRunner::hardware_threads();
   const bool speedup_meaningful = hw_concurrency > 1;
+  const titan::api::OverheadGrid grid = titan::api::OverheadGrid::micro_sweep();
   std::cerr << "[pr2] table sweep, serial reference...\n";
   double serial_seconds = 0;
-  const auto serial = run_table_sweep(1, &serial_seconds);
+  const auto serial = run_table_sweep(grid, 1, &serial_seconds);
   std::cerr << "[pr2] table sweep, " << threads << " thread(s)...\n";
   double parallel_seconds = 0;
-  const auto parallel = run_table_sweep(threads, &parallel_seconds);
+  const auto parallel = run_table_sweep(grid, threads, &parallel_seconds);
   const bool deterministic = serial == parallel;
 
-  std::cerr << "[pr2] batched drain before/after (fib(10))...\n";
-  const DrainPoint burst1 = run_drain(1, false);
-  const DrainPoint burst8 = run_drain(8, false);
-  const DrainPoint burst8_mac = run_drain(8, true);
+  std::cerr << "[pr2] batched drain before/after (drain_study scenarios)...\n";
+  const auto& registry = titan::api::ScenarioRegistry::global();
+  const auto find_drain = [&registry](const char* name) {
+    const titan::api::Scenario* scenario = registry.find(name);
+    if (scenario == nullptr) {
+      std::cerr << "[pr2] error: registry has no '" << name << "' scenario\n";
+      std::exit(1);
+    }
+    return scenario;
+  };
+  const DrainPoint burst1 = run_drain(*find_drain("drain/burst1"));
+  const DrainPoint burst8 = run_drain(*find_drain("drain/burst8"));
+  const DrainPoint burst8_mac =
+      run_drain(*find_drain("drain/burst8_mac"));
   const bool stream_identical =
       burst1.stream == burst8.stream && burst1.stream == burst8_mac.stream;
 
@@ -640,9 +602,7 @@ bool run_pr2_report(const std::string& path, unsigned threads) {
                  "batched commit-log drain + thread-pooled sweep engine"})
       .field("hw_concurrency", hw_concurrency);
   json.begin_object("sweep")
-      .field("points",
-             static_cast<std::uint64_t>(
-                 titan::workloads::benchmark_table().size()))
+      .field("points", static_cast<std::uint64_t>(grid.size()))
       .field("threads", threads)
       .field("serial_seconds", serial_seconds)
       .field("parallel_seconds", parallel_seconds)
@@ -658,8 +618,8 @@ bool run_pr2_report(const std::string& path, unsigned threads) {
   emit_drain_point(json, "burst8", burst8);
   emit_drain_point(json, "burst8_mac", burst8_mac);
   const double reduction =
-      static_cast<double>(burst1.result.doorbells) /
-      static_cast<double>(burst8.result.doorbells);
+      static_cast<double>(burst1.report.doorbells) /
+      static_cast<double>(burst8.report.doorbells);
   json.field("doorbell_reduction_burst8", reduction)
       .field("stream_identical", stream_identical)
       .end_object();
@@ -700,13 +660,10 @@ bool run_pr2_report(const std::string& path, unsigned threads) {
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_PR1.json";
   std::string pr2_json_path = "BENCH_PR2.json";
-  std::string sweep_json_path;
-  std::string shard_json_path;
-  titan::sim::ShardSpec shard;
-  bool shard_given = false;
+  titan::sim::SweepCli sweep_cli;
+  sweep_cli.threads = 0;  // 0 = hardware concurrency
   bool pr1_only = false;
   bool pr2_only = false;
-  unsigned threads = 0;  // 0 = hardware concurrency
   // Peel off our flags; everything else goes to google-benchmark.
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
@@ -721,45 +678,47 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--pr2_json=", 0) == 0) {
       pr2_json_path = arg.substr(std::strlen("--pr2_json="));
     } else if (arg.rfind("--sweep_json=", 0) == 0) {
-      sweep_json_path = arg.substr(std::strlen("--sweep_json="));
+      sweep_cli.json_path = arg.substr(std::strlen("--sweep_json="));
+      sweep_cli.json_given = true;
     } else if (arg.rfind("--shard_json=", 0) == 0) {
-      shard_json_path = arg.substr(std::strlen("--shard_json="));
+      sweep_cli.shard_json_path = arg.substr(std::strlen("--shard_json="));
     } else if (arg.rfind("--shard=", 0) == 0) {
       if (!titan::sim::parse_shard_spec(
-              arg.c_str() + std::strlen("--shard="), &shard)) {
+              arg.c_str() + std::strlen("--shard="), &sweep_cli.shard)) {
         std::cerr << "bench_micro: malformed --shard value '"
                   << arg.substr(std::strlen("--shard="))
                   << "' (expected i/K with K >= 1 and i < K)\n";
         return 2;
       }
-      shard_given = true;
+      sweep_cli.shard_given = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
-      threads = static_cast<unsigned>(
+      sweep_cli.threads = static_cast<unsigned>(
           std::strtoul(arg.c_str() + std::strlen("--threads="), nullptr, 10));
     } else {
       passthrough.push_back(argv[i]);
     }
   }
-  if (shard_given != !shard_json_path.empty()) {
+  if (sweep_cli.shard_given != !sweep_cli.shard_json_path.empty()) {
     std::cerr << "bench_micro: --shard=i/K and --shard_json=PATH must be "
                  "given together\n";
     return 2;
   }
-  if ((shard_given || !sweep_json_path.empty()) && (pr1_only || pr2_only)) {
+  if ((sweep_cli.shard_given || sweep_cli.json_given) &&
+      (pr1_only || pr2_only)) {
     std::cerr << "bench_micro: --shard/--sweep_json run only the sweep grid "
                  "and cannot be combined with --pr1_only/--pr2_only\n";
     return 2;
   }
-  if (shard_given && !sweep_json_path.empty()) {
+  if (sweep_cli.shard_given && sweep_cli.json_given) {
     std::cerr << "bench_micro: --shard writes a partial report via "
                  "--shard_json; --sweep_json is for single-process runs "
                  "(merge shards with tools/bench_merge)\n";
     return 2;
   }
-  if (shard_given || !sweep_json_path.empty()) {
-    return run_sweep_grid_mode(shard, shard_given, shard_json_path,
-                               sweep_json_path, threads);
+  if (sweep_cli.shard_given || sweep_cli.json_given) {
+    return run_sweep_grid_mode(sweep_cli);
   }
+  const unsigned threads = sweep_cli.threads;
   int pass_argc = static_cast<int>(passthrough.size());
   if (!pr1_only && !pr2_only) {
     ::benchmark::Initialize(&pass_argc, passthrough.data());

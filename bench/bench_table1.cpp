@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "firmware/table1.hpp"
+#include "api/enforce.hpp"
 
 namespace {
 

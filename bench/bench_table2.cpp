@@ -7,25 +7,21 @@
 // comparators, and TitanCFI's Optimized / Polling / IRQ firmware through the
 // trace-driven overhead model on calibrated synthetic traces.
 //
-// Each benchmark row is an independent simulation point sharded through
-// sim::SweepRunner (threads) and, above that, sim::ShardPlanner (processes):
+// The point grid is the typed api::OverheadGrid::table2() — its
+// serialization is the report identity — run through the one sweep surface
+// (threads via sim::SweepRunner, processes via sim::ShardPlanner):
 //   bench_table2 [--threads=N] [--json=PATH]
 //   bench_table2 --shard=i/K --shard_json=PATH [--threads=N]
-// A --shard run evaluates only the owned contiguous slice of the row grid
-// and writes a partial report; merging all K partials with tools/bench_merge
-// reconstructs the single-process --json output byte-for-byte.
-#include <chrono>
-#include <fstream>
+// Merging all K partials with tools/bench_merge (or in one command with
+// tools/bench_shard_driver) reconstructs the --json output byte-for-byte.
+#include <cstdio>
 #include <iomanip>
 #include <iostream>
-#include <sstream>
+#include <optional>
 
+#include "api/api.hpp"
 #include "baselines/baselines.hpp"
-#include "sim/shard_merge.hpp"
-#include "sim/sweep.hpp"
-#include "sweep_bench_common.hpp"
-#include "titancfi/overhead_model.hpp"
-#include "workloads/embench.hpp"
+#include "api/enforce.hpp"
 
 namespace {
 
@@ -42,26 +38,6 @@ std::string fmt(double slowdown) {
 
 std::string fmt_opt(std::optional<double> value) {
   return value.has_value() ? fmt(*value) : "n.a.";
-}
-
-/// The one OverheadConfig every Table II point replays with (check_latency
-/// varies per column); also the source of the report's config fingerprint.
-titan::cfi::OverheadConfig base_config() {
-  titan::cfi::OverheadConfig config;
-  config.queue_depth = 1;  // Table II constraint
-  config.transport_cycles = 0;
-  return config;
-}
-
-double ours(const BenchmarkStats& stats,
-            const titan::workloads::TraceParams& params,
-            std::uint32_t latency) {
-  const auto cf = titan::workloads::synthesize_cf_cycles(stats, params);
-  titan::cfi::OverheadConfig config = base_config();
-  config.check_latency = latency;
-  return titan::cfi::simulate_cf_cycles(
-             cf, static_cast<titan::sim::Cycle>(stats.cycles), config)
-      .slowdown_percent();
 }
 
 struct Row {
@@ -81,51 +57,29 @@ int main(int argc, char** argv) {
     std::cerr << "bench_table2: " << cli.error << "\n";
     return 2;
   }
-  titan::sim::SweepOptions sweep_options;
-  sweep_options.threads = cli.threads;
-  titan::sim::SweepRunner runner(sweep_options);
 
-  std::vector<const BenchmarkStats*> selected;
-  for (const BenchmarkStats& stats : titan::workloads::benchmark_table()) {
-    if (stats.in_table2()) {
-      selected.push_back(&stats);
-    }
-  }
+  const titan::api::OverheadGrid grid = titan::api::OverheadGrid::table2();
 
-  // Report identity: shards (and the serial witness) must agree on the
-  // point grid and the live configuration before their rows may be merged.
-  const titan::sim::SweepDocHeader header = titan::bench::overhead_sweep_header(
-      "table2", selected, selected.size(), base_config());
-
-  const titan::sim::ShardPlanner planner(selected.size(), cli.shard.count);
-  const titan::sim::ShardRange owned = planner.range(cli.shard.index);
-
-  const auto start = std::chrono::steady_clock::now();
-  const std::vector<Row> rows = runner.run<Row>(
-      owned.size(), [&selected, &owned](std::size_t local) {
-        const BenchmarkStats& stats = *selected[owned.begin + local];
-        const auto params = titan::workloads::calibrate(stats);
-        const titan::baselines::TraceStats trace_stats{
-            static_cast<std::uint64_t>(stats.cycles),
-            static_cast<std::uint64_t>(stats.cf_count)};
-        titan::baselines::DexieModel dexie;
-        titan::baselines::FixerModel fixer;
-        Row row;
-        row.stats = &stats;
-        row.dexie_model = dexie.slowdown_percent(trace_stats);
-        row.fixer_model = fixer.slowdown_percent(trace_stats);
-        row.opt = ours(stats, params, titan::workloads::kOptimizedLatency);
-        row.poll = ours(stats, params, titan::workloads::kPollingLatency);
-        row.irq = ours(stats, params, titan::workloads::kIrqLatency);
-        return row;
-      });
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-
-  const auto emit_row = [&rows, &owned](titan::sim::JsonWriter& json,
-                                        std::size_t index) {
-    const Row& row = rows[index - owned.begin];
+  titan::api::SweepPlan<Row> plan;
+  plan.header = grid.header();
+  plan.point = [&grid](std::size_t index) {
+    const BenchmarkStats& stats = grid.row(index);
+    const auto params = titan::workloads::calibrate(stats);
+    const titan::baselines::TraceStats trace_stats{
+        static_cast<std::uint64_t>(stats.cycles),
+        static_cast<std::uint64_t>(stats.cf_count)};
+    titan::baselines::DexieModel dexie;
+    titan::baselines::FixerModel fixer;
+    Row row;
+    row.stats = &stats;
+    row.dexie_model = dexie.slowdown_percent(trace_stats);
+    row.fixer_model = fixer.slowdown_percent(trace_stats);
+    row.opt = grid.slowdown(index, params, titan::workloads::kOptimizedLatency);
+    row.poll = grid.slowdown(index, params, titan::workloads::kPollingLatency);
+    row.irq = grid.slowdown(index, params, titan::workloads::kIrqLatency);
+    return row;
+  };
+  plan.emit = [](titan::sim::JsonWriter& json, const Row& row, std::size_t) {
     json.begin_object()
         .field("name", row.stats->name)
         .field("dexie_model", row.dexie_model)
@@ -136,18 +90,18 @@ int main(int argc, char** argv) {
         .end_object();
   };
 
+  titan::api::SweepOutcome<Row> outcome;
+  const int exit_code = titan::api::run_sweep(plan, cli, &outcome);
+  if (exit_code != 0) {
+    return exit_code;
+  }
+
   if (cli.shard_given) {
-    std::cout << "TABLE II shard " << cli.shard.index << "/"
-              << cli.shard.count << ": rows [" << owned.begin << ","
-              << owned.end << ") of " << selected.size() << " on "
-              << runner.threads() << " thread(s) in " << std::fixed
-              << std::setprecision(2) << seconds << "s\n";
-    if (!titan::sim::write_document(
-            cli.shard_json_path,
-            titan::sim::render_shard_document(header, cli.shard, emit_row))) {
-      std::cerr << "cannot write " << cli.shard_json_path << "\n";
-      return 1;
-    }
+    std::cout << "TABLE II shard " << cli.shard.index << "/" << cli.shard.count
+              << ": rows [" << outcome.owned.begin << "," << outcome.owned.end
+              << ") of " << grid.size() << " on " << outcome.threads
+              << " thread(s) in " << std::fixed << std::setprecision(2)
+              << outcome.seconds << "s\n";
     return 0;
   }
 
@@ -159,7 +113,7 @@ int main(int argc, char** argv) {
             << std::setw(8) << "Opt." << std::setw(8) << "Poll."
             << std::setw(8) << "IRQ" << "\n";
 
-  for (const Row& row : rows) {
+  for (const Row& row : outcome.rows) {
     const BenchmarkStats& stats = *row.stats;
     const auto dexie_rep = titan::baselines::dexie_reported(stats.name);
     const auto fixer_rep = titan::baselines::fixer_reported(stats.name);
@@ -173,7 +127,7 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "\n  Paper values for TitanCFI columns (Opt/Poll/IRQ):\n";
-  for (const Row& row : rows) {
+  for (const Row& row : outcome.rows) {
     const BenchmarkStats& stats = *row.stats;
     const auto show = [](double value) {
       return value <= -2 ? std::string("n.a.")
@@ -186,19 +140,8 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n  Shape: TitanCFI beats DExIE's ~47-48% on 3 of 4 EmBench "
                "rows; dhrystone remains the outlier, as in the paper.\n";
-  std::cout << "  Sweep: " << rows.size() << " points on " << runner.threads()
-            << " thread(s) in " << std::fixed << std::setprecision(2)
-            << seconds << "s\n";
-
-  if (!cli.json_path.empty()) {
-    // Canonical deterministic report: header + rows only (wall-clock and
-    // thread count stay on stdout), so a bench_merge of K shards can
-    // reconstruct this file byte-for-byte.
-    if (!titan::sim::write_document(
-            cli.json_path, titan::sim::render_full_document(header, emit_row))) {
-      std::cerr << "cannot write " << cli.json_path << "\n";
-      return 1;
-    }
-  }
+  std::cout << "  Sweep: " << outcome.rows.size() << " points on "
+            << outcome.threads << " thread(s) in " << std::fixed
+            << std::setprecision(2) << outcome.seconds << "s\n";
   return 0;
 }

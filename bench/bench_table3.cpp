@@ -6,27 +6,21 @@
 // and Optimized columns are then *predictions* of the model.  The summary at
 // the bottom quantifies that cross-validation.
 //
-// Every benchmark row is an independent (calibrate + replay x3) simulation
-// point, so the grid runs through sim::SweepRunner:
+// The point grid is the typed api::OverheadGrid::table3() — its
+// serialization is the report identity — run through the one sweep surface:
 //   bench_table3 [--threads=N] [--json=PATH]
 //   bench_table3 --shard=i/K --shard_json=PATH [--threads=N]
 // Output is printed in table order regardless of thread count (deterministic
-// ordered aggregation), and --json adds a machine-readable dump of the rows.
-// A --shard run evaluates only the ShardPlanner-owned slice and writes a
-// partial report; tools/bench_merge reconstructs the --json output
-// byte-for-byte from all K partials.
-#include <chrono>
+// ordered aggregation); a --shard run evaluates only the ShardPlanner-owned
+// slice and writes a partial report that tools/bench_merge (or
+// tools/bench_shard_driver) splices back byte-for-byte.
 #include <cmath>
-#include <fstream>
+#include <cstdio>
 #include <iomanip>
 #include <iostream>
-#include <sstream>
 
-#include "sim/shard_merge.hpp"
-#include "sim/sweep.hpp"
-#include "sweep_bench_common.hpp"
-#include "titancfi/overhead_model.hpp"
-#include "workloads/embench.hpp"
+#include "api/api.hpp"
+#include "api/enforce.hpp"
 
 namespace {
 
@@ -43,26 +37,6 @@ std::string fmt(double slowdown) {
 
 std::string paper_fmt(double value) { return value < 0 ? "-" : fmt(value); }
 
-/// The one OverheadConfig every Table III point replays with (check_latency
-/// varies per column); also the source of the report's config fingerprint.
-titan::cfi::OverheadConfig base_config() {
-  titan::cfi::OverheadConfig config;
-  config.queue_depth = 8;
-  config.transport_cycles = 0;
-  return config;
-}
-
-double measure(const BenchmarkStats& stats,
-               const titan::workloads::TraceParams& params,
-               std::uint32_t latency) {
-  const auto cf = titan::workloads::synthesize_cf_cycles(stats, params);
-  titan::cfi::OverheadConfig config = base_config();
-  config.check_latency = latency;
-  return titan::cfi::simulate_cf_cycles(
-             cf, static_cast<titan::sim::Cycle>(stats.cycles), config)
-      .slowdown_percent();
-}
-
 struct Row {
   double opt = 0;
   double poll = 0;
@@ -77,58 +51,41 @@ int main(int argc, char** argv) {
     std::cerr << "bench_table3: " << cli.error << "\n";
     return 2;
   }
-  titan::sim::SweepOptions sweep_options;
-  sweep_options.threads = cli.threads;
-  titan::sim::SweepRunner runner(sweep_options);
 
-  const auto& table = titan::workloads::benchmark_table();
+  const titan::api::OverheadGrid grid = titan::api::OverheadGrid::table3();
 
-  // Report identity: shards (and the serial witness) must agree on the
-  // point grid and the live configuration before their rows may be merged.
-  const titan::sim::SweepDocHeader header = titan::bench::overhead_sweep_header(
-      "table3", table, table.size(), base_config());
-
-  const titan::sim::ShardPlanner planner(table.size(), cli.shard.count);
-  const titan::sim::ShardRange owned = planner.range(cli.shard.index);
-
-  const auto start = std::chrono::steady_clock::now();
-  const std::vector<Row> rows = runner.run<Row>(
-      owned.size(), [&table, &owned](std::size_t local) {
-        const BenchmarkStats& stats = table[owned.begin + local];
-        const auto params = titan::workloads::calibrate(stats);
-        Row row;
-        row.opt = measure(stats, params, titan::workloads::kOptimizedLatency);
-        row.poll = measure(stats, params, titan::workloads::kPollingLatency);
-        row.irq = measure(stats, params, titan::workloads::kIrqLatency);
-        return row;
-      });
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-
-  const auto emit_row = [&table, &rows, &owned](titan::sim::JsonWriter& json,
-                                                std::size_t index) {
-    const Row& row = rows[index - owned.begin];
+  titan::api::SweepPlan<Row> plan;
+  plan.header = grid.header();
+  plan.point = [&grid](std::size_t index) {
+    const auto params = titan::workloads::calibrate(grid.row(index));
+    Row row;
+    row.opt = grid.slowdown(index, params, titan::workloads::kOptimizedLatency);
+    row.poll = grid.slowdown(index, params, titan::workloads::kPollingLatency);
+    row.irq = grid.slowdown(index, params, titan::workloads::kIrqLatency);
+    return row;
+  };
+  plan.emit = [&grid](titan::sim::JsonWriter& json, const Row& row,
+                      std::size_t index) {
     json.begin_object()
-        .field("name", table[index].name)
+        .field("name", grid.row(index).name)
         .field("opt", row.opt)
         .field("poll", row.poll)
         .field("irq", row.irq)
         .end_object();
   };
 
+  titan::api::SweepOutcome<Row> outcome;
+  const int exit_code = titan::api::run_sweep(plan, cli, &outcome);
+  if (exit_code != 0) {
+    return exit_code;
+  }
+
   if (cli.shard_given) {
     std::cout << "TABLE III shard " << cli.shard.index << "/"
-              << cli.shard.count << ": rows [" << owned.begin << ","
-              << owned.end << ") of " << table.size() << " on "
-              << runner.threads() << " thread(s) in " << std::fixed
-              << std::setprecision(2) << seconds << "s\n";
-    if (!titan::sim::write_document(
-            cli.shard_json_path,
-            titan::sim::render_shard_document(header, cli.shard, emit_row))) {
-      std::cerr << "cannot write " << cli.shard_json_path << "\n";
-      return 1;
-    }
+              << cli.shard.count << ": rows [" << outcome.owned.begin << ","
+              << outcome.owned.end << ") of " << grid.size() << " on "
+              << outcome.threads << " thread(s) in " << std::fixed
+              << std::setprecision(2) << outcome.seconds << "s\n";
     return 0;
   }
 
@@ -146,9 +103,9 @@ int main(int argc, char** argv) {
   int scored = 0;
   std::string_view current_suite;
 
-  for (std::size_t index = 0; index < table.size(); ++index) {
-    const BenchmarkStats& stats = table[index];
-    const Row& row = rows[index];
+  for (std::size_t index = 0; index < grid.size(); ++index) {
+    const BenchmarkStats& stats = grid.row(index);
+    const Row& row = outcome.rows[index];
     if (stats.suite != current_suite) {
       current_suite = stats.suite;
       std::cout << "  [" << current_suite << "]\n";
@@ -180,19 +137,8 @@ int main(int argc, char** argv) {
   std::cout << "  Headline shape (paper Sec. V-C): most benchmarks show no or "
                "<10% overhead; CF-dense kernels (mm, dhrystone, nbody, cubic, "
                "slre, wikisort) dominate the tail.\n";
-  std::cout << "  Sweep: " << table.size() << " points on "
-            << runner.threads() << " thread(s) in " << std::setprecision(2)
-            << seconds << "s\n";
-
-  if (!cli.json_path.empty()) {
-    // Canonical deterministic report: header + rows only (wall-clock and
-    // thread count stay on stdout), so a bench_merge of K shards can
-    // reconstruct this file byte-for-byte.
-    if (!titan::sim::write_document(
-            cli.json_path, titan::sim::render_full_document(header, emit_row))) {
-      std::cerr << "cannot write " << cli.json_path << "\n";
-      return 1;
-    }
-  }
+  std::cout << "  Sweep: " << grid.size() << " points on " << outcome.threads
+            << " thread(s) in " << std::setprecision(2) << outcome.seconds
+            << "s\n";
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "area/area_model.hpp"
+#include "api/enforce.hpp"
 
 int main() {
   using titan::area::host_delta;

@@ -14,6 +14,7 @@
 #include "firmware/context_manager.hpp"
 #include "rv/encode.hpp"
 #include "sim/rng.hpp"
+#include "api/enforce.hpp"
 
 namespace {
 

@@ -11,6 +11,7 @@
 #include "area/area_model.hpp"
 #include "titancfi/overhead_model.hpp"
 #include "workloads/embench.hpp"
+#include "api/enforce.hpp"
 
 int main(int argc, char** argv) {
   const char* name = argc > 1 ? argv[1] : "picojpeg";

@@ -17,6 +17,7 @@
 #include "cva6/core.hpp"
 #include "firmware/policy.hpp"
 #include "workloads/programs.hpp"
+#include "api/enforce.hpp"
 
 namespace {
 

@@ -5,14 +5,16 @@
 //   $ ./examples/quickstart
 //
 // Walks through the three public-API layers most users need:
-//   1. rv::Assembler   — build guest code programmatically;
-//   2. fw::build_firmware — generate the RoT CFI firmware;
-//   3. cfi::SocTop     — co-simulate and collect CFI statistics.
+//   1. rv::Assembler        — build guest code programmatically;
+//   2. api::ScenarioBuilder — describe the experiment ONCE (the builder
+//      configures the host-side CFI machinery and the RoT firmware from the
+//      same values, so the two sides cannot disagree);
+//   3. api::run_scenario    — co-simulate and collect the unified RunReport.
 #include <iostream>
 
-#include "firmware/builder.hpp"
+#include "api/api.hpp"
 #include "rv/assembler.hpp"
-#include "titancfi/soc_top.hpp"
+#include "api/enforce.hpp"
 
 int main() {
   using titan::rv::Reg;
@@ -36,23 +38,23 @@ int main() {
   a.li(Reg::kA0, 14);
   a.ret();                 // jalr x0, 0(ra) -> checked against shadow stack
 
-  const titan::rv::Image program = a.finish();
+  titan::rv::Image program = a.finish();
   std::cout << "Assembled " << program.bytes.size() << " bytes at 0x"
             << std::hex << program.base << std::dec << "\n";
 
-  // -- 2. The RoT firmware (IRQ-driven shadow stack). --------------------------
-  titan::fw::FirmwareConfig fw_config;
-  fw_config.variant = titan::fw::FwVariant::kIrq;
-  fw_config.ss_capacity = 32;
-  const titan::rv::Image firmware = titan::fw::build_firmware(fw_config);
-  std::cout << "Generated " << firmware.bytes.size()
-            << " bytes of RV32 CFI firmware\n";
+  // -- 2. The scenario: workload + every CFI knob, validated at build(). ------
+  const titan::api::Scenario scenario =
+      titan::api::ScenarioBuilder()
+          .name("quickstart")
+          .workload(titan::api::Workload::image("quickstart",
+                                                std::move(program)))
+          .firmware(titan::api::Firmware::kIrq)  // IRQ-driven shadow stack
+          .queue_depth(8)
+          .build();
+  std::cout << "Scenario: " << scenario.serialize() << "\n";
 
-  // -- 3. Co-simulate. -----------------------------------------------------------
-  titan::cfi::SocConfig config;
-  config.queue_depth = 8;
-  titan::cfi::SocTop soc(config, program, firmware);
-  const titan::cfi::SocRunResult result = soc.run();
+  // -- 3. Co-simulate. --------------------------------------------------------
+  const titan::api::RunReport result = titan::api::run_scenario(scenario);
 
   std::cout << "\nRun finished:\n"
             << "  exit code          " << result.exit_code << " (expected 42)\n"

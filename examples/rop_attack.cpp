@@ -3,20 +3,28 @@
 // A victim function "suffers a stack-buffer overflow" that overwrites its
 // saved return address with an attacker gadget.  Architecturally the program
 // is perfectly legal — run without CFI, the attacker's code executes and the
-// process exits with the attacker's exit code.  With TitanCFI, the RoT's
-// shadow stack detects the mismatch at the exact hijacked return and raises
-// the CFI fault before the attack can do further damage.
+// process exits with the attacker's exit code.  With TitanCFI (the
+// registry's "rop_attack" scenario), the RoT's shadow stack detects the
+// mismatch at the exact hijacked return and raises the CFI fault before the
+// attack can do further damage.
 #include <iostream>
 
+#include "api/api.hpp"
 #include "cva6/core.hpp"
-#include "firmware/builder.hpp"
 #include "rv/disasm.hpp"
 #include "rv/decode.hpp"
-#include "titancfi/soc_top.hpp"
 #include "workloads/programs.hpp"
+#include "api/enforce.hpp"
 
 int main() {
-  const titan::rv::Image victim = titan::workloads::rop_victim();
+  const titan::api::Scenario* scenario_ptr =
+      titan::api::ScenarioRegistry::global().find("rop_attack");
+  if (scenario_ptr == nullptr) {
+    std::cerr << "rop_attack: registry has no 'rop_attack' scenario\n";
+    return 1;
+  }
+  const titan::api::Scenario& scenario = *scenario_ptr;
+  const titan::rv::Image victim = scenario.workload_image();
 
   // --- Run 1: no CFI — the hijack succeeds silently. -------------------------
   titan::sim::Memory memory;
@@ -31,11 +39,7 @@ int main() {
                " and nothing noticed.\n\n";
 
   // --- Run 2: TitanCFI enabled. ------------------------------------------------
-  titan::cfi::SocConfig config;
-  config.queue_depth = 8;
-  titan::fw::FirmwareConfig fw_config;
-  titan::cfi::SocTop soc(config, victim, titan::fw::build_firmware(fw_config));
-  const auto result = soc.run();
+  const titan::api::RunReport result = titan::api::run_scenario(scenario);
 
   std::cout << "With TitanCFI:\n"
             << "  CFI fault raised:   " << (result.cfi_fault ? "YES" : "no")

@@ -1,0 +1,24 @@
+// API-boundary enforcement for bench/ and examples/ translation units.
+//
+// Include this header LAST in every bench and example.  From this point on
+// the compiler rejects any mention of the raw construction surface the
+// Scenario API replaces — naming SocConfig, FirmwareConfig, the firmware
+// generator, or the config enums after this line is a hard compile error
+// (GCC/Clang `#pragma poison`).  That is the "no bench pairs
+// SocConfig+FirmwareConfig by hand anymore" guarantee, enforced at compile
+// time rather than by review; tests/check_api_boundary.cmake additionally
+// verifies every bench/example file actually includes this header.
+//
+// The poison only applies to tokens AFTER the pragma, so library headers
+// included above (which legitimately define and use these names) are
+// unaffected.  Tests are exempt: they exercise the raw layer on purpose.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC poison SocConfig
+#pragma GCC poison FirmwareConfig
+#pragma GCC poison build_firmware
+#pragma GCC poison FwVariant
+#pragma GCC poison RotFabric
+#pragma GCC poison SocTop
+#endif

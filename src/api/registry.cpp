@@ -1,0 +1,181 @@
+#include "api/registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace titan::api {
+
+sim::SweepDocHeader ScenarioSet::header() const {
+  std::ostringstream grid;
+  std::ostringstream config;
+  for (const Scenario& scenario : scenarios_) {
+    grid << scenario.name() << ';';
+    config << scenario.serialize() << ';';
+  }
+  sim::SweepDocHeader header;
+  header.bench = bench_;
+  header.total_points = scenarios_.size();
+  header.grid_hash = sim::fingerprint_hex(grid.str());
+  header.config_fingerprint = sim::fingerprint_hex(config.str());
+  return header;
+}
+
+void ScenarioRegistry::add(Scenario scenario, std::vector<std::string> tags) {
+  if (find(scenario.name()) != nullptr) {
+    throw ScenarioError("ScenarioRegistry: duplicate scenario name '" +
+                        scenario.name() + "'");
+  }
+  entries_.push_back(Entry{std::move(scenario), std::move(tags)});
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.scenario.name() == name) {
+      return &entry.scenario;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string_view> ScenarioRegistry::names() const {
+  std::vector<std::string_view> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    names.emplace_back(entry.scenario.name());
+  }
+  return names;
+}
+
+ScenarioSet ScenarioRegistry::query(std::string_view tag,
+                                    std::string bench_name) const {
+  std::vector<Scenario> scenarios;
+  for (const Entry& entry : entries_) {
+    if (std::find(entry.tags.begin(), entry.tags.end(), tag) !=
+        entry.tags.end()) {
+      scenarios.push_back(entry.scenario);
+    }
+  }
+  return ScenarioSet(std::move(bench_name), std::move(scenarios));
+}
+
+namespace {
+
+/// Paper Fig. 1 liveness grid: (firmware variant x RoT fabric x drain burst
+/// x burst MAC), fib(8) through the full stack at queue depth 8.  The grid
+/// the seed kept as a table literal in bench_fig1.
+void register_fig1_liveness(ScenarioRegistry& registry) {
+  struct Point {
+    Firmware firmware;
+    Fabric fabric;
+    unsigned burst;
+    bool mac;
+    const char* label;
+  };
+  constexpr Point kGrid[] = {
+      {Firmware::kIrq, Fabric::kBaseline, 1, false, "irq/baseline/burst1"},
+      {Firmware::kIrq, Fabric::kBaseline, 8, false, "irq/baseline/burst8"},
+      {Firmware::kIrq, Fabric::kBaseline, 8, true, "irq/baseline/burst8+mac"},
+      {Firmware::kPolling, Fabric::kBaseline, 1, false,
+       "polling/baseline/burst1"},
+      {Firmware::kPolling, Fabric::kBaseline, 8, false,
+       "polling/baseline/burst8"},
+      {Firmware::kPolling, Fabric::kBaseline, 8, true,
+       "polling/baseline/burst8+mac"},
+      {Firmware::kPolling, Fabric::kOptimized, 1, false,
+       "polling/optimized/burst1"},
+      {Firmware::kPolling, Fabric::kOptimized, 8, false,
+       "polling/optimized/burst8"},
+  };
+  for (const Point& point : kGrid) {
+    registry.add(ScenarioBuilder()
+                     .name(point.label)
+                     .workload(Workload::fib(8))
+                     .firmware(point.firmware)
+                     .fabric(point.fabric)
+                     .queue_depth(8)
+                     .drain_burst(point.burst)
+                     .batch_mac(point.mac)
+                     .build(),
+                 {"fig1_liveness"});
+  }
+}
+
+/// Batched-drain before/after points (BENCH_PR2.json): fib(10), burst 1 vs 8
+/// vs 8+MAC, IRQ firmware at queue depth 8.
+void register_drain_study(ScenarioRegistry& registry) {
+  struct Point {
+    unsigned burst;
+    bool mac;
+    const char* label;
+  };
+  constexpr Point kGrid[] = {
+      {1, false, "drain/burst1"},
+      {8, false, "drain/burst8"},
+      {8, true, "drain/burst8_mac"},
+  };
+  for (const Point& point : kGrid) {
+    registry.add(ScenarioBuilder()
+                     .name(point.label)
+                     .workload(Workload::fib(10))
+                     .queue_depth(8)
+                     .drain_burst(point.burst)
+                     .batch_mac(point.mac)
+                     .build(),
+                 {"drain_study"});
+  }
+}
+
+/// Attack demonstrations.
+void register_attacks(ScenarioRegistry& registry) {
+  registry.add(ScenarioBuilder()
+                   .name("rop_attack")
+                   .workload(Workload::rop_victim())
+                   .queue_depth(8)
+                   .build(),
+               {"attack"});
+}
+
+/// Ablation co-sim grids (bench_ablation A3/A4): queue-depth cross-check on
+/// fib(9) with polling firmware, and shadow-stack geometry on call_chain(120)
+/// with IRQ firmware.
+void register_ablation(ScenarioRegistry& registry) {
+  for (const std::size_t depth : {1u, 2u, 4u, 8u, 16u}) {
+    registry.add(ScenarioBuilder()
+                     .name("ablation/depth" + std::to_string(depth))
+                     .workload(Workload::fib(9))
+                     .firmware(Firmware::kPolling)
+                     .queue_depth(depth)
+                     .build(),
+                 {"ablation_depth"});
+  }
+  struct Geometry {
+    unsigned capacity, block;
+  };
+  constexpr Geometry kGeometries[] = {
+      {8, 4}, {16, 8}, {32, 16}, {64, 32}, {128, 64}};
+  for (const Geometry& geometry : kGeometries) {
+    registry.add(ScenarioBuilder()
+                     .name("ablation/ss" + std::to_string(geometry.capacity) +
+                           "x" + std::to_string(geometry.block))
+                     .workload(Workload::call_chain(120))
+                     .shadow_stack(geometry.capacity, geometry.block)
+                     .build(),
+                 {"ablation_ss"});
+  }
+}
+
+}  // namespace
+
+const ScenarioRegistry& ScenarioRegistry::global() {
+  static const ScenarioRegistry registry = [] {
+    ScenarioRegistry built;
+    register_fig1_liveness(built);
+    register_drain_study(built);
+    register_attacks(built);
+    register_ablation(built);
+    return built;
+  }();
+  return registry;
+}
+
+}  // namespace titan::api

@@ -1,0 +1,63 @@
+#include "api/run.hpp"
+
+namespace titan::api {
+
+void RunReport::emit_json_fields(sim::JsonWriter& json) const {
+  json.field("scenario", scenario)
+      .field("cycles", cycles)
+      .field("instructions", instructions)
+      .field("cf_logs", cf_logs)
+      .field("violations", violations)
+      .field("cfi_fault", cfi_fault)
+      .field("exit_code", exit_code)
+      .field("queue_full_stalls", queue_full_stalls)
+      .field("dual_cf_stalls", dual_cf_stalls)
+      .field("doorbells", doorbells)
+      .field("batches", batches)
+      .field("max_batch", max_batch)
+      .field("mean_queue_occupancy", mean_queue_occupancy)
+      .field("doorbells_per_log", doorbells_per_log())
+      .field("mem_reads", host_memory.reads)
+      .field("mem_writes", host_memory.writes)
+      .field("mem_fetches", host_memory.fetches)
+      .field("mem_page_cache_hits", host_memory.page_cache_hits)
+      .field("decode_hits", decode_hits)
+      .field("decode_misses", decode_misses)
+      .field("rot_instructions", rot_instructions)
+      .field("rot_hmac_starts", rot_hmac_starts);
+}
+
+RunReport run_scenario(const Scenario& scenario, const RunHooks& hooks) {
+  const std::unique_ptr<cfi::SocTop> soc = scenario.make_soc();
+  if (hooks.log_capture) {
+    soc->log_writer().set_log_capture(hooks.log_capture);
+  }
+  if (hooks.configure) {
+    hooks.configure(*soc);
+  }
+  const cfi::SocRunResult result = soc->run();
+
+  RunReport report;
+  report.scenario = scenario.name();
+  report.cycles = result.cycles;
+  report.instructions = result.instructions;
+  report.cf_logs = result.cf_logs;
+  report.violations = result.violations;
+  report.cfi_fault = result.cfi_fault;
+  report.exit_code = result.exit_code;
+  report.queue_full_stalls = result.queue_full_stalls;
+  report.dual_cf_stalls = result.dual_cf_stalls;
+  report.doorbells = result.doorbells;
+  report.batches = result.batches;
+  report.max_batch = result.max_batch;
+  report.mean_queue_occupancy = result.mean_queue_occupancy;
+  report.fault_log = result.fault_log;
+  report.host_memory = soc->host_memory().stats();
+  report.decode_hits = soc->host().decode_cache().hits();
+  report.decode_misses = soc->host().decode_cache().misses();
+  report.rot_instructions = soc->rot().core().instret();
+  report.rot_hmac_starts = soc->rot().hmac().starts();
+  return report;
+}
+
+}  // namespace titan::api

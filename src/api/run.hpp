@@ -1,0 +1,75 @@
+// run_scenario(): execute a Scenario end to end and return the unified
+// RunReport — a superset of cfi::SocRunResult plus the memory-system,
+// decode-cache, and doorbell statistics the perf PRs added.  Every bench and
+// example reads its numbers from a RunReport, and every machine-readable row
+// is emitted through RunReport::emit_json_fields(), so the JSON schema of a
+// co-simulation row has exactly one definition.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "api/scenario.hpp"
+#include "sim/memory.hpp"
+#include "sim/sweep.hpp"
+#include "titancfi/commit_log.hpp"
+
+namespace titan::api {
+
+/// Unified result of one scenario co-simulation.
+struct RunReport {
+  std::string scenario;  ///< Scenario::name() of the run.
+
+  // -- cfi::SocRunResult superset --------------------------------------------
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cf_logs = 0;
+  std::uint64_t violations = 0;
+  bool cfi_fault = false;
+  std::uint64_t exit_code = 0;
+  std::uint64_t queue_full_stalls = 0;
+  std::uint64_t dual_cf_stalls = 0;
+  std::uint64_t doorbells = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t max_batch = 0;
+  double mean_queue_occupancy = 0.0;
+  cfi::CommitLog fault_log{};  ///< Valid when cfi_fault.
+
+  // -- Host memory-system statistics (sim::MemStats snapshot) ----------------
+  sim::MemStats host_memory{};
+
+  // -- Host decode-cache statistics ------------------------------------------
+  std::uint64_t decode_hits = 0;
+  std::uint64_t decode_misses = 0;
+
+  // -- RoT-side counters ------------------------------------------------------
+  std::uint64_t rot_instructions = 0;
+  std::uint64_t rot_hmac_starts = 0;
+
+  /// Doorbell amortisation achieved by the batched drain (1.0 == one
+  /// doorbell per log, the paper's baseline protocol).
+  [[nodiscard]] double doorbells_per_log() const {
+    return cf_logs == 0 ? 0.0
+                        : static_cast<double>(doorbells) /
+                              static_cast<double>(cf_logs);
+  }
+
+  /// Canonical machine-readable form: every JSON row of every co-sim sweep
+  /// flows through here (deterministic field set and order).
+  void emit_json_fields(sim::JsonWriter& json) const;
+};
+
+/// Optional instrumentation hooks for a scenario run.
+struct RunHooks {
+  /// Observe every commit log the Log Writer sends (stream-identity checks).
+  std::function<void(const cfi::CommitLog&)> log_capture;
+  /// Called on the constructed SoC before the run (extra knobs, e.g. trace
+  /// ring capacity or a streaming trace writer).
+  std::function<void(cfi::SocTop&)> configure;
+};
+
+/// Build the scenario's SoC, run to completion, and collect the report.
+[[nodiscard]] RunReport run_scenario(const Scenario& scenario,
+                                     const RunHooks& hooks = {});
+
+}  // namespace titan::api

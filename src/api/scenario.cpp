@@ -1,0 +1,275 @@
+#include "api/scenario.hpp"
+
+#include <sstream>
+
+#include "sim/shard_merge.hpp"
+#include "soc/mailbox.hpp"
+#include "workloads/programs.hpp"
+
+namespace titan::api {
+
+// ---- Workload ---------------------------------------------------------------
+
+Workload Workload::fib(unsigned n) {
+  Workload w;
+  w.kind_ = Kind::kFib;
+  w.param_ = n;
+  w.serialized_ = "fib(" + std::to_string(n) + ")";
+  return w;
+}
+
+Workload Workload::matmul(unsigned n) {
+  Workload w;
+  w.kind_ = Kind::kMatmul;
+  w.param_ = n;
+  w.serialized_ = "matmul(" + std::to_string(n) + ")";
+  return w;
+}
+
+Workload Workload::crc32(unsigned len) {
+  Workload w;
+  w.kind_ = Kind::kCrc32;
+  w.param_ = len;
+  w.serialized_ = "crc32(" + std::to_string(len) + ")";
+  return w;
+}
+
+Workload Workload::quicksort(unsigned n) {
+  Workload w;
+  w.kind_ = Kind::kQuicksort;
+  w.param_ = n;
+  w.serialized_ = "quicksort(" + std::to_string(n) + ")";
+  return w;
+}
+
+Workload Workload::call_chain(unsigned depth) {
+  Workload w;
+  w.kind_ = Kind::kCallChain;
+  w.param_ = depth;
+  w.serialized_ = "call_chain(" + std::to_string(depth) + ")";
+  return w;
+}
+
+Workload Workload::indirect_dispatch(unsigned iterations) {
+  Workload w;
+  w.kind_ = Kind::kIndirectDispatch;
+  w.param_ = iterations;
+  w.serialized_ = "indirect_dispatch(" + std::to_string(iterations) + ")";
+  return w;
+}
+
+Workload Workload::rop_victim() {
+  Workload w;
+  w.kind_ = Kind::kRopVictim;
+  w.serialized_ = "rop_victim()";
+  return w;
+}
+
+Workload Workload::random_callgraph(std::uint64_t seed, unsigned functions,
+                                    bool inject_rop) {
+  Workload w;
+  w.kind_ = Kind::kRandomCallgraph;
+  w.param_ = seed;
+  w.functions_ = functions;
+  w.inject_rop_ = inject_rop;
+  std::ostringstream text;
+  text << "random_callgraph(" << seed << ',' << functions << ','
+       << (inject_rop ? 1 : 0) << ")";
+  w.serialized_ = text.str();
+  return w;
+}
+
+Workload Workload::image(std::string name, rv::Image image) {
+  Workload w;
+  w.kind_ = Kind::kImage;
+  // Fingerprint the actual bytes (and the base) so the identity follows the
+  // program, not just the label.
+  std::string blob;
+  blob.reserve(image.bytes.size() + 16);
+  blob.append(std::to_string(image.base)).push_back(':');
+  blob.append(reinterpret_cast<const char*>(image.bytes.data()),
+              image.bytes.size());
+  w.serialized_ = "image:" + name + ":" + sim::fingerprint_hex(blob);
+  w.image_ = std::make_shared<const rv::Image>(std::move(image));
+  return w;
+}
+
+rv::Image Workload::build() const {
+  switch (kind_) {
+    case Kind::kFib:
+      return workloads::fib_recursive(static_cast<unsigned>(param_));
+    case Kind::kMatmul:
+      return workloads::matmul(static_cast<unsigned>(param_));
+    case Kind::kCrc32:
+      return workloads::crc32(static_cast<unsigned>(param_));
+    case Kind::kQuicksort:
+      return workloads::quicksort(static_cast<unsigned>(param_));
+    case Kind::kCallChain:
+      return workloads::call_chain(static_cast<unsigned>(param_));
+    case Kind::kIndirectDispatch:
+      return workloads::indirect_dispatch(static_cast<unsigned>(param_));
+    case Kind::kRopVictim:
+      return workloads::rop_victim();
+    case Kind::kRandomCallgraph:
+      return workloads::random_callgraph(param_, functions_, inject_rop_);
+    case Kind::kImage:
+      return *image_;
+    case Kind::kUnset:
+      break;
+  }
+  throw ScenarioError("Workload: build() on an unset workload");
+}
+
+// ---- Scenario ---------------------------------------------------------------
+
+rv::Image Scenario::firmware_image() const { return fw::build_firmware(fw_); }
+
+std::unique_ptr<cfi::SocTop> Scenario::make_soc() const {
+  return std::make_unique<cfi::SocTop>(soc_, workload_image(),
+                                       firmware_image());
+}
+
+std::string Scenario::serialize() const {
+  std::ostringstream text;
+  text << "scenario{name=" << name_ << ";workload=" << workload_.serialized()
+       << ";fw=" << (fw_.variant == fw::FwVariant::kIrq ? "irq" : "polling")
+       << ";fabric="
+       << (soc_.fabric == cfi::RotFabric::kBaseline ? "baseline" : "optimized")
+       << ";queue_depth=" << soc_.queue_depth << ";burst=" << soc_.drain_burst
+       << ";mac=" << (soc_.drain_burst > 1 && soc_.mac_batches ? 1 : 0)
+       << ";ss=" << fw_.ss_capacity << ";spill=" << fw_.spill_block
+       << ";jt=" << (fw_.enable_jump_table ? 1 : 0)
+       << ";pmp=" << (soc_.enable_pmp ? 1 : 0)
+       << ";trace=" << (soc_.trace_commits ? 1 : 0) << "}";
+  return text.str();
+}
+
+// ---- ScenarioBuilder --------------------------------------------------------
+
+ScenarioBuilder& ScenarioBuilder::name(std::string value) {
+  name_ = std::move(value);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::workload(Workload value) {
+  workload_ = std::move(value);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::firmware(Firmware value) {
+  firmware_ = value;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::fabric(Fabric value) {
+  fabric_ = value;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::queue_depth(std::size_t value) {
+  queue_depth_ = value;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::drain_burst(unsigned value) {
+  drain_burst_ = value;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::batch_mac(bool value) {
+  batch_mac_ = value;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::shadow_stack(unsigned capacity,
+                                               unsigned spill_block) {
+  ss_capacity_ = capacity;
+  spill_block_ = spill_block;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::jump_table(bool value) {
+  jump_table_ = value;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::pmp(bool value) {
+  pmp_ = value;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::trace_commits(bool value) {
+  trace_commits_ = value;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::max_cycles(sim::Cycle value) {
+  max_cycles_ = value;
+  return *this;
+}
+
+Scenario ScenarioBuilder::build() const {
+  if (name_.empty()) {
+    throw ScenarioError("ScenarioBuilder: a scenario needs a name");
+  }
+  if (!workload_.set()) {
+    throw ScenarioError("ScenarioBuilder: scenario '" + name_ +
+                        "' has no workload");
+  }
+  if (queue_depth_ == 0) {
+    throw ScenarioError("ScenarioBuilder: scenario '" + name_ +
+                        "': queue_depth must be >= 1");
+  }
+  if (drain_burst_ == 0 || drain_burst_ > soc::Mailbox::kBatchSlots) {
+    throw ScenarioError(
+        "ScenarioBuilder: scenario '" + name_ + "': drain_burst " +
+        std::to_string(drain_burst_) + " outside [1, " +
+        std::to_string(soc::Mailbox::kBatchSlots) +
+        "] (the mailbox batch register file has kBatchSlots log slots)");
+  }
+  if (batch_mac_ && drain_burst_ == 1) {
+    throw ScenarioError(
+        "ScenarioBuilder: scenario '" + name_ +
+        "': batch_mac requires drain_burst > 1 (the one-at-a-time drain "
+        "has no batch to authenticate)");
+  }
+  if (ss_capacity_ == 0 || spill_block_ == 0 || spill_block_ > ss_capacity_) {
+    throw ScenarioError(
+        "ScenarioBuilder: scenario '" + name_ +
+        "': shadow-stack geometry needs 1 <= spill_block <= capacity (got "
+        "capacity " +
+        std::to_string(ss_capacity_) + ", spill_block " +
+        std::to_string(spill_block_) + ")");
+  }
+  if (max_cycles_ == 0) {
+    throw ScenarioError("ScenarioBuilder: scenario '" + name_ +
+                        "': max_cycles must be nonzero");
+  }
+
+  Scenario scenario;
+  scenario.name_ = name_;
+  scenario.workload_ = workload_;
+
+  // The single source of truth for each co-designed knob: both halves are
+  // derived here from one builder field, so they cannot disagree.
+  scenario.soc_.queue_depth = queue_depth_;
+  scenario.soc_.fabric = fabric_ == Fabric::kBaseline
+                             ? cfi::RotFabric::kBaseline
+                             : cfi::RotFabric::kOptimized;
+  scenario.soc_.drain_burst = drain_burst_;
+  scenario.soc_.mac_batches = batch_mac_;
+  scenario.soc_.enable_pmp = pmp_;
+  scenario.soc_.trace_commits = trace_commits_;
+  scenario.soc_.max_cycles = max_cycles_;
+
+  scenario.fw_.variant = firmware_ == Firmware::kIrq ? fw::FwVariant::kIrq
+                                                     : fw::FwVariant::kPolling;
+  scenario.fw_.batch_capacity = drain_burst_;
+  scenario.fw_.batch_mac = batch_mac_;
+  scenario.fw_.ss_capacity = ss_capacity_;
+  scenario.fw_.spill_block = spill_block_;
+  scenario.fw_.enable_jump_table = jump_table_;
+  return scenario;
+}
+
+}  // namespace titan::api

@@ -1,0 +1,166 @@
+// Unified Scenario API — the one public way to define a TitanCFI experiment.
+//
+// The paper's Fig. 1 system is a co-designed pair: the host-side CFI
+// machinery (SocConfig) and the RoT firmware (FirmwareConfig) must agree on
+// drain burst, batch MAC, and policy, or CFI checking silently degrades.
+// The seed API let every bench and example wire the two halves by hand and
+// only caught skew at SocTop construction time.  This layer makes skew
+// unrepresentable instead: a ScenarioBuilder holds each co-designed knob
+// ONCE (drain_burst(n) is the only way to pick a burst, and it configures
+// both the Log Writer and the firmware generator), and build() validates the
+// whole combination before anything is instantiated.
+//
+// A Scenario is immutable and deterministically serializable; the serialized
+// form is the config fingerprint used by the sweep/shard-merge machinery, so
+// the identity that guards a shard merge is derived from the exact object
+// the simulation ran with — never from a hand-maintained description.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "firmware/builder.hpp"
+#include "rv/assembler.hpp"
+#include "titancfi/soc_top.hpp"
+
+namespace titan::api {
+
+/// Invalid scenario combination rejected by ScenarioBuilder::build().
+class ScenarioError : public std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Firmware organisation (paper Table I).  The api-level mirror of
+/// fw::FwVariant so callers never touch the firmware layer directly.
+enum class Firmware { kIrq, kPolling };
+
+/// RoT interconnect generation.  Mirror of cfi::RotFabric.
+enum class Fabric { kBaseline, kOptimized };
+
+/// Typed, serializable workload descriptor: a named reference to one of the
+/// built-in program generators (src/workloads) or a caller-assembled image.
+class Workload {
+ public:
+  Workload() = default;
+
+  static Workload fib(unsigned n);
+  static Workload matmul(unsigned n);
+  static Workload crc32(unsigned len);
+  static Workload quicksort(unsigned n);
+  static Workload call_chain(unsigned depth);
+  static Workload indirect_dispatch(unsigned iterations);
+  static Workload rop_victim();
+  static Workload random_callgraph(std::uint64_t seed, unsigned functions = 8,
+                                   bool inject_rop = false);
+  /// A caller-assembled image.  `name` labels it in the serialized identity;
+  /// the image bytes are fingerprinted so two different programs under the
+  /// same name cannot alias.
+  static Workload image(std::string name, rv::Image image);
+
+  [[nodiscard]] bool set() const { return !serialized_.empty(); }
+  /// Deterministic identity, e.g. "fib(8)" or "image:quickstart:<hash>".
+  [[nodiscard]] const std::string& serialized() const { return serialized_; }
+  /// Materialise the RV64 program image.
+  [[nodiscard]] rv::Image build() const;
+
+ private:
+  enum class Kind {
+    kUnset,
+    kFib,
+    kMatmul,
+    kCrc32,
+    kQuicksort,
+    kCallChain,
+    kIndirectDispatch,
+    kRopVictim,
+    kRandomCallgraph,
+    kImage,
+  };
+
+  Kind kind_ = Kind::kUnset;
+  std::uint64_t param_ = 0;       // n / len / depth / iterations / seed
+  unsigned functions_ = 0;        // random_callgraph only
+  bool inject_rop_ = false;       // random_callgraph only
+  std::shared_ptr<const rv::Image> image_;  // kImage only (shared: Workload is a value)
+  std::string serialized_;
+};
+
+/// A validated, immutable (SocConfig, FirmwareConfig, workload) triple.
+/// Only ScenarioBuilder::build() creates one, so a Scenario that exists is a
+/// combination the system can actually run without protocol skew.
+class Scenario {
+ public:
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Workload& workload() const { return workload_; }
+  [[nodiscard]] const cfi::SocConfig& soc_config() const { return soc_; }
+  [[nodiscard]] const fw::FirmwareConfig& firmware_config() const { return fw_; }
+
+  // Accessor names deliberately avoid the poisoned raw-surface identifiers
+  // (api/enforce.hpp) so benches can call them after the poison pragma.
+  [[nodiscard]] rv::Image workload_image() const { return workload_.build(); }
+  [[nodiscard]] rv::Image firmware_image() const;
+  /// Instantiate the full co-simulation (host + CFI stage + RoT) for this
+  /// scenario — the only construction path the benches and examples use.
+  [[nodiscard]] std::unique_ptr<cfi::SocTop> make_soc() const;
+
+  /// Deterministic serialization of every knob.  This string (hashed) IS the
+  /// scenario's config fingerprint — see ScenarioSet::header().
+  [[nodiscard]] std::string serialize() const;
+
+ private:
+  friend class ScenarioBuilder;
+  Scenario() = default;
+
+  std::string name_;
+  Workload workload_;
+  cfi::SocConfig soc_;
+  fw::FirmwareConfig fw_;
+};
+
+/// Fluent scenario construction.  Every co-designed value is a single
+/// setter: drain_burst() and batch_mac() configure the Log Writer AND the
+/// firmware generator together, so the two sides cannot disagree.
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder& name(std::string value);
+  ScenarioBuilder& workload(Workload value);
+  ScenarioBuilder& firmware(Firmware value);
+  ScenarioBuilder& fabric(Fabric value);
+  ScenarioBuilder& queue_depth(std::size_t value);
+  /// Commit logs per doorbell (1 == the paper's one-at-a-time drain).  Sets
+  /// both SocConfig::drain_burst and FirmwareConfig::batch_capacity.
+  ScenarioBuilder& drain_burst(unsigned value);
+  /// HMAC each burst end to end (requires drain_burst > 1).  Sets both
+  /// SocConfig::mac_batches and FirmwareConfig::batch_mac.
+  ScenarioBuilder& batch_mac(bool value);
+  ScenarioBuilder& shadow_stack(unsigned capacity, unsigned spill_block);
+  ScenarioBuilder& jump_table(bool value);
+  ScenarioBuilder& pmp(bool value);
+  ScenarioBuilder& trace_commits(bool value);
+  ScenarioBuilder& max_cycles(sim::Cycle value);
+
+  /// Validate and freeze.  Throws ScenarioError naming the first invalid
+  /// combination (empty name, unset workload, zero queue depth, burst out of
+  /// [1, soc::Mailbox::kBatchSlots], MAC at burst 1, degenerate shadow-stack
+  /// geometry).
+  [[nodiscard]] Scenario build() const;
+
+ private:
+  std::string name_;
+  Workload workload_;
+  Firmware firmware_ = Firmware::kIrq;
+  Fabric fabric_ = Fabric::kBaseline;
+  std::size_t queue_depth_ = 8;
+  unsigned drain_burst_ = 1;
+  bool batch_mac_ = false;
+  unsigned ss_capacity_ = 32;
+  unsigned spill_block_ = 16;
+  bool jump_table_ = false;
+  bool pmp_ = true;
+  bool trace_commits_ = false;
+  sim::Cycle max_cycles_ = 2'000'000'000;
+};
+
+}  // namespace titan::api

@@ -1,0 +1,46 @@
+#include "api/sweep.hpp"
+
+#include <iostream>
+
+namespace titan::api {
+
+int write_sweep_documents(const sim::SweepDocHeader& header,
+                          const sim::SweepCli& cli,
+                          const sim::RowEmitter& emit_row,
+                          std::string_view bench_label) {
+  if (cli.shard_given) {
+    if (!sim::write_document(
+            cli.shard_json_path,
+            sim::render_shard_document(header, cli.shard, emit_row))) {
+      std::cerr << bench_label << ": cannot write " << cli.shard_json_path
+                << "\n";
+      return 1;
+    }
+    return 0;
+  }
+  if (!cli.json_path.empty()) {
+    if (!sim::write_document(cli.json_path,
+                             sim::render_full_document(header, emit_row))) {
+      std::cerr << bench_label << ": cannot write " << cli.json_path << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+SweepPlan<RunReport> scenario_sweep_plan(ScenarioSet set) {
+  auto shared = std::make_shared<const ScenarioSet>(std::move(set));
+  SweepPlan<RunReport> plan;
+  plan.header = shared->header();
+  plan.point = [shared](std::size_t index) {
+    return run_scenario((*shared)[index]);
+  };
+  plan.emit = [](sim::JsonWriter& json, const RunReport& row, std::size_t) {
+    json.begin_object();
+    row.emit_json_fields(json);
+    json.end_object();
+  };
+  return plan;
+}
+
+}  // namespace titan::api

@@ -275,7 +275,7 @@ void Cva6Core::retire(unsigned count) {
     ++stall_cycles_;
   }
   for (unsigned i = 0; i < count; ++i) {
-    if (trace_enabled_) {
+    if (trace_enabled_ || trace_sink_) {
       record_commit(rob_.front().entry);
     }
     rob_.pop_front();
@@ -290,6 +290,12 @@ void Cva6Core::record_commit(const ScoreboardEntry& entry) {
   record.kind = entry.kind;
   record.next_pc = entry.next_pc;
   record.target = entry.target;
+  if (trace_sink_) {
+    trace_sink_(record);
+  }
+  if (!trace_enabled_) {
+    return;
+  }
   if (trace_ring_capacity_ == 0) {
     trace_.push_back(record);
     return;

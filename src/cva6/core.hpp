@@ -98,6 +98,21 @@ class Cva6Core {
   [[nodiscard]] std::size_t trace_ring_capacity() const { return trace_ring_capacity_; }
   /// Records discarded because the ring wrapped.
   [[nodiscard]] std::uint64_t trace_dropped() const { return trace_dropped_; }
+  /// Observe every retirement as it happens, independent of the trace
+  /// storage mode — the streaming hook cva6::TraceCsvWriter attaches to.
+  /// The sink sees records even when trace storage is disabled or the ring
+  /// has wrapped; pass an empty function to detach.  `owner` is an opaque
+  /// tag identifying who installed the sink, so a replaced observer can
+  /// tell it no longer owns the slot and must not clear it (see
+  /// TraceCsvWriter::detach).
+  void set_trace_sink(std::function<void(const CommitRecord&)> sink,
+                      const void* owner = nullptr) {
+    trace_sink_ = std::move(sink);
+    trace_sink_owner_ = owner;
+  }
+  [[nodiscard]] const void* trace_sink_owner() const {
+    return trace_sink_owner_;
+  }
   /// The retained trace in retirement order (oldest first).  Equals trace()
   /// in unbounded mode; in ring mode it un-rotates the circular storage.
   [[nodiscard]] std::vector<CommitRecord> ordered_trace() const;
@@ -144,6 +159,8 @@ class Cva6Core {
   std::deque<RobEntry> rob_;
   std::vector<ScoreboardEntry> candidates_;
   std::vector<CommitRecord> trace_;
+  std::function<void(const CommitRecord&)> trace_sink_;
+  const void* trace_sink_owner_ = nullptr;
   bool trace_enabled_ = true;
   std::size_t trace_ring_capacity_ = 0;  ///< 0 = unbounded.
   std::size_t trace_ring_head_ = 0;      ///< Next slot to overwrite.

@@ -51,15 +51,66 @@ rv::CfKind kind_from_token(std::string_view token) {
                            std::string(token) + "'");
 }
 
+void write_trace_csv_row(std::ostream& os, const CommitRecord& record) {
+  os << record.cycle << ",0x" << std::hex << record.pc << ",0x"
+     << record.encoding << std::dec << "," << kind_token(record.kind)
+     << ",0x" << std::hex << record.next_pc << ",0x" << record.target
+     << std::dec << "\n";
+}
+
 void write_trace_csv(std::ostream& os,
                      const std::vector<CommitRecord>& trace) {
   os << kHeader << "\n";
   for (const CommitRecord& record : trace) {
-    os << record.cycle << ",0x" << std::hex << record.pc << ",0x"
-       << record.encoding << std::dec << "," << kind_token(record.kind)
-       << ",0x" << std::hex << record.next_pc << ",0x" << record.target
-       << std::dec << "\n";
+    write_trace_csv_row(os, record);
   }
+}
+
+// ---- TraceCsvWriter ---------------------------------------------------------
+
+TraceCsvWriter::TraceCsvWriter(std::ostream& os, std::size_t buffer_records)
+    : os_(os), buffer_capacity_(buffer_records == 0 ? 1 : buffer_records) {
+  buffer_.reserve(buffer_capacity_);
+  os_ << kHeader << "\n";
+}
+
+TraceCsvWriter::~TraceCsvWriter() {
+  detach();
+  flush();
+}
+
+void TraceCsvWriter::attach(Cva6Core& core) {
+  detach();
+  core_ = &core;
+  core.set_trace_sink([this](const CommitRecord& record) { append(record); },
+                      this);
+}
+
+void TraceCsvWriter::detach() {
+  if (core_ != nullptr) {
+    // Only clear the sink while we still own it — another writer may have
+    // attached since (attach() replaces the sink), and a stale detach must
+    // not silently disconnect it mid-run.
+    if (core_->trace_sink_owner() == this) {
+      core_->set_trace_sink({});
+    }
+    core_ = nullptr;
+  }
+}
+
+void TraceCsvWriter::append(const CommitRecord& record) {
+  buffer_.push_back(record);
+  if (buffer_.size() >= buffer_capacity_) {
+    flush();
+  }
+}
+
+void TraceCsvWriter::flush() {
+  for (const CommitRecord& record : buffer_) {
+    write_trace_csv_row(os_, record);
+  }
+  records_written_ += buffer_.size();
+  buffer_.clear();
 }
 
 std::vector<CommitRecord> read_trace_csv(std::istream& is) {

@@ -15,11 +15,62 @@
 #include <string>
 #include <vector>
 
+#include "cva6/core.hpp"
 #include "cva6/scoreboard.hpp"
 
 namespace titan::cva6 {
 
 void write_trace_csv(std::ostream& os, const std::vector<CommitRecord>& trace);
+
+/// One CSV row in the canonical format (shared by the batch and streaming
+/// writers, so the two outputs are byte-identical).
+void write_trace_csv_row(std::ostream& os, const CommitRecord& record);
+
+/// Streaming CSV writer over the live commit stream: attach() registers the
+/// writer as the core's trace sink, every retirement is buffered, and the
+/// buffer flushes to the stream whenever it fills — so an unbounded workload
+/// produces its full trace in bounded memory, even when the core's own trace
+/// storage is a small ring (set_trace_ring_capacity) or disabled entirely.
+/// The output is byte-identical to write_trace_csv over the same records.
+///
+/// Lifetime: an attached core must outlive the writer (or the writer must
+/// detach() first) — the writer deregisters itself from the core on
+/// destruction.  Attaching a second writer to the same core replaces the
+/// first; the replaced writer notices (owner-tagged sink) and its later
+/// detach()/destruction leaves the new writer connected.
+class TraceCsvWriter {
+ public:
+  /// Writes the CSV header immediately.  `buffer_records` bounds memory:
+  /// the writer holds at most that many records before flushing.
+  explicit TraceCsvWriter(std::ostream& os, std::size_t buffer_records = 4096);
+  ~TraceCsvWriter();  ///< Flushes and detaches.
+
+  TraceCsvWriter(const TraceCsvWriter&) = delete;
+  TraceCsvWriter& operator=(const TraceCsvWriter&) = delete;
+
+  /// Stream every future retirement of `core` into this writer.  Replaces
+  /// any previously attached sink on that core.
+  void attach(Cva6Core& core);
+  /// Stop observing the attached core (safe to call when not attached).
+  void detach();
+
+  /// Append one record (buffered; flushes when the buffer fills).
+  void append(const CommitRecord& record);
+  /// Drain the buffer to the stream.
+  void flush();
+
+  [[nodiscard]] std::uint64_t records_written() const {
+    return records_written_;
+  }
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::ostream& os_;
+  std::size_t buffer_capacity_;
+  std::vector<CommitRecord> buffer_;
+  std::uint64_t records_written_ = 0;
+  Cva6Core* core_ = nullptr;
+};
 
 /// Parses a trace written by write_trace_csv.  Throws std::runtime_error on
 /// malformed input (wrong header, bad field count, unknown kind token).

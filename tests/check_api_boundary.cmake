@@ -1,0 +1,45 @@
+# API-boundary check (run as a ctest: cmake -DSOURCE_DIR=... -P this_file).
+#
+# Two-layer guarantee that no bench or example constructs the raw
+# SocConfig+FirmwareConfig pair by hand anymore:
+#   1. src/api/enforce.hpp poisons the raw identifiers at compile time —
+#      but only in translation units that include it;
+#   2. this script verifies every bench/ and examples/ source actually
+#      includes the enforcement header (so deleting the include cannot
+#      silently reopen the hole), and greps for the poisoned tokens as a
+#      belt-and-braces textual check.
+if(NOT DEFINED SOURCE_DIR)
+  message(FATAL_ERROR "check_api_boundary: pass -DSOURCE_DIR=<repo root>")
+endif()
+
+file(GLOB bench_sources "${SOURCE_DIR}/bench/*.cpp" "${SOURCE_DIR}/bench/*.hpp")
+file(GLOB example_sources "${SOURCE_DIR}/examples/*.cpp")
+set(checked_files ${bench_sources} ${example_sources})
+if(checked_files STREQUAL "")
+  message(FATAL_ERROR "check_api_boundary: found no bench/example sources under ${SOURCE_DIR}")
+endif()
+
+set(violations "")
+foreach(source ${checked_files})
+  file(READ "${source}" contents)
+
+  if(NOT contents MATCHES "#include \"api/enforce\\.hpp\"")
+    list(APPEND violations "${source}: missing #include \"api/enforce.hpp\" (must be the last include)")
+  endif()
+
+  # The poisoned raw-construction surface must not appear textually either
+  # (the compile-time poison only bites after the include line).
+  foreach(token SocConfig FirmwareConfig build_firmware FwVariant RotFabric
+          SocTop)
+    if(contents MATCHES "[^A-Za-z0-9_]${token}[^A-Za-z0-9_]")
+      list(APPEND violations "${source}: uses raw-construction token '${token}' (go through titan::api)")
+    endif()
+  endforeach()
+endforeach()
+
+if(violations)
+  list(JOIN violations "\n  " joined)
+  message(FATAL_ERROR "API boundary violations:\n  ${joined}")
+endif()
+list(LENGTH checked_files file_count)
+message(STATUS "check_api_boundary: ${file_count} bench/example sources clean")

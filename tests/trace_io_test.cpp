@@ -85,5 +85,95 @@ TEST(TraceIo, SkipsBlankLines) {
   EXPECT_EQ(trace[0].target, 0x80001000u);
 }
 
+// ---- Streaming writer -------------------------------------------------------
+
+TEST(TraceCsvWriter, StreamingMatchesBatchWriter) {
+  const auto trace = real_trace();
+  ASSERT_FALSE(trace.empty());
+  std::stringstream batch;
+  write_trace_csv(batch, trace);
+
+  // Tiny buffer: many intermediate flushes must not change the bytes.
+  std::stringstream streamed;
+  {
+    TraceCsvWriter writer(streamed, 7);
+    for (const CommitRecord& record : trace) {
+      writer.append(record);
+    }
+  }  // destructor flushes the tail
+  EXPECT_EQ(streamed.str(), batch.str());
+}
+
+TEST(TraceCsvWriter, AttachedWriterStreamsFullTraceInBoundedMemory) {
+  const auto image = workloads::fib_recursive(7);
+
+  // Reference: unbounded in-core trace.
+  const auto reference = real_trace();
+  ASSERT_FALSE(reference.empty());
+
+  // Streaming run: the core keeps only a 16-record ring (it drops most
+  // records), but the attached writer observes every retirement.
+  sim::Memory memory;
+  memory.load(image.base, image.bytes);
+  Cva6Config config;
+  config.reset_pc = image.base;
+  Cva6Core core(config, memory);
+  core.set_trace_ring_capacity(16);
+  std::stringstream streamed;
+  TraceCsvWriter writer(streamed, 32);
+  writer.attach(core);
+  core.run_baseline();
+  writer.flush();
+  EXPECT_GT(core.trace_dropped(), 0u);  // the ring really was too small
+  EXPECT_EQ(writer.records_written(), reference.size());
+
+  const auto reloaded = read_trace_csv(streamed);
+  ASSERT_EQ(reloaded.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_EQ(reloaded[i].cycle, reference[i].cycle) << i;
+    ASSERT_EQ(reloaded[i].pc, reference[i].pc) << i;
+    ASSERT_EQ(reloaded[i].encoding, reference[i].encoding) << i;
+    ASSERT_EQ(reloaded[i].kind, reference[i].kind) << i;
+  }
+}
+
+TEST(TraceCsvWriter, ReplacedWriterDoesNotClobberNewSink) {
+  const auto image = workloads::fib_recursive(5);
+  sim::Memory memory;
+  memory.load(image.base, image.bytes);
+  Cva6Config config;
+  config.reset_pc = image.base;
+  Cva6Core core(config, memory);
+  std::stringstream first_out;
+  std::stringstream second_out;
+  TraceCsvWriter first(first_out, 8);
+  TraceCsvWriter second(second_out, 8);
+  first.attach(core);
+  second.attach(core);  // replaces `first` as the core's sink
+  first.detach();       // stale detach must leave `second` connected
+  core.run_baseline();
+  second.flush();
+  EXPECT_EQ(first.records_written(), 0u);
+  EXPECT_EQ(second.records_written(), core.instret());
+}
+
+TEST(TraceCsvWriter, StreamsEvenWhenTraceStorageDisabled) {
+  const auto image = workloads::fib_recursive(6);
+  sim::Memory memory;
+  memory.load(image.base, image.bytes);
+  Cva6Config config;
+  config.reset_pc = image.base;
+  Cva6Core core(config, memory);
+  core.set_trace_enabled(false);  // no in-core storage at all
+  std::stringstream streamed;
+  TraceCsvWriter writer(streamed, 8);
+  writer.attach(core);
+  core.run_baseline();
+  writer.detach();
+  writer.flush();
+  EXPECT_TRUE(core.trace().empty());
+  EXPECT_EQ(writer.records_written(), core.instret());
+}
+
 }  // namespace
 }  // namespace titan::cva6

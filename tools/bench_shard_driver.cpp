@@ -1,0 +1,192 @@
+// bench_shard_driver — fork-per-shard sweep execution in one command.
+//
+//   bench_shard_driver --shards=K [--out=MERGED.json]
+//                      [--check-against=SERIAL.json] [--keep-partials]
+//                      -- ./build/bench_table2 [bench args...]
+//
+// Launches K local processes of the named sweep bench, each owning one
+// ShardPlanner slice (`--shard=i/K --shard_json=PART.json` is appended to
+// the bench's argument list), waits for all of them, and merges the partial
+// reports through the same validation path as tools/bench_merge — so the
+// result is byte-identical to the bench's serial `--json` document, which
+// `--check-against` verifies directly.  This is the single-machine
+// counterpart of the CI shard matrix: process-level parallelism (memory
+// isolation, independent address spaces) without a workflow engine.
+//
+// Partial files are written next to --out (or a bench_shard_driver.* prefix
+// in the working directory) and deleted after a successful merge unless
+// --keep-partials is given.  Any child failing (non-zero exit, signal, exec
+// failure) fails the whole run loudly; partials are kept for inspection.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/shard_merge.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: bench_shard_driver --shards=K [--out=PATH] "
+               "[--check-against=PATH] [--keep-partials] -- "
+               "BENCH_BINARY [bench args...]\n";
+  return 2;
+}
+
+/// Spawn `argv` (null-terminated) as a child process; returns the pid or -1.
+pid_t spawn(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) {
+    argv.push_back(arg.data());
+  }
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    // Only reached when exec failed (bad path, not executable).
+    std::perror("bench_shard_driver: execv");
+    ::_exit(127);
+  }
+  return pid;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned shards = 0;
+  std::string out_path;
+  std::string check_path;
+  bool keep_partials = false;
+  std::vector<std::string> bench_args;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--") == 0) {
+      ++i;
+      break;
+    }
+    if (std::strncmp(arg, "--shards=", 9) == 0) {
+      const long value = std::strtol(arg + 9, nullptr, 10);
+      if (value < 1) {
+        std::cerr << "bench_shard_driver: --shards must be >= 1\n";
+        return 2;
+      }
+      shards = static_cast<unsigned>(value);
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else if (std::strncmp(arg, "--check-against=", 16) == 0) {
+      check_path = arg + 16;
+    } else if (std::strcmp(arg, "--keep-partials") == 0) {
+      keep_partials = true;
+    } else {
+      std::cerr << "bench_shard_driver: unknown flag '" << arg << "'\n";
+      return usage();
+    }
+  }
+  for (; i < argc; ++i) {
+    bench_args.emplace_back(argv[i]);
+  }
+  if (shards == 0 || bench_args.empty()) {
+    return usage();
+  }
+
+  const std::string prefix =
+      out_path.empty() ? std::string("bench_shard_driver") : out_path;
+  std::vector<std::string> partial_paths;
+  std::vector<pid_t> pids;
+  for (unsigned shard = 0; shard < shards; ++shard) {
+    std::ostringstream partial;
+    partial << prefix << ".shard" << shard << ".part.json";
+    partial_paths.push_back(partial.str());
+
+    std::vector<std::string> child_args = bench_args;
+    child_args.push_back("--shard=" + std::to_string(shard) + "/" +
+                         std::to_string(shards));
+    child_args.push_back("--shard_json=" + partial_paths.back());
+    const pid_t pid = spawn(std::move(child_args));
+    if (pid < 0) {
+      std::perror("bench_shard_driver: fork");
+      return 1;
+    }
+    pids.push_back(pid);
+  }
+
+  bool children_ok = true;
+  for (unsigned shard = 0; shard < shards; ++shard) {
+    int status = 0;
+    if (::waitpid(pids[shard], &status, 0) < 0) {
+      std::perror("bench_shard_driver: waitpid");
+      children_ok = false;
+      continue;
+    }
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::cerr << "bench_shard_driver: shard " << shard << "/" << shards
+                << " failed (";
+      if (WIFEXITED(status)) {
+        std::cerr << "exit code " << WEXITSTATUS(status);
+      } else if (WIFSIGNALED(status)) {
+        std::cerr << "signal " << WTERMSIG(status);
+      } else {
+        std::cerr << "status " << status;
+      }
+      std::cerr << ")\n";
+      children_ok = false;
+    }
+  }
+  if (!children_ok) {
+    std::cerr << "bench_shard_driver: aborting merge; partial reports kept "
+                 "for inspection\n";
+    return 1;
+  }
+
+  const titan::sim::MergeResult result =
+      titan::sim::merge_shard_files(partial_paths);
+  if (!result.ok) {
+    std::cerr << "bench_shard_driver: merge FAILED: " << result.error << "\n";
+    return 1;
+  }
+
+  if (!out_path.empty()) {
+    if (!titan::sim::write_document(out_path, result.merged)) {
+      std::cerr << "bench_shard_driver: cannot write " << out_path << "\n";
+      return 1;
+    }
+  } else if (check_path.empty()) {
+    std::cout << result.merged << "\n";
+  }
+
+  if (!check_path.empty()) {
+    std::ifstream is(check_path);
+    if (!is) {
+      std::cerr << "bench_shard_driver: cannot read " << check_path << "\n";
+      return 1;
+    }
+    std::ostringstream serial;
+    serial << is.rdbuf();
+    if (serial.str() != result.merged + "\n") {
+      std::cerr << "bench_shard_driver: DETERMINISM CHECK FAILED: merged "
+                   "output differs from "
+                << check_path << " (" << result.merged.size() + 1 << " vs "
+                << serial.str().size() << " bytes)\n";
+      return 1;
+    }
+    std::cerr << "bench_shard_driver: determinism check passed (merged == "
+              << check_path << ")\n";
+  }
+
+  if (!keep_partials) {
+    for (const std::string& path : partial_paths) {
+      std::remove(path.c_str());
+    }
+  }
+  std::cerr << "bench_shard_driver: ran " << shards << " shard process(es)"
+            << (out_path.empty() ? "" : " -> " + out_path) << "\n";
+  return 0;
+}
