@@ -29,11 +29,18 @@ int main(int argc, char** argv) {
   // A representative scenario (grid point 0) instantiated for the
   // structural dump: everything printed below is read back from this object
   // graph, through the Scenario API's one construction path.
-  const titan::api::ScenarioSet grid =
+  titan::api::ScenarioSet grid =
       titan::api::ScenarioRegistry::global().query("fig1_liveness", "fig1");
   if (grid.empty()) {
     std::cerr << "bench_fig1: registry has no fig1_liveness scenarios\n";
     return 1;
+  }
+  // --engine=lockstep runs the grid under the per-cycle witness scheduler;
+  // the report identity (and therefore every row and fingerprint) is
+  // engine-independent, which is what lets CI diff a lock-step witness
+  // against event-driven shard partials as an equivalence gate.
+  if (cli.engine == "lockstep") {
+    grid = grid.with_engine(titan::api::Engine::kLockStep);
   }
   const auto soc = grid[0].make_soc();
   const titan::rv::Image firmware = grid[0].firmware_image();

@@ -23,6 +23,13 @@
 //   bench_micro --pr2_json=PATH  # PR-2 report destination (BENCH_PR2.json)
 //   bench_micro --threads=N      # sweep worker threads (default: hardware)
 //
+// PR-5 report (BENCH_PR5.json): end-to-end co-simulation wall-clock of the
+// lock-step scheduler vs the event-driven engine (bit-exactness asserted on
+// every run), plus the drain_hysteresis registry grid's doorbell/latency
+// trade-off:
+//   bench_micro --pr5_only       # PR-5 report only
+//   bench_micro --pr5_json=PATH  # PR-5 report destination (BENCH_PR5.json)
+//
 // Process-level sharding of the typed api::OverheadGrid::micro_sweep() grid:
 //   bench_micro --sweep_json=PATH            # canonical deterministic report
 //   bench_micro --shard=i/K --shard_json=PATH  # partial report for shard i
@@ -38,6 +45,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -655,15 +663,150 @@ bool run_pr2_report(const std::string& path, unsigned threads) {
   return deterministic && stream_identical;
 }
 
+// ---- PR-5 report: event-driven SoC scheduler before/after -------------------
+
+/// One engine-comparison point: a Table I-class workload co-simulated at
+/// burst 1 (where per-cycle scheduler overhead dominates) under both engines.
+struct Pr5Point {
+  const char* key;
+  const char* note;
+  titan::api::Scenario scenario;
+};
+
+std::vector<Pr5Point> pr5_points() {
+  using titan::api::ScenarioBuilder;
+  using titan::api::Workload;
+  const auto scenario = [](const char* name, Workload workload) {
+    return ScenarioBuilder()
+        .name(name)
+        .workload(std::move(workload))
+        .queue_depth(8)
+        .build();
+  };
+  std::vector<Pr5Point> points;
+  points.push_back({"stats", "divider-bound (Embench st-class): long-latency "
+                             "dead cycles the event engine skips outright",
+                    scenario("pr5/stats", Workload::stats(4096))});
+  points.push_back({"matmul", "ALU/branch dense, sparse CFI events",
+                    scenario("pr5/matmul", Workload::matmul(32))});
+  points.push_back({"crc32", "bit-loop dense, sparse CFI events",
+                    scenario("pr5/crc32", Workload::crc32(4096))});
+  points.push_back({"fib", "call-dense counterpoint (CFI events ~every 10 insts)",
+                    scenario("pr5/fib", Workload::fib(12))});
+  return points;
+}
+
+bool run_pr5_report(const std::string& path) {
+  using titan::api::Engine;
+  using titan::api::RunReport;
+  titan::sim::JsonWriter json;
+  json.begin_object()
+      .field("pr", 5)
+      .field("description",
+             std::string_view{"event-driven SoC scheduler: fast-forward the "
+                              "host/RoT co-simulation between CFI events"});
+
+  bool all_exact = true;
+  double best_speedup = 0;
+  json.begin_object("engine_e2e");
+  for (const Pr5Point& point : pr5_points()) {
+    std::cerr << "[pr5] " << point.key
+              << ": lock-step vs event-driven co-simulation...\n";
+    // Bit-exactness first (also warms every cache the timed runs touch).
+    const RunReport lock_report =
+        titan::api::run_scenario(point.scenario.with_engine(Engine::kLockStep));
+    const RunReport event_report = titan::api::run_scenario(
+        point.scenario.with_engine(Engine::kEventDriven));
+    const bool exact = lock_report == event_report;
+    all_exact = all_exact && exact;
+
+    // Simulated cycles per wall-second, engine vs engine on the identical
+    // scenario (run_scenario includes SoC construction for both sides).
+    // Interleaved best-of-two passes so transient host noise (frequency
+    // steps, page-cache warmup) cannot systematically favour either engine.
+    const auto rate_of = [&point](Engine engine) {
+      const titan::api::Scenario variant = point.scenario.with_engine(engine);
+      return measure_rate(0.3, [&variant] {
+        return titan::api::run_scenario(variant).cycles;
+      });
+    };
+    double lock_rate = 0;
+    double event_rate = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+      lock_rate = std::max(lock_rate, rate_of(Engine::kLockStep));
+      event_rate = std::max(event_rate, rate_of(Engine::kEventDriven));
+    }
+    const double speedup = lock_rate > 0 ? event_rate / lock_rate : 0.0;
+    best_speedup = std::max(best_speedup, speedup);
+    std::cerr << "[pr5]   " << speedup << "x (" << event_report.cycles
+              << " modeled cycles, bit-exact: " << (exact ? "yes" : "NO")
+              << ")\n";
+
+    json.begin_object(point.key)
+        .field("note", std::string_view{point.note})
+        .field("modeled_cycles", event_report.cycles)
+        .field("cf_logs", event_report.cf_logs)
+        .field("sim_cycles_per_s_lockstep", lock_rate)
+        .field("sim_cycles_per_s_event", event_rate)
+        .field("speedup", speedup)
+        .field("bit_exact", exact)
+        .end_object();
+  }
+  json.field("best_speedup", best_speedup).end_object();
+
+  // Drain hysteresis (wait-for-k-or-timeout) trade-off: fewer doorbells per
+  // log at the cost of cycles a pending log may wait for company.
+  std::cerr << "[pr5] drain_hysteresis grid (doorbell/latency trade-off)...\n";
+  const titan::api::ScenarioSet hysteresis =
+      titan::api::ScenarioRegistry::global().query("drain_hysteresis",
+                                                   "hysteresis");
+  json.begin_object("drain_hysteresis")
+      .field("workload", std::string_view{"fib_recursive(10), burst 8"});
+  double off_doorbells = 0;
+  double best_doorbells = std::numeric_limits<double>::infinity();
+  for (const titan::api::Scenario& scenario : hysteresis) {
+    const RunReport report = titan::api::run_scenario(scenario);
+    if (scenario.name() == "hysteresis/off") {
+      off_doorbells = static_cast<double>(report.doorbells);
+    }
+    best_doorbells =
+        std::min(best_doorbells, static_cast<double>(report.doorbells));
+    json.begin_object(scenario.name())
+        .field("cf_logs", report.cf_logs)
+        .field("doorbells", report.doorbells)
+        .field("batches", report.batches)
+        .field("max_batch", report.max_batch)
+        .field("cycles", report.cycles)
+        .field("doorbells_per_log", report.doorbells_per_log())
+        .field("mean_queue_occupancy", report.mean_queue_occupancy)
+        .end_object();
+  }
+  json.field("doorbell_reduction_vs_immediate",
+             best_doorbells > 0 ? off_doorbells / best_doorbells : 0.0)
+      .end_object();
+  json.end_object();
+
+  if (!json.write_file(path)) {
+    std::cerr << "[pr5] error: cannot open '" << path << "' for writing\n";
+    return false;
+  }
+  std::cerr << "[pr5] best engine speedup: " << best_speedup
+            << "x (bit-exact on all points: " << (all_exact ? "yes" : "NO")
+            << ")\n[pr5] wrote " << path << "\n";
+  return all_exact;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_PR1.json";
   std::string pr2_json_path = "BENCH_PR2.json";
+  std::string pr5_json_path = "BENCH_PR5.json";
   titan::sim::SweepCli sweep_cli;
   sweep_cli.threads = 0;  // 0 = hardware concurrency
   bool pr1_only = false;
   bool pr2_only = false;
+  bool pr5_only = false;
   // Peel off our flags; everything else goes to google-benchmark.
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
@@ -673,10 +816,14 @@ int main(int argc, char** argv) {
       pr1_only = true;
     } else if (arg == "--pr2_only") {
       pr2_only = true;
+    } else if (arg == "--pr5_only") {
+      pr5_only = true;
     } else if (arg.rfind("--pr1_json=", 0) == 0) {
       json_path = arg.substr(std::strlen("--pr1_json="));
     } else if (arg.rfind("--pr2_json=", 0) == 0) {
       pr2_json_path = arg.substr(std::strlen("--pr2_json="));
+    } else if (arg.rfind("--pr5_json=", 0) == 0) {
+      pr5_json_path = arg.substr(std::strlen("--pr5_json="));
     } else if (arg.rfind("--sweep_json=", 0) == 0) {
       sweep_cli.json_path = arg.substr(std::strlen("--sweep_json="));
       sweep_cli.json_given = true;
@@ -694,6 +841,11 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--threads=", 0) == 0) {
       sweep_cli.threads = static_cast<unsigned>(
           std::strtoul(arg.c_str() + std::strlen("--threads="), nullptr, 10));
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      std::cerr << "bench_micro: --engine only applies to co-simulating "
+                   "sweep benches (the --pr5_only report measures both "
+                   "engines itself)\n";
+      return 2;
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -704,9 +856,15 @@ int main(int argc, char** argv) {
     return 2;
   }
   if ((sweep_cli.shard_given || sweep_cli.json_given) &&
-      (pr1_only || pr2_only)) {
+      (pr1_only || pr2_only || pr5_only)) {
     std::cerr << "bench_micro: --shard/--sweep_json run only the sweep grid "
-                 "and cannot be combined with --pr1_only/--pr2_only\n";
+                 "and cannot be combined with --pr1_only/--pr2_only/"
+                 "--pr5_only\n";
+    return 2;
+  }
+  if (pr1_only + pr2_only + pr5_only > 1) {
+    std::cerr << "bench_micro: pick at most one of --pr1_only/--pr2_only/"
+                 "--pr5_only (no flag runs every report)\n";
     return 2;
   }
   if (sweep_cli.shard_given && sweep_cli.json_given) {
@@ -720,7 +878,7 @@ int main(int argc, char** argv) {
   }
   const unsigned threads = sweep_cli.threads;
   int pass_argc = static_cast<int>(passthrough.size());
-  if (!pr1_only && !pr2_only) {
+  if (!pr1_only && !pr2_only && !pr5_only) {
     ::benchmark::Initialize(&pass_argc, passthrough.data());
     if (::benchmark::ReportUnrecognizedArguments(pass_argc,
                                                  passthrough.data())) {
@@ -735,7 +893,11 @@ int main(int argc, char** argv) {
   if (pr1_only) {
     return run_pr1_report(json_path) ? 0 : 1;
   }
+  if (pr5_only) {
+    return run_pr5_report(pr5_json_path) ? 0 : 1;
+  }
   const bool pr1_ok = run_pr1_report(json_path);
   const bool pr2_ok = run_pr2_report(pr2_json_path, threads);
-  return pr1_ok && pr2_ok ? 0 : 1;
+  const bool pr5_ok = run_pr5_report(pr5_json_path);
+  return pr1_ok && pr2_ok && pr5_ok ? 0 : 1;
 }

@@ -51,6 +51,12 @@ int main(int argc, char** argv) {
     std::cerr << "bench_table3: " << cli.error << "\n";
     return 2;
   }
+  if (cli.engine_given) {
+    std::cerr << "bench_table3: --engine only applies to co-simulating "
+                 "benches (this one replays the trace-driven overhead "
+                 "model)\n";
+    return 2;
+  }
 
   const titan::api::OverheadGrid grid = titan::api::OverheadGrid::table3();
 

@@ -20,6 +20,15 @@ sim::SweepDocHeader ScenarioSet::header() const {
   return header;
 }
 
+ScenarioSet ScenarioSet::with_engine(Engine engine) const {
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(scenarios_.size());
+  for (const Scenario& scenario : scenarios_) {
+    scenarios.push_back(scenario.with_engine(engine));
+  }
+  return ScenarioSet(bench_, std::move(scenarios));
+}
+
 void ScenarioRegistry::add(Scenario scenario, std::vector<std::string> tags) {
   if (find(scenario.name()) != nullptr) {
     throw ScenarioError("ScenarioRegistry: duplicate scenario name '" +
@@ -125,6 +134,34 @@ void register_drain_study(ScenarioRegistry& registry) {
   }
 }
 
+/// Hysteresis drain-policy study (ROADMAP "adaptive drain burst"): fib(10)
+/// at burst 8, sweeping the wait-for-k-or-timeout policy against the
+/// immediate drain.  Reported by bench_micro --pr5_only as the
+/// doorbell/latency trade-off.
+void register_drain_hysteresis(ScenarioRegistry& registry) {
+  struct Point {
+    unsigned wait;
+    sim::Cycle timeout;
+    const char* label;
+  };
+  constexpr Point kGrid[] = {
+      {0, 0, "hysteresis/off"},
+      {4, 256, "hysteresis/w4_t256"},
+      {8, 256, "hysteresis/w8_t256"},
+      {8, 1024, "hysteresis/w8_t1024"},
+  };
+  for (const Point& point : kGrid) {
+    registry.add(ScenarioBuilder()
+                     .name(point.label)
+                     .workload(Workload::fib(10))
+                     .queue_depth(8)
+                     .drain_burst(8)
+                     .drain_wait(point.wait, point.timeout)
+                     .build(),
+                 {"drain_hysteresis"});
+  }
+}
+
 /// Attack demonstrations.
 void register_attacks(ScenarioRegistry& registry) {
   registry.add(ScenarioBuilder()
@@ -171,6 +208,7 @@ const ScenarioRegistry& ScenarioRegistry::global() {
     ScenarioRegistry built;
     register_fig1_liveness(built);
     register_drain_study(built);
+    register_drain_hysteresis(built);
     register_attacks(built);
     register_ablation(built);
     return built;

@@ -44,6 +44,11 @@ class ScenarioSet {
   /// the ordered names, config fingerprint over the full serializations.
   [[nodiscard]] sim::SweepDocHeader header() const;
 
+  /// The same set run under `engine`.  Identity (header/fingerprint) is
+  /// unchanged — the engine does not alter results — so a lock-step witness
+  /// document stays byte-comparable to event-driven shard partials.
+  [[nodiscard]] ScenarioSet with_engine(Engine engine) const;
+
  private:
   std::string bench_;
   std::vector<Scenario> scenarios_;
@@ -69,9 +74,9 @@ class ScenarioRegistry {
                                   std::string bench_name) const;
 
   /// The built-in registry: the paper's liveness grid (tag "fig1_liveness"),
-  /// the batched-drain study points (tag "drain_study"), the attack
-  /// scenarios, and the ablation co-sim grids (tags "ablation_depth",
-  /// "ablation_ss").
+  /// the batched-drain study points (tag "drain_study"), the hysteresis
+  /// drain-policy study (tag "drain_hysteresis"), the attack scenarios, and
+  /// the ablation co-sim grids (tags "ablation_depth", "ablation_ss").
   [[nodiscard]] static const ScenarioRegistry& global();
 
  private:

@@ -46,6 +46,10 @@ struct RunReport {
   std::uint64_t rot_instructions = 0;
   std::uint64_t rot_hmac_starts = 0;
 
+  /// Field-wise equality (bit-exact, including the derived statistics) —
+  /// what the cross-engine equivalence checks compare.
+  bool operator==(const RunReport&) const = default;
+
   /// Doorbell amortisation achieved by the batched drain (1.0 == one
   /// doorbell per log, the paper's baseline protocol).
   [[nodiscard]] double doorbells_per_log() const {

@@ -8,6 +8,15 @@
 
 namespace titan::api {
 
+namespace {
+
+cfi::Engine to_cfi(Engine engine) {
+  return engine == Engine::kLockStep ? cfi::Engine::kLockStep
+                                     : cfi::Engine::kEventDriven;
+}
+
+}  // namespace
+
 // ---- Workload ---------------------------------------------------------------
 
 Workload Workload::fib(unsigned n) {
@@ -39,6 +48,14 @@ Workload Workload::quicksort(unsigned n) {
   w.kind_ = Kind::kQuicksort;
   w.param_ = n;
   w.serialized_ = "quicksort(" + std::to_string(n) + ")";
+  return w;
+}
+
+Workload Workload::stats(unsigned n) {
+  Workload w;
+  w.kind_ = Kind::kStats;
+  w.param_ = n;
+  w.serialized_ = "stats(" + std::to_string(n) + ")";
   return w;
 }
 
@@ -104,6 +121,8 @@ rv::Image Workload::build() const {
       return workloads::crc32(static_cast<unsigned>(param_));
     case Kind::kQuicksort:
       return workloads::quicksort(static_cast<unsigned>(param_));
+    case Kind::kStats:
+      return workloads::stats(static_cast<unsigned>(param_));
     case Kind::kCallChain:
       return workloads::call_chain(static_cast<unsigned>(param_));
     case Kind::kIndirectDispatch:
@@ -137,11 +156,18 @@ std::string Scenario::serialize() const {
        << (soc_.fabric == cfi::RotFabric::kBaseline ? "baseline" : "optimized")
        << ";queue_depth=" << soc_.queue_depth << ";burst=" << soc_.drain_burst
        << ";mac=" << (soc_.drain_burst > 1 && soc_.mac_batches ? 1 : 0)
+       << ";dwait=" << soc_.drain_wait << ";dtimeout=" << soc_.drain_timeout
        << ";ss=" << fw_.ss_capacity << ";spill=" << fw_.spill_block
        << ";jt=" << (fw_.enable_jump_table ? 1 : 0)
        << ";pmp=" << (soc_.enable_pmp ? 1 : 0)
        << ";trace=" << (soc_.trace_commits ? 1 : 0) << "}";
   return text.str();
+}
+
+Scenario Scenario::with_engine(Engine engine) const {
+  Scenario copy = *this;
+  copy.soc_.engine = to_cfi(engine);
+  return copy;
 }
 
 // ---- ScenarioBuilder --------------------------------------------------------
@@ -178,6 +204,17 @@ ScenarioBuilder& ScenarioBuilder::drain_burst(unsigned value) {
 
 ScenarioBuilder& ScenarioBuilder::batch_mac(bool value) {
   batch_mac_ = value;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::drain_wait(unsigned wait, sim::Cycle timeout) {
+  drain_wait_ = wait;
+  drain_timeout_ = timeout;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::engine(Engine value) {
+  engine_ = value;
   return *this;
 }
 
@@ -233,6 +270,32 @@ Scenario ScenarioBuilder::build() const {
         "': batch_mac requires drain_burst > 1 (the one-at-a-time drain "
         "has no batch to authenticate)");
   }
+  if (drain_wait_ > drain_burst_) {
+    throw ScenarioError(
+        "ScenarioBuilder: scenario '" + name_ + "': drain_wait " +
+        std::to_string(drain_wait_) + " exceeds drain_burst " +
+        std::to_string(drain_burst_) +
+        " (a wait threshold deeper than one transfer can never be met)");
+  }
+  if (drain_wait_ > queue_depth_) {
+    throw ScenarioError(
+        "ScenarioBuilder: scenario '" + name_ + "': drain_wait " +
+        std::to_string(drain_wait_) + " exceeds queue_depth " +
+        std::to_string(queue_depth_) +
+        " (the queue can never accumulate that many logs)");
+  }
+  if (drain_wait_ > 1 && drain_timeout_ == 0) {
+    throw ScenarioError(
+        "ScenarioBuilder: scenario '" + name_ +
+        "': the hysteresis drain policy needs a nonzero timeout (pending "
+        "logs must not wait forever on a quiet program)");
+  }
+  if (drain_timeout_ > 100'000) {
+    throw ScenarioError(
+        "ScenarioBuilder: scenario '" + name_ +
+        "': drain_timeout above 100000 cycles would dominate the "
+        "post-program drain guard");
+  }
   if (ss_capacity_ == 0 || spill_block_ == 0 || spill_block_ > ss_capacity_) {
     throw ScenarioError(
         "ScenarioBuilder: scenario '" + name_ +
@@ -258,9 +321,12 @@ Scenario ScenarioBuilder::build() const {
                              : cfi::RotFabric::kOptimized;
   scenario.soc_.drain_burst = drain_burst_;
   scenario.soc_.mac_batches = batch_mac_;
+  scenario.soc_.drain_wait = drain_wait_;
+  scenario.soc_.drain_timeout = drain_timeout_;
   scenario.soc_.enable_pmp = pmp_;
   scenario.soc_.trace_commits = trace_commits_;
   scenario.soc_.max_cycles = max_cycles_;
+  scenario.soc_.engine = to_cfi(engine_);
 
   scenario.fw_.variant = firmware_ == Firmware::kIrq ? fw::FwVariant::kIrq
                                                      : fw::FwVariant::kPolling;

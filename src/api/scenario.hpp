@@ -39,6 +39,12 @@ enum class Firmware { kIrq, kPolling };
 /// RoT interconnect generation.  Mirror of cfi::RotFabric.
 enum class Fabric { kBaseline, kOptimized };
 
+/// Co-simulation scheduler (mirror of cfi::Engine).  Not part of a
+/// scenario's serialized identity: both engines produce bit-identical
+/// results (enforced by tests/engine_equivalence_test), so the engine is an
+/// execution strategy — like the thread count — not configuration.
+enum class Engine { kLockStep, kEventDriven };
+
 /// Typed, serializable workload descriptor: a named reference to one of the
 /// built-in program generators (src/workloads) or a caller-assembled image.
 class Workload {
@@ -49,6 +55,7 @@ class Workload {
   static Workload matmul(unsigned n);
   static Workload crc32(unsigned len);
   static Workload quicksort(unsigned n);
+  static Workload stats(unsigned n);
   static Workload call_chain(unsigned depth);
   static Workload indirect_dispatch(unsigned iterations);
   static Workload rop_victim();
@@ -72,6 +79,7 @@ class Workload {
     kMatmul,
     kCrc32,
     kQuicksort,
+    kStats,
     kCallChain,
     kIndirectDispatch,
     kRopVictim,
@@ -106,8 +114,13 @@ class Scenario {
   [[nodiscard]] std::unique_ptr<cfi::SocTop> make_soc() const;
 
   /// Deterministic serialization of every knob.  This string (hashed) IS the
-  /// scenario's config fingerprint — see ScenarioSet::header().
+  /// scenario's config fingerprint — see ScenarioSet::header().  The engine
+  /// is deliberately excluded (results are engine-independent), so a
+  /// lock-step witness run and an event-driven run share one fingerprint.
   [[nodiscard]] std::string serialize() const;
+
+  /// Copy of this scenario running under `engine` (identity unchanged).
+  [[nodiscard]] Scenario with_engine(Engine engine) const;
 
  private:
   friend class ScenarioBuilder;
@@ -135,11 +148,20 @@ class ScenarioBuilder {
   /// HMAC each burst end to end (requires drain_burst > 1).  Sets both
   /// SocConfig::mac_batches and FirmwareConfig::batch_mac.
   ScenarioBuilder& batch_mac(bool value);
+  /// Hysteresis drain policy (ROADMAP "adaptive drain burst"): an idle Log
+  /// Writer defers its next drain until the queue holds `wait` logs or
+  /// `timeout` cycles have elapsed since the first pending log.  wait == 0
+  /// (default) drains immediately — the paper's behaviour, which keeps
+  /// Table I/II exact.
+  ScenarioBuilder& drain_wait(unsigned wait, sim::Cycle timeout);
   ScenarioBuilder& shadow_stack(unsigned capacity, unsigned spill_block);
   ScenarioBuilder& jump_table(bool value);
   ScenarioBuilder& pmp(bool value);
   ScenarioBuilder& trace_commits(bool value);
   ScenarioBuilder& max_cycles(sim::Cycle value);
+  /// Co-simulation scheduler (default: the event-driven engine; results are
+  /// bit-identical to lock-step, which survives as the equivalence witness).
+  ScenarioBuilder& engine(Engine value);
 
   /// Validate and freeze.  Throws ScenarioError naming the first invalid
   /// combination (empty name, unset workload, zero queue depth, burst out of
@@ -155,12 +177,15 @@ class ScenarioBuilder {
   std::size_t queue_depth_ = 8;
   unsigned drain_burst_ = 1;
   bool batch_mac_ = false;
+  unsigned drain_wait_ = 0;
+  sim::Cycle drain_timeout_ = 0;
   unsigned ss_capacity_ = 32;
   unsigned spill_block_ = 16;
   bool jump_table_ = false;
   bool pmp_ = true;
   bool trace_commits_ = false;
   sim::Cycle max_cycles_ = 2'000'000'000;
+  Engine engine_ = Engine::kEventDriven;
 };
 
 }  // namespace titan::api

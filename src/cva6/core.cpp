@@ -19,7 +19,11 @@ std::uint64_t sext32(std::uint32_t value) {
 
 Cva6Core::Cva6Core(const Cva6Config& config, sim::Memory& memory)
     : config_(config), memory_(memory), pc_(config.reset_pc) {
+  if (config_.rob_depth == 0) {
+    throw std::invalid_argument("Cva6Core: rob_depth must be >= 1");
+  }
   regs_[2] = config.reset_sp;
+  rob_.resize(config_.rob_depth);
 }
 
 std::uint32_t Cva6Core::latency_of(const rv::Inst& inst) const {
@@ -62,7 +66,10 @@ void Cva6Core::issue_one() {
   }
   const rv::Inst& inst = *decoded;
 
-  ScoreboardEntry entry;
+  // Construct the entry in place in its ring slot (issue order == slot
+  // order; the caller guarantees a free slot).
+  RobEntry& rob_entry = rob_at(rob_size_);
+  ScoreboardEntry& entry = rob_entry.entry;
   entry.pc = pc_;
   entry.inst = inst;
   entry.next_pc = pc_ + inst.len;
@@ -76,15 +83,16 @@ void Cva6Core::issue_one() {
     latency += config_.taken_cf_penalty;
   }
 
-  RobEntry rob_entry;
-  rob_entry.entry = entry;
   // In-order single-issue without result pipelining: an instruction holds
   // the execute stage for its full latency (CVA6's in-order back-end stalls
   // on use, and its divider is iterative), so issue serialises by latency.
   issue_ready_ = std::max(issue_ready_, cycle_);
   rob_entry.ready = issue_ready_ + latency - 1;
   issue_ready_ += latency;
-  rob_.push_back(rob_entry);
+  if (rv::cfi_relevant(entry.kind)) {
+    ++rob_cfi_count_;
+  }
+  ++rob_size_;
 }
 
 std::uint32_t Cva6Core::fetch_window(std::uint64_t pc) {
@@ -261,7 +269,8 @@ void Cva6Core::execute(const rv::Inst& inst, ScoreboardEntry& entry) {
 
 std::span<const ScoreboardEntry> Cva6Core::commit_candidates() {
   candidates_.clear();
-  for (const RobEntry& rob_entry : rob_) {
+  for (std::size_t index = 0; index < rob_size_; ++index) {
+    const RobEntry& rob_entry = rob_at(index);
     if (rob_entry.ready > cycle_ || candidates_.size() >= config_.commit_width) {
       break;
     }
@@ -275,10 +284,14 @@ void Cva6Core::retire(unsigned count) {
     ++stall_cycles_;
   }
   for (unsigned i = 0; i < count; ++i) {
+    const RobEntry& front = rob_at(0);
     if (trace_enabled_ || trace_sink_) {
-      record_commit(rob_.front().entry);
+      record_commit(front.entry);
     }
-    rob_.pop_front();
+    if (rv::cfi_relevant(front.entry.kind)) {
+      --rob_cfi_count_;
+    }
+    rob_pop_front();
   }
 }
 
@@ -337,10 +350,58 @@ std::vector<CommitRecord> Cva6Core::ordered_trace() const {
 
 void Cva6Core::tick() {
   // Refill the ROB (front-end runs ahead of commit).
-  while (rob_.size() < config_.rob_depth && !halted_) {
+  while (rob_size_ < config_.rob_depth && !halted_) {
     issue_one();
   }
   ++cycle_;
+}
+
+Cva6Core::FastForwardResult Cva6Core::run_until_event(Cycle limit) {
+  FastForwardResult result;
+  if (rob_cfi_count_ > 0) {
+    return result;  // A CFI entry may already be a commit candidate.
+  }
+  while (cycle_ < limit) {
+    if (halted_ && rob_size_ == 0) {
+      break;  // program_done(): the caller's run loop exits here too.
+    }
+    // Retire the ready prefix (in order, up to commit_width) — every entry
+    // is non-CFI by the loop invariant, so the external arbiter would have
+    // allowed all of them and recorded no stall.
+    unsigned retired = 0;
+    while (retired < config_.commit_width && rob_size_ != 0 &&
+           rob_at(0).ready <= cycle_) {
+      if (trace_enabled_ || trace_sink_) [[unlikely]] {
+        record_commit(rob_at(0).entry);
+      }
+      rob_pop_front();
+      ++retired;
+    }
+    result.port0_scans += (retired + 1) / 2;
+    result.port1_scans += retired / 2;
+    if (retired == 0 && rob_size_ != 0 &&
+        (halted_ || rob_size_ >= config_.rob_depth)) {
+      // Nothing retires and nothing can issue until the head entry's latency
+      // expires: every intermediate cycle is observably empty, so jump the
+      // clock straight to the head's ready cycle (or the limit).
+      const Cycle next = std::min(rob_at(0).ready, limit);
+      result.cycles += next - cycle_;
+      cycle_ = next;
+      continue;
+    }
+    // Refill the ROB exactly as tick() would.  A CFI-relevant instruction
+    // issued here only becomes a commit candidate next cycle, so this cycle
+    // still completes under the fast path.
+    while (rob_size_ < config_.rob_depth && !halted_) {
+      issue_one();
+    }
+    ++cycle_;
+    ++result.cycles;
+    if (rob_cfi_count_ > 0) {
+      break;  // Next cycle needs per-cycle CFI arbitration.
+    }
+  }
+  return result;
 }
 
 sim::Cycle Cva6Core::run_baseline() {

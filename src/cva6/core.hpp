@@ -13,7 +13,6 @@
 //     paper's "inhibit the commit stage" stall mechanism (Sec. IV-B2).
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <span>
 #include <vector>
@@ -60,9 +59,40 @@ class Cva6Core {
   /// Run with no commit gating until ECALL/halt; returns total cycles.
   Cycle run_baseline();
 
+  // ---- Event-driven co-simulation interface --------------------------------
+
+  /// Outcome of a fast-forward quantum (see run_until_event).
+  struct FastForwardResult {
+    Cycle cycles = 0;  ///< Host cycles advanced (cycle() moved by this much).
+    /// Entries the commit-port CFI filters would have scanned on the even /
+    /// odd candidate indices — the external Queue Controller replays these
+    /// into its per-port statistics.
+    std::uint64_t port0_scans = 0;
+    std::uint64_t port1_scans = 0;
+  };
+
+  /// Batched fast path for the event-driven SoC scheduler: run whole cycles
+  /// (retire the ready prefix, refill the ROB, advance the clock) exactly as
+  /// the per-cycle interface would with an external arbiter that allows every
+  /// candidate — valid precisely while the ROB holds no CFI-relevant entry,
+  /// which is what makes "allow everything" the arbiter's only possible
+  /// answer.  Stops BEFORE executing a cycle whose commit candidates could
+  /// contain a CFI-relevant entry (i.e. as soon as the issue stage has placed
+  /// one in the ROB), on program completion, or at the absolute cycle
+  /// `limit`.  Returns zero cycles when the ROB already holds a CFI-relevant
+  /// entry.  Cycle numbering, retirement timing, traces, and stall counters
+  /// are bit-identical to per-cycle stepping; queue-side statistics for the
+  /// skipped evaluate() calls are returned for the caller to replay.
+  FastForwardResult run_until_event(Cycle limit);
+
+  /// True while the ROB holds at least one CFI-relevant (call / return /
+  /// indirect-jump) entry — the window in which the CFI stage must arbitrate
+  /// commit per cycle.
+  [[nodiscard]] bool has_pending_cfi() const { return rob_cfi_count_ > 0; }
+
   [[nodiscard]] bool halted() const { return halted_; }
   [[nodiscard]] bool program_done() const {
-    return halted_ && rob_.empty();
+    return halted_ && rob_size_ == 0;
   }
   [[nodiscard]] std::uint64_t exit_code() const { return exit_code_; }
   [[nodiscard]] bool faulted() const { return cfi_fault_; }
@@ -135,6 +165,24 @@ class Cva6Core {
     Cycle ready = 0;
   };
 
+  // The ROB is a fixed-capacity ring (hardware-faithful: rob_depth slots,
+  // in-order alloc/retire), which keeps the per-instruction hot path free of
+  // deque block management and entry copies — issue_one() constructs each
+  // entry in place in its slot.
+  [[nodiscard]] RobEntry& rob_at(std::size_t index) {
+    std::size_t slot = rob_head_ + index;
+    if (slot >= rob_.size()) {
+      slot -= rob_.size();
+    }
+    return rob_[slot];
+  }
+  void rob_pop_front() {
+    if (++rob_head_ >= rob_.size()) {
+      rob_head_ = 0;
+    }
+    --rob_size_;
+  }
+
   /// Functionally execute the next instruction and append it to the ROB.
   void issue_one();
   void execute(const rv::Inst& inst, ScoreboardEntry& entry);
@@ -156,7 +204,10 @@ class Cva6Core {
   Cycle cycle_ = 0;
   Cycle issue_ready_ = 0;  ///< Next cycle the issue stage may accept work.
   std::uint64_t instret_ = 0;
-  std::deque<RobEntry> rob_;
+  std::vector<RobEntry> rob_;      ///< Ring storage, rob_depth slots.
+  std::size_t rob_head_ = 0;       ///< Slot of the oldest live entry.
+  std::size_t rob_size_ = 0;       ///< Live entries.
+  std::size_t rob_cfi_count_ = 0;  ///< CFI-relevant entries currently live.
   std::vector<ScoreboardEntry> candidates_;
   std::vector<CommitRecord> trace_;
   std::function<void(const CommitRecord&)> trace_sink_;

@@ -23,6 +23,8 @@ struct FifoStats {
   std::uint64_t occupancy_samples = 0;
   std::uint64_t occupancy_sum = 0;
 
+  bool operator==(const FifoStats&) const = default;
+
   /// Mean occupancy over all sample() calls (0 if never sampled).
   [[nodiscard]] double mean_occupancy() const {
     return occupancy_samples == 0
@@ -82,6 +84,15 @@ class Fifo {
   void sample() {
     ++stats_.occupancy_samples;
     stats_.occupancy_sum += items_.size();
+  }
+
+  /// Record `cycles` samples at the current (constant) occupancy in one step.
+  /// The event-driven scheduler uses this to account for fast-forwarded
+  /// cycles during which the occupancy provably did not change, keeping the
+  /// statistics bit-identical to per-cycle sample() calls.
+  void sample_n(std::uint64_t cycles) {
+    stats_.occupancy_samples += cycles;
+    stats_.occupancy_sum += cycles * items_.size();
   }
 
   [[nodiscard]] const FifoStats& stats() const { return stats_; }

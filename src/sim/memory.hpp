@@ -46,6 +46,8 @@ struct MemStats {
   std::uint64_t bulk_bytes = 0;       ///< Bytes moved by block operations.
   std::uint64_t neg_cache_hits = 0;   ///< Unmapped probes answered by the
                                       ///< negative page cache (no hash walk).
+
+  bool operator==(const MemStats&) const = default;
 };
 
 /// Stable reference to one mapped page, for callers (the ISS fetch stage)

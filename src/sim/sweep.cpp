@@ -132,6 +132,14 @@ SweepCli parse_sweep_cli(int argc, char** argv, std::string default_json) {
       cli.shard_given = true;
     } else if (std::strncmp(arg, "--shard_json=", 13) == 0) {
       cli.shard_json_path = arg + 13;
+    } else if (std::strncmp(arg, "--engine=", 9) == 0) {
+      cli.engine = arg + 9;
+      cli.engine_given = true;
+      if (cli.engine != "lockstep" && cli.engine != "event") {
+        cli.error = std::string("unknown --engine value '") + cli.engine +
+                    "' (expected 'lockstep' or 'event')";
+        return cli;
+      }
     }
   }
   if (cli.shard_given && cli.shard_json_path.empty()) {

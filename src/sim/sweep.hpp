@@ -124,6 +124,12 @@ struct SweepCli {
   ShardSpec shard;
   bool shard_given = false;
   std::string shard_json_path;
+  /// --engine=lockstep|event: co-simulation scheduler for benches that run
+  /// full co-sims (results are bit-identical either way, so a lock-step
+  /// witness diffs cleanly against event-driven shards — the CI cross-engine
+  /// equivalence gate).  Empty == bench default (event-driven).
+  std::string engine;
+  bool engine_given = false;
   std::string error;  ///< Non-empty when a flag was malformed; exit 2.
 };
 

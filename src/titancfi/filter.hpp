@@ -31,6 +31,12 @@ class CfiFilter {
   [[nodiscard]] std::uint64_t scanned() const { return scanned_; }
   [[nodiscard]] std::uint64_t selected() const { return selected_; }
 
+  /// Account for `count` entries this filter provably would have scanned (and
+  /// rejected) during an event-driven fast-forward window, where per-entry
+  /// filter() calls are skipped because no entry is CFI-relevant.  Keeps the
+  /// scanned counter bit-identical to the per-cycle lock-step engine.
+  void note_scanned(std::uint64_t count) { scanned_ += count; }
+
  private:
   std::uint64_t scanned_ = 0;
   std::uint64_t selected_ = 0;

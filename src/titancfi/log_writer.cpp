@@ -35,11 +35,38 @@ LogWriter::LogWriter(QueueController& controller, soc::Crossbar& axi,
   if (config_.burst < 1 || config_.burst > soc::Mailbox::kBatchSlots) {
     throw std::invalid_argument("LogWriter: burst must be in [1, kBatchSlots]");
   }
+  if (config_.drain_wait > config_.burst) {
+    throw std::invalid_argument(
+        "LogWriter: drain_wait must be <= burst (a deeper wait threshold "
+        "could never fill one transfer)");
+  }
+  if (config_.drain_wait > controller_.queue().depth()) {
+    throw std::invalid_argument(
+        "LogWriter: drain_wait must be <= the CFI queue depth (the queue "
+        "can never accumulate that many logs, so only the timeout would "
+        "ever fire)");
+  }
+  if (config_.drain_wait > 1 && config_.drain_timeout == 0) {
+    throw std::invalid_argument(
+        "LogWriter: the hysteresis policy needs a nonzero drain_timeout "
+        "(logs must not wait forever on a quiet program)");
+  }
+  if (config_.drain_timeout > 100'000) {
+    throw std::invalid_argument(
+        "LogWriter: drain_timeout above 100000 cycles would dominate the "
+        "post-program drain guard");
+  }
   if (config_.mac_batches) {
     mac_key_.emplace(
         soc::derive_slot_key(config.device_secret, config.mac_key_sel));
   }
+  // One reservation for the lifetime of the writer: begin_batch only clears.
   batch_.reserve(config_.burst);
+  writes_.reserve(std::size_t{config_.burst} * CommitLog::kBeats + 1 +
+                  soc::Mailbox::kMacRegs);
+  if (config_.mac_batches) {
+    packed_.reserve(std::size_t{config_.burst} * CommitLog::kBeats * 8);
+  }
 }
 
 void LogWriter::begin_batch(Cycle now, std::size_t count) {
@@ -56,10 +83,7 @@ void LogWriter::begin_batch(Cycle now, std::size_t count) {
     busy_until_ = now + 1;  // Pop latency.
     return;
   }
-  std::vector<std::uint8_t> packed;
-  if (config_.mac_batches) {
-    packed.reserve(count * CommitLog::kBeats * 8);
-  }
+  packed_.clear();
   for (std::size_t slot = 0; slot < count; ++slot) {
     const auto beats = batch_[slot].pack();
     for (unsigned beat = 0; beat < CommitLog::kBeats; ++beat) {
@@ -69,7 +93,7 @@ void LogWriter::begin_batch(Cycle now, std::size_t count) {
            beats[beat]});
       if (config_.mac_batches) {
         for (unsigned byte = 0; byte < 8; ++byte) {
-          packed.push_back(
+          packed_.push_back(
               static_cast<std::uint8_t>(beats[beat] >> (8 * byte)));
         }
       }
@@ -78,7 +102,7 @@ void LogWriter::begin_batch(Cycle now, std::size_t count) {
   writes_.push_back({base + soc::Mailbox::kBatchCountOffset,
                      static_cast<std::uint64_t>(count)});
   if (config_.mac_batches) {
-    const crypto::Digest digest = mac_key_->mac(packed);
+    const crypto::Digest digest = mac_key_->mac(packed_);
     for (unsigned index = 0; index < soc::Mailbox::kMacRegs; ++index) {
       writes_.push_back(
           {base + soc::Mailbox::kBatchMacOffset + 8 * index,
@@ -99,6 +123,23 @@ void LogWriter::tick(Cycle now) {
 
   switch (state_) {
     case State::kIdle: {
+      const std::size_t queued = controller_.queue().size();
+      if (queued == 0) {
+        pending_since_.reset();
+        return;
+      }
+      if (config_.drain_wait > 1 && queued < config_.drain_wait) {
+        // Hysteresis: hold the drain for a fuller burst, but never past the
+        // timeout (counted from the first cycle this idle FSM saw the
+        // currently-pending logs).
+        if (!pending_since_.has_value()) {
+          pending_since_ = now;
+        }
+        if (now - *pending_since_ < config_.drain_timeout) {
+          return;
+        }
+      }
+      pending_since_.reset();
       batch_.resize(config_.burst);
       const std::size_t count = controller_.drain(batch_);
       if (count == 0) {

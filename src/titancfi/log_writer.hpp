@@ -49,6 +49,14 @@ struct LogWriterConfig {
   bool mac_batches = false;
   std::uint64_t device_secret = 0;
   std::uint32_t mac_key_sel = 1;
+  /// Hysteresis drain policy (wait-for-k-or-timeout): when > 1, an idle FSM
+  /// defers the next drain until the CFI Queue holds `drain_wait` logs or
+  /// `drain_timeout` cycles have passed since it first saw a pending log —
+  /// fuller bursts, fewer doorbells, bounded added verdict latency.  0 or 1
+  /// == drain as soon as anything is queued (paper behaviour).  Must be
+  /// <= burst (a deeper threshold could never fill one transfer).
+  unsigned drain_wait = 0;
+  Cycle drain_timeout = 0;
 };
 
 class LogWriter {
@@ -109,9 +117,17 @@ class LogWriter {
     soc::Addr addr;
     std::uint64_t value;
   };
+  /// Reused across batches (reserved once at construction, cleared per
+  /// batch): the drain runs once per doorbell on the hot path and must not
+  /// churn allocations.
   std::vector<PendingWrite> writes_;
+  /// Packed little-endian log bytes for the burst MAC (MAC mode only).
+  std::vector<std::uint8_t> packed_;
   std::size_t write_index_ = 0;
   Cycle busy_until_ = 0;
+  /// Cycle the idle FSM first observed the currently-pending logs (engaged
+  /// only under the hysteresis policy; reset on every drain).
+  std::optional<Cycle> pending_since_;
   std::uint64_t logs_sent_ = 0;
   std::uint64_t batches_sent_ = 0;
   std::uint64_t violations_ = 0;

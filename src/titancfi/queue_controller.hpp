@@ -82,6 +82,24 @@ class QueueController {
   /// Largest burst a single drain() call has popped.
   [[nodiscard]] std::size_t max_drained() const { return max_drained_; }
 
+  /// Event-driven fast-forward accounting: the scheduler skipped `cycles`
+  /// evaluate() calls during which the host provably retired no CFI-relevant
+  /// instruction (so nothing was pushed, nothing stalled, and the occupancy
+  /// never changed).  `port0_scans`/`port1_scans` are the entries each
+  /// per-port filter would have scanned (even/odd candidate indices, exactly
+  /// as evaluate() attributes them).  Replays the exact statistics the
+  /// lock-step loop would have accumulated.
+  void note_bypassed_cycles(std::uint64_t cycles, std::uint64_t port0_scans,
+                            std::uint64_t port1_scans) {
+    filters_[0].note_scanned(port0_scans);
+    filters_[1].note_scanned(port1_scans);
+    queue_.sample_n(cycles);
+  }
+
+  /// True when the queue side of the CFI stage can generate no event before
+  /// new commit-stage input: nothing queued for the Log Writer to pop.
+  [[nodiscard]] bool quiescent() const { return queue_.empty(); }
+
   [[nodiscard]] CfiQueue& queue() { return queue_; }
   [[nodiscard]] const CfiQueue& queue() const { return queue_; }
   [[nodiscard]] const CfiFilter& filter(unsigned port) const {

@@ -1,5 +1,7 @@
 #include "titancfi/rot_subsystem.hpp"
 
+#include <algorithm>
+
 namespace titan::cfi {
 
 namespace {
@@ -46,6 +48,16 @@ RotSubsystem::RotSubsystem(const rv::Image& firmware, RotFabric fabric,
 
   plic_.enable(kCfiDoorbellIrq);
   mailbox.set_on_doorbell([this] { plic_.raise(kCfiDoorbellIrq); });
+
+  // Sorted section table for section_of(): std::map iterates marks in name
+  // order and "address <= pc, address >= best-so-far" lets a later map entry
+  // win address ties, so sorting by (address, name) and taking the last
+  // entry <= pc reproduces the scan exactly.
+  sections_.reserve(firmware_.marks.size());
+  for (const auto& [name, addr] : firmware_.marks) {
+    sections_.emplace_back(addr, name);
+  }
+  std::sort(sections_.begin(), sections_.end());
 }
 
 ibex::IbexStep RotSubsystem::step() {
@@ -66,16 +78,14 @@ void RotSubsystem::run_until(sim::Cycle target) {
 
 std::string RotSubsystem::section_of(std::uint32_t pc) const {
   // Marks partition the image: the section owning `pc` is the mark with the
-  // greatest address <= pc.
-  std::string section = "init";
-  std::uint64_t best = 0;
-  for (const auto& [name, addr] : firmware_.marks) {
-    if (addr <= pc && addr >= best) {
-      best = addr;
-      section = name;
-    }
+  // greatest address <= pc (binary search over the construction-time table).
+  const auto it = std::upper_bound(
+      sections_.begin(), sections_.end(), std::uint64_t{pc},
+      [](std::uint64_t value, const auto& entry) { return value < entry.first; });
+  if (it == sections_.begin()) {
+    return "init";
   }
-  return section;
+  return std::prev(it)->second;
 }
 
 }  // namespace titan::cfi

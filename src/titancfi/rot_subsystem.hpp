@@ -9,6 +9,9 @@
 #pragma once
 
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "ibex/core.hpp"
 #include "rv/assembler.hpp"
@@ -59,11 +62,17 @@ class RotSubsystem {
   [[nodiscard]] const rv::Image& firmware() const { return firmware_; }
 
   /// Classify a PC against the firmware section marks ("irq" / "cfi" /
-  /// "init" / "poll") — used for Table I attribution.
+  /// "init" / "poll") — used for Table I attribution.  O(log n) over a
+  /// sorted mark table built at construction (this runs once per attributed
+  /// Ibex step in the Table I benches).
   [[nodiscard]] std::string section_of(std::uint32_t pc) const;
 
  private:
   rv::Image firmware_;
+  /// firmware_.marks flattened and sorted by (address, name): the section
+  /// owning a PC is the last entry with address <= pc, which reproduces the
+  /// seed linear scan's "greatest address, later map entry wins ties" rule.
+  std::vector<std::pair<std::uint64_t, std::string>> sections_;
   sim::Memory rom_;
   sim::Memory sram_;
   soc::MemoryTarget rom_target_{rom_};

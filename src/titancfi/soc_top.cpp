@@ -48,6 +48,8 @@ SocTop::SocTop(const SocConfig& config, const rv::Image& host_program,
   writer_config.mac_batches = config.drain_burst > 1 && config.mac_batches;
   writer_config.device_secret = kRotDeviceSecret;
   writer_config.mac_key_sel = kBatchMacKeySlot;
+  writer_config.drain_wait = config.drain_wait;
+  writer_config.drain_timeout = config.drain_timeout;
   log_writer_ = std::make_unique<LogWriter>(
       queue_controller_, axi_, mailbox_,
       [this](const CommitLog& log) {
@@ -58,31 +60,35 @@ SocTop::SocTop(const SocConfig& config, const rv::Image& host_program,
       writer_config);
 }
 
+namespace {
+
+// Let the RoT firmware initialise (set up mtvec, shadow-stack pointers,
+// reach its idle loop) before the host starts committing.  The RoT clock
+// then leads the host clock by this constant offset; all interactions are
+// relative, so the offset only models "RoT boots first" (secure boot).
+constexpr sim::Cycle kRotInitBudget = 200;
+
+}  // namespace
+
 SocRunResult SocTop::run() {
-  sim::Cycle cycle = 0;
-  // Let the RoT firmware initialise (set up mtvec, shadow-stack pointers,
-  // reach its idle loop) before the host starts committing.  The RoT clock
-  // then leads the host clock by this constant offset; all interactions are
-  // relative, so the offset only models "RoT boots first" (secure boot).
-  constexpr sim::Cycle kRotInitBudget = 200;
-  rot_->run_until(kRotInitBudget);
+  return config_.engine == Engine::kLockStep ? run_lock_step()
+                                             : run_event_driven();
+}
 
-  while (!host_core_->program_done() && !fault_seen_) {
-    if (cycle >= config_.max_cycles) {
-      throw std::runtime_error("SocTop: cycle guard exceeded");
-    }
-    const auto candidates = host_core_->commit_candidates();
-    const unsigned allowed = queue_controller_.evaluate(candidates);
-    host_core_->retire(allowed);
-    log_writer_->tick(cycle);
-    rot_->run_until(cycle + kRotInitBudget);
-    host_core_->tick();
-    ++cycle;
-  }
+void SocTop::step_cycle(sim::Cycle& cycle) {
+  const auto candidates = host_core_->commit_candidates();
+  const unsigned allowed = queue_controller_.evaluate(candidates);
+  host_core_->retire(allowed);
+  log_writer_->tick(cycle);
+  rot_->run_until(cycle + kRotInitBudget);
+  host_core_->tick();
+  ++cycle;
+}
 
+void SocTop::drain_pending(sim::Cycle& cycle) {
   // Drain pending checks (unless a fault already stopped the run): the host
   // program is done, but the RoT may still be behind.
-  sim::Cycle drain_guard = cycle + 1'000'000;
+  const sim::Cycle drain_guard = cycle + 1'000'000;
   while (!fault_seen_ &&
          (!queue_controller_.queue().empty() ||
           log_writer_->state() != LogWriter::State::kIdle)) {
@@ -93,7 +99,65 @@ SocRunResult SocTop::run() {
     rot_->run_until(cycle + kRotInitBudget);
     ++cycle;
   }
+}
 
+SocRunResult SocTop::run_lock_step() {
+  sim::Cycle cycle = 0;
+  rot_->run_until(kRotInitBudget);
+
+  while (!host_core_->program_done() && !fault_seen_) {
+    if (cycle >= config_.max_cycles) {
+      throw std::runtime_error("SocTop: cycle guard exceeded");
+    }
+    step_cycle(cycle);
+  }
+
+  drain_pending(cycle);
+  return collect_result();
+}
+
+bool SocTop::quiescent() const {
+  return queue_controller_.quiescent() &&
+         log_writer_->state() == LogWriter::State::kIdle &&
+         !mailbox_.doorbell_pending() && !mailbox_.completion_pending() &&
+         !host_core_->has_pending_cfi();
+}
+
+SocRunResult SocTop::run_event_driven() {
+  sim::Cycle cycle = 0;
+  rot_->run_until(kRotInitBudget);
+
+  while (!host_core_->program_done() && !fault_seen_) {
+    if (cycle >= config_.max_cycles) {
+      throw std::runtime_error("SocTop: cycle guard exceeded");
+    }
+    if (quiescent()) {
+      // No component can act before the next CFI-relevant commit: retire
+      // straight-line host work in one quantum.  The skipped lock-step
+      // iterations would have sampled an empty queue, scanned non-CFI
+      // entries through the filters, ticked an idle writer (a no-op), and
+      // run the RoT to the same final clock — all replayed exactly below.
+      const auto quantum = host_core_->run_until_event(config_.max_cycles);
+      if (quantum.cycles > 0) {
+        queue_controller_.note_bypassed_cycles(
+            quantum.cycles, quantum.port0_scans, quantum.port1_scans);
+        cycle += quantum.cycles;
+        // The last executed cycle's lock-step iteration ran the RoT to
+        // (cycle - 1) + budget; the next iteration (per-cycle or quantum)
+        // advances it further, preserving the tick/run_until interleaving.
+        rot_->run_until(cycle - 1 + kRotInitBudget);
+        continue;
+      }
+    }
+    // Event window: exact per-cycle stepping (identical to lock-step).
+    step_cycle(cycle);
+  }
+
+  drain_pending(cycle);
+  return collect_result();
+}
+
+SocRunResult SocTop::collect_result() const {
   SocRunResult result;
   result.cycles = host_core_->cycle();
   result.instructions = host_core_->instret();

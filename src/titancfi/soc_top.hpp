@@ -27,6 +27,21 @@
 
 namespace titan::cfi {
 
+/// Co-simulation scheduler.  Both engines produce bit-identical results
+/// (every SocRunResult field, trace, and component statistic); the lock-step
+/// loop survives as the equivalence witness and for debugging.
+enum class Engine {
+  /// Simulate every host cycle (the seed scheduler): evaluate the queue,
+  /// tick the Log Writer, and run the RoT forward once per cycle.
+  kLockStep,
+  /// Fast-forward between CFI events: while the CFI queue is empty, the Log
+  /// Writer idle, the mailbox quiet, and no CFI-relevant instruction is in
+  /// the host ROB, the host retires straight-line work in one batched
+  /// quantum and the RoT clock advances once per quantum.  Falls back to
+  /// exact per-cycle stepping inside event windows.
+  kEventDriven,
+};
+
 struct SocConfig {
   std::size_t queue_depth = 8;
   RotFabric fabric = RotFabric::kBaseline;
@@ -42,6 +57,15 @@ struct SocConfig {
   /// HMAC each burst with the shared device-secret slot key (burst > 1;
   /// match FirmwareConfig::batch_mac).
   bool mac_batches = true;
+  /// Hysteresis drain policy: when > 1, an idle Log Writer holds off the
+  /// next drain until the queue holds `drain_wait` logs or `drain_timeout`
+  /// cycles elapsed since the first pending log (0 == drain immediately, the
+  /// paper's behaviour).  Trades verdict latency for fewer doorbells.
+  unsigned drain_wait = 0;
+  sim::Cycle drain_timeout = 0;
+  /// Scheduler used by run().  Purely an execution strategy: results are
+  /// bit-identical either way (enforced by tests/engine_equivalence_test).
+  Engine engine = Engine::kEventDriven;
 };
 
 struct SocRunResult {
@@ -68,8 +92,14 @@ class SocTop {
   SocTop(const SocConfig& config, const rv::Image& host_program,
          const rv::Image& firmware);
 
-  /// Run to completion (host ECALL), CFI fault, or the cycle guard.
+  /// Run to completion (host ECALL), CFI fault, or the cycle guard, using
+  /// the configured engine (bit-identical results either way).
   SocRunResult run();
+
+  /// Override the configured engine before run() (e.g. to pit the two
+  /// schedulers against each other on the same scenario).
+  void set_engine(Engine engine) { config_.engine = engine; }
+  [[nodiscard]] Engine engine() const { return config_.engine; }
 
   [[nodiscard]] cva6::Cva6Core& host() { return *host_core_; }
   [[nodiscard]] RotSubsystem& rot() { return *rot_; }
@@ -81,6 +111,19 @@ class SocTop {
   [[nodiscard]] const SocConfig& config() const { return config_; }
 
  private:
+  SocRunResult run_lock_step();
+  SocRunResult run_event_driven();
+  /// One exact simulated cycle (the lock-step loop body); advances `cycle`.
+  void step_cycle(sim::Cycle& cycle);
+  /// Post-program drain: tick the writer/RoT until the CFI pipeline empties.
+  void drain_pending(sim::Cycle& cycle);
+  [[nodiscard]] SocRunResult collect_result() const;
+  /// True when no component can generate a CFI event before new host commit
+  /// input: empty CFI queue, idle Log Writer, quiet mailbox, and no
+  /// CFI-relevant instruction in the host ROB.  In this state the engine may
+  /// fast-forward all agents to the next host-side event in one quantum.
+  [[nodiscard]] bool quiescent() const;
+
   SocConfig config_;
   sim::Memory host_memory_;
   soc::MemoryTarget host_memory_target_{host_memory_};

@@ -200,6 +200,70 @@ rv::Image crc32(unsigned len) {
   return a.finish();
 }
 
+rv::Image stats(unsigned n) {
+  Assembler a = make_asm();
+  const std::int64_t buffer = 0x8016'0000;
+
+  prologue(a);
+  // Fill x[i] with a positive LCG stream (64-bit words, truncated to 20
+  // bits so the squared deviations stay far from overflow).
+  a.li(Reg::kT0, buffer);
+  a.li(Reg::kT1, 0);
+  a.li(Reg::kT2, n);
+  a.li(Reg::kT3, 0x2545F491);
+  a.li(Reg::kT5, 12345);
+  {
+    auto fill = a.here();
+    a.li(Reg::kT4, 1103515245);
+    a.mul(Reg::kT3, Reg::kT3, Reg::kT4);
+    a.add(Reg::kT3, Reg::kT3, Reg::kT5);
+    a.srli(Reg::kT4, Reg::kT3, 16);
+    a.li(Reg::kT6, 0xFFFFF);
+    a.and_(Reg::kT4, Reg::kT4, Reg::kT6);
+    a.sd(Reg::kT4, Reg::kT0, 0);
+    a.addi(Reg::kT0, Reg::kT0, 8);
+    a.addi(Reg::kT1, Reg::kT1, 1);
+    a.bltu(Reg::kT1, Reg::kT2, fill);
+  }
+
+  // Pass 1: mean = sum(x) / n.
+  a.li(Reg::kT0, buffer);
+  a.li(Reg::kT1, 0);
+  a.li(Reg::kS0, 0);  // sum
+  {
+    auto sum = a.here();
+    a.ld(Reg::kT3, Reg::kT0, 0);
+    a.add(Reg::kS0, Reg::kS0, Reg::kT3);
+    a.addi(Reg::kT0, Reg::kT0, 8);
+    a.addi(Reg::kT1, Reg::kT1, 1);
+    a.bltu(Reg::kT1, Reg::kT2, sum);
+  }
+  a.li(Reg::kT3, n);
+  a.divu(Reg::kS1, Reg::kS0, Reg::kT3);  // mean
+
+  // Pass 2: running variance — one divider pass per element, the Embench
+  // `st` signature: acc += (x[i] - mean)^2 / (i + 1).
+  a.li(Reg::kT0, buffer);
+  a.li(Reg::kT1, 0);
+  a.li(Reg::kS2, 0);  // acc
+  {
+    auto var = a.here();
+    a.ld(Reg::kT3, Reg::kT0, 0);
+    a.sub(Reg::kT3, Reg::kT3, Reg::kS1);
+    a.mul(Reg::kT3, Reg::kT3, Reg::kT3);
+    a.addi(Reg::kT4, Reg::kT1, 1);
+    a.divu(Reg::kT3, Reg::kT3, Reg::kT4);
+    a.add(Reg::kS2, Reg::kS2, Reg::kT3);
+    a.addi(Reg::kT0, Reg::kT0, 8);
+    a.addi(Reg::kT1, Reg::kT1, 1);
+    a.bltu(Reg::kT1, Reg::kT2, var);
+  }
+  a.add(Reg::kA0, Reg::kS1, Reg::kS2);
+  a.andi(Reg::kA0, Reg::kA0, 0xFF);
+  exit_with_a0(a);
+  return a.finish();
+}
+
 rv::Image quicksort(unsigned n) {
   Assembler a = make_asm();
   const std::int64_t array = 0x8014'0000;

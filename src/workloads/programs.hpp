@@ -32,6 +32,13 @@ inline constexpr std::uint64_t kStackTop = 0x8080'0000;
 /// Recursive quicksort over an LCG-filled array; exit code: 1 when sorted.
 [[nodiscard]] rv::Image quicksort(unsigned n);
 
+/// Integer statistics kernel (Embench `st`-class, paper Table II): fills an
+/// LCG buffer, then computes the mean and a running variance with one
+/// integer division per element — long-latency (divider-bound) straight-line
+/// code with no CFI-relevant instructions in the hot loop.  Exit code:
+/// (mean + variance accumulator) & 0xFF.
+[[nodiscard]] rv::Image stats(unsigned n);
+
 /// Deep call chain (depth levels) — forces shadow-stack spill/fill when
 /// depth exceeds the RoT on-chip capacity.  Exit code: depth & 0xFF.
 [[nodiscard]] rv::Image call_chain(unsigned depth);

@@ -1,0 +1,229 @@
+// Cross-engine equivalence: the event-driven co-simulation scheduler must be
+// bit-exact against the lock-step loop — every SocRunResult field, the
+// ordered commit trace, the authenticated log stream the writer pops, and
+// the per-component statistics the fast-forward path replays (queue
+// occupancy samples, filter scan counters, writer wait cycles, RoT
+// instruction/clock counts) — across the entire ScenarioRegistry grid and a
+// randomized burst/depth/fabric fuzz set, including fault scenarios where
+// the fault cycle must match exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "sim/rng.hpp"
+#include "titancfi/soc_top.hpp"
+
+namespace titan {
+namespace {
+
+struct Observed {
+  cfi::SocRunResult result;
+  std::vector<cfi::CommitLog> stream;     ///< Logs popped by the Log Writer.
+  std::vector<cva6::CommitRecord> trace;  ///< Host trace, retirement order.
+  std::uint64_t filter_scanned[2] = {0, 0};
+  std::uint64_t filter_selected[2] = {0, 0};
+  std::uint64_t writer_wait_cycles = 0;
+  sim::FifoStats queue_stats;
+  std::uint64_t host_stall_cycles = 0;
+  std::uint64_t rot_instret = 0;
+  sim::Cycle rot_cycle = 0;
+  std::uint64_t plic_claims = 0;
+  std::uint64_t completion_count = 0;
+  std::uint64_t hmac_starts = 0;
+};
+
+Observed run_with_engine(const api::Scenario& scenario, api::Engine engine) {
+  const api::Scenario variant = scenario.with_engine(engine);
+  const auto soc = variant.make_soc();
+  Observed o;
+  soc->log_writer().set_log_capture(
+      [&o](const cfi::CommitLog& log) { o.stream.push_back(log); });
+  soc->host().set_trace_enabled(true);
+  o.result = soc->run();
+  o.trace = soc->host().ordered_trace();
+  for (unsigned port = 0; port < 2; ++port) {
+    o.filter_scanned[port] = soc->queue_controller().filter(port).scanned();
+    o.filter_selected[port] = soc->queue_controller().filter(port).selected();
+  }
+  o.writer_wait_cycles = soc->log_writer().wait_cycles();
+  o.queue_stats = soc->queue_controller().queue().stats();
+  o.host_stall_cycles = soc->host().stall_cycles();
+  o.rot_instret = soc->rot().core().instret();
+  o.rot_cycle = soc->rot().core().cycle();
+  o.plic_claims = soc->rot().plic().claims();
+  o.completion_count = soc->mailbox().completion_count();
+  o.hmac_starts = soc->rot().hmac().starts();
+  return o;
+}
+
+void expect_equivalent(const api::Scenario& scenario) {
+  SCOPED_TRACE("scenario: " + scenario.serialize());
+  const Observed lock = run_with_engine(scenario, api::Engine::kLockStep);
+  const Observed event = run_with_engine(scenario, api::Engine::kEventDriven);
+
+  // Every RunResult field, including the fault log and cycle counts (the
+  // fault cycle is part of result.cycles for attack scenarios).
+  EXPECT_EQ(lock.result.cycles, event.result.cycles);
+  EXPECT_EQ(lock.result.instructions, event.result.instructions);
+  EXPECT_EQ(lock.result.cf_logs, event.result.cf_logs);
+  EXPECT_EQ(lock.result.violations, event.result.violations);
+  EXPECT_EQ(lock.result.cfi_fault, event.result.cfi_fault);
+  EXPECT_EQ(lock.result.exit_code, event.result.exit_code);
+  EXPECT_EQ(lock.result.queue_full_stalls, event.result.queue_full_stalls);
+  EXPECT_EQ(lock.result.dual_cf_stalls, event.result.dual_cf_stalls);
+  EXPECT_EQ(lock.result.doorbells, event.result.doorbells);
+  EXPECT_EQ(lock.result.batches, event.result.batches);
+  EXPECT_EQ(lock.result.max_batch, event.result.max_batch);
+  EXPECT_EQ(lock.result.mean_queue_occupancy, event.result.mean_queue_occupancy);
+  EXPECT_EQ(lock.result.fault_log, event.result.fault_log);
+
+  // The authenticated log stream, byte for byte and in pop order.
+  EXPECT_EQ(lock.stream, event.stream);
+
+  // The full ordered commit trace (cycle stamps included).
+  ASSERT_EQ(lock.trace.size(), event.trace.size());
+  for (std::size_t i = 0; i < lock.trace.size(); ++i) {
+    const cva6::CommitRecord& a = lock.trace[i];
+    const cva6::CommitRecord& b = event.trace[i];
+    const bool same = a.cycle == b.cycle && a.pc == b.pc &&
+                      a.encoding == b.encoding && a.kind == b.kind &&
+                      a.next_pc == b.next_pc && a.target == b.target;
+    EXPECT_TRUE(same) << "trace diverges at record " << i << " (lock-step pc 0x"
+                      << std::hex << a.pc << " cycle " << std::dec << a.cycle
+                      << ", event-driven pc 0x" << std::hex << b.pc
+                      << " cycle " << std::dec << b.cycle << ")";
+    if (!same) {
+      break;
+    }
+  }
+
+  // Component statistics the fast-forward path replays arithmetically.
+  for (unsigned port = 0; port < 2; ++port) {
+    EXPECT_EQ(lock.filter_scanned[port], event.filter_scanned[port])
+        << "port " << port;
+    EXPECT_EQ(lock.filter_selected[port], event.filter_selected[port])
+        << "port " << port;
+  }
+  EXPECT_EQ(lock.writer_wait_cycles, event.writer_wait_cycles);
+  EXPECT_EQ(lock.queue_stats, event.queue_stats);
+  EXPECT_EQ(lock.host_stall_cycles, event.host_stall_cycles);
+  EXPECT_EQ(lock.rot_instret, event.rot_instret);
+  EXPECT_EQ(lock.rot_cycle, event.rot_cycle);
+  EXPECT_EQ(lock.plic_claims, event.plic_claims);
+  EXPECT_EQ(lock.completion_count, event.completion_count);
+  EXPECT_EQ(lock.hmac_starts, event.hmac_starts);
+}
+
+// ---- The full registry grid -------------------------------------------------
+
+class RegistryEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistryEquivalence, BitExactAcrossEngines) {
+  const api::Scenario* scenario =
+      api::ScenarioRegistry::global().find(GetParam());
+  ASSERT_NE(scenario, nullptr);
+  expect_equivalent(*scenario);
+}
+
+std::vector<std::string> registry_scenario_names() {
+  std::vector<std::string> names;
+  for (const auto name : api::ScenarioRegistry::global().names()) {
+    names.emplace_back(name);
+  }
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, RegistryEquivalence,
+    ::testing::ValuesIn(registry_scenario_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+// ---- Randomized burst/depth/fabric/policy fuzz ------------------------------
+
+api::Workload fuzz_workload(sim::Rng& rng) {
+  switch (rng.next() % 8) {
+    case 0:
+      return api::Workload::fib(6 + rng.next() % 4);
+    case 1:
+      return api::Workload::call_chain(10 + rng.next() % 100);
+    case 2:
+      return api::Workload::quicksort(8 + rng.next() % 48);
+    case 3:
+      return api::Workload::crc32(16 + rng.next() % 100);
+    case 4:
+      return api::Workload::matmul(3 + rng.next() % 5);
+    case 5:
+      return api::Workload::indirect_dispatch(4 + rng.next() % 30);
+    case 6:
+      return api::Workload::stats(16 + rng.next() % 200);
+    default:
+      // One in seven scenarios injects a ROP, so fault-cycle equality is
+      // fuzzed too, over random call graphs.
+      return api::Workload::random_callgraph(rng.next(), 4 + rng.next() % 6,
+                                             rng.next() % 2 == 0);
+  }
+}
+
+TEST(EngineEquivalenceFuzz, RandomScenarioGrid) {
+  sim::Rng rng(0x7175'616E'74756Dull);
+  constexpr unsigned kQueueDepths[] = {1, 2, 4, 8, 16};
+  constexpr unsigned kBursts[] = {1, 2, 4, 8};
+  for (unsigned i = 0; i < 18; ++i) {
+    const unsigned queue_depth = kQueueDepths[rng.next() % 5];
+    unsigned burst = kBursts[rng.next() % 4];
+    api::ScenarioBuilder builder;
+    builder.name("fuzz" + std::to_string(i))
+        .workload(fuzz_workload(rng))
+        .firmware(rng.next() % 2 == 0 ? api::Firmware::kIrq
+                                      : api::Firmware::kPolling)
+        .fabric(rng.next() % 2 == 0 ? api::Fabric::kBaseline
+                                    : api::Fabric::kOptimized)
+        .queue_depth(queue_depth)
+        .drain_burst(burst);
+    if (burst > 1) {
+      builder.batch_mac(rng.next() % 2 == 0);
+      // Sometimes fuzz the hysteresis policy too (threshold must be
+      // reachable: <= burst and <= queue depth).
+      if (rng.next() % 3 == 0) {
+        const unsigned wait = 2 + rng.next() % std::min(burst, queue_depth);
+        if (wait <= burst && wait <= queue_depth) {
+          builder.drain_wait(wait, 64 + rng.next() % 512);
+        }
+      }
+    }
+    expect_equivalent(builder.build());
+  }
+}
+
+// ---- Guard behaviour --------------------------------------------------------
+
+TEST(EngineEquivalence, CycleGuardFiresOnBothEngines) {
+  const auto build = [](api::Engine engine) {
+    return api::ScenarioBuilder()
+        .name("guard")
+        .workload(api::Workload::fib(10))
+        .max_cycles(64)
+        .engine(engine)
+        .build();
+  };
+  EXPECT_THROW(
+      (void)api::run_scenario(build(api::Engine::kLockStep)),
+      std::runtime_error);
+  EXPECT_THROW(
+      (void)api::run_scenario(build(api::Engine::kEventDriven)),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace titan

@@ -117,7 +117,8 @@ TEST(SocTop, CleanProgramsAcrossWorkloads) {
   for (const auto& [image, expected] :
        {std::pair{workloads::quicksort(24), std::uint64_t{1}},
         std::pair{workloads::crc32(16), std::uint64_t{0}},
-        std::pair{workloads::matmul(4), std::uint64_t{0}}}) {
+        std::pair{workloads::matmul(4), std::uint64_t{0}},
+        std::pair{workloads::stats(48), std::uint64_t{0}}}) {
     SocTop soc(make_config(), image, default_firmware());
     const SocRunResult result = soc.run();
     EXPECT_FALSE(result.cfi_fault);
