@@ -201,6 +201,133 @@ void register_ablation(ScenarioRegistry& registry) {
   }
 }
 
+/// Fault-injection / graceful-degradation matrix: one scenario per fault
+/// site exercising its degradation mechanism, the overflow-policy triplet,
+/// and two "all sites at once" stress points (fail-closed vs fail-open).
+/// Every point is deterministic (event-ordinal fault plans), so the grid
+/// doubles as a cross-engine equivalence corpus: RegistryEquivalence and
+/// tools/fault_matrix_smoke replay it under both schedulers and demand
+/// bit-identical reports.
+void register_fault_matrix(ScenarioRegistry& registry) {
+  const auto base = [](const char* name) {
+    return ScenarioBuilder().name(name).workload(Workload::fib(8));
+  };
+  // Doorbell pulse lost in transit: the watchdog re-rings (window 2048 —
+  // comfortably above the ~600-cycle healthy round trip, so only the lost
+  // pulse retries) and the idempotent BATCH_COUNT handshake absorbs it.
+  registry.add(base("faults/doorbell_drop")
+                   .drain_burst(4)
+                   .doorbell_retry(2048, 3)
+                   .faults(sim::FaultPlan::parse("doorbell_drop@1"))
+                   .build(),
+               {"fault_matrix"});
+  // Doorbell duplicated in transit: the second pulse collapses into the
+  // pending flag; the writer pairs the injection at verdict read.
+  registry.add(base("faults/doorbell_dup")
+                   .drain_burst(4)
+                   .faults(sim::FaultPlan::parse("doorbell_dup@2"))
+                   .build(),
+               {"fault_matrix"});
+  // Batch-MAC bit corruption without re-request: the RoT blames slot 0 and
+  // the pipeline fails closed (cfi_fault, zero false negatives).
+  registry.add(base("faults/mac_corrupt_halt")
+                   .drain_burst(8)
+                   .batch_mac(true)
+                   .faults(sim::FaultPlan::parse("mac_corrupt@1#13"))
+                   .build(),
+               {"fault_matrix"});
+  // Same corruption with the re-request protocol: one retransmission, then
+  // a clean run.
+  registry.add(base("faults/mac_rerequest")
+                   .drain_burst(8)
+                   .batch_mac(true)
+                   .mac_rerequest(true)
+                   .faults(sim::FaultPlan::parse("mac_corrupt@1#200"))
+                   .build(),
+               {"fault_matrix"});
+  // Forced-overflow burst (6 push attempts) under each policy.  The lossy
+  // policies run at depth 2 where genuine fulls also occur (fail-open's
+  // false-negative window is the whole point of that row); fail-closed runs
+  // at depth 8 so the *forced* burst — not an incidental early fill — is
+  // what trips the halt (ordinal 5 arrives while the queue still has room).
+  registry.add(base("faults/overflow_backpressure")
+                   .queue_depth(2)
+                   .faults(sim::FaultPlan::parse("queue_overflow@5#6"))
+                   .build(),
+               {"fault_matrix"});
+  registry.add(base("faults/overflow_failclosed")
+                   .queue_depth(8)
+                   .overflow_policy(OverflowPolicy::kFailClosed)
+                   .faults(sim::FaultPlan::parse("queue_overflow@5#6"))
+                   .build(),
+               {"fault_matrix"});
+  registry.add(base("faults/overflow_failopen")
+                   .queue_depth(2)
+                   .overflow_policy(OverflowPolicy::kFailOpen)
+                   .faults(sim::FaultPlan::parse("queue_overflow@5#6"))
+                   .build(),
+               {"fault_matrix"});
+  // Queue-word bit flips through the SECDED path: an even param is a
+  // single-bit flip (corrected, run unaffected); an odd param adds a second
+  // flip (detected-uncorrectable, fails closed).
+  registry.add(base("faults/mem_flip_corrected")
+                   .faults(sim::FaultPlan::parse("mem_flip@3#42"))
+                   .build(),
+               {"fault_matrix"});
+  registry.add(base("faults/mem_flip_fatal")
+                   .faults(sim::FaultPlan::parse("mem_flip@3#43"))
+                   .build(),
+               {"fault_matrix"});
+  // RoT stall (400 cycles) shorter than the watchdog window (2048): the
+  // service is late but no retry fires; the injection pairs at verdict
+  // read and the stall shows up as degraded cycles.
+  registry.add(base("faults/rot_stall")
+                   .drain_burst(4)
+                   .doorbell_retry(2048, 4)
+                   .faults(sim::FaultPlan::parse("rot_stall@0#400"))
+                   .build(),
+               {"fault_matrix"});
+  // Every site in one plan, on a queue deep enough (128 > what the 134-log
+  // workload can accumulate) that only the FORCED overflow ever trips the
+  // policy.  Timescales force two schedules: the host program retires in
+  // ~1k cycles while one RoT round trip costs ~600, so under fail-closed —
+  // which never stalls the host — the forced overflow halts the run while
+  // batch 0 is still in flight.  The closed plan therefore front-loads
+  // every site into batch 0 (ring 0 stalls the RoT, the duplicated pulse
+  // is itself dropped in transit and re-rung by the watchdog, MAC transfer
+  // 0 is corrupted); nothing is ever dropped, so false negatives are zero
+  // by construction, and sites whose pairing needed the verdict read stay
+  // injected-but-unpaired when the halt preempts it.  The open plan
+  // spreads the same sites across the post-program drain (which fail-open
+  // lets finish), so every degradation mechanism runs to completion — and
+  // the logs the forced burst drops desynchronise the shadow stack, the
+  // honest cost of fail-open on a stateful policy.
+  registry.add(base("faults/all_sites_closed")
+                   .queue_depth(128)
+                   .drain_burst(8)
+                   .batch_mac(true)
+                   .mac_rerequest(true)
+                   .doorbell_retry(512, 4)
+                   .overflow_policy(OverflowPolicy::kFailClosed)
+                   .faults(sim::FaultPlan::parse(
+                       "rot_stall@0#400+doorbell_dup@0+doorbell_drop@1+"
+                       "mac_corrupt@0#200+mem_flip@30#42+queue_overflow@120#6"))
+                   .build(),
+               {"fault_matrix"});
+  registry.add(base("faults/all_sites_open")
+                   .queue_depth(128)
+                   .drain_burst(8)
+                   .batch_mac(true)
+                   .mac_rerequest(true)
+                   .doorbell_retry(512, 4)
+                   .overflow_policy(OverflowPolicy::kFailOpen)
+                   .faults(sim::FaultPlan::parse(
+                       "rot_stall@0#400+doorbell_dup@1+mac_corrupt@2#200+"
+                       "doorbell_drop@3+mem_flip@30#42+queue_overflow@120#6"))
+                   .build(),
+               {"fault_matrix"});
+}
+
 }  // namespace
 
 const ScenarioRegistry& ScenarioRegistry::global() {
@@ -211,6 +338,7 @@ const ScenarioRegistry& ScenarioRegistry::global() {
     register_drain_hysteresis(built);
     register_attacks(built);
     register_ablation(built);
+    register_fault_matrix(built);
     return built;
   }();
   return registry;

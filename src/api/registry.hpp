@@ -75,8 +75,9 @@ class ScenarioRegistry {
 
   /// The built-in registry: the paper's liveness grid (tag "fig1_liveness"),
   /// the batched-drain study points (tag "drain_study"), the hysteresis
-  /// drain-policy study (tag "drain_hysteresis"), the attack scenarios, and
-  /// the ablation co-sim grids (tags "ablation_depth", "ablation_ss").
+  /// drain-policy study (tag "drain_hysteresis"), the attack scenarios, the
+  /// ablation co-sim grids (tags "ablation_depth", "ablation_ss"), and the
+  /// fault-injection/degradation matrix (tag "fault_matrix").
   [[nodiscard]] static const ScenarioRegistry& global();
 
  private:

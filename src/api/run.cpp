@@ -24,7 +24,34 @@ void RunReport::emit_json_fields(sim::JsonWriter& json) const {
       .field("decode_hits", decode_hits)
       .field("decode_misses", decode_misses)
       .field("rot_instructions", rot_instructions)
-      .field("rot_hmac_starts", rot_hmac_starts);
+      .field("rot_hmac_starts", rot_hmac_starts)
+      // Flat resilience summary first (easy to column-select in sweeps)...
+      .field("faults_injected", resilience.total_injected())
+      .field("faults_detected", resilience.total_detected())
+      .field("fault_false_negatives", resilience.false_negatives)
+      .field("fault_retries",
+             resilience.doorbell_retries + resilience.mac_retries)
+      .field("degraded_cycles", resilience.degraded_cycles);
+  // ...then the full per-site block.
+  json.begin_object("resilience");
+  for (std::size_t site = 0; site < sim::kFaultSiteCount; ++site) {
+    const std::string name(
+        sim::fault_site_name(static_cast<sim::FaultSite>(site)));
+    json.field("injected_" + name, resilience.injected[site])
+        .field("detected_" + name, resilience.detected[site]);
+  }
+  json.begin_array("detection_latency_hist");
+  for (const std::uint64_t count : resilience.detection_latency) {
+    json.raw_element(std::to_string(count));
+  }
+  json.end_array();
+  json.field("doorbell_retries", resilience.doorbell_retries)
+      .field("mac_retries", resilience.mac_retries)
+      .field("spurious_completions", resilience.spurious_completions)
+      .field("dropped_logs", resilience.dropped_logs)
+      .field("false_negatives", resilience.false_negatives)
+      .field("degraded_cycles", resilience.degraded_cycles);
+  json.end_object();
 }
 
 RunReport run_scenario(const Scenario& scenario, const RunHooks& hooks) {
@@ -52,6 +79,7 @@ RunReport run_scenario(const Scenario& scenario, const RunHooks& hooks) {
   report.max_batch = result.max_batch;
   report.mean_queue_occupancy = result.mean_queue_occupancy;
   report.fault_log = result.fault_log;
+  report.resilience = result.resilience;
   report.host_memory = soc->host_memory().stats();
   report.decode_hits = soc->host().decode_cache().hits();
   report.decode_misses = soc->host().decode_cache().misses();

@@ -46,6 +46,11 @@ struct RunReport {
   std::uint64_t rot_instructions = 0;
   std::uint64_t rot_hmac_starts = 0;
 
+  // -- Fault injection / graceful degradation --------------------------------
+  /// All-zero on fault-free runs; populated from the FaultInjector pairing
+  /// and the per-component degradation counters (see sim::ResilienceStats).
+  sim::ResilienceStats resilience{};
+
   /// Field-wise equality (bit-exact, including the derived statistics) —
   /// what the cross-engine equivalence checks compare.
   bool operator==(const RunReport&) const = default;

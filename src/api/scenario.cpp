@@ -15,6 +15,18 @@ cfi::Engine to_cfi(Engine engine) {
                                      : cfi::Engine::kEventDriven;
 }
 
+cfi::OverflowPolicy to_cfi(OverflowPolicy policy) {
+  switch (policy) {
+    case OverflowPolicy::kFailClosed:
+      return cfi::OverflowPolicy::kFailClosed;
+    case OverflowPolicy::kFailOpen:
+      return cfi::OverflowPolicy::kFailOpen;
+    case OverflowPolicy::kBackPressure:
+      break;
+  }
+  return cfi::OverflowPolicy::kBackPressure;
+}
+
 }  // namespace
 
 // ---- Workload ---------------------------------------------------------------
@@ -160,7 +172,26 @@ std::string Scenario::serialize() const {
        << ";ss=" << fw_.ss_capacity << ";spill=" << fw_.spill_block
        << ";jt=" << (fw_.enable_jump_table ? 1 : 0)
        << ";pmp=" << (soc_.enable_pmp ? 1 : 0)
-       << ";trace=" << (soc_.trace_commits ? 1 : 0) << "}";
+       << ";trace=" << (soc_.trace_commits ? 1 : 0);
+  // Resilience knobs appear only when set, so every pre-existing scenario
+  // keeps its fingerprint byte for byte.
+  if (!soc_.faults.empty()) {
+    text << ";faults=" << soc_.faults.serialize();
+  }
+  if (soc_.overflow_policy != cfi::OverflowPolicy::kBackPressure) {
+    text << ";ofp="
+         << (soc_.overflow_policy == cfi::OverflowPolicy::kFailClosed
+                 ? "closed"
+                 : "open");
+  }
+  if (soc_.doorbell_timeout > 0) {
+    text << ";dbretry=" << soc_.doorbell_timeout << "/"
+         << soc_.doorbell_max_retries;
+  }
+  if (soc_.mac_rerequest) {
+    text << ";macrr=1";
+  }
+  text << "}";
   return text.str();
 }
 
@@ -215,6 +246,28 @@ ScenarioBuilder& ScenarioBuilder::drain_wait(unsigned wait, sim::Cycle timeout) 
 
 ScenarioBuilder& ScenarioBuilder::engine(Engine value) {
   engine_ = value;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::faults(sim::FaultPlan plan) {
+  faults_ = std::move(plan);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::overflow_policy(OverflowPolicy value) {
+  overflow_policy_ = value;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::doorbell_retry(sim::Cycle timeout,
+                                                 unsigned max_retries) {
+  doorbell_timeout_ = timeout;
+  doorbell_max_retries_ = max_retries;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::mac_rerequest(bool value) {
+  mac_rerequest_ = value;
   return *this;
 }
 
@@ -308,6 +361,53 @@ Scenario ScenarioBuilder::build() const {
     throw ScenarioError("ScenarioBuilder: scenario '" + name_ +
                         "': max_cycles must be nonzero");
   }
+  if (doorbell_timeout_ > 0) {
+    if (drain_burst_ < 2) {
+      throw ScenarioError(
+          "ScenarioBuilder: scenario '" + name_ +
+          "': doorbell_retry requires drain_burst > 1 (the retry protocol "
+          "needs the idempotent BATCH_COUNT handshake, which the single-log "
+          "register file lacks)");
+    }
+    if (doorbell_timeout_ > 100'000) {
+      throw ScenarioError(
+          "ScenarioBuilder: scenario '" + name_ +
+          "': doorbell_retry timeout above 100000 cycles would dominate the "
+          "post-program drain guard");
+    }
+    if (doorbell_max_retries_ < 1 || doorbell_max_retries_ > 8) {
+      throw ScenarioError(
+          "ScenarioBuilder: scenario '" + name_ +
+          "': doorbell_retry max_retries must be in [1, 8]");
+    }
+  }
+  if (mac_rerequest_ && !batch_mac_) {
+    throw ScenarioError(
+        "ScenarioBuilder: scenario '" + name_ +
+        "': mac_rerequest requires batch_mac (there is no burst MAC whose "
+        "failure could be re-requested)");
+  }
+  for (const sim::FaultSpec& spec : faults_.faults) {
+    if (spec.site == sim::FaultSite::kDoorbellDrop && doorbell_timeout_ == 0) {
+      throw ScenarioError(
+          "ScenarioBuilder: scenario '" + name_ +
+          "': a fault plan with doorbell_drop requires doorbell_retry() — "
+          "without the watchdog a dropped doorbell hangs the CFI pipeline "
+          "forever");
+    }
+    if (spec.site == sim::FaultSite::kRotStall && spec.param > 100'000) {
+      throw ScenarioError(
+          "ScenarioBuilder: scenario '" + name_ +
+          "': rot_stall width above 100000 cycles would dominate the "
+          "post-program drain guard");
+    }
+    if (spec.site == sim::FaultSite::kQueueOverflow && spec.param > 4096) {
+      throw ScenarioError(
+          "ScenarioBuilder: scenario '" + name_ +
+          "': queue_overflow burst width above 4096 push attempts is outside "
+          "any realistic transient");
+    }
+  }
 
   Scenario scenario;
   scenario.name_ = name_;
@@ -327,6 +427,11 @@ Scenario ScenarioBuilder::build() const {
   scenario.soc_.trace_commits = trace_commits_;
   scenario.soc_.max_cycles = max_cycles_;
   scenario.soc_.engine = to_cfi(engine_);
+  scenario.soc_.faults = faults_;
+  scenario.soc_.overflow_policy = to_cfi(overflow_policy_);
+  scenario.soc_.doorbell_timeout = doorbell_timeout_;
+  scenario.soc_.doorbell_max_retries = doorbell_max_retries_;
+  scenario.soc_.mac_rerequest = mac_rerequest_;
 
   scenario.fw_.variant = firmware_ == Firmware::kIrq ? fw::FwVariant::kIrq
                                                      : fw::FwVariant::kPolling;
@@ -335,6 +440,10 @@ Scenario ScenarioBuilder::build() const {
   scenario.fw_.ss_capacity = ss_capacity_;
   scenario.fw_.spill_block = spill_block_;
   scenario.fw_.enable_jump_table = jump_table_;
+  // The degradation protocols are co-designed like the drain itself: one
+  // builder field configures both the Log Writer and the firmware generator.
+  scenario.fw_.retry_handshake = doorbell_timeout_ > 0;
+  scenario.fw_.mac_rerequest = mac_rerequest_;
   return scenario;
 }
 

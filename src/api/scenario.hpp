@@ -45,6 +45,12 @@ enum class Fabric { kBaseline, kOptimized };
 /// execution strategy — like the thread count — not configuration.
 enum class Engine { kLockStep, kEventDriven };
 
+/// Response when a commit log cannot enter the CFI Queue (mirror of
+/// cfi::OverflowPolicy).  kBackPressure is the paper's lossless stall;
+/// kFailClosed halts the host rather than miss a check; kFailOpen drops the
+/// log and counts it (dropped returns are reported as false negatives).
+enum class OverflowPolicy { kBackPressure, kFailClosed, kFailOpen };
+
 /// Typed, serializable workload descriptor: a named reference to one of the
 /// built-in program generators (src/workloads) or a caller-assembled image.
 class Workload {
@@ -154,6 +160,21 @@ class ScenarioBuilder {
   /// (default) drains immediately — the paper's behaviour, which keeps
   /// Table I/II exact.
   ScenarioBuilder& drain_wait(unsigned wait, sim::Cycle timeout);
+  /// Deterministic fault schedule (see sim::FaultPlan).  Serialized into the
+  /// scenario fingerprint, so faulted sweeps cannot alias fault-free ones.
+  /// A plan containing doorbell drops requires doorbell_retry() — without
+  /// the watchdog a dropped doorbell would hang the pipeline forever.
+  ScenarioBuilder& faults(sim::FaultPlan plan);
+  /// Overflow response (default kBackPressure, the paper's behaviour).
+  ScenarioBuilder& overflow_policy(OverflowPolicy value);
+  /// Doorbell watchdog: re-ring after `timeout` cycles without a completion,
+  /// doubling the window each retry; `max_retries` re-rings then fail
+  /// closed.  Requires drain_burst > 1 (the firmware side of the retry
+  /// handshake is generated automatically).
+  ScenarioBuilder& doorbell_retry(sim::Cycle timeout, unsigned max_retries = 3);
+  /// RoT-side MAC-failure re-request (requires batch_mac): MAC mismatches
+  /// ask the Log Writer to retransmit instead of flagging a violation.
+  ScenarioBuilder& mac_rerequest(bool value);
   ScenarioBuilder& shadow_stack(unsigned capacity, unsigned spill_block);
   ScenarioBuilder& jump_table(bool value);
   ScenarioBuilder& pmp(bool value);
@@ -179,6 +200,11 @@ class ScenarioBuilder {
   bool batch_mac_ = false;
   unsigned drain_wait_ = 0;
   sim::Cycle drain_timeout_ = 0;
+  sim::FaultPlan faults_;
+  OverflowPolicy overflow_policy_ = OverflowPolicy::kBackPressure;
+  sim::Cycle doorbell_timeout_ = 0;
+  unsigned doorbell_max_retries_ = 3;
+  bool mac_rerequest_ = false;
   unsigned ss_capacity_ = 32;
   unsigned spill_block_ = 16;
   bool jump_table_ = false;

@@ -419,13 +419,34 @@ void emit_batch_entry(Assembler& a, const FirmwareConfig& config,
   a.addi(Reg::kS5, Reg::kS5, kMbSlotStride);
   a.blt(Reg::kS4, Reg::kS3, loop);
   a.bind(done_ok);
+  if (config.retry_handshake) {
+    // Consume the burst before answering: a watchdog re-ring now reads
+    // count == 0 and lands on the spurious-doorbell path above.
+    a.sw(Reg::kZero, Reg::kS2, kMbBatchCount);
+  }
   a.sw(Reg::kZero, Reg::kS2, kMbResult);        // SoC: verdict = safe
   a.li(Reg::kA1, 1);
   a.sw(Reg::kA1, Reg::kS2, kMbCompletion);      // SoC: one completion/burst
   a.j(epilogue);
   a.bind(tamper);
+  if (config.mac_rerequest) {
+    // Transport corruption, not a violation: ask the Log Writer to resend
+    // the burst (it still holds the logs; the retransmission carries a
+    // freshly computed MAC and a rewritten BATCH_COUNT).
+    if (config.retry_handshake) {
+      a.sw(Reg::kZero, Reg::kS2, kMbBatchCount);
+    }
+    a.li(Reg::kA1, 2);                          // verdict = re-request
+    a.sw(Reg::kA1, Reg::kS2, kMbResult);
+    a.li(Reg::kA1, 1);
+    a.sw(Reg::kA1, Reg::kS2, kMbCompletion);
+    a.j(epilogue);
+  }
   a.li(Reg::kS4, 0);                            // MAC mismatch: blame slot 0
   a.bind(bad);
+  if (config.retry_handshake) {
+    a.sw(Reg::kZero, Reg::kS2, kMbBatchCount);
+  }
   a.slli(Reg::kA1, Reg::kS4, 1);                // verdict = index << 1 | 1
   a.ori(Reg::kA1, Reg::kA1, 1);
   a.sw(Reg::kA1, Reg::kS2, kMbResult);
@@ -445,6 +466,16 @@ rv::Image build_firmware(const FirmwareConfig& config) {
         "build_firmware: batch_capacity exceeds mailbox batch slots");
   }
   const bool batched = config.batch_capacity > 1;
+  if (config.retry_handshake && !batched) {
+    throw std::invalid_argument(
+        "build_firmware: retry_handshake needs batch mode (only BATCH_COUNT "
+        "makes the doorbell handshake idempotent)");
+  }
+  if (config.mac_rerequest && !(batched && config.batch_mac)) {
+    throw std::invalid_argument(
+        "build_firmware: mac_rerequest needs batch_mac (there is no burst "
+        "MAC to fail without it)");
+  }
   Assembler a(rv::Xlen::k32, soc::kRotFlash.base);
 
   auto isr = a.new_label();
@@ -559,6 +590,12 @@ rv::Image build_firmware(const FirmwareConfig& config) {
     a.mark("batch");
     if (config.batch_mac) {
       a.mark("batch_mac");
+    }
+    if (config.retry_handshake) {
+      a.mark("retry_handshake");
+    }
+    if (config.mac_rerequest) {
+      a.mark("mac_rerequest");
     }
     a.bind(batch_entry);
     emit_batch_entry(a, config, policy_entry);

@@ -53,6 +53,18 @@ struct FirmwareConfig {
   /// the per-log MAC cost shrinks with the batch thanks to HMAC's fixed
   /// 2-block pad overhead being paid once.
   bool batch_mac = true;
+  /// Idempotent doorbell handshake (batch mode only): zero BATCH_COUNT the
+  /// moment a burst is serviced, before writing the verdict.  A doorbell
+  /// re-rung by the Log Writer's watchdog after a slow-but-successful check
+  /// then reads count == 0 and takes the existing spurious-doorbell path
+  /// (safe verdict + completion) instead of re-running the policy over a
+  /// stale batch — which would corrupt the shadow stack.  Required by (and
+  /// cross-checked against) a SocConfig with a doorbell watchdog.
+  bool retry_handshake = false;
+  /// On a burst-MAC mismatch answer the re-request verdict (2) instead of a
+  /// blame-slot-0 violation, asking the Log Writer to retransmit the batch.
+  /// Requires batch_mac; cross-checked against SocConfig::mac_rerequest.
+  bool mac_rerequest = false;
 };
 
 /// Firmware data layout in the RoT private SRAM.

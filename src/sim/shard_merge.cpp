@@ -115,6 +115,39 @@ struct ParsedShard {
   std::vector<std::string> rows;
 };
 
+/// Structural pre-check, run before any field lookup: a shard file that is
+/// empty, that is not a JSON object, or whose top-level object never closes
+/// (truncated write, out-of-disk, killed bench) gets a diagnosis naming the
+/// file and byte offset — not the generic "missing \"rows\"" that every
+/// field probe would otherwise report against garbage input.
+bool validate_document_shape(std::string_view text,
+                             const std::function<bool(const std::string&)>& fail) {
+  if (text.empty()) {
+    return fail("empty shard file (0 bytes)");
+  }
+  std::size_t first = 0;
+  while (first < text.size() &&
+         (text[first] == ' ' || text[first] == '\n' || text[first] == '\r' ||
+          text[first] == '\t')) {
+    ++first;
+  }
+  if (first == text.size()) {
+    return fail("empty shard file (" + std::to_string(text.size()) +
+                " whitespace bytes)");
+  }
+  if (text[first] != '{') {
+    return fail("not a shard JSON document: expected '{' but found '" +
+                std::string(1, text[first]) + "' at byte " +
+                std::to_string(first));
+  }
+  if (skip_balanced(text, first) == std::string_view::npos) {
+    return fail("truncated shard JSON: object opened at byte " +
+                std::to_string(first) + " never closes (file is " +
+                std::to_string(text.size()) + " bytes)");
+  }
+  return true;
+}
+
 bool parse_shard_document(const std::string& label, std::string_view text,
                           ParsedShard* out, std::string* error) {
   out->label = label;
@@ -122,6 +155,9 @@ bool parse_shard_document(const std::string& label, std::string_view text,
     *error = label + ": " + what;
     return false;
   };
+  if (!validate_document_shape(text, fail)) {
+    return false;
+  }
 
   const std::size_t rows_value = find_value(text, "rows");
   if (rows_value == std::string_view::npos || text[rows_value] != '[') {

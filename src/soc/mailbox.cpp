@@ -75,6 +75,9 @@ void Mailbox::write(Addr addr, unsigned size, std::uint64_t value) {
 }
 
 void Mailbox::ring_doorbell() {
+  if (doorbell_filter_ && !doorbell_filter_()) {
+    return;  // Pulse lost in transit: the sender observes nothing.
+  }
   doorbell_ = true;
   ++doorbell_count_;
   if (on_doorbell_) {

@@ -48,11 +48,18 @@ class Mailbox final : public BusTarget {
   }
 
   using SignalHook = std::function<void()>;
+  using DoorbellFilter = std::function<bool()>;
 
   /// Hook invoked when the sender rings the doorbell (RoT side interrupt).
   void set_on_doorbell(SignalHook hook) { on_doorbell_ = std::move(hook); }
   /// Hook invoked when the receiver signals completion (host side).
   void set_on_completion(SignalHook hook) { on_completion_ = std::move(hook); }
+  /// Fault-injection seam: consulted on each doorbell ring; returning false
+  /// drops the ring silently (no flag, no count, no interrupt) — modelling a
+  /// doorbell pulse lost on the interconnect.
+  void set_doorbell_filter(DoorbellFilter filter) {
+    doorbell_filter_ = std::move(filter);
+  }
 
   // ---- BusTarget (MMIO view, used by Ibex firmware / CVA6) -----------------
   std::uint64_t read(Addr addr, unsigned size) override;
@@ -101,6 +108,7 @@ class Mailbox final : public BusTarget {
   std::uint64_t completion_count_ = 0;
   SignalHook on_doorbell_;
   SignalHook on_completion_;
+  DoorbellFilter doorbell_filter_;
 };
 
 }  // namespace titan::soc

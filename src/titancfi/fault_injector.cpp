@@ -1,0 +1,38 @@
+#include "titancfi/fault_injector.hpp"
+
+namespace titan::cfi {
+
+FaultInjector::FaultInjector(const sim::FaultPlan& plan) : plan_(plan) {}
+
+std::optional<std::uint64_t> FaultInjector::fire(sim::FaultSite site,
+                                                 sim::Cycle now) {
+  const auto index = static_cast<std::size_t>(site);
+  const std::uint64_t ordinal = ordinal_[index]++;
+  std::optional<std::uint64_t> param;
+  for (const sim::FaultSpec& spec : plan_.faults) {
+    if (spec.site == site && spec.nth == ordinal) {
+      // Multiple specs on the same ordinal collapse into one injection (the
+      // last param wins) — firing twice at one event has no physical analog.
+      if (!param) {
+        ++stats_.injected[index];
+        pending_[index].push_back(now);
+      }
+      param = spec.param;
+    }
+  }
+  return param;
+}
+
+void FaultInjector::note_detected(sim::FaultSite site, sim::Cycle now) {
+  const auto index = static_cast<std::size_t>(site);
+  if (pending_[index].empty()) {
+    return;
+  }
+  const sim::Cycle injected_at = pending_[index].front();
+  pending_[index].pop_front();
+  ++stats_.detected[index];
+  const std::uint64_t latency = now >= injected_at ? now - injected_at : 0;
+  ++stats_.detection_latency[sim::latency_bucket(latency)];
+}
+
+}  // namespace titan::cfi

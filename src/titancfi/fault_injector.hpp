@@ -1,0 +1,47 @@
+// Runtime driver of a sim::FaultPlan.
+//
+// Components that host an injection site call fire(site, now) at each site
+// event; the injector advances that site's ordinal and reports whether a
+// scheduled fault triggers (returning its param).  Degradation machinery
+// calls note_detected(site, now) when it catches the consequence; the
+// injector pairs the detection with the oldest undetected injection at that
+// site and buckets the latency.  Everything is a pure function of the plan
+// and the (engine-invariant) event stream, so the assembled ResilienceStats
+// are bit-exact across both co-simulation engines.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "sim/fault.hpp"
+#include "sim/types.hpp"
+
+namespace titan::cfi {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const sim::FaultPlan& plan);
+
+  /// Advance `site`'s event ordinal; if the plan schedules a fault at this
+  /// ordinal, record the injection and return its param.
+  std::optional<std::uint64_t> fire(sim::FaultSite site, sim::Cycle now);
+
+  /// Pair a detection with the oldest undetected injection at `site` (no-op
+  /// when none is pending, e.g. a retry that was not fault-induced).
+  void note_detected(sim::FaultSite site, sim::Cycle now);
+
+  /// Injected/detected counts and the detection-latency histogram.  The
+  /// retry/drop/degraded counters live in the components that own them;
+  /// SocTop assembles the full block.
+  [[nodiscard]] const sim::ResilienceStats& stats() const { return stats_; }
+
+ private:
+  sim::FaultPlan plan_;
+  std::array<std::uint64_t, sim::kFaultSiteCount> ordinal_{};
+  std::array<std::deque<sim::Cycle>, sim::kFaultSiteCount> pending_;
+  sim::ResilienceStats stats_;
+};
+
+}  // namespace titan::cfi

@@ -1,5 +1,6 @@
 #include "titancfi/log_writer.hpp"
 
+#include <array>
 #include <stdexcept>
 
 #include "soc/hmac_mmio.hpp"
@@ -56,6 +57,34 @@ LogWriter::LogWriter(QueueController& controller, soc::Crossbar& axi,
         "LogWriter: drain_timeout above 100000 cycles would dominate the "
         "post-program drain guard");
   }
+  if (config_.doorbell_timeout > 0 && config_.burst < 2) {
+    throw std::invalid_argument(
+        "LogWriter: the doorbell watchdog requires burst > 1 (the retry "
+        "protocol needs the idempotent BATCH_COUNT handshake the single-log "
+        "register file lacks)");
+  }
+  if (config_.doorbell_timeout > 100'000) {
+    throw std::invalid_argument(
+        "LogWriter: doorbell_timeout above 100000 cycles would dominate the "
+        "post-program drain guard");
+  }
+  if (config_.doorbell_timeout > 0 && (config_.doorbell_max_retries < 1 ||
+                                       config_.doorbell_max_retries > 8)) {
+    throw std::invalid_argument(
+        "LogWriter: doorbell_max_retries must be in [1, 8] (backoff doubles "
+        "the window each retry; more than 8 doublings overflows any useful "
+        "timeout)");
+  }
+  if (config_.mac_rerequest && !config_.mac_batches) {
+    throw std::invalid_argument(
+        "LogWriter: mac_rerequest without mac_batches — there is no MAC "
+        "whose failure could be re-requested");
+  }
+  if (config_.mac_rerequest &&
+      (config_.mac_max_retries < 1 || config_.mac_max_retries > 8)) {
+    throw std::invalid_argument(
+        "LogWriter: mac_max_retries must be in [1, 8]");
+  }
   if (config_.mac_batches) {
     mac_key_.emplace(
         soc::derive_slot_key(config.device_secret, config.mac_key_sel));
@@ -103,14 +132,40 @@ void LogWriter::begin_batch(Cycle now, std::size_t count) {
                      static_cast<std::uint64_t>(count)});
   if (config_.mac_batches) {
     const crypto::Digest digest = mac_key_->mac(packed_);
+    std::array<std::uint64_t, soc::Mailbox::kMacRegs> mac_words{};
+    for (unsigned index = 0; index < soc::Mailbox::kMacRegs; ++index) {
+      mac_words[index] = mac_reg(digest, index);
+    }
+    // Fault seam: the nth MAC'd transfer (retransmissions included) may have
+    // one bit of the 256-bit MAC flipped in transit; the param picks the bit.
+    if (injector_ != nullptr) {
+      if (const auto bit =
+              injector_->fire(sim::FaultSite::kMacCorrupt, now)) {
+        const unsigned index = static_cast<unsigned>(*bit % 256);
+        mac_words[index / 64] ^= std::uint64_t{1} << (index % 64);
+        mac_corrupt_in_flight_ = true;
+      }
+    }
     for (unsigned index = 0; index < soc::Mailbox::kMacRegs; ++index) {
       writes_.push_back(
           {base + soc::Mailbox::kBatchMacOffset + 8 * index,
-           mac_reg(digest, index)});
+           mac_words[index]});
     }
   }
   // One pop per drained log: the queue SRAM still has a single read port.
   busy_until_ = now + static_cast<Cycle>(count);
+}
+
+void LogWriter::ring_doorbell_write(Cycle now) {
+  const soc::BusResponse response =
+      axi_.write(soc::kCfiMailbox.base + soc::Mailbox::kDoorbellOffset, 8, 1);
+  busy_until_ = now + response.latency;
+}
+
+void LogWriter::enter_wait(Cycle now) {
+  wait_started_ = now;
+  retry_window_ = config_.doorbell_timeout;
+  retries_this_wait_ = 0;
 }
 
 void LogWriter::tick(Cycle now) {
@@ -123,6 +178,14 @@ void LogWriter::tick(Cycle now) {
 
   switch (state_) {
     case State::kIdle: {
+      if (mailbox_.completion_pending()) {
+        // A late answer to a doorbell the watchdog already retried: the
+        // transfer it acknowledges was re-run, so the signal is consumed
+        // with no action (the completion wire is commit-stage-local, no bus
+        // transaction involved).
+        mailbox_.clear_completion();
+        ++spurious_completions_;
+      }
       const std::size_t queued = controller_.queue().size();
       if (queued == 0) {
         pending_since_.reset();
@@ -151,6 +214,8 @@ void LogWriter::tick(Cycle now) {
           on_log_(log);
         }
       }
+      resend_ = false;
+      mac_retries_this_batch_ = 0;
       begin_batch(now, count);
       state_ = State::kWriteBeats;
       break;
@@ -165,11 +230,23 @@ void LogWriter::tick(Cycle now) {
       break;
     }
     case State::kRingDoorbell: {
-      const soc::BusResponse response =
-          axi_.write(soc::kCfiMailbox.base + soc::Mailbox::kDoorbellOffset, 8, 1);
-      busy_until_ = now + response.latency;
-      logs_sent_ += batch_.size();
+      ring_doorbell_write(now);
+      // Fault seam: the nth ring may be delivered twice (a glitched pulse).
+      // Both writes land before the RoT can step, so the PLIC level
+      // coalesces them; the duplicate is benign by construction, which is
+      // exactly what this site demonstrates.
+      if (injector_ != nullptr &&
+          injector_->fire(sim::FaultSite::kDoorbellDuplicate, now)) {
+        const soc::BusResponse dup = axi_.write(
+            soc::kCfiMailbox.base + soc::Mailbox::kDoorbellOffset, 8, 1);
+        busy_until_ += dup.latency;
+        dup_in_flight_ = true;
+      }
+      if (!resend_) {
+        logs_sent_ += batch_.size();
+      }
       ++batches_sent_;
+      enter_wait(now);
       state_ = State::kWaitCompletion;
       break;
     }
@@ -178,6 +255,28 @@ void LogWriter::tick(Cycle now) {
       // (Sec. IV-A): no bus transaction needed to observe it.
       if (!mailbox_.completion_pending()) {
         ++wait_cycles_;
+        if (config_.doorbell_timeout > 0 &&
+            now - wait_started_ >= retry_window_) {
+          if (retries_this_wait_ >= config_.doorbell_max_retries) {
+            // Watchdog exhausted: the RoT is unreachable.  Fail closed —
+            // halting beats silently running without enforcement.
+            state_ = State::kFault;
+            if (on_fault_) {
+              on_fault_(batch_[0]);
+            }
+            return;
+          }
+          degraded_cycles_ += now - wait_started_;
+          ring_doorbell_write(now);
+          ++doorbell_retries_;
+          ++retries_this_wait_;
+          if (injector_ != nullptr) {
+            // If a drop was injected, this re-ring is its recovery.
+            injector_->note_detected(sim::FaultSite::kDoorbellDrop, now);
+          }
+          wait_started_ = now;
+          retry_window_ *= 2;  // Exponential backoff.
+        }
         return;
       }
       state_ = State::kReadResult;
@@ -188,8 +287,47 @@ void LogWriter::tick(Cycle now) {
           axi_.read(soc::kCfiMailbox.base + soc::Mailbox::kDataOffset, 8);
       busy_until_ = now + response.latency;
       mailbox_.clear_completion();
+      if (injector_ != nullptr) {
+        // A completed verdict is the observation point for latency-only
+        // faults: a stalled RoT answered late, a duplicated doorbell was
+        // absorbed.  Both calls are no-ops when nothing was injected.
+        injector_->note_detected(sim::FaultSite::kRotStall, now);
+        if (dup_in_flight_) {
+          injector_->note_detected(sim::FaultSite::kDoorbellDuplicate, now);
+          dup_in_flight_ = false;
+        }
+      }
       const bool violation = (response.value & 1) != 0;
+      if (!violation && response.value == kVerdictMacRerequest &&
+          config_.mac_rerequest) {
+        // The RoT saw a MAC mismatch and asks for a retransmission: the
+        // batch is still in hand, so rebuild the transfer (fresh MAC) and
+        // resend.  Exhausting the retry budget is a fail-closed fault.
+        if (injector_ != nullptr && mac_corrupt_in_flight_) {
+          injector_->note_detected(sim::FaultSite::kMacCorrupt, now);
+          mac_corrupt_in_flight_ = false;
+        }
+        if (mac_retries_this_batch_ >= config_.mac_max_retries) {
+          state_ = State::kFault;
+          if (on_fault_) {
+            on_fault_(batch_[0]);
+          }
+          return;
+        }
+        ++mac_retries_;
+        ++mac_retries_this_batch_;
+        resend_ = true;
+        begin_batch(now, batch_.size());
+        state_ = State::kWriteBeats;
+        break;
+      }
       if (violation) {
+        if (injector_ != nullptr && mac_corrupt_in_flight_) {
+          // Without re-request the firmware reports corruption as tamper:
+          // the violation verdict is the detection.
+          injector_->note_detected(sim::FaultSite::kMacCorrupt, now);
+          mac_corrupt_in_flight_ = false;
+        }
         ++violations_;
         state_ = State::kFault;
         if (on_fault_) {
@@ -201,6 +339,8 @@ void LogWriter::tick(Cycle now) {
           on_fault_(batch_[index]);
         }
       } else {
+        resend_ = false;
+        mac_retries_this_batch_ = 0;
         state_ = State::kIdle;
       }
       break;

@@ -57,7 +57,31 @@ struct LogWriterConfig {
   /// <= burst (a deeper threshold could never fill one transfer).
   unsigned drain_wait = 0;
   Cycle drain_timeout = 0;
+  /// Doorbell watchdog (degradation machinery, this repo): when > 0, a
+  /// transfer that sees no completion within `doorbell_timeout` cycles of
+  /// ringing re-rings the doorbell, doubling the window each time
+  /// (exponential backoff), up to `doorbell_max_retries` re-rings; an
+  /// exhausted budget is a fail-closed CFI fault.  0 == wait forever
+  /// (paper behaviour).  Requires burst > 1: the retry protocol leans on the
+  /// idempotent BATCH_COUNT handshake (firmware zeroes the count once
+  /// serviced, so a re-rung doorbell after a slow-but-successful check hits
+  /// the spurious-doorbell path instead of re-running the policy), which the
+  /// legacy single-log register file does not have.
+  Cycle doorbell_timeout = 0;
+  unsigned doorbell_max_retries = 3;
+  /// RoT-side MAC-failure re-request: instead of flagging a violation on a
+  /// batch-MAC mismatch, the firmware answers the re-request verdict and the
+  /// writer retransmits the burst (the queue popped nothing new, so the
+  /// stream is unchanged), up to `mac_max_retries` times; exhausting the
+  /// budget is a fail-closed fault.  Requires mac_batches.
+  bool mac_rerequest = false;
+  unsigned mac_max_retries = 3;
 };
+
+/// Verdict register values beyond pass (0) and violation (bit 0 + slot index
+/// in bits [63:1]): the MAC re-request sentinel has bit 1 set and bit 0
+/// clear, so violation decoding is untouched.
+inline constexpr std::uint64_t kVerdictMacRerequest = 2;
 
 class LogWriter {
  public:
@@ -86,6 +110,9 @@ class LogWriter {
   void tick(Cycle now);
 
   void set_log_capture(LogHook hook) { on_log_ = std::move(hook); }
+  /// Fault-injection seam (duplicate doorbells, MAC bit corruption) and the
+  /// detection side of the doorbell-drop / RoT-stall sites.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   [[nodiscard]] State state() const { return state_; }
   [[nodiscard]] const LogWriterConfig& config() const { return config_; }
@@ -95,9 +122,25 @@ class LogWriter {
   [[nodiscard]] std::uint64_t violations() const { return violations_; }
   /// Cycles spent in kWaitCompletion (RoT check latency as seen by HW).
   [[nodiscard]] std::uint64_t wait_cycles() const { return wait_cycles_; }
+  /// Watchdog re-rings of the doorbell (exponential backoff).
+  [[nodiscard]] std::uint64_t doorbell_retries() const {
+    return doorbell_retries_;
+  }
+  /// Burst retransmissions triggered by the RoT's MAC re-request verdict.
+  [[nodiscard]] std::uint64_t mac_retries() const { return mac_retries_; }
+  /// Completions consumed while idle (late answers to retried doorbells).
+  [[nodiscard]] std::uint64_t spurious_completions() const {
+    return spurious_completions_;
+  }
+  /// Cycles accumulated in timed-out doorbell wait windows.
+  [[nodiscard]] std::uint64_t degraded_cycles() const {
+    return degraded_cycles_;
+  }
 
  private:
   void begin_batch(Cycle now, std::size_t count);
+  void ring_doorbell_write(Cycle now);
+  void enter_wait(Cycle now);
 
   QueueController& controller_;
   soc::Crossbar& axi_;
@@ -132,6 +175,24 @@ class LogWriter {
   std::uint64_t batches_sent_ = 0;
   std::uint64_t violations_ = 0;
   std::uint64_t wait_cycles_ = 0;
+
+  // ---- Degradation machinery + fault seam ----------------------------------
+  FaultInjector* injector_ = nullptr;
+  /// Cycle the current doorbell wait window opened, and its (backed-off)
+  /// watchdog width; retries already spent on this window.
+  Cycle wait_started_ = 0;
+  Cycle retry_window_ = 0;
+  unsigned retries_this_wait_ = 0;
+  /// The current transfer is a MAC-failure retransmission (same logs).
+  bool resend_ = false;
+  unsigned mac_retries_this_batch_ = 0;
+  /// Injected-fault bookkeeping for detection pairing.
+  bool mac_corrupt_in_flight_ = false;
+  bool dup_in_flight_ = false;
+  std::uint64_t doorbell_retries_ = 0;
+  std::uint64_t mac_retries_ = 0;
+  std::uint64_t spurious_completions_ = 0;
+  std::uint64_t degraded_cycles_ = 0;
 };
 
 }  // namespace titan::cfi

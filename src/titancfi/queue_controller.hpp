@@ -5,24 +5,60 @@
 //  occasionally, it inhibits the CVA6 commit stage ... The Queue Control[ler]
 //  inhibits the commit stage if the CFI Queue is full, or if more than one
 //  commit port retires a control-flow instruction [in the same cycle]."
+//
+// Overflow policy (this repo, beyond the paper): the paper's behaviour is
+// kBackPressure — stall the commit stage until the RoT drains, losing
+// nothing.  The two alternatives model what a deployment would pick when
+// stalling the host is unacceptable: kFailClosed halts the host (a CFI fault)
+// the moment a log would be lost, guaranteeing zero false negatives;
+// kFailOpen lets the instruction retire unchecked and counts the dropped
+// log — dropped returns are the potential false negatives the resilience
+// block reports.  Fault injection (forced overflow bursts, ECC bit flips on
+// queue words) hooks in through an optional FaultInjector.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <span>
 
 #include "cva6/scoreboard.hpp"
 #include "sim/fifo.hpp"
+#include "soc/ecc.hpp"
 #include "titancfi/commit_log.hpp"
+#include "titancfi/fault_injector.hpp"
 #include "titancfi/filter.hpp"
 
 namespace titan::cfi {
 
 using CfiQueue = sim::Fifo<CommitLog>;
 
+/// What to do when a commit log cannot enter the CFI Queue.
+enum class OverflowPolicy {
+  kBackPressure,  ///< Stall the commit port until space frees (paper; lossless).
+  kFailClosed,    ///< Halt the host: availability sacrificed, zero misses.
+  kFailOpen,      ///< Drop the log and let the instruction retire unchecked.
+};
+
 class QueueController {
  public:
   explicit QueueController(std::size_t queue_depth)
       : queue_(queue_depth) {}
+
+  void set_overflow_policy(OverflowPolicy policy) { overflow_policy_ = policy; }
+  /// Fault-injection seam: `now` must outlive the controller and track the
+  /// host cycle (engine-invariant, since evaluate() only runs in stepped
+  /// windows where both engines agree on the cycle count).
+  void set_fault_injector(FaultInjector* injector, const sim::Cycle* now) {
+    injector_ = injector;
+    now_ = now;
+  }
+  /// Invoked with the offending log when kFailClosed must halt the host (or
+  /// when an uncorrectable queue-word ECC error occurs under any policy
+  /// other than kFailOpen).
+  void set_fail_closed_hook(std::function<void(const CommitLog&)> hook) {
+    fail_closed_hook_ = std::move(hook);
+  }
 
   /// Evaluate one commit cycle.  `candidates` are the scoreboard entries the
   /// core could retire this cycle, in program order (one per commit port).
@@ -31,7 +67,8 @@ class QueueController {
   ///
   /// Invariants enforced (and checked by tests):
   ///  * at most one commit log is pushed per cycle (single queue write port);
-  ///  * no entry retires past a CF entry that could not be pushed;
+  ///  * no entry retires past a CF entry that could not be pushed — except
+  ///    under kFailOpen, where the log is dropped and counted;
   ///  * logs enter the queue in program order.
   unsigned evaluate(std::span<const cva6::ScoreboardEntry> candidates) {
     unsigned allowed = 0;
@@ -48,9 +85,46 @@ class QueueController {
         ++dual_cf_stalls_;  // Second CF in the same cycle: stall that port.
         break;
       }
-      if (queue_.full()) {
-        ++full_stalls_;
-        break;
+      // Fault seam: a scheduled overflow burst forces the full signal for
+      // the next `param` push attempts.  Ordinals count push attempts (not
+      // cycles) so the perturbation is identical on both engines.
+      if (injector_ != nullptr) {
+        if (const auto width =
+                injector_->fire(sim::FaultSite::kQueueOverflow, *now_)) {
+          force_full_remaining_ += std::max<std::uint64_t>(*width, 1);
+          if (overflow_policy_ != OverflowPolicy::kFailOpen) {
+            // Back-pressure/fail-closed observe the burst immediately (the
+            // stall/halt is the response); fail-open never notices — that
+            // is exactly the false-negative window.
+            injector_->note_detected(sim::FaultSite::kQueueOverflow, *now_);
+          }
+        }
+      }
+      const bool forced_full = force_full_remaining_ > 0;
+      if (forced_full) {
+        --force_full_remaining_;
+      }
+      if (forced_full || queue_.full()) {
+        if (overflow_policy_ == OverflowPolicy::kBackPressure) {
+          ++full_stalls_;
+          if (forced_full) {
+            ++overflow_stall_cycles_;
+          }
+          break;
+        }
+        if (overflow_policy_ == OverflowPolicy::kFailClosed) {
+          ++full_stalls_;
+          if (fail_closed_hook_) {
+            fail_closed_hook_(*log);
+          }
+          break;
+        }
+        drop_log(*log);  // kFailOpen: retire unchecked.
+        ++allowed;
+        continue;
+      }
+      if (injector_ != nullptr && !queue_word_survives_ecc(*log)) {
+        continue;  // Log consumed by the fault response (dropped or halted).
       }
       queue_.push(*log);
       pushed_this_cycle = true;
@@ -108,12 +182,78 @@ class QueueController {
 
   [[nodiscard]] std::uint64_t full_stalls() const { return full_stalls_; }
   [[nodiscard]] std::uint64_t dual_cf_stalls() const { return dual_cf_stalls_; }
+  [[nodiscard]] std::uint64_t dropped_logs() const { return dropped_logs_; }
+  [[nodiscard]] std::uint64_t dropped_returns() const {
+    return dropped_returns_;
+  }
+  [[nodiscard]] std::uint64_t overflow_stall_cycles() const {
+    return overflow_stall_cycles_;
+  }
 
  private:
+  void drop_log(const CommitLog& log) {
+    ++dropped_logs_;
+    if (log.classify() == rv::CfKind::kReturn) {
+      ++dropped_returns_;  // A return retired unchecked: potential miss.
+    }
+  }
+
+  /// Fault seam: the nth successfully pushed log may carry an ECC bit flip
+  /// on one 32-bit queue word (the queue SRAM is SECDED-protected like the
+  /// rest of the OpenTitan memories).  A single-bit flip is corrected
+  /// transparently; a double-bit flip is unrecoverable — the word is lost,
+  /// so the log is dropped (kFailOpen) or the host halts (otherwise).
+  /// Returns true when the (possibly corrected) log should still be pushed.
+  bool queue_word_survives_ecc(const CommitLog& log) {
+    const auto param = injector_->fire(sim::FaultSite::kMemBitFlip, *now_);
+    if (!param) {
+      return true;
+    }
+    const soc::Secded codec(32);
+    const auto beats = log.pack();
+    const unsigned half =
+        static_cast<unsigned>((*param >> 1) % (CommitLog::kBeats * 2));
+    const std::uint64_t word =
+        (beats[half / 2] >> ((half % 2) * 32)) & 0xFFFF'FFFFULL;
+    std::uint64_t codeword = codec.encode(word);
+    const unsigned total = codec.codeword_bits();
+    const unsigned first = static_cast<unsigned>((*param >> 4) % total);
+    codeword ^= std::uint64_t{1} << first;
+    if ((*param & 1) != 0) {
+      // Double-bit flip: a second, guaranteed-distinct position.
+      const unsigned second =
+          (first + 1 + static_cast<unsigned>((*param >> 10) % (total - 1))) %
+          total;
+      codeword ^= std::uint64_t{1} << second;
+    }
+    const soc::EccResult decoded = codec.decode(codeword);
+    // SECDED catches both outcomes; only the response differs.
+    injector_->note_detected(sim::FaultSite::kMemBitFlip, *now_);
+    if (decoded.status == soc::EccStatus::kCorrected) {
+      return true;  // Corrected in place: the pristine log proceeds.
+    }
+    if (overflow_policy_ == OverflowPolicy::kFailOpen) {
+      drop_log(log);
+      return false;
+    }
+    if (fail_closed_hook_) {
+      fail_closed_hook_(log);  // Unrecoverable corruption: halt.
+    }
+    return false;
+  }
+
   CfiQueue queue_;
   CfiFilter filters_[2];
+  OverflowPolicy overflow_policy_ = OverflowPolicy::kBackPressure;
+  FaultInjector* injector_ = nullptr;
+  const sim::Cycle* now_ = nullptr;
+  std::function<void(const CommitLog&)> fail_closed_hook_;
+  std::uint64_t force_full_remaining_ = 0;
   std::uint64_t full_stalls_ = 0;
   std::uint64_t dual_cf_stalls_ = 0;
+  std::uint64_t dropped_logs_ = 0;
+  std::uint64_t dropped_returns_ = 0;
+  std::uint64_t overflow_stall_cycles_ = 0;
   std::size_t max_drained_ = 0;
 };
 

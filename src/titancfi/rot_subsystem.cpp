@@ -67,6 +67,11 @@ ibex::IbexStep RotSubsystem::step() {
 
 void RotSubsystem::run_until(sim::Cycle target) {
   while (core_->cycle() < target && !core_->halted()) {
+    if (core_->cycle() < stall_until_) {
+      // Injected stall window: the clock ticks, the pipeline is frozen.
+      core_->advance_clock(std::min(target, stall_until_) - core_->cycle());
+      continue;
+    }
     core_->set_irq_line(plic_.irq_asserted());
     if (core_->sleeping() && !plic_.irq_asserted()) {
       core_->advance_clock(target - core_->cycle());

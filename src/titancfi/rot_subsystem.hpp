@@ -54,6 +54,16 @@ class RotSubsystem {
   /// Run until the Ibex clock reaches `target` (fast-forwards sleep time).
   void run_until(sim::Cycle target);
 
+  /// Fault seam: freeze the Ibex pipeline for `width` cycles starting at the
+  /// current Ibex clock (the clock still advances; no instruction executes).
+  /// Anchored to the — engine-invariant — Ibex clock at injection time, so
+  /// both co-simulation engines observe the identical stall window.
+  void inject_stall(sim::Cycle width) {
+    stall_until_ = core_->cycle() + width;
+    stalled_cycles_ += width;
+  }
+  [[nodiscard]] std::uint64_t stalled_cycles() const { return stalled_cycles_; }
+
   [[nodiscard]] ibex::IbexCore& core() { return *core_; }
   [[nodiscard]] soc::Plic& plic() { return plic_; }
   [[nodiscard]] soc::Crossbar& fabric() { return tlul_; }
@@ -82,6 +92,8 @@ class RotSubsystem {
   soc::Crossbar tlul_;
   std::unique_ptr<soc::HmacMmio> hmac_;
   std::unique_ptr<ibex::IbexCore> core_;
+  sim::Cycle stall_until_ = 0;
+  std::uint64_t stalled_cycles_ = 0;
 };
 
 }  // namespace titan::cfi

@@ -1,5 +1,6 @@
 #include "titancfi/soc_top.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace titan::cfi {
@@ -24,6 +25,22 @@ SocTop::SocTop(const SocConfig& config, const rv::Image& host_program,
   if (fw_batched && fw_mac != want_mac) {
     throw std::invalid_argument(
         "SocTop: mac_batches and firmware batch_mac disagree");
+  }
+  // Degradation protocols are contracts too: a watchdog writer against
+  // firmware that never zeroes BATCH_COUNT would re-run the policy over a
+  // stale batch on every retried doorbell (corrupting the shadow stack),
+  // and a mac_rerequest mismatch turns every retransmission request into a
+  // violation (or vice versa).
+  if (firmware.marks.contains("retry_handshake") !=
+      (config.doorbell_timeout > 0)) {
+    throw std::invalid_argument(
+        "SocTop: doorbell_timeout and firmware retry_handshake disagree "
+        "(the watchdog retry protocol needs the idempotent BATCH_COUNT "
+        "handshake on both sides)");
+  }
+  if (firmware.marks.contains("mac_rerequest") != config.mac_rerequest) {
+    throw std::invalid_argument(
+        "SocTop: mac_rerequest and firmware mac_rerequest disagree");
   }
   host_memory_.load(host_program.base, host_program.bytes);
 
@@ -50,14 +67,39 @@ SocTop::SocTop(const SocConfig& config, const rv::Image& host_program,
   writer_config.mac_key_sel = kBatchMacKeySlot;
   writer_config.drain_wait = config.drain_wait;
   writer_config.drain_timeout = config.drain_timeout;
-  log_writer_ = std::make_unique<LogWriter>(
-      queue_controller_, axi_, mailbox_,
-      [this](const CommitLog& log) {
-        fault_log_ = log;
-        fault_seen_ = true;
-        host_core_->raise_cfi_fault();
-      },
-      writer_config);
+  writer_config.doorbell_timeout = config.doorbell_timeout;
+  writer_config.doorbell_max_retries = config.doorbell_max_retries;
+  writer_config.mac_rerequest = config.mac_rerequest;
+  writer_config.mac_max_retries = config.mac_max_retries;
+  const auto fail_closed = [this](const CommitLog& log) {
+    fault_log_ = log;
+    fault_seen_ = true;
+    host_core_->raise_cfi_fault();
+  };
+  log_writer_ = std::make_unique<LogWriter>(queue_controller_, axi_, mailbox_,
+                                            fail_closed, writer_config);
+  queue_controller_.set_overflow_policy(config.overflow_policy);
+  queue_controller_.set_fail_closed_hook(fail_closed);
+
+  if (!config.faults.empty()) {
+    injector_ = std::make_unique<FaultInjector>(config.faults);
+    queue_controller_.set_fault_injector(injector_.get(), &host_now_);
+    log_writer_->set_fault_injector(injector_.get());
+    // The mailbox seam covers both doorbell-transit sites: a dropped ring
+    // never reaches the flag/IRQ; a delivered ring may open a RoT stall
+    // window (the Ibex clock is engine-invariant, so anchoring the window
+    // there keeps the engines bit-exact).
+    mailbox_.set_doorbell_filter([this] {
+      if (injector_->fire(sim::FaultSite::kDoorbellDrop, host_now_)) {
+        return false;
+      }
+      if (const auto width =
+              injector_->fire(sim::FaultSite::kRotStall, host_now_)) {
+        rot_->inject_stall(std::max<sim::Cycle>(*width, 1));
+      }
+      return true;
+    });
+  }
 }
 
 namespace {
@@ -76,6 +118,7 @@ SocRunResult SocTop::run() {
 }
 
 void SocTop::step_cycle(sim::Cycle& cycle) {
+  host_now_ = cycle;
   const auto candidates = host_core_->commit_candidates();
   const unsigned allowed = queue_controller_.evaluate(candidates);
   host_core_->retire(allowed);
@@ -95,6 +138,7 @@ void SocTop::drain_pending(sim::Cycle& cycle) {
     if (cycle >= drain_guard) {
       throw std::runtime_error("SocTop: drain did not converge");
     }
+    host_now_ = cycle;
     log_writer_->tick(cycle);
     rot_->run_until(cycle + kRotInitBudget);
     ++cycle;
@@ -173,6 +217,19 @@ SocRunResult SocTop::collect_result() const {
   result.max_batch = queue_controller_.max_drained();
   result.mean_queue_occupancy =
       queue_controller_.queue().stats().mean_occupancy();
+  // Resilience block: injector pairing + the counters each degradation
+  // mechanism owns.  All-zero (and cheap) when no faults were configured.
+  if (injector_ != nullptr) {
+    result.resilience = injector_->stats();
+  }
+  result.resilience.doorbell_retries = log_writer_->doorbell_retries();
+  result.resilience.mac_retries = log_writer_->mac_retries();
+  result.resilience.spurious_completions = log_writer_->spurious_completions();
+  result.resilience.dropped_logs = queue_controller_.dropped_logs();
+  result.resilience.false_negatives = queue_controller_.dropped_returns();
+  result.resilience.degraded_cycles = log_writer_->degraded_cycles() +
+                                      queue_controller_.overflow_stall_cycles() +
+                                      rot_->stalled_cycles();
   return result;
 }
 

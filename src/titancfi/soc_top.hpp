@@ -17,10 +17,12 @@
 
 #include "cva6/core.hpp"
 #include "rv/assembler.hpp"
+#include "sim/fault.hpp"
 #include "sim/memory.hpp"
 #include "soc/bus.hpp"
 #include "soc/mailbox.hpp"
 #include "soc/pmp.hpp"
+#include "titancfi/fault_injector.hpp"
 #include "titancfi/log_writer.hpp"
 #include "titancfi/queue_controller.hpp"
 #include "titancfi/rot_subsystem.hpp"
@@ -66,6 +68,20 @@ struct SocConfig {
   /// Scheduler used by run().  Purely an execution strategy: results are
   /// bit-identical either way (enforced by tests/engine_equivalence_test).
   Engine engine = Engine::kEventDriven;
+  /// Deterministic fault schedule (empty == fault-free, zero overhead).
+  /// Ordinal-indexed triggers keep both engines bit-exact under any plan.
+  sim::FaultPlan faults;
+  /// Response when a commit log cannot enter the CFI Queue (see
+  /// cfi::OverflowPolicy; kBackPressure is the paper's lossless stall).
+  OverflowPolicy overflow_policy = OverflowPolicy::kBackPressure;
+  /// Doorbell watchdog for the Log Writer (0 == wait forever, the paper's
+  /// behaviour; > 0 needs firmware built with retry_handshake).
+  sim::Cycle doorbell_timeout = 0;
+  unsigned doorbell_max_retries = 3;
+  /// RoT answers MAC mismatches with a retransmission request instead of a
+  /// violation (needs firmware built with mac_rerequest).
+  bool mac_rerequest = false;
+  unsigned mac_max_retries = 3;
 };
 
 struct SocRunResult {
@@ -83,6 +99,8 @@ struct SocRunResult {
   double mean_queue_occupancy = 0.0;
   /// The log that triggered the violation (valid when cfi_fault).
   CommitLog fault_log{};
+  /// Fault-injection outcome (all-zero on fault-free runs).
+  sim::ResilienceStats resilience{};
 };
 
 class SocTop {
@@ -133,6 +151,10 @@ class SocTop {
   std::unique_ptr<cva6::Cva6Core> host_core_;
   std::unique_ptr<RotSubsystem> rot_;
   std::unique_ptr<LogWriter> log_writer_;
+  std::unique_ptr<FaultInjector> injector_;
+  /// Host cycle the components are currently stepping (fault timestamping;
+  /// only advanced in per-cycle windows, where both engines agree on it).
+  sim::Cycle host_now_ = 0;
   CommitLog fault_log_{};
   bool fault_seen_ = false;
   soc::Pmp pmp_;

@@ -79,6 +79,10 @@ void expect_equivalent(const api::Scenario& scenario) {
   EXPECT_EQ(lock.result.max_batch, event.result.max_batch);
   EXPECT_EQ(lock.result.mean_queue_occupancy, event.result.mean_queue_occupancy);
   EXPECT_EQ(lock.result.fault_log, event.result.fault_log);
+  // The whole resilience block: per-site injection/detection counts, the
+  // detection-latency histogram, and every degradation counter.  Faults are
+  // ordinal-indexed, so a plan must perturb both engines identically.
+  EXPECT_EQ(lock.result.resilience, event.result.resilience);
 
   // The authenticated log stream, byte for byte and in pop order.
   EXPECT_EQ(lock.stream, event.stream);
@@ -202,6 +206,37 @@ TEST(EngineEquivalenceFuzz, RandomScenarioGrid) {
         }
       }
     }
+    expect_equivalent(builder.build());
+  }
+}
+
+// ---- Randomized fault-plan fuzz ---------------------------------------------
+//
+// Seeded random fault plans over a degradation-capable scenario: whatever a
+// plan does to the pipeline — drops, duplicates, stalls, corrupt MACs,
+// forced overflows under any policy — both engines must tell the identical
+// story, down to the detection-latency histogram.
+
+TEST(EngineEquivalenceFuzz, RandomFaultPlans) {
+  sim::Rng rng(0x6661'756C'7421ull);
+  constexpr api::OverflowPolicy kPolicies[] = {
+      api::OverflowPolicy::kBackPressure, api::OverflowPolicy::kFailClosed,
+      api::OverflowPolicy::kFailOpen};
+  for (unsigned i = 0; i < 10; ++i) {
+    sim::FaultPlan plan = sim::FaultPlan::random(rng.next(), 1 + i % 4);
+    api::ScenarioBuilder builder;
+    builder.name("fault_fuzz" + std::to_string(i))
+        .workload(i % 2 == 0 ? api::Workload::fib(7)
+                             : api::Workload::call_chain(40 + i))
+        .queue_depth(2 + rng.next() % 15)
+        .drain_burst(4)
+        .batch_mac(true)
+        .mac_rerequest(rng.next() % 2 == 0)
+        // Always armed: random plans may contain doorbell_drop, which the
+        // builder (correctly) refuses without the watchdog.
+        .doorbell_retry(1024 + rng.next() % 2048, 2 + rng.next() % 4)
+        .overflow_policy(kPolicies[rng.next() % 3])
+        .faults(plan);
     expect_equivalent(builder.build());
   }
 }

@@ -3,11 +3,16 @@
 //    the same exit code as a bare (no-CFI) run — no false positives;
 //  * any random program with an injected return-address overwrite must be
 //    caught at a return — no false negatives;
+//  * both properties survive randomized benign fault plans (drops,
+//    duplicates, stalls, corrupt MACs, forced overflows) when every
+//    degradation mechanism is armed — on both co-simulation engines;
 // across random call graphs, both firmware variants, and queue depths.
 #include <gtest/gtest.h>
 
+#include "api/api.hpp"
 #include "cva6/core.hpp"
 #include "firmware/builder.hpp"
+#include "sim/fault.hpp"
 #include "titancfi/soc_top.hpp"
 #include "workloads/programs.hpp"
 
@@ -74,6 +79,88 @@ TEST_P(CosimFuzzTest, InjectedRopIsAlwaysCaught) {
   EXPECT_TRUE(result.cfi_fault) << "seed " << fuzz.seed;
   EXPECT_EQ(result.fault_log.classify(), rv::CfKind::kReturn);
   EXPECT_EQ(result.exit_code, 0xCF1u);  // trapped, not the attacker's 66
+}
+
+// ---- Fault-plan fuzz --------------------------------------------------------
+//
+// A benign-ized random fault plan: every site may appear, but parameters are
+// clamped so that an armed degradation stack can always recover.  At most one
+// spec per site (stacked MAC corruptions on consecutive ordinals could
+// legitimately exhaust the re-request budget, which is a halt, not a recovery)
+// and mem-flip syndromes are forced even (single-bit, SECDED-correctable).
+sim::FaultPlan benign_plan(std::uint64_t seed) {
+  const sim::FaultPlan raw = sim::FaultPlan::random(seed, 6);
+  sim::FaultPlan plan;
+  bool seen[sim::kFaultSiteCount] = {};
+  for (sim::FaultSpec spec : raw.faults) {
+    const auto site = static_cast<std::size_t>(spec.site);
+    if (seen[site]) {
+      continue;
+    }
+    seen[site] = true;
+    if (spec.site == sim::FaultSite::kMemBitFlip) {
+      spec.param &= ~std::uint64_t{1};
+    }
+    plan.faults.push_back(spec);
+  }
+  return plan;
+}
+
+api::Scenario faulted_scenario(const FuzzCase& fuzz, bool inject_rop) {
+  return api::ScenarioBuilder()
+      .name("cosim_fault_fuzz")
+      .workload(api::Workload::random_callgraph(fuzz.seed, 10, inject_rop))
+      .firmware(fuzz.variant == fw::FwVariant::kIrq ? api::Firmware::kIrq
+                                                    : api::Firmware::kPolling)
+      .queue_depth(fuzz.queue_depth)
+      .drain_burst(4)
+      .batch_mac(true)
+      .mac_rerequest(true)
+      // Watchdog window above the ~600-cycle healthy round trip, so retries
+      // happen only for genuinely dropped doorbells.
+      .doorbell_retry(2048, 4)
+      .overflow_policy(api::OverflowPolicy::kBackPressure)
+      .faults(benign_plan(fuzz.seed * 0x9E37'79B9'7F4A'7C15ull + 1))
+      .build();
+}
+
+TEST_P(CosimFuzzTest, BenignFaultsNeverCauseFalsePositives) {
+  const FuzzCase fuzz = GetParam();
+  const rv::Image program =
+      workloads::random_callgraph(fuzz.seed, 10, /*inject_rop=*/false);
+  const api::Scenario scenario = faulted_scenario(fuzz, /*inject_rop=*/false);
+  const api::RunReport lock =
+      api::run_scenario(scenario.with_engine(api::Engine::kLockStep));
+  const api::RunReport event =
+      api::run_scenario(scenario.with_engine(api::Engine::kEventDriven));
+  // Degradation must be transparent: same exit code as a bare run, zero
+  // violations, no CFI fault — the plan is absorbed, not surfaced.
+  EXPECT_FALSE(lock.cfi_fault) << scenario.serialize();
+  EXPECT_EQ(lock.violations, 0u);
+  EXPECT_EQ(lock.exit_code, bare_exit(program));
+  // Whatever the plan actually hit must have been detected or harmless:
+  // a benign plan never produces false negatives.
+  EXPECT_EQ(lock.resilience.false_negatives, 0u);
+  // And both engines must agree on the whole report, resilience included.
+  EXPECT_EQ(lock, event) << scenario.serialize();
+}
+
+TEST_P(CosimFuzzTest, RopIsStillCaughtUnderBenignFaults) {
+  const FuzzCase fuzz = GetParam();
+  const rv::Image program =
+      workloads::random_callgraph(fuzz.seed, 10, /*inject_rop=*/true);
+  ASSERT_EQ(bare_exit(program), 66u) << "seed " << fuzz.seed;
+  const api::Scenario scenario = faulted_scenario(fuzz, /*inject_rop=*/true);
+  const api::RunReport lock =
+      api::run_scenario(scenario.with_engine(api::Engine::kLockStep));
+  const api::RunReport event =
+      api::run_scenario(scenario.with_engine(api::Engine::kEventDriven));
+  // Dropped doorbells, duplicate pulses, RoT stalls, corrupt MACs, forced
+  // back-pressure bursts: none of it may mask the hijacked return.
+  EXPECT_TRUE(lock.cfi_fault) << scenario.serialize();
+  EXPECT_EQ(lock.fault_log.classify(), rv::CfKind::kReturn);
+  EXPECT_EQ(lock.exit_code, 0xCF1u);
+  EXPECT_EQ(lock, event) << scenario.serialize();
 }
 
 std::vector<FuzzCase> fuzz_cases() {

@@ -1,6 +1,6 @@
 // bench_shard_driver — fork-per-shard sweep execution in one command.
 //
-//   bench_shard_driver --shards=K [--out=MERGED.json]
+//   bench_shard_driver --shards=K [--out=MERGED.json] [--timeout=SECONDS]
 //                      [--check-against=SERIAL.json] [--keep-partials]
 //                      -- ./build/bench_table2 [bench args...]
 //
@@ -13,13 +13,25 @@
 // counterpart of the CI shard matrix: process-level parallelism (memory
 // isolation, independent address spaces) without a workflow engine.
 //
+// Children are supervised, not just awaited: each child's stderr is captured
+// through a pipe (drained while the child runs, so a chatty bench cannot
+// deadlock on a full pipe), a crash or non-zero exit is retried once (shard
+// rows are pure functions of the grid index, so a retry is always safe), and
+// `--timeout` bounds each attempt's wall clock (SIGKILL on expiry, which also
+// counts as a failed attempt).  A shard that fails both attempts fails the
+// whole run loudly — shard index, exit detail, and the captured stderr of
+// both attempts.
+//
 // Partial files are written next to --out (or a bench_shard_driver.* prefix
 // in the working directory) and deleted after a successful merge unless
-// --keep-partials is given.  Any child failing (non-zero exit, signal, exec
-// failure) fails the whole run loudly; partials are kept for inspection.
+// --keep-partials is given.  On failure, partials are kept for inspection.
+#include <fcntl.h>
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -32,30 +44,121 @@
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 int usage() {
   std::cerr << "usage: bench_shard_driver --shards=K [--out=PATH] "
-               "[--check-against=PATH] [--keep-partials] -- "
-               "BENCH_BINARY [bench args...]\n";
+               "[--timeout=SECONDS] [--check-against=PATH] [--keep-partials] "
+               "-- BENCH_BINARY [bench args...]\n";
   return 2;
 }
 
-/// Spawn `argv` (null-terminated) as a child process; returns the pid or -1.
-pid_t spawn(std::vector<std::string> args) {
+/// One spawn attempt of one shard child, with its stderr captured.
+struct Attempt {
+  pid_t pid = -1;
+  int stderr_fd = -1;       ///< Read end of the child's stderr pipe.
+  std::string stderr_text;  ///< Everything drained from the pipe so far.
+  Clock::time_point started;
+  bool running = false;
+  bool timed_out = false;
+  int wait_status = 0;
+};
+
+/// Spawn `args` with stderr redirected into a non-blocking pipe the parent
+/// drains.  Returns false when fork/pipe fails.
+bool spawn(const std::vector<std::string>& args, Attempt& attempt) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    std::perror("bench_shard_driver: pipe");
+    return false;
+  }
   std::vector<char*> argv;
-  argv.reserve(args.size() + 1);
-  for (std::string& arg : args) {
+  std::vector<std::string> writable = args;
+  argv.reserve(writable.size() + 1);
+  for (std::string& arg : writable) {
     argv.push_back(arg.data());
   }
   argv.push_back(nullptr);
   const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("bench_shard_driver: fork");
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return false;
+  }
   if (pid == 0) {
+    ::close(fds[0]);
+    ::dup2(fds[1], STDERR_FILENO);
+    ::close(fds[1]);
     ::execv(argv[0], argv.data());
     // Only reached when exec failed (bad path, not executable).
     std::perror("bench_shard_driver: execv");
     ::_exit(127);
   }
-  return pid;
+  ::close(fds[1]);
+  ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+  attempt.pid = pid;
+  attempt.stderr_fd = fds[0];
+  attempt.stderr_text.clear();
+  attempt.started = Clock::now();
+  attempt.running = true;
+  attempt.timed_out = false;
+  return true;
 }
+
+/// Pull whatever the child has written so far (never blocks).  Draining
+/// while the child runs is what keeps a stderr-heavy bench from wedging on
+/// a full 64K pipe.
+void drain_stderr(Attempt& attempt) {
+  if (attempt.stderr_fd < 0) {
+    return;
+  }
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::read(attempt.stderr_fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      attempt.stderr_text.append(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {  // Writer side closed: child exited (or exec'd away fds).
+      ::close(attempt.stderr_fd);
+      attempt.stderr_fd = -1;
+    }
+    return;  // n < 0: EAGAIN (nothing buffered right now) or closed above.
+  }
+}
+
+bool attempt_succeeded(const Attempt& attempt) {
+  return !attempt.timed_out && WIFEXITED(attempt.wait_status) &&
+         WEXITSTATUS(attempt.wait_status) == 0;
+}
+
+std::string describe_failure(const Attempt& attempt) {
+  std::ostringstream os;
+  if (attempt.timed_out) {
+    os << "timed out (SIGKILL after --timeout)";
+  } else if (WIFEXITED(attempt.wait_status)) {
+    os << "exit code " << WEXITSTATUS(attempt.wait_status);
+  } else if (WIFSIGNALED(attempt.wait_status)) {
+    os << "signal " << WTERMSIG(attempt.wait_status);
+  } else {
+    os << "status " << attempt.wait_status;
+  }
+  return os.str();
+}
+
+/// Supervision record for one shard: its argv and up to two attempts.
+struct Shard {
+  std::vector<std::string> args;
+  std::vector<Attempt> attempts;
+  bool ok = false;
+  bool gave_up = false;
+
+  [[nodiscard]] Attempt* live() {
+    return attempts.empty() || !attempts.back().running ? nullptr
+                                                        : &attempts.back();
+  }
+};
 
 }  // namespace
 
@@ -64,6 +167,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string check_path;
   bool keep_partials = false;
+  long timeout_seconds = 0;  // 0 == unbounded.
   std::vector<std::string> bench_args;
   int i = 1;
   for (; i < argc; ++i) {
@@ -79,6 +183,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       shards = static_cast<unsigned>(value);
+    } else if (std::strncmp(arg, "--timeout=", 10) == 0) {
+      timeout_seconds = std::strtol(arg + 10, nullptr, 10);
+      if (timeout_seconds < 1) {
+        std::cerr << "bench_shard_driver: --timeout must be >= 1 second\n";
+        return 2;
+      }
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       out_path = arg + 6;
     } else if (std::strncmp(arg, "--check-against=", 16) == 0) {
@@ -100,44 +210,94 @@ int main(int argc, char** argv) {
   const std::string prefix =
       out_path.empty() ? std::string("bench_shard_driver") : out_path;
   std::vector<std::string> partial_paths;
-  std::vector<pid_t> pids;
+  std::vector<Shard> table(shards);
   for (unsigned shard = 0; shard < shards; ++shard) {
     std::ostringstream partial;
     partial << prefix << ".shard" << shard << ".part.json";
     partial_paths.push_back(partial.str());
 
-    std::vector<std::string> child_args = bench_args;
-    child_args.push_back("--shard=" + std::to_string(shard) + "/" +
-                         std::to_string(shards));
-    child_args.push_back("--shard_json=" + partial_paths.back());
-    const pid_t pid = spawn(std::move(child_args));
-    if (pid < 0) {
-      std::perror("bench_shard_driver: fork");
+    table[shard].args = bench_args;
+    table[shard].args.push_back("--shard=" + std::to_string(shard) + "/" +
+                                std::to_string(shards));
+    table[shard].args.push_back("--shard_json=" + partial_paths.back());
+    table[shard].attempts.emplace_back();
+    if (!spawn(table[shard].args, table[shard].attempts.back())) {
       return 1;
     }
-    pids.push_back(pid);
+  }
+
+  // Supervision loop: drain stderr pipes, reap with WNOHANG, enforce the
+  // per-attempt deadline, and respawn each failed shard exactly once.
+  for (;;) {
+    bool any_running = false;
+    for (unsigned shard = 0; shard < shards; ++shard) {
+      Attempt* attempt = table[shard].live();
+      if (attempt == nullptr) {
+        continue;
+      }
+      any_running = true;
+      drain_stderr(*attempt);
+      if (timeout_seconds > 0 && !attempt->timed_out &&
+          Clock::now() - attempt->started >=
+              std::chrono::seconds(timeout_seconds)) {
+        attempt->timed_out = true;
+        ::kill(attempt->pid, SIGKILL);  // Reaped by the waitpid below.
+      }
+      const pid_t reaped =
+          ::waitpid(attempt->pid, &attempt->wait_status, WNOHANG);
+      if (reaped != attempt->pid) {
+        continue;  // Still running (or EINTR); poll again next round.
+      }
+      attempt->running = false;
+      drain_stderr(*attempt);
+      if (attempt->stderr_fd >= 0) {
+        ::close(attempt->stderr_fd);
+        attempt->stderr_fd = -1;
+      }
+      if (attempt_succeeded(*attempt)) {
+        table[shard].ok = true;
+        // A bench's normal stderr chatter (shard summary line) passes
+        // through so the driver is transparent on the happy path.
+        std::cerr << attempt->stderr_text;
+        continue;
+      }
+      if (table[shard].attempts.size() == 1) {
+        std::cerr << "bench_shard_driver: shard " << shard << "/" << shards
+                  << " attempt 1 failed (" << describe_failure(*attempt)
+                  << "); retrying once\n";
+        table[shard].attempts.emplace_back();
+        if (!spawn(table[shard].args, table[shard].attempts.back())) {
+          table[shard].gave_up = true;
+        }
+      } else {
+        table[shard].gave_up = true;
+      }
+    }
+    if (!any_running) {
+      break;
+    }
+    ::usleep(10'000);  // 10ms poll: cheap next to a bench shard's runtime.
   }
 
   bool children_ok = true;
   for (unsigned shard = 0; shard < shards; ++shard) {
-    int status = 0;
-    if (::waitpid(pids[shard], &status, 0) < 0) {
-      std::perror("bench_shard_driver: waitpid");
-      children_ok = false;
+    if (table[shard].ok) {
       continue;
     }
-    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-      std::cerr << "bench_shard_driver: shard " << shard << "/" << shards
-                << " failed (";
-      if (WIFEXITED(status)) {
-        std::cerr << "exit code " << WEXITSTATUS(status);
-      } else if (WIFSIGNALED(status)) {
-        std::cerr << "signal " << WTERMSIG(status);
-      } else {
-        std::cerr << "status " << status;
+    children_ok = false;
+    std::cerr << "bench_shard_driver: shard " << shard << "/" << shards
+              << " FAILED after " << table[shard].attempts.size()
+              << " attempt(s):\n";
+    for (std::size_t n = 0; n < table[shard].attempts.size(); ++n) {
+      const Attempt& attempt = table[shard].attempts[n];
+      std::cerr << "  attempt " << (n + 1) << ": "
+                << describe_failure(attempt) << "\n";
+      if (!attempt.stderr_text.empty()) {
+        std::cerr << "  --- captured stderr ---\n"
+                  << attempt.stderr_text
+                  << (attempt.stderr_text.back() == '\n' ? "" : "\n")
+                  << "  -----------------------\n";
       }
-      std::cerr << ")\n";
-      children_ok = false;
     }
   }
   if (!children_ok) {

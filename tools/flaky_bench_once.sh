@@ -1,0 +1,24 @@
+#!/bin/sh
+# Deterministic crash-once wrapper for bench_shard_driver's retry test.
+#
+#   FLAKY_MARKER_DIR=DIR flaky_bench_once.sh REAL_BENCH [bench args...]
+#
+# The first invocation that owns shard 0 (tracked by a marker file in
+# $FLAKY_MARKER_DIR) aborts with exit 9 before producing any output —
+# simulating a bench process that dies mid-shard.  Every other invocation
+# (other shards, and shard 0's retry) execs the real bench unchanged, so a
+# driver that retries once recovers a byte-identical merged report.
+set -u
+marker="${FLAKY_MARKER_DIR:?flaky_bench_once.sh: set FLAKY_MARKER_DIR}/crashed_once"
+for arg in "$@"; do
+  case "$arg" in
+    --shard=0/*)
+      if [ ! -e "$marker" ]; then
+        : > "$marker"
+        echo "flaky_bench_once: injected crash on shard 0 (first attempt)" >&2
+        exit 9
+      fi
+      ;;
+  esac
+done
+exec "$@"

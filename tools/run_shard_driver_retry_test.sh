@@ -1,0 +1,39 @@
+#!/bin/sh
+# ctest harness for bench_shard_driver's crash-retry path (shard_driver_retry
+# in CMakeLists.txt).
+#
+#   run_shard_driver_retry_test.sh DRIVER FLAKY_WRAPPER REAL_BENCH SCRATCH_DIR
+#
+# Runs a 2-shard sweep where shard 0's first attempt crashes (exit 9, before
+# writing its partial).  The test passes — prints RETRY_TEST_PASS, which the
+# ctest PASS_REGULAR_EXPRESSION keys on — only when the driver (a) reported
+# the failed attempt and retried it, and (b) still exited 0 with a merged
+# document, i.e. the retry actually recovered the run.
+set -u
+driver="$1"
+wrapper="$2"
+bench="$3"
+scratch="$4"
+
+rm -rf "$scratch"
+mkdir -p "$scratch"
+
+out=$(FLAKY_MARKER_DIR="$scratch" "$driver" --shards=2 --timeout=300 \
+      --out="$scratch/merged.json" -- "$wrapper" "$bench" 2>&1)
+status=$?
+echo "$out"
+
+case "$out" in
+  *"retrying once"*) retried=yes ;;
+  *) retried=no ;;
+esac
+
+if [ "$status" -ne 0 ]; then
+  echo "RETRY_TEST_FAIL: driver exited $status"
+elif [ "$retried" != yes ]; then
+  echo "RETRY_TEST_FAIL: no retry was reported (injected crash missing?)"
+elif [ ! -s "$scratch/merged.json" ]; then
+  echo "RETRY_TEST_FAIL: merged document missing or empty"
+else
+  echo "RETRY_TEST_PASS"
+fi
