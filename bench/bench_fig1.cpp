@@ -9,6 +9,8 @@
 // surface — each point is an independent co-simulation:
 //   bench_fig1 [--threads=N] [--json=PATH]
 //   bench_fig1 --shard=i/K --shard_json=PATH [--threads=N]
+//   bench_fig1 --write_checkpoints=PATH   # capture warm-up bundle, exit
+//   bench_fig1 --warm_start=PATH          # fork every point from the bundle
 // A --shard run co-simulates only the ShardPlanner-owned slice of the grid
 // and writes a partial report; tools/bench_merge (or the one-command
 // tools/bench_shard_driver) reconstructs the --json output byte-for-byte
@@ -41,6 +43,15 @@ int main(int argc, char** argv) {
   // against event-driven shard partials as an equivalence gate.
   if (cli.engine == "lockstep") {
     grid = grid.with_engine(titan::api::Engine::kLockStep);
+  }
+  // --write_checkpoints captures the grid's warm-up prefixes and exits;
+  // --warm_start forks every point from a previously written bundle.  Either
+  // way the report identity is unchanged (warm start is an execution
+  // strategy), so warm shard partials merge into cold serial documents.
+  const int checkpoint_rc =
+      titan::api::handle_checkpoint_cli(grid, cli, "bench_fig1");
+  if (checkpoint_rc >= 0) {
+    return checkpoint_rc;
   }
   const auto soc = grid[0].make_soc();
   const titan::rv::Image firmware = grid[0].firmware_image();

@@ -30,6 +30,13 @@
 //   bench_micro --pr5_only       # PR-5 report only
 //   bench_micro --pr5_json=PATH  # PR-5 report destination (BENCH_PR5.json)
 //
+// PR-7 report (BENCH_PR7.json): cold vs warm-start sweep wall-clock over the
+// fig1_liveness and fault_matrix registry grids — each point forked from a
+// midpoint copy-on-write checkpoint, bit-exactness asserted before any
+// timing claim, capture cost and break-even reuse count reported:
+//   bench_micro --pr7_only       # PR-7 report only
+//   bench_micro --pr7_json=PATH  # PR-7 report destination (BENCH_PR7.json)
+//
 // Process-level sharding of the typed api::OverheadGrid::micro_sweep() grid:
 //   bench_micro --sweep_json=PATH            # canonical deterministic report
 //   bench_micro --shard=i/K --shard_json=PATH  # partial report for shard i
@@ -796,17 +803,173 @@ bool run_pr5_report(const std::string& path) {
   return all_exact;
 }
 
+// ---- PR-7 report: checkpoint/fork warm-start sweeps -------------------------
+
+/// Cold vs warm-start wall clock over one registry grid.  Checkpoints are
+/// taken at each point's midpoint cycle (cold cycles / 2), so the warm run
+/// skips about half the simulated work — the honest upper bound on the
+/// speedup is 1 / (1 - skipped_fraction), and the report records both.
+struct Pr7GridReport {
+  std::size_t points = 0;
+  double capture_seconds = 0;  ///< One-time cost of building the bundle.
+  double cold_seconds = 0;     ///< Best-of-2 full-grid sweep, from scratch.
+  double warm_seconds = 0;     ///< Best-of-2 full-grid sweep, forked.
+  double skipped_fraction = 0; ///< Simulated cycles the fork skips.
+  bool bit_exact = true;       ///< Warm RunReport == cold RunReport, per point.
+};
+
+Pr7GridReport pr7_measure_grid(const titan::api::ScenarioSet& grid) {
+  using titan::api::RunReport;
+  using titan::api::Scenario;
+  Pr7GridReport r;
+  r.points = grid.size();
+
+  // Cold reference runs (also the warmup pass for the timed sweeps below).
+  std::vector<RunReport> cold_reports;
+  cold_reports.reserve(grid.size());
+  for (const Scenario& scenario : grid) {
+    cold_reports.push_back(titan::api::run_scenario(scenario));
+  }
+
+  // One checkpoint per point at its midpoint cycle; the capture cost is the
+  // one-time investment a sweep amortises across every reuse of the bundle.
+  std::vector<Scenario> warm;
+  warm.reserve(grid.size());
+  std::uint64_t skipped_cycles = 0;
+  std::uint64_t total_cycles = 0;
+  const auto capture_start = Clock::now();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto snapshot =
+        titan::api::capture_checkpoint(grid[i], cold_reports[i].cycles / 2);
+    skipped_cycles += snapshot->cycle;
+    total_cycles += cold_reports[i].cycles;
+    warm.push_back(grid[i].with_warm_start(snapshot));
+  }
+  r.capture_seconds =
+      std::chrono::duration<double>(Clock::now() - capture_start).count();
+  r.skipped_fraction = total_cycles > 0
+                           ? static_cast<double>(skipped_cycles) /
+                                 static_cast<double>(total_cycles)
+                           : 0.0;
+
+  // Bit-exactness before any timing claim: every forked report must equal
+  // its cold reference field-for-field.
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    r.bit_exact = r.bit_exact &&
+                  titan::api::run_scenario(warm[i]) == cold_reports[i];
+  }
+
+  // Interleaved best-of-2 passes, cold and warm alternating, so transient
+  // host noise cannot systematically favour either mode.
+  const auto sweep_seconds = [](const std::vector<Scenario>& points) {
+    const auto start = Clock::now();
+    for (const Scenario& scenario : points) {
+      benchmark::DoNotOptimize(titan::api::run_scenario(scenario));
+    }
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+  const std::vector<Scenario> cold(grid.begin(), grid.end());
+  r.cold_seconds = std::numeric_limits<double>::infinity();
+  r.warm_seconds = std::numeric_limits<double>::infinity();
+  for (int pass = 0; pass < 2; ++pass) {
+    r.cold_seconds = std::min(r.cold_seconds, sweep_seconds(cold));
+    r.warm_seconds = std::min(r.warm_seconds, sweep_seconds(warm));
+  }
+  return r;
+}
+
+void emit_pr7_grid(titan::sim::JsonWriter& json, std::string_view key,
+                   const Pr7GridReport& r) {
+  const double speedup =
+      r.warm_seconds > 0 ? r.cold_seconds / r.warm_seconds : 0.0;
+  const double saved = r.cold_seconds - r.warm_seconds;
+  json.begin_object(key)
+      .field("points", static_cast<std::uint64_t>(r.points))
+      .field("capture_seconds", r.capture_seconds)
+      .field("cold_seconds", r.cold_seconds)
+      .field("warm_seconds", r.warm_seconds)
+      .field("speedup", speedup)
+      .field("skipped_cycle_fraction", r.skipped_fraction)
+      // How many warm sweeps repay the one-time capture cost.  A sweep that
+      // reuses the bundle fewer times than this is net slower — the report
+      // says so instead of hiding the capture behind the timed region.
+      .field("break_even_reuses",
+             saved > 0 ? r.capture_seconds / saved : 0.0)
+      .field("bit_exact", r.bit_exact)
+      .end_object();
+}
+
+bool run_pr7_report(const std::string& path) {
+  const auto& registry = titan::api::ScenarioRegistry::global();
+  // Wall-clock per point on these grids is milliseconds; a loaded or
+  // 1-thread CI host can still jitter short intervals, so the report
+  // records hw_concurrency and withholds the speedup claim when the cold
+  // sweep is too brief to time honestly (same convention as BENCH_PR2).
+  const unsigned hw_concurrency = titan::sim::SweepRunner::hardware_threads();
+
+  std::cerr << "[pr7] fig1_liveness grid: cold vs warm-start sweep...\n";
+  const Pr7GridReport fig1 =
+      pr7_measure_grid(registry.query("fig1_liveness", "fig1"));
+  std::cerr << "[pr7]   " << fig1.cold_seconds / fig1.warm_seconds
+            << "x over " << fig1.points << " points (bit-exact: "
+            << (fig1.bit_exact ? "yes" : "NO") << ")\n";
+  std::cerr << "[pr7] fault_matrix grid: cold vs warm-start sweep...\n";
+  const Pr7GridReport matrix =
+      pr7_measure_grid(registry.query("fault_matrix", "fault_matrix"));
+  std::cerr << "[pr7]   " << matrix.cold_seconds / matrix.warm_seconds
+            << "x over " << matrix.points << " points (bit-exact: "
+            << (matrix.bit_exact ? "yes" : "NO") << ")\n";
+
+  const bool speedup_meaningful =
+      fig1.cold_seconds + matrix.cold_seconds > 0.01;
+  const double best_speedup =
+      std::max(fig1.warm_seconds > 0 ? fig1.cold_seconds / fig1.warm_seconds
+                                     : 0.0,
+               matrix.warm_seconds > 0
+                   ? matrix.cold_seconds / matrix.warm_seconds
+                   : 0.0);
+
+  titan::sim::JsonWriter json;
+  json.begin_object()
+      .field("pr", 7)
+      .field("description",
+             std::string_view{"checkpoint/fork warm start: sweeps resume "
+                              "from copy-on-write mid-run snapshots instead "
+                              "of re-simulating the shared prefix"})
+      .field("hw_concurrency", hw_concurrency)
+      .field("checkpoint_at", std::string_view{"cold cycles / 2, per point"})
+      .field("speedup_meaningful", speedup_meaningful);
+  emit_pr7_grid(json, "fig1_liveness", fig1);
+  emit_pr7_grid(json, "fault_matrix", matrix);
+  json.field("best_speedup", best_speedup).end_object();
+  if (!json.write_file(path)) {
+    std::cerr << "[pr7] error: cannot open '" << path << "' for writing\n";
+    return false;
+  }
+  if (speedup_meaningful) {
+    std::cerr << "[pr7] best sweep speedup: " << best_speedup
+              << "x (checkpoints at the midpoint cycle of each point)\n";
+  } else {
+    std::cerr << "[pr7] sweep speedup: not claimed (grids too brief to time "
+                 "on this host)\n";
+  }
+  std::cerr << "[pr7] wrote " << path << "\n";
+  return fig1.bit_exact && matrix.bit_exact;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_PR1.json";
   std::string pr2_json_path = "BENCH_PR2.json";
   std::string pr5_json_path = "BENCH_PR5.json";
+  std::string pr7_json_path = "BENCH_PR7.json";
   titan::sim::SweepCli sweep_cli;
   sweep_cli.threads = 0;  // 0 = hardware concurrency
   bool pr1_only = false;
   bool pr2_only = false;
   bool pr5_only = false;
+  bool pr7_only = false;
   // Peel off our flags; everything else goes to google-benchmark.
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
@@ -818,6 +981,10 @@ int main(int argc, char** argv) {
       pr2_only = true;
     } else if (arg == "--pr5_only") {
       pr5_only = true;
+    } else if (arg == "--pr7_only") {
+      pr7_only = true;
+    } else if (arg.rfind("--pr7_json=", 0) == 0) {
+      pr7_json_path = arg.substr(std::strlen("--pr7_json="));
     } else if (arg.rfind("--pr1_json=", 0) == 0) {
       json_path = arg.substr(std::strlen("--pr1_json="));
     } else if (arg.rfind("--pr2_json=", 0) == 0) {
@@ -856,15 +1023,15 @@ int main(int argc, char** argv) {
     return 2;
   }
   if ((sweep_cli.shard_given || sweep_cli.json_given) &&
-      (pr1_only || pr2_only || pr5_only)) {
+      (pr1_only || pr2_only || pr5_only || pr7_only)) {
     std::cerr << "bench_micro: --shard/--sweep_json run only the sweep grid "
                  "and cannot be combined with --pr1_only/--pr2_only/"
-                 "--pr5_only\n";
+                 "--pr5_only/--pr7_only\n";
     return 2;
   }
-  if (pr1_only + pr2_only + pr5_only > 1) {
+  if (pr1_only + pr2_only + pr5_only + pr7_only > 1) {
     std::cerr << "bench_micro: pick at most one of --pr1_only/--pr2_only/"
-                 "--pr5_only (no flag runs every report)\n";
+                 "--pr5_only/--pr7_only (no flag runs every report)\n";
     return 2;
   }
   if (sweep_cli.shard_given && sweep_cli.json_given) {
@@ -878,7 +1045,7 @@ int main(int argc, char** argv) {
   }
   const unsigned threads = sweep_cli.threads;
   int pass_argc = static_cast<int>(passthrough.size());
-  if (!pr1_only && !pr2_only && !pr5_only) {
+  if (!pr1_only && !pr2_only && !pr5_only && !pr7_only) {
     ::benchmark::Initialize(&pass_argc, passthrough.data());
     if (::benchmark::ReportUnrecognizedArguments(pass_argc,
                                                  passthrough.data())) {
@@ -896,8 +1063,12 @@ int main(int argc, char** argv) {
   if (pr5_only) {
     return run_pr5_report(pr5_json_path) ? 0 : 1;
   }
+  if (pr7_only) {
+    return run_pr7_report(pr7_json_path) ? 0 : 1;
+  }
   const bool pr1_ok = run_pr1_report(json_path);
   const bool pr2_ok = run_pr2_report(pr2_json_path, threads);
   const bool pr5_ok = run_pr5_report(pr5_json_path);
-  return pr1_ok && pr2_ok && pr5_ok ? 0 : 1;
+  const bool pr7_ok = run_pr7_report(pr7_json_path);
+  return pr1_ok && pr2_ok && pr5_ok && pr7_ok ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 // See README.md "Scenario API" for the quickstart walkthrough.
 #pragma once
 
+#include "api/checkpoint.hpp" // IWYU pragma: export
 #include "api/overhead.hpp"   // IWYU pragma: export
 #include "api/registry.hpp"   // IWYU pragma: export
 #include "api/run.hpp"        // IWYU pragma: export

@@ -1,5 +1,7 @@
 #include "api/run.hpp"
 
+#include <array>
+
 namespace titan::api {
 
 void RunReport::emit_json_fields(sim::JsonWriter& json) const {
@@ -61,6 +63,36 @@ RunReport run_scenario(const Scenario& scenario, const RunHooks& hooks) {
   }
   if (hooks.configure) {
     hooks.configure(*soc);
+  }
+  if (const std::shared_ptr<const sim::Snapshot>& snapshot =
+          scenario.warm_start()) {
+    // A checkpoint is only valid for the exact scenario it was captured
+    // from: every config knob, the workload bytes, and the firmware shape
+    // are baked into the frozen state.  The embedded identity string makes
+    // a mismatch fail loudly instead of silently diverging.
+    if (snapshot->scenario != scenario.serialize()) {
+      throw ScenarioError(
+          "run_scenario: warm-start checkpoint was captured for a different "
+          "scenario (" +
+          snapshot->scenario + " vs " + scenario.serialize() + ")");
+    }
+    // Restore AFTER hooks.configure: capture_checkpoint applied the same
+    // hooks before its prefix run, and the checkpointed state (e.g. the
+    // trace-ring geometry) must win over a fresh configure.
+    soc->restore(*snapshot);
+    // Replay the prefix's popped log stream so a warm observer sees the
+    // identical sequence a cold run's observer would.
+    if (hooks.log_capture) {
+      std::array<std::uint64_t, cfi::CommitLog::kBeats> beats{};
+      for (std::size_t word = 0;
+           word + cfi::CommitLog::kBeats <= snapshot->log_words.size();
+           word += cfi::CommitLog::kBeats) {
+        for (std::size_t beat = 0; beat < beats.size(); ++beat) {
+          beats[beat] = snapshot->log_words[word + beat];
+        }
+        hooks.log_capture(cfi::CommitLog::unpack(beats));
+      }
+    }
   }
   const cfi::SocRunResult result = soc->run();
 

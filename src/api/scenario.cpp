@@ -201,6 +201,13 @@ Scenario Scenario::with_engine(Engine engine) const {
   return copy;
 }
 
+Scenario Scenario::with_warm_start(
+    std::shared_ptr<const sim::Snapshot> snapshot) const {
+  Scenario copy = *this;
+  copy.warm_start_ = std::move(snapshot);
+  return copy;
+}
+
 // ---- ScenarioBuilder --------------------------------------------------------
 
 ScenarioBuilder& ScenarioBuilder::name(std::string value) {
@@ -246,6 +253,12 @@ ScenarioBuilder& ScenarioBuilder::drain_wait(unsigned wait, sim::Cycle timeout) 
 
 ScenarioBuilder& ScenarioBuilder::engine(Engine value) {
   engine_ = value;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::warm_start(
+    std::shared_ptr<const sim::Snapshot> snapshot) {
+  warm_start_ = std::move(snapshot);
   return *this;
 }
 
@@ -444,6 +457,7 @@ Scenario ScenarioBuilder::build() const {
   // builder field configures both the Log Writer and the firmware generator.
   scenario.fw_.retry_handshake = doorbell_timeout_ > 0;
   scenario.fw_.mac_rerequest = mac_rerequest_;
+  scenario.warm_start_ = warm_start_;
   return scenario;
 }
 

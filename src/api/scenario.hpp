@@ -128,6 +128,20 @@ class Scenario {
   /// Copy of this scenario running under `engine` (identity unchanged).
   [[nodiscard]] Scenario with_engine(Engine engine) const;
 
+  /// Warm-start checkpoint to fork from (null == cold run from cycle 0).
+  /// Like the engine, this is an execution strategy, not configuration: a
+  /// forked run is bit-exact versus a cold run (enforced by
+  /// tests/warm_start_test), so the checkpoint is excluded from serialize()
+  /// and the config fingerprint.  run_scenario() validates the snapshot's
+  /// embedded scenario identity against serialize() and rejects a checkpoint
+  /// captured for any other scenario.
+  [[nodiscard]] const std::shared_ptr<const sim::Snapshot>& warm_start() const {
+    return warm_start_;
+  }
+  /// Copy of this scenario forking from `snapshot` (identity unchanged).
+  [[nodiscard]] Scenario with_warm_start(
+      std::shared_ptr<const sim::Snapshot> snapshot) const;
+
  private:
   friend class ScenarioBuilder;
   Scenario() = default;
@@ -136,6 +150,7 @@ class Scenario {
   Workload workload_;
   cfi::SocConfig soc_;
   fw::FirmwareConfig fw_;
+  std::shared_ptr<const sim::Snapshot> warm_start_;
 };
 
 /// Fluent scenario construction.  Every co-designed value is a single
@@ -183,6 +198,10 @@ class ScenarioBuilder {
   /// Co-simulation scheduler (default: the event-driven engine; results are
   /// bit-identical to lock-step, which survives as the equivalence witness).
   ScenarioBuilder& engine(Engine value);
+  /// Fork the run from a checkpoint instead of simulating from cycle 0 (see
+  /// api::capture_checkpoint).  Null clears.  Not part of the scenario
+  /// identity; the snapshot must have been captured for this exact scenario.
+  ScenarioBuilder& warm_start(std::shared_ptr<const sim::Snapshot> snapshot);
 
   /// Validate and freeze.  Throws ScenarioError naming the first invalid
   /// combination (empty name, unset workload, zero queue depth, burst out of
@@ -212,6 +231,7 @@ class ScenarioBuilder {
   bool trace_commits_ = false;
   sim::Cycle max_cycles_ = 2'000'000'000;
   Engine engine_ = Engine::kEventDriven;
+  std::shared_ptr<const sim::Snapshot> warm_start_;
 };
 
 }  // namespace titan::api

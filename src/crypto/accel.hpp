@@ -77,6 +77,13 @@ class HmacAccel {
 
   [[nodiscard]] std::uint64_t invocations() const { return invocations_; }
 
+  /// Checkpoint support: overwrite the usage counters with captured values
+  /// (the owning MMIO block serializes them alongside its own state).
+  void restore_usage(std::uint64_t total_cycles, std::uint64_t invocations) {
+    total_cycles_ = total_cycles;
+    invocations_ = invocations;
+  }
+
  private:
   HmacAccelConfig config_;
   std::uint64_t total_cycles_ = 0;

@@ -419,4 +419,145 @@ void Cva6Core::raise_cfi_fault() {
   exit_code_ = 0xCF1;
 }
 
+namespace {
+
+// Decoded entries are serialized verbatim (not re-decoded from the raw
+// encoding): with the decode cache disabled nothing guarantees the captured
+// Inst came from rv::decode of a normalised key, so re-deriving it could
+// diverge for hand-built entries.  The snapshot fingerprint covers the bytes.
+void save_entry(sim::SnapshotWriter& writer, const ScoreboardEntry& entry) {
+  writer.u64(entry.pc);
+  writer.u8(static_cast<std::uint8_t>(entry.inst.op));
+  writer.u8(entry.inst.rd);
+  writer.u8(entry.inst.rs1);
+  writer.u8(entry.inst.rs2);
+  writer.u64(static_cast<std::uint64_t>(entry.inst.imm));
+  writer.u32(entry.inst.raw);
+  writer.u32(entry.inst.expanded);
+  writer.u8(entry.inst.len);
+  writer.u64(entry.next_pc);
+  writer.u64(entry.target);
+  writer.u8(static_cast<std::uint8_t>(entry.kind));
+}
+
+ScoreboardEntry load_entry(sim::SnapshotReader& reader) {
+  ScoreboardEntry entry;
+  entry.pc = reader.u64();
+  entry.inst.op = static_cast<rv::Op>(reader.u8());
+  entry.inst.rd = reader.u8();
+  entry.inst.rs1 = reader.u8();
+  entry.inst.rs2 = reader.u8();
+  entry.inst.imm = static_cast<std::int64_t>(reader.u64());
+  entry.inst.raw = reader.u32();
+  entry.inst.expanded = reader.u32();
+  entry.inst.len = reader.u8();
+  entry.next_pc = reader.u64();
+  entry.target = reader.u64();
+  entry.kind = static_cast<rv::CfKind>(reader.u8());
+  return entry;
+}
+
+void save_record(sim::SnapshotWriter& writer, const CommitRecord& record) {
+  writer.u64(record.cycle);
+  writer.u64(record.pc);
+  writer.u32(record.encoding);
+  writer.u8(static_cast<std::uint8_t>(record.kind));
+  writer.u64(record.next_pc);
+  writer.u64(record.target);
+}
+
+CommitRecord load_record(sim::SnapshotReader& reader) {
+  CommitRecord record;
+  record.cycle = reader.u64();
+  record.pc = reader.u64();
+  record.encoding = reader.u32();
+  record.kind = static_cast<rv::CfKind>(reader.u8());
+  record.next_pc = reader.u64();
+  record.target = reader.u64();
+  return record;
+}
+
+}  // namespace
+
+void Cva6Core::save_state(sim::SnapshotWriter& writer) const {
+  for (const std::uint64_t reg : regs_) {
+    writer.u64(reg);
+  }
+  writer.u64(pc_);
+  writer.boolean(halted_);
+  writer.boolean(cfi_fault_);
+  writer.boolean(access_fault_);
+  writer.u64(exit_code_);
+  writer.u64(cycle_);
+  writer.u64(issue_ready_);
+  writer.u64(instret_);
+  writer.u64(rob_size_);
+  for (std::size_t index = 0; index < rob_size_; ++index) {
+    std::size_t slot = rob_head_ + index;
+    if (slot >= rob_.size()) {
+      slot -= rob_.size();
+    }
+    save_entry(writer, rob_[slot].entry);
+    writer.u64(rob_[slot].ready);
+  }
+  writer.u64(stall_cycles_);
+  writer.boolean(trace_enabled_);
+  writer.u64(trace_ring_capacity_);
+  writer.u64(trace_ring_head_);
+  writer.u64(trace_dropped_);
+  writer.u64(trace_.size());
+  for (const CommitRecord& record : trace_) {
+    save_record(writer, record);
+  }
+  decode_cache_.save_state(writer);
+  writer.boolean(decode_cache_enabled_);
+}
+
+void Cva6Core::load_state(sim::SnapshotReader& reader) {
+  for (std::uint64_t& reg : regs_) {
+    reg = reader.u64();
+  }
+  pc_ = reader.u64();
+  halted_ = reader.boolean();
+  cfi_fault_ = reader.boolean();
+  access_fault_ = reader.boolean();
+  exit_code_ = reader.u64();
+  cycle_ = reader.u64();
+  issue_ready_ = reader.u64();
+  instret_ = reader.u64();
+  const std::uint64_t rob_count = reader.u64();
+  if (rob_count > rob_.size()) {
+    throw sim::SnapshotError("cva6: snapshot ROB exceeds configured depth");
+  }
+  rob_head_ = 0;
+  rob_size_ = static_cast<std::size_t>(rob_count);
+  rob_cfi_count_ = 0;
+  for (std::size_t index = 0; index < rob_size_; ++index) {
+    rob_[index].entry = load_entry(reader);
+    rob_[index].ready = reader.u64();
+    if (rob_[index].entry.cfi_relevant()) {
+      ++rob_cfi_count_;
+    }
+  }
+  // Dead at any cycle boundary: commit_candidates() rebuilds it from the ROB
+  // before the next retire looks at it.
+  candidates_.clear();
+  stall_cycles_ = reader.u64();
+  trace_enabled_ = reader.boolean();
+  trace_ring_capacity_ = static_cast<std::size_t>(reader.u64());
+  trace_ring_head_ = static_cast<std::size_t>(reader.u64());
+  trace_dropped_ = reader.u64();
+  trace_.clear();
+  if (trace_ring_capacity_ != 0) {
+    trace_.reserve(trace_ring_capacity_);
+  }
+  const std::uint64_t trace_count = reader.u64();
+  for (std::uint64_t i = 0; i < trace_count; ++i) {
+    trace_.push_back(load_record(reader));
+  }
+  decode_cache_.load_state(reader);
+  decode_cache_enabled_ = reader.boolean();
+  fetch_cache_.invalidate();
+}
+
 }  // namespace titan::cva6

@@ -159,6 +159,14 @@ class Cva6Core {
   /// for before/after benchmarking).
   void set_decode_cache_enabled(bool enabled) { decode_cache_enabled_ = enabled; }
 
+  /// Checkpoint support.  Serializes architectural state, the ROB in logical
+  /// (oldest-first) order with full decoded entries, the commit trace in raw
+  /// ring-storage order plus ring cursors, the decode-cache contents, and
+  /// every counter a RunReport reads.  Memory is captured separately by the
+  /// owning SoC; the fetch-page cache is reset on load (stat-neutral).
+  void save_state(sim::SnapshotWriter& writer) const;
+  void load_state(sim::SnapshotReader& reader);
+
  private:
   struct RobEntry {
     ScoreboardEntry entry;

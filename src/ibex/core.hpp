@@ -90,6 +90,49 @@ class IbexCore {
   }
   void set_decode_cache_enabled(bool enabled) { decode_cache_enabled_ = enabled; }
 
+  /// Checkpoint support: architectural registers, CSRs, clock, sleep/halt
+  /// flags and the decode-cache contents.  The fetch-page cache is reset on
+  /// load (stat-neutral refill).
+  void save_state(sim::SnapshotWriter& writer) const {
+    for (const std::uint32_t reg : regs_) {
+      writer.u32(reg);
+    }
+    writer.u32(pc_);
+    writer.u64(cycle_);
+    writer.u64(instret_);
+    writer.u32(mstatus_);
+    writer.u32(mie_);
+    writer.u32(mtvec_);
+    writer.u32(mscratch_);
+    writer.u32(mepc_);
+    writer.u32(mcause_);
+    writer.boolean(irq_line_);
+    writer.boolean(sleeping_);
+    writer.boolean(halted_);
+    decode_cache_.save_state(writer);
+    writer.boolean(decode_cache_enabled_);
+  }
+  void load_state(sim::SnapshotReader& reader) {
+    for (std::uint32_t& reg : regs_) {
+      reg = reader.u32();
+    }
+    pc_ = reader.u32();
+    cycle_ = reader.u64();
+    instret_ = reader.u64();
+    mstatus_ = reader.u32();
+    mie_ = reader.u32();
+    mtvec_ = reader.u32();
+    mscratch_ = reader.u32();
+    mepc_ = reader.u32();
+    mcause_ = reader.u32();
+    irq_line_ = reader.boolean();
+    sleeping_ = reader.boolean();
+    halted_ = reader.boolean();
+    decode_cache_.load_state(reader);
+    decode_cache_enabled_ = reader.boolean();
+    fetch_cache_.invalidate();
+  }
+
  private:
   IbexStep take_trap();
   [[nodiscard]] std::uint32_t fetch_window(std::uint32_t addr);

@@ -20,6 +20,7 @@
 
 #include "rv/decode.hpp"
 #include "rv/isa.hpp"
+#include "sim/snapshot.hpp"
 
 namespace titan::sim {
 
@@ -59,6 +60,41 @@ class DecodeCache {
   /// Decodes skipped thanks to the cache (the bench counter).
   [[nodiscard]] std::uint64_t decodes_avoided() const { return hits_; }
   void reset_stats() { hits_ = misses_ = 0; }
+
+  /// Checkpoint support.  Entries are stored as (slot, key) pairs only:
+  /// `inst` is by invariant exactly rv::decode(key, xlen_), so load_state
+  /// re-decodes instead of serializing decoded forms — smaller blobs, and a
+  /// key/inst skew can never be smuggled in through a snapshot.  Geometry
+  /// (xlen, entry count) is config-derived and not serialized.
+  void save_state(SnapshotWriter& writer) const {
+    writer.u64(hits_);
+    writer.u64(misses_);
+    std::uint64_t valid = 0;
+    for (const Entry& entry : entries_) valid += entry.valid ? 1 : 0;
+    writer.u64(valid);
+    for (std::size_t slot = 0; slot < entries_.size(); ++slot) {
+      if (entries_[slot].valid) {
+        writer.u64(slot);
+        writer.u32(entries_[slot].key);
+      }
+    }
+  }
+  void load_state(SnapshotReader& reader) {
+    hits_ = reader.u64();
+    misses_ = reader.u64();
+    flush();
+    const std::uint64_t valid = reader.u64();
+    for (std::uint64_t i = 0; i < valid; ++i) {
+      const std::uint64_t slot = reader.u64();
+      if (slot >= entries_.size()) {
+        throw SnapshotError("decode cache: slot out of range");
+      }
+      Entry& entry = entries_[slot];
+      entry.key = reader.u32();
+      entry.inst = rv::decode(entry.key, xlen_);
+      entry.valid = true;
+    }
+  }
 
  private:
   struct Entry {

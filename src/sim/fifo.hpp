@@ -10,6 +10,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "sim/snapshot.hpp"
 #include "sim/types.hpp"
 
 namespace titan::sim {
@@ -98,6 +99,39 @@ class Fifo {
   [[nodiscard]] const FifoStats& stats() const { return stats_; }
 
   void clear() { items_.clear(); }
+
+  /// Checkpoint support: queued items (oldest first, via `save_item`) plus
+  /// the lifetime statistics.  Depth is config-derived and not serialized.
+  template <typename SaveItem>
+  void save_state(SnapshotWriter& writer, SaveItem&& save_item) const {
+    writer.u64(items_.size());
+    for (const T& item : items_) {
+      save_item(writer, item);
+    }
+    writer.u64(stats_.pushes);
+    writer.u64(stats_.pops);
+    writer.u64(stats_.rejected_pushes);
+    writer.u64(stats_.max_occupancy);
+    writer.u64(stats_.occupancy_samples);
+    writer.u64(stats_.occupancy_sum);
+  }
+  template <typename LoadItem>
+  void load_state(SnapshotReader& reader, LoadItem&& load_item) {
+    items_.clear();
+    const std::uint64_t count = reader.u64();
+    if (count > depth_) {
+      throw SnapshotError("fifo: snapshot occupancy exceeds depth");
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+      items_.push_back(load_item(reader));
+    }
+    stats_.pushes = reader.u64();
+    stats_.pops = reader.u64();
+    stats_.rejected_pushes = reader.u64();
+    stats_.max_occupancy = static_cast<std::size_t>(reader.u64());
+    stats_.occupancy_samples = reader.u64();
+    stats_.occupancy_sum = reader.u64();
+  }
 
  private:
   std::size_t depth_;

@@ -1,5 +1,6 @@
 #include "sim/memory.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -31,11 +32,24 @@ const Memory::Page* Memory::find_page(Addr page_no) const {
 Memory::Page& Memory::touch_page(Addr page_no) {
   auto& slot = pages_[page_no];
   if (!slot) {
-    slot = std::make_unique<Page>();
+    slot = std::make_shared<Page>();
     slot->fill(0);
     // The map changed shape: retire negative-cache entries (this very page
     // may be cached as absent) and stale PageRefs.
     neg_ways_.fill(kNoPage);
+    ++map_epoch_;
+  } else if (slot.use_count() > 1) {
+    // Copy-on-write: a checkpoint image (or a sibling fork restored from
+    // one) still references this page.  Clone before mutating, repoint any
+    // cache way that holds the shared copy, and retire outstanding PageRefs
+    // via the epoch (stat-neutral: FetchPageCache refills are uncounted).
+    slot = std::make_shared<Page>(*slot);
+    for (auto& lane : ways_) {
+      Way& way = lane[static_cast<std::size_t>(page_no) & (kWays - 1)];
+      if (way.page_no == page_no) {
+        way.data = slot->data();
+      }
+    }
     ++map_epoch_;
   }
   return *slot;
@@ -61,6 +75,7 @@ const std::uint8_t* Memory::lookup_read(Addr page_no, Lane lane) const {
   }
   way.page_no = page_no;
   way.data = const_cast<std::uint8_t*>(page->data());
+  way.writable = false;
   return way.data;
 }
 
@@ -68,12 +83,22 @@ std::uint8_t* Memory::lookup_write(Addr page_no) {
   Way& way = ways_[kDataLane][static_cast<std::size_t>(page_no) & (kWays - 1)];
   if (way.page_no == page_no) {
     ++stats_.page_cache_hits;
+    if (way.writable) [[likely]] {
+      return way.data;
+    }
+    // Hit on a read-primed (possibly checkpoint-shared) way: resolve through
+    // touch_page, which clones the page if it is still shared, then promote
+    // the way.  Counts exactly like the plain hit it replaces.
+    Page& page = touch_page(page_no);
+    way.data = page.data();
+    way.writable = true;
     return way.data;
   }
   ++stats_.page_cache_misses;
   Page& page = touch_page(page_no);
   way.page_no = page_no;
   way.data = page.data();
+  way.writable = true;
   return way.data;
 }
 
@@ -205,6 +230,63 @@ std::vector<std::uint8_t> Memory::dump(Addr base, std::size_t len) const {
   std::vector<std::uint8_t> out(len);
   read_block(base, out);
   return out;
+}
+
+Memory::Image Memory::capture() const {
+  Image image;
+  image.stats = stats_;
+  image.fast_path = fast_path_;
+  image.strict_unmapped = strict_unmapped_;
+  image.pages.reserve(pages_.size());
+  for (const auto& [page_no, page] : pages_) {
+    image.pages.emplace_back(page_no, page);
+  }
+  std::sort(image.pages.begin(), image.pages.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (unsigned lane = 0; lane < 2; ++lane) {
+    for (std::size_t i = 0; i < kWays; ++i) {
+      image.way_tags[lane][i] = ways_[lane][i].page_no;
+      // Every page is now shared with the image: demote the ways so the next
+      // write hit re-resolves (and CoW-clones) through touch_page.
+      ways_[lane][i].writable = false;
+    }
+  }
+  image.neg_tags = neg_ways_;
+  return image;
+}
+
+void Memory::restore(const Image& image) {
+  pages_.clear();
+  for (const auto& [page_no, page] : image.pages) {
+    // Shared with the image (and any sibling restored from it); the CoW
+    // guard in touch_page keeps the image's copy immutable.
+    pages_.emplace(page_no, std::const_pointer_cast<Page>(page));
+  }
+  stats_ = image.stats;
+  fast_path_ = image.fast_path;
+  strict_unmapped_ = image.strict_unmapped;
+  invalidate_page_cache();
+  // Re-prime the page-cache and negative-cache tags exactly as captured —
+  // read-only, counting nothing — so the warm run's cache-stat lanes
+  // continue bit-exactly where the captured run left off.
+  for (unsigned lane = 0; lane < 2; ++lane) {
+    for (std::size_t i = 0; i < kWays; ++i) {
+      const Addr tag = image.way_tags[lane][i];
+      if (tag == kNoPage) {
+        continue;
+      }
+      const Page* page = find_page(tag);
+      if (page == nullptr) {
+        continue;  // Hand-built image with a dangling tag; leave the way cold.
+      }
+      ways_[lane][i] =
+          Way{tag, const_cast<std::uint8_t*>(page->data()), false};
+    }
+  }
+  neg_ways_ = image.neg_tags;
+  // Everything a caller cached against the old map shape — PageRef holders,
+  // FetchPageCache entries — is now stale and must revalidate.
+  ++map_epoch_;
 }
 
 }  // namespace titan::sim

@@ -28,6 +28,7 @@
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -81,6 +82,37 @@ class Memory {
  public:
   static constexpr std::size_t kPageBits = 12;
   static constexpr std::size_t kPageSize = std::size_t{1} << kPageBits;
+  using Page = std::array<std::uint8_t, kPageSize>;
+  static constexpr std::size_t kWays = 16;
+  static constexpr std::size_t kNegWays = 16;
+  static constexpr Addr kNoPage = ~Addr{0};
+
+  /// Checkpoint image of one Memory (see sim/snapshot.hpp).  Pages are held
+  /// by shared_ptr: capture() shares the live pages with the image instead
+  /// of copying them, and a Memory restored from the image shares them too —
+  /// copy-on-write in touch_page() clones a page the first time any owner
+  /// writes it, so N runs forked from one checkpoint pay for one copy of
+  /// every page they never write.  The way/negative-cache tags are part of
+  /// the image so a restored memory's cache-stat lanes (page_cache_hits,
+  /// neg_cache_hits, ...) continue bit-exactly versus the captured run.
+  struct Image {
+    /// (page number, page) pairs sorted by page number — deterministic
+    /// serialization order, hence a deterministic snapshot fingerprint.
+    std::vector<std::pair<Addr, std::shared_ptr<const Page>>> pages;
+    MemStats stats{};
+    std::array<std::array<Addr, kWays>, 2> way_tags{[] {
+      std::array<std::array<Addr, kWays>, 2> init{};
+      for (auto& lane : init) lane.fill(kNoPage);
+      return init;
+    }()};
+    std::array<Addr, kNegWays> neg_tags{[] {
+      std::array<Addr, kNegWays> init{};
+      init.fill(kNoPage);
+      return init;
+    }()};
+    bool fast_path = true;
+    bool strict_unmapped = false;
+  };
 
   Memory() = default;
 
@@ -174,17 +206,32 @@ class Memory {
   void reset_stats() { stats_ = MemStats{}; }
   [[nodiscard]] std::uint64_t unmapped_reads() const { return stats_.unmapped_reads; }
 
- private:
-  using Page = std::array<std::uint8_t, kPageSize>;
+  /// Freeze the current contents into a copy-on-write image.  The live pages
+  /// become shared with the image, so this memory's next write to any page
+  /// clones it first; to keep the no-write-through-a-shared-page invariant,
+  /// capture demotes every primed cache way to read-only (stat-neutral: a
+  /// later write hit re-promotes without touching the hit/miss counters).
+  [[nodiscard]] Image capture() const;
 
+  /// Replace this memory's entire state with the image's: contents (shared,
+  /// CoW), access statistics, fast-path/strict flags, and the page-cache and
+  /// negative-cache tags, re-primed read-only against the restored pages
+  /// without counting anything.  Bumps map_epoch() so every PageRef taken
+  /// before the restore is stale and can never be dereferenced.
+  void restore(const Image& image);
+
+ private:
   /// Direct-mapped page-cache lanes: instruction fetches and data accesses
   /// get separate ways so a store-heavy loop cannot evict its own code page.
   enum Lane : unsigned { kDataLane = 0, kFetchLane = 1 };
-  static constexpr std::size_t kWays = 16;
-  static constexpr Addr kNoPage = ~Addr{0};
   struct Way {
     Addr page_no = kNoPage;
     std::uint8_t* data = nullptr;
+    /// True only when the page was exclusively owned when the way was primed
+    /// for writing.  A write hit on a non-writable way re-resolves through
+    /// touch_page(), which clones the page if a checkpoint (or a sibling
+    /// fork) still shares it — the CoW guard.
+    bool writable = false;
   };
 
   template <typename T>
@@ -260,14 +307,16 @@ class Memory {
   [[nodiscard]] const Page* find_page(Addr page_no) const;
   Page& touch_page(Addr page_no);
 
-  std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+  /// Pages are shared_ptr so checkpoint images can share them (CoW): a page
+  /// with use_count() > 1 is referenced by at least one Snapshot or sibling
+  /// fork and must be cloned before mutation (touch_page enforces this).
+  std::unordered_map<Addr, std::shared_ptr<Page>> pages_;
   mutable std::array<std::array<Way, kWays>, 2> ways_{};
   /// TLB-style negative cache: page numbers recently probed and found
   /// unmapped.  MMIO-heavy workloads poll device regions that never become
   /// RAM, and without this every such read walks the hash map.  Flushed
   /// whenever any page is mapped (allocation is rare; correctness over
   /// cleverness).
-  static constexpr std::size_t kNegWays = 16;
   mutable std::array<Addr, kNegWays> neg_ways_{[] {
     std::array<Addr, kNegWays> init{};
     init.fill(kNoPage);
@@ -319,6 +368,15 @@ class FetchPageCache {
     page_no_ = addr >> Memory::kPageBits;
     *window = ref.window32(offset);
     return true;
+  }
+
+  /// Forget the cached page (used on checkpoint restore: the owning Memory
+  /// may have been rebuilt).  Stat-neutral — the next fetch refills via
+  /// page_ref(), which counts nothing.
+  void invalidate() {
+    memory_ = nullptr;
+    page_ = PageRef{};
+    page_no_ = ~Addr{0};
   }
 
  private:

@@ -140,7 +140,27 @@ SweepCli parse_sweep_cli(int argc, char** argv, std::string default_json) {
                     "' (expected 'lockstep' or 'event')";
         return cli;
       }
+    } else if (std::strncmp(arg, "--warm_start=", 13) == 0) {
+      cli.warm_start_path = arg + 13;
+      cli.warm_start_given = true;
+    } else if (std::strncmp(arg, "--write_checkpoints=", 20) == 0) {
+      cli.write_checkpoints_path = arg + 20;
+      cli.write_checkpoints_given = true;
     }
+  }
+  if (cli.warm_start_given && cli.warm_start_path.empty()) {
+    cli.error = "--warm_start needs a bundle path";
+    return cli;
+  }
+  if (cli.write_checkpoints_given && cli.write_checkpoints_path.empty()) {
+    cli.error = "--write_checkpoints needs a bundle path";
+    return cli;
+  }
+  if (cli.warm_start_given && cli.write_checkpoints_given) {
+    cli.error =
+        "--warm_start and --write_checkpoints are mutually exclusive (one "
+        "consumes a bundle, the other produces it)";
+    return cli;
   }
   if (cli.shard_given && cli.shard_json_path.empty()) {
     cli.error = "--shard requires --shard_json=PATH (partial report output)";

@@ -116,6 +116,11 @@ class ShardPlanner {
 ///   --shard=i/K       run only shard i of a K-way contiguous partition
 ///   --shard_json=PATH destination for the shard's partial report (manifest +
 ///                     owned rows; feed all K to tools/bench_merge)
+///   --warm_start=PATH fork every grid point from the checkpoint bundle at
+///                     PATH instead of simulating its warm-up prefix (rows
+///                     stay bit-identical to a cold run)
+///   --write_checkpoints=PATH  capture the grid's warm-up checkpoints, write
+///                     the bundle to PATH, and exit without running the sweep
 struct SweepCli {
   unsigned threads = 1;
   std::string json_path;
@@ -130,6 +135,12 @@ struct SweepCli {
   /// equivalence gate).  Empty == bench default (event-driven).
   std::string engine;
   bool engine_given = false;
+  /// --warm_start=PATH: checkpoint bundle to fork the grid from.
+  std::string warm_start_path;
+  bool warm_start_given = false;
+  /// --write_checkpoints=PATH: capture the grid's checkpoints and exit.
+  std::string write_checkpoints_path;
+  bool write_checkpoints_given = false;
   std::string error;  ///< Non-empty when a flag was malformed; exit 2.
 };
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/memory.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/types.hpp"
 #include "soc/memmap.hpp"
 
@@ -120,6 +121,13 @@ class Crossbar {
   }
 
   [[nodiscard]] std::uint64_t transaction_count() const { return transactions_; }
+
+  /// Checkpoint support: topology and latencies are config-derived, so only
+  /// the traffic counter persists (the MRU hint is a perf-only accelerator).
+  void save_state(sim::SnapshotWriter& writer) const {
+    writer.u64(transactions_);
+  }
+  void load_state(sim::SnapshotReader& reader) { transactions_ = reader.u64(); }
 
  private:
   [[nodiscard]] Mapping* lookup(Addr addr);

@@ -1,5 +1,6 @@
 #include "soc/hmac_mmio.hpp"
 
+#include <span>
 #include <vector>
 
 #include "sim/rng.hpp"
@@ -70,6 +71,29 @@ std::uint64_t HmacMmio::read(Addr addr, unsigned size) {
            std::uint32_t{digest_[4 * word + 3]};
   }
   return 0;
+}
+
+void HmacMmio::save_state(sim::SnapshotWriter& writer) const {
+  writer.u32(src_);
+  writer.u32(len_);
+  writer.u32(key_sel_);
+  writer.u64(done_at_);
+  writer.raw(std::span<const std::uint8_t>(digest_.data(), digest_.size()));
+  writer.u64(starts_);
+  writer.u64(engine_.total_cycles());
+  writer.u64(engine_.invocations());
+}
+
+void HmacMmio::load_state(sim::SnapshotReader& reader) {
+  src_ = reader.u32();
+  len_ = reader.u32();
+  key_sel_ = reader.u32();
+  done_at_ = reader.u64();
+  reader.raw(std::span<std::uint8_t>(digest_.data(), digest_.size()));
+  starts_ = reader.u64();
+  const std::uint64_t total_cycles = reader.u64();
+  engine_.restore_usage(total_cycles, reader.u64());
+  key_slots_.clear();  // Re-derived on demand; derivation is observably pure.
 }
 
 void HmacMmio::write(Addr addr, unsigned size, std::uint64_t value) {

@@ -19,6 +19,7 @@
 #include <unordered_map>
 
 #include "crypto/accel.hpp"
+#include "sim/snapshot.hpp"
 #include "soc/bus.hpp"
 
 namespace titan::soc {
@@ -50,6 +51,14 @@ class HmacMmio final : public BusTarget {
 
   [[nodiscard]] const crypto::HmacAccel& engine() const { return engine_; }
   [[nodiscard]] std::uint64_t starts() const { return starts_; }
+
+  /// Checkpoint support: MMIO registers, in-flight completion time, digest,
+  /// and the engine usage counters.  The key-slot cache is NOT serialized —
+  /// slot keys are a pure function of the config-derived device secret, so
+  /// a warm run re-derives them with zero observable state (no bus traffic,
+  /// no counters).
+  void save_state(sim::SnapshotWriter& writer) const;
+  void load_state(sim::SnapshotReader& reader);
 
  private:
   void start();

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "sim/snapshot.hpp"
 #include "soc/bus.hpp"
 
 namespace titan::soc {
@@ -92,6 +93,29 @@ class Mailbox final : public BusTarget {
 
   [[nodiscard]] std::uint64_t doorbell_count() const { return doorbell_count_; }
   [[nodiscard]] std::uint64_t completion_count() const { return completion_count_; }
+
+  /// Checkpoint support: the full register file, pending interrupt flags and
+  /// ring/completion counters.  Hooks are config-wired and not serialized.
+  void save_state(sim::SnapshotWriter& writer) const {
+    for (const std::uint64_t reg : data_) writer.u64(reg);
+    writer.u64(batch_count_);
+    for (const std::uint64_t reg : mac_) writer.u64(reg);
+    for (const std::uint64_t reg : batch_) writer.u64(reg);
+    writer.boolean(doorbell_);
+    writer.boolean(completion_);
+    writer.u64(doorbell_count_);
+    writer.u64(completion_count_);
+  }
+  void load_state(sim::SnapshotReader& reader) {
+    for (std::uint64_t& reg : data_) reg = reader.u64();
+    batch_count_ = reader.u64();
+    for (std::uint64_t& reg : mac_) reg = reader.u64();
+    for (std::uint64_t& reg : batch_) reg = reader.u64();
+    doorbell_ = reader.boolean();
+    completion_ = reader.boolean();
+    doorbell_count_ = reader.u64();
+    completion_count_ = reader.u64();
+  }
 
  private:
   /// Resolve a register byte offset to its backing 64-bit register, or null

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/snapshot.hpp"
 #include "soc/bus.hpp"
 
 namespace titan::soc {
@@ -42,6 +43,29 @@ class Plic final : public BusTarget {
   void write(Addr addr, unsigned size, std::uint64_t value) override;
 
   [[nodiscard]] std::uint64_t claims() const { return claims_; }
+
+  /// Checkpoint support: the per-source level/enable/in-service bits and the
+  /// claim counter.  Source count is config-derived and only sanity-checked.
+  void save_state(sim::SnapshotWriter& writer) const {
+    writer.u64(pending_.size());
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      writer.boolean(pending_[i]);
+      writer.boolean(enabled_[i]);
+      writer.boolean(in_service_[i]);
+    }
+    writer.u64(claims_);
+  }
+  void load_state(sim::SnapshotReader& reader) {
+    if (reader.u64() != pending_.size()) {
+      throw sim::SnapshotError("plic: source count mismatch");
+    }
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      pending_[i] = reader.boolean();
+      enabled_[i] = reader.boolean();
+      in_service_[i] = reader.boolean();
+    }
+    claims_ = reader.u64();
+  }
 
  private:
   std::vector<bool> pending_;

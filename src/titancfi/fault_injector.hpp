@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/fault.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/types.hpp"
 
 namespace titan::cfi {
@@ -36,6 +37,51 @@ class FaultInjector {
   /// retry/drop/degraded counters live in the components that own them;
   /// SocTop assembles the full block.
   [[nodiscard]] const sim::ResilienceStats& stats() const { return stats_; }
+
+  /// Checkpoint support: per-site event ordinals, the undetected-injection
+  /// queues (for latency pairing), and the accumulated stats.  The plan
+  /// itself is config-derived and not serialized.
+  void save_state(sim::SnapshotWriter& writer) const {
+    for (const std::uint64_t ordinal : ordinal_) {
+      writer.u64(ordinal);
+    }
+    for (const auto& queue : pending_) {
+      writer.u64(queue.size());
+      for (const sim::Cycle cycle : queue) {
+        writer.u64(cycle);
+      }
+    }
+    for (const std::uint64_t count : stats_.injected) writer.u64(count);
+    for (const std::uint64_t count : stats_.detected) writer.u64(count);
+    for (const std::uint64_t count : stats_.detection_latency) writer.u64(count);
+    writer.u64(stats_.doorbell_retries);
+    writer.u64(stats_.mac_retries);
+    writer.u64(stats_.spurious_completions);
+    writer.u64(stats_.dropped_logs);
+    writer.u64(stats_.false_negatives);
+    writer.u64(stats_.degraded_cycles);
+  }
+  void load_state(sim::SnapshotReader& reader) {
+    for (std::uint64_t& ordinal : ordinal_) {
+      ordinal = reader.u64();
+    }
+    for (auto& queue : pending_) {
+      queue.clear();
+      const std::uint64_t count = reader.u64();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        queue.push_back(reader.u64());
+      }
+    }
+    for (std::uint64_t& count : stats_.injected) count = reader.u64();
+    for (std::uint64_t& count : stats_.detected) count = reader.u64();
+    for (std::uint64_t& count : stats_.detection_latency) count = reader.u64();
+    stats_.doorbell_retries = reader.u64();
+    stats_.mac_retries = reader.u64();
+    stats_.spurious_completions = reader.u64();
+    stats_.dropped_logs = reader.u64();
+    stats_.false_negatives = reader.u64();
+    stats_.degraded_cycles = reader.u64();
+  }
 
  private:
   sim::FaultPlan plan_;

@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "cva6/scoreboard.hpp"
+#include "sim/snapshot.hpp"
 #include "titancfi/commit_log.hpp"
 
 namespace titan::cfi {
@@ -36,6 +37,16 @@ class CfiFilter {
   /// filter() calls are skipped because no entry is CFI-relevant.  Keeps the
   /// scanned counter bit-identical to the per-cycle lock-step engine.
   void note_scanned(std::uint64_t count) { scanned_ += count; }
+
+  /// Checkpoint support (the filter is pure; only its counters persist).
+  void save_state(sim::SnapshotWriter& writer) const {
+    writer.u64(scanned_);
+    writer.u64(selected_);
+  }
+  void load_state(sim::SnapshotReader& reader) {
+    scanned_ = reader.u64();
+    selected_ = reader.u64();
+  }
 
  private:
   std::uint64_t scanned_ = 0;

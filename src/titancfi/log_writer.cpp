@@ -168,6 +168,85 @@ void LogWriter::enter_wait(Cycle now) {
   retries_this_wait_ = 0;
 }
 
+void LogWriter::save_state(sim::SnapshotWriter& writer) const {
+  writer.u8(static_cast<std::uint8_t>(state_));
+  writer.u64(batch_.size());
+  for (const CommitLog& log : batch_) {
+    for (const std::uint64_t beat : log.pack()) {
+      writer.u64(beat);
+    }
+  }
+  writer.u64(writes_.size());
+  for (const PendingWrite& write : writes_) {
+    writer.u64(write.addr);
+    writer.u64(write.value);
+  }
+  writer.u64(write_index_);
+  writer.u64(busy_until_);
+  writer.boolean(pending_since_.has_value());
+  writer.u64(pending_since_.value_or(0));
+  writer.u64(logs_sent_);
+  writer.u64(batches_sent_);
+  writer.u64(violations_);
+  writer.u64(wait_cycles_);
+  writer.u64(wait_started_);
+  writer.u64(retry_window_);
+  writer.u32(retries_this_wait_);
+  writer.boolean(resend_);
+  writer.u32(mac_retries_this_batch_);
+  writer.boolean(mac_corrupt_in_flight_);
+  writer.boolean(dup_in_flight_);
+  writer.u64(doorbell_retries_);
+  writer.u64(mac_retries_);
+  writer.u64(spurious_completions_);
+  writer.u64(degraded_cycles_);
+}
+
+void LogWriter::load_state(sim::SnapshotReader& reader) {
+  const std::uint8_t state = reader.u8();
+  if (state > static_cast<std::uint8_t>(State::kFault)) {
+    throw sim::SnapshotError("log writer: bad FSM state");
+  }
+  state_ = static_cast<State>(state);
+  batch_.clear();
+  const std::uint64_t batch_count = reader.u64();
+  for (std::uint64_t i = 0; i < batch_count; ++i) {
+    std::array<std::uint64_t, CommitLog::kBeats> beats{};
+    for (std::uint64_t& beat : beats) {
+      beat = reader.u64();
+    }
+    batch_.push_back(CommitLog::unpack(beats));
+  }
+  writes_.clear();
+  const std::uint64_t write_count = reader.u64();
+  for (std::uint64_t i = 0; i < write_count; ++i) {
+    const soc::Addr addr = reader.u64();
+    const std::uint64_t value = reader.u64();
+    writes_.push_back({addr, value});
+  }
+  write_index_ = static_cast<std::size_t>(reader.u64());
+  busy_until_ = reader.u64();
+  const bool has_pending_since = reader.boolean();
+  const Cycle pending_since = reader.u64();
+  pending_since_ = has_pending_since ? std::optional<Cycle>(pending_since)
+                                     : std::nullopt;
+  logs_sent_ = reader.u64();
+  batches_sent_ = reader.u64();
+  violations_ = reader.u64();
+  wait_cycles_ = reader.u64();
+  wait_started_ = reader.u64();
+  retry_window_ = reader.u64();
+  retries_this_wait_ = reader.u32();
+  resend_ = reader.boolean();
+  mac_retries_this_batch_ = reader.u32();
+  mac_corrupt_in_flight_ = reader.boolean();
+  dup_in_flight_ = reader.boolean();
+  doorbell_retries_ = reader.u64();
+  mac_retries_ = reader.u64();
+  spurious_completions_ = reader.u64();
+  degraded_cycles_ = reader.u64();
+}
+
 void LogWriter::tick(Cycle now) {
   if (now < busy_until_ || state_ == State::kFault) {
     if (state_ == State::kWaitCompletion) {

@@ -137,6 +137,15 @@ class LogWriter {
     return degraded_cycles_;
   }
 
+  /// Checkpoint support.  The in-flight transfer is serialized verbatim —
+  /// batch logs AND the already-materialised beat write list — so a restore
+  /// mid-kWriteBeats resumes the exact remaining MMIO writes and never
+  /// re-runs begin_batch (which fires the kMacCorrupt injection seam and
+  /// would double-advance the fault ordinals).  `packed_` is begin_batch
+  /// scratch and `mac_key_` is config-derived; neither is serialized.
+  void save_state(sim::SnapshotWriter& writer) const;
+  void load_state(sim::SnapshotReader& reader);
+
  private:
   void begin_batch(Cycle now, std::size_t count);
   void ring_doorbell_write(Cycle now);

@@ -190,6 +190,44 @@ class QueueController {
     return overflow_stall_cycles_;
   }
 
+  /// Checkpoint support: queue contents + per-port filter counters + the
+  /// stall/drop counters and any in-flight forced-overflow burst.  Policy,
+  /// injector wiring and hooks are config-derived and not serialized.
+  void save_state(sim::SnapshotWriter& writer) const {
+    queue_.save_state(writer, [](sim::SnapshotWriter& w, const CommitLog& log) {
+      for (const std::uint64_t beat : log.pack()) {
+        w.u64(beat);
+      }
+    });
+    filters_[0].save_state(writer);
+    filters_[1].save_state(writer);
+    writer.u64(force_full_remaining_);
+    writer.u64(full_stalls_);
+    writer.u64(dual_cf_stalls_);
+    writer.u64(dropped_logs_);
+    writer.u64(dropped_returns_);
+    writer.u64(overflow_stall_cycles_);
+    writer.u64(max_drained_);
+  }
+  void load_state(sim::SnapshotReader& reader) {
+    queue_.load_state(reader, [](sim::SnapshotReader& r) {
+      std::array<std::uint64_t, CommitLog::kBeats> beats{};
+      for (std::uint64_t& beat : beats) {
+        beat = r.u64();
+      }
+      return CommitLog::unpack(beats);
+    });
+    filters_[0].load_state(reader);
+    filters_[1].load_state(reader);
+    force_full_remaining_ = reader.u64();
+    full_stalls_ = reader.u64();
+    dual_cf_stalls_ = reader.u64();
+    dropped_logs_ = reader.u64();
+    dropped_returns_ = reader.u64();
+    overflow_stall_cycles_ = reader.u64();
+    max_drained_ = static_cast<std::size_t>(reader.u64());
+  }
+
  private:
   void drop_log(const CommitLog& log) {
     ++dropped_logs_;

@@ -81,6 +81,33 @@ void RotSubsystem::run_until(sim::Cycle target) {
   }
 }
 
+void RotSubsystem::capture(sim::Snapshot& snapshot,
+                           sim::SnapshotWriter& writer) const {
+  snapshot.memories.push_back(rom_.capture());
+  snapshot.memories.push_back(sram_.capture());
+  writer.tag(0x524F5453);  // "ROTS"
+  core_->save_state(writer);
+  plic_.save_state(writer);
+  tlul_.save_state(writer);
+  hmac_->save_state(writer);
+  writer.u64(stall_until_);
+  writer.u64(stalled_cycles_);
+}
+
+void RotSubsystem::restore(const sim::Snapshot& snapshot,
+                           std::size_t memory_base,
+                           sim::SnapshotReader& reader) {
+  rom_.restore(snapshot.memories.at(memory_base));
+  sram_.restore(snapshot.memories.at(memory_base + 1));
+  reader.expect_tag(0x524F5453, "rot subsystem");
+  core_->load_state(reader);
+  plic_.load_state(reader);
+  tlul_.load_state(reader);
+  hmac_->load_state(reader);
+  stall_until_ = reader.u64();
+  stalled_cycles_ = reader.u64();
+}
+
 std::string RotSubsystem::section_of(std::uint32_t pc) const {
   // Marks partition the image: the section owning `pc` is the mark with the
   // greatest address <= pc (binary search over the construction-time table).

@@ -16,6 +16,7 @@
 #include "ibex/core.hpp"
 #include "rv/assembler.hpp"
 #include "sim/memory.hpp"
+#include "sim/snapshot.hpp"
 #include "soc/bus.hpp"
 #include "soc/hmac_mmio.hpp"
 #include "soc/mailbox.hpp"
@@ -76,6 +77,16 @@ class RotSubsystem {
   /// sorted mark table built at construction (this runs once per attributed
   /// Ibex step in the Table I benches).
   [[nodiscard]] std::string section_of(std::uint32_t pc) const;
+
+  /// Checkpoint support.  ROM and SRAM are captured as CoW memory images;
+  /// everything else (core, PLIC, fabric counter, HMAC block, stall window)
+  /// rides the flat state stream.  The firmware image and section table are
+  /// config-derived and not serialized.
+  void capture(sim::Snapshot& snapshot, sim::SnapshotWriter& writer) const;
+  void restore(const sim::Snapshot& snapshot, std::size_t memory_base,
+               sim::SnapshotReader& reader);
+  /// Memory images this subsystem appends to a snapshot (ROM, SRAM).
+  static constexpr std::size_t kMemoryImages = 2;
 
  private:
   rv::Image firmware_;

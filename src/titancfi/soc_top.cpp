@@ -1,7 +1,9 @@
 #include "titancfi/soc_top.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
+#include <utility>
 
 namespace titan::cfi {
 
@@ -110,11 +112,89 @@ namespace {
 // relative, so the offset only models "RoT boots first" (secure boot).
 constexpr sim::Cycle kRotInitBudget = 200;
 
+/// Section sentinel framing the SocTop component stream ("SOCT").
+constexpr std::uint32_t kSocTag = 0x534F'4354;
+
 }  // namespace
 
 SocRunResult SocTop::run() {
   return config_.engine == Engine::kLockStep ? run_lock_step()
                                              : run_event_driven();
+}
+
+void SocTop::capture(sim::Snapshot& snapshot, sim::Cycle cycle) const {
+  snapshot.cycle = cycle;
+  snapshot.memories.clear();
+  snapshot.memories.push_back(host_memory_.capture());
+  sim::SnapshotWriter writer;
+  writer.tag(kSocTag);
+  host_core_->save_state(writer);
+  queue_controller_.save_state(writer);
+  log_writer_->save_state(writer);
+  mailbox_.save_state(writer);
+  axi_.save_state(writer);
+  writer.boolean(injector_ != nullptr);
+  if (injector_ != nullptr) {
+    injector_->save_state(writer);
+  }
+  writer.boolean(fault_seen_);
+  for (const std::uint64_t beat : fault_log_.pack()) {
+    writer.u64(beat);
+  }
+  rot_->capture(snapshot, writer);
+  snapshot.state = writer.take();
+}
+
+void SocTop::restore(const sim::Snapshot& snapshot) {
+  if (snapshot.memories.size() != 1 + RotSubsystem::kMemoryImages) {
+    throw sim::SnapshotError("soc top: wrong memory image count");
+  }
+  host_memory_.restore(snapshot.memories.at(0));
+  sim::SnapshotReader reader(snapshot.state);
+  reader.expect_tag(kSocTag, "soc top");
+  host_core_->load_state(reader);
+  queue_controller_.load_state(reader);
+  log_writer_->load_state(reader);
+  mailbox_.load_state(reader);
+  axi_.load_state(reader);
+  const bool captured_injector = reader.boolean();
+  if (captured_injector != (injector_ != nullptr)) {
+    throw sim::SnapshotError(
+        "soc top: snapshot fault plan does not match this configuration");
+  }
+  if (injector_ != nullptr) {
+    injector_->load_state(reader);
+  }
+  fault_seen_ = reader.boolean();
+  std::array<std::uint64_t, CommitLog::kBeats> beats{};
+  for (std::uint64_t& beat : beats) {
+    beat = reader.u64();
+  }
+  fault_log_ = CommitLog::unpack(beats);
+  rot_->restore(snapshot, 1, reader);
+  if (!reader.done()) {
+    throw sim::SnapshotError("soc top: trailing component state");
+  }
+  start_cycle_ = snapshot.cycle;
+}
+
+void SocTop::set_checkpoint(sim::Cycle at,
+                            std::function<void(const sim::Snapshot&)> callback,
+                            bool stop_after) {
+  checkpoint_at_ = at;
+  checkpoint_cb_ = std::move(callback);
+  checkpoint_stop_ = stop_after;
+}
+
+bool SocTop::take_checkpoint(sim::Cycle cycle, bool force) {
+  if (!checkpoint_at_ || (!force && cycle < *checkpoint_at_)) {
+    return false;
+  }
+  checkpoint_at_.reset();
+  sim::Snapshot snapshot;
+  capture(snapshot, cycle);
+  checkpoint_cb_(snapshot);
+  return checkpoint_stop_;
 }
 
 void SocTop::step_cycle(sim::Cycle& cycle) {
@@ -146,16 +226,26 @@ void SocTop::drain_pending(sim::Cycle& cycle) {
 }
 
 SocRunResult SocTop::run_lock_step() {
-  sim::Cycle cycle = 0;
+  sim::Cycle cycle = start_cycle_;
+  // Harmless monotonic no-op on a resumed run (the RoT clock is already
+  // past the init budget).
   rot_->run_until(kRotInitBudget);
 
   while (!host_core_->program_done() && !fault_seen_) {
+    if (take_checkpoint(cycle, /*force=*/false)) {
+      return collect_result();
+    }
     if (cycle >= config_.max_cycles) {
       throw std::runtime_error("SocTop: cycle guard exceeded");
     }
     step_cycle(cycle);
   }
 
+  // The program finished (or faulted) before the checkpoint cycle: fire at
+  // the main-loop exit boundary so the caller still gets a snapshot.
+  if (take_checkpoint(cycle, /*force=*/true)) {
+    return collect_result();
+  }
   drain_pending(cycle);
   return collect_result();
 }
@@ -168,10 +258,13 @@ bool SocTop::quiescent() const {
 }
 
 SocRunResult SocTop::run_event_driven() {
-  sim::Cycle cycle = 0;
+  sim::Cycle cycle = start_cycle_;
   rot_->run_until(kRotInitBudget);
 
   while (!host_core_->program_done() && !fault_seen_) {
+    if (take_checkpoint(cycle, /*force=*/false)) {
+      return collect_result();
+    }
     if (cycle >= config_.max_cycles) {
       throw std::runtime_error("SocTop: cycle guard exceeded");
     }
@@ -181,7 +274,12 @@ SocRunResult SocTop::run_event_driven() {
       // iterations would have sampled an empty queue, scanned non-CFI
       // entries through the filters, ticked an idle writer (a no-op), and
       // run the RoT to the same final clock — all replayed exactly below.
-      const auto quantum = host_core_->run_until_event(config_.max_cycles);
+      // A pending checkpoint clamps the quantum so both engines capture at
+      // the identical loop-top cycle.
+      const sim::Cycle limit =
+          checkpoint_at_ ? std::min(config_.max_cycles, *checkpoint_at_)
+                         : config_.max_cycles;
+      const auto quantum = host_core_->run_until_event(limit);
       if (quantum.cycles > 0) {
         queue_controller_.note_bypassed_cycles(
             quantum.cycles, quantum.port0_scans, quantum.port1_scans);
@@ -197,6 +295,9 @@ SocRunResult SocTop::run_event_driven() {
     step_cycle(cycle);
   }
 
+  if (take_checkpoint(cycle, /*force=*/true)) {
+    return collect_result();
+  }
   drain_pending(cycle);
   return collect_result();
 }

@@ -12,13 +12,16 @@
 //      the Log Writer next cycle.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "cva6/core.hpp"
 #include "rv/assembler.hpp"
 #include "sim/fault.hpp"
 #include "sim/memory.hpp"
+#include "sim/snapshot.hpp"
 #include "soc/bus.hpp"
 #include "soc/mailbox.hpp"
 #include "soc/pmp.hpp"
@@ -128,6 +131,34 @@ class SocTop {
   [[nodiscard]] LogWriter& log_writer() { return *log_writer_; }
   [[nodiscard]] const SocConfig& config() const { return config_; }
 
+  /// Freeze the full deterministic SoC state at loop-top cycle `cycle`:
+  /// host DRAM / RoT ROM / RoT SRAM as CoW memory images plus the flat
+  /// component stream (host core, queue controller, log writer, mailbox,
+  /// AXI fabric, fault injector, RoT subsystem).  host_now_ is dead at every
+  /// loop-top boundary (reassigned before any use in step_cycle and
+  /// drain_pending) and the only engine-divergent member, so it is
+  /// deliberately not serialized.  The caller seals the snapshot.
+  void capture(sim::Snapshot& snapshot, sim::Cycle cycle) const;
+
+  /// Rebuild the captured state.  The SocConfig and program images must match
+  /// the captured run (enforced upstream via the Scenario string embedded in
+  /// the snapshot); a structural mismatch the stream can detect — fault plan
+  /// presence, section-tag skew, trailing bytes — throws sim::SnapshotError.
+  /// A subsequent run() continues from the checkpoint cycle.
+  void restore(const sim::Snapshot& snapshot);
+
+  /// Arrange for `callback` to fire with a fresh capture at the first
+  /// loop-top cycle >= `at`.  Both engines fire at the identical cycle: the
+  /// lock-step loop visits every cycle, and the event engine clamps its
+  /// fast-forward quanta to the pending checkpoint cycle.  If the main loop
+  /// exits first (program done / CFI fault), the callback fires once at loop
+  /// exit instead.  With `stop_after`, run() returns straight after the
+  /// capture without draining (that partial result is meaningless; callers
+  /// wanting a checkpoint ignore it).  One-shot: firing clears the trigger.
+  void set_checkpoint(sim::Cycle at,
+                      std::function<void(const sim::Snapshot&)> callback,
+                      bool stop_after = false);
+
  private:
   SocRunResult run_lock_step();
   SocRunResult run_event_driven();
@@ -136,6 +167,9 @@ class SocTop {
   /// Post-program drain: tick the writer/RoT until the CFI pipeline empties.
   void drain_pending(sim::Cycle& cycle);
   [[nodiscard]] SocRunResult collect_result() const;
+  /// Fire the pending checkpoint if due (`cycle` reached it, or `force` at
+  /// main-loop exit); returns true when run() should stop (stop_after).
+  bool take_checkpoint(sim::Cycle cycle, bool force);
   /// True when no component can generate a CFI event before new host commit
   /// input: empty CFI queue, idle Log Writer, quiet mailbox, and no
   /// CFI-relevant instruction in the host ROB.  In this state the engine may
@@ -158,6 +192,13 @@ class SocTop {
   CommitLog fault_log_{};
   bool fault_seen_ = false;
   soc::Pmp pmp_;
+  /// Pending one-shot checkpoint trigger (see set_checkpoint).
+  std::optional<sim::Cycle> checkpoint_at_;
+  std::function<void(const sim::Snapshot&)> checkpoint_cb_;
+  bool checkpoint_stop_ = false;
+  /// Cycle run() starts from — zero on a cold run, the checkpoint cycle
+  /// after restore().
+  sim::Cycle start_cycle_ = 0;
 };
 
 }  // namespace titan::cfi

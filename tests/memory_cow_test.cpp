@@ -1,0 +1,185 @@
+// Copy-on-write page sharing between a Memory and its checkpoint images:
+// capture() must share pages (not copy), the first post-capture write must
+// clone, sibling forks must be isolated, every PageRef / fetch-page cache
+// entry taken before a restore must be invalidated by the map-epoch bump
+// (the stale-PageRef regression), and the access-statistics lanes — page
+// cache and negative cache included — must continue bit-exactly after a
+// capture/restore versus an uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/memory.hpp"
+
+namespace titan::sim {
+namespace {
+
+TEST(MemoryCowTest, CaptureSharesPagesAndClonesOnFirstWrite) {
+  Memory memory;
+  memory.write64(0x1000, 0xAAAA'AAAA'AAAA'AAAAull);
+  const Memory::Image image = memory.capture();
+  ASSERT_EQ(image.pages.size(), 1u);
+  // The live memory and the image hold the same page object — capture copies
+  // nothing.
+  EXPECT_EQ(image.pages[0].second.use_count(), 2);
+
+  // First write after capture clones: the image's page is released by the
+  // live memory and keeps the old contents.
+  memory.write64(0x1000, 0xBBBB'BBBB'BBBB'BBBBull);
+  EXPECT_EQ(image.pages[0].second.use_count(), 1);
+  EXPECT_EQ(memory.read64(0x1000), 0xBBBB'BBBB'BBBB'BBBBull);
+
+  Memory restored;
+  restored.restore(image);
+  EXPECT_EQ(restored.read64(0x1000), 0xAAAA'AAAA'AAAA'AAAAull);
+}
+
+TEST(MemoryCowTest, WriteThroughPrimedWayStillClones) {
+  // Regression for the hot-path hazard: a write primes a *writable* cache
+  // way; capture() must demote it, or the next write lands directly in the
+  // shared page behind the image's back.
+  Memory memory;
+  memory.write64(0x2000, 1);  // way primed writable
+  const Memory::Image image = memory.capture();
+  memory.write64(0x2000, 2);  // write hit on the demoted way → must clone
+
+  Memory restored;
+  restored.restore(image);
+  EXPECT_EQ(restored.read64(0x2000), 1u);
+  EXPECT_EQ(memory.read64(0x2000), 2u);
+}
+
+TEST(MemoryCowTest, SiblingForksAreIsolated) {
+  Memory origin;
+  origin.write64(0x3000, 0x1111);
+  origin.write64(0x7000, 0x2222);
+  const Memory::Image image = origin.capture();
+
+  Memory fork_a;
+  Memory fork_b;
+  fork_a.restore(image);
+  fork_b.restore(image);
+  fork_a.write64(0x3000, 0xAAAA);
+  fork_b.write64(0x3000, 0xBBBB);
+
+  EXPECT_EQ(fork_a.read64(0x3000), 0xAAAAu);
+  EXPECT_EQ(fork_b.read64(0x3000), 0xBBBBu);
+  EXPECT_EQ(origin.read64(0x3000), 0x1111u);
+  // The untouched page stays shared by all four owners (origin, image, both
+  // forks) — the whole point of CoW sweeps.
+  ASSERT_EQ(image.pages.size(), 2u);
+  EXPECT_EQ(image.pages[1].second.use_count(), 4);
+
+  Memory witness;
+  witness.restore(image);
+  EXPECT_EQ(witness.read64(0x3000), 0x1111u);
+  EXPECT_EQ(witness.read64(0x7000), 0x2222u);
+}
+
+TEST(MemoryCowTest, RestoreInvalidatesStalePageRefs) {
+  Memory memory;
+  memory.write64(0x4000, 0xDEAD);
+  const Memory::Image image = memory.capture();
+
+  const PageRef stale = memory.page_ref(0x4000);
+  ASSERT_NE(stale.data, nullptr);
+  EXPECT_EQ(stale.epoch, memory.map_epoch());
+
+  // restore() bumps the map epoch even when the contents are identical: any
+  // PageRef taken before it must fail its revalidation check.
+  memory.restore(image);
+  EXPECT_NE(stale.epoch, memory.map_epoch());
+
+  const PageRef fresh = memory.page_ref(0x4000);
+  ASSERT_NE(fresh.data, nullptr);
+  EXPECT_EQ(fresh.epoch, memory.map_epoch());
+}
+
+TEST(MemoryCowTest, FetchPageCacheMissesAfterRestore) {
+  Memory memory;
+  memory.write32(0x5000, 0x00000013);  // nop encoding, any bytes would do
+  const Memory::Image image = memory.capture();
+
+  FetchPageCache cache;
+  std::uint32_t window = 0;
+  ASSERT_TRUE(cache.refill(memory, 0x5000, &window));
+  EXPECT_EQ(window, 0x00000013u);
+  EXPECT_TRUE(cache.lookup(0x5000, &window));
+
+  memory.restore(image);
+  // The cached PageRef's epoch is stale: lookup must miss, never hand out a
+  // pointer into a page map that was just rebuilt.
+  EXPECT_FALSE(cache.lookup(0x5000, &window));
+  ASSERT_TRUE(cache.refill(memory, 0x5000, &window));
+  EXPECT_EQ(window, 0x00000013u);
+  EXPECT_TRUE(cache.lookup(0x5000, &window));
+
+  cache.invalidate();
+  EXPECT_FALSE(cache.lookup(0x5000, &window));
+}
+
+/// One fixed access mix: mapped reads/writes (page-cache lanes), unmapped
+/// probes of a recurring device page (negative cache), and a fresh unmapped
+/// page (negative-cache fill).
+void run_suffix_ops(Memory& memory) {
+  for (int i = 0; i < 8; ++i) {
+    (void)memory.read64(0x1000 + 8 * static_cast<Addr>(i));
+    memory.write64(0x1008, 0x5150 + static_cast<std::uint64_t>(i));
+    (void)memory.read32(0xF000'0000);  // unmapped MMIO poll, recurring
+  }
+  (void)memory.read8(0xE000'0000 + 0x123);  // unmapped, first touch
+  (void)memory.read8(0xE000'0000 + 0x124);  // …now a negative-cache hit
+}
+
+TEST(MemoryCowTest, StatLanesContinueBitExactlyAfterRestore) {
+  const auto run_prefix_ops = [](Memory& memory) {
+    memory.write64(0x1000, 0x1234);
+    memory.write64(0x1040, 0x5678);
+    (void)memory.read64(0x1000);
+    (void)memory.read32(0xF000'0000);  // primes the negative cache
+  };
+
+  // Path A: prefix, capture, suffix on the same memory.
+  Memory through;
+  run_prefix_ops(through);
+  const Memory::Image image = through.capture();
+  run_suffix_ops(through);
+
+  // Path B: fork from the image, then the identical suffix.
+  Memory forked;
+  forked.restore(image);
+  run_suffix_ops(forked);
+
+  // Path C: uninterrupted control — no capture at all.
+  Memory control;
+  run_prefix_ops(control);
+  run_suffix_ops(control);
+
+  // The capture/restore seam must be invisible in every counter: same
+  // page-cache hits/misses, same negative-cache hits, same unmapped reads.
+  EXPECT_EQ(through.stats(), control.stats());
+  EXPECT_EQ(forked.stats(), control.stats());
+  EXPECT_EQ(forked.read64(0x1008), through.read64(0x1008));
+}
+
+TEST(MemoryCowTest, RestoreCarriesFlagsAndStats) {
+  Memory memory;
+  memory.set_fast_path_enabled(false);
+  memory.set_strict_unmapped(true);
+  memory.write64(0x6000, 42);
+  (void)memory.read64(0x6000);
+  const Memory::Image image = memory.capture();
+  EXPECT_FALSE(image.fast_path);
+  EXPECT_TRUE(image.strict_unmapped);
+
+  Memory restored;
+  restored.restore(image);
+  EXPECT_FALSE(restored.fast_path_enabled());
+  EXPECT_TRUE(restored.strict_unmapped());
+  EXPECT_EQ(restored.stats(), memory.stats());
+  EXPECT_THROW((void)restored.read64(0xDEAD'0000), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace titan::sim

@@ -2,6 +2,7 @@
 //
 //   bench_shard_driver --shards=K [--out=MERGED.json] [--timeout=SECONDS]
 //                      [--check-against=SERIAL.json] [--keep-partials]
+//                      [--warm-start]
 //                      -- ./build/bench_table2 [bench args...]
 //
 // Launches K local processes of the named sweep bench, each owning one
@@ -12,6 +13,16 @@
 // `--check-against` verifies directly.  This is the single-machine
 // counterpart of the CI shard matrix: process-level parallelism (memory
 // isolation, independent address spaces) without a workflow engine.
+//
+// With --warm-start, the parent first runs the bench once with
+// `--write_checkpoints=PREFIX.warm.ckpt` — one warm-up prefix simulation
+// per grid scenario, captured into a copy-on-write checkpoint bundle — and
+// every shard child is then launched with `--warm_start=PREFIX.warm.ckpt`,
+// forking its points from the shared bundle instead of re-simulating the
+// warm-up K times.  Checkpoints carry the report identity, so the merged
+// document is still byte-identical to a cold serial run (--check-against
+// holds with or without the flag).  The bundle is deleted with the partials
+// unless --keep-partials is given.
 //
 // Children are supervised, not just awaited: each child's stderr is captured
 // through a pipe (drained while the child runs, so a chatty bench cannot
@@ -49,7 +60,7 @@ using Clock = std::chrono::steady_clock;
 int usage() {
   std::cerr << "usage: bench_shard_driver --shards=K [--out=PATH] "
                "[--timeout=SECONDS] [--check-against=PATH] [--keep-partials] "
-               "-- BENCH_BINARY [bench args...]\n";
+               "[--warm-start] -- BENCH_BINARY [bench args...]\n";
   return 2;
 }
 
@@ -147,6 +158,44 @@ std::string describe_failure(const Attempt& attempt) {
   return os.str();
 }
 
+/// Run one child to completion (blocking), draining its stderr throughout.
+/// Used for the --warm-start bundle build, which must finish before any
+/// shard can fork from it.  Returns false on spawn/exit failure, with the
+/// child's stderr echoed either way.
+bool run_to_completion(const std::vector<std::string>& args,
+                       long timeout_seconds) {
+  Attempt attempt;
+  if (!spawn(args, attempt)) {
+    return false;
+  }
+  while (attempt.running) {
+    drain_stderr(attempt);
+    if (timeout_seconds > 0 && !attempt.timed_out &&
+        Clock::now() - attempt.started >=
+            std::chrono::seconds(timeout_seconds)) {
+      attempt.timed_out = true;
+      ::kill(attempt.pid, SIGKILL);
+    }
+    if (::waitpid(attempt.pid, &attempt.wait_status, WNOHANG) ==
+        attempt.pid) {
+      attempt.running = false;
+      break;
+    }
+    ::usleep(10'000);
+  }
+  drain_stderr(attempt);
+  if (attempt.stderr_fd >= 0) {
+    ::close(attempt.stderr_fd);
+  }
+  std::cerr << attempt.stderr_text;
+  if (!attempt_succeeded(attempt)) {
+    std::cerr << "bench_shard_driver: checkpoint build "
+              << describe_failure(attempt) << "\n";
+    return false;
+  }
+  return true;
+}
+
 /// Supervision record for one shard: its argv and up to two attempts.
 struct Shard {
   std::vector<std::string> args;
@@ -167,6 +216,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string check_path;
   bool keep_partials = false;
+  bool warm_start = false;
   long timeout_seconds = 0;  // 0 == unbounded.
   std::vector<std::string> bench_args;
   int i = 1;
@@ -195,6 +245,8 @@ int main(int argc, char** argv) {
       check_path = arg + 16;
     } else if (std::strcmp(arg, "--keep-partials") == 0) {
       keep_partials = true;
+    } else if (std::strcmp(arg, "--warm-start") == 0) {
+      warm_start = true;
     } else {
       std::cerr << "bench_shard_driver: unknown flag '" << arg << "'\n";
       return usage();
@@ -209,6 +261,21 @@ int main(int argc, char** argv) {
 
   const std::string prefix =
       out_path.empty() ? std::string("bench_shard_driver") : out_path;
+
+  // --warm-start: build the checkpoint bundle once, in the parent, before
+  // any shard exists; then hand every child the same bundle to fork from.
+  std::string bundle_path;
+  if (warm_start) {
+    bundle_path = prefix + ".warm.ckpt";
+    std::vector<std::string> build_args = bench_args;
+    build_args.push_back("--write_checkpoints=" + bundle_path);
+    if (!run_to_completion(build_args, timeout_seconds)) {
+      std::remove(bundle_path.c_str());
+      return 1;
+    }
+    bench_args.push_back("--warm_start=" + bundle_path);
+  }
+
   std::vector<std::string> partial_paths;
   std::vector<Shard> table(shards);
   for (unsigned shard = 0; shard < shards; ++shard) {
@@ -344,6 +411,9 @@ int main(int argc, char** argv) {
   if (!keep_partials) {
     for (const std::string& path : partial_paths) {
       std::remove(path.c_str());
+    }
+    if (!bundle_path.empty()) {
+      std::remove(bundle_path.c_str());
     }
   }
   std::cerr << "bench_shard_driver: ran " << shards << " shard process(es)"

@@ -4,6 +4,13 @@
 //   fault_matrix_smoke                     # both engines, field-wise diff
 //   fault_matrix_smoke --engine=lockstep --json=A.json
 //   fault_matrix_smoke --engine=event    --json=B.json
+//   fault_matrix_smoke --write_checkpoints=PATH   # warm-up bundle, exit
+//   fault_matrix_smoke --engine=... --warm_start=PATH
+//
+// A checkpoint bundle is engine-invariant: the same file warm-starts the
+// matrix under either scheduler (or both at once in default mode), which is
+// what lets CI byte-diff a warm event-driven document against a cold
+// lock-step witness.
 //
 // Default mode runs every scenario tagged "fault_matrix" under BOTH
 // co-simulation engines and compares the full RunReport (operator==, which
@@ -19,15 +26,17 @@
 #include <string>
 #include <vector>
 
+#include "api/checkpoint.hpp"
 #include "api/registry.hpp"
 #include "api/run.hpp"
 #include "api/sweep.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
 int usage() {
   std::cerr << "usage: fault_matrix_smoke [--engine=lockstep|event] "
-               "[--json=PATH]\n";
+               "[--json=PATH] [--warm_start=PATH | --write_checkpoints=PATH]\n";
   return 2;
 }
 
@@ -38,6 +47,7 @@ int main(int argc, char** argv) {
   bool engine_given = false;
   Engine engine = Engine::kEventDriven;
   std::string json_path;
+  titan::sim::SweepCli checkpoint_cli;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--engine=", 9) == 0) {
@@ -53,18 +63,36 @@ int main(int argc, char** argv) {
       engine_given = true;
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       json_path = arg + 7;
+    } else if (std::strncmp(arg, "--warm_start=", 13) == 0) {
+      checkpoint_cli.warm_start_path = arg + 13;
+      checkpoint_cli.warm_start_given = true;
+    } else if (std::strncmp(arg, "--write_checkpoints=", 20) == 0) {
+      checkpoint_cli.write_checkpoints_path = arg + 20;
+      checkpoint_cli.write_checkpoints_given = true;
     } else {
       std::cerr << "fault_matrix_smoke: unknown flag '" << arg << "'\n";
       return usage();
     }
   }
+  if (checkpoint_cli.warm_start_given && checkpoint_cli.write_checkpoints_given) {
+    std::cerr << "fault_matrix_smoke: --warm_start and --write_checkpoints "
+                 "are mutually exclusive\n";
+    return usage();
+  }
 
-  const titan::api::ScenarioSet matrix =
+  titan::api::ScenarioSet matrix =
       titan::api::ScenarioRegistry::global().query("fault_matrix",
                                                    "fault_matrix");
   if (matrix.empty()) {
     std::cerr << "fault_matrix_smoke: registry has no fault_matrix tag\n";
     return 1;
+  }
+  // Bundles are captured engine-agnostic and fork under whichever scheduler
+  // each run selects below.
+  const int checkpoint_rc = titan::api::handle_checkpoint_cli(
+      matrix, checkpoint_cli, "fault_matrix_smoke");
+  if (checkpoint_rc >= 0) {
+    return checkpoint_rc;
   }
 
   if (engine_given) {
