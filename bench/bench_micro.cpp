@@ -816,6 +816,8 @@ struct Pr7GridReport {
   double warm_seconds = 0;     ///< Best-of-2 full-grid sweep, forked.
   double skipped_fraction = 0; ///< Simulated cycles the fork skips.
   bool bit_exact = true;       ///< Warm RunReport == cold RunReport, per point.
+  std::uint64_t cache_hits = 0;    ///< CheckpointCache hits over the grid.
+  std::uint64_t cache_misses = 0;  ///< Captures (one per distinct point).
 };
 
 Pr7GridReport pr7_measure_grid(const titan::api::ScenarioSet& grid) {
@@ -831,16 +833,18 @@ Pr7GridReport pr7_measure_grid(const titan::api::ScenarioSet& grid) {
     cold_reports.push_back(titan::api::run_scenario(scenario));
   }
 
-  // One checkpoint per point at its midpoint cycle; the capture cost is the
-  // one-time investment a sweep amortises across every reuse of the bundle.
+  // One checkpoint per point at its midpoint cycle, through the same
+  // CheckpointCache the daemon serves from; the capture cost is the one-time
+  // investment a sweep amortises across every reuse of the bundle, and the
+  // hit/miss counters below prove each point was captured exactly once.
+  titan::api::CheckpointCache cache;
   std::vector<Scenario> warm;
   warm.reserve(grid.size());
   std::uint64_t skipped_cycles = 0;
   std::uint64_t total_cycles = 0;
   const auto capture_start = Clock::now();
   for (std::size_t i = 0; i < grid.size(); ++i) {
-    const auto snapshot =
-        titan::api::capture_checkpoint(grid[i], cold_reports[i].cycles / 2);
+    const auto snapshot = cache.warmed(grid[i], cold_reports[i].cycles / 2);
     skipped_cycles += snapshot->cycle;
     total_cycles += cold_reports[i].cycles;
     warm.push_back(grid[i].with_warm_start(snapshot));
@@ -853,11 +857,18 @@ Pr7GridReport pr7_measure_grid(const titan::api::ScenarioSet& grid) {
                            : 0.0;
 
   // Bit-exactness before any timing claim: every forked report must equal
-  // its cold reference field-for-field.
-  for (std::size_t i = 0; i < warm.size(); ++i) {
+  // its cold reference field-for-field.  Each point re-fetches its snapshot
+  // through the cache, so after this loop the counters must read exactly
+  // (points hits, points misses) — anything else means the cache captured
+  // twice or aliased two scenarios.
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const Scenario forked =
+        grid[i].with_warm_start(cache.warmed(grid[i], cold_reports[i].cycles / 2));
     r.bit_exact = r.bit_exact &&
-                  titan::api::run_scenario(warm[i]) == cold_reports[i];
+                  titan::api::run_scenario(forked) == cold_reports[i];
   }
+  r.cache_hits = cache.hits();
+  r.cache_misses = cache.misses();
 
   // Interleaved best-of-2 passes, cold and warm alternating, so transient
   // host noise cannot systematically favour either mode.
@@ -896,6 +907,8 @@ void emit_pr7_grid(titan::sim::JsonWriter& json, std::string_view key,
       .field("break_even_reuses",
              saved > 0 ? r.capture_seconds / saved : 0.0)
       .field("bit_exact", r.bit_exact)
+      .field("cache_hits", r.cache_hits)
+      .field("cache_misses", r.cache_misses)
       .end_object();
 }
 
@@ -912,13 +925,17 @@ bool run_pr7_report(const std::string& path) {
       pr7_measure_grid(registry.query("fig1_liveness", "fig1"));
   std::cerr << "[pr7]   " << fig1.cold_seconds / fig1.warm_seconds
             << "x over " << fig1.points << " points (bit-exact: "
-            << (fig1.bit_exact ? "yes" : "NO") << ")\n";
+            << (fig1.bit_exact ? "yes" : "NO") << "; cache "
+            << fig1.cache_misses << " capture(s) / " << fig1.cache_hits
+            << " hit(s))\n";
   std::cerr << "[pr7] fault_matrix grid: cold vs warm-start sweep...\n";
   const Pr7GridReport matrix =
       pr7_measure_grid(registry.query("fault_matrix", "fault_matrix"));
   std::cerr << "[pr7]   " << matrix.cold_seconds / matrix.warm_seconds
             << "x over " << matrix.points << " points (bit-exact: "
-            << (matrix.bit_exact ? "yes" : "NO") << ")\n";
+            << (matrix.bit_exact ? "yes" : "NO") << "; cache "
+            << matrix.cache_misses << " capture(s) / " << matrix.cache_hits
+            << " hit(s))\n";
 
   const bool speedup_meaningful =
       fig1.cold_seconds + matrix.cold_seconds > 0.01;

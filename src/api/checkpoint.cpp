@@ -54,8 +54,10 @@ std::shared_ptr<const sim::Snapshot> CheckpointCache::warmed(
   const std::string key = scenario.serialize();
   const auto it = by_identity_.find(key);
   if (it != by_identity_.end()) {
+    hits_.fetch_add(1);
     return it->second;
   }
+  misses_.fetch_add(1);
   std::shared_ptr<const sim::Snapshot> snapshot =
       capture_checkpoint(scenario, at, hooks);
   by_identity_.emplace(key, snapshot);
@@ -65,7 +67,12 @@ std::shared_ptr<const sim::Snapshot> CheckpointCache::warmed(
 std::shared_ptr<const sim::Snapshot> CheckpointCache::find(
     const Scenario& scenario) const {
   const auto it = by_identity_.find(scenario.serialize());
-  return it == by_identity_.end() ? nullptr : it->second;
+  if (it == by_identity_.end()) {
+    misses_.fetch_add(1);
+    return nullptr;
+  }
+  hits_.fetch_add(1);
+  return it->second;
 }
 
 void CheckpointCache::insert(std::shared_ptr<const sim::Snapshot> snapshot) {

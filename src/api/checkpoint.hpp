@@ -17,6 +17,8 @@
 // truncated, foreign, or version-skewed file throws sim::SnapshotError.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -67,8 +69,19 @@ class CheckpointCache {
   [[nodiscard]] std::size_t size() const { return by_identity_.size(); }
   void clear() { by_identity_.clear(); }
 
+  /// Lookup outcome counters: a hit is a warmed()/find() call answered from
+  /// the cache, a miss is one that had to capture (warmed) or came back null
+  /// (find).  Atomic so read-side observers (titand's /metrics, bench_micro
+  /// --pr7_only) can sample them without synchronising with lookups; note
+  /// the map itself is NOT thread-safe — concurrent warmed() calls still
+  /// need external locking, which the daemon's service layer provides.
+  [[nodiscard]] std::uint64_t hits() const { return hits_.load(); }
+  [[nodiscard]] std::uint64_t misses() const { return misses_.load(); }
+
  private:
   std::map<std::string, std::shared_ptr<const sim::Snapshot>> by_identity_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
 };
 
 /// Write `snapshot` to `path` in the versioned blob format (see

@@ -2,58 +2,14 @@
 
 #include <array>
 
+#include "api/report_schema.hpp"
+
 namespace titan::api {
 
 void RunReport::emit_json_fields(sim::JsonWriter& json) const {
-  json.field("scenario", scenario)
-      .field("cycles", cycles)
-      .field("instructions", instructions)
-      .field("cf_logs", cf_logs)
-      .field("violations", violations)
-      .field("cfi_fault", cfi_fault)
-      .field("exit_code", exit_code)
-      .field("queue_full_stalls", queue_full_stalls)
-      .field("dual_cf_stalls", dual_cf_stalls)
-      .field("doorbells", doorbells)
-      .field("batches", batches)
-      .field("max_batch", max_batch)
-      .field("mean_queue_occupancy", mean_queue_occupancy)
-      .field("doorbells_per_log", doorbells_per_log())
-      .field("mem_reads", host_memory.reads)
-      .field("mem_writes", host_memory.writes)
-      .field("mem_fetches", host_memory.fetches)
-      .field("mem_page_cache_hits", host_memory.page_cache_hits)
-      .field("decode_hits", decode_hits)
-      .field("decode_misses", decode_misses)
-      .field("rot_instructions", rot_instructions)
-      .field("rot_hmac_starts", rot_hmac_starts)
-      // Flat resilience summary first (easy to column-select in sweeps)...
-      .field("faults_injected", resilience.total_injected())
-      .field("faults_detected", resilience.total_detected())
-      .field("fault_false_negatives", resilience.false_negatives)
-      .field("fault_retries",
-             resilience.doorbell_retries + resilience.mac_retries)
-      .field("degraded_cycles", resilience.degraded_cycles);
-  // ...then the full per-site block.
-  json.begin_object("resilience");
-  for (std::size_t site = 0; site < sim::kFaultSiteCount; ++site) {
-    const std::string name(
-        sim::fault_site_name(static_cast<sim::FaultSite>(site)));
-    json.field("injected_" + name, resilience.injected[site])
-        .field("detected_" + name, resilience.detected[site]);
-  }
-  json.begin_array("detection_latency_hist");
-  for (const std::uint64_t count : resilience.detection_latency) {
-    json.raw_element(std::to_string(count));
-  }
-  json.end_array();
-  json.field("doorbell_retries", resilience.doorbell_retries)
-      .field("mac_retries", resilience.mac_retries)
-      .field("spurious_completions", resilience.spurious_completions)
-      .field("dropped_logs", resilience.dropped_logs)
-      .field("false_negatives", resilience.false_negatives)
-      .field("degraded_cycles", resilience.degraded_cycles);
-  json.end_object();
+  // The field set/order lives in the versioned ReportSchema; this method
+  // survives as the schema's default-options shorthand.
+  ReportSchema().emit_fields(json, *this);
 }
 
 RunReport run_scenario(const Scenario& scenario, const RunHooks& hooks) {

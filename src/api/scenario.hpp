@@ -72,6 +72,14 @@ class Workload {
   /// same name cannot alias.
   static Workload image(std::string name, rv::Image image);
 
+  /// Inverse of serialized() for every named generator: "fib(8)" round-trips
+  /// to Workload::fib(8), and so on.  Throws ScenarioError naming the
+  /// offending token on an unknown generator, malformed argument list, or
+  /// out-of-range parameter.  "image:..." workloads are rejected — their
+  /// serialized form is a fingerprint of bytes a wire peer does not have, so
+  /// they are deliberately not wire-constructible.
+  static Workload from_serialized(std::string_view text);
+
   [[nodiscard]] bool set() const { return !serialized_.empty(); }
   /// Deterministic identity, e.g. "fib(8)" or "image:quickstart:<hash>".
   [[nodiscard]] const std::string& serialized() const { return serialized_; }
@@ -208,6 +216,19 @@ class ScenarioBuilder {
   /// [1, soc::Mailbox::kBatchSlots], MAC at burst 1, degenerate shadow-stack
   /// geometry).
   [[nodiscard]] Scenario build() const;
+
+  /// Inverse of Scenario::serialize(): parse the exact fingerprint grammar
+  /// serialize() emits, feed every knob through this builder, and build() —
+  /// so a deserialized scenario passes the same validation a hand-built one
+  /// does, and `from_serialized(s.serialize()).serialize() == s.serialize()`
+  /// for every buildable scenario.  This is how a wire request names an
+  /// arbitrary scenario (api::wire "spec" requests).  Throws ScenarioError
+  /// naming the offending key/token on malformed text, unknown keys,
+  /// duplicate keys, missing required keys, or out-of-range values.
+  /// Engine, warm-start, and max_cycles are not part of the grammar (they
+  /// are execution strategy, excluded from serialize()); the result carries
+  /// their defaults.
+  [[nodiscard]] static Scenario from_serialized(std::string_view text);
 
  private:
   std::string name_;

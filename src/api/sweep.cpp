@@ -2,6 +2,8 @@
 
 #include <iostream>
 
+#include "api/report_schema.hpp"
+
 namespace titan::api {
 
 int write_sweep_documents(const sim::SweepDocHeader& header,
@@ -37,7 +39,7 @@ SweepPlan<RunReport> scenario_sweep_plan(ScenarioSet set) {
   };
   plan.emit = [](sim::JsonWriter& json, const RunReport& row, std::size_t) {
     json.begin_object();
-    row.emit_json_fields(json);
+    ReportSchema().emit_fields(json, row);
     json.end_object();
   };
   return plan;

@@ -1,0 +1,206 @@
+#include "api/wire.hpp"
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/json.hpp"
+
+namespace titan::api {
+
+namespace {
+
+[[noreturn]] void bad_request(const std::string& what) {
+  throw WireError(WireErrorCode::kBadRequest, what);
+}
+
+/// Fetch an optional string field; wrong type is a shape violation.
+std::string string_field(const sim::JsonValue& object, std::string_view key) {
+  const sim::JsonValue* value = object.find(key);
+  if (value == nullptr) {
+    return {};
+  }
+  if (value->kind() != sim::JsonValue::Kind::kString) {
+    bad_request("field '" + std::string(key) + "' must be a string");
+  }
+  return value->as_string();
+}
+
+void append_quoted(std::string& out, std::string_view text) {
+  out += '"';
+  out += sim::json_escape(text);
+  out += '"';
+}
+
+std::string response_head(std::string_view id, bool ok) {
+  std::string out = "{\"schema_version\":";
+  out += std::to_string(kWireSchemaVersion);
+  out += ",\"id\":";
+  append_quoted(out, id);
+  out += ok ? ",\"ok\":true" : ",\"ok\":false";
+  return out;
+}
+
+}  // namespace
+
+std::string_view wire_error_code_name(WireErrorCode code) {
+  switch (code) {
+    case WireErrorCode::kBadFrame:
+      return "bad_frame";
+    case WireErrorCode::kOversizedFrame:
+      return "oversized_frame";
+    case WireErrorCode::kBadRequest:
+      return "bad_request";
+    case WireErrorCode::kUnsupportedVersion:
+      return "unsupported_version";
+    case WireErrorCode::kUnknownOp:
+      return "unknown_op";
+    case WireErrorCode::kUnknownScenario:
+      return "unknown_scenario";
+    case WireErrorCode::kInvalidScenario:
+      return "invalid_scenario";
+    case WireErrorCode::kSnapshotError:
+      return "snapshot_error";
+    case WireErrorCode::kShutdown:
+      return "shutdown";
+    case WireErrorCode::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+Request parse_request(std::string_view line) {
+  sim::JsonValue root;
+  try {
+    root = sim::JsonValue::parse(line);
+  } catch (const sim::JsonParseError& error) {
+    throw WireError(WireErrorCode::kBadFrame,
+                    std::string("frame is not valid JSON: ") + error.what());
+  }
+  if (root.kind() != sim::JsonValue::Kind::kObject) {
+    throw WireError(WireErrorCode::kBadFrame,
+                    "frame must be a JSON object");
+  }
+
+  const sim::JsonValue* version = root.find("schema_version");
+  if (version == nullptr) {
+    bad_request("missing required field 'schema_version'");
+  }
+  if (version->kind() != sim::JsonValue::Kind::kNumber) {
+    bad_request("field 'schema_version' must be an integer");
+  }
+  const std::int64_t version_value = version->as_int();
+  if (version_value != kWireSchemaVersion) {
+    throw WireError(WireErrorCode::kUnsupportedVersion,
+                    "schema_version " + std::to_string(version_value) +
+                        " is not supported (this server speaks " +
+                        std::to_string(kWireSchemaVersion) + ")");
+  }
+
+  const std::string op_name = [&] {
+    const sim::JsonValue* op = root.find("op");
+    if (op == nullptr) {
+      bad_request("missing required field 'op'");
+    }
+    if (op->kind() != sim::JsonValue::Kind::kString) {
+      bad_request("field 'op' must be a string");
+    }
+    return op->as_string();
+  }();
+
+  Request request;
+  request.schema_version = static_cast<int>(version_value);
+  request.id = string_field(root, "id");
+
+  if (op_name == "ping") {
+    request.op = RequestOp::kPing;
+  } else if (op_name == "list") {
+    request.op = RequestOp::kList;
+    request.tag = string_field(root, "tag");
+  } else if (op_name == "run") {
+    request.op = RequestOp::kRun;
+    request.scenario = string_field(root, "scenario");
+    request.spec = string_field(root, "spec");
+    request.engine = string_field(root, "engine");
+    if (request.scenario.empty() == request.spec.empty()) {
+      bad_request("run takes exactly one of 'scenario' or 'spec'");
+    }
+    if (!request.engine.empty() && request.engine != "lockstep" &&
+        request.engine != "event") {
+      bad_request("field 'engine' must be 'lockstep' or 'event', got '" +
+                  request.engine + "'");
+    }
+  } else {
+    throw WireError(WireErrorCode::kUnknownOp,
+                    "unknown op '" + op_name + "'");
+  }
+
+  // Unknown keys fail loudly: a typo'd optional field ("tga") must not be
+  // silently ignored on a versioned protocol.
+  for (const auto& [key, unused] : root.members()) {
+    const bool known =
+        key == "schema_version" || key == "id" || key == "op" ||
+        (request.op == RequestOp::kList && key == "tag") ||
+        (request.op == RequestOp::kRun &&
+         (key == "scenario" || key == "spec" || key == "engine"));
+    if (!known) {
+      bad_request("unknown field '" + key + "' for op '" + op_name + "'");
+    }
+  }
+  return request;
+}
+
+std::string render_ping_response(std::string_view id) {
+  std::string out = response_head(id, /*ok=*/true);
+  out += ",\"op\":\"ping\"}";
+  return out;
+}
+
+std::string render_list_response(
+    std::string_view id,
+    const std::vector<std::pair<std::string, std::string>>& scenarios) {
+  std::string out = response_head(id, /*ok=*/true);
+  out += ",\"op\":\"list\",\"scenarios\":[";
+  bool first = true;
+  for (const auto& [name, spec] : scenarios) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"name\":";
+    append_quoted(out, name);
+    out += ",\"spec\":";
+    append_quoted(out, spec);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render_run_response(std::string_view id,
+                                std::string_view scenario_name,
+                                bool warm_start,
+                                std::string_view report_json) {
+  std::string out = response_head(id, /*ok=*/true);
+  out += ",\"op\":\"run\",\"scenario\":";
+  append_quoted(out, scenario_name);
+  out += warm_start ? ",\"warm_start\":true" : ",\"warm_start\":false";
+  out += ",\"report\":";
+  append_quoted(out, report_json);
+  out += '}';
+  return out;
+}
+
+std::string render_error_response(std::string_view id, WireErrorCode code,
+                                  std::string_view message) {
+  std::string out = response_head(id, /*ok=*/false);
+  out += ",\"error\":{\"code\":";
+  append_quoted(out, wire_error_code_name(code));
+  out += ",\"message\":";
+  append_quoted(out, message);
+  out += "}}";
+  return out;
+}
+
+}  // namespace titan::api

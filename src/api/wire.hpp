@@ -1,0 +1,109 @@
+// Versioned request/response envelope for the scenario-serving wire protocol.
+//
+// One request per line, one response per line (JSON objects, LF-delimited —
+// see src/serve/server.hpp for framing).  The envelope is versioned
+// (schema_version, checked on every request) and errors are a closed
+// taxonomy of structured codes, not free text: a client can switch on
+// `error.code` ("unknown_scenario" vs "invalid_scenario" vs "bad_frame")
+// and treat `error.message` as human detail.  The library exceptions map
+// onto the taxonomy in one place (error_code_for_exception), so
+// api::ScenarioError and sim::SnapshotError surface as the same codes
+// everywhere the protocol is spoken.
+//
+// Request forms (schema_version 1):
+//   {"schema_version":1,"id":"r1","op":"ping"}
+//   {"schema_version":1,"id":"r2","op":"list"}                 // all scenarios
+//   {"schema_version":1,"id":"r3","op":"list","tag":"fault_matrix"}
+//   {"schema_version":1,"id":"r4","op":"run","scenario":"drain/burst8"}
+//   {"schema_version":1,"id":"r5","op":"run","spec":"scenario{...}"}
+//   (optional on run: "engine":"lockstep"|"event")
+//
+// A "run" response carries the canonical ReportSchema rendering of the
+// RunReport as a JSON string field ("report"): the exact bytes a batch
+// run_scenario caller would render, JSON-escaped for single-line transport
+// and restored verbatim by any JSON parser — which is what keeps the
+// served-vs-batch byte-identity witness end to end through the socket.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace titan::api {
+
+/// Wire protocol (envelope) version.  Bump on any incompatible change to
+/// the request or response shapes.
+inline constexpr int kWireSchemaVersion = 1;
+
+/// Closed error taxonomy of the wire protocol.
+enum class WireErrorCode {
+  kBadFrame,            ///< Frame is not a parseable JSON object.
+  kOversizedFrame,      ///< Frame exceeds the server's size limit.
+  kBadRequest,          ///< Valid JSON, invalid envelope (fields/types).
+  kUnsupportedVersion,  ///< schema_version this server does not speak.
+  kUnknownOp,           ///< op outside {ping, list, run}.
+  kUnknownScenario,     ///< run names a scenario the registry lacks.
+  kInvalidScenario,     ///< spec rejected by ScenarioBuilder validation.
+  kSnapshotError,       ///< warm-start checkpoint invalid or mismatched.
+  kShutdown,            ///< server is draining; request not served.
+  kInternal,            ///< unexpected server-side failure.
+};
+
+/// Stable string form, e.g. "unknown_scenario" (what goes on the wire).
+[[nodiscard]] std::string_view wire_error_code_name(WireErrorCode code);
+
+/// Protocol-level failure while parsing or validating a request envelope.
+class WireError : public std::runtime_error {
+ public:
+  WireError(WireErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  [[nodiscard]] WireErrorCode code() const { return code_; }
+
+ private:
+  WireErrorCode code_;
+};
+
+enum class RequestOp { kPing, kList, kRun };
+
+/// A parsed, validated request envelope.
+struct Request {
+  int schema_version = kWireSchemaVersion;
+  std::string id;        ///< Client-chosen correlation id, echoed verbatim.
+  RequestOp op = RequestOp::kPing;
+  std::string scenario;  ///< run: registry name (exclusive with spec).
+  std::string spec;      ///< run: serialized scenario form.
+  std::string engine;    ///< run: "", "lockstep", or "event".
+  std::string tag;       ///< list: optional registry tag filter.
+};
+
+/// Parse and validate one request line.  Throws WireError with the precise
+/// taxonomy code (kBadFrame for non-JSON, kUnsupportedVersion for a version
+/// skew, kBadRequest for shape violations — unknown keys included, so a
+/// typo'd field fails loudly instead of being silently ignored).
+[[nodiscard]] Request parse_request(std::string_view line);
+
+// ---- Response rendering (single-line, no trailing newline) ------------------
+
+/// {"schema_version":1,"id":...,"ok":true,"op":"ping"}
+[[nodiscard]] std::string render_ping_response(std::string_view id);
+
+/// {"schema_version":1,...,"op":"list","scenarios":[{"name":...,"spec":...}]}
+[[nodiscard]] std::string render_list_response(
+    std::string_view id,
+    const std::vector<std::pair<std::string, std::string>>& scenarios);
+
+/// {"schema_version":1,...,"op":"run","scenario":...,"warm_start":...,
+///  "report":"<json-escaped canonical ReportSchema rendering>"}
+[[nodiscard]] std::string render_run_response(std::string_view id,
+                                              std::string_view scenario_name,
+                                              bool warm_start,
+                                              std::string_view report_json);
+
+/// {"schema_version":1,"id":...,"ok":false,"error":{"code":...,"message":...}}
+[[nodiscard]] std::string render_error_response(std::string_view id,
+                                                WireErrorCode code,
+                                                std::string_view message);
+
+}  // namespace titan::api

@@ -1,0 +1,38 @@
+#include "serve/daemon.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+namespace titan::serve {
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int signum) {
+  const char byte = static_cast<char>(signum);
+  (void)!write(g_signal_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  if (g_signal_pipe[0] < 0 && pipe(g_signal_pipe) != 0) {
+    return;  // no pipe, no graceful shutdown — the default disposition wins
+  }
+  struct sigaction action {};
+  action.sa_handler = on_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+int wait_for_shutdown() {
+  char byte = 0;
+  while (read(g_signal_pipe[0], &byte, 1) != 1) {
+  }
+  return static_cast<int>(byte);
+}
+
+}  // namespace titan::serve

@@ -1,0 +1,18 @@
+// Daemon lifecycle: run-until-signal for titand.
+//
+// install_shutdown_handlers() routes SIGINT and SIGTERM through a self-pipe
+// (the only async-signal-safe thing a handler can do is write a byte), and
+// wait_for_shutdown() blocks until one arrives.  Kept separate from Server
+// so tests can drive a Server's full start/serve/stop cycle in-process
+// without ever touching process-global signal dispositions.
+#pragma once
+
+namespace titan::serve {
+
+/// Install SIGINT/SIGTERM handlers.  Call once, before wait_for_shutdown().
+void install_shutdown_handlers();
+
+/// Block until a handled signal arrives; returns the signal number.
+[[nodiscard]] int wait_for_shutdown();
+
+}  // namespace titan::serve

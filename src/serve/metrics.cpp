@@ -1,0 +1,86 @@
+#include "serve/metrics.hpp"
+
+#include "sim/fault.hpp"
+
+namespace titan::serve {
+
+void MetricsRegistry::add_counter(std::string_view name, std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_[std::string(name)] += delta;
+}
+
+void MetricsRegistry::set_counter(std::string_view name, std::uint64_t value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_[std::string(name)] = value;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, std::uint64_t value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[std::string(name)] = value;
+}
+
+void MetricsRegistry::observe_latency(std::string_view scenario,
+                                      std::uint64_t micros) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  LatencyHistogram& hist = latency_[std::string(scenario)];
+  hist.buckets[sim::latency_bucket(micros, kLatencyHistogramBuckets)] += 1;
+  hist.sum += micros;
+  hist.count += 1;
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(std::string(name));
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::uint64_t MetricsRegistry::gauge(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(std::string(name));
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges_) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  if (!latency_.empty()) {
+    const std::string name = "titand_request_latency_microseconds";
+    out += "# TYPE " + name + " histogram\n";
+    for (const auto& [scenario, hist] : latency_) {
+      // Scenario names may hold '/' and '"'; both are label-safe once '"'
+      // and '\' are escaped per the exposition format.
+      std::string label;
+      for (const char c : scenario) {
+        if (c == '"' || c == '\\') {
+          label += '\\';
+        }
+        label += c;
+      }
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < kLatencyHistogramBuckets; ++i) {
+        cumulative += hist.buckets[i];
+        const std::string le =
+            i + 1 == kLatencyHistogramBuckets
+                ? "+Inf"
+                : std::to_string((std::uint64_t{1} << i) - 1);
+        out += name + "_bucket{scenario=\"" + label + "\",le=\"" + le + "\"} " +
+               std::to_string(cumulative) + "\n";
+      }
+      out += name + "_sum{scenario=\"" + label + "\"} " +
+             std::to_string(hist.sum) + "\n";
+      out += name + "_count{scenario=\"" + label + "\"} " +
+             std::to_string(hist.count) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace titan::serve

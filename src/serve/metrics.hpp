@@ -1,0 +1,67 @@
+// Daemon observability: a small counter/gauge/histogram registry rendered in
+// the Prometheus text exposition format on titand's GET /metrics endpoint.
+//
+// Scope is deliberately narrow — this is not a general metrics library.  The
+// daemon needs monotonic counters (requests served, errors by code,
+// checkpoint-cache hits/misses, simulated cycles), point-in-time gauges
+// (queue depth, warm cache size), and per-scenario request-latency
+// histograms.  The histograms reuse the simulator's log2 bucket machinery
+// (sim::latency_bucket, the same binning ResilienceStats uses for detection
+// latency), so one bucketing definition serves both the sim-side and the
+// service-side latency stories.
+//
+// Thread model: one mutex guards the whole registry.  Updates happen a
+// handful of times per request against simulations that run for millions of
+// cycles, so contention is irrelevant — simplicity wins.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace titan::serve {
+
+/// Power-of-two histogram over request latencies (microseconds).  Bucket i
+/// counts values with bit_width == i (bucket 0: value 0), the last bucket is
+/// the overflow tail — exactly sim::ResilienceStats' binning.
+inline constexpr std::size_t kLatencyHistogramBuckets = 20;
+
+class MetricsRegistry {
+ public:
+  /// Add `delta` to the counter `name` (created at 0 on first touch).
+  void add_counter(std::string_view name, std::uint64_t delta = 1);
+  /// Overwrite the counter `name` with a monotonic value maintained by an
+  /// external source (e.g. CheckpointCache's own hit/miss atomics).
+  void set_counter(std::string_view name, std::uint64_t value);
+  /// Set the gauge `name` to `value`.
+  void set_gauge(std::string_view name, std::uint64_t value);
+  /// Record one request latency (µs) for `scenario`.
+  void observe_latency(std::string_view scenario, std::uint64_t micros);
+
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] std::uint64_t gauge(std::string_view name) const;
+
+  /// Render every metric in the Prometheus text format, deterministically
+  /// ordered (counters, gauges, then per-scenario latency series; each group
+  /// sorted by name).  Histograms render as cumulative `_bucket{le=...}`
+  /// series plus `_sum`/`_count`, with le bounds at the log2 bucket upper
+  /// edges (0, 1, 3, 7, 15, ... µs) and a final `+Inf`.
+  [[nodiscard]] std::string render_prometheus() const;
+
+ private:
+  struct LatencyHistogram {
+    std::uint64_t buckets[kLatencyHistogramBuckets] = {};
+    std::uint64_t sum = 0;
+    std::uint64_t count = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::uint64_t> gauges_;
+  std::map<std::string, LatencyHistogram> latency_;
+};
+
+}  // namespace titan::serve

@@ -1,0 +1,310 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "api/wire.hpp"
+
+namespace titan::serve {
+
+namespace {
+
+[[noreturn]] void socket_error(const std::string& what) {
+  throw std::runtime_error("titand server: " + what + ": " +
+                           std::strerror(errno));
+}
+
+std::string http_response(int status, std::string_view reason,
+                          std::string_view content_type,
+                          std::string_view body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    std::string(reason) + "\r\n";
+  out += "Content-Type: " + std::string(content_type) + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+Server::Server(Options options, ScenarioService& service)
+    : options_(std::move(options)),
+      service_(service),
+      pool_(options_.threads) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (pipe(wake_pipe_) != 0) {
+    socket_error("pipe");
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    socket_error("socket");
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("titand server: bad host '" + options_.host +
+                             "'");
+  }
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof addr) != 0) {
+    socket_error("bind " + options_.host + ":" +
+                 std::to_string(options_.port));
+  }
+  if (listen(listen_fd_, 64) != 0) {
+    socket_error("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) != 0) {
+    socket_error("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  running_ = true;
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  // One byte wakes the acceptor; the byte is never drained, so every
+  // blocked connection reader sees the pipe readable and unwinds too.
+  const char byte = 'x';
+  (void)!write(wake_pipe_[1], &byte, 1);
+  acceptor_.join();
+  pool_.wait_idle();
+  close(listen_fd_);
+  listen_fd_ = -1;
+  close(wake_pipe_[0]);
+  close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+void Server::accept_loop() {
+  while (true) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    if (poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      return;  // stop() rang the wake pipe
+    }
+    if ((fds[0].revents & POLLIN) == 0) {
+      continue;
+    }
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;  // EINTR / ECONNABORTED: transient, keep accepting
+    }
+    pool_.submit([this, fd] { serve_connection(fd); });
+  }
+}
+
+int Server::guarded_recv(int fd, char* data, std::size_t size) const {
+  pollfd fds[2] = {{fd, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+  while (true) {
+    if (poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return -1;
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      return -1;  // server stopping
+    }
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+      continue;
+    }
+    const ssize_t n = recv(fd, data, size, 0);
+    return n < 0 ? -1 : static_cast<int>(n);
+  }
+}
+
+void Server::send_all(int fd, std::string_view data) const {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return;  // peer gone; nothing useful left to do
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Server::serve_connection(int fd) {
+  char chunk[4096];
+  const int n = guarded_recv(fd, chunk, sizeof chunk);
+  if (n <= 0) {
+    close(fd);
+    return;
+  }
+  std::string buffered(chunk, static_cast<std::size_t>(n));
+  if (buffered[0] == '{') {
+    serve_jsonl(fd, std::move(buffered));
+  } else {
+    serve_http(fd, std::move(buffered));
+  }
+  close(fd);
+}
+
+void Server::serve_jsonl(int fd, std::string buffered) {
+  bool discarding = false;  // inside an oversized line, eating to newline
+  while (true) {
+    std::size_t start = 0;
+    for (std::size_t nl = buffered.find('\n', start);
+         nl != std::string::npos; nl = buffered.find('\n', start)) {
+      std::string_view line(buffered.data() + start, nl - start);
+      start = nl + 1;
+      if (discarding) {
+        discarding = false;  // tail of the oversized line
+        continue;
+      }
+      if (!line.empty() && line.back() == '\r') {
+        line.remove_suffix(1);
+      }
+      if (line.empty()) {
+        continue;
+      }
+      send_all(fd, service_.handle_line(line));
+      send_all(fd, "\n");
+    }
+    buffered.erase(0, start);
+    if (!discarding && buffered.size() > options_.max_frame) {
+      send_all(fd, api::render_error_response(
+                       "", api::WireErrorCode::kOversizedFrame,
+                       "frame exceeds " + std::to_string(options_.max_frame) +
+                           " bytes"));
+      send_all(fd, "\n");
+      buffered.clear();
+      discarding = true;
+    }
+    char chunk[4096];
+    const int n = guarded_recv(fd, chunk, sizeof chunk);
+    if (n <= 0) {
+      return;  // EOF (possibly mid-frame: no complete request to answer)
+    }
+    if (discarding) {
+      // Only the tail beyond the last newline matters while discarding.
+      const char* nl = static_cast<const char*>(
+          std::memchr(chunk, '\n', static_cast<std::size_t>(n)));
+      if (nl == nullptr) {
+        continue;
+      }
+      discarding = false;
+      buffered.assign(nl + 1, static_cast<const char*>(chunk) + n);
+      continue;
+    }
+    buffered.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void Server::serve_http(int fd, std::string buffered) {
+  // Read until the end of headers (bounded by max_frame).
+  std::size_t header_end;
+  while ((header_end = buffered.find("\r\n\r\n")) == std::string::npos) {
+    if (buffered.size() > options_.max_frame) {
+      send_all(fd, http_response(431, "Request Header Fields Too Large",
+                                 "text/plain", "header too large\n"));
+      return;
+    }
+    char chunk[4096];
+    const int n = guarded_recv(fd, chunk, sizeof chunk);
+    if (n <= 0) {
+      return;
+    }
+    buffered.append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::string_view head(buffered.data(), header_end);
+  const std::string_view request_line = head.substr(0, head.find("\r\n"));
+  const std::size_t space = request_line.find(' ');
+  const std::size_t space2 = request_line.find(' ', space + 1);
+  if (space == std::string_view::npos || space2 == std::string_view::npos) {
+    send_all(fd, http_response(400, "Bad Request", "text/plain",
+                               "malformed request line\n"));
+    return;
+  }
+  const std::string_view method = request_line.substr(0, space);
+  std::string_view target = request_line.substr(space + 1, space2 - space - 1);
+
+  if (method == "GET" && target == "/metrics") {
+    service_.sync_cache_metrics();
+    service_.metrics().set_gauge("titand_queue_depth", pool_.queued());
+    service_.metrics().set_gauge("titand_active_connections",
+                                 pool_.active());
+    send_all(fd, http_response(200, "OK", "text/plain; version=0.0.4",
+                               service_.metrics().render_prometheus()));
+    return;
+  }
+  if (method == "GET" && (target == "/scenarios" ||
+                          target.substr(0, 15) == "/scenarios?tag=")) {
+    api::Request list;
+    list.op = api::RequestOp::kList;
+    list.id = "http";
+    if (target.size() > 15) {
+      list.tag = std::string(target.substr(15));
+    }
+    send_all(fd, http_response(200, "OK", "application/json",
+                               service_.handle(list) + "\n"));
+    return;
+  }
+  if (method == "POST" && target == "/run") {
+    std::size_t content_length = 0;
+    // Minimal header scan; titanctl and the CI job send the canonical form.
+    for (const std::string_view name :
+         {std::string_view("\r\nContent-Length:"),
+          std::string_view("\r\ncontent-length:")}) {
+      const std::size_t at = head.find(name);
+      if (at != std::string_view::npos) {
+        content_length = static_cast<std::size_t>(
+            std::strtoul(head.data() + at + name.size(), nullptr, 10));
+        break;
+      }
+    }
+    if (content_length == 0 || content_length > options_.max_frame) {
+      send_all(fd, http_response(400, "Bad Request", "application/json",
+                                 "missing or oversized Content-Length\n"));
+      return;
+    }
+    std::string body = buffered.substr(header_end + 4);
+    while (body.size() < content_length) {
+      char chunk[4096];
+      const int n = guarded_recv(fd, chunk, sizeof chunk);
+      if (n <= 0) {
+        return;
+      }
+      body.append(chunk, static_cast<std::size_t>(n));
+    }
+    body.resize(content_length);
+    send_all(fd, http_response(200, "OK", "application/json",
+                               service_.handle_line(body) + "\n"));
+    return;
+  }
+  send_all(fd, http_response(404, "Not Found", "text/plain",
+                             "unknown endpoint\n"));
+}
+
+}  // namespace titan::serve

@@ -1,0 +1,86 @@
+// TCP front end for ScenarioService: line-delimited JSON requests plus a
+// minimal HTTP shim, on one listening socket.
+//
+// Protocol selection is first-byte sniffing: a connection whose first byte
+// is '{' speaks the native JSONL protocol (one api::wire request per
+// LF-terminated line, one single-line response per request, in order);
+// anything else is treated as an HTTP/1.0-style request (GET /metrics,
+// GET /scenarios, POST /run) answered once and closed.  The native protocol
+// requires JSON-object frames anyway, so the sniff is unambiguous.
+//
+// Framing rules (native protocol):
+//   * requests on one connection are answered in order, serially;
+//   * an unparseable frame gets a structured bad_frame error response — the
+//     connection survives;
+//   * a frame longer than Options::max_frame gets an oversized_frame error
+//     and the remainder of that line is discarded;
+//   * EOF mid-frame (client vanished between bytes) just closes the
+//     connection — there is no complete request to answer.
+//
+// Concurrency: accepted connections are dispatched onto a sim::WorkerPool —
+// the same pool substrate SweepRunner runs sweeps on — one task per
+// connection, so distinct clients run their simulations concurrently while
+// each connection stays strictly ordered.  stop() wakes every blocked
+// reader through a self-pipe, so shutdown never waits on a quiet client.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "serve/service.hpp"
+#include "sim/sweep.hpp"
+
+namespace titan::serve {
+
+class Server {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// Port to bind; 0 asks the kernel for a free port (read it back from
+    /// port() after start() — how the tests and the CI smoke job bind).
+    std::uint16_t port = 0;
+    /// Connection-handling threads (simulations run on these).
+    unsigned threads = 4;
+    /// Native-protocol frame size limit in bytes.
+    std::size_t max_frame = 1 << 20;
+  };
+
+  Server(Options options, ScenarioService& service);
+  ~Server();  // stop() if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and start accepting.  Throws std::runtime_error on any
+  /// socket failure (named with errno text).
+  void start();
+
+  /// Stop accepting, wake and close every in-flight connection, drain the
+  /// worker pool, join.  Idempotent.
+  void stop();
+
+  /// The bound port (valid after start(); resolves port 0 requests).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  void serve_jsonl(int fd, std::string buffered);
+  void serve_http(int fd, std::string buffered);
+  /// poll()-guarded recv: returns bytes read, 0 on orderly EOF, -1 when the
+  /// server is stopping or the connection errored.
+  [[nodiscard]] int guarded_recv(int fd, char* data, std::size_t size) const;
+  void send_all(int fd, std::string_view data) const;
+
+  Options options_;
+  ScenarioService& service_;
+  sim::WorkerPool pool_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // [0] read end polled by every blocked reader
+  std::uint16_t port_ = 0;
+  bool running_ = false;
+  std::thread acceptor_;
+};
+
+}  // namespace titan::serve

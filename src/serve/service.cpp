@@ -1,0 +1,148 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "api/report_schema.hpp"
+#include "api/run.hpp"
+#include "sim/snapshot.hpp"
+
+namespace titan::serve {
+
+void ScenarioService::preload_bundle(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  for (std::shared_ptr<const sim::Snapshot>& snapshot :
+       api::load_checkpoint_bundle(path)) {
+    cache_.insert(std::move(snapshot));
+  }
+}
+
+std::string ScenarioService::handle_line(std::string_view line) {
+  try {
+    return handle(api::parse_request(line));
+  } catch (const api::WireError& error) {
+    metrics_.add_counter("titand_requests_total");
+    metrics_.add_counter("titand_errors_total");
+    // A frame that does not parse has no recoverable id to echo.
+    return api::render_error_response("", error.code(), error.what());
+  }
+}
+
+std::string ScenarioService::handle(const api::Request& request) {
+  metrics_.add_counter("titand_requests_total");
+  try {
+    switch (request.op) {
+      case api::RequestOp::kPing:
+        return api::render_ping_response(request.id);
+      case api::RequestOp::kList:
+        return handle_list(request);
+      case api::RequestOp::kRun:
+        return handle_run(request);
+    }
+    throw api::WireError(api::WireErrorCode::kInternal, "unhandled op");
+  } catch (const api::WireError& error) {
+    metrics_.add_counter("titand_errors_total");
+    metrics_.add_counter("titand_error_" +
+                         std::string(api::wire_error_code_name(error.code())) +
+                         "_total");
+    return api::render_error_response(request.id, error.code(), error.what());
+  } catch (const std::exception& error) {
+    metrics_.add_counter("titand_errors_total");
+    metrics_.add_counter("titand_error_internal_total");
+    return api::render_error_response(request.id,
+                                      api::WireErrorCode::kInternal,
+                                      error.what());
+  }
+}
+
+std::string ScenarioService::handle_list(const api::Request& request) {
+  const api::ScenarioRegistry& registry = api::ScenarioRegistry::global();
+  std::vector<std::pair<std::string, std::string>> scenarios;
+  if (request.tag.empty()) {
+    for (const std::string_view name : registry.names()) {
+      const api::Scenario* scenario = registry.find(name);
+      scenarios.emplace_back(std::string(name), scenario->serialize());
+    }
+  } else {
+    for (const api::Scenario& scenario :
+         registry.query(request.tag, "titand")) {
+      scenarios.emplace_back(scenario.name(), scenario.serialize());
+    }
+  }
+  return api::render_list_response(request.id, scenarios);
+}
+
+std::string ScenarioService::handle_run(const api::Request& request) {
+  api::Scenario scenario = [&] {
+    if (!request.scenario.empty()) {
+      const api::Scenario* found =
+          api::ScenarioRegistry::global().find(request.scenario);
+      if (found == nullptr) {
+        throw api::WireError(
+            api::WireErrorCode::kUnknownScenario,
+            "no registered scenario named '" + request.scenario + "'");
+      }
+      return *found;
+    }
+    try {
+      return api::ScenarioBuilder::from_serialized(request.spec);
+    } catch (const api::ScenarioError& error) {
+      throw api::WireError(api::WireErrorCode::kInvalidScenario, error.what());
+    }
+  }();
+  if (request.engine == "lockstep") {
+    scenario = scenario.with_engine(api::Engine::kLockStep);
+  } else if (request.engine == "event") {
+    scenario = scenario.with_engine(api::Engine::kEventDriven);
+  }
+
+  bool warm = false;
+  if (options_.warm_mode != WarmMode::kOff) {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    std::shared_ptr<const sim::Snapshot> snapshot =
+        options_.warm_mode == WarmMode::kLazy
+            ? cache_.warmed(scenario, options_.warmup)
+            : cache_.find(scenario);
+    if (snapshot != nullptr) {
+      scenario = scenario.with_warm_start(std::move(snapshot));
+      warm = true;
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  api::RunReport report = [&] {
+    try {
+      return api::run_scenario(scenario);
+    } catch (const sim::SnapshotError& error) {
+      throw api::WireError(api::WireErrorCode::kSnapshotError, error.what());
+    } catch (const api::ScenarioError& error) {
+      throw api::WireError(api::WireErrorCode::kInvalidScenario, error.what());
+    }
+  }();
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+
+  metrics_.add_counter("titand_scenarios_served_total");
+  metrics_.add_counter("titand_sim_cycles_total", report.cycles);
+  if (warm) {
+    metrics_.add_counter("titand_warm_runs_total");
+  }
+  metrics_.observe_latency(scenario.name(),
+                           static_cast<std::uint64_t>(micros));
+
+  return api::render_run_response(request.id, scenario.name(), warm,
+                                  api::ReportSchema().render(report));
+}
+
+void ScenarioService::sync_cache_metrics() {
+  metrics_.set_counter("titand_checkpoint_cache_hits_total", cache_.hits());
+  metrics_.set_counter("titand_checkpoint_cache_misses_total",
+                       cache_.misses());
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  metrics_.set_gauge("titand_checkpoint_cache_size", cache_.size());
+}
+
+}  // namespace titan::serve

@@ -1,0 +1,81 @@
+// ScenarioService — the daemon's request executor, independent of any
+// socket.  The server layer owns framing and transport; this layer owns
+// everything between a parsed api::Request and its single-line response:
+// registry lookup, spec deserialization, warm-start checkpoint policy,
+// running the simulation, rendering the canonical report, and mapping every
+// library exception onto the wire error taxonomy.
+//
+// Determinism contract: the response to a run request embeds the exact
+// ReportSchema rendering a batch run_scenario() caller would produce for the
+// same scenario — byte for byte.  Warm starts do not weaken this: a forked
+// run is bit-exact versus a cold run (PR7's warm_start_test witness), so the
+// service is free to answer from a warm checkpoint whenever it has one.
+//
+// Thread model: handle() is fully thread-safe and is called concurrently
+// from the server's worker pool.  The checkpoint cache is guarded by one
+// mutex held across lookup AND capture — so concurrent first requests for
+// the same scenario run one prefix simulation, not N — which serializes
+// warm-up captures (they are one-time costs) but never the simulations
+// themselves.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "api/checkpoint.hpp"
+#include "api/wire.hpp"
+#include "serve/metrics.hpp"
+
+namespace titan::serve {
+
+/// Warm-start policy for served runs.
+enum class WarmMode {
+  kOff,     ///< Every run simulates from cycle 0.
+  kLazy,    ///< Capture a checkpoint on a scenario's first request, fork
+            ///< every later request from it.
+  kBundle,  ///< Fork from preloaded bundle checkpoints only; scenarios
+            ///< outside the bundle run cold (counted as cache misses).
+};
+
+class ScenarioService {
+ public:
+  struct Options {
+    WarmMode warm_mode = WarmMode::kLazy;
+    /// Warm-up prefix cycle for lazy captures.
+    sim::Cycle warmup = api::kDefaultWarmupCycle;
+  };
+
+  ScenarioService(Options options, MetricsRegistry& metrics)
+      : options_(options), metrics_(metrics) {}
+
+  /// Load a checkpoint bundle (see api::save_checkpoint_bundle) into the
+  /// warm cache.  Throws on I/O failure or a malformed bundle.
+  void preload_bundle(const std::string& path);
+
+  /// Execute one parsed request; returns the single-line wire response.
+  /// Never throws: every failure becomes a structured error response.
+  [[nodiscard]] std::string handle(const api::Request& request);
+
+  /// Parse one frame line and execute it (parse failures become bad_frame /
+  /// bad_request / unsupported_version error responses).  Never throws.
+  [[nodiscard]] std::string handle_line(std::string_view line);
+
+  /// Refresh the cache-derived metrics (cache size/hit/miss series) from the
+  /// live CheckpointCache counters.  The server calls this before rendering
+  /// /metrics so scrapes see current values without per-request overhead.
+  void sync_cache_metrics();
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  [[nodiscard]] std::string handle_run(const api::Request& request);
+  [[nodiscard]] std::string handle_list(const api::Request& request);
+
+  Options options_;
+  MetricsRegistry& metrics_;
+  std::mutex cache_mutex_;
+  api::CheckpointCache cache_;
+};
+
+}  // namespace titan::serve

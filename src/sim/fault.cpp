@@ -136,8 +136,12 @@ FaultPlan FaultPlan::random(std::uint64_t seed, unsigned count) {
 }
 
 std::size_t latency_bucket(std::uint64_t latency_cycles) {
-  const auto width = static_cast<std::size_t>(std::bit_width(latency_cycles));
-  return width < kLatencyBuckets ? width : kLatencyBuckets - 1;
+  return latency_bucket(latency_cycles, kLatencyBuckets);
+}
+
+std::size_t latency_bucket(std::uint64_t value, std::size_t bucket_count) {
+  const auto width = static_cast<std::size_t>(std::bit_width(value));
+  return width < bucket_count ? width : bucket_count - 1;
 }
 
 std::uint64_t ResilienceStats::total_injected() const {

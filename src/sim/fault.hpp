@@ -86,6 +86,11 @@ struct FaultPlan {
 /// [0], [1], [2,3], [4,7], ... with the last bucket open-ended.
 inline constexpr std::size_t kLatencyBuckets = 8;
 [[nodiscard]] std::size_t latency_bucket(std::uint64_t latency_cycles);
+/// Same geometry with a caller-chosen bucket count (last bucket open-ended).
+/// The serving layer reuses this for its request-latency histograms, so one
+/// bucketing rule covers detection latencies and service latencies alike.
+[[nodiscard]] std::size_t latency_bucket(std::uint64_t value,
+                                         std::size_t bucket_count);
 
 /// The resilience block of a run result: what was injected, what the
 /// degradation machinery caught, and how much time the system spent in

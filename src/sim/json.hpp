@@ -1,0 +1,89 @@
+// Minimal JSON parser for the wire protocol (the read-side complement of
+// JsonWriter).
+//
+// The daemon's request envelopes arrive as one JSON object per line; this
+// parser turns a line into a JsonValue tree with enough fidelity for the
+// api::wire layer: objects (insertion-ordered), arrays, strings (with the
+// standard escapes incl. \uXXXX for the BMP), numbers (kept as both int64
+// and double views), booleans, and null.  Errors throw JsonParseError with
+// the byte offset and the offending token, which the wire layer surfaces in
+// its structured `bad_request` responses — a malformed frame names what was
+// wrong instead of being dropped on the floor.
+//
+// Deliberately NOT a general-purpose JSON library: no streaming, no
+// comments, no NaN/Inf, inputs are bounded by the server's frame limit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace titan::sim {
+
+/// Malformed JSON text.  `offset` is the byte position of the error.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(std::string message, std::size_t offset)
+      : std::runtime_error(std::move(message)), offset_(offset) {}
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// One parsed JSON value.  Value type; object members keep insertion order.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parse exactly one JSON value spanning the whole input (trailing
+  /// whitespace allowed, trailing tokens rejected).  Throws JsonParseError.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw std::logic_error on a kind mismatch (wire-layer
+  /// callers check kind() or use the lookup helpers below).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  /// Integral view of a number; throws when the number has a fractional
+  /// part or does not fit an int64.
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+
+  /// Object member by key, or nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// Ordered object members (empty when not an object).
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members()
+      const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  bool number_is_integral_ = false;
+  std::int64_t integer_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Escape `text` as the contents of a JSON string literal (quotes,
+/// backslashes, and all control characters — including newlines, so the
+/// result is always single-line-safe for the line-delimited wire protocol).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace titan::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
@@ -11,6 +12,72 @@
 #include <thread>
 
 namespace titan::sim {
+
+// ---- WorkerPool -------------------------------------------------------------
+
+WorkerPool::WorkerPool(unsigned threads) {
+  const unsigned count = threads == 0 ? 1 : threads;
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void WorkerPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+std::size_t WorkerPool::queued() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t WorkerPool::active() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
+void WorkerPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void WorkerPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      return;  // stopping_ with a drained queue.
+    }
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) {
+      idle_.notify_all();
+    }
+  }
+}
+
+// ---- SweepRunner ------------------------------------------------------------
 
 SweepRunner::SweepRunner(SweepOptions options)
     : threads_(options.threads == 0 ? hardware_threads() : options.threads) {}
@@ -65,15 +132,28 @@ void SweepRunner::run_indexed(std::size_t count,
 
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(threads_, count));
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<WorkerPool>(threads_ - 1);
+  }
+  // Dispatch workers 1..N-1 onto the persistent pool; the calling thread is
+  // worker 0.  A per-call latch (not WorkerPool::wait_idle) keeps the wait
+  // scoped to this run's tasks.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  unsigned pending = workers - 1;
   for (unsigned i = 1; i < workers; ++i) {
-    pool.emplace_back(worker);
+    pool_->submit([&] {
+      worker();
+      const std::lock_guard<std::mutex> lock(done_mutex);
+      if (--pending == 0) {
+        done_cv.notify_one();
+      }
+    });
   }
-  worker();  // The calling thread is worker 0.
-  for (std::thread& thread : pool) {
-    thread.join();
-  }
+  worker();
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return pending == 0; });
+  lock.unlock();
   if (failure) {
     std::rethrow_exception(failure);
   }

@@ -22,13 +22,67 @@
 // sweep reports (ordered fields, no external deps).
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace titan::sim {
+
+/// Persistent worker-thread pool with a FIFO task queue — the execution
+/// substrate under SweepRunner, and the same pool the scenario-serving
+/// daemon (src/serve) dispatches requests on.  Extracted so "run N
+/// independent jobs" (sweeps) and "serve an open-ended request stream"
+/// (titand) share one pool implementation instead of two thread models.
+///
+/// Threads are spawned once at construction and live until destruction;
+/// submit() never blocks (the queue is unbounded — callers that need
+/// back-pressure read queued() and refuse upstream, which is what the
+/// daemon's oversized-queue guard does).
+class WorkerPool {
+ public:
+  /// Spawn `threads` workers (floored at 1).
+  explicit WorkerPool(unsigned threads);
+  /// Finish every queued task, then join the workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] unsigned threads() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue one task.  Tasks run FIFO across the workers; exceptions that
+  /// escape a task terminate (wrap fallible work yourself — the sweep layer
+  /// and the daemon both do).
+  void submit(std::function<void()> task);
+
+  /// Tasks enqueued but not yet started — the daemon's queue-depth gauge.
+  [[nodiscard]] std::size_t queued() const;
+  /// Tasks currently executing on a worker.
+  [[nodiscard]] std::size_t active() const;
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;       ///< Workers wait for tasks here.
+  std::condition_variable idle_;       ///< wait_idle() waits here.
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
 
 struct SweepOptions {
   /// Worker threads; 0 picks hardware_concurrency, 1 runs serial inline.
@@ -65,6 +119,10 @@ class SweepRunner {
 
  private:
   unsigned threads_;
+  /// Lazily created on the first parallel run_indexed() and reused for the
+  /// runner's lifetime, so repeated sweeps (warm-start loops, bench
+  /// best-of-N passes) pay thread spawn once instead of per call.
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 // ---- Process-level sharding -------------------------------------------------

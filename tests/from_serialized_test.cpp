@@ -1,0 +1,171 @@
+// ScenarioBuilder::from_serialized — the serialize() grammar as a two-way
+// street.  The round-trip identity (parse the fingerprint, rebuild, and get
+// the same fingerprint back) must hold for EVERY registered scenario: the
+// registry is the living inventory of shapes the grammar can express, so
+// covering it wholesale keeps this test honest as future PRs add scenarios.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "api/registry.hpp"
+#include "api/scenario.hpp"
+#include "sim/fault.hpp"
+
+namespace titan {
+namespace {
+
+using api::Scenario;
+using api::ScenarioBuilder;
+using api::ScenarioError;
+using api::ScenarioRegistry;
+using api::Workload;
+
+TEST(FromSerialized, RoundTripsEveryRegistryScenario) {
+  const ScenarioRegistry& registry = ScenarioRegistry::global();
+  std::size_t covered = 0;
+  for (const std::string_view name : registry.names()) {
+    const std::string serialized = registry.find(name)->serialize();
+    const Scenario rebuilt = ScenarioBuilder::from_serialized(serialized);
+    EXPECT_EQ(rebuilt.serialize(), serialized) << "scenario " << name;
+    EXPECT_EQ(rebuilt.name(), name);
+    ++covered;
+  }
+  // The registry holds every grid the benches sweep; if it ever shrinks to a
+  // handful the round-trip coverage claim is meaningless.
+  EXPECT_GE(covered, 25u);
+}
+
+TEST(FromSerialized, RoundTripPreservesOptionalKeys) {
+  // Exercise every optional key at once: faults, ofp, dbretry, macrr.
+  const Scenario scenario =
+      ScenarioBuilder()
+          .name("optional/kitchen_sink")
+          .workload(Workload::random_callgraph(7, 6, true))
+          .firmware(api::Firmware::kPolling)
+          .fabric(api::Fabric::kOptimized)
+          .queue_depth(16)
+          .drain_burst(4)
+          .batch_mac(true)
+          .mac_rerequest(true)
+          .drain_wait(3, 400)
+          .faults(sim::FaultPlan::parse("doorbell_drop@1"))
+          .doorbell_retry(64, 2)
+          .overflow_policy(api::OverflowPolicy::kFailOpen)
+          .build();
+  const std::string serialized = scenario.serialize();
+  EXPECT_EQ(ScenarioBuilder::from_serialized(serialized).serialize(),
+            serialized);
+}
+
+TEST(FromSerialized, WorkloadRoundTripsEveryGenerator) {
+  for (const Workload& workload :
+       {Workload::fib(8), Workload::matmul(6), Workload::crc32(128),
+        Workload::quicksort(24), Workload::stats(32), Workload::call_chain(9),
+        Workload::indirect_dispatch(5), Workload::rop_victim(),
+        Workload::random_callgraph(42, 12, false)}) {
+    EXPECT_EQ(Workload::from_serialized(workload.serialized()).serialized(),
+              workload.serialized());
+  }
+}
+
+// ---- Error taxonomy: every failure names the offending token ---------------
+
+/// Expect `ScenarioError` whose message contains `token`.
+void expect_rejected(const std::string& text, const std::string& token) {
+  try {
+    (void)ScenarioBuilder::from_serialized(text);
+    FAIL() << "accepted '" << text << "'";
+  } catch (const ScenarioError& error) {
+    EXPECT_NE(std::string(error.what()).find(token), std::string::npos)
+        << "message '" << error.what() << "' does not name '" << token << "'";
+  }
+}
+
+std::string valid_spec() {
+  return ScenarioBuilder()
+      .name("t")
+      .workload(Workload::fib(8))
+      .build()
+      .serialize();
+}
+
+TEST(FromSerialized, RejectsNonScenarioText) {
+  expect_rejected("", "scenario{");
+  expect_rejected("not a scenario", "scenario{");
+  expect_rejected("scenario{name=x;workload=fib(8)", "scenario{");
+}
+
+TEST(FromSerialized, RejectsUnknownKey) {
+  std::string text = valid_spec();
+  text.insert(text.size() - 1, ";bogus=1");
+  expect_rejected(text, "unknown key 'bogus'");
+}
+
+TEST(FromSerialized, RejectsDuplicateKey) {
+  std::string text = valid_spec();
+  text.insert(text.size() - 1, ";trace=1");
+  expect_rejected(text, "duplicate key 'trace'");
+}
+
+TEST(FromSerialized, RejectsMissingRequiredKey) {
+  // Drop the trailing ";trace=0" (or =1) segment.
+  std::string text = valid_spec();
+  const std::size_t at = text.rfind(";trace=");
+  ASSERT_NE(at, std::string::npos);
+  text.erase(at, text.find_first_of(";}", at + 1) - at);
+  expect_rejected(text, "missing required key 'trace'");
+}
+
+TEST(FromSerialized, RejectsMalformedValues) {
+  expect_rejected("scenario{name=x;workload=fib(8);fw=weird;fabric=baseline;"
+                  "queue_depth=8;burst=1;mac=0;dwait=0;dtimeout=0;ss=32;"
+                  "spill=16;jt=0;pmp=1;trace=0}",
+                  "weird");
+  expect_rejected("scenario{name=x;workload=fib(8);fw=irq;fabric=baseline;"
+                  "queue_depth=abc;burst=1;mac=0;dwait=0;dtimeout=0;ss=32;"
+                  "spill=16;jt=0;pmp=1;trace=0}",
+                  "abc");
+  expect_rejected("scenario{name=x;workload=fib(8);fw=irq;fabric=baseline;"
+                  "queue_depth=8;burst=1;mac=2;dwait=0;dtimeout=0;ss=32;"
+                  "spill=16;jt=0;pmp=1;trace=0}",
+                  "mac");
+}
+
+TEST(FromSerialized, RejectsOutOfRangeThroughBuilderValidation) {
+  // mac=1 at burst=1 parses fine but must fail build() — the wire surface
+  // enforces exactly the programmatic surface's rules.
+  expect_rejected("scenario{name=x;workload=fib(8);fw=irq;fabric=baseline;"
+                  "queue_depth=8;burst=1;mac=1;dwait=0;dtimeout=0;ss=32;"
+                  "spill=16;jt=0;pmp=1;trace=0}",
+                  "batch_mac requires drain_burst > 1");
+}
+
+TEST(FromSerialized, RejectsUnknownWorkloadGenerator) {
+  try {
+    (void)Workload::from_serialized("quantum(8)");
+    FAIL();
+  } catch (const ScenarioError& error) {
+    EXPECT_NE(std::string(error.what()).find("quantum"), std::string::npos);
+  }
+}
+
+TEST(FromSerialized, RejectsWorkloadArityMismatch) {
+  try {
+    (void)Workload::from_serialized("fib(8,9)");
+    FAIL();
+  } catch (const ScenarioError& error) {
+    EXPECT_NE(std::string(error.what()).find("fib"), std::string::npos);
+  }
+}
+
+TEST(FromSerialized, RejectsImageWorkloads) {
+  try {
+    (void)Workload::from_serialized("image:custom:deadbeef");
+    FAIL();
+  } catch (const ScenarioError& error) {
+    EXPECT_NE(std::string(error.what()).find("image"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace titan

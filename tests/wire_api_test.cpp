@@ -1,0 +1,180 @@
+// The versioned wire envelope (api/wire.hpp), the JSON value parser it sits
+// on (sim/json.hpp), and the versioned report schema (api/report_schema.hpp).
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "api/registry.hpp"
+#include "api/report_schema.hpp"
+#include "api/run.hpp"
+#include "api/wire.hpp"
+#include "sim/json.hpp"
+#include "sim/sweep.hpp"
+
+namespace titan {
+namespace {
+
+// ---- sim::JsonValue ---------------------------------------------------------
+
+TEST(JsonValue, ParsesScalarsArraysObjects) {
+  const sim::JsonValue v = sim::JsonValue::parse(
+      R"({"a":1,"b":-2.5,"c":"x","d":[true,false,null],"e":{"k":"v"}})");
+  EXPECT_EQ(v.find("a")->as_int(), 1);
+  EXPECT_DOUBLE_EQ(v.find("b")->as_double(), -2.5);
+  EXPECT_EQ(v.find("c")->as_string(), "x");
+  ASSERT_EQ(v.find("d")->as_array().size(), 3u);
+  EXPECT_TRUE(v.find("d")->as_array()[0].as_bool());
+  EXPECT_EQ(v.find("d")->as_array()[2].kind(), sim::JsonValue::Kind::kNull);
+  EXPECT_EQ(v.find("e")->find("k")->as_string(), "v");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonValue, DecodesStringEscapes) {
+  const sim::JsonValue v =
+      sim::JsonValue::parse(R"(["a\"b\\c\n\t\u0041\u00e9"])");
+  EXPECT_EQ(v.as_array()[0].as_string(), "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(JsonValue, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\"}", "{\"a\":1,}", "01", "1 2", "\"\\u12\"",
+        "\"\\ud800\"", "tru", "{\"a\":}", "nan"}) {
+    EXPECT_THROW((void)sim::JsonValue::parse(bad), sim::JsonParseError)
+        << "accepted: " << bad;
+  }
+}
+
+TEST(JsonValue, EscapeRoundTripsThroughParser) {
+  const std::string original = "line1\nline2\t\"quoted\" \\ \x01 end";
+  const std::string wire = "\"" + sim::json_escape(original) + "\"";
+  // The escaped form must be single-line (the framing invariant)...
+  EXPECT_EQ(wire.find('\n'), std::string::npos);
+  // ...and decode back to the exact original bytes.
+  EXPECT_EQ(sim::JsonValue::parse(wire).as_string(), original);
+}
+
+// ---- api::wire request parsing ----------------------------------------------
+
+void expect_wire_error(const std::string& line, api::WireErrorCode code) {
+  try {
+    (void)api::parse_request(line);
+    FAIL() << "accepted: " << line;
+  } catch (const api::WireError& error) {
+    EXPECT_EQ(api::wire_error_code_name(error.code()),
+              api::wire_error_code_name(code))
+        << line;
+  }
+}
+
+TEST(WireRequest, ParsesEveryOp) {
+  const api::Request ping =
+      api::parse_request(R"({"schema_version":1,"id":"r1","op":"ping"})");
+  EXPECT_EQ(ping.op, api::RequestOp::kPing);
+  EXPECT_EQ(ping.id, "r1");
+
+  const api::Request list = api::parse_request(
+      R"({"schema_version":1,"op":"list","tag":"fault_matrix"})");
+  EXPECT_EQ(list.op, api::RequestOp::kList);
+  EXPECT_EQ(list.tag, "fault_matrix");
+  EXPECT_EQ(list.id, "");  // id is optional
+
+  const api::Request run = api::parse_request(
+      R"({"schema_version":1,"id":"r2","op":"run","scenario":"x","engine":"lockstep"})");
+  EXPECT_EQ(run.op, api::RequestOp::kRun);
+  EXPECT_EQ(run.scenario, "x");
+  EXPECT_EQ(run.engine, "lockstep");
+
+  const api::Request spec = api::parse_request(
+      R"({"schema_version":1,"op":"run","spec":"scenario{...}"})");
+  EXPECT_EQ(spec.spec, "scenario{...}");
+}
+
+TEST(WireRequest, ErrorTaxonomy) {
+  using Code = api::WireErrorCode;
+  expect_wire_error("{not json", Code::kBadFrame);
+  expect_wire_error("[1,2,3]", Code::kBadFrame);
+  expect_wire_error(R"({"op":"ping"})", Code::kBadRequest);  // version missing
+  expect_wire_error(R"({"schema_version":99,"op":"ping"})",
+                    Code::kUnsupportedVersion);
+  expect_wire_error(R"({"schema_version":1})", Code::kBadRequest);
+  expect_wire_error(R"({"schema_version":1,"op":"destroy"})",
+                    Code::kUnknownOp);
+  // run needs exactly one of scenario/spec.
+  expect_wire_error(R"({"schema_version":1,"op":"run"})", Code::kBadRequest);
+  expect_wire_error(
+      R"({"schema_version":1,"op":"run","scenario":"a","spec":"b"})",
+      Code::kBadRequest);
+  expect_wire_error(
+      R"({"schema_version":1,"op":"run","scenario":"a","engine":"warp"})",
+      Code::kBadRequest);
+  // Unknown fields fail loudly (typo'd "tga" must not be ignored).
+  expect_wire_error(R"({"schema_version":1,"op":"list","tga":"x"})",
+                    Code::kBadRequest);
+  expect_wire_error(R"({"schema_version":1,"op":"ping","tag":"x"})",
+                    Code::kBadRequest);
+}
+
+TEST(WireResponse, RendersSingleLineAndRoundTrips) {
+  // An id with every hostile character: the response must stay one line and
+  // decode back exactly.
+  const std::string id = "req\n\"1\"\\\t";
+  const std::string line = api::render_error_response(
+      id, api::WireErrorCode::kUnknownScenario, "no scenario 'x\ny'");
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const sim::JsonValue v = sim::JsonValue::parse(line);
+  EXPECT_EQ(v.find("schema_version")->as_int(), api::kWireSchemaVersion);
+  EXPECT_EQ(v.find("id")->as_string(), id);
+  EXPECT_FALSE(v.find("ok")->as_bool());
+  EXPECT_EQ(v.find("error")->find("code")->as_string(), "unknown_scenario");
+  EXPECT_EQ(v.find("error")->find("message")->as_string(),
+            "no scenario 'x\ny'");
+}
+
+TEST(WireResponse, RunResponseEmbedsReportVerbatim) {
+  // The embedded report must survive the escape/parse round trip byte for
+  // byte — this is the transport half of the served-vs-batch witness.
+  const api::RunReport report = api::run_scenario(
+      *api::ScenarioRegistry::global().find("irq/baseline/burst1"));
+  const std::string canonical = api::ReportSchema().render(report);
+  const std::string line = api::render_run_response(
+      "r", "irq/baseline/burst1", /*warm_start=*/false, canonical);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const sim::JsonValue v = sim::JsonValue::parse(line);
+  EXPECT_TRUE(v.find("ok")->as_bool());
+  EXPECT_FALSE(v.find("warm_start")->as_bool());
+  EXPECT_EQ(v.find("report")->as_string(), canonical);
+}
+
+// ---- api::ReportSchema versioning -------------------------------------------
+
+TEST(ReportSchema, DefaultRenderingMatchesLegacyEmission) {
+  // The flag defaults OFF so committed BENCH_*.json and the shard-merge
+  // byte-identity stay unchanged: the default schema must not mention the
+  // version field at all.
+  const api::RunReport report = api::run_scenario(
+      *api::ScenarioRegistry::global().find("irq/baseline/burst1"));
+  const std::string rendered = api::ReportSchema().render(report);
+  EXPECT_EQ(rendered.find("report_schema_version"), std::string::npos);
+
+  // RunReport::emit_json_fields is the schema's shorthand — same bytes.
+  sim::JsonWriter json;
+  json.begin_object();
+  report.emit_json_fields(json);
+  json.end_object();
+  EXPECT_EQ(json.str(), rendered);
+}
+
+TEST(ReportSchema, VersionFieldLeadsWhenEnabled) {
+  const api::RunReport report = api::run_scenario(
+      *api::ScenarioRegistry::global().find("irq/baseline/burst1"));
+  api::ReportSchema::Options options;
+  options.emit_schema_version = true;
+  const std::string rendered = api::ReportSchema(options).render(report);
+  const std::string expected_head =
+      "{\n  \"report_schema_version\": " +
+      std::to_string(api::ReportSchema::kVersion) + ",\n  \"scenario\"";
+  EXPECT_EQ(rendered.substr(0, expected_head.size()), expected_head);
+}
+
+}  // namespace
+}  // namespace titan

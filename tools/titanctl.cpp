@@ -1,0 +1,255 @@
+// titanctl — command-line client for titand (and its batch-mode witness).
+//
+//   titanctl --port=N ping
+//   titanctl --port=N list [--tag=T] [--specs]
+//   titanctl --port=N run NAME [--engine=lockstep|event]
+//   titanctl --port=N run-spec 'scenario{...}'
+//   titanctl --port=N metrics                 # GET /metrics, prints the body
+//   titanctl local-run NAME [--engine=...]    # no daemon: batch run_scenario
+//
+// `run` prints the served report verbatim; `local-run` prints the canonical
+// ReportSchema rendering of an in-process batch run.  The two outputs are
+// byte-identical for every scenario — that diff is the serving pipeline's
+// correctness witness (tests/serve_test.cpp in-process, the CI daemon-smoke
+// job across a real socket).  --port_file=PATH reads the port titand wrote.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "api/report_schema.hpp"
+#include "api/run.hpp"
+#include "api/wire.hpp"
+#include "sim/json.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: titanctl [--host=H] [--port=N | --port_file=PATH]\n"
+               "                ping | list [--tag=T] [--specs] |\n"
+               "                run NAME [--engine=lockstep|event] |\n"
+               "                run-spec SPEC [--engine=...] | metrics |\n"
+               "                local-run NAME [--engine=...]\n";
+  return 2;
+}
+
+/// Connect, send `payload`, and read until `until_eof` (HTTP) or the first
+/// newline (one JSONL response).  Exits with a message on socket failure.
+std::string exchange(const std::string& host, std::uint16_t port,
+                     const std::string& payload, bool until_eof) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (fd < 0 || inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+          0) {
+    std::cerr << "titanctl: cannot connect to " << host << ":" << port << ": "
+              << std::strerror(errno) << "\n";
+    std::exit(1);
+  }
+  std::size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n = send(fd, payload.data() + sent, payload.size() - sent,
+                           MSG_NOSIGNAL);
+    if (n <= 0) {
+      std::cerr << "titanctl: send failed: " << std::strerror(errno) << "\n";
+      std::exit(1);
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      break;
+    }
+    response.append(chunk, static_cast<std::size_t>(n));
+    if (!until_eof && response.find('\n') != std::string::npos) {
+      break;
+    }
+  }
+  close(fd);
+  if (!until_eof) {
+    const std::size_t nl = response.find('\n');
+    if (nl == std::string::npos) {
+      std::cerr << "titanctl: connection closed before a full response\n";
+      std::exit(1);
+    }
+    response.resize(nl);
+  }
+  return response;
+}
+
+/// Parse a wire response; exits (printing the structured error) on !ok.
+titan::sim::JsonValue expect_ok(const std::string& line) {
+  titan::sim::JsonValue response;
+  try {
+    response = titan::sim::JsonValue::parse(line);
+  } catch (const titan::sim::JsonParseError& error) {
+    std::cerr << "titanctl: malformed response: " << error.what() << "\n";
+    std::exit(1);
+  }
+  const titan::sim::JsonValue* ok = response.find("ok");
+  if (ok == nullptr || !ok->as_bool()) {
+    const titan::sim::JsonValue* error = response.find("error");
+    if (error != nullptr) {
+      std::cerr << "titanctl: server error ["
+                << error->find("code")->as_string()
+                << "]: " << error->find("message")->as_string() << "\n";
+    } else {
+      std::cerr << "titanctl: malformed error response\n";
+    }
+    std::exit(1);
+  }
+  return response;
+}
+
+std::string quoted(std::string_view text) {
+  return "\"" + titan::sim::json_escape(text) + "\"";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  std::string command;
+  std::string name;  // scenario name or spec operand
+  std::string engine;
+  std::string tag;
+  bool specs = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--host=", 7) == 0) {
+      host = arg + 7;
+    } else if (std::strncmp(arg, "--port=", 7) == 0) {
+      port = std::atoi(arg + 7);
+    } else if (std::strncmp(arg, "--port_file=", 12) == 0) {
+      std::FILE* in = std::fopen(arg + 12, "r");
+      if (in == nullptr || std::fscanf(in, "%d", &port) != 1) {
+        std::cerr << "titanctl: cannot read port from " << (arg + 12) << "\n";
+        return 1;
+      }
+      std::fclose(in);
+    } else if (std::strncmp(arg, "--engine=", 9) == 0) {
+      engine = arg + 9;
+    } else if (std::strncmp(arg, "--tag=", 6) == 0) {
+      tag = arg + 6;
+    } else if (std::strcmp(arg, "--specs") == 0) {
+      specs = true;
+    } else if (command.empty()) {
+      command = arg;
+    } else if (name.empty()) {
+      name = arg;
+    } else {
+      std::cerr << "titanctl: unexpected argument '" << arg << "'\n";
+      return usage();
+    }
+  }
+  if (command.empty()) {
+    return usage();
+  }
+
+  if (command == "local-run") {
+    if (name.empty()) {
+      return usage();
+    }
+    const titan::api::Scenario* found =
+        titan::api::ScenarioRegistry::global().find(name);
+    if (found == nullptr) {
+      std::cerr << "titanctl: no registered scenario named '" << name << "'\n";
+      return 1;
+    }
+    titan::api::Scenario scenario = *found;
+    if (engine == "lockstep") {
+      scenario = scenario.with_engine(titan::api::Engine::kLockStep);
+    } else if (engine == "event") {
+      scenario = scenario.with_engine(titan::api::Engine::kEventDriven);
+    } else if (!engine.empty()) {
+      std::cerr << "titanctl: unknown engine '" << engine << "'\n";
+      return usage();
+    }
+    std::cout << titan::api::ReportSchema().render(
+                     titan::api::run_scenario(scenario))
+              << "\n";
+    return 0;
+  }
+
+  if (port <= 0 || port > 65535) {
+    std::cerr << "titanctl: " << command
+              << " needs --port=N or --port_file=PATH\n";
+    return usage();
+  }
+  const auto target_port = static_cast<std::uint16_t>(port);
+
+  if (command == "metrics") {
+    const std::string response = exchange(
+        host, target_port,
+        "GET /metrics HTTP/1.1\r\nHost: " + host + "\r\n\r\n",
+        /*until_eof=*/true);
+    const std::size_t body = response.find("\r\n\r\n");
+    if (body == std::string::npos) {
+      std::cerr << "titanctl: malformed HTTP response\n";
+      return 1;
+    }
+    std::cout << response.substr(body + 4);
+    return 0;
+  }
+
+  std::string request = "{\"schema_version\":" +
+                        std::to_string(titan::api::kWireSchemaVersion) +
+                        ",\"id\":\"ctl\",\"op\":";
+  if (command == "ping") {
+    request += "\"ping\"}";
+  } else if (command == "list") {
+    request += "\"list\"";
+    if (!tag.empty()) {
+      request += ",\"tag\":" + quoted(tag);
+    }
+    request += "}";
+  } else if (command == "run" || command == "run-spec") {
+    if (name.empty()) {
+      return usage();
+    }
+    request += "\"run\",";
+    request += command == "run" ? "\"scenario\":" : "\"spec\":";
+    request += quoted(name);
+    if (!engine.empty()) {
+      request += ",\"engine\":" + quoted(engine);
+    }
+    request += "}";
+  } else {
+    std::cerr << "titanctl: unknown command '" << command << "'\n";
+    return usage();
+  }
+
+  const titan::sim::JsonValue response =
+      expect_ok(exchange(host, target_port, request + "\n",
+                         /*until_eof=*/false));
+  if (command == "ping") {
+    std::cout << "pong\n";
+  } else if (command == "list") {
+    for (const titan::sim::JsonValue& entry :
+         response.find("scenarios")->as_array()) {
+      std::cout << entry.find("name")->as_string();
+      if (specs) {
+        std::cout << "\t" << entry.find("spec")->as_string();
+      }
+      std::cout << "\n";
+    }
+  } else {
+    // The embedded report string holds the canonical ReportSchema bytes;
+    // printing it verbatim is what makes `run` diffable against `local-run`.
+    std::cout << response.find("report")->as_string() << "\n";
+  }
+  return 0;
+}

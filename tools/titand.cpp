@@ -1,0 +1,115 @@
+// titand — the scenario-serving daemon.
+//
+// Loads the scenario registry once, keeps a warm CheckpointCache across
+// requests, and serves scenario runs over the line-delimited JSON protocol
+// (api/wire.hpp) plus a minimal HTTP shim (GET /metrics, GET /scenarios,
+// POST /run) on one TCP port.  Served reports are byte-identical to what a
+// batch run_scenario caller renders — titanctl's `run` vs `local-run` pair
+// is the witness, and the CI daemon-smoke job diffs them across the whole
+// fault_matrix grid.
+//
+//   titand                                  # ephemeral port, lazy warm-up
+//   titand --port=7621 --threads=8
+//   titand --port=0 --port_file=/tmp/titand.port   # CI: kernel picks a port
+//   titand --warm_start=BUNDLE.ckpt         # preloaded checkpoints only
+//   titand --warm=off                       # every run cold, from cycle 0
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "serve/daemon.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: titand [--port=N] [--port_file=PATH] [--threads=N]\n"
+         "              [--warm=lazy|off] [--warm_start=BUNDLE.ckpt]\n"
+         "              [--warmup=CYCLE] [--max_frame=BYTES]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  titan::serve::Server::Options server_options;
+  titan::serve::ScenarioService::Options service_options;
+  std::string port_file;
+  std::string bundle_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--port=", 7) == 0) {
+      server_options.port = static_cast<std::uint16_t>(std::atoi(arg + 7));
+    } else if (std::strncmp(arg, "--port_file=", 12) == 0) {
+      port_file = arg + 12;
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      server_options.threads =
+          static_cast<unsigned>(std::max(1, std::atoi(arg + 10)));
+    } else if (std::strncmp(arg, "--max_frame=", 12) == 0) {
+      server_options.max_frame =
+          static_cast<std::size_t>(std::atoll(arg + 12));
+    } else if (std::strncmp(arg, "--warmup=", 9) == 0) {
+      service_options.warmup =
+          static_cast<titan::sim::Cycle>(std::atoll(arg + 9));
+    } else if (std::strncmp(arg, "--warm_start=", 13) == 0) {
+      bundle_path = arg + 13;
+      service_options.warm_mode = titan::serve::WarmMode::kBundle;
+    } else if (std::strncmp(arg, "--warm=", 7) == 0) {
+      const std::string value = arg + 7;
+      if (value == "lazy") {
+        service_options.warm_mode = titan::serve::WarmMode::kLazy;
+      } else if (value == "off") {
+        service_options.warm_mode = titan::serve::WarmMode::kOff;
+      } else {
+        std::cerr << "titand: unknown warm mode '" << value << "'\n";
+        return usage();
+      }
+    } else {
+      std::cerr << "titand: unknown flag '" << arg << "'\n";
+      return usage();
+    }
+  }
+
+  titan::serve::MetricsRegistry metrics;
+  titan::serve::ScenarioService service(service_options, metrics);
+  if (!bundle_path.empty()) {
+    try {
+      service.preload_bundle(bundle_path);
+    } catch (const std::exception& error) {
+      std::cerr << "titand: cannot load bundle " << bundle_path << ": "
+                << error.what() << "\n";
+      return 1;
+    }
+  }
+
+  titan::serve::Server server(server_options, service);
+  titan::serve::install_shutdown_handlers();
+  try {
+    server.start();
+  } catch (const std::exception& error) {
+    std::cerr << "titand: " << error.what() << "\n";
+    return 1;
+  }
+  if (!port_file.empty()) {
+    std::FILE* out = std::fopen(port_file.c_str(), "w");
+    if (out == nullptr) {
+      std::cerr << "titand: cannot write port file " << port_file << "\n";
+      server.stop();
+      return 1;
+    }
+    std::fprintf(out, "%u\n", static_cast<unsigned>(server.port()));
+    std::fclose(out);
+  }
+  std::cerr << "titand: serving on " << server_options.host << ":"
+            << server.port() << " (" << server_options.threads
+            << " thread(s))\n";
+
+  const int signum = titan::serve::wait_for_shutdown();
+  std::cerr << "titand: signal " << signum << ", draining\n";
+  server.stop();
+  std::cerr << "titand: clean exit\n";
+  return 0;
+}
