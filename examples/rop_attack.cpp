@@ -1,26 +1,27 @@
 // ROP-attack demonstration: the scenario that motivates the paper.
 //
-// A victim function "suffers a stack-buffer overflow" that overwrites its
-// saved return address with an attacker gadget.  Architecturally the program
-// is perfectly legal — run without CFI, the attacker's code executes and the
-// process exits with the attacker's exit code.  With TitanCFI (the
-// registry's "rop_attack" scenario), the RoT's shadow stack detects the
-// mismatch at the exact hijacked return and raises the CFI fault before the
-// attack can do further damage.
+// The program is drawn from the attack corpus (src/attacks): a generated
+// victim whose stack-buffer overflow overwrites its saved return address
+// with a chain of pop-ret gadgets.  Architecturally the program is perfectly
+// legal — run without CFI, the attacker's chain executes and the process
+// exits with the attacker's exit code.  With TitanCFI (the registry's
+// "attacks/rop_L4" scenario), the RoT's shadow stack detects the mismatch at
+// the exact hijacked return and raises the CFI fault before the attack can
+// do further damage — and the corpus scoring reports exactly how long the
+// detection took.
 #include <iostream>
 
 #include "api/api.hpp"
 #include "cva6/core.hpp"
 #include "rv/disasm.hpp"
 #include "rv/decode.hpp"
-#include "workloads/programs.hpp"
 #include "api/enforce.hpp"
 
 int main() {
   const titan::api::Scenario* scenario_ptr =
-      titan::api::ScenarioRegistry::global().find("rop_attack");
+      titan::api::ScenarioRegistry::global().find("attacks/rop_L4");
   if (scenario_ptr == nullptr) {
-    std::cerr << "rop_attack: registry has no 'rop_attack' scenario\n";
+    std::cerr << "rop_attack: registry has no 'attacks/rop_L4' scenario\n";
     return 1;
   }
   const titan::api::Scenario& scenario = *scenario_ptr;
@@ -60,5 +61,19 @@ int main() {
                "and reported the mismatch through the CFI mailbox (paper "
                "Sec. IV-C, V-B).\n";
 
-  return result.cfi_fault ? 0 : 1;
+  // --- Corpus scoring ---------------------------------------------------------
+  const titan::attacks::AttackStats& attack = result.attack;
+  std::cout << "\nAttack-corpus scoring (" << scenario.attack()->serialize()
+            << "):\n"
+            << "  detected:            " << (attack.detected ? "YES" : "no")
+            << "\n"
+            << "  detection latency:   " << attack.detection_latency
+            << " host cycles from hijacked-return retirement to CFI fault\n"
+            << "  first fault ordinal: " << attack.first_fault_ordinal
+            << " (position in the committed control-flow log stream)\n"
+            << "  false negatives:     " << attack.false_negatives << "\n";
+
+  return result.cfi_fault && attack.detected && attack.false_negatives == 0
+             ? 0
+             : 1;
 }

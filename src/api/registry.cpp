@@ -172,6 +172,119 @@ void register_attacks(ScenarioRegistry& registry) {
                {"attack"});
 }
 
+/// Attack-corpus scoring matrix (tag "attack_matrix"): generated adversarial
+/// images (src/attacks) crossed with chain lengths and enforcement policies.
+/// Every point is deterministic (the plan seed fixes the image bit for bit),
+/// so the grid doubles as a cross-engine equivalence corpus — replayed under
+/// both schedulers by tools/attack_corpus_smoke and AttackCorpus tests.
+///
+/// Designed coverage, not just detection: the shadow-stack-only jop/ret2reg
+/// rows and the fail-open deep-ROP rows are *scored false negatives* — the
+/// tracker reports the hijacked edges that retired unflagged instead of
+/// letting the miss pass silently.
+void register_attack_matrix(ScenarioRegistry& registry) {
+  const auto atk = [](const char* name, const char* plan) {
+    return ScenarioBuilder().name(name).attack(
+        attacks::AttackPlan::parse(plan));
+  };
+  // ROP chain-length sweep under the paper's lossless back-pressure: the
+  // first hijacked return to reach the RoT is flagged regardless of depth.
+  registry.add(atk("attacks/rop_L1", "rop@0#1,1").build(), {"attack_matrix"});
+  registry.add(atk("attacks/rop_L4", "rop@0#4,1").build(), {"attack_matrix"});
+  registry.add(atk("attacks/rop_L8", "rop@0#8,1").build(), {"attack_matrix"});
+  registry.add(atk("attacks/rop_L12", "rop@0#12,1").build(),
+               {"attack_matrix"});
+  // Site / seed diversity: the overwrite lands in a different scaffold
+  // function, and a different seed reshapes every function body.
+  registry.add(atk("attacks/rop_site3", "rop@3#4,1").build(),
+               {"attack_matrix"});
+  registry.add(atk("attacks/rop_seed9", "rop@0#4,9").build(),
+               {"attack_matrix"});
+  // Deep chain against a tiny spilling shadow stack: detection must survive
+  // the authenticated spill path.
+  registry.add(atk("attacks/rop_L12_ss8x4", "rop@0#12,1")
+                   .shadow_stack(8, 4)
+                   .build(),
+               {"attack_matrix"});
+  // Overflow-policy triplet on the deep chain at queue depth 2, where
+  // genuine fulls occur.  Fail-open drops hijacked returns unchecked — the
+  // scored-false-negative rows — while fail-closed halts before any hijacked
+  // edge can slip through.
+  registry.add(atk("attacks/rop_L4_failopen", "rop@0#4,1")
+                   .queue_depth(2)
+                   .overflow_policy(OverflowPolicy::kFailOpen)
+                   .build(),
+               {"attack_matrix"});
+  registry.add(atk("attacks/rop_L12_failopen", "rop@0#12,1")
+                   .queue_depth(2)
+                   .overflow_policy(OverflowPolicy::kFailOpen)
+                   .build(),
+               {"attack_matrix"});
+  registry.add(atk("attacks/rop_L12_failclosed", "rop@0#12,1")
+                   .queue_depth(2)
+                   .overflow_policy(OverflowPolicy::kFailClosed)
+                   .build(),
+               {"attack_matrix"});
+  // Stack pivots: the first post-pivot return pops attacker-staged state.
+  registry.add(atk("attacks/pivot_L1", "pivot@1#1,2").build(),
+               {"attack_matrix"});
+  registry.add(atk("attacks/pivot_L6", "pivot@1#6,2").build(),
+               {"attack_matrix"});
+  registry.add(atk("attacks/pivot_L6_failopen", "pivot@1#6,2")
+                   .queue_depth(2)
+                   .overflow_policy(OverflowPolicy::kFailOpen)
+                   .build(),
+               {"attack_matrix"});
+  // Partial return-address overwrites: 1-3 corrupted bytes, increasingly
+  // far-flung (but always bogus) return targets.
+  registry.add(atk("attacks/partial_b1", "partial@2#1,3").build(),
+               {"attack_matrix"});
+  registry.add(atk("attacks/partial_b2", "partial@2#2,3").build(),
+               {"attack_matrix"});
+  registry.add(atk("attacks/partial_b3", "partial@2#3,3").build(),
+               {"attack_matrix"});
+  registry.add(atk("attacks/partial_b3_failopen", "partial@2#3,3")
+                   .queue_depth(2)
+                   .overflow_policy(OverflowPolicy::kFailOpen)
+                   .build(),
+               {"attack_matrix"});
+  // Forward-edge escapes vs the policy split: the backward-edge shadow stack
+  // never sees a corrupted indirect jump (scored false negative), while the
+  // jump-table policy — provisioned with the image's legitimate targets —
+  // flags it.
+  registry.add(atk("attacks/ret2reg_ssonly", "ret2reg@4#0,4").build(),
+               {"attack_matrix"});
+  registry.add(atk("attacks/ret2reg_jt", "ret2reg@4#0,4")
+                   .jump_table(true)
+                   .build(),
+               {"attack_matrix"});
+  registry.add(atk("attacks/jop_s1_ssonly", "jop@1#1,5").build(),
+               {"attack_matrix"});
+  registry.add(
+      atk("attacks/jop_s1_jt", "jop@1#1,5").jump_table(true).build(),
+      {"attack_matrix"});
+  registry.add(atk("attacks/jop_s3_ssonly", "jop@1#3,5").build(),
+               {"attack_matrix"});
+  registry.add(
+      atk("attacks/jop_s3_jt", "jop@1#3,5").jump_table(true).build(),
+      {"attack_matrix"});
+  // Firmware / fabric / drain variants: detection is a property of the
+  // policy, not of one pipeline configuration.
+  registry.add(atk("attacks/rop_L4_polling", "rop@0#4,1")
+                   .firmware(Firmware::kPolling)
+                   .build(),
+               {"attack_matrix"});
+  registry.add(atk("attacks/rop_L4_optimized", "rop@0#4,1")
+                   .fabric(Fabric::kOptimized)
+                   .build(),
+               {"attack_matrix"});
+  registry.add(atk("attacks/rop_L4_burst8_mac", "rop@0#4,1")
+                   .drain_burst(8)
+                   .batch_mac(true)
+                   .build(),
+               {"attack_matrix"});
+}
+
 /// Ablation co-sim grids (bench_ablation A3/A4): queue-depth cross-check on
 /// fib(9) with polling firmware, and shadow-stack geometry on call_chain(120)
 /// with IRQ firmware.
@@ -337,6 +450,7 @@ const ScenarioRegistry& ScenarioRegistry::global() {
     register_drain_study(built);
     register_drain_hysteresis(built);
     register_attacks(built);
+    register_attack_matrix(built);
     register_ablation(built);
     register_fault_matrix(built);
     return built;

@@ -76,6 +76,8 @@ class ScenarioRegistry {
   /// The built-in registry: the paper's liveness grid (tag "fig1_liveness"),
   /// the batched-drain study points (tag "drain_study"), the hysteresis
   /// drain-policy study (tag "drain_hysteresis"), the attack scenarios, the
+  /// attack-corpus scoring grid (tag "attack_matrix": generated adversarial
+  /// images crossed with chain lengths and enforcement policies), the
   /// ablation co-sim grids (tags "ablation_depth", "ablation_ss"), and the
   /// fault-injection/degradation matrix (tag "fault_matrix").
   [[nodiscard]] static const ScenarioRegistry& global();

@@ -57,6 +57,14 @@ void ReportSchema::emit_fields(sim::JsonWriter& json,
       .field("false_negatives", resilience.false_negatives)
       .field("degraded_cycles", resilience.degraded_cycles);
   json.end_object();
+  // Attack-corpus scoring (all-zero on benign runs; see attacks::AttackStats).
+  const attacks::AttackStats& attack = report.attack;
+  json.field("attack_detected", attack.detected)
+      .field("attack_detection_latency", attack.detection_latency)
+      .field("attack_first_fault_ordinal", attack.first_fault_ordinal)
+      .field("attack_hijacks_retired", attack.hijacks_retired)
+      .field("attack_hijacks_flagged", attack.hijacks_flagged)
+      .field("attack_false_negatives", attack.false_negatives);
 }
 
 std::string ReportSchema::render(const RunReport& report) const {

@@ -25,8 +25,9 @@ namespace titan::api {
 class ReportSchema {
  public:
   /// Version of the report field set/order below.  Bump when a field is
-  /// added, removed, or reordered.
-  static constexpr unsigned kVersion = 1;
+  /// added, removed, or reordered.  v2 added the flat attack-corpus scoring
+  /// block (attack_detected .. attack_false_negatives).
+  static constexpr unsigned kVersion = 2;
 
   struct Options {
     /// Emit "report_schema_version" as the first field.  Default off: the

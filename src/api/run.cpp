@@ -68,6 +68,7 @@ RunReport run_scenario(const Scenario& scenario, const RunHooks& hooks) {
   report.mean_queue_occupancy = result.mean_queue_occupancy;
   report.fault_log = result.fault_log;
   report.resilience = result.resilience;
+  report.attack = result.attack;
   report.host_memory = soc->host_memory().stats();
   report.decode_hits = soc->host().decode_cache().hits();
   report.decode_misses = soc->host().decode_cache().misses();

@@ -51,6 +51,13 @@ struct RunReport {
   /// and the per-component degradation counters (see sim::ResilienceStats).
   sim::ResilienceStats resilience{};
 
+  // -- Attack-corpus scoring --------------------------------------------------
+  /// All-zero on benign runs; populated from the AttackTracker when the
+  /// scenario carries an attacks::AttackPlan (detection yes/no, detection
+  /// latency in host cycles, first-faulting CFI event ordinal, and the
+  /// false-negative count — hijacked edges that retired unflagged).
+  attacks::AttackStats attack{};
+
   /// Field-wise equality (bit-exact, including the derived statistics) —
   /// what the cross-engine equivalence checks compare.
   bool operator==(const RunReport&) const = default;

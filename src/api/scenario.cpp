@@ -153,6 +153,13 @@ rv::Image Workload::build() const {
 
 // ---- Scenario ---------------------------------------------------------------
 
+rv::Image Scenario::workload_image() const {
+  if (attack_) {
+    return attacks::generate(*attack_).image;
+  }
+  return workload_.build();
+}
+
 rv::Image Scenario::firmware_image() const { return fw::build_firmware(fw_); }
 
 std::unique_ptr<cfi::SocTop> Scenario::make_soc() const {
@@ -162,7 +169,11 @@ std::unique_ptr<cfi::SocTop> Scenario::make_soc() const {
 
 std::string Scenario::serialize() const {
   std::ostringstream text;
-  text << "scenario{name=" << name_ << ";workload=" << workload_.serialized()
+  // An attack scenario has no Workload; the sentinel pairs with the
+  // conditional `attack=` key below (from_serialized enforces the pairing).
+  text << "scenario{name=" << name_ << ";workload="
+       << (attack_ ? std::string_view("attack")
+                   : std::string_view(workload_.serialized()))
        << ";fw=" << (fw_.variant == fw::FwVariant::kIrq ? "irq" : "polling")
        << ";fabric="
        << (soc_.fabric == cfi::RotFabric::kBaseline ? "baseline" : "optimized")
@@ -191,6 +202,9 @@ std::string Scenario::serialize() const {
   if (soc_.mac_rerequest) {
     text << ";macrr=1";
   }
+  if (attack_) {
+    text << ";attack=" << attack_->serialize();
+  }
   text << "}";
   return text.str();
 }
@@ -217,6 +231,11 @@ ScenarioBuilder& ScenarioBuilder::name(std::string value) {
 
 ScenarioBuilder& ScenarioBuilder::workload(Workload value) {
   workload_ = std::move(value);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::attack(attacks::AttackPlan plan) {
+  attack_ = plan;
   return *this;
 }
 
@@ -315,9 +334,23 @@ Scenario ScenarioBuilder::build() const {
   if (name_.empty()) {
     throw ScenarioError("ScenarioBuilder: a scenario needs a name");
   }
-  if (!workload_.set()) {
+  if (attack_ && workload_.set()) {
+    throw ScenarioError(
+        "ScenarioBuilder: scenario '" + name_ +
+        "' has both a workload and an attack plan (an attack scenario's "
+        "program is generated from the plan)");
+  }
+  if (!workload_.set() && !attack_) {
     throw ScenarioError("ScenarioBuilder: scenario '" + name_ +
                         "' has no workload");
+  }
+  if (attack_) {
+    try {
+      attacks::validate(*attack_);
+    } catch (const std::invalid_argument& error) {
+      throw ScenarioError("ScenarioBuilder: scenario '" + name_ +
+                          "': " + error.what());
+    }
   }
   if (queue_depth_ == 0) {
     throw ScenarioError("ScenarioBuilder: scenario '" + name_ +
@@ -425,6 +458,24 @@ Scenario ScenarioBuilder::build() const {
   Scenario scenario;
   scenario.name_ = name_;
   scenario.workload_ = workload_;
+  scenario.attack_ = attack_;
+  if (attack_) {
+    // Generate once here for the scoring wiring; workload_image() regenerates
+    // the identical bytes on demand (attacks::generate is deterministic).
+    const attacks::AttackImage adversarial = attacks::generate(*attack_);
+    scenario.soc_.attack_edges = adversarial.hijack_pcs;
+    if (jump_table_) {
+      // Forward-edge enforcement treats an empty jump table as inert, so an
+      // attack scenario with jt=1 provisions the generated image's legitimate
+      // indirect targets — the hijacked targets are exactly what's missing.
+      scenario.soc_.jump_table.reserve(adversarial.legit_targets.size());
+      for (const std::uint64_t target : adversarial.legit_targets) {
+        scenario.soc_.jump_table.push_back(
+            static_cast<std::uint32_t>(target));
+      }
+      scenario.soc_.jump_table_base = fw::FwLayout::kJumpTable;
+    }
+  }
 
   // The single source of truth for each co-designed knob: both halves are
   // derived here from one builder field, so they cannot disagree.

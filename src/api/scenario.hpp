@@ -17,10 +17,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 
+#include "attacks/attack.hpp"
 #include "firmware/builder.hpp"
 #include "rv/assembler.hpp"
 #include "titancfi/soc_top.hpp"
@@ -116,12 +118,20 @@ class Scenario {
  public:
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const Workload& workload() const { return workload_; }
+  /// Attack-corpus plan (nullopt for benign scenarios).  An attack scenario
+  /// has no Workload: its program is generated from the plan.
+  [[nodiscard]] const std::optional<attacks::AttackPlan>& attack() const {
+    return attack_;
+  }
   [[nodiscard]] const cfi::SocConfig& soc_config() const { return soc_; }
   [[nodiscard]] const fw::FirmwareConfig& firmware_config() const { return fw_; }
 
   // Accessor names deliberately avoid the poisoned raw-surface identifiers
   // (api/enforce.hpp) so benches can call them after the poison pragma.
-  [[nodiscard]] rv::Image workload_image() const { return workload_.build(); }
+  /// Attack scenarios regenerate the adversarial image from the plan
+  /// (attacks::generate is deterministic), so there are no image bytes to
+  /// fingerprint and the serialized plan IS the program identity.
+  [[nodiscard]] rv::Image workload_image() const;
   [[nodiscard]] rv::Image firmware_image() const;
   /// Instantiate the full co-simulation (host + CFI stage + RoT) for this
   /// scenario — the only construction path the benches and examples use.
@@ -156,6 +166,7 @@ class Scenario {
 
   std::string name_;
   Workload workload_;
+  std::optional<attacks::AttackPlan> attack_;
   cfi::SocConfig soc_;
   fw::FirmwareConfig fw_;
   std::shared_ptr<const sim::Snapshot> warm_start_;
@@ -168,6 +179,14 @@ class ScenarioBuilder {
  public:
   ScenarioBuilder& name(std::string value);
   ScenarioBuilder& workload(Workload value);
+  /// Run an adversarial image from the attack corpus instead of a benign
+  /// workload (mutually exclusive with workload()).  The plan is validated by
+  /// build(), serialized into the scenario fingerprint (`workload=attack` +
+  /// `attack=<plan>`), and wired through to the SoC: the generated image's
+  /// hijacked PCs become SocConfig::attack_edges, and — when jump_table() is
+  /// on — its legitimate indirect targets are provisioned into the RoT jump
+  /// table so forward-edge enforcement has real contents to check against.
+  ScenarioBuilder& attack(attacks::AttackPlan plan);
   ScenarioBuilder& firmware(Firmware value);
   ScenarioBuilder& fabric(Fabric value);
   ScenarioBuilder& queue_depth(std::size_t value);
@@ -233,6 +252,7 @@ class ScenarioBuilder {
  private:
   std::string name_;
   Workload workload_;
+  std::optional<attacks::AttackPlan> attack_;
   Firmware firmware_ = Firmware::kIrq;
   Fabric fabric_ = Fabric::kBaseline;
   std::size_t queue_depth_ = 8;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "api/scenario.hpp"
+#include "attacks/attack.hpp"
 #include "sim/fault.hpp"
 
 namespace titan::api {
@@ -196,6 +197,10 @@ Scenario ScenarioBuilder::from_serialized(std::string_view text) {
   ScenarioBuilder builder;
   bool macrr = false;
   bool batch_mac = false;
+  // `workload=attack` is a sentinel, not a generator: it must pair with an
+  // `attack=` key carrying the plan (and vice versa).
+  bool attack_workload = false;
+  bool have_attack_plan = false;
   // Which of the always-emitted keys have been seen (serialize() emits all
   // of these on every scenario, so a missing one is a malformed identity).
   constexpr std::string_view kRequired[] = {
@@ -217,7 +222,19 @@ Scenario ScenarioBuilder::from_serialized(std::string_view text) {
     if (key == "name") {
       builder.name(std::string(value));
     } else if (key == "workload") {
-      builder.workload(Workload::from_serialized(value));
+      if (value == "attack") {
+        attack_workload = true;
+      } else {
+        builder.workload(Workload::from_serialized(value));
+      }
+    } else if (key == "attack") {
+      try {
+        builder.attack(attacks::AttackPlan::parse(value));
+      } catch (const std::invalid_argument& error) {
+        parse_error("malformed attack plan '" + std::string(value) +
+                    "': " + error.what());
+      }
+      have_attack_plan = true;
     } else if (key == "fw") {
       if (value == "irq") {
         builder.firmware(Firmware::kIrq);
@@ -296,6 +313,14 @@ Scenario ScenarioBuilder::from_serialized(std::string_view text) {
       parse_error("missing required key '" + std::string(kRequired[i]) +
                   "' in '" + std::string(text) + "'");
     }
+  }
+  if (attack_workload && !have_attack_plan) {
+    parse_error("'workload=attack' without an 'attack=' plan in '" +
+                std::string(text) + "'");
+  }
+  if (have_attack_plan && !attack_workload) {
+    parse_error("'attack=' plan without 'workload=attack' in '" +
+                std::string(text) + "'");
   }
   builder.batch_mac(batch_mac);
   builder.mac_rerequest(macrr);

@@ -1,0 +1,377 @@
+#include "attacks/attack.hpp"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+#include "workloads/programs.hpp"
+
+namespace titan::attacks {
+namespace {
+
+using rv::Assembler;
+using rv::Reg;
+using rv::Xlen;
+
+constexpr std::array<std::string_view, kAttackKindCount> kKindNames = {
+    "rop", "jop", "pivot", "ret2reg", "partial",
+};
+
+/// Scratch DRAM for attacker-controlled data, clear of every workload buffer
+/// (matmul/crc/qsort/stats own 0x8010'0000–0x8016'FFFF at other offsets).
+constexpr std::int64_t kPivotArea = 0x8015'8000;
+constexpr std::int64_t kJopTable = 0x8015'4000;
+
+std::uint64_t parse_u64(std::string_view text, std::string_view what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw std::invalid_argument("attack plan: bad " + std::string(what) +
+                                " '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string_view attack_kind_name(AttackKind kind) {
+  return kKindNames[static_cast<unsigned>(kind)];
+}
+
+std::optional<AttackKind> attack_kind_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kKindNames.size(); ++i) {
+    if (kKindNames[i] == name) {
+      return static_cast<AttackKind>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+void validate(const AttackPlan& plan) {
+  if (plan.site >= kScaffoldFunctions) {
+    throw std::invalid_argument("attack plan: site " +
+                                std::to_string(plan.site) + " out of range (" +
+                                std::to_string(kScaffoldFunctions) +
+                                " scaffold functions)");
+  }
+  switch (plan.kind) {
+    case AttackKind::kRop:
+    case AttackKind::kPivot:
+      if (plan.param < 1 || plan.param > 16) {
+        throw std::invalid_argument(
+            "attack plan: chain length must be 1..16, got " +
+            std::to_string(plan.param));
+      }
+      break;
+    case AttackKind::kJop:
+      if (plan.param > 3) {
+        throw std::invalid_argument(
+            "attack plan: jop slot must be 0..3, got " +
+            std::to_string(plan.param));
+      }
+      break;
+    case AttackKind::kRetToReg:
+      if (plan.param != 0) {
+        throw std::invalid_argument(
+            "attack plan: ret2reg takes no param, got " +
+            std::to_string(plan.param));
+      }
+      break;
+    case AttackKind::kPartialOverwrite:
+      if (plan.param < 1 || plan.param > 3) {
+        throw std::invalid_argument(
+            "attack plan: partial overwrite must cover 1..3 bytes, got " +
+            std::to_string(plan.param));
+      }
+      break;
+  }
+}
+
+std::string AttackPlan::serialize() const {
+  std::string out(attack_kind_name(kind));
+  out += '@';
+  out += std::to_string(site);
+  if (param != 0 || seed != 0) {
+    out += '#';
+    out += std::to_string(param);
+  }
+  if (seed != 0) {
+    out += ',';
+    out += std::to_string(seed);
+  }
+  return out;
+}
+
+AttackPlan AttackPlan::parse(std::string_view text) {
+  const std::size_t at = text.find('@');
+  if (at == std::string_view::npos) {
+    throw std::invalid_argument("attack plan: missing '@site' in '" +
+                                std::string(text) + "'");
+  }
+  const auto kind = attack_kind_from_name(text.substr(0, at));
+  if (!kind) {
+    throw std::invalid_argument("attack plan: unknown kind '" +
+                                std::string(text.substr(0, at)) + "'");
+  }
+  AttackPlan plan;
+  plan.kind = *kind;
+  plan.param = 0;
+  std::string_view rest = text.substr(at + 1);
+  const std::size_t hash = rest.find('#');
+  if (hash == std::string_view::npos) {
+    plan.site = static_cast<unsigned>(parse_u64(rest, "site"));
+  } else {
+    plan.site = static_cast<unsigned>(parse_u64(rest.substr(0, hash), "site"));
+    std::string_view tail = rest.substr(hash + 1);
+    const std::size_t comma = tail.find(',');
+    if (comma == std::string_view::npos) {
+      plan.param = parse_u64(tail, "param");
+    } else {
+      plan.param = parse_u64(tail.substr(0, comma), "param");
+      plan.seed = parse_u64(tail.substr(comma + 1), "seed");
+    }
+  }
+  validate(plan);
+  return plan;
+}
+
+AttackPlan AttackPlan::random(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  AttackPlan plan;
+  plan.kind = static_cast<AttackKind>(rng.uniform(0, kAttackKindCount - 1));
+  plan.site = static_cast<unsigned>(rng.uniform(0, kScaffoldFunctions - 1));
+  switch (plan.kind) {
+    case AttackKind::kRop:
+    case AttackKind::kPivot:
+      plan.param = rng.uniform(1, 8);
+      break;
+    case AttackKind::kJop:
+      plan.param = rng.uniform(0, 3);
+      break;
+    case AttackKind::kRetToReg:
+      plan.param = 0;
+      break;
+    case AttackKind::kPartialOverwrite:
+      plan.param = rng.uniform(1, 3);
+      break;
+  }
+  // The plan's seed is the generator seed itself: random(s) is reproducible
+  // from s alone and distinct seeds always serialize distinctly.
+  plan.seed = seed;
+  return plan;
+}
+
+AttackImage generate(const AttackPlan& plan) {
+  validate(plan);
+  sim::Rng body_rng(plan.seed);
+  Assembler a(Xlen::k64, workloads::kProgramBase);
+
+  std::vector<Assembler::Label> fn(kScaffoldFunctions);
+  for (auto& label : fn) {
+    label = a.new_label();
+  }
+  auto exit_gadget = a.new_label();
+  // ROP/pivot chain hops: hop k for k < len-1 is a pop-ret gadget, the last
+  // hop is the exit gadget.
+  const auto chain_len = static_cast<unsigned>(plan.param);
+  std::vector<Assembler::Label> gadgets;
+  if (plan.kind == AttackKind::kRop || plan.kind == AttackKind::kPivot) {
+    for (unsigned k = 0; k + 1 < chain_len; ++k) {
+      gadgets.push_back(a.new_label());
+    }
+  }
+  const auto hop = [&](unsigned k) {
+    return k < gadgets.size() ? gadgets[k] : exit_gadget;
+  };
+  std::vector<Assembler::Label> handlers;
+  if (plan.kind == AttackKind::kJop) {
+    for (unsigned k = 0; k < 4; ++k) {
+      handlers.push_back(a.new_label());
+    }
+  }
+  auto leaf = a.new_label();           // kPartialOverwrite only
+  auto partial_gadget = a.new_label();  // kPartialOverwrite only
+
+  // Labels bound immediately before each hijacked CF instruction.
+  std::vector<Assembler::Label> hijacks;
+
+  // main: accumulate in s2, call the root, exit benignly (never reached —
+  // every attack diverts into the exit gadget first).
+  a.li(Reg::kSp, static_cast<std::int64_t>(workloads::kStackTop));
+  a.li(Reg::kS2, 0);
+  a.call(fn[0]);
+  a.andi(Reg::kA0, Reg::kS2, 0xFF);
+  a.ecall();
+
+  const auto standard_epilogue = [&](bool hijacked_return) {
+    a.ld(Reg::kRa, Reg::kSp, 8);
+    a.addi(Reg::kSp, Reg::kSp, 16);
+    if (hijacked_return) {
+      hijacks.push_back(a.here());
+    }
+    a.ret();
+  };
+
+  for (unsigned i = 0; i < kScaffoldFunctions; ++i) {
+    a.bind(fn[i]);
+    a.addi(Reg::kSp, Reg::kSp, -16);
+    a.sd(Reg::kRa, Reg::kSp, 8);
+    // Seeded benign body: 1..3 ALU ops on the accumulator.  Bodies depend on
+    // the seed only, never on the attack shape, so two plans differing only
+    // in kind/site/param share identical benign code.
+    const unsigned ops = static_cast<unsigned>(body_rng.uniform(1, 3));
+    for (unsigned op = 0; op < ops; ++op) {
+      const auto delta = static_cast<std::int32_t>(body_rng.uniform(1, 200));
+      if (body_rng.chance(0.5)) {
+        a.addi(Reg::kS2, Reg::kS2, delta);
+      } else {
+        a.xori(Reg::kS2, Reg::kS2, delta);
+      }
+    }
+    // Chain call keeps every function reachable; the callee subtree returns
+    // benignly before the weave corrupts anything.
+    if (i + 1 < kScaffoldFunctions) {
+      a.call(fn[i + 1]);
+    }
+    if (i != plan.site) {
+      standard_epilogue(false);
+      continue;
+    }
+    switch (plan.kind) {
+      case AttackKind::kRop: {
+        // Overwrite the saved ra with the first hop and plant the rest of
+        // the chain above the frame where the pop-ret gadgets will walk it.
+        a.la(Reg::kT0, hop(0));
+        a.sd(Reg::kT0, Reg::kSp, 8);
+        for (unsigned j = 0; j + 1 < chain_len; ++j) {
+          a.la(Reg::kT1, hop(j + 1));
+          a.sd(Reg::kT1, Reg::kSp,
+               static_cast<std::int32_t>(16 + 8 * j));
+        }
+        standard_epilogue(true);
+        break;
+      }
+      case AttackKind::kPivot: {
+        // Fill scratch DRAM with the chain, then repoint sp at it and pop.
+        a.li(Reg::kT2, kPivotArea);
+        for (unsigned j = 0; j < chain_len; ++j) {
+          a.la(Reg::kT1, hop(j));
+          a.sd(Reg::kT1, Reg::kT2, static_cast<std::int32_t>(8 * j));
+        }
+        a.mv(Reg::kSp, Reg::kT2);
+        a.ld(Reg::kRa, Reg::kSp, 0);
+        a.addi(Reg::kSp, Reg::kSp, 8);
+        hijacks.push_back(a.here());
+        a.ret();
+        break;
+      }
+      case AttackKind::kRetToReg: {
+        // The epilogue's ret becomes an indirect jump through t2 — a
+        // forward-edge escape the backward-edge shadow stack never sees.
+        // (t2 deliberately: `jalr x0, 0(ra|t0)` is the RISC-V return hint
+        // and would be shadow-stack-checked as a return.)
+        a.la(Reg::kT2, exit_gadget);
+        a.ld(Reg::kRa, Reg::kSp, 8);
+        a.addi(Reg::kSp, Reg::kSp, 16);
+        hijacks.push_back(a.here());
+        a.jr(Reg::kT2);
+        break;
+      }
+      case AttackKind::kJop: {
+        // Function-pointer dispatch with one corrupted slot.  The dispatch
+        // is unrolled so the hijacked indirect call has its own PC.
+        a.li(Reg::kS3, kJopTable);
+        for (unsigned k = 0; k < 4; ++k) {
+          a.la(Reg::kT1, k == plan.param ? exit_gadget : handlers[k]);
+          a.sd(Reg::kT1, Reg::kS3, static_cast<std::int32_t>(8 * k));
+        }
+        for (unsigned k = 0; k < 4; ++k) {
+          a.ld(Reg::kT2, Reg::kS3, static_cast<std::int32_t>(8 * k));
+          if (k == plan.param) {
+            hijacks.push_back(a.here());
+          }
+          a.callr(Reg::kT2);
+        }
+        standard_epilogue(false);  // dead: the corrupted slot never returns
+        break;
+      }
+      case AttackKind::kPartialOverwrite: {
+        // The 256-aligned block guarantees the call's return site and the
+        // gadget share every byte above the low one, so overwriting 1-3 low
+        // bytes of the saved ra retargets the return precisely.
+        a.align(256);
+        a.call(leaf);
+        a.nop();
+        a.bind(partial_gadget);
+        a.addi(Reg::kS2, Reg::kS2, 9);
+        a.li(Reg::kA0, 66);
+        a.ecall();
+        standard_epilogue(false);  // dead: leaf returns into the gadget
+        break;
+      }
+    }
+  }
+
+  // Pop-ret gadgets: each consumes the next chain entry and returns into it.
+  for (unsigned k = 0; k < gadgets.size(); ++k) {
+    a.bind(gadgets[k]);
+    a.addi(Reg::kS2, Reg::kS2, static_cast<std::int32_t>(2 * k + 1));
+    a.ld(Reg::kRa, Reg::kSp, 0);
+    a.addi(Reg::kSp, Reg::kSp, 8);
+    hijacks.push_back(a.here());
+    a.ret();
+  }
+
+  // Legitimate dispatch handlers (kJop): balanced call/return pairs.
+  for (unsigned k = 0; k < handlers.size(); ++k) {
+    a.bind(handlers[k]);
+    a.addi(Reg::kS2, Reg::kS2, static_cast<std::int32_t>(k + 3));
+    a.ret();
+  }
+
+  // The leaf whose saved return address gets partially overwritten.
+  if (plan.kind == AttackKind::kPartialOverwrite) {
+    a.bind(leaf);
+    a.addi(Reg::kSp, Reg::kSp, -16);
+    a.sd(Reg::kRa, Reg::kSp, 8);
+    a.la(Reg::kT0, partial_gadget);
+    a.sb(Reg::kT0, Reg::kSp, 8);
+    if (plan.param >= 2) {
+      a.srli(Reg::kT1, Reg::kT0, 8);
+      a.sb(Reg::kT1, Reg::kSp, 9);
+    }
+    if (plan.param >= 3) {
+      a.srli(Reg::kT1, Reg::kT0, 16);
+      a.sb(Reg::kT1, Reg::kSp, 10);
+    }
+    a.ld(Reg::kRa, Reg::kSp, 8);
+    a.addi(Reg::kSp, Reg::kSp, 16);
+    hijacks.push_back(a.here());
+    a.ret();
+  }
+
+  a.bind(exit_gadget);
+  a.li(Reg::kA0, 66);
+  a.ecall();
+
+  AttackImage out;
+  out.image = a.finish();
+  out.hijack_pcs.reserve(hijacks.size());
+  for (const auto& label : hijacks) {
+    out.hijack_pcs.push_back(a.addr_of(label));
+  }
+  std::sort(out.hijack_pcs.begin(), out.hijack_pcs.end());
+  for (const auto& label : fn) {
+    out.legit_targets.push_back(a.addr_of(label));
+  }
+  for (const auto& label : handlers) {
+    out.legit_targets.push_back(a.addr_of(label));
+  }
+  std::sort(out.legit_targets.begin(), out.legit_targets.end());
+  return out;
+}
+
+}  // namespace titan::attacks

@@ -1,0 +1,130 @@
+// Registry-driven attack corpus: seeded, deterministic control-flow hijacks.
+//
+// An AttackPlan names one hijack woven into a fixed six-function scaffold
+// program: the kind of corruption (ROP chain, JOP table corruption, stack
+// pivot, return-to-register, partial return-address overwrite), the scaffold
+// function it strikes (`site`), a kind-specific parameter (chain length,
+// corrupted slot, overwritten byte count), and a seed that diversifies the
+// benign scaffold bodies.  Plans follow the sim::FaultPlan conventions: a
+// compact textual grammar (`kind@site#param,seed`) that round-trips through
+// serialize()/parse() and embeds in the scenario fingerprint, and a seeded
+// random() generator for fuzz harnesses.
+//
+// generate() synthesizes the adversarial image over rv::Assembler and
+// returns, alongside the machine code, the exact PCs of the hijacked
+// control-flow instructions (consumed by cfi::AttackTracker to score
+// detection latency and false negatives) and the program's legitimate
+// indirect-branch targets (provisioned into the RoT jump table when the
+// forward-edge policy is armed — the table must be non-empty to enforce).
+//
+// Every attack architecturally "succeeds" on a bare core: the program exits
+// with code 66 through the planted gadget.  What the corpus scores is whether
+// and how fast the CFI pipeline flags the hijacked edge.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rv/assembler.hpp"
+
+namespace titan::attacks {
+
+/// Hijack techniques the generator can synthesize.
+enum class AttackKind : unsigned {
+  kRop = 0,   ///< ROP chain of `param` hijacked returns through pop-ret
+              ///< gadgets planted above the victim frame.
+  kJop,       ///< Corrupted slot `param` of a 4-entry function-pointer table
+              ///< redirects an indirect call into the gadget.
+  kPivot,     ///< Stack pivot: sp is repointed at an attacker-filled chain of
+              ///< `param` entries in scratch DRAM.
+  kRetToReg,  ///< Epilogue `ret` replaced by `jr` through a register — a
+              ///< forward-edge escape the shadow stack alone cannot see.
+  kPartialOverwrite,  ///< Only the low `param` (1-3) bytes of the saved
+                      ///< return address are overwritten.
+};
+inline constexpr std::size_t kAttackKindCount = 5;
+
+/// Number of functions in the generated scaffold; `site` indexes into it.
+inline constexpr unsigned kScaffoldFunctions = 6;
+
+[[nodiscard]] std::string_view attack_kind_name(AttackKind kind);
+[[nodiscard]] std::optional<AttackKind> attack_kind_from_name(
+    std::string_view name);
+
+/// One attack descriptor.  `param` is kind-specific:
+///   kRop, kPivot        — chain length (hijacked returns), 1..16;
+///   kJop                — corrupted table slot, 0..3;
+///   kRetToReg           — unused (must be 0);
+///   kPartialOverwrite   — overwritten bytes of the saved ra, 1..3.
+/// `seed` varies the benign scaffold bodies; the attack shape is unchanged.
+struct AttackPlan {
+  AttackKind kind = AttackKind::kRop;
+  unsigned site = 0;
+  std::uint64_t param = 1;
+  std::uint64_t seed = 0;
+
+  /// Deterministic textual form, e.g. "rop@2#4,7" (`,seed` omitted when the
+  /// seed is 0; `#param` kept whenever param or seed is nonzero so the
+  /// grammar stays unambiguous).  Safe to embed in a scenario serialization.
+  [[nodiscard]] std::string serialize() const;
+  /// Inverse of serialize(); throws std::invalid_argument on malformed text
+  /// (unknown kind, bad numbers, out-of-range site/param, trailing junk).
+  [[nodiscard]] static AttackPlan parse(std::string_view text);
+  /// Seeded random plan: kind, site, and a kind-appropriate param drawn from
+  /// sim::Rng(seed); the plan's own seed field is `seed`, so distinct seeds
+  /// always yield distinct fingerprints while the same seed reproduces the
+  /// exact plan.
+  [[nodiscard]] static AttackPlan random(std::uint64_t seed);
+
+  bool operator==(const AttackPlan&) const = default;
+};
+
+/// Throws std::invalid_argument when the plan is outside the generator's
+/// domain (site or param range); parse() and generate() both enforce it.
+void validate(const AttackPlan& plan);
+
+/// Scored outcome of one attack run.  Deterministic (a pure function of
+/// scenario + plan), so it participates in the cross-engine bit-exactness
+/// checks exactly like sim::ResilienceStats.
+struct AttackStats {
+  /// Hijacked control-flow edges that retired on the host (committed into
+  /// the CFI pipeline or dropped by a fail-open overflow).
+  std::uint64_t hijacks_retired = 0;
+  /// Hijacked edges the RoT flagged as violations.
+  std::uint64_t hijacks_flagged = 0;
+  /// Hijacked edges that retired unflagged: fail-open drops plus edges the
+  /// armed policy cleared (e.g. a forward-edge hijack under a backward-edge-
+  /// only policy).  A silent miss becomes a scored one.
+  std::uint64_t false_negatives = 0;
+  /// True once any hijacked edge was flagged.
+  bool detected = false;
+  /// Host cycles from the first flagged edge's retirement to its verdict.
+  std::uint64_t detection_latency = 0;
+  /// 0-based ordinal of the first flagged edge within the run's committed
+  /// CFI event stream (engine-invariant, unlike any cycle number).
+  std::uint64_t first_fault_ordinal = 0;
+
+  bool operator==(const AttackStats&) const = default;
+};
+
+/// Generator output: the adversarial image plus the metadata the scoring and
+/// enforcement layers need.
+struct AttackImage {
+  rv::Image image;
+  /// PCs of the hijacked control-flow instructions, sorted ascending.  Every
+  /// retirement of one of these is a hijacked edge.
+  std::vector<std::uint64_t> hijack_pcs;
+  /// Legitimate indirect-branch targets of the scaffold (function entries,
+  /// plus the dispatch handlers for kJop), sorted ascending — the RoT
+  /// jump-table contents when the forward-edge policy is enabled.
+  std::vector<std::uint64_t> legit_targets;
+};
+
+/// Synthesize the attack image for `plan`.  Deterministic: the same plan
+/// always produces identical bytes and metadata.
+[[nodiscard]] AttackImage generate(const AttackPlan& plan);
+
+}  // namespace titan::attacks

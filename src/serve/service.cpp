@@ -130,6 +130,16 @@ std::string ScenarioService::handle_run(const api::Request& request) {
   if (warm) {
     metrics_.add_counter("titand_warm_runs_total");
   }
+  // Attack-corpus scoring rollup: how many adversarial runs this daemon has
+  // served, and how the CFI policy fared against them.
+  if (scenario.attack()) {
+    metrics_.add_counter("titand_attacks_injected_total");
+    if (report.attack.detected) {
+      metrics_.add_counter("titand_attacks_detected_total");
+    }
+    metrics_.add_counter("titand_attack_false_negatives_total",
+                         report.attack.false_negatives);
+  }
   metrics_.observe_latency(scenario.name(),
                            static_cast<std::uint64_t>(micros));
 

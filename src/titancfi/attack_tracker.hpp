@@ -1,0 +1,159 @@
+// Hijack-retirement accounting for the attack corpus.
+//
+// The generator (attacks::generate) knows the exact PCs of the hijacked
+// control-flow instructions; this tracker watches the CFI pipeline's event
+// stream and scores what the enforcement stack does with them.  Every commit
+// log entering the pipeline gets a global event ordinal (pushes and fail-open
+// drops alike — commit order, never cycles, so both co-simulation engines
+// agree).  A hijacked edge then meets one of three fates:
+//
+//  * flagged  — the RoT verdict names it a violation: detection, with a
+//               retirement-to-verdict latency in host cycles;
+//  * cleared  — the verdict passes it: the armed policy cannot see this edge
+//               (e.g. a forward-edge hijack under shadow-stack-only) — a
+//               scored false negative;
+//  * dropped  — a fail-open overflow let it retire unchecked — also a scored
+//               false negative.
+//
+// Under kFailClosed the host halts *before* the offending instruction
+// retires, so a hijacked edge killed that way is neither retired nor a miss.
+//
+// Mirrors the FaultInjector conventions: hooks fire only in stepped windows
+// where both engines agree on the host cycle, and full state save/load makes
+// checkpoints/warm starts transparent.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "attacks/attack.hpp"
+#include "sim/snapshot.hpp"
+#include "sim/types.hpp"
+#include "titancfi/commit_log.hpp"
+
+namespace titan::cfi {
+
+class AttackTracker {
+ public:
+  /// `hijack_pcs` must be sorted ascending (attacks::AttackImage guarantees
+  /// it).
+  explicit AttackTracker(std::vector<std::uint64_t> hijack_pcs)
+      : edges_(std::move(hijack_pcs)) {}
+
+  /// A commit log was pushed into the CFI Queue (the instruction retires).
+  void note_committed(const CommitLog& log, sim::Cycle now) {
+    const std::uint64_t ordinal = next_ordinal_++;
+    if (!hijacked(log.pc)) {
+      return;
+    }
+    ++stats_.hijacks_retired;
+    pending_.push_back({log.pc, now, ordinal});
+  }
+
+  /// A commit log was dropped by a fail-open overflow (the instruction
+  /// retires unchecked — a definitive miss).
+  void note_dropped(const CommitLog& log, sim::Cycle /*now*/) {
+    ++next_ordinal_;
+    if (!hijacked(log.pc)) {
+      return;
+    }
+    ++stats_.hijacks_retired;
+    ++stats_.false_negatives;
+  }
+
+  /// The RoT verdict passed this log: a hijacked edge survived enforcement.
+  void note_cleared(const CommitLog& log, sim::Cycle /*now*/) {
+    if (!hijacked(log.pc)) {
+      return;
+    }
+    take_pending(log.pc);
+    ++stats_.false_negatives;
+  }
+
+  /// The RoT verdict flagged this log as the violation.
+  void note_flagged(const CommitLog& log, sim::Cycle now) {
+    if (!hijacked(log.pc)) {
+      return;
+    }
+    const Pending entry = take_pending(log.pc);
+    ++stats_.hijacks_flagged;
+    if (!stats_.detected) {
+      stats_.detected = true;
+      stats_.detection_latency = now - entry.committed;
+      stats_.first_fault_ordinal = entry.ordinal;
+    }
+  }
+
+  [[nodiscard]] const attacks::AttackStats& stats() const { return stats_; }
+
+  /// Checkpoint support: the event ordinal, the in-flight hijack entries
+  /// (for latency pairing after a warm start), and the accumulated stats.
+  /// The edge set is config-derived and not serialized.
+  void save_state(sim::SnapshotWriter& writer) const {
+    writer.u64(next_ordinal_);
+    writer.u64(pending_.size());
+    for (const Pending& entry : pending_) {
+      writer.u64(entry.pc);
+      writer.u64(entry.committed);
+      writer.u64(entry.ordinal);
+    }
+    writer.u64(stats_.hijacks_retired);
+    writer.u64(stats_.hijacks_flagged);
+    writer.u64(stats_.false_negatives);
+    writer.boolean(stats_.detected);
+    writer.u64(stats_.detection_latency);
+    writer.u64(stats_.first_fault_ordinal);
+  }
+  void load_state(sim::SnapshotReader& reader) {
+    next_ordinal_ = reader.u64();
+    pending_.clear();
+    const std::uint64_t count = reader.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Pending entry;
+      entry.pc = reader.u64();
+      entry.committed = reader.u64();
+      entry.ordinal = reader.u64();
+      pending_.push_back(entry);
+    }
+    stats_.hijacks_retired = reader.u64();
+    stats_.hijacks_flagged = reader.u64();
+    stats_.false_negatives = reader.u64();
+    stats_.detected = reader.boolean();
+    stats_.detection_latency = reader.u64();
+    stats_.first_fault_ordinal = reader.u64();
+  }
+
+ private:
+  struct Pending {
+    std::uint64_t pc = 0;
+    sim::Cycle committed = 0;
+    std::uint64_t ordinal = 0;
+  };
+
+  [[nodiscard]] bool hijacked(std::uint64_t pc) const {
+    return std::binary_search(edges_.begin(), edges_.end(), pc);
+  }
+
+  /// Pop the oldest in-flight entry for `pc`.  Verdicts arrive in commit
+  /// order, so the match is normally the queue front; the scan keeps the
+  /// pairing correct even with benign logs interleaved.
+  Pending take_pending(std::uint64_t pc) {
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->pc == pc) {
+        const Pending entry = *it;
+        pending_.erase(it);
+        return entry;
+      }
+    }
+    return Pending{pc, 0, 0};
+  }
+
+  std::vector<std::uint64_t> edges_;
+  std::uint64_t next_ordinal_ = 0;
+  std::deque<Pending> pending_;
+  attacks::AttackStats stats_;
+};
+
+}  // namespace titan::cfi

@@ -409,15 +409,28 @@ void LogWriter::tick(Cycle now) {
         }
         ++violations_;
         state_ = State::kFault;
-        if (on_fault_) {
-          // Burst verdicts carry the violating slot index in bits [63:1].
-          std::size_t index = static_cast<std::size_t>(response.value >> 1);
-          if (index >= batch_.size()) {
-            index = 0;
+        // Burst verdicts carry the violating slot index in bits [63:1].
+        std::size_t index = static_cast<std::size_t>(response.value >> 1);
+        if (index >= batch_.size()) {
+          index = 0;
+        }
+        if (tracker_ != nullptr) {
+          // The firmware checked (and passed) every slot before the
+          // violating one; anything after it never got a verdict.
+          for (std::size_t slot = 0; slot < index; ++slot) {
+            tracker_->note_cleared(batch_[slot], now);
           }
+          tracker_->note_flagged(batch_[index], now);
+        }
+        if (on_fault_) {
           on_fault_(batch_[index]);
         }
       } else {
+        if (tracker_ != nullptr) {
+          for (const CommitLog& log : batch_) {
+            tracker_->note_cleared(log, now);
+          }
+        }
         resend_ = false;
         mac_retries_this_batch_ = 0;
         state_ = State::kIdle;

@@ -113,6 +113,11 @@ class LogWriter {
   /// Fault-injection seam (duplicate doorbells, MAC bit corruption) and the
   /// detection side of the doorbell-drop / RoT-stall sites.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  /// Attack-corpus scoring seam: verdict outcomes (pass clears the batch, a
+  /// violation flags the named slot and clears the slots before it) feed the
+  /// tracker's detection-latency / false-negative accounting.  MAC
+  /// re-requests are not verdicts — the batch is retransmitted unreported.
+  void set_attack_tracker(AttackTracker* tracker) { tracker_ = tracker; }
 
   [[nodiscard]] State state() const { return state_; }
   [[nodiscard]] const LogWriterConfig& config() const { return config_; }
@@ -187,6 +192,7 @@ class LogWriter {
 
   // ---- Degradation machinery + fault seam ----------------------------------
   FaultInjector* injector_ = nullptr;
+  AttackTracker* tracker_ = nullptr;
   /// Cycle the current doorbell wait window opened, and its (backed-off)
   /// watchdog width; retries already spent on this window.
   Cycle wait_started_ = 0;

@@ -25,6 +25,7 @@
 #include "cva6/scoreboard.hpp"
 #include "sim/fifo.hpp"
 #include "soc/ecc.hpp"
+#include "titancfi/attack_tracker.hpp"
 #include "titancfi/commit_log.hpp"
 #include "titancfi/fault_injector.hpp"
 #include "titancfi/filter.hpp"
@@ -51,6 +52,13 @@ class QueueController {
   /// windows where both engines agree on the cycle count).
   void set_fault_injector(FaultInjector* injector, const sim::Cycle* now) {
     injector_ = injector;
+    now_ = now;
+  }
+  /// Attack-corpus scoring seam: every log pushed or dropped is reported to
+  /// the tracker, which assigns the engine-invariant event ordinal and spots
+  /// hijacked edges.  Same `now` contract as the fault seam.
+  void set_attack_tracker(AttackTracker* tracker, const sim::Cycle* now) {
+    tracker_ = tracker;
     now_ = now;
   }
   /// Invoked with the offending log when kFailClosed must halt the host (or
@@ -127,6 +135,9 @@ class QueueController {
         continue;  // Log consumed by the fault response (dropped or halted).
       }
       queue_.push(*log);
+      if (tracker_ != nullptr) {
+        tracker_->note_committed(*log, *now_);
+      }
       pushed_this_cycle = true;
       ++allowed;
     }
@@ -234,6 +245,9 @@ class QueueController {
     if (log.classify() == rv::CfKind::kReturn) {
       ++dropped_returns_;  // A return retired unchecked: potential miss.
     }
+    if (tracker_ != nullptr) {
+      tracker_->note_dropped(log, *now_);
+    }
   }
 
   /// Fault seam: the nth successfully pushed log may carry an ECC bit flip
@@ -284,6 +298,7 @@ class QueueController {
   CfiFilter filters_[2];
   OverflowPolicy overflow_policy_ = OverflowPolicy::kBackPressure;
   FaultInjector* injector_ = nullptr;
+  AttackTracker* tracker_ = nullptr;
   const sim::Cycle* now_ = nullptr;
   std::function<void(const CommitLog&)> fail_closed_hook_;
   std::uint64_t force_full_remaining_ = 0;

@@ -61,6 +61,21 @@ SocTop::SocTop(const SocConfig& config, const rv::Image& host_program,
 
   rot_ = std::make_unique<RotSubsystem>(firmware, config.fabric, mailbox_,
                                         host_memory_);
+  if (!config.jump_table.empty()) {
+    // Provision the forward-edge policy's target table into RoT SRAM before
+    // boot ([count][targets...], 32-bit words).  The firmware treats an
+    // empty table as inert, so enforcement scenarios must fill it.
+    if (config.jump_table_base == 0) {
+      throw std::invalid_argument(
+          "SocTop: jump_table contents without a jump_table_base");
+    }
+    rot_->sram().write32(config.jump_table_base,
+                         static_cast<std::uint32_t>(config.jump_table.size()));
+    for (std::size_t i = 0; i < config.jump_table.size(); ++i) {
+      rot_->sram().write32(config.jump_table_base + 4 + 4 * i,
+                           config.jump_table[i]);
+    }
+  }
 
   LogWriterConfig writer_config;
   writer_config.burst = config.drain_burst;
@@ -102,6 +117,12 @@ SocTop::SocTop(const SocConfig& config, const rv::Image& host_program,
       return true;
     });
   }
+
+  if (!config.attack_edges.empty()) {
+    tracker_ = std::make_unique<AttackTracker>(config.attack_edges);
+    queue_controller_.set_attack_tracker(tracker_.get(), &host_now_);
+    log_writer_->set_attack_tracker(tracker_.get());
+  }
 }
 
 namespace {
@@ -137,6 +158,10 @@ void SocTop::capture(sim::Snapshot& snapshot, sim::Cycle cycle) const {
   if (injector_ != nullptr) {
     injector_->save_state(writer);
   }
+  writer.boolean(tracker_ != nullptr);
+  if (tracker_ != nullptr) {
+    tracker_->save_state(writer);
+  }
   writer.boolean(fault_seen_);
   for (const std::uint64_t beat : fault_log_.pack()) {
     writer.u64(beat);
@@ -164,6 +189,14 @@ void SocTop::restore(const sim::Snapshot& snapshot) {
   }
   if (injector_ != nullptr) {
     injector_->load_state(reader);
+  }
+  const bool captured_tracker = reader.boolean();
+  if (captured_tracker != (tracker_ != nullptr)) {
+    throw sim::SnapshotError(
+        "soc top: snapshot attack plan does not match this configuration");
+  }
+  if (tracker_ != nullptr) {
+    tracker_->load_state(reader);
   }
   fault_seen_ = reader.boolean();
   std::array<std::uint64_t, CommitLog::kBeats> beats{};
@@ -331,6 +364,9 @@ SocRunResult SocTop::collect_result() const {
   result.resilience.degraded_cycles = log_writer_->degraded_cycles() +
                                       queue_controller_.overflow_stall_cycles() +
                                       rot_->stalled_cycles();
+  if (tracker_ != nullptr) {
+    result.attack = tracker_->stats();
+  }
   return result;
 }
 

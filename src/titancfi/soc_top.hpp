@@ -16,7 +16,9 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "attacks/attack.hpp"
 #include "cva6/core.hpp"
 #include "rv/assembler.hpp"
 #include "sim/fault.hpp"
@@ -25,6 +27,7 @@
 #include "soc/bus.hpp"
 #include "soc/mailbox.hpp"
 #include "soc/pmp.hpp"
+#include "titancfi/attack_tracker.hpp"
 #include "titancfi/fault_injector.hpp"
 #include "titancfi/log_writer.hpp"
 #include "titancfi/queue_controller.hpp"
@@ -85,6 +88,15 @@ struct SocConfig {
   /// violation (needs firmware built with mac_rerequest).
   bool mac_rerequest = false;
   unsigned mac_max_retries = 3;
+  /// Attack-corpus scoring: PCs of hijacked control-flow instructions (from
+  /// attacks::generate, sorted).  Empty == no tracking, zero overhead.
+  std::vector<std::uint64_t> attack_edges;
+  /// Legitimate indirect-branch targets provisioned into the RoT jump table
+  /// at `jump_table_base` before boot (the forward-edge policy treats an
+  /// empty table as inert, so enforcement needs real contents).  Empty ==
+  /// nothing provisioned.
+  std::vector<std::uint32_t> jump_table;
+  std::uint64_t jump_table_base = 0;
 };
 
 struct SocRunResult {
@@ -104,6 +116,8 @@ struct SocRunResult {
   CommitLog fault_log{};
   /// Fault-injection outcome (all-zero on fault-free runs).
   sim::ResilienceStats resilience{};
+  /// Attack-corpus outcome (all-zero when no attack edges were configured).
+  attacks::AttackStats attack{};
 };
 
 class SocTop {
@@ -186,6 +200,7 @@ class SocTop {
   std::unique_ptr<RotSubsystem> rot_;
   std::unique_ptr<LogWriter> log_writer_;
   std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<AttackTracker> tracker_;
   /// Host cycle the components are currently stepping (fault timestamping;
   /// only advanced in per-cycle windows, where both engines agree on it).
   sim::Cycle host_now_ = 0;

@@ -513,8 +513,14 @@ rv::Image random_callgraph(std::uint64_t seed, unsigned functions,
     label = a.new_label();
   }
   auto gadget = a.new_label();
+  // Victim placement draws from its own stream: toggling inject_rop must
+  // change exactly one epilogue, not reshuffle every function body behind it
+  // (the body draws from `rng` stay aligned between the benign and attacked
+  // images of the same seed).
+  sim::Rng placement(seed ^ 0x9E37'79B9'7F4A'7C15ull);
   const unsigned victim =
-      inject_rop ? static_cast<unsigned>(rng.uniform(0, functions - 1)) : ~0u;
+      inject_rop ? static_cast<unsigned>(placement.uniform(0, functions - 1))
+                 : ~0u;
 
   // main: accumulate in s2, call the root, exit.
   prologue(a);

@@ -59,6 +59,8 @@ inline constexpr std::uint64_t kStackTop = 0x8080'0000;
 /// When `inject_rop` is true, one randomly chosen function overwrites its
 /// saved return address with the gadget's address before returning — a
 /// well-formed architectural execution that the shadow stack must flag.
+/// Victim placement draws from a dedicated RNG stream, so the benign and
+/// attacked images of one seed differ only in the victim's epilogue.
 /// Exit code: accumulated work value & 0xFF (gadget exits with 66).
 [[nodiscard]] rv::Image random_callgraph(std::uint64_t seed,
                                          unsigned functions = 8,

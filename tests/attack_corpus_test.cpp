@@ -1,0 +1,270 @@
+// Attack-corpus validation: the plan grammar, the generator's determinism,
+// the scenario-fingerprint wiring, per-kind detection semantics under every
+// overflow policy, and registry-wide engine equivalence of the scoring.
+//
+// Suite names all start with AttackCorpus so CI's TSan sweep can select them
+// with a single --gtest_filter pattern.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "api/api.hpp"
+#include "attacks/attack.hpp"
+#include "cva6/core.hpp"
+#include "sim/memory.hpp"
+
+namespace titan::attacks {
+namespace {
+
+// ---- Grammar ----------------------------------------------------------------
+
+TEST(AttackCorpusPlan, SerializeParseRoundTrip) {
+  const AttackPlan plans[] = {
+      {AttackKind::kRop, 0, 1, 0},        // "rop@0#1"
+      {AttackKind::kRop, 3, 12, 7},       // "rop@3#12,7"
+      {AttackKind::kJop, 1, 0, 0},        // "jop@1" (param elided at 0,0)
+      {AttackKind::kJop, 1, 3, 9},        // "jop@1#3,9"
+      {AttackKind::kPivot, 5, 16, 0},     // "pivot@5#16"
+      {AttackKind::kRetToReg, 4, 0, 11},  // "ret2reg@4#0,11"
+      {AttackKind::kPartialOverwrite, 2, 3, 1},  // "partial@2#3,1"
+  };
+  for (const AttackPlan& plan : plans) {
+    const std::string text = plan.serialize();
+    EXPECT_EQ(AttackPlan::parse(text), plan) << text;
+    EXPECT_EQ(AttackPlan::parse(text).serialize(), text);
+  }
+  // The elision rules spelled out.
+  EXPECT_EQ((AttackPlan{AttackKind::kJop, 1, 0, 0}).serialize(), "jop@1");
+  EXPECT_EQ((AttackPlan{AttackKind::kRop, 0, 1, 0}).serialize(), "rop@0#1");
+  EXPECT_EQ((AttackPlan{AttackKind::kRetToReg, 4, 0, 11}).serialize(),
+            "ret2reg@4#0,11");
+}
+
+TEST(AttackCorpusPlan, RejectionMatrix) {
+  const char* malformed[] = {
+      "",                // no '@'
+      "rop",             // no '@'
+      "pop@0#1",         // unknown kind
+      "rop@x#1",         // bad site number
+      "rop@0#z",         // bad param number
+      "rop@0#1,x",       // bad seed number
+      "rop@6#1",         // site out of range (6 scaffold functions)
+      "rop@0#0",         // chain length below 1
+      "rop@0#17",        // chain length above 16
+      "pivot@0#0",       // chain length below 1
+      "jop@0#4",         // slot above 3
+      "ret2reg@0#2",     // ret2reg takes no param
+      "partial@0#0",     // zero overwritten bytes
+      "partial@0#4",     // more bytes than a partial overwrite
+  };
+  for (const char* text : malformed) {
+    EXPECT_THROW((void)AttackPlan::parse(text), std::invalid_argument) << text;
+  }
+}
+
+TEST(AttackCorpusPlan, RandomIsDeterministicAndDiverse) {
+  std::set<std::string> fingerprints;
+  std::set<AttackKind> kinds;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const AttackPlan plan = AttackPlan::random(seed);
+    EXPECT_EQ(plan, AttackPlan::random(seed));
+    EXPECT_NO_THROW(validate(plan));
+    EXPECT_EQ(plan.seed, seed);  // distinct seeds → distinct fingerprints
+    fingerprints.insert(plan.serialize());
+    kinds.insert(plan.kind);
+  }
+  EXPECT_EQ(fingerprints.size(), 40u);
+  EXPECT_EQ(kinds.size(), kAttackKindCount);
+}
+
+// ---- Generator --------------------------------------------------------------
+
+TEST(AttackCorpusGenerate, ImagesAreDeterministicAndSeedSensitive) {
+  const AttackPlan plan = AttackPlan::parse("rop@2#5,3");
+  const AttackImage first = generate(plan);
+  const AttackImage second = generate(plan);
+  EXPECT_EQ(first.image.bytes, second.image.bytes);
+  EXPECT_EQ(first.hijack_pcs, second.hijack_pcs);
+  EXPECT_EQ(first.legit_targets, second.legit_targets);
+  ASSERT_FALSE(first.hijack_pcs.empty());
+  EXPECT_TRUE(std::is_sorted(first.hijack_pcs.begin(),
+                             first.hijack_pcs.end()));
+
+  AttackPlan reseeded = plan;
+  reseeded.seed = 4;
+  EXPECT_NE(generate(reseeded).image.bytes, first.image.bytes);
+}
+
+std::uint64_t bare_exit(const rv::Image& image) {
+  sim::Memory memory;
+  memory.load(image.base, image.bytes);
+  cva6::Cva6Config config;
+  config.reset_pc = image.base;
+  cva6::Cva6Core core(config, memory);
+  core.set_trace_enabled(false);
+  core.run_baseline();
+  return core.exit_code();
+}
+
+TEST(AttackCorpusGenerate, EveryKindSucceedsArchitecturally) {
+  // Without CFI, every attack's gadget runs and exits with the attacker's 66
+  // — that architectural "success" is what makes detection worth scoring.
+  const char* plans[] = {"rop@0#4,1", "jop@1#2,1", "pivot@1#3,1",
+                         "ret2reg@4#0,1", "partial@2#2,1"};
+  for (const char* text : plans) {
+    EXPECT_EQ(bare_exit(generate(AttackPlan::parse(text)).image), 66u) << text;
+  }
+}
+
+// ---- Scenario fingerprint wiring --------------------------------------------
+
+TEST(AttackCorpusScenario, FingerprintRoundTrips) {
+  const api::Scenario scenario = api::ScenarioBuilder()
+                                     .name("corpus/rt")
+                                     .attack(AttackPlan::parse("jop@1#3,9"))
+                                     .jump_table(true)
+                                     .queue_depth(4)
+                                     .build();
+  const std::string text = scenario.serialize();
+  EXPECT_NE(text.find(";workload=attack;"), std::string::npos) << text;
+  EXPECT_NE(text.find(";attack=jop@1#3,9}"), std::string::npos) << text;
+  EXPECT_EQ(api::ScenarioBuilder::from_serialized(text).serialize(), text);
+  ASSERT_TRUE(scenario.attack().has_value());
+  EXPECT_EQ(scenario.attack()->serialize(), "jop@1#3,9");
+  // The jump table is provisioned from the generated image's legit targets.
+  EXPECT_FALSE(scenario.soc_config().jump_table.empty());
+  EXPECT_NE(scenario.soc_config().jump_table_base, 0u);
+  EXPECT_FALSE(scenario.soc_config().attack_edges.empty());
+}
+
+TEST(AttackCorpusScenario, RejectsBrokenCombinations) {
+  // A workload and an attack plan are mutually exclusive.
+  EXPECT_THROW((void)api::ScenarioBuilder()
+                   .name("corpus/both")
+                   .workload(api::Workload::fib(8))
+                   .attack(AttackPlan::parse("rop@0#1"))
+                   .build(),
+               api::ScenarioError);
+  // build() re-validates the plan (a hand-built out-of-range plan).
+  EXPECT_THROW((void)api::ScenarioBuilder()
+                   .name("corpus/badplan")
+                   .attack(AttackPlan{AttackKind::kRop, 0, 99, 0})
+                   .build(),
+               api::ScenarioError);
+  // The sentinel and the plan key must pair up in the wire grammar.
+  const std::string base = api::ScenarioBuilder()
+                               .name("corpus/pair")
+                               .attack(AttackPlan::parse("rop@0#1"))
+                               .build()
+                               .serialize();
+  std::string orphan_sentinel = base;
+  orphan_sentinel.replace(orphan_sentinel.find(";attack=rop@0#1"),
+                          std::string(";attack=rop@0#1").size(), "");
+  EXPECT_THROW((void)api::ScenarioBuilder::from_serialized(orphan_sentinel),
+               api::ScenarioError);
+  std::string orphan_plan = base;
+  orphan_plan.replace(orphan_plan.find("workload=attack"),
+                      std::string("workload=attack").size(),
+                      "workload=fib(8)");
+  EXPECT_THROW((void)api::ScenarioBuilder::from_serialized(orphan_plan),
+               api::ScenarioError);
+}
+
+// ---- Detection semantics ----------------------------------------------------
+
+api::RunReport run_attack(const char* plan, api::OverflowPolicy policy,
+                          std::size_t queue_depth, bool jump_table) {
+  return api::run_scenario(api::ScenarioBuilder()
+                               .name("corpus/detect")
+                               .attack(AttackPlan::parse(plan))
+                               .overflow_policy(policy)
+                               .queue_depth(queue_depth)
+                               .jump_table(jump_table)
+                               .build());
+}
+
+TEST(AttackCorpusDetection, BackwardEdgeKindsUnderEachOverflowPolicy) {
+  for (const char* plan : {"rop@0#8,1", "pivot@1#4,2", "partial@2#2,3"}) {
+    // Lossless back-pressure: the first hijacked return to reach the RoT is
+    // flagged, with a measured latency and a stream ordinal.
+    const api::RunReport bp =
+        run_attack(plan, api::OverflowPolicy::kBackPressure, 8, false);
+    EXPECT_TRUE(bp.attack.detected) << plan;
+    EXPECT_TRUE(bp.cfi_fault) << plan;
+    EXPECT_GT(bp.attack.detection_latency, 0u) << plan;
+    EXPECT_GT(bp.attack.first_fault_ordinal, 0u) << plan;
+    EXPECT_EQ(bp.attack.false_negatives, 0u) << plan;
+    EXPECT_EQ(bp.exit_code, 0xCF1u) << plan;
+
+    // Fail-closed halts rather than miss a check: possibly before any
+    // hijacked edge retires, but never with a false negative.
+    const api::RunReport fc =
+        run_attack(plan, api::OverflowPolicy::kFailClosed, 2, false);
+    EXPECT_TRUE(fc.cfi_fault) << plan;
+    EXPECT_EQ(fc.attack.false_negatives, 0u) << plan;
+
+    // Fail-open drops logs under pressure: any hijacked edge that slips
+    // through unchecked must be SCORED, not silent.
+    const api::RunReport fo =
+        run_attack(plan, api::OverflowPolicy::kFailOpen, 2, false);
+    EXPECT_GT(fo.attack.hijacks_retired, 0u) << plan;
+    EXPECT_TRUE(fo.attack.detected || fo.attack.false_negatives > 0) << plan;
+  }
+}
+
+TEST(AttackCorpusDetection, ForwardEdgeKindsNeedTheJumpTable) {
+  for (const char* plan : {"jop@1#2,5", "ret2reg@4#0,4"}) {
+    // Shadow-stack-only: the corrupted forward edge retires unflagged — and
+    // the tracker reports it as a false negative instead of staying silent.
+    const api::RunReport ss =
+        run_attack(plan, api::OverflowPolicy::kBackPressure, 8, false);
+    EXPECT_FALSE(ss.attack.detected) << plan;
+    EXPECT_FALSE(ss.cfi_fault) << plan;
+    EXPECT_GE(ss.attack.false_negatives, 1u) << plan;
+    EXPECT_EQ(ss.exit_code, 66u) << plan;  // the attack actually won
+
+    // Armed jump table: the same plan is flagged at the hijacked edge.
+    const api::RunReport jt =
+        run_attack(plan, api::OverflowPolicy::kBackPressure, 8, true);
+    EXPECT_TRUE(jt.attack.detected) << plan;
+    EXPECT_TRUE(jt.cfi_fault) << plan;
+    EXPECT_EQ(jt.attack.false_negatives, 0u) << plan;
+    EXPECT_EQ(jt.exit_code, 0xCF1u) << plan;
+  }
+}
+
+// ---- Registry matrix --------------------------------------------------------
+
+TEST(AttackCorpusRegistry, MatrixIsEngineInvariantAndScored) {
+  const api::ScenarioSet matrix =
+      api::ScenarioRegistry::global().query("attack_matrix", "attack_matrix");
+  ASSERT_GE(matrix.size(), 24u);
+  std::size_t detections = 0;
+  std::size_t scored_false_negatives = 0;
+  for (const api::Scenario& scenario : matrix) {
+    ASSERT_TRUE(scenario.attack().has_value()) << scenario.name();
+    // Every matrix point's fingerprint is wire-round-trippable.
+    EXPECT_EQ(api::ScenarioBuilder::from_serialized(scenario.serialize())
+                  .serialize(),
+              scenario.serialize());
+    const api::RunReport lock =
+        api::run_scenario(scenario.with_engine(api::Engine::kLockStep));
+    const api::RunReport event =
+        api::run_scenario(scenario.with_engine(api::Engine::kEventDriven));
+    EXPECT_EQ(lock, event) << scenario.name();
+    // No silent outcome anywhere in the matrix: every scenario either
+    // detects, scores a false negative, or fails closed pre-retirement.
+    EXPECT_TRUE(event.attack.detected || event.attack.false_negatives > 0 ||
+                (event.cfi_fault && event.attack.hijacks_retired == 0))
+        << scenario.name();
+    detections += event.attack.detected ? 1 : 0;
+    scored_false_negatives += event.attack.false_negatives > 0 ? 1 : 0;
+  }
+  EXPECT_GT(detections, 0u);
+  EXPECT_GT(scored_false_negatives, 0u);
+}
+
+}  // namespace
+}  // namespace titan::attacks

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "api/api.hpp"
+#include "attacks/attack.hpp"
 #include "cva6/core.hpp"
 #include "firmware/builder.hpp"
 #include "sim/fault.hpp"
@@ -160,6 +161,39 @@ TEST_P(CosimFuzzTest, RopIsStillCaughtUnderBenignFaults) {
   EXPECT_TRUE(lock.cfi_fault) << scenario.serialize();
   EXPECT_EQ(lock.fault_log.classify(), rv::CfKind::kReturn);
   EXPECT_EQ(lock.exit_code, 0xCF1u);
+  EXPECT_EQ(lock, event) << scenario.serialize();
+}
+
+// ---- Attack-corpus fuzz -----------------------------------------------------
+
+TEST_P(CosimFuzzTest, RandomAttackPlansAreCaughtWithFullPolicy) {
+  const FuzzCase fuzz = GetParam();
+  const attacks::AttackPlan plan = attacks::AttackPlan::random(fuzz.seed);
+  // Architecturally the attack must succeed on a bare core — otherwise the
+  // scenario below would not be testing detection of anything.
+  ASSERT_EQ(bare_exit(attacks::generate(plan).image), 66u) << plan.serialize();
+  const api::Scenario scenario =
+      api::ScenarioBuilder()
+          .name("cosim_attack_fuzz")
+          .attack(plan)
+          .firmware(fuzz.variant == fw::FwVariant::kIrq
+                        ? api::Firmware::kIrq
+                        : api::Firmware::kPolling)
+          .queue_depth(fuzz.queue_depth)
+          // Both policy halves armed: the shadow stack covers the backward-
+          // edge kinds, the jump table the forward-edge ones — so under the
+          // lossless back-pressure policy EVERY random plan must be caught.
+          .jump_table(true)
+          .build();
+  const api::RunReport lock =
+      api::run_scenario(scenario.with_engine(api::Engine::kLockStep));
+  const api::RunReport event =
+      api::run_scenario(scenario.with_engine(api::Engine::kEventDriven));
+  EXPECT_TRUE(lock.cfi_fault) << scenario.serialize();
+  EXPECT_TRUE(lock.attack.detected) << scenario.serialize();
+  EXPECT_EQ(lock.attack.false_negatives, 0u) << scenario.serialize();
+  EXPECT_GT(lock.attack.detection_latency, 0u);
+  EXPECT_EQ(lock.exit_code, 0xCF1u);  // trapped, not the attacker's 66
   EXPECT_EQ(lock, event) << scenario.serialize();
 }
 

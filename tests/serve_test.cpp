@@ -351,13 +351,18 @@ TEST(ServeMetrics, CountersTrackAScriptedSequence) {
   Client client(fixture.port());
   // Script: ping, 3 runs of one scenario (1 lazy capture + 2 cache hits;
   // all 3 fork, since the capturing request forks from the snapshot it just
-  // built), one unknown scenario, one malformed frame.
+  // built), 2 attack-corpus runs (one detected, one scored false negative),
+  // one unknown scenario, one malformed frame.
   client.send_text("{\"schema_version\":1,\"id\":\"p\",\"op\":\"ping\"}\n");
   (void)client.read_line();
   for (int i = 0; i < 3; ++i) {
     client.send_text(run_request("m", "faults/overflow_backpressure"));
     (void)client.read_line();
   }
+  client.send_text(run_request("a1", "attacks/rop_L1"));
+  (void)client.read_line();
+  client.send_text(run_request("a2", "attacks/ret2reg_ssonly"));
+  (void)client.read_line();
   client.send_text(
       R"({"schema_version":1,"op":"run","scenario":"no/such"})" "\n");
   (void)client.read_line();
@@ -377,13 +382,18 @@ TEST(ServeMetrics, CountersTrackAScriptedSequence) {
                : std::strtoull(
                      response.c_str() + at + name.size() + 2, nullptr, 10);
   };
-  EXPECT_EQ(metric("titand_requests_total"), 6u);
-  EXPECT_EQ(metric("titand_scenarios_served_total"), 3u);
+  EXPECT_EQ(metric("titand_requests_total"), 8u);
+  EXPECT_EQ(metric("titand_scenarios_served_total"), 5u);
   EXPECT_EQ(metric("titand_errors_total"), 2u);
   EXPECT_EQ(metric("titand_error_unknown_scenario_total"), 1u);
-  EXPECT_EQ(metric("titand_checkpoint_cache_misses_total"), 1u);
+  EXPECT_EQ(metric("titand_checkpoint_cache_misses_total"), 3u);
   EXPECT_EQ(metric("titand_checkpoint_cache_hits_total"), 2u);
-  EXPECT_EQ(metric("titand_warm_runs_total"), 3u);
+  EXPECT_EQ(metric("titand_warm_runs_total"), 5u);
+  // Attack-corpus rollup: rop_L1 is detected; ret2reg under the
+  // shadow-stack-only policy is the scored false negative.
+  EXPECT_EQ(metric("titand_attacks_injected_total"), 2u);
+  EXPECT_EQ(metric("titand_attacks_detected_total"), 1u);
+  EXPECT_EQ(metric("titand_attack_false_negatives_total"), 1u);
   // Latency histogram: 3 observations for the scenario.
   EXPECT_NE(
       response.find("titand_request_latency_microseconds_count{scenario="

@@ -1,0 +1,148 @@
+// attack_corpus_smoke — replay the registry's attack-corpus matrix and
+// prove the detection-latency scoring is deterministic and engine-invariant.
+//
+//   attack_corpus_smoke                    # both engines, field-wise diff
+//   attack_corpus_smoke --engine=lockstep --json=A.json
+//   attack_corpus_smoke --engine=event    --json=B.json
+//
+// Default mode runs every scenario tagged "attack_matrix" under BOTH
+// co-simulation engines and compares the full RunReport (operator==, which
+// covers the attack scoring block) — the adversarial-image extension of the
+// engine-equivalence witness.  It also gates on the matrix's designed
+// coverage: at least one scenario must *detect* its attack, and at least one
+// must report a scored false negative (a hijacked edge that retired
+// unflagged — fail-open deep ROP, or a forward-edge escape under the
+// shadow-stack-only policy).  A corpus where every miss is silent, or where
+// nothing is ever caught, is a broken corpus.  Exit status is non-zero on
+// any mismatch or a failed coverage gate.
+//
+// Single-engine mode writes the canonical full sweep document instead, so
+// CI can byte-diff a lock-step scoring document against an event-driven one.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "api/run.hpp"
+#include "api/sweep.hpp"
+#include "sim/sweep.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: attack_corpus_smoke [--engine=lockstep|event] "
+               "[--json=PATH]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using titan::api::Engine;
+  bool engine_given = false;
+  Engine engine = Engine::kEventDriven;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--engine=", 9) == 0) {
+      const std::string value = arg + 9;
+      if (value == "lockstep") {
+        engine = Engine::kLockStep;
+      } else if (value == "event") {
+        engine = Engine::kEventDriven;
+      } else {
+        std::cerr << "attack_corpus_smoke: unknown engine '" << value << "'\n";
+        return usage();
+      }
+      engine_given = true;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path = arg + 7;
+    } else {
+      std::cerr << "attack_corpus_smoke: unknown flag '" << arg << "'\n";
+      return usage();
+    }
+  }
+
+  titan::api::ScenarioSet matrix =
+      titan::api::ScenarioRegistry::global().query("attack_matrix",
+                                                   "attack_matrix");
+  if (matrix.empty()) {
+    std::cerr << "attack_corpus_smoke: registry has no attack_matrix tag\n";
+    return 1;
+  }
+
+  if (engine_given) {
+    // Single-engine scoring-document mode (CI byte-diffs two of these).
+    const titan::api::SweepPlan<titan::api::RunReport> plan =
+        titan::api::scenario_sweep_plan(matrix.with_engine(engine));
+    std::vector<titan::api::RunReport> rows;
+    rows.reserve(matrix.size());
+    for (std::size_t index = 0; index < matrix.size(); ++index) {
+      rows.push_back(plan.point(index));
+    }
+    const titan::sim::RowEmitter emit_row = [&](titan::sim::JsonWriter& json,
+                                                std::size_t index) {
+      plan.emit(json, rows[index], index);
+    };
+    const std::string document =
+        titan::sim::render_full_document(plan.header, emit_row);
+    if (json_path.empty()) {
+      std::cout << document << "\n";
+    } else if (!titan::sim::write_document(json_path, document)) {
+      std::cerr << "attack_corpus_smoke: cannot write " << json_path << "\n";
+      return 1;
+    }
+    std::cerr << "attack_corpus_smoke: " << matrix.size() << " scenario(s), "
+              << (engine == Engine::kLockStep ? "lock-step" : "event-driven")
+              << " engine\n";
+    return 0;
+  }
+
+  // Cross-engine mode: every scenario through both schedulers, field-wise.
+  std::printf("%-28s %4s %8s %6s %4s %5s %4s %6s  %s\n", "scenario", "det",
+              "latency", "ord", "ret", "flag", "fn", "exit", "engines");
+  int mismatches = 0;
+  std::size_t detections = 0;
+  std::size_t scored_false_negatives = 0;
+  for (const titan::api::Scenario& scenario : matrix) {
+    const titan::api::RunReport lock_step =
+        titan::api::run_scenario(scenario.with_engine(Engine::kLockStep));
+    const titan::api::RunReport event_driven =
+        titan::api::run_scenario(scenario.with_engine(Engine::kEventDriven));
+    const bool match = lock_step == event_driven;
+    mismatches += match ? 0 : 1;
+    const titan::attacks::AttackStats& attack = event_driven.attack;
+    detections += attack.detected ? 1 : 0;
+    scored_false_negatives += attack.false_negatives > 0 ? 1 : 0;
+    std::printf("%-28s %4s %8llu %6llu %4llu %5llu %4llu %6llu  %s\n",
+                scenario.name().c_str(), attack.detected ? "YES" : "-",
+                static_cast<unsigned long long>(attack.detection_latency),
+                static_cast<unsigned long long>(attack.first_fault_ordinal),
+                static_cast<unsigned long long>(attack.hijacks_retired),
+                static_cast<unsigned long long>(attack.hijacks_flagged),
+                static_cast<unsigned long long>(attack.false_negatives),
+                static_cast<unsigned long long>(event_driven.exit_code),
+                match ? "bit-exact" : "MISMATCH");
+  }
+  if (mismatches != 0) {
+    std::cerr << "attack_corpus_smoke: " << mismatches
+              << " scenario(s) diverge between engines\n";
+    return 1;
+  }
+  if (detections == 0) {
+    std::cerr << "attack_corpus_smoke: no scenario detected its attack — "
+                 "the corpus is not exercising the CFI policy\n";
+    return 1;
+  }
+  if (scored_false_negatives == 0) {
+    std::cerr << "attack_corpus_smoke: no scenario scored a false negative — "
+                 "the fail-open / forward-edge coverage rows are broken\n";
+    return 1;
+  }
+  std::cerr << "attack_corpus_smoke: " << matrix.size()
+            << " scenario(s) bit-exact across engines (" << detections
+            << " detected, " << scored_false_negatives
+            << " with scored false negatives)\n";
+  return 0;
+}
