@@ -12,10 +12,15 @@ void RunReport::emit_json_fields(sim::JsonWriter& json) const {
   ReportSchema().emit_fields(json, *this);
 }
 
-RunReport run_scenario(const Scenario& scenario, const RunHooks& hooks) {
+RunReport run_scenario(const Scenario& scenario, const RunHooks& hooks,
+                       const RunControl& control) {
   const std::unique_ptr<cfi::SocTop> soc = scenario.make_soc();
   if (hooks.log_capture) {
     soc->log_writer().set_log_capture(hooks.log_capture);
+  }
+  if (control.cancel != nullptr || control.max_cycles != 0) {
+    soc->set_run_limits(control.cancel.get(), control.max_cycles,
+                        control.cancel_check_stride);
   }
   if (hooks.configure) {
     hooks.configure(*soc);
@@ -74,6 +79,21 @@ RunReport run_scenario(const Scenario& scenario, const RunHooks& hooks) {
   report.decode_misses = soc->host().decode_cache().misses();
   report.rot_instructions = soc->rot().core().instret();
   report.rot_hmac_starts = soc->rot().hmac().starts();
+  switch (result.stop) {
+    case cfi::StopCause::kCompleted:
+      report.stop = RunStop::kCompleted;
+      break;
+    case cfi::StopCause::kBudget:
+      report.stop = RunStop::kBudgetExceeded;
+      break;
+    case cfi::StopCause::kCancelled:
+      report.stop = control.cancel != nullptr &&
+                            control.cancel->reason() ==
+                                sim::CancelToken::Reason::kDeadline
+                        ? RunStop::kDeadlineExceeded
+                        : RunStop::kCancelled;
+      break;
+  }
   return report;
 }
 

@@ -7,14 +7,26 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "api/scenario.hpp"
+#include "sim/cancel.hpp"
 #include "sim/memory.hpp"
 #include "sim/sweep.hpp"
 #include "titancfi/commit_log.hpp"
 
 namespace titan::api {
+
+/// Why a run returned — RunStop refines cfi::StopCause with the cancel
+/// token's reason, so the serving layer maps it straight onto the wire
+/// error taxonomy.
+enum class RunStop {
+  kCompleted,         ///< Ran to completion; the report is final.
+  kBudgetExceeded,    ///< RunControl::max_cycles reached.
+  kDeadlineExceeded,  ///< Cancel token fired with Reason::kDeadline.
+  kCancelled,         ///< Cancel token fired (shutdown / disconnect).
+};
 
 /// Unified result of one scenario co-simulation.
 struct RunReport {
@@ -58,6 +70,12 @@ struct RunReport {
   /// false-negative count — hijacked edges that retired unflagged).
   attacks::AttackStats attack{};
 
+  /// Why the run returned.  kCompleted unless RunControl limits were set
+  /// and hit.  Deliberately NOT part of the ReportSchema rendering: a run
+  /// completing within its limits must render byte-identical to an
+  /// unlimited run, and a stopped run's report is partial by definition.
+  RunStop stop = RunStop::kCompleted;
+
   /// Field-wise equality (bit-exact, including the derived statistics) —
   /// what the cross-engine equivalence checks compare.
   bool operator==(const RunReport&) const = default;
@@ -84,8 +102,26 @@ struct RunHooks {
   std::function<void(cfi::SocTop&)> configure;
 };
 
-/// Build the scenario's SoC, run to completion, and collect the report.
+/// Cooperative lifecycle limits for one run (see sim::CancelToken and
+/// cfi::SocTop::set_run_limits).  Default-constructed == no limits, and a
+/// run finishing under its limits is bit-identical to a limitless run (the
+/// registry-wide budget-identity gate in engine_equivalence_test).
+struct RunControl {
+  /// Fired externally (deadline reaper, disconnect detector, drain); the
+  /// run stops at the next loop-top / quantum boundary.  May be null.
+  std::shared_ptr<const sim::CancelToken> cancel;
+  /// Graceful total-cycle budget (0 == unlimited).  Absolute cycle count:
+  /// a warm-started run forked at cycle C >= max_cycles stops immediately.
+  sim::Cycle max_cycles = 0;
+  /// Event-engine quantum clamp while `cancel` is armed (0 == default).
+  /// Tests shrink it to force heavy quantum splitting; services keep 0.
+  sim::Cycle cancel_check_stride = 0;
+};
+
+/// Build the scenario's SoC, run to completion (or until a RunControl limit
+/// stops it — check RunReport::stop), and collect the report.
 [[nodiscard]] RunReport run_scenario(const Scenario& scenario,
-                                     const RunHooks& hooks = {});
+                                     const RunHooks& hooks = {},
+                                     const RunControl& control = {});
 
 }  // namespace titan::api

@@ -62,6 +62,14 @@ std::string_view wire_error_code_name(WireErrorCode code) {
       return "invalid_scenario";
     case WireErrorCode::kSnapshotError:
       return "snapshot_error";
+    case WireErrorCode::kOverloaded:
+      return "overloaded";
+    case WireErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case WireErrorCode::kBudgetExceeded:
+      return "budget_exceeded";
+    case WireErrorCode::kCancelled:
+      return "cancelled";
     case WireErrorCode::kShutdown:
       return "shutdown";
     case WireErrorCode::kInternal:
@@ -131,6 +139,26 @@ Request parse_request(std::string_view line) {
       bad_request("field 'engine' must be 'lockstep' or 'event', got '" +
                   request.engine + "'");
     }
+    if (const sim::JsonValue* deadline = root.find("deadline_ms")) {
+      if (deadline->kind() != sim::JsonValue::Kind::kNumber) {
+        bad_request("field 'deadline_ms' must be an integer");
+      }
+      const std::int64_t value = deadline->as_int();
+      if (value < 0) {
+        bad_request("field 'deadline_ms' must be >= 0");
+      }
+      request.deadline_ms = value;
+    }
+    if (const sim::JsonValue* budget = root.find("max_cycles")) {
+      if (budget->kind() != sim::JsonValue::Kind::kNumber) {
+        bad_request("field 'max_cycles' must be an integer");
+      }
+      const std::int64_t value = budget->as_int();
+      if (value < 1) {
+        bad_request("field 'max_cycles' must be >= 1");
+      }
+      request.max_cycles = static_cast<std::uint64_t>(value);
+    }
   } else {
     throw WireError(WireErrorCode::kUnknownOp,
                     "unknown op '" + op_name + "'");
@@ -143,7 +171,8 @@ Request parse_request(std::string_view line) {
         key == "schema_version" || key == "id" || key == "op" ||
         (request.op == RequestOp::kList && key == "tag") ||
         (request.op == RequestOp::kRun &&
-         (key == "scenario" || key == "spec" || key == "engine"));
+         (key == "scenario" || key == "spec" || key == "engine" ||
+          key == "deadline_ms" || key == "max_cycles"));
     if (!known) {
       bad_request("unknown field '" + key + "' for op '" + op_name + "'");
     }
@@ -193,12 +222,19 @@ std::string render_run_response(std::string_view id,
 }
 
 std::string render_error_response(std::string_view id, WireErrorCode code,
-                                  std::string_view message) {
+                                  std::string_view message,
+                                  const ErrorDetail& detail) {
   std::string out = response_head(id, /*ok=*/false);
   out += ",\"error\":{\"code\":";
   append_quoted(out, wire_error_code_name(code));
   out += ",\"message\":";
   append_quoted(out, message);
+  if (detail.has_cycles) {
+    out += ",\"cycles\":" + std::to_string(detail.cycles);
+  }
+  if (detail.retry_after_ms != 0) {
+    out += ",\"retry_after_ms\":" + std::to_string(detail.retry_after_ms);
+  }
   out += "}}";
   return out;
 }

@@ -16,7 +16,11 @@
 //   {"schema_version":1,"id":"r3","op":"list","tag":"fault_matrix"}
 //   {"schema_version":1,"id":"r4","op":"run","scenario":"drain/burst8"}
 //   {"schema_version":1,"id":"r5","op":"run","spec":"scenario{...}"}
-//   (optional on run: "engine":"lockstep"|"event")
+//   (optional on run: "engine":"lockstep"|"event";
+//    "deadline_ms":N   — wall-clock deadline, 0 == already expired;
+//    "max_cycles":N    — graceful simulated-cycle budget, N >= 1.
+//    Both absent == run to completion, exactly the pre-deadline protocol —
+//    the additions are backward-compatible within schema_version 1.)
 //
 // A "run" response carries the canonical ReportSchema rendering of the
 // RunReport as a JSON string field ("report"): the exact bytes a batch
@@ -47,6 +51,10 @@ enum class WireErrorCode {
   kUnknownScenario,     ///< run names a scenario the registry lacks.
   kInvalidScenario,     ///< spec rejected by ScenarioBuilder validation.
   kSnapshotError,       ///< warm-start checkpoint invalid or mismatched.
+  kOverloaded,          ///< admission control shed the request (retry later).
+  kDeadlineExceeded,    ///< per-request deadline expired (cycles so far).
+  kBudgetExceeded,      ///< per-request cycle budget reached (cycles so far).
+  kCancelled,           ///< run cut off (drain straggler / client vanished).
   kShutdown,            ///< server is draining; request not served.
   kInternal,            ///< unexpected server-side failure.
 };
@@ -54,15 +62,39 @@ enum class WireErrorCode {
 /// Stable string form, e.g. "unknown_scenario" (what goes on the wire).
 [[nodiscard]] std::string_view wire_error_code_name(WireErrorCode code);
 
+/// Machine-actionable detail fields on an error response, rendered only
+/// when set (old error responses stay byte-identical).
+struct ErrorDetail {
+  /// Cycles completed before a deadline/budget/cancel stop (has_cycles
+  /// gates rendering so "0 cycles" and "absent" stay distinguishable).
+  bool has_cycles = false;
+  std::uint64_t cycles = 0;
+  /// Backoff hint on kOverloaded (0 == absent).
+  std::uint64_t retry_after_ms = 0;
+};
+
 /// Protocol-level failure while parsing or validating a request envelope.
 class WireError : public std::runtime_error {
  public:
   WireError(WireErrorCode code, const std::string& message)
       : std::runtime_error(message), code_(code) {}
   [[nodiscard]] WireErrorCode code() const { return code_; }
+  [[nodiscard]] const ErrorDetail& detail() const { return detail_; }
+
+  /// Chainable detail setters (throw WireError(...).with_cycles(n)).
+  WireError&& with_cycles(std::uint64_t cycles) && {
+    detail_.has_cycles = true;
+    detail_.cycles = cycles;
+    return std::move(*this);
+  }
+  WireError&& with_retry_after_ms(std::uint64_t ms) && {
+    detail_.retry_after_ms = ms;
+    return std::move(*this);
+  }
 
  private:
   WireErrorCode code_;
+  ErrorDetail detail_;
 };
 
 enum class RequestOp { kPing, kList, kRun };
@@ -76,6 +108,11 @@ struct Request {
   std::string spec;      ///< run: serialized scenario form.
   std::string engine;    ///< run: "", "lockstep", or "event".
   std::string tag;       ///< list: optional registry tag filter.
+  /// run: wall-clock deadline in ms (-1 == none; 0 == already expired, the
+  /// canonical "reject unless free" probe).
+  std::int64_t deadline_ms = -1;
+  /// run: graceful simulated-cycle budget (0 == none).
+  std::uint64_t max_cycles = 0;
 };
 
 /// Parse and validate one request line.  Throws WireError with the precise
@@ -101,9 +138,12 @@ struct Request {
                                               bool warm_start,
                                               std::string_view report_json);
 
-/// {"schema_version":1,"id":...,"ok":false,"error":{"code":...,"message":...}}
+/// {"schema_version":1,"id":...,"ok":false,"error":{"code":...,"message":...
+///  [,"cycles":N][,"retry_after_ms":N]}} — detail fields render only when
+/// set, so detail-free errors keep their historical bytes.
 [[nodiscard]] std::string render_error_response(std::string_view id,
                                                 WireErrorCode code,
-                                                std::string_view message);
+                                                std::string_view message,
+                                                const ErrorDetail& detail = {});
 
 }  // namespace titan::api

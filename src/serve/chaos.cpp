@@ -1,0 +1,664 @@
+#include "serve/chaos.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "api/wire.hpp"
+#include "sim/json.hpp"
+
+namespace titan::serve {
+
+namespace {
+
+/// Counters whose deltas the harness predicts exactly.  Anything tracked
+/// here that moves by an unpredicted amount — including counters the
+/// schedule should leave at zero, like titand_error_shutdown_total — fails
+/// the run.
+constexpr const char* kTrackedCounters[] = {
+    "titand_requests_total",
+    "titand_scenarios_served_total",
+    "titand_errors_total",
+    "titand_error_bad_frame_total",
+    "titand_error_oversized_frame_total",
+    "titand_error_unknown_scenario_total",
+    "titand_error_overloaded_total",
+    "titand_error_deadline_exceeded_total",
+    "titand_error_budget_exceeded_total",
+    "titand_error_cancelled_total",
+    "titand_error_shutdown_total",
+    "titand_shed_total",
+    "titand_deadline_exceeded_total",
+    "titand_budget_exceeded_total",
+    "titand_cancelled_total",
+};
+
+/// Blocking client socket with per-operation timeouts; every failure mode
+/// degrades to an empty read / false send for the harness to report.
+class ChaosClient {
+ public:
+  ChaosClient(const std::string& host, std::uint16_t port, long timeout_ms) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      return;
+    }
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+      close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~ChaosClient() { close_now(); }
+  ChaosClient(const ChaosClient&) = delete;
+  ChaosClient& operator=(const ChaosClient&) = delete;
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  bool send_text(std::string_view text) {
+    std::size_t sent = 0;
+    while (sent < text.size()) {
+      const ssize_t n =
+          send(fd_, text.data() + sent, text.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// One LF-terminated response line (without the LF); "" on timeout/EOF.
+  std::string read_line() {
+    while (true) {
+      const std::size_t nl = buffered_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffered_.substr(0, nl);
+        buffered_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        return {};
+      }
+      buffered_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::string read_to_eof() {
+    std::string out = std::move(buffered_);
+    buffered_.clear();
+    char chunk[4096];
+    while (true) {
+      const ssize_t n = recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        return out;
+      }
+      out.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Abrupt disconnect: exactly what a vanished client looks like.
+  void close_now() {
+    if (fd_ >= 0) {
+      close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffered_;
+};
+
+/// Parsed wire response, pre-digested for assertions.
+struct WireResult {
+  bool parsed = false;
+  bool ok = false;
+  std::string id;
+  std::string code;
+  bool warm = false;
+  bool has_cycles = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t retry_after_ms = 0;
+};
+
+WireResult parse_response(const std::string& line) {
+  WireResult result;
+  if (line.empty()) {
+    return result;
+  }
+  sim::JsonValue root;
+  try {
+    root = sim::JsonValue::parse(line);
+  } catch (const sim::JsonParseError&) {
+    return result;
+  }
+  const sim::JsonValue* ok = root.find("ok");
+  if (ok == nullptr) {
+    return result;
+  }
+  result.parsed = true;
+  result.ok = ok->as_bool();
+  if (const sim::JsonValue* id = root.find("id")) {
+    result.id = id->as_string();
+  }
+  if (const sim::JsonValue* warm = root.find("warm_start")) {
+    result.warm = warm->as_bool();
+  }
+  if (const sim::JsonValue* error = root.find("error")) {
+    if (const sim::JsonValue* code = error->find("code")) {
+      result.code = code->as_string();
+    }
+    if (const sim::JsonValue* cycles = error->find("cycles")) {
+      result.has_cycles = true;
+      result.cycles = static_cast<std::uint64_t>(cycles->as_int());
+    }
+    if (const sim::JsonValue* retry = error->find("retry_after_ms")) {
+      result.retry_after_ms = static_cast<std::uint64_t>(retry->as_int());
+    }
+  }
+  return result;
+}
+
+/// The scenario-spec scaffold every probe uses; only name and workload
+/// vary, and the name embeds the seed so probe fingerprints never collide
+/// with real scenarios (or with other seeds' probes).
+std::string probe_spec(const std::string& name, const std::string& workload) {
+  return "scenario{name=" + name + ";workload=" + workload +
+         ";fw=irq;fabric=baseline;queue_depth=8;burst=8;mac=0;dwait=0;"
+         "dtimeout=0;ss=32;spill=16;jt=0;pmp=1;trace=0}";
+}
+
+class ChaosRun {
+ public:
+  explicit ChaosRun(const ChaosConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  ChaosReport execute() {
+    if (config_.check_ready) {
+      readiness_phase();
+    }
+    before_ = scrape();
+    if (!scrape_ok_) {
+      fail("scrape: cannot read /metrics baseline; aborting schedule");
+      return std::move(report_);
+    }
+    benign_phase();
+    slowloris_phase();
+    abuse_phase();
+    deadline_phase();
+    budget_phase();
+    flood_phase();
+    midframe_phase();
+    pipeline_phase();
+    quiesce();
+    diff_deltas();
+    return std::move(report_);
+  }
+
+ private:
+  // ---- plumbing -----------------------------------------------------------
+
+  void log(const std::string& line) { report_.log.push_back(line); }
+  void fail(const std::string& line) { report_.failures.push_back(line); }
+
+  void expect(const std::string& counter, std::uint64_t delta = 1) {
+    report_.expected_delta[counter] += delta;
+  }
+
+  std::unique_ptr<ChaosClient> connect() {
+    auto client = std::make_unique<ChaosClient>(config_.host, config_.port,
+                                                config_.io_timeout_ms);
+    if (!client->connected()) {
+      fail("connect: cannot reach " + config_.host + ":" +
+           std::to_string(config_.port));
+    }
+    return client;
+  }
+
+  std::string http_get(const std::string& target) {
+    ChaosClient client(config_.host, config_.port, config_.io_timeout_ms);
+    if (!client.connected()) {
+      return {};
+    }
+    client.send_text("GET " + target + " HTTP/1.1\r\nHost: " + config_.host +
+                     "\r\n\r\n");
+    return client.read_to_eof();
+  }
+
+  std::map<std::string, std::uint64_t> scrape() {
+    const std::string response = http_get("/metrics");
+    std::map<std::string, std::uint64_t> values;
+    const std::size_t body_at = response.find("\r\n\r\n");
+    scrape_ok_ = body_at != std::string::npos;
+    if (!scrape_ok_) {
+      return values;
+    }
+    std::istringstream body(response.substr(body_at + 4));
+    std::string line;
+    while (std::getline(body, line)) {
+      if (line.empty() || line[0] == '#' ||
+          line.find('{') != std::string::npos) {
+        continue;  // comments and labelled (histogram) series
+      }
+      const std::size_t space = line.rfind(' ');
+      if (space == std::string::npos) {
+        continue;
+      }
+      values[line.substr(0, space)] = static_cast<std::uint64_t>(
+          std::strtoull(line.c_str() + space + 1, nullptr, 10));
+    }
+    return values;
+  }
+
+  /// Poll the daemon's own gauges until `predicate` holds; the harness
+  /// never asserts on elapsed time, so this is its only clock.
+  bool poll_gauges(
+      long deadline_ms,
+      const std::function<bool(
+          const std::map<std::string, std::uint64_t>&)>& predicate) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(deadline_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (predicate(scrape())) {
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return false;
+  }
+
+  std::string run_frame(const std::string& id, const std::string& spec,
+                        std::int64_t deadline_ms, std::uint64_t max_cycles) {
+    std::string frame = "{\"schema_version\":" +
+                        std::to_string(api::kWireSchemaVersion) +
+                        ",\"id\":\"" + id + "\",\"op\":\"run\",\"spec\":\"" +
+                        sim::json_escape(spec) + "\"";
+    if (deadline_ms >= 0) {
+      frame += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+    }
+    if (max_cycles != 0) {
+      frame += ",\"max_cycles\":" + std::to_string(max_cycles);
+    }
+    frame += "}\n";
+    return frame;
+  }
+
+  std::string ping_frame(const std::string& id) {
+    return "{\"schema_version\":" + std::to_string(api::kWireSchemaVersion) +
+           ",\"id\":\"" + id + "\",\"op\":\"ping\"}\n";
+  }
+
+  std::string seed_tag() const { return std::to_string(config_.seed); }
+
+  // ---- phases -------------------------------------------------------------
+
+  void readiness_phase() {
+    const std::string health = http_get("/healthz");
+    if (health.find("200 OK") == std::string::npos) {
+      fail("readiness: /healthz did not answer 200");
+    }
+    const std::string ready = http_get("/readyz");
+    if (ready.find("200 OK") == std::string::npos ||
+        ready.find("ready") == std::string::npos) {
+      fail("readiness: /readyz did not answer 200 ready");
+    }
+    log("readiness: /healthz ok, /readyz ready");
+  }
+
+  void benign_phase() {
+    auto client = connect();
+    client->send_text(ping_frame("chaos-ping"));
+    expect("titand_requests_total");
+    WireResult pong = parse_response(client->read_line());
+    if (!pong.ok || pong.id != "chaos-ping") {
+      fail("benign: ping did not pong");
+    }
+    client->send_text("{\"schema_version\":" +
+                      std::to_string(api::kWireSchemaVersion) +
+                      ",\"id\":\"chaos-list\",\"op\":\"list\"}\n");
+    expect("titand_requests_total");
+    if (!parse_response(client->read_line()).ok) {
+      fail("benign: list failed");
+    }
+    client->send_text(run_frame(
+        "chaos-benign", probe_spec("chaos/benign/" + seed_tag(), "stats(4096)"),
+        -1, 0));
+    expect("titand_requests_total");
+    expect("titand_scenarios_served_total");
+    const WireResult run = parse_response(client->read_line());
+    if (!run.ok) {
+      fail("benign: run failed with code '" + run.code + "'");
+    }
+    if (config_.expect_cold_runs && run.warm) {
+      fail("benign: probe run unexpectedly warm-started");
+    }
+    log("benign: ping, list, cold spec run all served");
+  }
+
+  void slowloris_phase() {
+    auto slow = connect();
+    const std::string frame = ping_frame("chaos-slow");
+    const std::size_t third = frame.size() / 3;
+    slow->send_text(frame.substr(0, third));
+    // The daemon must keep serving other clients while the drip stalls.
+    auto bystander = connect();
+    bystander->send_text(ping_frame("chaos-bystander"));
+    expect("titand_requests_total");
+    if (!parse_response(bystander->read_line()).ok) {
+      fail("slowloris: bystander ping starved behind a dripped frame");
+    }
+    slow->send_text(frame.substr(third, third));
+    slow->send_text(frame.substr(2 * third));
+    expect("titand_requests_total");
+    const WireResult dripped = parse_response(slow->read_line());
+    if (!dripped.ok || dripped.id != "chaos-slow") {
+      fail("slowloris: dripped ping never answered");
+    }
+    log("slowloris: dripped ping answered, bystander unaffected");
+  }
+
+  void abuse_phase() {
+    auto client = connect();
+    client->send_text("{this is not json\n");
+    expect("titand_requests_total");
+    expect("titand_errors_total");
+    expect("titand_error_bad_frame_total");
+    if (parse_response(client->read_line()).code != "bad_frame") {
+      fail("abuse: malformed frame did not come back bad_frame");
+    }
+    client->send_text("{\"schema_version\":" +
+                      std::to_string(api::kWireSchemaVersion) +
+                      ",\"id\":\"chaos-noscn\",\"op\":\"run\","
+                      "\"scenario\":\"chaos/no_such_scenario\"}\n");
+    expect("titand_requests_total");
+    expect("titand_errors_total");
+    expect("titand_error_unknown_scenario_total");
+    if (parse_response(client->read_line()).code != "unknown_scenario") {
+      fail("abuse: unknown scenario not rejected as unknown_scenario");
+    }
+    // Oversized: a line max_frame+64 long; the daemon must reject once,
+    // eat the remainder, and serve the next frame on the same connection.
+    client->send_text("{\"pad\":\"" +
+                      std::string(config_.max_frame + 64, 'x') + "\"}\n");
+    expect("titand_requests_total");
+    expect("titand_errors_total");
+    expect("titand_error_oversized_frame_total");
+    if (parse_response(client->read_line()).code != "oversized_frame") {
+      fail("abuse: oversized frame not rejected as oversized_frame");
+    }
+    client->send_text(ping_frame("chaos-after-oversize"));
+    expect("titand_requests_total");
+    if (!parse_response(client->read_line()).ok) {
+      fail("abuse: connection dead after oversized frame");
+    }
+    log("abuse: bad_frame, unknown_scenario, oversized_frame all "
+        "structured; connection survived");
+  }
+
+  void deadline_phase() {
+    auto client = connect();
+    client->send_text(run_frame(
+        "chaos-deadline",
+        probe_spec("chaos/deadline/" + seed_tag(), "stats(4096)"), 0, 0));
+    expect("titand_requests_total");
+    expect("titand_errors_total");
+    expect("titand_error_deadline_exceeded_total");
+    expect("titand_deadline_exceeded_total");
+    const WireResult result = parse_response(client->read_line());
+    if (result.code != "deadline_exceeded") {
+      fail("deadline: deadline_ms=0 run came back '" + result.code +
+           "', want deadline_exceeded");
+    } else if (!result.has_cycles || result.cycles != 0) {
+      fail("deadline: deadline_ms=0 run reported " +
+           std::to_string(result.cycles) + " cycles, want exactly 0");
+    }
+    log("deadline: deadline_ms=0 -> deadline_exceeded at 0 cycles");
+  }
+
+  void budget_phase() {
+    auto client = connect();
+    client->send_text(run_frame(
+        "chaos-budget",
+        probe_spec("chaos/budget/" + seed_tag(), "stats(65536)"), -1,
+        config_.budget_cycles));
+    expect("titand_requests_total");
+    expect("titand_errors_total");
+    expect("titand_error_budget_exceeded_total");
+    expect("titand_budget_exceeded_total");
+    const WireResult result = parse_response(client->read_line());
+    if (result.code != "budget_exceeded") {
+      fail("budget: max_cycles run came back '" + result.code +
+           "', want budget_exceeded");
+    } else if (config_.expect_cold_runs &&
+               (!result.has_cycles || result.cycles != config_.budget_cycles)) {
+      fail("budget: stopped at " + std::to_string(result.cycles) +
+           " cycles, want exactly " + std::to_string(config_.budget_cycles));
+    }
+    log("budget: max_cycles=" + std::to_string(config_.budget_cycles) +
+        " -> budget_exceeded at the exact budget");
+  }
+
+  void flood_phase() {
+    const unsigned fillers =
+        config_.max_inflight + static_cast<unsigned>(config_.max_queue);
+    std::vector<std::unique_ptr<ChaosClient>> flood;
+    for (unsigned i = 0; i < fillers; ++i) {
+      flood.push_back(connect());
+      flood.back()->send_text(run_frame(
+          "chaos-filler-" + std::to_string(i),
+          probe_spec("chaos/filler/" + std::to_string(i) + "/" + seed_tag(),
+                     config_.filler_workload),
+          -1, 0));
+      expect("titand_requests_total");
+      // Admission is deterministic because each filler is confirmed to
+      // occupy an admission slot (titand_runs_outstanding, charged from
+      // the admit decision until completion) before the next is sent.
+      // Exact equality, not >=: transient worker-handoff states must be
+      // waited out, never mistaken for saturation.
+      const std::uint64_t admitted = i + 1;
+      if (!poll_gauges(config_.saturate_timeout_ms,
+                       [&](const std::map<std::string, std::uint64_t>& m) {
+                         const auto outstanding =
+                             m.find("titand_runs_outstanding");
+                         return outstanding != m.end() &&
+                                outstanding->second == admitted;
+                       })) {
+        fail("flood: filler " + std::to_string(i) +
+             " never became visible in the outstanding-runs gauge");
+      }
+    }
+    log("flood: " + std::to_string(fillers) +
+        " fillers admitted (inflight+queue saturated)");
+
+    for (unsigned probe = 0; probe < config_.shed_probes; ++probe) {
+      auto client = connect();
+      client->send_text(run_frame(
+          "chaos-shed-" + std::to_string(probe),
+          probe_spec("chaos/shed/" + std::to_string(probe) + "/" + seed_tag(),
+                     "stats(4096)"),
+          -1, 0));
+      expect("titand_requests_total");
+      expect("titand_errors_total");
+      expect("titand_error_overloaded_total");
+      expect("titand_shed_total");
+      const WireResult result = parse_response(client->read_line());
+      if (result.code != "overloaded") {
+        fail("flood: shed probe " + std::to_string(probe) + " came back '" +
+             result.code + "', want overloaded");
+      } else if (result.retry_after_ms != config_.retry_after_ms) {
+        fail("flood: shed probe " + std::to_string(probe) +
+             " carried retry_after_ms=" +
+             std::to_string(result.retry_after_ms) + ", want " +
+             std::to_string(config_.retry_after_ms));
+      }
+    }
+    log("flood: " + std::to_string(config_.shed_probes) +
+        " probes shed with overloaded + retry_after_ms");
+
+    // Seeded choice of which fillers vanish mid-run (Fisher-Yates prefix).
+    std::vector<unsigned> order(fillers);
+    for (unsigned i = 0; i < fillers; ++i) {
+      order[i] = i;
+    }
+    for (unsigned i = 0; i < fillers; ++i) {
+      std::swap(order[i], order[i + rng_() % (fillers - i)]);
+    }
+    const unsigned disconnects =
+        std::min(config_.disconnect_fillers, fillers);
+    std::vector<bool> dropped(fillers, false);
+    for (unsigned i = 0; i < disconnects; ++i) {
+      dropped[order[i]] = true;
+      flood[order[i]]->close_now();
+      expect("titand_errors_total");
+      expect("titand_error_cancelled_total");
+      expect("titand_cancelled_total");
+      log("flood: disconnected filler " + std::to_string(order[i]) +
+          " mid-run");
+    }
+    for (unsigned i = 0; i < fillers; ++i) {
+      if (dropped[i]) {
+        continue;
+      }
+      expect("titand_scenarios_served_total");
+      const WireResult result = parse_response(flood[i]->read_line());
+      if (!result.ok) {
+        fail("flood: surviving filler " + std::to_string(i) +
+             " failed with '" + result.code + "'");
+      } else {
+        log("flood: surviving filler " + std::to_string(i) + " served");
+      }
+    }
+  }
+
+  void midframe_phase() {
+    {
+      auto client = connect();
+      client->send_text("{\"schema_version\":1,\"op\":\"pi");  // no newline
+      client->close_now();
+    }
+    auto client = connect();
+    client->send_text(ping_frame("chaos-after-midframe"));
+    expect("titand_requests_total");
+    if (!parse_response(client->read_line()).ok) {
+      fail("midframe: daemon unhealthy after mid-frame disconnect");
+    }
+    log("midframe: partial frame dropped silently, daemon healthy");
+  }
+
+  void pipeline_phase() {
+    auto client = connect();
+    std::string burst;
+    for (unsigned i = 0; i < config_.pipeline_depth; ++i) {
+      burst += ping_frame("chaos-pipe-" + std::to_string(i));
+      expect("titand_requests_total");
+    }
+    client->send_text(burst);
+    for (unsigned i = 0; i < config_.pipeline_depth; ++i) {
+      const WireResult result = parse_response(client->read_line());
+      if (!result.ok || result.id != "chaos-pipe-" + std::to_string(i)) {
+        fail("pipeline: response " + std::to_string(i) +
+             " out of order or missing (got id '" + result.id + "')");
+        return;
+      }
+    }
+    log("pipeline: " + std::to_string(config_.pipeline_depth) +
+        " pipelined pings answered in order");
+  }
+
+  void quiesce() {
+    // All counters are final once no admission slot is occupied: every
+    // tracked counter increments inside request execution, before the
+    // completion push that releases the slot.
+    if (!poll_gauges(config_.io_timeout_ms,
+                     [](const std::map<std::string, std::uint64_t>& m) {
+                       const auto outstanding =
+                           m.find("titand_runs_outstanding");
+                       return outstanding != m.end() &&
+                              outstanding->second == 0;
+                     })) {
+      fail("quiesce: daemon never returned to idle after the schedule");
+    }
+  }
+
+  void diff_deltas() {
+    const std::map<std::string, std::uint64_t> after = scrape();
+    if (!scrape_ok_) {
+      fail("scrape: cannot read /metrics after the schedule");
+      return;
+    }
+    const auto value = [](const std::map<std::string, std::uint64_t>& m,
+                          const char* name) -> std::uint64_t {
+      const auto it = m.find(name);
+      return it == m.end() ? 0 : it->second;
+    };
+    for (const char* name : kTrackedCounters) {
+      const std::uint64_t actual = value(after, name) - value(before_, name);
+      const std::uint64_t expected = report_.expected_delta[name];
+      report_.actual_delta[name] = actual;
+      if (actual != expected) {
+        fail(std::string("delta: ") + name + " moved by " +
+             std::to_string(actual) + ", want exactly " +
+             std::to_string(expected));
+      }
+    }
+  }
+
+  ChaosConfig config_;
+  std::mt19937_64 rng_;
+  ChaosReport report_;
+  std::map<std::string, std::uint64_t> before_;
+  bool scrape_ok_ = false;
+};
+
+}  // namespace
+
+std::string ChaosReport::render() const {
+  std::ostringstream out;
+  for (const std::string& line : log) {
+    out << line << "\n";
+  }
+  out << "--- tracked counter deltas ---\n";
+  for (const auto& [name, expected] : expected_delta) {
+    const auto it = actual_delta.find(name);
+    const std::uint64_t actual = it == actual_delta.end() ? 0 : it->second;
+    out << name << " expected=" << expected << " actual=" << actual
+        << (actual == expected ? "" : "  MISMATCH") << "\n";
+  }
+  if (failures.empty()) {
+    out << "CHAOS PASS\n";
+  } else {
+    out << "CHAOS FAIL (" << failures.size() << " failures)\n";
+    for (const std::string& line : failures) {
+      out << "  " << line << "\n";
+    }
+  }
+  return out.str();
+}
+
+ChaosReport run_chaos(const ChaosConfig& config) {
+  return ChaosRun(config).execute();
+}
+
+}  // namespace titan::serve

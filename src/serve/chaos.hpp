@@ -1,0 +1,87 @@
+// Deterministic socket-chaos harness for titand.
+//
+// run_chaos() connects to a live daemon and replays a seeded adversarial
+// schedule — slow-dripped frames (slowloris), oversized frames, malformed
+// frames, deadline-0 and cycle-budget probes, a pipelined flood past the
+// admission queue bound, and mid-run client disconnects — asserting not
+// just that the daemon survives (keeps answering on fresh connections) but
+// that it survives *predictably*: the harness computes the exact delta
+// every tracked daemon counter must show (titand_shed_total,
+// titand_deadline_exceeded_total, titand_cancelled_total, per-code error
+// counters, ...) as it issues each operation, scrapes /metrics before and
+// after, and fails on any mismatch.  Same seed + same config ⇒ identical
+// operation log and identical expected deltas — the CI chaos-smoke job
+// runs the harness twice and diffs the reports byte for byte.
+//
+// Preconditions the daemon must match (or the deltas will not line up):
+//   * max_inflight / max_queue / retry_after_ms / max_frame mirror the
+//     daemon's flags — saturation arithmetic depends on them;
+//   * expect_cold_runs: spec-named probe runs execute from cycle 0 (true
+//     for --warm=off and --warm_start bundle daemons; a lazy-warming
+//     daemon captures checkpoints for probe specs, shifting cycle counts).
+//
+// The harness never asserts on wall-clock timing, only on counters and
+// response bytes: saturation is confirmed by polling the daemon's own
+// admission-slot gauge (titand_runs_outstanding) for the exact occupancy,
+// and filler runs are sized (filler_workload) to outlast the probe window
+// by a wide margin.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace titan::serve {
+
+struct ChaosConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Seeds every choice the schedule makes (which fillers to disconnect,
+  /// probe ids); identical seeds replay identical schedules.
+  std::uint64_t seed = 1;
+  /// Mirror of the daemon's --max_frame (oversized-frame probe size).
+  std::size_t max_frame = 1 << 20;
+  /// Mirrors of the daemon's admission flags; the flood phase opens
+  /// max_inflight + max_queue fillers to pin every slot.
+  unsigned max_inflight = 2;
+  std::size_t max_queue = 2;
+  std::uint64_t retry_after_ms = 50;
+  /// Runs shed while saturated (each must come back `overloaded`).
+  unsigned shed_probes = 3;
+  /// Fillers disconnected mid-run (each must count one cancellation).
+  unsigned disconnect_fillers = 2;
+  /// Pings pipelined in one write (answers must come back in order).
+  unsigned pipeline_depth = 8;
+  /// Workload of flood fillers; must run long enough to still be executing
+  /// when the shed probes and disconnects land (~1s+ simulated).
+  std::string filler_workload = "fib(24)";
+  /// max_cycles for the budget probe; a cold run must stop at exactly this
+  /// cycle (asserted when expect_cold_runs).
+  std::uint64_t budget_cycles = 256;
+  bool expect_cold_runs = true;
+  /// Assert GET /healthz == ok and GET /readyz == ready at entry.
+  bool check_ready = true;
+  long io_timeout_ms = 20000;       ///< Per-socket-operation timeout.
+  long saturate_timeout_ms = 20000; ///< Gauge-poll deadline for the flood.
+};
+
+struct ChaosReport {
+  /// Deterministic operation log (no timings, no addresses): two runs with
+  /// the same seed and config produce identical logs.
+  std::vector<std::string> log;
+  /// Empty == the daemon survived the schedule with exact metric deltas.
+  std::vector<std::string> failures;
+  std::map<std::string, std::uint64_t> expected_delta;
+  std::map<std::string, std::uint64_t> actual_delta;
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+  /// Render log + delta table + verdict as printable text.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Replay the chaos schedule against a live daemon.  Never throws; every
+/// anomaly (connect failure, timeout, wrong byte, wrong delta) lands in
+/// ChaosReport::failures.
+[[nodiscard]] ChaosReport run_chaos(const ChaosConfig& config);
+
+}  // namespace titan::serve

@@ -1,5 +1,6 @@
 #include "serve/daemon.hpp"
 
+#include <fcntl.h>
 #include <signal.h>
 #include <unistd.h>
 
@@ -19,6 +20,14 @@ void on_signal(int signum) {
 void install_shutdown_handlers() {
   if (g_signal_pipe[0] < 0 && pipe(g_signal_pipe) != 0) {
     return;  // no pipe, no graceful shutdown — the default disposition wins
+  }
+  // The write end must never block: once the first byte has started the
+  // drain, nothing reads the pipe again, so a signal storm would otherwise
+  // eventually fill it and wedge the handler mid-signal.  The read end
+  // stays blocking — wait_for_shutdown() wants to sleep on it.
+  const int flags = fcntl(g_signal_pipe[1], F_GETFL, 0);
+  if (flags >= 0) {
+    (void)fcntl(g_signal_pipe[1], F_SETFL, flags | O_NONBLOCK);
   }
   struct sigaction action {};
   action.sa_handler = on_signal;

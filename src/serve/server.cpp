@@ -1,18 +1,28 @@
 #include "serve/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <stdexcept>
 #include <utility>
 
 #include "api/wire.hpp"
+
+// POLLRDHUP (peer closed its write side) is Linux-specific and hidden
+// behind _GNU_SOURCE in glibc headers; define the kernel value directly so
+// the build does not depend on feature-macro ordering.
+#ifndef POLLRDHUP
+#define POLLRDHUP 0x2000
+#endif
 
 namespace titan::serve {
 
@@ -35,12 +45,69 @@ std::string http_response(int status, std::string_view reason,
   return out;
 }
 
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    (void)fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// DeadlineReaper
+
+DeadlineReaper::DeadlineReaper() : thread_([this] { loop(); }) {}
+
+DeadlineReaper::~DeadlineReaper() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+}
+
+void DeadlineReaper::schedule(std::shared_ptr<sim::CancelToken> token,
+                              std::chrono::steady_clock::time_point when) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    heap_.push_back(Entry{when, std::move(token)});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+  wake_.notify_all();
+}
+
+void DeadlineReaper::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    if (heap_.empty()) {
+      wake_.wait(lock);
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (heap_.front().when > now) {
+      wake_.wait_until(lock, heap_.front().when);
+      continue;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const std::shared_ptr<sim::CancelToken> token =
+        std::move(heap_.back().token);
+    heap_.pop_back();
+    lock.unlock();
+    token->cancel(sim::CancelToken::Reason::kDeadline);
+    lock.lock();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server lifecycle
 
 Server::Server(Options options, ScenarioService& service)
     : options_(std::move(options)),
       service_(service),
-      pool_(options_.threads) {}
+      pool_(options_.max_inflight != 0 ? options_.max_inflight
+                                       : options_.threads) {}
 
 Server::~Server() { stop(); }
 
@@ -48,6 +115,9 @@ void Server::start() {
   if (pipe(wake_pipe_) != 0) {
     socket_error("pipe");
   }
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+
   listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     socket_error("socket");
@@ -77,186 +147,445 @@ void Server::start() {
     socket_error("getsockname");
   }
   port_ = ntohs(bound.sin_port);
+  set_nonblocking(listen_fd_);
 
   running_ = true;
-  acceptor_ = std::thread([this] { accept_loop(); });
+  poller_ = std::thread([this] { loop(); });
 }
 
 void Server::stop() {
   if (!running_) {
     return;
   }
-  running_ = false;
-  // One byte wakes the acceptor; the byte is never drained, so every
-  // blocked connection reader sees the pipe readable and unwinds too.
-  const char byte = 'x';
-  (void)!write(wake_pipe_[1], &byte, 1);
-  acceptor_.join();
+  stopping_.store(true);
+  ring_wake();
+  cancel_active(sim::CancelToken::Reason::kShutdown);
   pool_.wait_idle();
+  ring_wake();
+  poller_.join();
+  running_ = false;
   close(listen_fd_);
   listen_fd_ = -1;
   close(wake_pipe_[0]);
   close(wake_pipe_[1]);
   wake_pipe_[0] = wake_pipe_[1] = -1;
+  {
+    const std::lock_guard<std::mutex> lock(comp_mutex_);
+    completions_.clear();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(tokens_mutex_);
+    active_tokens_.clear();
+  }
 }
 
-void Server::accept_loop() {
+void Server::set_ready() {
+  Readiness expected = Readiness::kWarming;
+  phase_.compare_exchange_strong(expected, Readiness::kReady);
+}
+
+void Server::request_drain() {
+  phase_.store(Readiness::kDraining);
+  ring_wake();
+}
+
+bool Server::drain(std::chrono::milliseconds timeout) {
+  request_drain();
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  if (drained_cv_.wait_for(lock, timeout,
+                           [this] { return drain_quiesced_; })) {
+    return true;
+  }
+  // Timeout: cut the stragglers off through their tokens.  Cancellation
+  // latency is bounded (cancel-check stride), so the settle wait below is a
+  // formality with a generous cap; stop() hard-closes whatever remains.
+  lock.unlock();
+  cancel_active(sim::CancelToken::Reason::kShutdown);
+  lock.lock();
+  drained_cv_.wait_for(lock, std::chrono::seconds(5),
+                       [this] { return drain_settled_; });
+  return false;
+}
+
+void Server::cancel_active(sim::CancelToken::Reason reason) {
+  std::vector<std::shared_ptr<sim::CancelToken>> tokens;
+  {
+    const std::lock_guard<std::mutex> lock(tokens_mutex_);
+    tokens.reserve(active_tokens_.size());
+    for (const auto& [conn_id, token] : active_tokens_) {
+      tokens.push_back(token);
+    }
+  }
+  for (const std::shared_ptr<sim::CancelToken>& token : tokens) {
+    token->cancel(reason);
+  }
+}
+
+void Server::ring_wake() {
+  const char byte = 'w';
+  (void)!write(wake_pipe_[1], &byte, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Poller
+
+void Server::loop() {
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> ids;
   while (true) {
-    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
-    if (poll(fds, 2, -1) < 0) {
+    deliver_completions();
+    if (stopping_.load()) {
+      for (auto& [conn_id, conn] : conns_) {
+        close(conn.fd);
+      }
+      conns_.clear();
+      return;
+    }
+    if (phase_.load() == Readiness::kDraining && !drain_quiesced_) {
+      // Quiescence has two levels: runs settled (nothing outstanding,
+      // nothing undelivered) unblocks the post-cancel settle wait; fully
+      // flushed output on top of that is the clean-drain signal.
+      bool settled = outstanding_runs_.load() == 0;
+      if (settled) {
+        const std::lock_guard<std::mutex> lock(comp_mutex_);
+        settled = completions_.empty();
+      }
+      bool flushed = settled;
+      if (flushed) {
+        for (const auto& [conn_id, conn] : conns_) {
+          if (!conn.out.empty()) {
+            flushed = false;
+            break;
+          }
+        }
+      }
+      if (settled) {
+        const std::lock_guard<std::mutex> lock(drain_mutex_);
+        drain_settled_ = true;
+        if (flushed) {
+          drain_quiesced_ = true;
+        }
+        drained_cv_.notify_all();
+      }
+    }
+
+    fds.clear();
+    ids.clear();
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const auto& [conn_id, conn] : conns_) {
+      short events = POLLRDHUP;
+      if (!conn.run_inflight) {
+        events = static_cast<short>(events | POLLIN);
+      }
+      if (!conn.out.empty()) {
+        events = static_cast<short>(events | POLLOUT);
+      }
+      fds.push_back(pollfd{conn.fd, events, 0});
+      ids.push_back(conn_id);
+    }
+
+    if (poll(fds.data(), static_cast<nfds_t>(fds.size()), -1) < 0) {
       if (errno == EINTR) {
         continue;
       }
       return;
     }
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      // Drain every pending byte: wakeups are level-edge collapsed, so any
+      // number of rings (repeated signals included) costs one drain and can
+      // never leave a stale readable byte behind.
+      char buf[64];
+      while (read(wake_pipe_[0], buf, sizeof buf) > 0) {
+      }
+    }
     if ((fds[1].revents & POLLIN) != 0) {
-      return;  // stop() rang the wake pipe
+      accept_new();
     }
-    if ((fds[0].revents & POLLIN) == 0) {
-      continue;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const auto it = conns_.find(ids[i]);
+      if (it == conns_.end() || fds[i + 2].revents == 0) {
+        continue;
+      }
+      handle_events(it, fds[i + 2].revents);
     }
+  }
+}
+
+void Server::accept_new() {
+  while (true) {
     const int fd = accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      continue;  // EINTR / ECONNABORTED: transient, keep accepting
+      return;  // EAGAIN: backlog drained (or transient; poll retries)
     }
-    pool_.submit([this, fd] { serve_connection(fd); });
+    set_nonblocking(fd);
+    Connection conn;
+    conn.fd = fd;
+    conns_.emplace(next_conn_id_++, std::move(conn));
   }
 }
 
-int Server::guarded_recv(int fd, char* data, std::size_t size) const {
-  pollfd fds[2] = {{fd, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
-  while (true) {
-    if (poll(fds, 2, -1) < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return -1;
+void Server::deliver_completions() {
+  std::vector<Completion> batch;
+  {
+    const std::lock_guard<std::mutex> lock(comp_mutex_);
+    batch.swap(completions_);
+  }
+  for (Completion& comp : batch) {
+    {
+      const std::lock_guard<std::mutex> lock(tokens_mutex_);
+      active_tokens_.erase(comp.conn_id);
     }
-    if ((fds[1].revents & POLLIN) != 0) {
-      return -1;  // server stopping
+    const auto it = conns_.find(comp.conn_id);
+    if (it == conns_.end()) {
+      continue;  // client vanished while its run executed
     }
-    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
-      continue;
+    Connection& conn = it->second;
+    conn.run_inflight = false;
+    respond(conn, comp.response);
+    if (!conn.http) {
+      process_input(it);  // pipelined frames buffered behind the run
     }
-    const ssize_t n = recv(fd, data, size, 0);
-    return n < 0 ? -1 : static_cast<int>(n);
+    finalize(it);
   }
 }
 
-void Server::send_all(int fd, std::string_view data) const {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n =
-        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      return;  // peer gone; nothing useful left to do
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-}
-
-void Server::serve_connection(int fd) {
-  char chunk[4096];
-  const int n = guarded_recv(fd, chunk, sizeof chunk);
-  if (n <= 0) {
-    close(fd);
+void Server::handle_events(ConnMap::iterator it, short revents) {
+  Connection& conn = it->second;
+  if ((revents & (POLLERR | POLLNVAL | POLLHUP)) != 0) {
+    abort_conn(it);
     return;
   }
-  std::string buffered(chunk, static_cast<std::size_t>(n));
-  if (buffered[0] == '{') {
-    serve_jsonl(fd, std::move(buffered));
-  } else {
-    serve_http(fd, std::move(buffered));
+  if ((revents & POLLRDHUP) != 0 && conn.run_inflight) {
+    // The client went away while its run executes; nobody will read the
+    // response, so stop simulating for it.
+    abort_conn(it);
+    return;
   }
-  close(fd);
+  if ((revents & (POLLIN | POLLRDHUP)) != 0) {
+    if (!read_available(conn)) {
+      abort_conn(it);
+      return;
+    }
+    process_input(it);
+  }
+  finalize(it);
 }
 
-void Server::serve_jsonl(int fd, std::string buffered) {
-  bool discarding = false;  // inside an oversized line, eating to newline
+bool Server::read_available(Connection& conn) {
+  char chunk[4096];
   while (true) {
-    std::size_t start = 0;
-    for (std::size_t nl = buffered.find('\n', start);
-         nl != std::string::npos; nl = buffered.find('\n', start)) {
-      std::string_view line(buffered.data() + start, nl - start);
-      start = nl + 1;
-      if (discarding) {
-        discarding = false;  // tail of the oversized line
-        continue;
-      }
-      if (!line.empty() && line.back() == '\r') {
-        line.remove_suffix(1);
-      }
-      if (line.empty()) {
-        continue;
-      }
-      send_all(fd, service_.handle_line(line));
-      send_all(fd, "\n");
-    }
-    buffered.erase(0, start);
-    if (!discarding && buffered.size() > options_.max_frame) {
-      send_all(fd, api::render_error_response(
-                       "", api::WireErrorCode::kOversizedFrame,
-                       "frame exceeds " + std::to_string(options_.max_frame) +
-                           " bytes"));
-      send_all(fd, "\n");
-      buffered.clear();
-      discarding = true;
-    }
-    char chunk[4096];
-    const int n = guarded_recv(fd, chunk, sizeof chunk);
-    if (n <= 0) {
-      return;  // EOF (possibly mid-frame: no complete request to answer)
-    }
-    if (discarding) {
-      // Only the tail beyond the last newline matters while discarding.
-      const char* nl = static_cast<const char*>(
-          std::memchr(chunk, '\n', static_cast<std::size_t>(n)));
-      if (nl == nullptr) {
-        continue;
-      }
-      discarding = false;
-      buffered.assign(nl + 1, static_cast<const char*>(chunk) + n);
+    const ssize_t n = recv(conn.fd, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      conn.in.append(chunk, static_cast<std::size_t>(n));
       continue;
     }
-    buffered.append(chunk, static_cast<std::size_t>(n));
+    if (n == 0) {
+      conn.saw_eof = true;
+      return true;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return true;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return false;  // ECONNRESET and friends
   }
 }
 
-void Server::serve_http(int fd, std::string buffered) {
-  // Read until the end of headers (bounded by max_frame).
-  std::size_t header_end;
-  while ((header_end = buffered.find("\r\n\r\n")) == std::string::npos) {
-    if (buffered.size() > options_.max_frame) {
-      send_all(fd, http_response(431, "Request Header Fields Too Large",
-                                 "text/plain", "header too large\n"));
+void Server::process_input(ConnMap::iterator it) {
+  Connection& conn = it->second;
+  const auto oversized_error = [this] {
+    return service_.error_response(
+        "", api::WireError(api::WireErrorCode::kOversizedFrame,
+                           "frame exceeds " +
+                               std::to_string(options_.max_frame) +
+                               " bytes"));
+  };
+  if (!conn.protocol_known) {
+    if (conn.in.empty()) {
       return;
     }
-    char chunk[4096];
-    const int n = guarded_recv(fd, chunk, sizeof chunk);
-    if (n <= 0) {
-      return;
-    }
-    buffered.append(chunk, static_cast<std::size_t>(n));
+    conn.http = conn.in.front() != '{';
+    conn.protocol_known = true;
   }
-  const std::string_view head(buffered.data(), header_end);
+  if (conn.http) {
+    process_http(it);
+    return;
+  }
+  while (!conn.run_inflight && !conn.want_close) {
+    const std::size_t nl = conn.in.find('\n');
+    if (nl == std::string::npos) {
+      break;
+    }
+    std::string line = conn.in.substr(0, nl);
+    conn.in.erase(0, nl + 1);
+    if (conn.discarding) {
+      conn.discarding = false;  // tail of the oversized line
+      continue;
+    }
+    if (line.size() > options_.max_frame) {
+      // A complete line can exceed the bound when the whole flood arrived
+      // in one read batch; same verdict as the incremental path below, so
+      // the response is identical however the kernel chunked the bytes.
+      respond(conn, oversized_error());
+      continue;
+    }
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      continue;
+    }
+    handle_frame(it, line);
+  }
+  // A no-newline remainder past the bound: reject now, eat to the next LF.
+  if (!conn.run_inflight && !conn.discarding &&
+      conn.in.size() > options_.max_frame) {
+    respond(conn, oversized_error());
+    conn.in.clear();
+    conn.discarding = true;
+  }
+}
+
+void Server::handle_frame(ConnMap::iterator it, const std::string& line) {
+  Connection& conn = it->second;
+  api::Request request;
+  try {
+    request = api::parse_request(line);
+  } catch (const api::WireError& error) {
+    // No recoverable id to echo on a frame that does not parse.
+    respond(conn, service_.error_response("", error));
+    return;
+  }
+
+  if (request.op != api::RequestOp::kRun) {
+    respond(conn, service_.handle(request));
+    return;
+  }
+
+  // Runs cost simulation time, so they pass lifecycle + admission gates;
+  // everything above stays served inline even while draining.
+  if (phase_.load() == Readiness::kDraining || stopping_.load()) {
+    respond(conn,
+            service_.error_response(
+                request.id,
+                api::WireError(api::WireErrorCode::kShutdown,
+                               "server is draining; run not admitted")));
+    return;
+  }
+
+  // Admission charges a run against capacity from this decision until its
+  // completion is pushed (outstanding_runs_), NOT against the pool queue's
+  // instantaneous occupancy: a task sitting in the queue mid-handoff to a
+  // worker would otherwise make the shed decision race the workers'
+  // dequeue timing.  Only the poller thread admits, so load-then-add needs
+  // no CAS; workers only ever decrement.  max_queue == 0 disables
+  // shedding entirely (runs queue without bound).
+  const std::size_t capacity =
+      (options_.max_inflight != 0 ? options_.max_inflight
+                                  : options_.threads) +
+      options_.max_queue;
+  if (options_.max_queue != 0 && outstanding_runs_.load() >= capacity) {
+    service_.metrics().add_counter("titand_shed_total");
+    respond(conn,
+            service_.error_response(
+                request.id,
+                api::WireError(api::WireErrorCode::kOverloaded,
+                               "server at capacity; retry after backoff")
+                    .with_retry_after_ms(options_.retry_after_ms)));
+    return;
+  }
+
+  auto token = std::make_shared<sim::CancelToken>();
+  if (request.deadline_ms == 0) {
+    // Fire before dispatch: a deadline-0 run must deterministically report
+    // zero simulated cycles, never race the worker's first check.
+    token->cancel(sim::CancelToken::Reason::kDeadline);
+  }
+
+  const std::uint64_t conn_id = it->first;
+  outstanding_runs_.fetch_add(1);
+  pool_.submit([this, request, token, conn_id] {
+    std::string response = service_.execute_run(request, token);
+    {
+      const std::lock_guard<std::mutex> lock(comp_mutex_);
+      completions_.push_back(Completion{conn_id, std::move(response)});
+    }
+    outstanding_runs_.fetch_sub(1);
+    ring_wake();
+  });
+  conn.run_inflight = true;
+  {
+    const std::lock_guard<std::mutex> lock(tokens_mutex_);
+    active_tokens_[conn_id] = token;
+  }
+  if (request.deadline_ms > 0) {
+    reaper_.schedule(token,
+                     std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(request.deadline_ms));
+  }
+}
+
+void Server::process_http(ConnMap::iterator it) {
+  Connection& conn = it->second;
+  if (conn.want_close || conn.run_inflight) {
+    return;  // one request per connection; its response is already decided
+  }
+  const std::size_t header_end = conn.in.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    if (conn.in.size() > options_.max_frame) {
+      conn.out += http_response(431, "Request Header Fields Too Large",
+                                "text/plain", "header too large\n");
+      conn.want_close = true;
+    }
+    return;  // need more header bytes
+  }
+  const std::string_view head(conn.in.data(), header_end);
   const std::string_view request_line = head.substr(0, head.find("\r\n"));
   const std::size_t space = request_line.find(' ');
   const std::size_t space2 = request_line.find(' ', space + 1);
   if (space == std::string_view::npos || space2 == std::string_view::npos) {
-    send_all(fd, http_response(400, "Bad Request", "text/plain",
-                               "malformed request line\n"));
+    conn.out += http_response(400, "Bad Request", "text/plain",
+                              "malformed request line\n");
+    conn.want_close = true;
     return;
   }
   const std::string_view method = request_line.substr(0, space);
-  std::string_view target = request_line.substr(space + 1, space2 - space - 1);
+  const std::string_view target =
+      request_line.substr(space + 1, space2 - space - 1);
 
   if (method == "GET" && target == "/metrics") {
     service_.sync_cache_metrics();
-    service_.metrics().set_gauge("titand_queue_depth", pool_.queued());
-    service_.metrics().set_gauge("titand_active_connections",
-                                 pool_.active());
-    send_all(fd, http_response(200, "OK", "text/plain; version=0.0.4",
-                               service_.metrics().render_prometheus()));
+    render_metrics_gauges();
+    conn.out += http_response(200, "OK", "text/plain; version=0.0.4",
+                              service_.metrics().render_prometheus());
+    conn.want_close = true;
+    return;
+  }
+  if (method == "GET" && target == "/healthz") {
+    // Liveness: the poller answering IS the health signal, in every phase.
+    conn.out += http_response(200, "OK", "text/plain", "ok\n");
+    conn.want_close = true;
+    return;
+  }
+  if (method == "GET" && target == "/readyz") {
+    switch (phase_.load()) {
+      case Readiness::kReady:
+        conn.out += http_response(200, "OK", "text/plain", "ready\n");
+        break;
+      case Readiness::kWarming:
+        conn.out += http_response(503, "Service Unavailable", "text/plain",
+                                  "warming\n");
+        break;
+      case Readiness::kDraining:
+        conn.out += http_response(503, "Service Unavailable", "text/plain",
+                                  "draining\n");
+        break;
+    }
+    conn.want_close = true;
     return;
   }
   if (method == "GET" && (target == "/scenarios" ||
@@ -267,8 +596,9 @@ void Server::serve_http(int fd, std::string buffered) {
     if (target.size() > 15) {
       list.tag = std::string(target.substr(15));
     }
-    send_all(fd, http_response(200, "OK", "application/json",
-                               service_.handle(list) + "\n"));
+    conn.out += http_response(200, "OK", "application/json",
+                              service_.handle(list) + "\n");
+    conn.want_close = true;
     return;
   }
   if (method == "POST" && target == "/run") {
@@ -285,26 +615,107 @@ void Server::serve_http(int fd, std::string buffered) {
       }
     }
     if (content_length == 0 || content_length > options_.max_frame) {
-      send_all(fd, http_response(400, "Bad Request", "application/json",
-                                 "missing or oversized Content-Length\n"));
+      conn.out += http_response(400, "Bad Request", "application/json",
+                                "missing or oversized Content-Length\n");
+      conn.want_close = true;
       return;
     }
-    std::string body = buffered.substr(header_end + 4);
-    while (body.size() < content_length) {
-      char chunk[4096];
-      const int n = guarded_recv(fd, chunk, sizeof chunk);
-      if (n <= 0) {
-        return;
-      }
-      body.append(chunk, static_cast<std::size_t>(n));
+    if (conn.in.size() < header_end + 4 + content_length) {
+      return;  // need more body bytes
     }
-    body.resize(content_length);
-    send_all(fd, http_response(200, "OK", "application/json",
-                               service_.handle_line(body) + "\n"));
+    const std::string body = conn.in.substr(header_end + 4, content_length);
+    // Runs dispatch through the same admission gates as the native
+    // protocol; the response is wrapped at completion delivery.
+    handle_frame(it, body);
     return;
   }
-  send_all(fd, http_response(404, "Not Found", "text/plain",
-                             "unknown endpoint\n"));
+  conn.out += http_response(404, "Not Found", "text/plain",
+                            "unknown endpoint\n");
+  conn.want_close = true;
+}
+
+void Server::respond(Connection& conn, const std::string& line) {
+  if (conn.http) {
+    conn.out += http_response(200, "OK", "application/json", line + "\n");
+    conn.want_close = true;
+  } else {
+    conn.out += line;
+    conn.out += '\n';
+  }
+}
+
+bool Server::flush_out(Connection& conn) {
+  while (!conn.out.empty()) {
+    const ssize_t n =
+        send(conn.fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return true;  // kernel buffer full; POLLOUT resumes the flush
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;  // EPIPE / ECONNRESET: peer gone
+  }
+  return true;
+}
+
+void Server::finalize(ConnMap::iterator it) {
+  Connection& conn = it->second;
+  if (!flush_out(conn)) {
+    abort_conn(it);
+    return;
+  }
+  if (conn.run_inflight) {
+    return;
+  }
+  if ((conn.want_close || conn.saw_eof) && conn.out.empty()) {
+    close_conn(it);
+  }
+}
+
+void Server::abort_conn(ConnMap::iterator it) {
+  if (it->second.run_inflight) {
+    std::shared_ptr<sim::CancelToken> token;
+    {
+      const std::lock_guard<std::mutex> lock(tokens_mutex_);
+      const auto found = active_tokens_.find(it->first);
+      if (found != active_tokens_.end()) {
+        token = found->second;
+        active_tokens_.erase(found);
+      }
+    }
+    if (token != nullptr) {
+      token->cancel(sim::CancelToken::Reason::kDisconnect);
+    }
+  }
+  close_conn(it);
+}
+
+void Server::close_conn(ConnMap::iterator it) {
+  close(it->second.fd);
+  conns_.erase(it);
+}
+
+void Server::render_metrics_gauges() {
+  MetricsRegistry& metrics = service_.metrics();
+  metrics.set_gauge("titand_queue_depth", pool_.queued());
+  metrics.set_gauge("titand_active_connections", conns_.size());
+  metrics.set_gauge("titand_runs_inflight", pool_.active());
+  metrics.set_gauge("titand_runs_queued", pool_.queued());
+  // Admission-slot occupancy: counted from the admit decision until the
+  // run's completion is pushed, so it is insensitive to worker-handoff
+  // transients (a queued-but-ungrabbed task, a finished worker that has
+  // not yet decremented active).  The chaos harness keys saturation and
+  // quiescence off this gauge.
+  metrics.set_gauge("titand_runs_outstanding", outstanding_runs_.load());
+  const Readiness phase = phase_.load();
+  metrics.set_gauge("titand_ready", phase == Readiness::kReady ? 1 : 0);
+  metrics.set_gauge("titand_draining",
+                    phase == Readiness::kDraining ? 1 : 0);
 }
 
 }  // namespace titan::serve

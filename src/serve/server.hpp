@@ -5,8 +5,9 @@
 // is '{' speaks the native JSONL protocol (one api::wire request per
 // LF-terminated line, one single-line response per request, in order);
 // anything else is treated as an HTTP/1.0-style request (GET /metrics,
-// GET /scenarios, POST /run) answered once and closed.  The native protocol
-// requires JSON-object frames anyway, so the sniff is unambiguous.
+// GET /healthz, GET /readyz, GET /scenarios, POST /run) answered once and
+// closed.  The native protocol requires JSON-object frames anyway, so the
+// sniff is unambiguous.
 //
 // Framing rules (native protocol):
 //   * requests on one connection are answered in order, serially;
@@ -17,21 +18,84 @@
 //   * EOF mid-frame (client vanished between bytes) just closes the
 //     connection — there is no complete request to answer.
 //
-// Concurrency: accepted connections are dispatched onto a sim::WorkerPool —
-// the same pool substrate SweepRunner runs sweeps on — one task per
-// connection, so distinct clients run their simulations concurrently while
-// each connection stays strictly ordered.  stop() wakes every blocked
-// reader through a self-pipe, so shutdown never waits on a quiet client.
+// Concurrency — request lifecycle control (PR 10): one poller thread owns
+// every connection (non-blocking sockets, poll()) and does all framing and
+// cheap request handling (ping, list, health, metrics) inline, so the
+// daemon stays responsive even when every simulation slot is busy.  run
+// requests are dispatched onto a bounded sim::WorkerPool — at most
+// max_inflight executing plus max_queue waiting; excess runs are shed
+// immediately with a structured `overloaded` error carrying a
+// retry_after_ms hint, never queued unboundedly.  Each dispatched run
+// carries a sim::CancelToken: a per-request deadline arms the reaper
+// thread, a client disconnect observed by the poller (POLLRDHUP/HUP while
+// the run executes) fires it with kDisconnect — the daemon stops simulating
+// for clients that are gone — and drain()/stop() fire stragglers with
+// kShutdown.  Responses flow back to the poller over a completion queue and
+// the self-pipe; per-connection ordering is preserved because a connection
+// never has more than one run in flight (later pipelined frames wait,
+// buffered, until the response is delivered).
+//
+// Lifecycle: start() serves immediately but reports "warming" on
+// GET /readyz until set_ready(); request_drain()/drain() flip it to 503
+// "draining", reject new runs with `shutdown` errors while continuing to
+// answer health/metrics probes, and wait for in-flight runs to finish —
+// drain(timeout) cancels stragglers through their tokens after the
+// timeout.  GET /healthz answers 200 for the whole lifetime (liveness).
+//
+// The wake self-pipe is idempotent: both ends are non-blocking and the
+// poller drains every pending byte per wakeup, so any number of
+// wake-ups (repeated signals included) can never fill the pipe or leave a
+// stale readable byte behind.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "serve/service.hpp"
+#include "sim/cancel.hpp"
 #include "sim/sweep.hpp"
 
 namespace titan::serve {
+
+/// Fires cancel tokens at their wall-clock deadlines.  One thread, a
+/// min-heap of (deadline, token); schedule() is thread-safe.  Firing a
+/// token whose run already finished is a harmless no-op (the token is
+/// one-shot and nothing reads it afterwards), so the reaper never needs to
+/// deschedule.
+class DeadlineReaper {
+ public:
+  DeadlineReaper();
+  ~DeadlineReaper();
+
+  DeadlineReaper(const DeadlineReaper&) = delete;
+  DeadlineReaper& operator=(const DeadlineReaper&) = delete;
+
+  void schedule(std::shared_ptr<sim::CancelToken> token,
+                std::chrono::steady_clock::time_point when);
+
+ private:
+  struct Entry {
+    std::chrono::steady_clock::time_point when;
+    std::shared_ptr<sim::CancelToken> token;
+    bool operator>(const Entry& other) const { return when > other.when; }
+  };
+
+  void loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<Entry> heap_;  ///< Min-heap by deadline.
+  bool stopping_ = false;
+  std::thread thread_;
+};
 
 class Server {
  public:
@@ -40,11 +104,28 @@ class Server {
     /// Port to bind; 0 asks the kernel for a free port (read it back from
     /// port() after start() — how the tests and the CI smoke job bind).
     std::uint16_t port = 0;
-    /// Connection-handling threads (simulations run on these).
+    /// Simulation worker threads (and the default in-flight run cap).
     unsigned threads = 4;
     /// Native-protocol frame size limit in bytes.
     std::size_t max_frame = 1 << 20;
+    /// Runs executing concurrently (0 == threads).  The worker pool is
+    /// sized to exactly this, so the cap needs no separate bookkeeping.
+    unsigned max_inflight = 0;
+    /// Admitted-but-waiting runs before admission control sheds with an
+    /// `overloaded` error (0 == unbounded, the pre-PR10 behaviour).
+    /// Enforced against admission-slot occupancy (runs admitted and not
+    /// yet completed), not the worker queue's instantaneous size — the
+    /// shed decision must not race the workers' dequeue handoff.
+    std::size_t max_queue = 64;
+    /// Backoff hint attached to `overloaded` errors.
+    std::uint64_t retry_after_ms = 50;
   };
+
+  /// What GET /readyz reports.  Orthogonal to liveness: the server accepts
+  /// and answers in every state (drain still *rejects runs* with
+  /// `shutdown` errors, but health probes keep working — a load balancer
+  /// needs /readyz reachable precisely while draining).
+  enum class Readiness { kWarming, kReady, kDraining };
 
   Server(Options options, ScenarioService& service);
   ~Server();  // stop() if still running
@@ -52,35 +133,121 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind, listen, and start accepting.  Throws std::runtime_error on any
-  /// socket failure (named with errno text).
+  /// Bind, listen, and start serving (readiness kWarming).  Throws
+  /// std::runtime_error on any socket failure (named with errno text).
   void start();
 
-  /// Stop accepting, wake and close every in-flight connection, drain the
-  /// worker pool, join.  Idempotent.
+  /// Hard stop: cancel every in-flight run (kShutdown), drain the worker
+  /// pool, close every connection, join.  Idempotent.  For a graceful
+  /// shutdown call drain() first.
   void stop();
+
+  /// Declare warmup finished: GET /readyz flips to 200.
+  void set_ready();
+
+  /// Flip to draining without waiting: new runs are rejected with
+  /// `shutdown` errors, /readyz answers 503 "draining", in-flight runs
+  /// keep going.  Idempotent (double SIGTERM safe).
+  void request_drain();
+
+  /// request_drain(), then wait until every in-flight run has finished and
+  /// every pending response byte is flushed — up to `timeout`, after which
+  /// stragglers are cancelled through their tokens (kShutdown) and the
+  /// drain completes within the cancellation latency bound.  Returns true
+  /// when everything finished inside the timeout (no run was cut off).
+  /// Safe to call concurrently / repeatedly.
+  bool drain(std::chrono::milliseconds timeout);
+
+  [[nodiscard]] Readiness readiness() const { return phase_.load(); }
 
   /// The bound port (valid after start(); resolves port 0 requests).
   [[nodiscard]] std::uint16_t port() const { return port_; }
 
  private:
-  void accept_loop();
-  void serve_connection(int fd);
-  void serve_jsonl(int fd, std::string buffered);
-  void serve_http(int fd, std::string buffered);
-  /// poll()-guarded recv: returns bytes read, 0 on orderly EOF, -1 when the
-  /// server is stopping or the connection errored.
-  [[nodiscard]] int guarded_recv(int fd, char* data, std::size_t size) const;
-  void send_all(int fd, std::string_view data) const;
+  /// One client connection, owned exclusively by the poller thread.
+  struct Connection {
+    int fd = -1;
+    bool protocol_known = false;  ///< First byte seen, http decided.
+    bool http = false;
+    bool discarding = false;   ///< Inside an oversized line, eating to LF.
+    bool want_close = false;   ///< Close once `out` is flushed.
+    bool saw_eof = false;      ///< Peer sent FIN; finish buffered work, close.
+    bool run_inflight = false; ///< A run is on the pool; input processing
+                               ///< pauses until its completion arrives.
+    std::string in;
+    std::string out;
+  };
+  using ConnMap = std::map<std::uint64_t, Connection>;
+
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::string response;
+  };
+
+  void loop();
+  void accept_new();
+  void deliver_completions();
+  void handle_events(ConnMap::iterator it, short revents);
+  /// recv until EAGAIN; returns false when the connection died (error or
+  /// EOF-with-nothing-recoverable is handled by the caller via saw_eof).
+  bool read_available(Connection& conn);
+  void process_input(ConnMap::iterator it);
+  void process_http(ConnMap::iterator it);
+  /// Parse one frame and answer it: inline for ping/list/errors, dispatch
+  /// to the pool for runs (admission control, deadline arming).
+  void handle_frame(ConnMap::iterator it, const std::string& line);
+  /// Queue `line` as the connection's next response (wrapped for HTTP).
+  void respond(Connection& conn, const std::string& line);
+  /// Write until EAGAIN; false means the peer is gone (caller aborts).
+  [[nodiscard]] bool flush_out(Connection& conn);
+  /// Close and erase; cancels the in-flight run's token (kDisconnect).
+  void abort_conn(ConnMap::iterator it);
+  void close_conn(ConnMap::iterator it);
+  /// Close-after-flush / EOF bookkeeping shared by every event path.
+  void finalize(ConnMap::iterator it);
+  void cancel_active(sim::CancelToken::Reason reason);
+  /// Write one byte into the wake pipe (non-blocking: a full pipe already
+  /// guarantees a pending wakeup, so EAGAIN is success — idempotent).
+  void ring_wake();
+  void render_metrics_gauges();
 
   Options options_;
   ScenarioService& service_;
   sim::WorkerPool pool_;
+  DeadlineReaper reaper_;
   int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};  // [0] read end polled by every blocked reader
+  int wake_pipe_[2] = {-1, -1};  // [0] read end, polled by the poller only
   std::uint16_t port_ = 0;
   bool running_ = false;
-  std::thread acceptor_;
+  std::atomic<Readiness> phase_{Readiness::kWarming};
+  std::atomic<bool> stopping_{false};
+  std::thread poller_;
+
+  // Poller-owned (no lock): connections and the accept counter.
+  ConnMap conns_;
+  std::uint64_t next_conn_id_ = 1;
+
+  // Worker -> poller completion queue.
+  std::mutex comp_mutex_;
+  std::vector<Completion> completions_;
+
+  // Tokens of dispatched runs, keyed by connection id (at most one run per
+  // connection).  Written by the poller, swept by drain()/stop().
+  std::mutex tokens_mutex_;
+  std::map<std::uint64_t, std::shared_ptr<sim::CancelToken>> active_tokens_;
+
+  /// Runs dispatched whose completions have not yet been processed.
+  std::atomic<std::size_t> outstanding_runs_{0};
+
+  // drain() rendezvous, two levels both set by the poller: settled == zero
+  // outstanding runs and an empty completion queue (what the post-cancel
+  // wait needs); quiesced == settled plus every response byte flushed (the
+  // clean-drain signal — a client that never reads its response cannot
+  // block a drain past its timeout).
+  std::mutex drain_mutex_;
+  std::condition_variable drained_cv_;
+  bool drain_settled_ = false;
+  bool drain_quiesced_ = false;
 };
 
 }  // namespace titan::serve

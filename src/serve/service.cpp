@@ -24,9 +24,8 @@ std::string ScenarioService::handle_line(std::string_view line) {
     return handle(api::parse_request(line));
   } catch (const api::WireError& error) {
     metrics_.add_counter("titand_requests_total");
-    metrics_.add_counter("titand_errors_total");
     // A frame that does not parse has no recoverable id to echo.
-    return api::render_error_response("", error.code(), error.what());
+    return count_error("", error);
   }
 }
 
@@ -39,15 +38,11 @@ std::string ScenarioService::handle(const api::Request& request) {
       case api::RequestOp::kList:
         return handle_list(request);
       case api::RequestOp::kRun:
-        return handle_run(request);
+        return handle_run(request, nullptr);
     }
     throw api::WireError(api::WireErrorCode::kInternal, "unhandled op");
   } catch (const api::WireError& error) {
-    metrics_.add_counter("titand_errors_total");
-    metrics_.add_counter("titand_error_" +
-                         std::string(api::wire_error_code_name(error.code())) +
-                         "_total");
-    return api::render_error_response(request.id, error.code(), error.what());
+    return count_error(request.id, error);
   } catch (const std::exception& error) {
     metrics_.add_counter("titand_errors_total");
     metrics_.add_counter("titand_error_internal_total");
@@ -55,6 +50,39 @@ std::string ScenarioService::handle(const api::Request& request) {
                                       api::WireErrorCode::kInternal,
                                       error.what());
   }
+}
+
+std::string ScenarioService::execute_run(
+    const api::Request& request,
+    std::shared_ptr<const sim::CancelToken> cancel) {
+  metrics_.add_counter("titand_requests_total");
+  try {
+    return handle_run(request, cancel);
+  } catch (const api::WireError& error) {
+    return count_error(request.id, error);
+  } catch (const std::exception& error) {
+    metrics_.add_counter("titand_errors_total");
+    metrics_.add_counter("titand_error_internal_total");
+    return api::render_error_response(request.id,
+                                      api::WireErrorCode::kInternal,
+                                      error.what());
+  }
+}
+
+std::string ScenarioService::error_response(std::string_view id,
+                                            const api::WireError& error) {
+  metrics_.add_counter("titand_requests_total");
+  return count_error(id, error);
+}
+
+std::string ScenarioService::count_error(std::string_view id,
+                                         const api::WireError& error) {
+  metrics_.add_counter("titand_errors_total");
+  metrics_.add_counter("titand_error_" +
+                       std::string(api::wire_error_code_name(error.code())) +
+                       "_total");
+  return api::render_error_response(id, error.code(), error.what(),
+                                    error.detail());
 }
 
 std::string ScenarioService::handle_list(const api::Request& request) {
@@ -74,7 +102,45 @@ std::string ScenarioService::handle_list(const api::Request& request) {
   return api::render_list_response(request.id, scenarios);
 }
 
-std::string ScenarioService::handle_run(const api::Request& request) {
+std::string ScenarioService::handle_run(
+    const api::Request& request,
+    const std::shared_ptr<const sim::CancelToken>& cancel) {
+  // A cooperative stop is an error response with cycles-so-far detail, plus
+  // the daemon-level counter the chaos harness asserts on.
+  const auto stop_error = [this](api::RunStop stop,
+                                 std::uint64_t cycles) -> api::WireError {
+    switch (stop) {
+      case api::RunStop::kDeadlineExceeded:
+        metrics_.add_counter("titand_deadline_exceeded_total");
+        return api::WireError(api::WireErrorCode::kDeadlineExceeded,
+                              "deadline expired after " +
+                                  std::to_string(cycles) +
+                                  " simulated cycles")
+            .with_cycles(cycles);
+      case api::RunStop::kBudgetExceeded:
+        metrics_.add_counter("titand_budget_exceeded_total");
+        return api::WireError(api::WireErrorCode::kBudgetExceeded,
+                              "cycle budget reached at cycle " +
+                                  std::to_string(cycles))
+            .with_cycles(cycles);
+      default:
+        metrics_.add_counter("titand_cancelled_total");
+        return api::WireError(api::WireErrorCode::kCancelled,
+                              "run cancelled after " + std::to_string(cycles) +
+                                  " simulated cycles")
+            .with_cycles(cycles);
+    }
+  };
+  // Already cancelled at dispatch (deadline 0, or a drain/disconnect that
+  // beat the queue): report without building the SoC.  This is what makes
+  // deadline-0 probes deterministic — zero cycles, always.
+  if (cancel != nullptr && cancel->cancelled()) {
+    throw stop_error(cancel->reason() == sim::CancelToken::Reason::kDeadline
+                         ? api::RunStop::kDeadlineExceeded
+                         : api::RunStop::kCancelled,
+                     0);
+  }
+
   api::Scenario scenario = [&] {
     if (!request.scenario.empty()) {
       const api::Scenario* found =
@@ -111,10 +177,14 @@ std::string ScenarioService::handle_run(const api::Request& request) {
     }
   }
 
+  api::RunControl control;
+  control.cancel = cancel;
+  control.max_cycles = request.max_cycles;
+
   const auto start = std::chrono::steady_clock::now();
   api::RunReport report = [&] {
     try {
-      return api::run_scenario(scenario);
+      return api::run_scenario(scenario, {}, control);
     } catch (const sim::SnapshotError& error) {
       throw api::WireError(api::WireErrorCode::kSnapshotError, error.what());
     } catch (const api::ScenarioError& error) {
@@ -124,6 +194,10 @@ std::string ScenarioService::handle_run(const api::Request& request) {
   const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
                           std::chrono::steady_clock::now() - start)
                           .count();
+
+  if (report.stop != api::RunStop::kCompleted) {
+    throw stop_error(report.stop, report.cycles);
+  }
 
   metrics_.add_counter("titand_scenarios_served_total");
   metrics_.add_counter("titand_sim_cycles_total", report.cycles);

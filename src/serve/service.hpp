@@ -19,6 +19,7 @@
 // themselves.
 #pragma once
 
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -26,6 +27,7 @@
 #include "api/checkpoint.hpp"
 #include "api/wire.hpp"
 #include "serve/metrics.hpp"
+#include "sim/cancel.hpp"
 
 namespace titan::serve {
 
@@ -61,6 +63,23 @@ class ScenarioService {
   /// bad_request / unsupported_version error responses).  Never throws.
   [[nodiscard]] std::string handle_line(std::string_view line);
 
+  /// Execute one run request under an optional cancel token (deadline /
+  /// drain / disconnect — see sim::CancelToken) and the request's own
+  /// max_cycles budget.  A stopped run becomes a structured
+  /// deadline_exceeded / budget_exceeded / cancelled error carrying the
+  /// cycles completed so far.  Never throws; counts the same metrics
+  /// handle() would.  This is the entry the server's worker pool dispatches.
+  [[nodiscard]] std::string execute_run(
+      const api::Request& request,
+      std::shared_ptr<const sim::CancelToken> cancel);
+
+  /// Count and render a structured error produced outside the normal
+  /// request pipeline (admission-control shed, drain rejection): increments
+  /// requests/errors/per-code counters exactly as a handled request would,
+  /// so scripted metric assertions see one coherent accounting.
+  [[nodiscard]] std::string error_response(std::string_view id,
+                                           const api::WireError& error);
+
   /// Refresh the cache-derived metrics (cache size/hit/miss series) from the
   /// live CheckpointCache counters.  The server calls this before rendering
   /// /metrics so scrapes see current values without per-request overhead.
@@ -69,8 +88,15 @@ class ScenarioService {
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
 
  private:
-  [[nodiscard]] std::string handle_run(const api::Request& request);
+  /// Shared run path; throws api::WireError on every failure mode
+  /// (including cooperative stops, which carry cycles-so-far detail).
+  [[nodiscard]] std::string handle_run(
+      const api::Request& request,
+      const std::shared_ptr<const sim::CancelToken>& cancel);
   [[nodiscard]] std::string handle_list(const api::Request& request);
+  /// Count errors_total + the per-code counter and render the response.
+  [[nodiscard]] std::string count_error(std::string_view id,
+                                        const api::WireError& error);
 
   Options options_;
   MetricsRegistry& metrics_;

@@ -1,0 +1,57 @@
+// Cooperative cancellation for long-running simulations.
+//
+// A CancelToken is a one-shot, thread-safe cancellation flag shared between
+// the party that wants a run stopped (a deadline reaper, a disconnect
+// detector, a draining server) and the simulation loop that honours it.
+// SocTop::run checks the token at loop-top / quantum boundaries only, so the
+// simulated machine never observes the cancellation — a run either stops
+// cleanly between cycles (reporting the cycles completed so far) or finishes
+// untouched.  A run that completes without the token firing is bit-identical
+// to one executed with no token at all; that property is gated registry-wide
+// by engine_equivalence_test.
+//
+// The first cancel() wins: a token records exactly one reason, and later
+// cancels (a deadline firing after the client already disconnected, a drain
+// sweeping a token the reaper just fired) are no-ops.  This keeps the
+// reported error code deterministic when several cancellers race.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace titan::sim {
+
+class CancelToken {
+ public:
+  enum class Reason : std::uint8_t {
+    kNone = 0,        ///< Not cancelled.
+    kDeadline = 1,    ///< Per-request wall-clock deadline expired.
+    kShutdown = 2,    ///< Server draining; stragglers cut off.
+    kDisconnect = 3,  ///< Client vanished; nobody is waiting for the result.
+  };
+
+  /// Request cancellation.  First caller's reason sticks; later calls are
+  /// no-ops.  Safe from any thread (and wait-free — callable from the
+  /// deadline reaper while the simulation loop polls).
+  void cancel(Reason reason) {
+    std::uint8_t expected = 0;
+    state_.compare_exchange_strong(expected,
+                                   static_cast<std::uint8_t>(reason),
+                                   std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool cancelled() const {
+    return state_.load(std::memory_order_relaxed) !=
+           static_cast<std::uint8_t>(Reason::kNone);
+  }
+
+  /// The winning reason (kNone while not cancelled).
+  [[nodiscard]] Reason reason() const {
+    return static_cast<Reason>(state_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<std::uint8_t> state_{0};
+};
+
+}  // namespace titan::sim

@@ -42,6 +42,23 @@ void WorkerPool::submit(std::function<void()> task) {
   wake_.notify_one();
 }
 
+void WorkerPool::set_max_queue(std::size_t limit) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  max_queue_ = limit;
+}
+
+bool WorkerPool::try_submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (max_queue_ != 0 && queue_.size() >= max_queue_) {
+      return false;
+    }
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+  return true;
+}
+
 std::size_t WorkerPool::queued() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();

@@ -42,9 +42,11 @@ namespace titan::sim {
 /// (titand) share one pool implementation instead of two thread models.
 ///
 /// Threads are spawned once at construction and live until destruction;
-/// submit() never blocks (the queue is unbounded — callers that need
-/// back-pressure read queued() and refuse upstream, which is what the
-/// daemon's oversized-queue guard does).
+/// submit() never blocks (the queue is unbounded by default — sweeps own
+/// their whole grid up front).  Callers serving an open-ended request
+/// stream bound the queue with set_max_queue() and admit work through
+/// try_submit(), which refuses instead of queueing past the bound — the
+/// daemon's load-shedding admission control.
 class WorkerPool {
  public:
   /// Spawn `threads` workers (floored at 1).
@@ -64,6 +66,17 @@ class WorkerPool {
   /// and the daemon both do).
   void submit(std::function<void()> task);
 
+  /// Bound the submission queue for try_submit (0 == unbounded, the
+  /// default).  Tasks already executing on workers do not count against the
+  /// bound — it limits *waiting* work only.
+  void set_max_queue(std::size_t limit);
+
+  /// Enqueue one task unless the queue already holds max_queue waiting
+  /// tasks; returns false (task untouched) when the bound would be
+  /// exceeded.  submit() ignores the bound — only admission-controlled
+  /// callers pay it.
+  [[nodiscard]] bool try_submit(std::function<void()> task);
+
   /// Tasks enqueued but not yet started — the daemon's queue-depth gauge.
   [[nodiscard]] std::size_t queued() const;
   /// Tasks currently executing on a worker.
@@ -79,6 +92,7 @@ class WorkerPool {
   std::condition_variable wake_;       ///< Workers wait for tasks here.
   std::condition_variable idle_;       ///< wait_idle() waits here.
   std::deque<std::function<void()>> queue_;
+  std::size_t max_queue_ = 0;  ///< try_submit bound; 0 == unbounded.
   std::size_t active_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;

@@ -136,11 +136,41 @@ constexpr sim::Cycle kRotInitBudget = 200;
 /// Section sentinel framing the SocTop component stream ("SOCT").
 constexpr std::uint32_t kSocTag = 0x534F'4354;
 
+/// Default fast-forward clamp while a cancel token is armed: the event
+/// engine splits quiescent quanta at this stride so the token is observed
+/// within a bounded number of simulated cycles.  Splitting a quantum is
+/// result-exact (the checkpoint clamp relies on the same property), so the
+/// stride only bounds cancellation latency — it never changes results.
+constexpr sim::Cycle kCancelCheckStride = 1 << 16;
+
 }  // namespace
 
 SocRunResult SocTop::run() {
+  stop_cause_ = StopCause::kCompleted;
   return config_.engine == Engine::kLockStep ? run_lock_step()
                                              : run_event_driven();
+}
+
+void SocTop::set_run_limits(const sim::CancelToken* cancel, sim::Cycle budget,
+                            sim::Cycle cancel_stride) {
+  cancel_ = cancel;
+  budget_ = budget;
+  cancel_stride_ = cancel_stride != 0 ? cancel_stride : kCancelCheckStride;
+}
+
+bool SocTop::stop_requested(sim::Cycle cycle) {
+  // Budget before token: a run that hits both limits on the same loop-top
+  // cycle reports the deterministic one (the budget), not whichever thread
+  // fired the token first.
+  if (budget_ != 0 && cycle >= budget_) {
+    stop_cause_ = StopCause::kBudget;
+    return true;
+  }
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    stop_cause_ = StopCause::kCancelled;
+    return true;
+  }
+  return false;
 }
 
 void SocTop::capture(sim::Snapshot& snapshot, sim::Cycle cycle) const {
@@ -243,11 +273,19 @@ void SocTop::step_cycle(sim::Cycle& cycle) {
 
 void SocTop::drain_pending(sim::Cycle& cycle) {
   // Drain pending checks (unless a fault already stopped the run): the host
-  // program is done, but the RoT may still be behind.
+  // program is done, but the RoT may still be behind.  The drain is exempt
+  // from the cycle *budget* — finishing the pipeline is part of completing,
+  // and exempting it is what keeps a within-budget run byte-identical to an
+  // unbudgeted one — but it still honours the cancel token, so shutdown and
+  // disconnect stops stay bounded even mid-drain.
   const sim::Cycle drain_guard = cycle + 1'000'000;
   while (!fault_seen_ &&
          (!queue_controller_.queue().empty() ||
           log_writer_->state() != LogWriter::State::kIdle)) {
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      stop_cause_ = StopCause::kCancelled;
+      return;
+    }
     if (cycle >= drain_guard) {
       throw std::runtime_error("SocTop: drain did not converge");
     }
@@ -266,6 +304,9 @@ SocRunResult SocTop::run_lock_step() {
 
   while (!host_core_->program_done() && !fault_seen_) {
     if (take_checkpoint(cycle, /*force=*/false)) {
+      return collect_result();
+    }
+    if (stop_requested(cycle)) {
       return collect_result();
     }
     if (cycle >= config_.max_cycles) {
@@ -298,6 +339,9 @@ SocRunResult SocTop::run_event_driven() {
     if (take_checkpoint(cycle, /*force=*/false)) {
       return collect_result();
     }
+    if (stop_requested(cycle)) {
+      return collect_result();
+    }
     if (cycle >= config_.max_cycles) {
       throw std::runtime_error("SocTop: cycle guard exceeded");
     }
@@ -308,10 +352,20 @@ SocRunResult SocTop::run_event_driven() {
       // entries through the filters, ticked an idle writer (a no-op), and
       // run the RoT to the same final clock — all replayed exactly below.
       // A pending checkpoint clamps the quantum so both engines capture at
-      // the identical loop-top cycle.
-      const sim::Cycle limit =
-          checkpoint_at_ ? std::min(config_.max_cycles, *checkpoint_at_)
-                         : config_.max_cycles;
+      // the identical loop-top cycle; a budget clamps it so the stop lands
+      // exactly at the budget cycle on both engines; an armed cancel token
+      // clamps it to the check stride so cancellation latency stays bounded
+      // even on straight-line workloads.
+      sim::Cycle limit = config_.max_cycles;
+      if (checkpoint_at_) {
+        limit = std::min(limit, *checkpoint_at_);
+      }
+      if (budget_ != 0) {
+        limit = std::min(limit, budget_);
+      }
+      if (cancel_ != nullptr) {
+        limit = std::min(limit, cycle + cancel_stride_);
+      }
       const auto quantum = host_core_->run_until_event(limit);
       if (quantum.cycles > 0) {
         queue_controller_.note_bypassed_cycles(
@@ -367,6 +421,7 @@ SocRunResult SocTop::collect_result() const {
   if (tracker_ != nullptr) {
     result.attack = tracker_->stats();
   }
+  result.stop = stop_cause_;
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include "attacks/attack.hpp"
 #include "cva6/core.hpp"
 #include "rv/assembler.hpp"
+#include "sim/cancel.hpp"
 #include "sim/fault.hpp"
 #include "sim/memory.hpp"
 #include "sim/snapshot.hpp"
@@ -99,6 +100,15 @@ struct SocConfig {
   std::uint64_t jump_table_base = 0;
 };
 
+/// Why run() returned.  kCompleted is the only cause that drains the CFI
+/// pipeline; budget/cancel stops return straight from the loop-top boundary
+/// with whatever state the machine reached (cycles-completed-so-far).
+enum class StopCause {
+  kCompleted,  ///< Program done / CFI fault — today's behaviour.
+  kBudget,     ///< Graceful cycle budget reached (set_run_limits).
+  kCancelled,  ///< The cancel token fired (deadline / shutdown / disconnect).
+};
+
 struct SocRunResult {
   sim::Cycle cycles = 0;
   std::uint64_t instructions = 0;
@@ -118,6 +128,8 @@ struct SocRunResult {
   sim::ResilienceStats resilience{};
   /// Attack-corpus outcome (all-zero when no attack edges were configured).
   attacks::AttackStats attack{};
+  /// Why the run returned (kCompleted unless limits were set and hit).
+  StopCause stop = StopCause::kCompleted;
 };
 
 class SocTop {
@@ -135,6 +147,22 @@ class SocTop {
   /// schedulers against each other on the same scenario).
   void set_engine(Engine engine) { config_.engine = engine; }
   [[nodiscard]] Engine engine() const { return config_.engine; }
+
+  /// Cooperative run limits, checked only at loop-top / quantum boundaries
+  /// so the simulated machine never observes them:
+  ///  * `cancel` (may be null): when it fires, run() returns within a
+  ///    bounded number of cycles (the event engine clamps fast-forward
+  ///    quanta to `cancel_stride` while a token is armed; 0 picks the
+  ///    default stride) with SocRunResult::stop == kCancelled;
+  ///  * `budget` (0 == unlimited): run() stops at the first loop-top cycle
+  ///    >= budget with stop == kBudget — a *graceful* sibling of
+  ///    SocConfig::max_cycles, which throws.
+  /// A run finishing under both limits is bit-identical to an unlimited
+  /// run: the post-program drain is exempt from the budget (it is part of
+  /// completing), and quantum splitting is result-exact (the checkpoint
+  /// machinery already relies on that).
+  void set_run_limits(const sim::CancelToken* cancel, sim::Cycle budget,
+                      sim::Cycle cancel_stride = 0);
 
   [[nodiscard]] cva6::Cva6Core& host() { return *host_core_; }
   [[nodiscard]] RotSubsystem& rot() { return *rot_; }
@@ -181,6 +209,9 @@ class SocTop {
   /// Post-program drain: tick the writer/RoT until the CFI pipeline empties.
   void drain_pending(sim::Cycle& cycle);
   [[nodiscard]] SocRunResult collect_result() const;
+  /// Loop-top limit check: budget first (deterministic), then the token.
+  /// Sets stop_cause_ and returns true when run() should return now.
+  [[nodiscard]] bool stop_requested(sim::Cycle cycle);
   /// Fire the pending checkpoint if due (`cycle` reached it, or `force` at
   /// main-loop exit); returns true when run() should stop (stop_after).
   bool take_checkpoint(sim::Cycle cycle, bool force);
@@ -214,6 +245,11 @@ class SocTop {
   /// Cycle run() starts from — zero on a cold run, the checkpoint cycle
   /// after restore().
   sim::Cycle start_cycle_ = 0;
+  /// Cooperative run limits (see set_run_limits).
+  const sim::CancelToken* cancel_ = nullptr;
+  sim::Cycle budget_ = 0;
+  sim::Cycle cancel_stride_ = 0;
+  StopCause stop_cause_ = StopCause::kCompleted;
 };
 
 }  // namespace titan::cfi

@@ -9,10 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "api/api.hpp"
+#include "sim/cancel.hpp"
 #include "sim/rng.hpp"
 #include "titancfi/soc_top.hpp"
 
@@ -259,6 +261,94 @@ TEST(EngineEquivalence, CycleGuardFiresOnBothEngines) {
       (void)api::run_scenario(build(api::Engine::kEventDriven)),
       std::runtime_error);
 }
+
+// ---- Cooperative run limits (deadline / budget cancellation) ----------------
+//
+// The serving layer's contract rests on two sim-level facts proved here:
+// a budget-stopped run halts at the same cycle with the same partial state
+// on both engines, and a budget generous enough to let the run finish is
+// observationally invisible (the report compares equal field-wise).
+
+TEST(EngineEquivalence, BudgetStopIsIdenticalAcrossEngines) {
+  const api::Scenario scenario = api::ScenarioBuilder()
+                                     .name("budget_stop")
+                                     .workload(api::Workload::fib(12))
+                                     .queue_depth(8)
+                                     .drain_burst(8)
+                                     .build();
+  const auto run_budgeted = [&](api::Engine engine) {
+    api::RunControl control;
+    control.cancel = std::make_shared<sim::CancelToken>();
+    control.max_cycles = 4096;
+    // A prime stride forces the event engine to split quanta at awkward
+    // boundaries; the stop cycle must not depend on it.
+    control.cancel_check_stride = 257;
+    return api::run_scenario(scenario.with_engine(engine), {}, control);
+  };
+  const api::RunReport lock = run_budgeted(api::Engine::kLockStep);
+  const api::RunReport event = run_budgeted(api::Engine::kEventDriven);
+  EXPECT_EQ(lock.stop, api::RunStop::kBudgetExceeded);
+  EXPECT_EQ(event.stop, api::RunStop::kBudgetExceeded);
+  EXPECT_EQ(lock.cycles, 4096u);
+  EXPECT_EQ(event.cycles, 4096u);
+  EXPECT_EQ(lock, event);
+}
+
+TEST(EngineEquivalence, PreCancelledTokenStopsBeforeCycleOneOnBothEngines) {
+  const api::Scenario scenario = api::ScenarioBuilder()
+                                     .name("precancel")
+                                     .workload(api::Workload::fib(12))
+                                     .build();
+  for (const api::Engine engine :
+       {api::Engine::kLockStep, api::Engine::kEventDriven}) {
+    api::RunControl control;
+    auto token = std::make_shared<sim::CancelToken>();
+    token->cancel(sim::CancelToken::Reason::kDeadline);
+    control.cancel = token;
+    const api::RunReport report =
+        api::run_scenario(scenario.with_engine(engine), {}, control);
+    EXPECT_EQ(report.stop, api::RunStop::kDeadlineExceeded);
+    EXPECT_EQ(report.cycles, 0u);
+  }
+}
+
+// Registry-wide budget-identity gate: for every registered scenario, on both
+// engines, running under an armed cancel token and a budget one cycle past
+// the natural stopping point yields a report field-wise equal to the
+// unlimited run — arming the machinery must never perturb the simulation.
+class RegistryBudgetIdentity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistryBudgetIdentity, ArmedBudgetWithinLimitIsInvisible) {
+  const api::Scenario* scenario =
+      api::ScenarioRegistry::global().find(GetParam());
+  ASSERT_NE(scenario, nullptr);
+  SCOPED_TRACE("scenario: " + scenario->serialize());
+  for (const api::Engine engine :
+       {api::Engine::kLockStep, api::Engine::kEventDriven}) {
+    const api::Scenario variant = scenario->with_engine(engine);
+    const api::RunReport plain = api::run_scenario(variant);
+    api::RunControl control;
+    control.cancel = std::make_shared<sim::CancelToken>();
+    control.max_cycles = plain.cycles + 1;
+    control.cancel_check_stride = 509;
+    const api::RunReport limited = api::run_scenario(variant, {}, control);
+    EXPECT_EQ(limited.stop, api::RunStop::kCompleted);
+    EXPECT_EQ(limited, plain);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, RegistryBudgetIdentity,
+    ::testing::ValuesIn(registry_scenario_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
 
 }  // namespace
 }  // namespace titan

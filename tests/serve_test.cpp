@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -23,6 +24,7 @@
 #include "api/report_schema.hpp"
 #include "api/run.hpp"
 #include "api/wire.hpp"
+#include "serve/chaos.hpp"
 #include "serve/metrics.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
@@ -72,13 +74,13 @@ TEST(WorkerPool, FloorsAtOneThread) {
 class ServeFixture {
  public:
   explicit ServeFixture(serve::WarmMode warm = serve::WarmMode::kOff,
-                        std::size_t max_frame = 1 << 20) {
+                        std::size_t max_frame = 1 << 20,
+                        serve::Server::Options server_options = {}) {
     serve::ScenarioService::Options service_options;
     service_options.warm_mode = warm;
     service_options.warmup = 500;  // short prefix: tests favour wall clock
     service_ = std::make_unique<serve::ScenarioService>(service_options,
                                                         metrics_);
-    serve::Server::Options server_options;
     server_options.threads = 4;
     server_options.max_frame = max_frame;
     server_ = std::make_unique<serve::Server>(server_options, *service_);
@@ -88,6 +90,7 @@ class ServeFixture {
 
   [[nodiscard]] std::uint16_t port() const { return server_->port(); }
   [[nodiscard]] serve::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] serve::Server& server() { return *server_; }
 
  private:
   serve::MetricsRegistry metrics_;
@@ -463,6 +466,253 @@ TEST(ServeHttp, UnknownEndpointIs404) {
   Client client(fixture.port());
   client.send_text("GET /nope HTTP/1.1\r\n\r\n");
   EXPECT_NE(client.read_all().find("404 Not Found"), std::string::npos);
+}
+
+// ---- Production hardening: lifecycle, admission, deadlines, budgets ---------
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+  Client client(port);
+  client.send_text("GET " + path + " HTTP/1.1\r\nHost: t\r\n\r\n");
+  return client.read_all();
+}
+
+/// A minimal single-run spec whose runtime is controlled by the workload
+/// (fib(22) ≈ half a second — long enough that admission/cancellation races
+/// cannot slip past it, short enough for test wall-clock).
+std::string spec_scaffold(const std::string& name,
+                          const std::string& workload) {
+  return "scenario{name=" + name + ";workload=" + workload +
+         ";fw=irq;fabric=baseline;queue_depth=8;burst=8;mac=0;dwait=0;"
+         "dtimeout=0;ss=32;spill=16;jt=0;pmp=1;trace=0}";
+}
+
+std::string spec_run_request(const std::string& id, const std::string& spec,
+                             long long deadline_ms,
+                             unsigned long long max_cycles,
+                             const std::string& engine = {}) {
+  std::string frame = "{\"schema_version\":1,\"id\":\"" + id +
+                      "\",\"op\":\"run\",\"spec\":\"" +
+                      sim::json_escape(spec) + "\"";
+  if (!engine.empty()) {
+    frame += ",\"engine\":\"" + engine + "\"";
+  }
+  if (deadline_ms >= 0) {
+    frame += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+  }
+  if (max_cycles > 0) {
+    frame += ",\"max_cycles\":" + std::to_string(max_cycles);
+  }
+  frame += "}\n";
+  return frame;
+}
+
+/// Poll the daemon's own admission-slot gauge over the HTTP shim until it
+/// reads `want` (the same signal the chaos harness keys on).
+void await_outstanding(std::uint16_t port, std::uint64_t want) {
+  for (int i = 0; i < 2000; ++i) {
+    const std::string response = http_get(port, "/metrics");
+    const std::size_t at = response.find("\ntitand_runs_outstanding ");
+    if (at != std::string::npos &&
+        std::strtoull(response.c_str() + at + 25, nullptr, 10) == want) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  FAIL() << "outstanding gauge never reached " << want;
+}
+
+TEST(ServeLifecycle, HealthzAlwaysAnswersWhileReadyzTracksPhase) {
+  ServeFixture fixture;
+  // Before set_ready(): alive but warming.
+  EXPECT_NE(http_get(fixture.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+  std::string ready = http_get(fixture.port(), "/readyz");
+  EXPECT_NE(ready.find("503"), std::string::npos);
+  EXPECT_NE(ready.find("warming"), std::string::npos);
+
+  fixture.server().set_ready();
+  ready = http_get(fixture.port(), "/readyz");
+  EXPECT_NE(ready.find("200 OK"), std::string::npos);
+  EXPECT_NE(ready.find("ready"), std::string::npos);
+
+  fixture.server().request_drain();
+  // Liveness survives the drain; readiness flips to draining; new runs are
+  // refused with a structured shutdown error (probes still answer).
+  EXPECT_NE(http_get(fixture.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+  ready = http_get(fixture.port(), "/readyz");
+  EXPECT_NE(ready.find("503"), std::string::npos);
+  EXPECT_NE(ready.find("draining"), std::string::npos);
+  Client client(fixture.port());
+  client.send_text(run_request("rejected", "irq/baseline/burst1"));
+  const sim::JsonValue refused = sim::JsonValue::parse(client.read_line());
+  EXPECT_FALSE(refused.find("ok")->as_bool());
+  EXPECT_EQ(refused.find("error")->find("code")->as_string(), "shutdown");
+  client.send_text("{\"schema_version\":1,\"id\":\"p\",\"op\":\"ping\"}\n");
+  EXPECT_TRUE(sim::JsonValue::parse(client.read_line()).find("ok")->as_bool());
+}
+
+TEST(ServeLifecycle, DrainWaitsForInflightRunAndIsIdempotent) {
+  ServeFixture fixture;
+  fixture.server().set_ready();
+  Client client(fixture.port());
+  client.send_text(spec_run_request(
+      "slow", spec_scaffold("drain/slow", "fib(22)"), -1, 0));
+  await_outstanding(fixture.port(), 1);
+
+  // Drain must wait for the in-flight run, deliver its full response, and
+  // report a clean quiesce.
+  EXPECT_TRUE(fixture.server().drain(std::chrono::seconds(30)));
+  const std::string line = client.read_line();
+  EXPECT_TRUE(sim::JsonValue::parse(line).find("ok")->as_bool()) << line;
+
+  // Double signal (a second SIGTERM in daemon terms): both entry points are
+  // idempotent once quiesced.
+  fixture.server().request_drain();
+  EXPECT_TRUE(fixture.server().drain(std::chrono::milliseconds(100)));
+}
+
+TEST(ServeLifecycle, DrainTimeoutCancelsStragglers) {
+  ServeFixture fixture;
+  fixture.server().set_ready();
+  Client client(fixture.port());
+  // fib(26) runs for several seconds — far past the drain timeout.
+  client.send_text(spec_run_request(
+      "straggler", spec_scaffold("drain/straggler", "fib(26)"), -1, 0));
+  await_outstanding(fixture.port(), 1);
+
+  // The timeout path must cut the run off through its cancel token and
+  // still settle (no leaked runs), reporting the unclean drain.
+  EXPECT_FALSE(fixture.server().drain(std::chrono::milliseconds(50)));
+  const sim::JsonValue cancelled = sim::JsonValue::parse(client.read_line());
+  EXPECT_FALSE(cancelled.find("ok")->as_bool());
+  EXPECT_EQ(cancelled.find("error")->find("code")->as_string(), "cancelled");
+  EXPECT_EQ(fixture.metrics().counter("titand_cancelled_total"), 1u);
+}
+
+TEST(ServeAdmission, ShedsBeyondCapacityWithRetryHint) {
+  serve::Server::Options options;
+  options.max_inflight = 1;
+  options.max_queue = 1;
+  options.retry_after_ms = 123;
+  ServeFixture fixture(serve::WarmMode::kOff, 1 << 20, options);
+  fixture.server().set_ready();
+
+  Client running(fixture.port());
+  running.send_text(spec_run_request(
+      "running", spec_scaffold("shed/running", "fib(22)"), -1, 0));
+  await_outstanding(fixture.port(), 1);
+  Client queued(fixture.port());
+  queued.send_text(spec_run_request(
+      "queued", spec_scaffold("shed/queued", "fib(22)"), -1, 0));
+  await_outstanding(fixture.port(), 2);
+
+  // Every slot occupied: the next run is shed immediately with the
+  // structured overloaded error and the configured backoff hint...
+  Client shed(fixture.port());
+  shed.send_text(run_request("shed", "irq/baseline/burst1"));
+  const sim::JsonValue overloaded = sim::JsonValue::parse(shed.read_line());
+  EXPECT_FALSE(overloaded.find("ok")->as_bool());
+  const sim::JsonValue* error = overloaded.find("error");
+  EXPECT_EQ(error->find("code")->as_string(), "overloaded");
+  EXPECT_EQ(error->find("retry_after_ms")->as_int(), 123);
+  EXPECT_EQ(fixture.metrics().counter("titand_shed_total"), 1u);
+
+  // ...while the admitted runs complete normally.
+  EXPECT_TRUE(
+      sim::JsonValue::parse(running.read_line()).find("ok")->as_bool());
+  EXPECT_TRUE(
+      sim::JsonValue::parse(queued.read_line()).find("ok")->as_bool());
+
+  // Capacity freed: the same request is admitted and served now.
+  shed.send_text(run_request("retried", "irq/baseline/burst1"));
+  EXPECT_TRUE(sim::JsonValue::parse(shed.read_line()).find("ok")->as_bool());
+}
+
+TEST(ServeDeadline, DeadlineZeroIsDeterministicAndMidRunDeadlineCancels) {
+  ServeFixture fixture;
+  fixture.server().set_ready();
+  Client client(fixture.port());
+
+  // deadline_ms=0 is cancelled before dispatch: exactly zero simulated
+  // cycles, every time — the SoC is never even built.
+  client.send_text(spec_run_request(
+      "zero", spec_scaffold("deadline/zero", "stats(4096)"), 0, 0));
+  const sim::JsonValue zero = sim::JsonValue::parse(client.read_line());
+  EXPECT_FALSE(zero.find("ok")->as_bool());
+  EXPECT_EQ(zero.find("error")->find("code")->as_string(),
+            "deadline_exceeded");
+  EXPECT_EQ(zero.find("error")->find("cycles")->as_int(), 0);
+
+  // A mid-run deadline stops a long run cooperatively, reporting the
+  // cycles completed so far.
+  client.send_text(spec_run_request(
+      "mid", spec_scaffold("deadline/mid", "fib(24)"), 250, 0));
+  const sim::JsonValue mid = sim::JsonValue::parse(client.read_line());
+  EXPECT_FALSE(mid.find("ok")->as_bool());
+  EXPECT_EQ(mid.find("error")->find("code")->as_string(),
+            "deadline_exceeded");
+  EXPECT_GT(mid.find("error")->find("cycles")->as_int(), 0);
+  EXPECT_EQ(fixture.metrics().counter("titand_deadline_exceeded_total"), 2u);
+}
+
+TEST(ServeBudget, StopsAtExactBudgetAndWithinBudgetIsByteIdentical) {
+  ServeFixture fixture;
+  fixture.server().set_ready();
+  Client client(fixture.port());
+
+  // A cold run out of budget stops at exactly max_cycles, on both engines.
+  for (const char* engine : {"lockstep", "event"}) {
+    client.send_text(spec_run_request(
+        "budget", spec_scaffold("budget/exact", "stats(65536)"), -1, 256,
+        engine));
+    const sim::JsonValue stopped = sim::JsonValue::parse(client.read_line());
+    EXPECT_FALSE(stopped.find("ok")->as_bool()) << engine;
+    EXPECT_EQ(stopped.find("error")->find("code")->as_string(),
+              "budget_exceeded")
+        << engine;
+    EXPECT_EQ(stopped.find("error")->find("cycles")->as_int(), 256) << engine;
+  }
+
+  // A run completing within its budget is byte-identical to the unbudgeted
+  // run — the core contract, over the wire, on both engines.
+  for (const char* engine : {"lockstep", "event"}) {
+    const std::string spec = spec_scaffold("budget/under", "stats(4096)");
+    client.send_text(spec_run_request("plain", spec, -1, 0, engine));
+    const std::string plain = client.read_line();
+    client.send_text(
+        spec_run_request("plain", spec, -1, 1ull << 40, engine));
+    EXPECT_EQ(client.read_line(), plain) << engine;
+  }
+}
+
+// ---- The chaos harness, in-process ------------------------------------------
+//
+// The CI smoke job replays the seeded schedule against a freestanding daemon;
+// this is the same claim against an in-process server so plain ctest covers
+// it: the harness passes, and two runs with the same seed render byte-equal
+// reports (the determinism the twice-run-and-diff CI gate relies on).
+
+TEST(ServeChaosHarness, SeededScheduleSurvivesAndReplaysByteEqual) {
+  serve::Server::Options options;
+  options.max_inflight = 2;
+  options.max_queue = 2;
+  options.retry_after_ms = 50;
+  ServeFixture fixture(serve::WarmMode::kOff, 1 << 20, options);
+  fixture.server().set_ready();
+
+  serve::ChaosConfig config;
+  config.port = fixture.port();
+  config.seed = 7;
+  // fib(22) still outlasts the probe window by ~10x but keeps the flood
+  // phase fast enough for sanitizer runs.
+  config.filler_workload = "fib(22)";
+
+  const serve::ChaosReport first = serve::run_chaos(config);
+  EXPECT_TRUE(first.ok()) << first.render();
+  const serve::ChaosReport second = serve::run_chaos(config);
+  EXPECT_TRUE(second.ok()) << second.render();
+  EXPECT_EQ(first.render(), second.render());
 }
 
 }  // namespace

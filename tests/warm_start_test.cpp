@@ -10,10 +10,12 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "api/api.hpp"
+#include "sim/cancel.hpp"
 #include "sim/rng.hpp"
 #include "titancfi/soc_top.hpp"
 
@@ -240,6 +242,53 @@ TEST(WarmStartTest, BuilderWarmStartMatchesWithWarmStart) {
   // Warm start is an execution strategy: identity must not change.
   EXPECT_EQ(via_builder.serialize(), base.serialize());
   EXPECT_EQ(api::run_scenario(via_builder), api::run_scenario(base));
+}
+
+// ---- Cancellation does not poison shared snapshots ---------------------------
+//
+// titand forks every request from shared warm checkpoints and cancels runs
+// freely (deadlines, disconnects, drain).  That is only sound if a stopped
+// warm run cannot leave stale state behind: the snapshot is immutable, so a
+// later unlimited fork from the same checkpoint must still reproduce the
+// cold report bit for bit.
+
+TEST(WarmStartTest, StoppedWarmRunLeavesSnapshotPristine) {
+  const api::Scenario scenario = api::ScenarioBuilder()
+                                     .name("warm_cancel")
+                                     .workload(api::Workload::fib(12))
+                                     .drain_burst(4)
+                                     .build();
+  const api::RunReport cold = api::run_scenario(scenario);
+  const sim::Cycle fork_at = cold.cycles / 2;
+  ASSERT_GT(fork_at, 0u);
+  const auto snapshot = api::capture_checkpoint(scenario, fork_at);
+
+  for (const api::Engine engine :
+       {api::Engine::kLockStep, api::Engine::kEventDriven}) {
+    SCOPED_TRACE(engine == api::Engine::kLockStep ? "lockstep" : "event");
+    const api::Scenario warm =
+        scenario.with_engine(engine).with_warm_start(snapshot);
+
+    // Budget-stop a warm fork three quarters of the way through the run.
+    api::RunControl budget;
+    budget.cancel = std::make_shared<sim::CancelToken>();
+    budget.max_cycles = fork_at + (cold.cycles - fork_at) / 2;
+    const api::RunReport stopped = api::run_scenario(warm, {}, budget);
+    EXPECT_EQ(stopped.stop, api::RunStop::kBudgetExceeded);
+    EXPECT_EQ(stopped.cycles, budget.max_cycles);
+
+    // A fork whose client is already gone stops before simulating at all.
+    api::RunControl fired;
+    auto token = std::make_shared<sim::CancelToken>();
+    token->cancel(sim::CancelToken::Reason::kDisconnect);
+    fired.cancel = token;
+    const api::RunReport dropped = api::run_scenario(warm, {}, fired);
+    EXPECT_EQ(dropped.stop, api::RunStop::kCancelled);
+
+    // The shared checkpoint is untouched: a fresh unlimited fork still
+    // matches the cold run exactly.
+    EXPECT_EQ(api::run_scenario(warm), cold);
+  }
 }
 
 // ---- Validation and caching -------------------------------------------------

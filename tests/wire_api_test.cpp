@@ -114,6 +114,57 @@ TEST(WireRequest, ErrorTaxonomy) {
                     Code::kBadRequest);
 }
 
+TEST(WireRequest, ParsesRunLimits) {
+  // Limits default to "absent" (-1 / 0)...
+  const api::Request plain = api::parse_request(
+      R"({"schema_version":1,"op":"run","scenario":"x"})");
+  EXPECT_EQ(plain.deadline_ms, -1);
+  EXPECT_EQ(plain.max_cycles, 0u);
+
+  // ...and parse when present, including the deadline-0 probe.
+  const api::Request limited = api::parse_request(
+      R"({"schema_version":1,"op":"run","scenario":"x",)"
+      R"("deadline_ms":1500,"max_cycles":4096})");
+  EXPECT_EQ(limited.deadline_ms, 1500);
+  EXPECT_EQ(limited.max_cycles, 4096u);
+  const api::Request expired = api::parse_request(
+      R"({"schema_version":1,"op":"run","scenario":"x","deadline_ms":0})");
+  EXPECT_EQ(expired.deadline_ms, 0);
+}
+
+TEST(WireRequest, RejectsInvalidRunLimits) {
+  using Code = api::WireErrorCode;
+  // Limits only make sense on run requests.
+  expect_wire_error(R"({"schema_version":1,"op":"ping","deadline_ms":5})",
+                    Code::kBadRequest);
+  expect_wire_error(R"({"schema_version":1,"op":"list","max_cycles":5})",
+                    Code::kBadRequest);
+  // Negative deadline / zero or non-numeric budget are shape violations.
+  expect_wire_error(
+      R"({"schema_version":1,"op":"run","scenario":"x","deadline_ms":-2})",
+      Code::kBadRequest);
+  expect_wire_error(
+      R"({"schema_version":1,"op":"run","scenario":"x","max_cycles":0})",
+      Code::kBadRequest);
+  expect_wire_error(
+      R"({"schema_version":1,"op":"run","scenario":"x","max_cycles":"9"})",
+      Code::kBadRequest);
+}
+
+TEST(WireError, LifecycleCodeNamesAreStable) {
+  // Wire names are protocol surface — renames are breaking changes.
+  EXPECT_EQ(api::wire_error_code_name(api::WireErrorCode::kOverloaded),
+            "overloaded");
+  EXPECT_EQ(api::wire_error_code_name(api::WireErrorCode::kDeadlineExceeded),
+            "deadline_exceeded");
+  EXPECT_EQ(api::wire_error_code_name(api::WireErrorCode::kBudgetExceeded),
+            "budget_exceeded");
+  EXPECT_EQ(api::wire_error_code_name(api::WireErrorCode::kCancelled),
+            "cancelled");
+  EXPECT_EQ(api::wire_error_code_name(api::WireErrorCode::kShutdown),
+            "shutdown");
+}
+
 TEST(WireResponse, RendersSingleLineAndRoundTrips) {
   // An id with every hostile character: the response must stay one line and
   // decode back exactly.
@@ -143,6 +194,34 @@ TEST(WireResponse, RunResponseEmbedsReportVerbatim) {
   EXPECT_TRUE(v.find("ok")->as_bool());
   EXPECT_FALSE(v.find("warm_start")->as_bool());
   EXPECT_EQ(v.find("report")->as_string(), canonical);
+}
+
+TEST(WireResponse, ErrorDetailFieldsRenderOnlyWhenSet) {
+  // Detail-free errors keep their historical bytes...
+  const std::string bare = api::render_error_response(
+      "r", api::WireErrorCode::kShutdown, "draining");
+  EXPECT_EQ(bare.find("cycles"), std::string::npos);
+  EXPECT_EQ(bare.find("retry_after_ms"), std::string::npos);
+
+  // ...a stopped run reports its partial progress, with cycles==0 (the
+  // deadline-0 probe) distinguishable from absent...
+  api::ErrorDetail progress;
+  progress.has_cycles = true;
+  progress.cycles = 0;
+  const sim::JsonValue stopped =
+      sim::JsonValue::parse(api::render_error_response(
+          "r", api::WireErrorCode::kDeadlineExceeded, "expired", progress));
+  ASSERT_NE(stopped.find("error")->find("cycles"), nullptr);
+  EXPECT_EQ(stopped.find("error")->find("cycles")->as_int(), 0);
+
+  // ...and a shed run carries the backoff hint titanctl's retry loop reads.
+  api::ErrorDetail hint;
+  hint.retry_after_ms = 125;
+  const sim::JsonValue shed = sim::JsonValue::parse(api::render_error_response(
+      "r", api::WireErrorCode::kOverloaded, "at capacity", hint));
+  EXPECT_EQ(shed.find("error")->find("code")->as_string(), "overloaded");
+  ASSERT_NE(shed.find("error")->find("retry_after_ms"), nullptr);
+  EXPECT_EQ(shed.find("error")->find("retry_after_ms")->as_int(), 125);
 }
 
 // ---- api::ReportSchema versioning -------------------------------------------

@@ -1,0 +1,108 @@
+// serve_chaos — deterministic socket-chaos harness for a live titand.
+//
+//   serve_chaos --port=N [--seed=S] [--max_inflight=I] [--max_queue=Q]
+//               [--retry_after_ms=MS] [--max_frame=BYTES]
+//               [--shed_probes=K] [--disconnect_fillers=D]
+//               [--pipeline_depth=P] [--budget_cycles=C]
+//               [--filler_workload=WL] [--expect_warm] [--skip_ready]
+//
+// Replays the seeded adversarial schedule from serve::run_chaos against the
+// daemon at --port (or --port_file=PATH) and prints the deterministic
+// report: operation log, tracked-counter delta table, and a CHAOS
+// PASS/FAIL verdict.  Exit status 0 iff every probe behaved and every
+// tracked counter moved by exactly its predicted delta.  Two invocations
+// with the same seed and flags print byte-identical reports — the CI
+// chaos-smoke job diffs them to pin schedule determinism.
+//
+// The admission flags must mirror the daemon's own --max_inflight /
+// --max_queue / --retry_after_ms / --max_frame: the flood phase's shed
+// arithmetic is exact, not approximate.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "serve/chaos.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: serve_chaos [--host=H] (--port=N | --port_file=PATH)\n"
+         "                   [--seed=S] [--max_inflight=I] [--max_queue=Q]\n"
+         "                   [--retry_after_ms=MS] [--max_frame=BYTES]\n"
+         "                   [--shed_probes=K] [--disconnect_fillers=D]\n"
+         "                   [--pipeline_depth=P] [--budget_cycles=C]\n"
+         "                   [--filler_workload=WL] [--expect_warm]\n"
+         "                   [--skip_ready]\n";
+  return 2;
+}
+
+bool flag_value(const char* arg, const char* name, const char** value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  titan::serve::ChaosConfig config;
+  int port = -1;
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (flag_value(argv[i], "--host", &value)) {
+      config.host = value;
+    } else if (flag_value(argv[i], "--port", &value)) {
+      port = std::atoi(value);
+    } else if (flag_value(argv[i], "--port_file", &value)) {
+      std::FILE* in = std::fopen(value, "r");
+      if (in == nullptr || std::fscanf(in, "%d", &port) != 1) {
+        std::cerr << "serve_chaos: cannot read port from " << value << "\n";
+        return 1;
+      }
+      std::fclose(in);
+    } else if (flag_value(argv[i], "--seed", &value)) {
+      config.seed = std::strtoull(value, nullptr, 10);
+    } else if (flag_value(argv[i], "--max_inflight", &value)) {
+      config.max_inflight = static_cast<unsigned>(std::atoi(value));
+    } else if (flag_value(argv[i], "--max_queue", &value)) {
+      config.max_queue = static_cast<std::size_t>(std::atoi(value));
+    } else if (flag_value(argv[i], "--retry_after_ms", &value)) {
+      config.retry_after_ms = std::strtoull(value, nullptr, 10);
+    } else if (flag_value(argv[i], "--max_frame", &value)) {
+      config.max_frame = static_cast<std::size_t>(
+          std::strtoull(value, nullptr, 10));
+    } else if (flag_value(argv[i], "--shed_probes", &value)) {
+      config.shed_probes = static_cast<unsigned>(std::atoi(value));
+    } else if (flag_value(argv[i], "--disconnect_fillers", &value)) {
+      config.disconnect_fillers = static_cast<unsigned>(std::atoi(value));
+    } else if (flag_value(argv[i], "--pipeline_depth", &value)) {
+      config.pipeline_depth = static_cast<unsigned>(std::atoi(value));
+    } else if (flag_value(argv[i], "--budget_cycles", &value)) {
+      config.budget_cycles = std::strtoull(value, nullptr, 10);
+    } else if (flag_value(argv[i], "--filler_workload", &value)) {
+      config.filler_workload = value;
+    } else if (std::strcmp(argv[i], "--expect_warm") == 0) {
+      config.expect_cold_runs = false;
+    } else if (std::strcmp(argv[i], "--skip_ready") == 0) {
+      config.check_ready = false;
+    } else {
+      std::cerr << "serve_chaos: unknown argument '" << argv[i] << "'\n";
+      return usage();
+    }
+  }
+  if (port <= 0 || port > 65535) {
+    std::cerr << "serve_chaos: needs --port=N or --port_file=PATH\n";
+    return usage();
+  }
+  config.port = static_cast<std::uint16_t>(port);
+
+  const titan::serve::ChaosReport report = titan::serve::run_chaos(config);
+  std::cout << report.render();
+  return report.ok() ? 0 : 1;
+}

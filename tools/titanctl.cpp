@@ -3,8 +3,10 @@
 //   titanctl --port=N ping
 //   titanctl --port=N list [--tag=T] [--specs]
 //   titanctl --port=N run NAME [--engine=lockstep|event]
+//                              [--deadline_ms=MS] [--max_cycles=C]
 //   titanctl --port=N run-spec 'scenario{...}'
 //   titanctl --port=N metrics                 # GET /metrics, prints the body
+//   titanctl --port=N health | ready          # GET /healthz | /readyz
 //   titanctl local-run NAME [--engine=...]    # no daemon: batch run_scenario
 //
 // `run` prints the served report verbatim; `local-run` prints the canonical
@@ -12,15 +14,30 @@
 // byte-identical for every scenario — that diff is the serving pipeline's
 // correctness witness (tests/serve_test.cpp in-process, the CI daemon-smoke
 // job across a real socket).  --port_file=PATH reads the port titand wrote.
+//
+// Production hardening (PR 10): every socket operation is bounded by
+// --timeout_ms (connect included), and --retries=N with --backoff_ms=B
+// retries an attempt only when it is safe and useful — on transport
+// failures (connect refused/timeout, connection closed mid-response) and
+// on structured `overloaded` errors from admission control.  The backoff
+// is deterministic exponential (B, 2B, 4B, ...); an `overloaded` error
+// carrying retry_after_ms raises a too-small computed delay to the
+// server's hint.  Application errors (unknown scenario, bad spec,
+// deadline_exceeded, ...) never retry: resending cannot change the answer.
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/registry.hpp"
@@ -33,35 +50,91 @@ namespace {
 
 int usage() {
   std::cerr << "usage: titanctl [--host=H] [--port=N | --port_file=PATH]\n"
+               "                [--timeout_ms=MS] [--retries=N]\n"
+               "                [--backoff_ms=MS]\n"
                "                ping | list [--tag=T] [--specs] |\n"
-               "                run NAME [--engine=lockstep|event] |\n"
-               "                run-spec SPEC [--engine=...] | metrics |\n"
+               "                run NAME [--engine=lockstep|event]\n"
+               "                         [--deadline_ms=MS] [--max_cycles=C] |\n"
+               "                run-spec SPEC [--engine=...] [--deadline_ms=MS]\n"
+               "                              [--max_cycles=C] |\n"
+               "                metrics | health | ready |\n"
                "                local-run NAME [--engine=...]\n";
   return 2;
 }
 
-/// Connect, send `payload`, and read until `until_eof` (HTTP) or the first
-/// newline (one JSONL response).  Exits with a message on socket failure.
-std::string exchange(const std::string& host, std::uint16_t port,
-                     const std::string& payload, bool until_eof) {
+/// One attempt over the wire.  `ok` is transport success only — the
+/// response may still carry a structured application error.
+struct Exchange {
+  bool ok = false;
+  std::string error;     ///< transport failure description when !ok
+  std::string response;  ///< full bytes (HTTP) or first line (JSONL)
+};
+
+/// connect(2) bounded by timeout_ms (non-blocking connect + poll).
+int connect_with_timeout(const std::string& host, std::uint16_t port,
+                         long timeout_ms, std::string* error) {
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
-  if (fd < 0 || inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
-      connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-          0) {
-    std::cerr << "titanctl: cannot connect to " << host << ":" << port << ": "
-              << std::strerror(errno) << "\n";
-    std::exit(1);
+  if (fd < 0 || inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "cannot resolve " + host;
+    if (fd >= 0) {
+      close(fd);
+    }
+    return -1;
+  }
+  fcntl(fd, F_SETFL, fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    if (errno != EINPROGRESS) {
+      *error = "cannot connect to " + host + ":" + std::to_string(port) +
+               ": " + std::strerror(errno);
+      close(fd);
+      return -1;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = poll(&pfd, 1, static_cast<int>(timeout_ms));
+    int soerr = 0;
+    socklen_t len = sizeof soerr;
+    if (ready <= 0 ||
+        getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+        soerr != 0) {
+      *error = "cannot connect to " + host + ":" + std::to_string(port) +
+               (ready <= 0 ? ": timed out"
+                           : std::string(": ") + std::strerror(soerr));
+      close(fd);
+      return -1;
+    }
+  }
+  fcntl(fd, F_SETFL, fcntl(fd, F_GETFL, 0) & ~O_NONBLOCK);
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  return fd;
+}
+
+/// Connect, send `payload`, and read until `until_eof` (HTTP) or the first
+/// newline (one JSONL response).  Never exits: transport failures come
+/// back in Exchange::error so the retry policy can decide.
+Exchange exchange(const std::string& host, std::uint16_t port,
+                  const std::string& payload, bool until_eof,
+                  long timeout_ms) {
+  Exchange result;
+  const int fd = connect_with_timeout(host, port, timeout_ms, &result.error);
+  if (fd < 0) {
+    return result;
   }
   std::size_t sent = 0;
   while (sent < payload.size()) {
     const ssize_t n = send(fd, payload.data() + sent, payload.size() - sent,
                            MSG_NOSIGNAL);
     if (n <= 0) {
-      std::cerr << "titanctl: send failed: " << std::strerror(errno) << "\n";
-      std::exit(1);
+      result.error = std::string("send failed: ") + std::strerror(errno);
+      close(fd);
+      return result;
     }
     sent += static_cast<std::size_t>(n);
   }
@@ -69,7 +142,15 @@ std::string exchange(const std::string& host, std::uint16_t port,
   char chunk[4096];
   while (true) {
     const ssize_t n = recv(fd, chunk, sizeof chunk, 0);
-    if (n <= 0) {
+    if (n < 0) {
+      result.error = std::string("recv failed: ") +
+                     (errno == EAGAIN || errno == EWOULDBLOCK
+                          ? "timed out"
+                          : std::strerror(errno));
+      close(fd);
+      return result;
+    }
+    if (n == 0) {
       break;
     }
     response.append(chunk, static_cast<std::size_t>(n));
@@ -81,12 +162,81 @@ std::string exchange(const std::string& host, std::uint16_t port,
   if (!until_eof) {
     const std::size_t nl = response.find('\n');
     if (nl == std::string::npos) {
-      std::cerr << "titanctl: connection closed before a full response\n";
-      std::exit(1);
+      result.error = "connection closed before a full response";
+      return result;
     }
     response.resize(nl);
   }
-  return response;
+  result.ok = true;
+  result.response = std::move(response);
+  return result;
+}
+
+struct RetryPolicy {
+  unsigned retries = 0;
+  std::uint64_t backoff_ms = 100;
+  long timeout_ms = 10000;
+};
+
+/// Exchange with deterministic exponential backoff.  Retries transport
+/// failures and structured `overloaded` responses only; every other
+/// response (success or application error) is returned as-is.  Exits only
+/// when all attempts are exhausted on a retryable failure.
+std::string exchange_with_retries(const std::string& host,
+                                  std::uint16_t port,
+                                  const std::string& payload, bool until_eof,
+                                  const RetryPolicy& policy) {
+  for (unsigned attempt = 0;; ++attempt) {
+    const Exchange result =
+        exchange(host, port, payload, until_eof, policy.timeout_ms);
+    std::string why;
+    std::uint64_t hint_ms = 0;
+    if (result.ok) {
+      if (until_eof) {
+        return result.response;  // HTTP: no structured error envelope
+      }
+      bool overloaded = false;
+      try {
+        const titan::sim::JsonValue response =
+            titan::sim::JsonValue::parse(result.response);
+        const titan::sim::JsonValue* error = response.find("error");
+        const titan::sim::JsonValue* code =
+            error != nullptr ? error->find("code") : nullptr;
+        if (code != nullptr && code->as_string() == "overloaded") {
+          overloaded = true;
+          const titan::sim::JsonValue* hint =
+              error->find("retry_after_ms");
+          if (hint != nullptr) {
+            hint_ms = static_cast<std::uint64_t>(hint->as_int());
+          }
+        }
+      } catch (const titan::sim::JsonParseError&) {
+        // Malformed responses are surfaced to the caller, not retried.
+      }
+      if (!overloaded) {
+        return result.response;
+      }
+      why = "server overloaded";
+    } else {
+      why = result.error;
+    }
+    if (attempt >= policy.retries) {
+      if (result.ok) {
+        return result.response;  // exhausted: report the overloaded error
+      }
+      std::cerr << "titanctl: " << why << " (after " << (attempt + 1)
+                << " attempt(s))\n";
+      std::exit(1);
+    }
+    std::uint64_t delay_ms = policy.backoff_ms << attempt;
+    if (hint_ms > delay_ms) {
+      delay_ms = hint_ms;
+    }
+    std::cerr << "titanctl: " << why << "; retrying in " << delay_ms
+              << " ms (attempt " << (attempt + 2) << "/"
+              << (policy.retries + 1) << ")\n";
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
 }
 
 /// Parse a wire response; exits (printing the structured error) on !ok.
@@ -127,6 +277,9 @@ int main(int argc, char** argv) {
   std::string engine;
   std::string tag;
   bool specs = false;
+  long long deadline_ms = -1;
+  unsigned long long max_cycles = 0;
+  RetryPolicy policy;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--host=", 7) == 0) {
@@ -144,6 +297,17 @@ int main(int argc, char** argv) {
       engine = arg + 9;
     } else if (std::strncmp(arg, "--tag=", 6) == 0) {
       tag = arg + 6;
+    } else if (std::strncmp(arg, "--deadline_ms=", 14) == 0) {
+      deadline_ms = std::atoll(arg + 14);
+    } else if (std::strncmp(arg, "--max_cycles=", 13) == 0) {
+      max_cycles = std::strtoull(arg + 13, nullptr, 10);
+    } else if (std::strncmp(arg, "--timeout_ms=", 13) == 0) {
+      policy.timeout_ms = std::max(1LL, std::atoll(arg + 13));
+    } else if (std::strncmp(arg, "--retries=", 10) == 0) {
+      policy.retries = static_cast<unsigned>(std::max(0, std::atoi(arg + 10)));
+    } else if (std::strncmp(arg, "--backoff_ms=", 13) == 0) {
+      policy.backoff_ms =
+          static_cast<std::uint64_t>(std::max(0LL, std::atoll(arg + 13)));
     } else if (std::strcmp(arg, "--specs") == 0) {
       specs = true;
     } else if (command.empty()) {
@@ -191,17 +355,26 @@ int main(int argc, char** argv) {
   }
   const auto target_port = static_cast<std::uint16_t>(port);
 
-  if (command == "metrics") {
-    const std::string response = exchange(
+  if (command == "metrics" || command == "health" || command == "ready") {
+    const std::string path = command == "metrics"  ? "/metrics"
+                             : command == "health" ? "/healthz"
+                                                   : "/readyz";
+    const std::string response = exchange_with_retries(
         host, target_port,
-        "GET /metrics HTTP/1.1\r\nHost: " + host + "\r\n\r\n",
-        /*until_eof=*/true);
+        "GET " + path + " HTTP/1.1\r\nHost: " + host + "\r\n\r\n",
+        /*until_eof=*/true, policy);
     const std::size_t body = response.find("\r\n\r\n");
     if (body == std::string::npos) {
       std::cerr << "titanctl: malformed HTTP response\n";
       return 1;
     }
     std::cout << response.substr(body + 4);
+    // health/ready exit non-zero on a non-200 status so scripts (and the
+    // CI drain check) can branch on readiness without parsing bodies.
+    if (command != "metrics" &&
+        response.find("200 OK") == std::string::npos) {
+      return 1;
+    }
     return 0;
   }
 
@@ -226,15 +399,21 @@ int main(int argc, char** argv) {
     if (!engine.empty()) {
       request += ",\"engine\":" + quoted(engine);
     }
+    if (deadline_ms >= 0) {
+      request += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+    }
+    if (max_cycles > 0) {
+      request += ",\"max_cycles\":" + std::to_string(max_cycles);
+    }
     request += "}";
   } else {
     std::cerr << "titanctl: unknown command '" << command << "'\n";
     return usage();
   }
 
-  const titan::sim::JsonValue response =
-      expect_ok(exchange(host, target_port, request + "\n",
-                         /*until_eof=*/false));
+  const titan::sim::JsonValue response = expect_ok(
+      exchange_with_retries(host, target_port, request + "\n",
+                            /*until_eof=*/false, policy));
   if (command == "ping") {
     std::cout << "pong\n";
   } else if (command == "list") {

@@ -13,6 +13,15 @@
 //   titand --port=0 --port_file=/tmp/titand.port   # CI: kernel picks a port
 //   titand --warm_start=BUNDLE.ckpt         # preloaded checkpoints only
 //   titand --warm=off                       # every run cold, from cycle 0
+//
+// Production hardening (PR 10): --max_inflight and --max_queue bound the
+// concurrent + waiting run count (excess runs are shed with `overloaded` +
+// a --retry_after_ms hint); GET /healthz answers for the whole lifetime and
+// GET /readyz flips to 200 only once serving is up (and back to 503 while
+// draining); SIGTERM/SIGINT trigger a graceful drain — stop admitting runs,
+// let in-flight ones finish for up to --drain_timeout ms, then cancel the
+// stragglers through their cooperative cancel tokens and exit cleanly.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -28,7 +37,9 @@ int usage() {
   std::cerr
       << "usage: titand [--port=N] [--port_file=PATH] [--threads=N]\n"
          "              [--warm=lazy|off] [--warm_start=BUNDLE.ckpt]\n"
-         "              [--warmup=CYCLE] [--max_frame=BYTES]\n";
+         "              [--warmup=CYCLE] [--max_frame=BYTES]\n"
+         "              [--max_inflight=N] [--max_queue=N]\n"
+         "              [--retry_after_ms=MS] [--drain_timeout=MS]\n";
   return 2;
 }
 
@@ -39,6 +50,7 @@ int main(int argc, char** argv) {
   titan::serve::ScenarioService::Options service_options;
   std::string port_file;
   std::string bundle_path;
+  long drain_timeout_ms = 5000;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--port=", 7) == 0) {
@@ -51,6 +63,17 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--max_frame=", 12) == 0) {
       server_options.max_frame =
           static_cast<std::size_t>(std::atoll(arg + 12));
+    } else if (std::strncmp(arg, "--max_inflight=", 15) == 0) {
+      server_options.max_inflight =
+          static_cast<unsigned>(std::max(0, std::atoi(arg + 15)));
+    } else if (std::strncmp(arg, "--max_queue=", 12) == 0) {
+      server_options.max_queue =
+          static_cast<std::size_t>(std::max(0LL, std::atoll(arg + 12)));
+    } else if (std::strncmp(arg, "--retry_after_ms=", 17) == 0) {
+      server_options.retry_after_ms =
+          static_cast<std::uint64_t>(std::max(0LL, std::atoll(arg + 17)));
+    } else if (std::strncmp(arg, "--drain_timeout=", 16) == 0) {
+      drain_timeout_ms = std::max(0LL, std::atoll(arg + 16));
     } else if (std::strncmp(arg, "--warmup=", 9) == 0) {
       service_options.warmup =
           static_cast<titan::sim::Cycle>(std::atoll(arg + 9));
@@ -106,9 +129,18 @@ int main(int argc, char** argv) {
   std::cerr << "titand: serving on " << server_options.host << ":"
             << server.port() << " (" << server_options.threads
             << " thread(s))\n";
+  // Registry + bundle are loaded and the socket is accepting: declare
+  // readiness (GET /readyz flips to 200).
+  server.set_ready();
 
   const int signum = titan::serve::wait_for_shutdown();
   std::cerr << "titand: signal " << signum << ", draining\n";
+  const bool clean =
+      server.drain(std::chrono::milliseconds(drain_timeout_ms));
+  if (!clean) {
+    std::cerr << "titand: drain timeout after " << drain_timeout_ms
+              << " ms, cancelled stragglers\n";
+  }
   server.stop();
   std::cerr << "titand: clean exit\n";
   return 0;
